@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: every framework on every kernel, on a
+ * power-law (Kron) and a high-diameter (Road) input — the two topology
+ * extremes the paper shows drive framework behaviour.
+ *
+ * Env: GM_MICRO_SCALE (default 12), GM_THREADS.
+ */
+#include <benchmark/benchmark.h>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/support/env.hh"
+
+namespace
+{
+
+using namespace gm;
+
+const harness::DatasetSuite&
+suite()
+{
+    static harness::DatasetSuite s = harness::make_gap_suite(
+        static_cast<int>(env_int("GM_MICRO_SCALE", 12)), 8);
+    return s;
+}
+
+const std::vector<harness::Framework>&
+frameworks()
+{
+    static std::vector<harness::Framework> f = harness::make_frameworks();
+    return f;
+}
+
+void
+run_kernel(benchmark::State& state, std::size_t fw_index,
+           harness::Kernel kernel, std::size_t graph_index)
+{
+    const harness::Dataset& ds = suite()[graph_index];
+    const harness::Framework& fw = frameworks()[fw_index];
+    const harness::Mode mode = harness::Mode::kBaseline;
+    const std::vector<vid_t> bc_sources(ds.sources.begin(),
+                                        ds.sources.begin() + 4);
+    for (auto _ : state) {
+        switch (kernel) {
+          case harness::Kernel::kBFS:
+            benchmark::DoNotOptimize(fw.bfs(ds, ds.sources[0], mode));
+            break;
+          case harness::Kernel::kSSSP:
+            benchmark::DoNotOptimize(fw.sssp(ds, ds.sources[0], mode));
+            break;
+          case harness::Kernel::kCC:
+            benchmark::DoNotOptimize(fw.cc(ds, mode));
+            break;
+          case harness::Kernel::kPR:
+            benchmark::DoNotOptimize(fw.pr(ds, mode));
+            break;
+          case harness::Kernel::kBC:
+            benchmark::DoNotOptimize(fw.bc(ds, bc_sources, mode));
+            break;
+          case harness::Kernel::kTC:
+            benchmark::DoNotOptimize(fw.tc(ds, mode));
+            break;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            ds.g.num_edges_directed());
+}
+
+void
+register_all()
+{
+    // Kron (index 3) and Road (index 0): the two topology extremes.
+    const std::size_t graph_indexes[] = {3, 0};
+    const char* graph_names[] = {"Kron", "Road"};
+    for (std::size_t gi = 0; gi < 2; ++gi) {
+        for (std::size_t f = 0; f < frameworks().size(); ++f) {
+            for (harness::Kernel kernel : harness::kAllKernels) {
+                const std::string name = std::string(graph_names[gi]) + "/" +
+                                         harness::to_string(kernel) + "/" +
+                                         frameworks()[f].name;
+                benchmark::RegisterBenchmark(
+                    name.c_str(),
+                    [f, kernel, gi_cap = graph_indexes[gi]](
+                        benchmark::State& st) {
+                        run_kernel(st, f, kernel, gi_cap);
+                    })
+                    ->Unit(benchmark::kMillisecond)
+                    ->Iterations(2);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,11 @@
+/** @file Regenerates Table II: framework attribute matrix. */
+#include <iostream>
+
+#include "gm/harness/tables.hh"
+
+int
+main()
+{
+    gm::harness::print_table2(std::cout);
+    return 0;
+}

@@ -1,0 +1,11 @@
+/** @file Regenerates Table III: algorithms used by each framework. */
+#include <iostream>
+
+#include "gm/harness/tables.hh"
+
+int
+main()
+{
+    gm::harness::print_table3(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mini framework shootout using the public harness API: run one kernel on
+ * one graph across all six frameworks and print a Table-V-style comparison
+ * row.  This is the smallest complete use of the benchmarking machinery.
+ *
+ *   ./framework_shootout            # BFS on the Kron-class graph
+ *   ./framework_shootout SSSP Road  # any kernel / any of the five graphs
+ */
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/harness/runner.hh"
+#include "gm/support/env.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace gm;
+    using harness::Kernel;
+
+    const std::map<std::string, Kernel> kernels = {
+        {"BFS", Kernel::kBFS}, {"SSSP", Kernel::kSSSP},
+        {"CC", Kernel::kCC},   {"PR", Kernel::kPR},
+        {"BC", Kernel::kBC},   {"TC", Kernel::kTC}};
+    const std::string kernel_name = argc > 1 ? argv[1] : "BFS";
+    const std::string graph_name = argc > 2 ? argv[2] : "Kron";
+    if (kernels.find(kernel_name) == kernels.end()) {
+        std::cerr << "unknown kernel " << kernel_name
+                  << " (use BFS/SSSP/CC/PR/BC/TC)\n";
+        return 1;
+    }
+    const Kernel kernel = kernels.at(kernel_name);
+
+    const int scale = static_cast<int>(env_int("GM_SCALE", 13));
+    const harness::DatasetSuite suite = harness::make_gap_suite(scale);
+    const harness::Dataset* ds = nullptr;
+    for (const auto& candidate : suite.datasets)
+        if (candidate->name == graph_name)
+            ds = candidate.get();
+    if (ds == nullptr) {
+        std::cerr << "unknown graph " << graph_name
+                  << " (use Road/Twitter/Web/Kron/Urand)\n";
+        return 1;
+    }
+
+    std::cout << kernel_name << " on " << graph_name << " (2^" << scale
+              << " vertices), Baseline rules, all frameworks:\n";
+    harness::RunOptions opts;
+    opts.trials = 3;
+
+    double gap_seconds = 0;
+    for (const auto& fw : harness::make_frameworks()) {
+        const harness::CellResult cell = harness::run_cell(
+            *ds, fw, kernel, harness::Mode::kBaseline, opts);
+        if (fw.name == "GAP")
+            gap_seconds = cell.avg_seconds;
+        std::cout << "  " << std::left << std::setw(13) << fw.name
+                  << std::fixed << std::setprecision(4) << cell.avg_seconds
+                  << " s  " << (cell.verified ? "verified" : "FAILED");
+        if (gap_seconds > 0) {
+            std::cout << "  (" << std::setprecision(1)
+                      << 100.0 * gap_seconds / cell.avg_seconds
+                      << "% of GAP)";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

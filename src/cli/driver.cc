@@ -1,0 +1,139 @@
+#include "gm/cli/driver.hh"
+
+#include <iomanip>
+#include <iostream>
+
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/graph/io.hh"
+#include "gm/harness/runner.hh"
+#include "gm/support/timer.hh"
+
+namespace gm::cli
+{
+
+namespace
+{
+
+graph::CSRGraph
+build_input_graph(const Options& opts)
+{
+    switch (opts.source) {
+      case GraphSource::kKronecker:
+        return graph::make_kronecker(opts.scale, opts.degree, opts.seed);
+      case GraphSource::kUniform:
+        return graph::make_uniform(opts.scale, opts.degree, opts.seed);
+      case GraphSource::kTwitterLike:
+        return graph::make_twitter_like(opts.scale, opts.degree, opts.seed);
+      case GraphSource::kWebLike:
+        return graph::make_web_like(opts.scale, opts.degree, opts.seed);
+      case GraphSource::kRoadLike: {
+          const vid_t side = static_cast<vid_t>(1)
+                             << ((opts.scale + 1) / 2);
+          const vid_t cols =
+              (static_cast<vid_t>(1) << opts.scale) / side;
+          return graph::make_road_like(side, std::max<vid_t>(cols, 1),
+                                       opts.seed);
+      }
+      case GraphSource::kFile: {
+          vid_t n = 0;
+          const graph::EdgeList edges =
+              graph::read_edge_list(opts.file_path, &n);
+          return graph::build_graph(edges, n, /*directed=*/!opts.symmetrize);
+      }
+    }
+    return {};
+}
+
+const harness::Framework*
+find_framework(const std::vector<harness::Framework>& frameworks,
+               const std::string& name)
+{
+    static const std::pair<const char*, const char*> aliases[] = {
+        {"gap", "GAP"},         {"suitesparse", "SuiteSparse"},
+        {"galois", "Galois"},   {"nwgraph", "NWGraph"},
+        {"graphit", "GraphIt"}, {"gkc", "GKC"},
+    };
+    for (const auto& [alias, display] : aliases) {
+        if (name == alias || name == display) {
+            for (const auto& fw : frameworks)
+                if (fw.name == display)
+                    return &fw;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+run_kernel(harness::Kernel kernel, const Options& opts)
+{
+    Timer timer;
+    timer.start();
+    graph::CSRGraph g = build_input_graph(opts);
+    if (opts.symmetrize && g.is_directed()) {
+        graph::EdgeList edges;
+        for (vid_t v = 0; v < g.num_vertices(); ++v)
+            for (vid_t u : g.out_neigh(v))
+                edges.push_back({v, u});
+        g = graph::build_graph(edges, g.num_vertices(), false);
+    }
+    harness::Dataset ds = harness::make_dataset(
+        "cli", std::move(g), std::max(opts.trials * 4, 8), opts.seed + 1);
+    ds.delta = opts.delta;
+    timer.stop();
+    std::cout << "Graph: " << ds.g.num_vertices() << " vertices, "
+              << ds.g.num_edges_directed() << " (directed) edges, built in "
+              << std::fixed << std::setprecision(3) << timer.seconds()
+              << " s\n";
+
+    const auto frameworks = harness::make_frameworks();
+    const harness::Framework* fw =
+        find_framework(frameworks, opts.framework);
+    if (fw == nullptr) {
+        std::cerr << "unknown framework: " << opts.framework << "\n";
+        return 1;
+    }
+    const harness::Mode mode = opts.optimized ? harness::Mode::kOptimized
+                                              : harness::Mode::kBaseline;
+    std::cout << "Framework: " << fw->name << " ("
+              << harness::to_string(mode) << " rules)\n";
+
+    // GAPBS-style per-trial reporting; the harness rotates the sources.
+    harness::RunOptions run_opts;
+    run_opts.trials = 1;
+    run_opts.verify = opts.verify;
+    double total = 0;
+    bool all_verified = true;
+    for (int trial = 0; trial < opts.trials; ++trial) {
+        // Rotate sources by rotating the dataset's source list.
+        std::rotate(ds.sources.begin(), ds.sources.begin() + 1,
+                    ds.sources.end());
+        const harness::CellResult cell =
+            harness::run_cell(ds, *fw, kernel, mode, run_opts);
+        std::cout << "Trial Time:   " << std::setprecision(5)
+                  << cell.avg_seconds << "\n";
+        total += cell.avg_seconds;
+        all_verified &= cell.verified;
+    }
+    std::cout << "Average Time: " << total / opts.trials << "\n";
+    if (opts.verify) {
+        std::cout << "Verification: " << (all_verified ? "PASS" : "FAIL")
+                  << "\n";
+    }
+    return all_verified ? 0 : 1;
+}
+
+int
+kernel_main(harness::Kernel kernel, const std::string& name, int argc,
+            char** argv)
+{
+    const std::optional<Options> opts = parse_options(argc, argv, name);
+    if (!opts.has_value())
+        return 1;
+    return run_kernel(kernel, *opts);
+}
+
+} // namespace gm::cli

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared driver for the GAPBS-style tools: builds the requested graph,
+ * packages it as a harness Dataset, selects the framework, then runs and
+ * prints per-trial and average timings in the reference suite's style.
+ */
+#pragma once
+
+#include "gm/cli/options.hh"
+#include "gm/harness/framework.hh"
+
+namespace gm::cli
+{
+
+/**
+ * Run one kernel end to end from parsed options.
+ *
+ * @return Process exit code (0 on success, 1 on bad input or failed
+ *         verification).
+ */
+int run_kernel(harness::Kernel kernel, const Options& opts);
+
+/** Convenience main body: parse argv then run. */
+int kernel_main(harness::Kernel kernel, const std::string& name, int argc,
+                char** argv);
+
+} // namespace gm::cli

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Command-line options for the GAPBS-style kernel driver binaries in
+ * tools/.  Mirrors the reference suite's flag conventions: one flag per
+ * synthetic generator, -f for files, -n for trial count, plus kernel
+ * parameters (delta, iterations, tolerance) and framework selection.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gm/support/types.hh"
+
+namespace gm::cli
+{
+
+/** Which generator (or file) provides the input graph. */
+enum class GraphSource
+{
+    kKronecker,
+    kUniform,
+    kTwitterLike,
+    kWebLike,
+    kRoadLike,
+    kFile,
+};
+
+/** Parsed command line. */
+struct Options
+{
+    GraphSource source = GraphSource::kKronecker;
+    int scale = 14;           ///< log2 vertices for generators
+    int degree = 16;          ///< average degree for generators
+    std::string file_path;    ///< for kFile
+    bool symmetrize = false;  ///< -s: force undirected
+    std::uint64_t seed = 27;
+
+    int trials = 3;
+    bool verify = false;
+
+    weight_t delta = 64;      ///< SSSP bucket width
+    int max_iters = 100;      ///< PR iteration cap
+    double tolerance = 1e-4;  ///< PR convergence threshold
+
+    std::string framework = "gap"; ///< gap|suitesparse|galois|nwgraph|graphit|gkc
+    bool optimized = false;        ///< use the Optimized rule set
+};
+
+/**
+ * Parse argv.  Returns nullopt (after printing usage) on -h or bad input.
+ *
+ * @param kernel_name Used in the usage banner.
+ */
+std::optional<Options> parse_options(int argc, char** argv,
+                                     const std::string& kernel_name);
+
+/** Print the usage banner. */
+void print_usage(const std::string& kernel_name);
+
+} // namespace gm::cli

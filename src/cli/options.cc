@@ -1,0 +1,130 @@
+#include "gm/cli/options.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace gm::cli
+{
+
+void
+print_usage(const std::string& kernel_name)
+{
+    std::cout
+        << "Usage: " << kernel_name << " [options]\n"
+        << "graph input (pick one):\n"
+        << "  -g <scale>   Kronecker (Graph500) graph, 2^scale vertices\n"
+        << "  -u <scale>   uniform random graph, 2^scale vertices\n"
+        << "  -T <scale>   Twitter-like directed power-law graph\n"
+        << "  -W <scale>   Web-crawl-like directed graph\n"
+        << "  -r <scale>   road-like grid, ~2^scale vertices\n"
+        << "  -f <path>    edge list file (\"u v\" per line)\n"
+        << "options:\n"
+        << "  -k <degree>  average degree for generators (default 16)\n"
+        << "  -s           symmetrize the input (force undirected)\n"
+        << "  -S <seed>    generator / source seed (default 27)\n"
+        << "  -n <trials>  number of timed trials (default 3)\n"
+        << "  -v           verify each result against the GAP oracles\n"
+        << "  -d <delta>   SSSP bucket width (default 64)\n"
+        << "  -i <iters>   PageRank max iterations (default 100)\n"
+        << "  -e <tol>     PageRank tolerance (default 1e-4)\n"
+        << "  -F <name>    framework: gap suitesparse galois nwgraph\n"
+        << "               graphit gkc (default gap)\n"
+        << "  -O           use the Optimized rule set (default Baseline)\n"
+        << "  -h           this help\n";
+}
+
+std::optional<Options>
+parse_options(int argc, char** argv, const std::string& kernel_name)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " requires a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+
+        if (arg == "-h" || arg == "--help") {
+            print_usage(kernel_name);
+            return std::nullopt;
+        } else if (arg == "-g" || arg == "-u" || arg == "-T" ||
+                   arg == "-W" || arg == "-r") {
+            const char* value = next_value(arg.c_str());
+            if (value == nullptr)
+                return std::nullopt;
+            opts.scale = std::atoi(value);
+            if (arg == "-g")
+                opts.source = GraphSource::kKronecker;
+            else if (arg == "-u")
+                opts.source = GraphSource::kUniform;
+            else if (arg == "-T")
+                opts.source = GraphSource::kTwitterLike;
+            else if (arg == "-W")
+                opts.source = GraphSource::kWebLike;
+            else
+                opts.source = GraphSource::kRoadLike;
+        } else if (arg == "-f") {
+            const char* value = next_value("-f");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.source = GraphSource::kFile;
+            opts.file_path = value;
+        } else if (arg == "-k") {
+            const char* value = next_value("-k");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.degree = std::atoi(value);
+        } else if (arg == "-s") {
+            opts.symmetrize = true;
+        } else if (arg == "-S") {
+            const char* value = next_value("-S");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.seed = static_cast<std::uint64_t>(std::atoll(value));
+        } else if (arg == "-n") {
+            const char* value = next_value("-n");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.trials = std::atoi(value);
+        } else if (arg == "-v") {
+            opts.verify = true;
+        } else if (arg == "-d") {
+            const char* value = next_value("-d");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.delta = static_cast<weight_t>(std::atoi(value));
+        } else if (arg == "-i") {
+            const char* value = next_value("-i");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.max_iters = std::atoi(value);
+        } else if (arg == "-e") {
+            const char* value = next_value("-e");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.tolerance = std::atof(value);
+        } else if (arg == "-F") {
+            const char* value = next_value("-F");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.framework = value;
+        } else if (arg == "-O") {
+            opts.optimized = true;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            print_usage(kernel_name);
+            return std::nullopt;
+        }
+    }
+    if (opts.trials < 1) {
+        std::cerr << "-n must be >= 1\n";
+        return std::nullopt;
+    }
+    return opts;
+}
+
+} // namespace gm::cli

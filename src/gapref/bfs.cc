@@ -1,0 +1,165 @@
+#include "gm/gapref/kernels.hh"
+
+#include <algorithm>
+
+#include "gm/par/atomics.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/support/bitmap.hh"
+#include "gm/support/sliding_queue.hh"
+
+namespace gm::gapref
+{
+
+namespace
+{
+
+/**
+ * One bottom-up (pull) step: every unvisited vertex scans its in-edges for a
+ * parent in the current frontier.  Returns the number of newly awakened
+ * vertices.
+ */
+std::int64_t
+bu_step(const CSRGraph& g, std::vector<vid_t>& parent, const Bitmap& front,
+        Bitmap& next)
+{
+    return par::parallel_reduce<vid_t, std::int64_t>(
+        0, g.num_vertices(), 0,
+        [&](vid_t v) -> std::int64_t {
+            if (parent[v] >= 0)
+                return 0;
+            for (vid_t u : g.in_neigh(v)) {
+                if (front.get_bit(static_cast<std::size_t>(u))) {
+                    parent[v] = u;
+                    next.set_bit_atomic(static_cast<std::size_t>(v));
+                    return 1;
+                }
+            }
+            return 0;
+        },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+}
+
+/**
+ * One top-down (push) step: frontier vertices claim their unvisited
+ * out-neighbors via CAS.  Returns the degree sum of the claimed vertices
+ * (the GAPBS "scout count" used by the direction switch).
+ */
+std::int64_t
+td_step(const CSRGraph& g, std::vector<vid_t>& parent,
+        SlidingQueue<vid_t>& queue)
+{
+    std::vector<std::int64_t> lane_scout(
+        static_cast<std::size_t>(par::num_threads()), 0);
+    const vid_t* frontier = queue.begin();
+    const std::size_t frontier_size = queue.size();
+    par::parallel_lanes([&](int lane, int lanes) {
+        QueueBuffer<vid_t> local(queue);
+        std::int64_t scout = 0;
+        // Dynamic interleave keeps hub-heavy frontiers balanced.
+        for (std::size_t i = lane; i < frontier_size;
+             i += static_cast<std::size_t>(lanes)) {
+            const vid_t u = frontier[i];
+            for (vid_t v : g.out_neigh(u)) {
+                vid_t curr = par::atomic_load(parent[v]);
+                if (curr < 0) {
+                    if (par::compare_and_swap(parent[v], curr, u)) {
+                        local.push_back(v);
+                        scout += -curr;
+                    }
+                }
+            }
+        }
+        local.flush();
+        lane_scout[static_cast<std::size_t>(lane)] = scout;
+    });
+    std::int64_t total = 0;
+    for (std::int64_t s : lane_scout)
+        total += s;
+    return total;
+}
+
+void
+queue_to_bitmap(const SlidingQueue<vid_t>& queue, Bitmap& bitmap)
+{
+    const vid_t* data = queue.begin();
+    const std::size_t size = queue.size();
+    par::parallel_for<std::size_t>(0, size, [&](std::size_t i) {
+        bitmap.set_bit_atomic(static_cast<std::size_t>(data[i]));
+    });
+}
+
+void
+bitmap_to_queue(const CSRGraph& g, const Bitmap& bitmap,
+                SlidingQueue<vid_t>& queue)
+{
+    par::parallel_lanes([&](int lane, int lanes) {
+        QueueBuffer<vid_t> local(queue);
+        const vid_t n = g.num_vertices();
+        const vid_t block = (n + lanes - 1) / lanes;
+        const vid_t lo = block * lane;
+        const vid_t hi = std::min<vid_t>(lo + block, n);
+        for (vid_t v = lo; v < hi; ++v)
+            if (bitmap.get_bit(static_cast<std::size_t>(v)))
+                local.push_back(v);
+        local.flush();
+    });
+    queue.slide_window();
+}
+
+} // namespace
+
+std::vector<vid_t>
+bfs(const CSRGraph& g, vid_t source, int alpha, int beta)
+{
+    const vid_t n = g.num_vertices();
+    // GAPBS trick: unvisited vertices hold -out_degree (or -1), so a
+    // successful top-down CAS also yields the scout contribution.
+    std::vector<vid_t> parent(static_cast<std::size_t>(n));
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+        const eid_t d = g.out_degree(v);
+        parent[v] = d != 0 ? static_cast<vid_t>(-d) : -1;
+    });
+    parent[source] = source;
+
+    SlidingQueue<vid_t> queue(static_cast<std::size_t>(n) + 1);
+    queue.push_back(source);
+    queue.slide_window();
+    Bitmap curr(static_cast<std::size_t>(n));
+    Bitmap front(static_cast<std::size_t>(n));
+    curr.reset();
+    front.reset();
+
+    std::int64_t edges_to_check = g.num_edges_directed();
+    std::int64_t scout_count = g.out_degree(source);
+
+    while (!queue.empty()) {
+        if (scout_count > edges_to_check / alpha) {
+            // Switch to bottom-up until the frontier shrinks again.
+            queue_to_bitmap(queue, front);
+            std::int64_t awake_count = queue.size();
+            std::int64_t old_awake_count;
+            do {
+                old_awake_count = awake_count;
+                curr.reset();
+                awake_count = bu_step(g, parent, front, curr);
+                front.swap(curr);
+            } while (awake_count >= old_awake_count ||
+                     awake_count > n / beta);
+            queue.reset();
+            bitmap_to_queue(g, front, queue);
+            scout_count = 1;
+        } else {
+            edges_to_check -= scout_count;
+            scout_count = td_step(g, parent, queue);
+            queue.slide_window();
+        }
+    }
+
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+        if (parent[v] < 0)
+            parent[v] = kInvalidVid;
+    });
+    return parent;
+}
+
+} // namespace gm::gapref

@@ -1,0 +1,99 @@
+#include "gm/gapref/kernels.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gm/par/atomics.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::gapref
+{
+
+namespace
+{
+
+/** Afforest hooking step (Sutton et al. / GAPBS Link). */
+void
+link(vid_t u, vid_t v, std::vector<vid_t>& comp)
+{
+    vid_t p1 = par::atomic_load(comp[u]);
+    vid_t p2 = par::atomic_load(comp[v]);
+    while (p1 != p2) {
+        const vid_t high = std::max(p1, p2);
+        const vid_t low = std::min(p1, p2);
+        const vid_t p_high = par::atomic_load(comp[high]);
+        if (p_high == low ||
+            (p_high == high && par::compare_and_swap(comp[high], high, low)))
+            break;
+        p1 = par::atomic_load(comp[par::atomic_load(comp[high])]);
+        p2 = par::atomic_load(comp[low]);
+    }
+}
+
+/** Full pointer-jumping compression. */
+void
+compress(std::vector<vid_t>& comp, vid_t n)
+{
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+        while (comp[v] != comp[comp[v]])
+            comp[v] = comp[comp[v]];
+    }, par::Schedule::kStatic);
+}
+
+/** Most frequent component id in a small random sample. */
+vid_t
+sample_frequent_element(const std::vector<vid_t>& comp, vid_t n,
+                        int num_samples = 1024)
+{
+    std::unordered_map<vid_t, int> counts;
+    Xoshiro256 rng(17);
+    for (int i = 0; i < num_samples; ++i)
+        ++counts[comp[static_cast<vid_t>(rng.next_bounded(n))]];
+    auto best = std::max_element(
+        counts.begin(), counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    return best->first;
+}
+
+} // namespace
+
+std::vector<vid_t>
+cc_afforest(const CSRGraph& g, int neighbor_rounds)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> comp(static_cast<std::size_t>(n));
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) { comp[v] = v; },
+                             par::Schedule::kStatic);
+
+    // Subgraph sampling: union along each vertex's first few neighbors.
+    for (int r = 0; r < neighbor_rounds; ++r) {
+        par::parallel_for<vid_t>(0, n, [&](vid_t u) {
+            const auto neigh = g.out_neigh(u);
+            if (static_cast<eid_t>(r) < static_cast<eid_t>(neigh.size()))
+                link(u, graph::target(neigh[r]), comp);
+        });
+        compress(comp, n);
+    }
+
+    // Skip the giant component; finish everything else exhaustively.
+    const vid_t giant = sample_frequent_element(comp, n);
+    par::parallel_for<vid_t>(0, n, [&](vid_t u) {
+        if (comp[u] == giant)
+            return;
+        const auto neigh = g.out_neigh(u);
+        for (std::size_t i = static_cast<std::size_t>(neighbor_rounds);
+             i < neigh.size(); ++i) {
+            link(u, graph::target(neigh[i]), comp);
+        }
+        if (g.is_directed()) {
+            // Weak connectivity also follows incoming edges.
+            for (vid_t v : g.in_neigh(u))
+                link(u, v, comp);
+        }
+    });
+    compress(comp, n);
+    return comp;
+}
+
+} // namespace gm::gapref

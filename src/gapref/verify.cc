@@ -1,0 +1,367 @@
+#include "gm/gapref/verify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+namespace gm::gapref
+{
+
+namespace
+{
+
+std::string
+fmt_error(const std::string& what)
+{
+    return what;
+}
+
+void
+set_error(std::string* error, const std::string& msg)
+{
+    if (error != nullptr)
+        *error = fmt_error(msg);
+}
+
+/** Binary search for @p needle in the sorted neighborhood of @p v. */
+bool
+has_edge(const CSRGraph& g, vid_t v, vid_t needle)
+{
+    const auto neigh = g.out_neigh(v);
+    return std::binary_search(neigh.begin(), neigh.end(), needle);
+}
+
+} // namespace
+
+std::vector<vid_t>
+serial_bfs_depths(const CSRGraph& g, vid_t source)
+{
+    std::vector<vid_t> depth(g.num_vertices(), kInvalidVid);
+    std::vector<vid_t> queue;
+    queue.push_back(source);
+    depth[source] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const vid_t v = queue[head];
+        for (vid_t u : g.out_neigh(v)) {
+            if (depth[u] == kInvalidVid) {
+                depth[u] = depth[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<weight_t>
+serial_dijkstra(const WCSRGraph& g, vid_t source)
+{
+    std::vector<weight_t> dist(g.num_vertices(), kInfWeight);
+    using Entry = std::pair<weight_t, vid_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        auto [d, v] = heap.top();
+        heap.pop();
+        if (d > dist[v])
+            continue;
+        for (const graph::WNode& wn : g.out_neigh(v)) {
+            const weight_t nd = d + wn.w;
+            if (nd < dist[wn.v]) {
+                dist[wn.v] = nd;
+                heap.push({nd, wn.v});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<vid_t>
+serial_components(const CSRGraph& g)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> parent(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v)
+        parent[v] = v;
+
+    auto find = [&](vid_t v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    auto unite = [&](vid_t a, vid_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (a > b)
+            std::swap(a, b);
+        parent[b] = a; // smaller id wins -> canonical labels
+    };
+
+    for (vid_t v = 0; v < n; ++v)
+        for (vid_t u : g.out_neigh(v))
+            unite(v, u);
+    // Weak connectivity: in-edges connect too (no-op for undirected).
+    if (g.is_directed()) {
+        for (vid_t v = 0; v < n; ++v)
+            for (vid_t u : g.in_neigh(v))
+                unite(v, u);
+    }
+    std::vector<vid_t> label(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v)
+        label[v] = find(v);
+    return label;
+}
+
+std::vector<score_t>
+serial_brandes(const CSRGraph& g, const std::vector<vid_t>& sources)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<score_t> scores(static_cast<std::size_t>(n), 0);
+    std::vector<double> sigma(static_cast<std::size_t>(n));
+    std::vector<double> delta(static_cast<std::size_t>(n));
+    std::vector<vid_t> depth(static_cast<std::size_t>(n));
+    std::vector<vid_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    for (vid_t s : sources) {
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        std::fill(depth.begin(), depth.end(), kInvalidVid);
+        order.clear();
+        sigma[s] = 1;
+        depth[s] = 0;
+        order.push_back(s);
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const vid_t v = order[head];
+            for (vid_t u : g.out_neigh(v)) {
+                if (depth[u] == kInvalidVid) {
+                    depth[u] = depth[v] + 1;
+                    order.push_back(u);
+                }
+                if (depth[u] == depth[v] + 1)
+                    sigma[u] += sigma[v];
+            }
+        }
+        for (std::size_t i = order.size(); i-- > 0;) {
+            const vid_t v = order[i];
+            for (vid_t u : g.out_neigh(v)) {
+                if (depth[u] == depth[v] + 1)
+                    delta[v] += (sigma[v] / sigma[u]) * (1 + delta[u]);
+            }
+            if (v != s)
+                scores[v] += delta[v];
+        }
+    }
+    const score_t biggest = *std::max_element(scores.begin(), scores.end());
+    if (biggest > 0)
+        for (auto& s : scores)
+            s /= biggest;
+    return scores;
+}
+
+std::uint64_t
+serial_tc(const CSRGraph& g)
+{
+    // Independent method: count each triangle at its smallest vertex by
+    // hash-set membership, rather than the kernels' sorted-merge rank trick.
+    std::uint64_t total = 0;
+    const vid_t n = g.num_vertices();
+    std::vector<char> marked(static_cast<std::size_t>(n), 0);
+    for (vid_t u = 0; u < n; ++u) {
+        for (vid_t v : g.out_neigh(u))
+            marked[v] = 1;
+        for (vid_t v : g.out_neigh(u)) {
+            if (v >= u)
+                continue;
+            for (vid_t w : g.out_neigh(v)) {
+                if (w >= v)
+                    continue;
+                if (marked[w])
+                    ++total;
+            }
+        }
+        for (vid_t v : g.out_neigh(u))
+            marked[v] = 0;
+    }
+    return total;
+}
+
+bool
+verify_bfs(const CSRGraph& g, vid_t source, const std::vector<vid_t>& parent,
+           std::string* error)
+{
+    if (parent.size() != static_cast<std::size_t>(g.num_vertices())) {
+        set_error(error, "bfs: result size mismatch");
+        return false;
+    }
+    const std::vector<vid_t> depth = serial_bfs_depths(g, source);
+    if (parent[source] != source) {
+        set_error(error, "bfs: source is not its own parent");
+        return false;
+    }
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const bool reachable = depth[v] != kInvalidVid;
+        const bool claimed = parent[v] != kInvalidVid;
+        if (reachable != claimed) {
+            std::ostringstream os;
+            os << "bfs: vertex " << v << " reachability mismatch (depth "
+               << depth[v] << ", parent " << parent[v] << ")";
+            set_error(error, os.str());
+            return false;
+        }
+        if (!reachable || v == source)
+            continue;
+        const vid_t p = parent[v];
+        if (!has_edge(g, p, v)) {
+            std::ostringstream os;
+            os << "bfs: claimed parent edge " << p << "->" << v
+               << " does not exist";
+            set_error(error, os.str());
+            return false;
+        }
+        if (depth[v] != depth[p] + 1) {
+            std::ostringstream os;
+            os << "bfs: vertex " << v << " parent " << p
+               << " is not one level shallower";
+            set_error(error, os.str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+verify_sssp(const WCSRGraph& g, vid_t source,
+            const std::vector<weight_t>& dist, std::string* error)
+{
+    if (dist.size() != static_cast<std::size_t>(g.num_vertices())) {
+        set_error(error, "sssp: result size mismatch");
+        return false;
+    }
+    const std::vector<weight_t> oracle = serial_dijkstra(g, source);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (dist[v] != oracle[v]) {
+            std::ostringstream os;
+            os << "sssp: vertex " << v << " distance " << dist[v]
+               << " != oracle " << oracle[v];
+            set_error(error, os.str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+verify_pagerank(const CSRGraph& g, const std::vector<score_t>& scores,
+                double damping, double tolerance, std::string* error)
+{
+    const vid_t n = g.num_vertices();
+    if (scores.size() != static_cast<std::size_t>(n)) {
+        set_error(error, "pagerank: result size mismatch");
+        return false;
+    }
+    const score_t base_score = (1.0 - damping) / n;
+    std::vector<score_t> contrib(static_cast<std::size_t>(n));
+    for (vid_t v = 0; v < n; ++v) {
+        const eid_t d = g.out_degree(v);
+        contrib[v] = d > 0 ? scores[v] / d : 0;
+    }
+    double residual = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        score_t incoming = 0;
+        for (vid_t u : g.in_neigh(v))
+            incoming += contrib[u];
+        residual += std::fabs(base_score + damping * incoming - scores[v]);
+    }
+    // A converged Jacobi or Gauss-Seidel fixed point both satisfy this.
+    if (residual > 10 * tolerance) {
+        std::ostringstream os;
+        os << "pagerank: residual " << residual << " exceeds "
+           << 10 * tolerance;
+        set_error(error, os.str());
+        return false;
+    }
+    return true;
+}
+
+bool
+verify_cc(const CSRGraph& g, const std::vector<vid_t>& comp,
+          std::string* error)
+{
+    const vid_t n = g.num_vertices();
+    if (comp.size() != static_cast<std::size_t>(n)) {
+        set_error(error, "cc: result size mismatch");
+        return false;
+    }
+    for (vid_t v = 0; v < n; ++v) {
+        for (vid_t u : g.out_neigh(v)) {
+            if (comp[v] != comp[u]) {
+                std::ostringstream os;
+                os << "cc: edge " << v << "->" << u
+                   << " crosses labels " << comp[v] << "/" << comp[u];
+                set_error(error, os.str());
+                return false;
+            }
+        }
+    }
+    const std::vector<vid_t> oracle = serial_components(g);
+    std::vector<vid_t> seen_labels(comp.begin(), comp.end());
+    std::sort(seen_labels.begin(), seen_labels.end());
+    seen_labels.erase(std::unique(seen_labels.begin(), seen_labels.end()),
+                      seen_labels.end());
+    std::vector<vid_t> oracle_labels(oracle.begin(), oracle.end());
+    std::sort(oracle_labels.begin(), oracle_labels.end());
+    oracle_labels.erase(
+        std::unique(oracle_labels.begin(), oracle_labels.end()),
+        oracle_labels.end());
+    if (seen_labels.size() != oracle_labels.size()) {
+        std::ostringstream os;
+        os << "cc: " << seen_labels.size() << " labels but "
+           << oracle_labels.size() << " true components";
+        set_error(error, os.str());
+        return false;
+    }
+    return true;
+}
+
+bool
+verify_bc(const CSRGraph& g, const std::vector<vid_t>& sources,
+          const std::vector<score_t>& scores, std::string* error)
+{
+    if (scores.size() != static_cast<std::size_t>(g.num_vertices())) {
+        set_error(error, "bc: result size mismatch");
+        return false;
+    }
+    const std::vector<score_t> oracle = serial_brandes(g, sources);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const double diff = std::fabs(scores[v] - oracle[v]);
+        if (diff > 1e-6 * std::max(1.0, std::fabs(oracle[v]))) {
+            std::ostringstream os;
+            os << "bc: vertex " << v << " score " << scores[v]
+               << " != oracle " << oracle[v];
+            set_error(error, os.str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+verify_tc(const CSRGraph& g, std::uint64_t count, std::string* error)
+{
+    const std::uint64_t oracle = serial_tc(g);
+    if (count != oracle) {
+        std::ostringstream os;
+        os << "tc: count " << count << " != oracle " << oracle;
+        set_error(error, os.str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace gm::gapref

@@ -1,0 +1,174 @@
+#include "gm/graph/generators.hh"
+
+#include <algorithm>
+
+#include "gm/graph/builder.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::graph
+{
+
+namespace
+{
+
+/** Fill [lo, hi) of @p edges in parallel with per-range seeded RNGs. */
+template <typename Fn>
+void
+fill_edges_parallel(EdgeList& edges, std::uint64_t seed, Fn&& make_edge)
+{
+    par::parallel_blocks<std::size_t>(
+        0, edges.size(), [&](int, std::size_t lo, std::size_t hi) {
+            Xoshiro256 rng(seed ^ (0xabcdef12345ULL + lo * 0x9e3779b9ULL));
+            for (std::size_t i = lo; i < hi; ++i)
+                edges[i] = make_edge(rng);
+        });
+}
+
+} // namespace
+
+CSRGraph
+make_uniform(int scale, int degree, std::uint64_t seed)
+{
+    const vid_t n = vid_t{1} << scale;
+    const eid_t m = static_cast<eid_t>(n) * degree / 2;
+    EdgeList edges(static_cast<std::size_t>(m));
+    fill_edges_parallel(edges, seed, [&](Xoshiro256& rng) {
+        return Edge{static_cast<vid_t>(rng.next_bounded(n)),
+                    static_cast<vid_t>(rng.next_bounded(n))};
+    });
+    return build_graph(edges, n, /*directed=*/false);
+}
+
+EdgeList
+rmat_edges(int scale, eid_t num_edges, double a, double b, double c,
+           std::uint64_t seed)
+{
+    EdgeList edges(static_cast<std::size_t>(num_edges));
+    fill_edges_parallel(edges, seed, [&](Xoshiro256& rng) {
+        vid_t u = 0;
+        vid_t v = 0;
+        for (int bit = scale - 1; bit >= 0; --bit) {
+            const double r = rng.next_double();
+            if (r < a) {
+                // upper-left: nothing to add
+            } else if (r < a + b) {
+                v |= vid_t{1} << bit;
+            } else if (r < a + b + c) {
+                u |= vid_t{1} << bit;
+            } else {
+                u |= vid_t{1} << bit;
+                v |= vid_t{1} << bit;
+            }
+        }
+        return Edge{u, v};
+    });
+    return edges;
+}
+
+CSRGraph
+make_kronecker(int scale, int degree, std::uint64_t seed)
+{
+    const vid_t n = vid_t{1} << scale;
+    const eid_t m = static_cast<eid_t>(n) * degree / 2;
+    EdgeList edges = rmat_edges(scale, m, 0.57, 0.19, 0.19, seed);
+    return build_graph(edges, n, /*directed=*/false);
+}
+
+CSRGraph
+make_twitter_like(int scale, int degree, std::uint64_t seed)
+{
+    const vid_t n = vid_t{1} << scale;
+    const eid_t m = static_cast<eid_t>(n) * degree;
+    // Heavier skew than Graph500 Kronecker: follower counts are extremely
+    // top-heavy, so push more mass into the first row/column of the RMAT
+    // recursion.
+    EdgeList edges = rmat_edges(scale, m, 0.50, 0.23, 0.19, seed);
+    return build_graph(edges, n, /*directed=*/true);
+}
+
+CSRGraph
+make_web_like(int scale, int degree, std::uint64_t seed)
+{
+    // Copying model (Kumar et al. style): each new page either copies the
+    // out-links of a prototype page or links uniformly at random.  A small
+    // fraction of pages form chains, which stretches the effective diameter
+    // the way deep site hierarchies do in real crawls.
+    const vid_t n = vid_t{1} << scale;
+    EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(n) * degree);
+    std::vector<eid_t> first_edge(static_cast<std::size_t>(n) + 1, 0);
+    Xoshiro256 rng(seed);
+
+    constexpr double kCopyProb = 0.7;
+    constexpr double kChainProb = 0.02;
+    const vid_t warmup = std::min<vid_t>(n, 8);
+
+    for (vid_t v = 0; v < n; ++v) {
+        first_edge[v] = static_cast<eid_t>(edges.size());
+        if (v < warmup) {
+            for (vid_t u = 0; u < v; ++u)
+                edges.push_back({v, u});
+            continue;
+        }
+        if (rng.next_double() < kChainProb) {
+            edges.push_back({v, v - 1});
+            continue;
+        }
+        const vid_t proto = static_cast<vid_t>(rng.next_bounded(v));
+        const eid_t proto_lo = first_edge[proto];
+        const eid_t proto_hi = first_edge[proto + 1];
+        const eid_t proto_deg = proto_hi - proto_lo;
+        for (int k = 0; k < degree; ++k) {
+            if (proto_deg > 0 && rng.next_double() < kCopyProb) {
+                const eid_t pick =
+                    proto_lo + static_cast<eid_t>(rng.next_bounded(
+                                   static_cast<std::uint64_t>(proto_deg)));
+                edges.push_back({v, edges[pick].v});
+            } else {
+                edges.push_back({v, static_cast<vid_t>(rng.next_bounded(v))});
+            }
+        }
+    }
+    first_edge[n] = static_cast<eid_t>(edges.size());
+    return build_graph(edges, n, /*directed=*/true);
+}
+
+CSRGraph
+make_road_like(vid_t rows, vid_t cols, std::uint64_t seed)
+{
+    const vid_t n = rows * cols;
+    EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(n) * 3);
+    Xoshiro256 rng(seed);
+
+    constexpr double kSegmentProb = 0.97; // road segment exists
+    constexpr double kOneWayProb = 0.05;  // segment is one-way
+
+    auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+    auto add_segment = [&](vid_t x, vid_t y) {
+        if (rng.next_double() >= kSegmentProb)
+            return;
+        if (rng.next_double() < kOneWayProb) {
+            if (rng.next_double() < 0.5)
+                edges.push_back({x, y});
+            else
+                edges.push_back({y, x});
+        } else {
+            edges.push_back({x, y});
+            edges.push_back({y, x});
+        }
+    };
+
+    for (vid_t r = 0; r < rows; ++r) {
+        for (vid_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                add_segment(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                add_segment(id(r, c), id(r + 1, c));
+        }
+    }
+    return build_graph(edges, n, /*directed=*/true);
+}
+
+} // namespace gm::graph

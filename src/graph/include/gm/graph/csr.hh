@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Compressed-sparse-row graph, the shared in-memory representation.
+ *
+ * Mirrors the GAP benchmark's CSRGraph: out-edges always present; in-edges
+ * present for directed graphs (the GAP rules allow storing both forms, and
+ * transposition is not timed).  Undirected graphs store each edge in both
+ * directions in the out-arrays and alias the in-arrays to them.
+ *
+ * The destination type is a template parameter so the same structure serves
+ * unweighted graphs (DestT = vid_t) and weighted graphs (DestT = WNode).
+ */
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gm/support/log.hh"
+#include "gm/support/types.hh"
+
+namespace gm::graph
+{
+
+/** Weighted CSR destination: target vertex plus edge weight. */
+struct WNode
+{
+    vid_t v;
+    weight_t w;
+
+    friend bool operator==(const WNode&, const WNode&) = default;
+};
+
+/** Target vertex of a CSR destination entry. */
+inline vid_t target(vid_t dest) { return dest; }
+/** @copydoc target(vid_t) */
+inline vid_t target(const WNode& dest) { return dest.v; }
+
+/** Weight of a CSR destination entry (1 for unweighted graphs). */
+inline weight_t edge_weight(vid_t) { return 1; }
+/** @copydoc edge_weight(vid_t) */
+inline weight_t edge_weight(const WNode& dest) { return dest.w; }
+
+/** Ordering by target vertex, used to sort adjacency lists. */
+inline bool dest_less(vid_t a, vid_t b) { return a < b; }
+/** @copydoc dest_less(vid_t,vid_t) */
+inline bool
+dest_less(const WNode& a, const WNode& b)
+{
+    return a.v < b.v || (a.v == b.v && a.w < b.w);
+}
+
+/** CSR graph over destination type @p DestT. */
+template <typename DestT>
+class CSRGraphT
+{
+  public:
+    using dest_type = DestT;
+
+    CSRGraphT() = default;
+
+    /**
+     * Assemble from prebuilt arrays.  For undirected graphs pass empty
+     * in-arrays; accessors then alias the out-arrays.
+     */
+    CSRGraphT(vid_t num_vertices, bool directed, std::vector<eid_t> out_off,
+              std::vector<DestT> out_nbr, std::vector<eid_t> in_off = {},
+              std::vector<DestT> in_nbr = {})
+        : num_vertices_(num_vertices),
+          directed_(directed),
+          out_off_(std::move(out_off)),
+          out_nbr_(std::move(out_nbr)),
+          in_off_(std::move(in_off)),
+          in_nbr_(std::move(in_nbr))
+    {
+        GM_ASSERT(out_off_.size() ==
+                      static_cast<std::size_t>(num_vertices_) + 1,
+                  "offset array size mismatch");
+        GM_ASSERT(directed_ || in_off_.empty(),
+                  "undirected graphs alias in-edges to out-edges");
+    }
+
+    /** Number of vertices. */
+    vid_t num_vertices() const { return num_vertices_; }
+
+    /** Stored (directed) edge count. */
+    eid_t num_edges_directed() const
+    {
+        return static_cast<eid_t>(out_nbr_.size());
+    }
+
+    /** Logical edge count: undirected edges counted once. */
+    eid_t
+    num_edges() const
+    {
+        return directed_ ? num_edges_directed() : num_edges_directed() / 2;
+    }
+
+    /** True when the graph is directed. */
+    bool is_directed() const { return directed_; }
+
+    /** Out-degree of @p v. */
+    eid_t out_degree(vid_t v) const { return out_off_[v + 1] - out_off_[v]; }
+
+    /** In-degree of @p v (== out-degree for undirected graphs). */
+    eid_t
+    in_degree(vid_t v) const
+    {
+        if (!directed_)
+            return out_degree(v);
+        return in_off_[v + 1] - in_off_[v];
+    }
+
+    /** Out-neighborhood of @p v. */
+    std::span<const DestT>
+    out_neigh(vid_t v) const
+    {
+        return {out_nbr_.data() + out_off_[v],
+                static_cast<std::size_t>(out_degree(v))};
+    }
+
+    /** In-neighborhood of @p v (aliases out_neigh for undirected graphs). */
+    std::span<const DestT>
+    in_neigh(vid_t v) const
+    {
+        if (!directed_)
+            return out_neigh(v);
+        return {in_nbr_.data() + in_off_[v],
+                static_cast<std::size_t>(in_degree(v))};
+    }
+
+    /** Raw out-offset array (size num_vertices()+1). */
+    const std::vector<eid_t>& out_offsets() const { return out_off_; }
+    /** Raw out-destination array. */
+    const std::vector<DestT>& out_destinations() const { return out_nbr_; }
+    /** Raw in-offset array (empty for undirected graphs). */
+    const std::vector<eid_t>&
+    in_offsets() const
+    {
+        return directed_ ? in_off_ : out_off_;
+    }
+    /** Raw in-destination array (aliases out for undirected graphs). */
+    const std::vector<DestT>&
+    in_destinations() const
+    {
+        return directed_ ? in_nbr_ : out_nbr_;
+    }
+
+  private:
+    vid_t num_vertices_ = 0;
+    bool directed_ = false;
+    std::vector<eid_t> out_off_{0};
+    std::vector<DestT> out_nbr_;
+    std::vector<eid_t> in_off_;
+    std::vector<DestT> in_nbr_;
+};
+
+/** Unweighted CSR graph. */
+using CSRGraph = CSRGraphT<vid_t>;
+/** Weighted CSR graph. */
+using WCSRGraph = CSRGraphT<WNode>;
+
+} // namespace gm::graph

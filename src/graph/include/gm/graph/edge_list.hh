@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Edge-list types: the interchange format between generators, file IO, and
+ * the CSR builder.
+ */
+#pragma once
+
+#include <vector>
+
+#include "gm/support/types.hh"
+
+namespace gm::graph
+{
+
+/** Unweighted directed edge u -> v. */
+struct Edge
+{
+    vid_t u;
+    vid_t v;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/** Weighted directed edge u -> v with weight w. */
+struct WEdge
+{
+    vid_t u;
+    vid_t v;
+    weight_t w;
+
+    friend bool operator==(const WEdge&, const WEdge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+using WEdgeList = std::vector<WEdge>;
+
+} // namespace gm::graph

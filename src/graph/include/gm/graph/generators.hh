@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Synthetic generators for the five GAP input-graph topology classes.
+ *
+ * The real GAP graphs are 24M–134M-vertex downloads; this repository
+ * generates laptop-scale analogues that preserve each graph's *topological
+ * class* (directedness, degree distribution, relative diameter) — see the
+ * substitution table in DESIGN.md.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "gm/graph/csr.hh"
+#include "gm/graph/edge_list.hh"
+
+namespace gm::graph
+{
+
+/** Erdős–Rényi-style uniform random graph ("Urand" class).
+ *  n = 2^scale vertices, average degree @p degree, undirected. */
+CSRGraph make_uniform(int scale, int degree, std::uint64_t seed);
+
+/** Graph500 Kronecker graph ("Kron" class): A/B/C = 0.57/0.19/0.19,
+ *  n = 2^scale vertices, edgefactor = @p degree / 2, undirected. */
+CSRGraph make_kronecker(int scale, int degree, std::uint64_t seed);
+
+/** Generic RMAT generator; @p a + @p b + @p c <= 1. */
+EdgeList rmat_edges(int scale, eid_t num_edges, double a, double b, double c,
+                    std::uint64_t seed);
+
+/** Twitter-follow-style graph: directed, power-law, low diameter. */
+CSRGraph make_twitter_like(int scale, int degree, std::uint64_t seed);
+
+/** Web-crawl-style graph: directed, power-law in-degree via a copying
+ *  model, with occasional page chains that stretch the diameter. */
+CSRGraph make_web_like(int scale, int degree, std::uint64_t seed);
+
+/** Road-network-style graph: directed near-planar grid with mostly two-way
+ *  segments, bounded degree, very high diameter. */
+CSRGraph make_road_like(vid_t rows, vid_t cols, std::uint64_t seed);
+
+} // namespace gm::graph

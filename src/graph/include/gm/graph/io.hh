@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Graph file IO: GAP-style text edge lists (.el / .wel) and a fast binary
+ * CSR serialization (.gmg) for benchmark caching.
+ */
+#pragma once
+
+#include <string>
+
+#include "gm/graph/csr.hh"
+#include "gm/graph/edge_list.hh"
+
+namespace gm::graph
+{
+
+/** Read a whitespace-separated "u v" edge list; ids define the vertex
+ *  count (max id + 1). */
+EdgeList read_edge_list(const std::string& path, vid_t* num_vertices);
+
+/** Read a "u v w" weighted edge list. */
+WEdgeList read_weighted_edge_list(const std::string& path,
+                                  vid_t* num_vertices);
+
+/** Write "u v" lines for all stored (directed) edges. */
+void write_edge_list(const CSRGraph& graph, const std::string& path);
+
+/** Serialize a CSR graph to a binary .gmg file. */
+void save_binary(const CSRGraph& graph, const std::string& path);
+
+/** Load a CSR graph from a binary .gmg file. */
+CSRGraph load_binary(const std::string& path);
+
+} // namespace gm::graph

@@ -1,0 +1,140 @@
+#include "gm/graph/io.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "gm/support/log.hh"
+
+namespace gm::graph
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x474d475248UL; // "GMGRH"
+
+template <typename T>
+void
+write_vec(std::ofstream& out, const std::vector<T>& v)
+{
+    const std::uint64_t size = v.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(size * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+read_vec(std::ifstream& in)
+{
+    std::uint64_t size = 0;
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    std::vector<T> v(size);
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    return v;
+}
+
+} // namespace
+
+EdgeList
+read_edge_list(const std::string& path, vid_t* num_vertices)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list: " + path);
+    EdgeList edges;
+    vid_t max_id = -1;
+    long long u = 0;
+    long long v = 0;
+    while (in >> u >> v) {
+        edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v)});
+        max_id = std::max({max_id, static_cast<vid_t>(u),
+                           static_cast<vid_t>(v)});
+    }
+    if (num_vertices != nullptr)
+        *num_vertices = max_id + 1;
+    return edges;
+}
+
+WEdgeList
+read_weighted_edge_list(const std::string& path, vid_t* num_vertices)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open weighted edge list: " + path);
+    WEdgeList edges;
+    vid_t max_id = -1;
+    long long u = 0;
+    long long v = 0;
+    long long w = 0;
+    while (in >> u >> v >> w) {
+        edges.push_back({static_cast<vid_t>(u), static_cast<vid_t>(v),
+                         static_cast<weight_t>(w)});
+        max_id = std::max({max_id, static_cast<vid_t>(u),
+                           static_cast<vid_t>(v)});
+    }
+    if (num_vertices != nullptr)
+        *num_vertices = max_id + 1;
+    return edges;
+}
+
+void
+write_edge_list(const CSRGraph& graph, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write edge list: " + path);
+    for (vid_t v = 0; v < graph.num_vertices(); ++v)
+        for (vid_t u : graph.out_neigh(v))
+            out << v << " " << u << "\n";
+}
+
+void
+save_binary(const CSRGraph& graph, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write binary graph: " + path);
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    const std::int64_t n = graph.num_vertices();
+    const std::int8_t directed = graph.is_directed() ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(&directed), sizeof(directed));
+    write_vec(out, graph.out_offsets());
+    write_vec(out, graph.out_destinations());
+    if (graph.is_directed()) {
+        write_vec(out, graph.in_offsets());
+        write_vec(out, graph.in_destinations());
+    }
+}
+
+CSRGraph
+load_binary(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open binary graph: " + path);
+    std::uint64_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (magic != kMagic)
+        fatal("bad magic in binary graph: " + path);
+    std::int64_t n = 0;
+    std::int8_t directed = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    in.read(reinterpret_cast<char*>(&directed), sizeof(directed));
+    auto out_off = read_vec<eid_t>(in);
+    auto out_nbr = read_vec<vid_t>(in);
+    if (directed != 0) {
+        auto in_off = read_vec<eid_t>(in);
+        auto in_nbr = read_vec<vid_t>(in);
+        return CSRGraph(static_cast<vid_t>(n), true, std::move(out_off),
+                        std::move(out_nbr), std::move(in_off),
+                        std::move(in_nbr));
+    }
+    return CSRGraph(static_cast<vid_t>(n), false, std::move(out_off),
+                    std::move(out_nbr));
+}
+
+} // namespace gm::graph

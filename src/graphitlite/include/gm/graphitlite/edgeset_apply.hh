@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The edgeset_apply engine: one traversal loop, many schedules.
+ *
+ * This is the library analogue of GraphIt's generated edge-traversal code:
+ * the algorithm supplies an update function (and an optional target filter),
+ * the Schedule decides push vs pull vs direction-optimizing, the frontier
+ * representation, and deduplication.  Atomicity inside the update function
+ * is the algorithm's responsibility (GraphIt inserts atomics by dependence
+ * analysis; here the kernels are written with the atomics already in place).
+ */
+#pragma once
+
+#include <mutex>
+
+#include "gm/graph/csr.hh"
+#include "gm/graphitlite/schedule.hh"
+#include "gm/graphitlite/vertex_subset.hh"
+#include "gm/par/parallel_for.hh"
+
+namespace gm::graphitlite
+{
+
+/**
+ * Apply @p update over all edges leaving @p frontier, producing the next
+ * frontier.
+ *
+ * @param update update(src, dst) -> bool: true when dst becomes active.
+ * @param cond   cond(dst) -> bool: pull-side filter (e.g. "not visited");
+ *               also used to skip work in push mode.
+ * @param pull_early_exit In pull mode, stop scanning a vertex's in-edges
+ *               after the first successful update (BFS-style).
+ */
+template <typename UpdateFn, typename CondFn>
+VertexSubset
+edgeset_apply(const graph::CSRGraph& g, VertexSubset& frontier,
+              const Schedule& sched, UpdateFn&& update, CondFn&& cond,
+              bool pull_early_exit = false, bool reverse = false)
+{
+    // In reverse mode the roles of the edge directions swap (used to
+    // propagate along in-edges, e.g. weak components on directed graphs).
+    auto fwd_neigh = [&](vid_t v) {
+        return reverse ? g.in_neigh(v) : g.out_neigh(v);
+    };
+    auto bwd_neigh = [&](vid_t v) {
+        return reverse ? g.out_neigh(v) : g.in_neigh(v);
+    };
+    const vid_t n = g.num_vertices();
+    VertexSubset next(n);
+
+    bool use_pull = sched.direction == Direction::kPull;
+    if (sched.direction == Direction::kDirOpt)
+        use_pull = frontier.size() > static_cast<std::size_t>(n) / 20;
+
+    if (use_pull) {
+        // Pull: every candidate vertex scans its in-edges for frontier
+        // members.  Requires the frontier bitvector.
+        next.mark_bitmap_only();
+        par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+            if (!cond(v))
+                return;
+            for (vid_t u : bwd_neigh(v)) {
+                if (!frontier.contains(u))
+                    continue;
+                if (update(u, v)) {
+                    next.add_atomic(v);
+                    if (pull_early_exit)
+                        return;
+                }
+            }
+        }, par::Schedule::kDynamic, vid_t{256});
+        return next;
+    }
+
+    // Push: frontier members scatter along out-edges.
+    frontier.materialize_sparse(); // O(n) when coming from a bitmap round
+    const auto& members = frontier.sparse();
+    next.mark_bitmap_only();
+    std::vector<vid_t> collected;
+    std::mutex collected_mutex;
+    const bool want_sparse = sched.frontier == FrontierRep::kSparse;
+
+    par::parallel_blocks<std::size_t>(
+        0, members.size(), [&](int, std::size_t lo, std::size_t hi) {
+            std::vector<vid_t> local;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const vid_t u = members[i];
+                for (vid_t v : fwd_neigh(u)) {
+                    if (!cond(v))
+                        continue;
+                    if (update(u, v)) {
+                        if (sched.dedup) {
+                            if (next.add_atomic(v))
+                                local.push_back(v);
+                        } else {
+                            next.add_atomic(v);
+                            local.push_back(v);
+                        }
+                    }
+                }
+            }
+            if (want_sparse && !local.empty()) {
+                std::lock_guard<std::mutex> lock(collected_mutex);
+                collected.insert(collected.end(), local.begin(),
+                                 local.end());
+            }
+        });
+
+    if (want_sparse)
+        next.adopt_sparse(std::move(collected));
+    return next;
+}
+
+} // namespace gm::graphitlite

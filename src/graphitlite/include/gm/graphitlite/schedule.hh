@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The GraphIt-style scheduling language, reified as a runtime object.
+ *
+ * GraphIt's core idea is decoupling the algorithm from its optimization
+ * strategy: the same kernel text runs under different Schedules.  This
+ * library mirrors that: every kernel takes a Schedule selecting traversal
+ * direction, frontier representation, deduplication, cache tiling, and
+ * bucket fusion.  The harness's Baseline mode uses one fixed schedule per
+ * kernel; Optimized mode swaps in per-graph specialized schedules, exactly
+ * the distinction the paper draws for GraphIt.
+ */
+#pragma once
+
+namespace gm::graphitlite
+{
+
+/** Edge-traversal direction. */
+enum class Direction
+{
+    kPush,       ///< sparse frontier pushes along out-edges
+    kPull,       ///< all unvisited vertices pull along in-edges
+    kDirOpt,     ///< switch between push and pull by frontier density
+};
+
+/** Frontier data-structure choice. */
+enum class FrontierRep
+{
+    kSparse,     ///< compact vertex list
+    kBitvector,  ///< dense bit per vertex
+};
+
+/** A schedule: the optimization half of a GraphIt program. */
+struct Schedule
+{
+    Direction direction = Direction::kDirOpt;
+    FrontierRep frontier = FrontierRep::kSparse;
+    /** Deduplicate frontier insertions (atomic claim per vertex). */
+    bool dedup = true;
+    /** PR cache tiling: number of source segments (1 = untiled). */
+    int num_segments = 1;
+    /** SSSP bucket fusion (the optimization GraphIt contributed to GAP). */
+    bool bucket_fusion = true;
+    /** CC label propagation: pointer-jump short-circuiting each round. */
+    bool short_circuit = false;
+
+    /** Default baseline schedule. */
+    static Schedule
+    baseline()
+    {
+        return {};
+    }
+};
+
+} // namespace gm::graphitlite

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * GraphIt-style vertex subset with dual sparse / bitvector representation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "gm/support/bitmap.hh"
+#include "gm/support/types.hh"
+
+namespace gm::graphitlite
+{
+
+/** A set of vertices; keeps a sparse list, a bitvector, or both. */
+class VertexSubset
+{
+  public:
+    explicit VertexSubset(vid_t n)
+        : n_(n), bitmap_(static_cast<std::size_t>(n))
+    {
+        bitmap_.reset();
+    }
+
+    /** Universe size. */
+    vid_t universe() const { return n_; }
+
+    /** Number of member vertices. */
+    std::size_t
+    size() const
+    {
+        return sparse_valid_ ? sparse_.size() : bitmap_.count();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Membership test (requires the bitvector to be valid). */
+    bool
+    contains(vid_t v) const
+    {
+        return bitmap_.get_bit(static_cast<std::size_t>(v));
+    }
+
+    /** Add a vertex (single-threaded building). */
+    void
+    add(vid_t v)
+    {
+        bitmap_.set_bit(static_cast<std::size_t>(v));
+        if (sparse_valid_)
+            sparse_.push_back(v);
+    }
+
+    /** Atomically add; true when this call inserted it (dedup). */
+    bool
+    add_atomic(vid_t v)
+    {
+        return bitmap_.set_bit_atomic_and_test(static_cast<std::size_t>(v));
+    }
+
+    /** Sparse member list; call materialize_sparse() first if needed. */
+    const std::vector<vid_t>& sparse() const { return sparse_; }
+
+    /** True when the sparse list is in sync. */
+    bool sparse_valid() const { return sparse_valid_; }
+
+    /** Rebuild the sparse list from the bitvector (O(n) scan). */
+    void
+    materialize_sparse()
+    {
+        if (sparse_valid_)
+            return;
+        sparse_.clear();
+        bitmap_.for_each_set(
+            [&](std::size_t v) { sparse_.push_back(static_cast<vid_t>(v)); });
+        sparse_valid_ = true;
+    }
+
+    /** Invalidate the sparse list (after parallel bitmap inserts). */
+    void mark_bitmap_only() { sparse_valid_ = false; }
+
+    /** Install an externally collected sparse list (entries must already be
+     *  set in the bitvector; duplicates allowed only when dedup is off). */
+    void
+    adopt_sparse(std::vector<vid_t>&& members)
+    {
+        sparse_ = std::move(members);
+        sparse_valid_ = true;
+    }
+
+    /** Remove everything. */
+    void
+    clear()
+    {
+        bitmap_.reset();
+        sparse_.clear();
+        sparse_valid_ = true;
+    }
+
+    /** The bitvector itself. */
+    const Bitmap& bitmap() const { return bitmap_; }
+
+  private:
+    vid_t n_;
+    Bitmap bitmap_;
+    std::vector<vid_t> sparse_;
+    bool sparse_valid_ = true;
+};
+
+} // namespace gm::graphitlite

@@ -1,0 +1,461 @@
+#include "gm/graphitlite/kernels.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "gm/graph/builder.hh"
+#include "gm/graph/stats.hh"
+#include "gm/graphitlite/edgeset_apply.hh"
+#include "gm/graphitlite/vertex_subset.hh"
+#include "gm/par/atomics.hh"
+#include "gm/par/barrier.hh"
+#include "gm/par/parallel_for.hh"
+
+namespace gm::graphitlite
+{
+
+// ---------------------------------------------------------------- BFS ----
+
+std::vector<vid_t>
+bfs(const CSRGraph& g, vid_t source, const Schedule& sched)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> parent(static_cast<std::size_t>(n), kInvalidVid);
+    parent[source] = source;
+
+    VertexSubset frontier(n);
+    frontier.add(source);
+    while (!frontier.empty()) {
+        VertexSubset next = edgeset_apply(
+            g, frontier, sched,
+            [&](vid_t u, vid_t v) {
+                return par::compare_and_swap(parent[v], kInvalidVid, u);
+            },
+            [&](vid_t v) {
+                return par::atomic_load(parent[v]) == kInvalidVid;
+            },
+            /*pull_early_exit=*/true);
+        frontier = std::move(next);
+    }
+    return parent;
+}
+
+// --------------------------------------------------------------- SSSP ----
+
+std::vector<weight_t>
+sssp(const WCSRGraph& g, vid_t source, weight_t delta, const Schedule& sched)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<weight_t> dist(static_cast<std::size_t>(n), kInfWeight);
+    dist[source] = 0;
+
+    constexpr std::size_t kMaxBin =
+        std::numeric_limits<std::size_t>::max() / 2;
+    const std::size_t fusion_threshold = sched.bucket_fusion ? 1000 : 0;
+
+    std::vector<vid_t> frontier(
+        static_cast<std::size_t>(g.num_edges_directed()) + 1);
+    frontier[0] = source;
+    std::size_t shared_indexes[2] = {0, kMaxBin};
+    std::size_t frontier_tails[2] = {1, 0};
+    par::Barrier barrier(par::effective_lanes());
+
+    par::parallel_lanes([&](int lane, int lanes) {
+        std::vector<std::vector<vid_t>> local_bins;
+        std::size_t iter = 0;
+
+        auto relax = [&](vid_t u) {
+            for (const graph::WNode& wn : g.out_neigh(u)) {
+                weight_t old_dist = par::atomic_load(dist[wn.v]);
+                const weight_t new_dist = dist[u] + wn.w;
+                while (new_dist < old_dist) {
+                    if (par::compare_and_swap(dist[wn.v], old_dist,
+                                              new_dist)) {
+                        const std::size_t b =
+                            static_cast<std::size_t>(new_dist / delta);
+                        if (b >= local_bins.size())
+                            local_bins.resize(b + 1);
+                        local_bins[b].push_back(wn.v);
+                        break;
+                    }
+                    old_dist = par::atomic_load(dist[wn.v]);
+                }
+            }
+        };
+
+        while (shared_indexes[iter & 1] != kMaxBin) {
+            const std::size_t curr_bin = shared_indexes[iter & 1];
+            const std::size_t curr_tail = frontier_tails[iter & 1];
+            std::size_t& next_tail = frontier_tails[(iter + 1) & 1];
+
+            for (std::size_t i = static_cast<std::size_t>(lane);
+                 i < curr_tail; i += static_cast<std::size_t>(lanes)) {
+                const vid_t u = frontier[i];
+                if (dist[u] >= static_cast<weight_t>(
+                                   delta * static_cast<weight_t>(curr_bin)))
+                    relax(u);
+            }
+
+            // Bucket fusion: when the lane's next chunk of the current
+            // bucket is small, process it immediately instead of paying a
+            // global synchronization round.
+            while (fusion_threshold > 0 && curr_bin < local_bins.size() &&
+                   !local_bins[curr_bin].empty() &&
+                   local_bins[curr_bin].size() < fusion_threshold) {
+                std::vector<vid_t> mine;
+                mine.swap(local_bins[curr_bin]);
+                for (vid_t u : mine)
+                    relax(u);
+            }
+
+            for (std::size_t b = curr_bin; b < local_bins.size(); ++b) {
+                if (!local_bins[b].empty()) {
+                    std::atomic_ref<std::size_t> ref(
+                        shared_indexes[(iter + 1) & 1]);
+                    std::size_t seen = ref.load(std::memory_order_relaxed);
+                    while (b < seen && !ref.compare_exchange_weak(
+                                           seen, b,
+                                           std::memory_order_relaxed)) {
+                    }
+                    break;
+                }
+            }
+            barrier.wait();
+
+            const std::size_t next_bin = shared_indexes[(iter + 1) & 1];
+            if (next_bin < local_bins.size() &&
+                !local_bins[next_bin].empty()) {
+                const std::size_t offset = par::fetch_add<std::size_t>(
+                    next_tail, local_bins[next_bin].size());
+                std::copy(local_bins[next_bin].begin(),
+                          local_bins[next_bin].end(),
+                          frontier.begin() +
+                              static_cast<std::ptrdiff_t>(offset));
+                local_bins[next_bin].clear();
+            }
+            barrier.wait();
+            if (lane == 0) {
+                shared_indexes[iter & 1] = kMaxBin;
+                frontier_tails[iter & 1] = 0;
+            }
+            barrier.wait();
+            ++iter;
+        }
+    });
+    return dist;
+}
+
+// ----------------------------------------------------------------- CC ----
+
+std::vector<vid_t>
+cc_label_prop(const CSRGraph& g, const Schedule& sched)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> comp(static_cast<std::size_t>(n));
+    std::iota(comp.begin(), comp.end(), 0);
+
+    VertexSubset frontier(n);
+    for (vid_t v = 0; v < n; ++v)
+        frontier.add(v);
+
+    auto propagate = [&](vid_t u, vid_t v) {
+        return par::fetch_min(comp[v], par::atomic_load(comp[u]));
+    };
+    auto always = [](vid_t) { return true; };
+
+    while (!frontier.empty()) {
+        VertexSubset next = edgeset_apply(g, frontier, sched, propagate,
+                                          always);
+        if (g.is_directed()) {
+            // Weak connectivity: also propagate against the edges.
+            VertexSubset next_rev =
+                edgeset_apply(g, frontier, sched, propagate, always,
+                              /*pull_early_exit=*/false, /*reverse=*/true);
+            next_rev.materialize_sparse();
+            for (vid_t v : next_rev.sparse())
+                next.add_atomic(v);
+            next.mark_bitmap_only();
+        }
+
+        if (sched.short_circuit) {
+            // Pointer-jump labels toward their roots; re-activate changed
+            // vertices so chains collapse in O(log) rounds instead of O(D).
+            std::vector<vid_t> changed;
+            std::mutex changed_mutex;
+            par::parallel_blocks<vid_t>(0, n, [&](int, vid_t lo, vid_t hi) {
+                std::vector<vid_t> local;
+                for (vid_t v = lo; v < hi; ++v) {
+                    const vid_t before = comp[v];
+                    vid_t label = before;
+                    while (label != par::atomic_load(comp[label]))
+                        label = par::atomic_load(comp[label]);
+                    if (label != before) {
+                        par::atomic_store(comp[v], label);
+                        local.push_back(v);
+                    }
+                }
+                std::lock_guard<std::mutex> lock(changed_mutex);
+                changed.insert(changed.end(), local.begin(), local.end());
+            });
+            for (vid_t v : changed)
+                next.add_atomic(v);
+            next.mark_bitmap_only();
+        }
+        frontier = std::move(next);
+    }
+
+    // Labels are component minima but not necessarily fully collapsed to a
+    // canonical representative per vertex chain; collapse now.
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+        vid_t label = comp[v];
+        while (label != comp[label])
+            label = comp[label];
+        comp[v] = label;
+    });
+    return comp;
+}
+
+// ----------------------------------------------------------------- PR ----
+
+std::vector<score_t>
+pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters,
+         const Schedule& sched)
+{
+    const vid_t n = g.num_vertices();
+    const score_t base = (1.0 - damping) / n;
+    std::vector<score_t> scores(static_cast<std::size_t>(n), score_t{1} / n);
+    std::vector<score_t> contrib(static_cast<std::size_t>(n));
+
+    const int segments = std::max(1, sched.num_segments);
+    // Cache tiling: per destination, precompute the boundaries of each
+    // source segment in its (sorted) in-neighbor list.  The preprocessing
+    // is part of the kernel time and amortizes over iterations, as the
+    // paper describes.
+    std::vector<eid_t> seg_bounds;
+    if (segments > 1) {
+        seg_bounds.resize(static_cast<std::size_t>(n) *
+                          (static_cast<std::size_t>(segments) + 1));
+        const vid_t seg_width = (n + segments - 1) / segments;
+        par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+            const auto neigh = g.in_neigh(v);
+            eid_t pos = 0;
+            const std::size_t row =
+                static_cast<std::size_t>(v) *
+                (static_cast<std::size_t>(segments) + 1);
+            seg_bounds[row] = 0;
+            for (int s = 1; s <= segments; ++s) {
+                const vid_t bound = std::min<vid_t>(
+                    static_cast<vid_t>(s) * seg_width, n);
+                while (pos < static_cast<eid_t>(neigh.size()) &&
+                       neigh[static_cast<std::size_t>(pos)] < bound)
+                    ++pos;
+                seg_bounds[row + static_cast<std::size_t>(s)] = pos;
+            }
+        });
+    }
+
+    std::vector<score_t> incoming(static_cast<std::size_t>(n));
+    for (int iter = 0; iter < max_iters; ++iter) {
+        par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+            const eid_t d = g.out_degree(v);
+            contrib[v] = d > 0 ? scores[v] / d : 0;
+        }, par::Schedule::kStatic);
+
+        if (segments <= 1) {
+            const double error = par::parallel_reduce<vid_t, double>(
+                0, n, 0.0,
+                [&](vid_t v) {
+                    score_t sum = 0;
+                    for (vid_t u : g.in_neigh(v))
+                        sum += contrib[u];
+                    const score_t next = base + damping * sum;
+                    const double diff = std::fabs(next - scores[v]);
+                    scores[v] = next;
+                    return diff;
+                },
+                [](double a, double b) { return a + b; });
+            if (error < tolerance)
+                break;
+            continue;
+        }
+
+        std::fill(incoming.begin(), incoming.end(), 0.0);
+        for (int s = 0; s < segments; ++s) {
+            // Within a segment, contrib accesses stay inside one stripe of
+            // the source range — the cache optimization from tiling.
+            par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+                const auto neigh = g.in_neigh(v);
+                const std::size_t row =
+                    static_cast<std::size_t>(v) *
+                    (static_cast<std::size_t>(segments) + 1);
+                const eid_t lo = seg_bounds[row + static_cast<std::size_t>(s)];
+                const eid_t hi =
+                    seg_bounds[row + static_cast<std::size_t>(s) + 1];
+                score_t sum = 0;
+                for (eid_t e = lo; e < hi; ++e)
+                    sum += contrib[neigh[static_cast<std::size_t>(e)]];
+                incoming[v] += sum;
+            }, par::Schedule::kStatic);
+        }
+        const double error = par::parallel_reduce<vid_t, double>(
+            0, n, 0.0,
+            [&](vid_t v) {
+                const score_t next = base + damping * incoming[v];
+                const double diff = std::fabs(next - scores[v]);
+                scores[v] = next;
+                return diff;
+            },
+            [](double a, double b) { return a + b; });
+        if (error < tolerance)
+            break;
+    }
+    return scores;
+}
+
+// ----------------------------------------------------------------- BC ----
+
+std::vector<score_t>
+bc(const CSRGraph& g, const std::vector<vid_t>& sources,
+   const Schedule& sched)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<score_t> scores(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> sigma(static_cast<std::size_t>(n));
+    std::vector<double> delta(static_cast<std::size_t>(n));
+    std::vector<vid_t> depth(static_cast<std::size_t>(n));
+    const bool bitvector = sched.frontier == FrontierRep::kBitvector;
+
+    for (vid_t s : sources) {
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+        std::fill(depth.begin(), depth.end(), kInvalidVid);
+        sigma[s] = 1;
+        depth[s] = 0;
+
+        // Forward: level-synchronous path counting; levels retained either
+        // as bitvectors or as sparse lists, per the schedule.
+        std::vector<Bitmap> level_bitmaps;
+        std::vector<std::vector<vid_t>> level_lists;
+        std::vector<vid_t> frontier{s};
+        vid_t level = 0;
+        while (!frontier.empty()) {
+            if (bitvector) {
+                Bitmap bm(static_cast<std::size_t>(n));
+                bm.reset();
+                for (vid_t v : frontier)
+                    bm.set_bit(static_cast<std::size_t>(v));
+                level_bitmaps.push_back(std::move(bm));
+            } else {
+                level_lists.push_back(frontier);
+            }
+            std::vector<vid_t> next;
+            std::mutex next_mutex;
+            const vid_t next_level = level + 1;
+            par::parallel_blocks<std::size_t>(
+                0, frontier.size(), [&](int, std::size_t lo, std::size_t hi) {
+                    std::vector<vid_t> local;
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        const vid_t u = frontier[i];
+                        for (vid_t v : g.out_neigh(u)) {
+                            vid_t dv = par::atomic_load(depth[v]);
+                            if (dv == kInvalidVid) {
+                                if (par::compare_and_swap(depth[v],
+                                                          kInvalidVid,
+                                                          next_level)) {
+                                    local.push_back(v);
+                                    dv = next_level;
+                                } else {
+                                    dv = par::atomic_load(depth[v]);
+                                }
+                            }
+                            if (dv == next_level)
+                                par::atomic_add_float(sigma[v], sigma[u]);
+                        }
+                    }
+                    std::lock_guard<std::mutex> lock(next_mutex);
+                    next.insert(next.end(), local.begin(), local.end());
+                });
+            frontier = std::move(next);
+            ++level;
+        }
+
+        // Backward: transposed propagation — each vertex at depth d+1
+        // scatters its dependency to predecessors through in-edges.
+        const std::size_t num_levels =
+            bitvector ? level_bitmaps.size() : level_lists.size();
+        for (std::size_t d = num_levels; d-- > 1;) {
+            auto process = [&](vid_t v) {
+                const double share =
+                    (1.0 + delta[v]) / std::max(sigma[v], 1.0);
+                for (vid_t u : g.in_neigh(v)) {
+                    if (depth[u] + 1 == depth[v])
+                        par::atomic_add_float(delta[u], sigma[u] * share);
+                }
+            };
+            if (bitvector) {
+                // Bitvector frontier: O(n) scan per level.
+                par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+                    if (level_bitmaps[d].get_bit(
+                            static_cast<std::size_t>(v)))
+                        process(v);
+                });
+            } else {
+                const auto& lvl = level_lists[d];
+                par::parallel_for<std::size_t>(
+                    0, lvl.size(),
+                    [&](std::size_t i) { process(lvl[i]); });
+            }
+        }
+        par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+            if (v != s && depth[v] != kInvalidVid)
+                scores[v] += delta[v];
+        }, par::Schedule::kStatic);
+    }
+
+    const score_t biggest = *std::max_element(scores.begin(), scores.end());
+    if (biggest > 0) {
+        for (auto& sc : scores)
+            sc /= biggest;
+    }
+    return scores;
+}
+
+// ----------------------------------------------------------------- TC ----
+
+std::uint64_t
+tc(const CSRGraph& g)
+{
+    const graph::CSRGraph* use = &g;
+    graph::CSRGraph relabeled;
+    if (graph::worth_relabeling_by_degree(g)) {
+        relabeled = graph::relabel_by_degree(g);
+        use = &relabeled;
+    }
+    const CSRGraph& h = *use;
+    return par::parallel_reduce<vid_t, std::uint64_t>(
+        0, h.num_vertices(), 0,
+        [&](vid_t u) -> std::uint64_t {
+            std::uint64_t local = 0;
+            const auto u_neigh = h.out_neigh(u);
+            for (vid_t v : u_neigh) {
+                if (v > u)
+                    break;
+                auto it = u_neigh.begin();
+                for (vid_t w : h.out_neigh(v)) {
+                    if (w > v)
+                        break;
+                    while (*it < w)
+                        ++it;
+                    if (w == *it)
+                        ++local;
+                }
+            }
+            return local;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+} // namespace gm::graphitlite

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LAGraph-style graph algorithms built on the mini-GraphBLAS:
+ * direction-optimizing BFS (any-secondi), delta-stepping SSSP (min-plus),
+ * PageRank (plus-second), FastSV connected components (min-second), batch
+ * Brandes betweenness centrality, and masked-mxm triangle counting
+ * (plus-pair) — the algorithm choices Table III attributes to
+ * SuiteSparse/LAGraph.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gm/graph/csr.hh"
+#include "gm/grb/matrix.hh"
+
+namespace gm::grb::lagraph
+{
+
+/** A graph packaged for GraphBLAS consumption: adjacency matrix, its
+ *  transpose, optional weighted forms, and cached row degrees. */
+struct GrbGraph
+{
+    Index n = 0;
+    bool directed = false;
+    Matrix<std::uint8_t> A;   ///< out-edges
+    Matrix<std::uint8_t> AT;  ///< in-edges (== A content for undirected)
+    Matrix<std::int32_t> WA;  ///< weighted out-edges (may be empty)
+    std::vector<Index> out_degree;
+};
+
+/** Package a CSR graph (and optionally its weighted form) for GraphBLAS. */
+GrbGraph make_grb_graph(const graph::CSRGraph& g);
+
+/** Attach weights for SSSP. */
+void attach_weights(GrbGraph& gg, const graph::WCSRGraph& wg);
+
+/** Direction-optimizing BFS; returns GAP-style parent array. */
+std::vector<vid_t> bfs_parent(const GrbGraph& gg, vid_t source);
+
+/** Delta-stepping SSSP over the min-plus semiring. */
+std::vector<weight_t> sssp(const GrbGraph& gg, vid_t source, weight_t delta);
+
+/** PageRank using the plus-second semiring (structure-only access). */
+std::vector<score_t> pagerank(const GrbGraph& gg, double damping = 0.85,
+                              double tolerance = 1e-4, int max_iters = 100);
+
+/** FastSV connected components (weak components on directed graphs). */
+std::vector<vid_t> cc_fastsv(const GrbGraph& gg);
+
+/** Batch Brandes betweenness centrality over the given roots. */
+std::vector<score_t> bc(const GrbGraph& gg,
+                        const std::vector<vid_t>& sources);
+
+/** Triangle counting: optional heuristic presort, then
+ *  reduce(C<L> = L * U' over plus-pair).  Input must be undirected. */
+std::uint64_t tc(const graph::CSRGraph& g);
+
+} // namespace gm::grb::lagraph

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The semirings the LAGraph-style algorithms use, named after their
+ * SuiteSparse counterparts from the paper: any-secondi (BFS), min-plus
+ * (SSSP), plus-second (PageRank), plus-first (BC path counting),
+ * min-second (FastSV), plus-pair (triangle counting).
+ *
+ * Each semiring provides: the output type, the additive monoid identity,
+ * a pure combine, an atomic combine for parallel scatter, the multiply
+ * (taking the matrix value, the vector value, and the vector entry's index
+ * — the "i" that the positional *i semirings need), and whether the monoid
+ * is "terminal" (any): once a value lands, later combines are no-ops, so
+ * pull steps may exit a row early.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "gm/grb/vector.hh"
+#include "gm/par/atomics.hh"
+
+namespace gm::grb
+{
+
+/** any_secondi: value = index of the vector entry (BFS parent discovery). */
+struct AnySecondi
+{
+    using Out = Index;
+
+    static Out identity() { return -1; }
+    static bool terminal() { return true; }
+    static constexpr bool kClaimBased = true;
+
+    template <typename AV, typename UV>
+    static Out
+    mult(const AV&, const UV&, Index u_index)
+    {
+        return u_index;
+    }
+
+    static Out combine(Out a, Out b) { return a == identity() ? b : a; }
+
+    /** Returns true when this call contributed a new value. */
+    static bool
+    atomic_combine(Out& loc, Out val)
+    {
+        return par::compare_and_swap<Out>(loc, -1, val);
+    }
+};
+
+/** min_plus tropical semiring over 32-bit weights (SSSP relaxation). */
+struct MinPlus
+{
+    using Out = std::int32_t;
+
+    static Out identity() { return std::numeric_limits<Out>::max() / 2; }
+    static bool terminal() { return false; }
+    static constexpr bool kClaimBased = false;
+
+    template <typename AV, typename UV>
+    static Out
+    mult(const AV& aval, const UV& uval, Index)
+    {
+        return static_cast<Out>(uval) + static_cast<Out>(aval);
+    }
+
+    static Out combine(Out a, Out b) { return a < b ? a : b; }
+
+    static bool
+    atomic_combine(Out& loc, Out val)
+    {
+        return par::fetch_min<Out>(loc, val);
+    }
+};
+
+/** plus_second: sums the vector operand (PageRank contributions). */
+struct PlusSecond
+{
+    using Out = double;
+
+    static Out identity() { return 0.0; }
+    static bool terminal() { return false; }
+    static constexpr bool kClaimBased = false;
+
+    template <typename AV, typename UV>
+    static Out
+    mult(const AV&, const UV& uval, Index)
+    {
+        return static_cast<Out>(uval);
+    }
+
+    static Out combine(Out a, Out b) { return a + b; }
+
+    static bool
+    atomic_combine(Out& loc, Out val)
+    {
+        par::atomic_add_float<Out>(loc, val);
+        return true;
+    }
+};
+
+/** plus_first: sums the vector operand (BC path counts; "first" because in
+ *  the q'*A ordering the vector is the first operand). */
+using PlusFirst = PlusSecond;
+
+/** min_second: min over the vector operand (FastSV grandparent min). */
+struct MinSecond
+{
+    using Out = Index;
+
+    static Out identity() { return std::numeric_limits<Out>::max(); }
+    static bool terminal() { return false; }
+    static constexpr bool kClaimBased = false;
+
+    template <typename AV, typename UV>
+    static Out
+    mult(const AV&, const UV& uval, Index)
+    {
+        return static_cast<Out>(uval);
+    }
+
+    static Out combine(Out a, Out b) { return a < b ? a : b; }
+
+    static bool
+    atomic_combine(Out& loc, Out val)
+    {
+        return par::fetch_min<Out>(loc, val);
+    }
+};
+
+/** plus_pair: every structural match contributes 1 (triangle counting). */
+struct PlusPair
+{
+    using Out = std::int64_t;
+
+    static Out identity() { return 0; }
+    static bool terminal() { return false; }
+    static constexpr bool kClaimBased = false;
+
+    template <typename AV, typename UV>
+    static Out
+    mult(const AV&, const UV&, Index)
+    {
+        return 1;
+    }
+
+    static Out combine(Out a, Out b) { return a + b; }
+
+    static bool
+    atomic_combine(Out& loc, Out val)
+    {
+        par::fetch_add<Out>(loc, val);
+        return true;
+    }
+};
+
+} // namespace gm::grb

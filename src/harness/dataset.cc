@@ -1,0 +1,94 @@
+#include "gm/harness/dataset.hh"
+
+#include <cmath>
+
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/support/log.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::harness
+{
+
+Dataset
+make_dataset(std::string name, graph::CSRGraph g, int num_sources,
+             std::uint64_t seed)
+{
+    Dataset ds;
+    ds.name = std::move(name);
+    ds.g = std::move(g);
+    if (ds.g.num_vertices() == 0 || ds.g.num_edges_directed() == 0)
+        fatal("dataset '" + ds.name + "' has no vertices or no edges");
+    ds.wg = graph::add_weights(ds.g, seed ^ 0x5eed);
+
+    if (ds.g.is_directed()) {
+        // Symmetrize for triangle counting (GAP runs TC on undirected
+        // inputs; directed graphs are converted up front).
+        graph::EdgeList edges;
+        edges.reserve(
+            static_cast<std::size_t>(ds.g.num_edges_directed()));
+        for (vid_t v = 0; v < ds.g.num_vertices(); ++v)
+            for (vid_t u : ds.g.out_neigh(v))
+                edges.push_back({v, u});
+        ds.g_undirected =
+            graph::build_graph(edges, ds.g.num_vertices(), false);
+    } else {
+        ds.g_undirected = ds.g;
+    }
+    ds.g_relabeled = graph::relabel_by_degree(ds.g_undirected);
+    ds.grb = grb::lagraph::make_grb_graph(ds.g);
+    grb::lagraph::attach_weights(ds.grb, ds.wg);
+
+    ds.distribution = graph::classify_degree_distribution(ds.g);
+    ds.approx_diameter = graph::approx_diameter(ds.g);
+    // Scaled-down analogue of the paper's high/low diameter split: a
+    // diameter past sqrt(n) says "mesh-like" (Road), far beyond the
+    // O(log n) diameters of the power-law and uniform graphs.
+    ds.high_diameter =
+        static_cast<double>(ds.approx_diameter) >
+        std::sqrt(static_cast<double>(ds.g.num_vertices()));
+
+    Xoshiro256 rng(seed);
+    while (static_cast<int>(ds.sources.size()) < num_sources) {
+        const vid_t v =
+            static_cast<vid_t>(rng.next_bounded(ds.g.num_vertices()));
+        if (ds.g.out_degree(v) > 0)
+            ds.sources.push_back(v);
+    }
+    return ds;
+}
+
+DatasetSuite
+make_gap_suite(int scale, int num_sources, std::uint64_t seed)
+{
+    GM_ASSERT(scale >= 6 && scale <= 24, "suite scale out of range");
+    DatasetSuite suite;
+    const int degree = 16;
+
+    // Matching Table I's ordering: real graphs (Road, Twitter, Web), then
+    // synthetic (Kron, Urand).  Road's grid is sized to ~2^scale vertices.
+    const vid_t side = static_cast<vid_t>(1) << (scale / 2);
+    const vid_t rows = side;
+    const vid_t cols = (vid_t{1} << scale) / side;
+
+    suite.datasets.push_back(std::make_shared<Dataset>(make_dataset(
+        "Road", graph::make_road_like(rows, cols, seed + 1), num_sources,
+        seed + 11)));
+    suite.datasets.back()->delta = 16; // high diameter: narrower buckets
+
+    suite.datasets.push_back(std::make_shared<Dataset>(make_dataset(
+        "Twitter", graph::make_twitter_like(scale, degree, seed + 2),
+        num_sources, seed + 12)));
+    suite.datasets.push_back(std::make_shared<Dataset>(make_dataset(
+        "Web", graph::make_web_like(scale, 12, seed + 3), num_sources,
+        seed + 13)));
+    suite.datasets.push_back(std::make_shared<Dataset>(make_dataset(
+        "Kron", graph::make_kronecker(scale, degree, seed + 4), num_sources,
+        seed + 14)));
+    suite.datasets.push_back(std::make_shared<Dataset>(make_dataset(
+        "Urand", graph::make_uniform(scale, degree, seed + 5), num_sources,
+        seed + 15)));
+    return suite;
+}
+
+} // namespace gm::harness

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Benchmark datasets: the five GAP input-graph classes, pre-packaged in
+ * every format the frameworks need (per the GAP rules, building a
+ * framework's native graph format — like storing both edge directions — is
+ * not timed; restructuring *during* a kernel is).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gm/graph/csr.hh"
+#include "gm/graph/stats.hh"
+#include "gm/grb/lagraph.hh"
+
+namespace gm::harness
+{
+
+/** One benchmark input graph with all untimed pre-derived forms. */
+struct Dataset
+{
+    std::string name;
+    graph::CSRGraph g;             ///< native graph (out + in edges)
+    graph::WCSRGraph wg;           ///< weighted form for SSSP
+    graph::CSRGraph g_undirected;  ///< symmetrized form for TC
+    /** Degree-relabeled undirected form; Optimized-mode TC may use it
+     *  without paying the relabel cost (as the Galois team did). */
+    graph::CSRGraph g_relabeled;
+    /** GraphBLAS packaging (adjacency matrix + transpose + weights). */
+    grb::lagraph::GrbGraph grb;
+
+    graph::DegreeDistribution distribution;
+    vid_t approx_diameter = 0;
+    /** Ground truth: generated as a high-diameter topology. */
+    bool high_diameter = false;
+    /** Per-graph SSSP delta (GAP explicitly allows tuning this). */
+    weight_t delta = 64;
+
+    /** Deterministic non-isolated benchmark sources. */
+    std::vector<vid_t> sources;
+};
+
+/** The five-graph suite. */
+struct DatasetSuite
+{
+    std::vector<std::shared_ptr<Dataset>> datasets;
+
+    const Dataset& operator[](std::size_t i) const { return *datasets[i]; }
+    std::size_t size() const { return datasets.size(); }
+};
+
+/**
+ * Build the GAP-style suite at 2^scale vertices per graph (Road uses a
+ * sqrt x sqrt grid of about that size).
+ *
+ * @param scale       log2 of the vertex count (e.g. 15 -> ~32k vertices).
+ * @param num_sources How many benchmark sources to prepare per graph.
+ */
+DatasetSuite make_gap_suite(int scale, int num_sources = 16,
+                            std::uint64_t seed = 2020);
+
+/** Build one dataset from an arbitrary graph (used by tests/examples). */
+Dataset make_dataset(std::string name, graph::CSRGraph g, int num_sources,
+                     std::uint64_t seed);
+
+} // namespace gm::harness

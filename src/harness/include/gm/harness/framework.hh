@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The framework registry: a uniform six-kernel interface over the six
+ * evaluated systems, with per-mode (Baseline vs Optimized) behaviour wired
+ * to match what each team did in the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gm/harness/dataset.hh"
+
+namespace gm::harness
+{
+
+/** The six GAP kernels. */
+enum class Kernel { kBFS, kSSSP, kCC, kPR, kBC, kTC };
+
+/** All kernels in Table IV/V row order. */
+inline constexpr Kernel kAllKernels[] = {Kernel::kBFS, Kernel::kSSSP,
+                                         Kernel::kCC,  Kernel::kPR,
+                                         Kernel::kBC,  Kernel::kTC};
+
+/** Short display name of a kernel. */
+std::string to_string(Kernel kernel);
+
+/** Benchmark rule sets, per Section IV of the paper. */
+enum class Mode
+{
+    kBaseline,  ///< no per-graph hand tuning; internal heuristics only
+    kOptimized, ///< anything goes, per-graph specialization allowed
+};
+
+/** @copydoc to_string(Kernel) */
+std::string to_string(Mode mode);
+
+/** A framework: name + one entry point per kernel. */
+struct Framework
+{
+    std::string name;
+
+    std::function<std::vector<vid_t>(const Dataset&, vid_t source, Mode)>
+        bfs;
+    std::function<std::vector<weight_t>(const Dataset&, vid_t source, Mode)>
+        sssp;
+    std::function<std::vector<vid_t>(const Dataset&, Mode)> cc;
+    std::function<std::vector<score_t>(const Dataset&, Mode)> pr;
+    std::function<std::vector<score_t>(
+        const Dataset&, const std::vector<vid_t>& sources, Mode)>
+        bc;
+    std::function<std::uint64_t(const Dataset&, Mode)> tc;
+};
+
+/** Index of the GAP reference framework in make_frameworks()'s result. */
+inline constexpr std::size_t kGapIndex = 0;
+
+/** Build all six frameworks (GAP reference first). */
+std::vector<Framework> make_frameworks();
+
+} // namespace gm::harness

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Benchmark runner implementing the GAP trial protocol: per (framework,
+ * kernel, graph, mode) cell, run N trials with rotating sources, verify
+ * every result against the spec verifiers, and record the timings.
+ * Unverified results are never recorded as timings — the paper calls for
+ * exactly this kind of formal validation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+
+namespace gm::harness
+{
+
+/** Timing summary of one benchmark cell. */
+struct CellResult
+{
+    double best_seconds = 0;
+    double avg_seconds = 0;
+    int trials = 0;
+    bool verified = false;
+    bool supported = true;
+};
+
+/** results[framework][kernel][graph]. */
+struct ResultsCube
+{
+    std::vector<std::string> framework_names;
+    std::vector<std::string> graph_names;
+    // Indexed [framework][kernel][graph].
+    std::vector<std::vector<std::vector<CellResult>>> cells;
+
+    const CellResult&
+    at(std::size_t framework, Kernel kernel, std::size_t graph) const
+    {
+        return cells[framework][static_cast<std::size_t>(kernel)][graph];
+    }
+};
+
+/** Options for a full sweep. */
+struct RunOptions
+{
+    int trials = 2;
+    bool verify = true;
+    /** Skip verification of kernels whose serial oracle is expensive when
+     *  the result was already verified once for this (framework, graph). */
+    bool verify_first_trial_only = true;
+};
+
+/** Run every framework x kernel x graph cell under @p mode. */
+ResultsCube run_suite(const DatasetSuite& suite,
+                      const std::vector<Framework>& frameworks, Mode mode,
+                      const RunOptions& opts = {});
+
+/** Run a single cell (used by tests and the micro benchmarks). */
+CellResult run_cell(const Dataset& ds, const Framework& fw, Kernel kernel,
+                    Mode mode, const RunOptions& opts = {});
+
+} // namespace gm::harness

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Formatting of the paper's tables from harness results.
+ *
+ * Table I  — input-graph properties.
+ * Table II — framework attribute matrix (static registry).
+ * Table III— algorithm choices per framework/kernel (static registry).
+ * Table IV — fastest time per kernel/graph with the winning framework.
+ * Table V  — per-framework speedup over the GAP reference, as percentages.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/runner.hh"
+
+namespace gm::harness
+{
+
+/** Print Table I (graph properties) for @p suite. */
+void print_table1(std::ostream& os, const DatasetSuite& suite);
+
+/** Print Table II (framework attributes). */
+void print_table2(std::ostream& os);
+
+/** Print Table III (algorithms used by each framework). */
+void print_table3(std::ostream& os);
+
+/** Print Table IV (fastest times, both modes, with winners). */
+void print_table4(std::ostream& os, const ResultsCube& baseline,
+                  const ResultsCube& optimized);
+
+/** Print Table V (speedups over the GAP reference, both modes). */
+void print_table5(std::ostream& os, const ResultsCube& baseline,
+                  const ResultsCube& optimized);
+
+/** Write one cube as CSV (framework,kernel,graph,best,avg,verified). */
+void write_csv(const std::string& path, const ResultsCube& cube, Mode mode);
+
+} // namespace gm::harness

@@ -1,0 +1,150 @@
+#include "gm/harness/runner.hh"
+
+#include <limits>
+
+#include "gm/gapref/verify.hh"
+#include "gm/support/log.hh"
+#include "gm/support/timer.hh"
+
+namespace gm::harness
+{
+
+namespace
+{
+
+/** Sources for trial @p t: SSSP/BFS take one, BC takes four. */
+vid_t
+trial_source(const Dataset& ds, int trial)
+{
+    return ds.sources[static_cast<std::size_t>(trial) % ds.sources.size()];
+}
+
+std::vector<vid_t>
+trial_bc_sources(const Dataset& ds, int trial)
+{
+    std::vector<vid_t> sources;
+    for (int i = 0; i < 4; ++i) {
+        sources.push_back(
+            ds.sources[static_cast<std::size_t>(trial * 4 + i) %
+                       ds.sources.size()]);
+    }
+    return sources;
+}
+
+} // namespace
+
+CellResult
+run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
+         const RunOptions& opts)
+{
+    CellResult cell;
+    cell.best_seconds = std::numeric_limits<double>::infinity();
+    cell.verified = true;
+    double total = 0;
+
+    for (int trial = 0; trial < opts.trials; ++trial) {
+        const bool check =
+            opts.verify && (!opts.verify_first_trial_only || trial == 0);
+        Timer timer;
+        std::string err;
+        bool ok = true;
+
+        switch (kernel) {
+          case Kernel::kBFS: {
+              const vid_t src = trial_source(ds, trial);
+              timer.start();
+              const auto parent = fw.bfs(ds, src, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_bfs(ds.g, src, parent, &err);
+              break;
+          }
+          case Kernel::kSSSP: {
+              const vid_t src = trial_source(ds, trial);
+              timer.start();
+              const auto dist = fw.sssp(ds, src, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_sssp(ds.wg, src, dist, &err);
+              break;
+          }
+          case Kernel::kCC: {
+              timer.start();
+              const auto comp = fw.cc(ds, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_cc(ds.g, comp, &err);
+              break;
+          }
+          case Kernel::kPR: {
+              timer.start();
+              const auto scores = fw.pr(ds, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_pagerank(ds.g, scores, 0.85, 1e-4,
+                                               &err);
+              break;
+          }
+          case Kernel::kBC: {
+              const auto sources = trial_bc_sources(ds, trial);
+              timer.start();
+              const auto scores = fw.bc(ds, sources, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_bc(ds.g, sources, scores, &err);
+              break;
+          }
+          case Kernel::kTC: {
+              timer.start();
+              const std::uint64_t count = fw.tc(ds, mode);
+              timer.stop();
+              if (check)
+                  ok = gapref::verify_tc(ds.g_undirected, count, &err);
+              break;
+          }
+        }
+
+        if (!ok) {
+            log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
+                     " failed verification: ", err);
+            cell.verified = false;
+        }
+        const double secs = timer.seconds();
+        cell.best_seconds = std::min(cell.best_seconds, secs);
+        total += secs;
+        ++cell.trials;
+    }
+    cell.avg_seconds = cell.trials > 0 ? total / cell.trials : 0;
+    return cell;
+}
+
+ResultsCube
+run_suite(const DatasetSuite& suite,
+          const std::vector<Framework>& frameworks, Mode mode,
+          const RunOptions& opts)
+{
+    ResultsCube cube;
+    for (const auto& fw : frameworks)
+        cube.framework_names.push_back(fw.name);
+    for (const auto& ds : suite.datasets)
+        cube.graph_names.push_back(ds->name);
+
+    cube.cells.resize(frameworks.size());
+    for (std::size_t f = 0; f < frameworks.size(); ++f) {
+        cube.cells[f].resize(std::size(kAllKernels));
+        for (Kernel kernel : kAllKernels) {
+            auto& row = cube.cells[f][static_cast<std::size_t>(kernel)];
+            row.resize(suite.size());
+            for (std::size_t g = 0; g < suite.size(); ++g) {
+                row[g] = run_cell(suite[g], frameworks[f], kernel, mode,
+                                  opts);
+                log_info(to_string(mode), " ", frameworks[f].name, " ",
+                         to_string(kernel), " ", suite[g].name, ": ",
+                         row[g].avg_seconds, " s");
+            }
+        }
+    }
+    return cube;
+}
+
+} // namespace gm::harness

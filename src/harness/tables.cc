@@ -1,0 +1,153 @@
+#include "gm/harness/tables.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "gm/support/log.hh"
+
+namespace gm::harness
+{
+
+namespace
+{
+
+void
+hline(std::ostream& os, int width)
+{
+    os << std::string(static_cast<std::size_t>(width), '-') << "\n";
+}
+
+} // namespace
+
+void
+print_table1(std::ostream& os, const DatasetSuite& suite)
+{
+    os << "TABLE I: GRAPHS USED FOR EVALUATION (scaled-down analogues)\n";
+    hline(os, 96);
+    os << std::left << std::setw(9) << "Name" << std::setw(13) << "#Vertices"
+       << std::setw(13) << "#Edges" << std::setw(10) << "Directed"
+       << std::setw(9) << "Degree" << std::setw(16) << "DegreeDistrib"
+       << std::setw(14) << "ApproxDiam" << "\n";
+    hline(os, 96);
+    for (const auto& ds : suite.datasets) {
+        const double degree =
+            static_cast<double>(ds->g.num_edges_directed()) /
+            ds->g.num_vertices();
+        os << std::left << std::setw(9) << ds->name << std::setw(13)
+           << ds->g.num_vertices() << std::setw(13)
+           << ds->g.num_edges_directed() << std::setw(10)
+           << (ds->g.is_directed() ? "Y" : "N")
+           << std::setw(9) << std::fixed << std::setprecision(1) << degree
+           << std::setw(16) << graph::to_string(ds->distribution)
+           << std::setw(14) << ds->approx_diameter << "\n";
+    }
+    hline(os, 96);
+}
+
+void
+print_table4(std::ostream& os, const ResultsCube& baseline,
+             const ResultsCube& optimized)
+{
+    os << "TABLE IV: FASTEST TIMES (seconds); letter = winning framework\n";
+    auto print_half = [&](const ResultsCube& cube, const char* label) {
+        os << "\n  " << label << "\n";
+        os << "  " << std::left << std::setw(8) << "Kernel";
+        for (const auto& graph_name : cube.graph_names)
+            os << std::setw(16) << graph_name;
+        os << "\n";
+        for (Kernel kernel : kAllKernels) {
+            os << "  " << std::left << std::setw(8) << to_string(kernel);
+            for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
+                double best = 0;
+                std::string winner = "-";
+                bool first = true;
+                for (std::size_t f = 0; f < cube.framework_names.size();
+                     ++f) {
+                    const CellResult& cell = cube.at(f, kernel, g);
+                    if (!cell.verified || cell.trials == 0)
+                        continue;
+                    // Best-of-trials: the minimum is the robust location
+                    // estimate under scheduler interference.
+                    if (first || cell.best_seconds < best) {
+                        best = cell.best_seconds;
+                        winner = cube.framework_names[f];
+                        first = false;
+                    }
+                }
+                std::ostringstream val;
+                val << std::fixed << std::setprecision(4) << best << " "
+                    << winner.substr(0, 4);
+                os << std::setw(16) << val.str();
+            }
+            os << "\n";
+        }
+    };
+    print_half(baseline, "Baseline (seconds)");
+    print_half(optimized, "Optimized (seconds)");
+}
+
+void
+print_table5(std::ostream& os, const ResultsCube& baseline,
+             const ResultsCube& optimized)
+{
+    os << "TABLE V: SPEEDUP OVER THE GAP REFERENCE "
+          "(100% = same speed, >100% = faster than GAP)\n";
+    auto print_half = [&](const ResultsCube& cube, const char* label) {
+        os << "\n  " << label << "\n";
+        for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
+            if (f == kGapIndex)
+                continue;
+            os << "  " << cube.framework_names[f] << "\n";
+            os << "    " << std::left << std::setw(8) << "Kernel";
+            for (const auto& graph_name : cube.graph_names)
+                os << std::setw(12) << graph_name;
+            os << "\n";
+            for (Kernel kernel : kAllKernels) {
+                os << "    " << std::left << std::setw(8)
+                   << to_string(kernel);
+                for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
+                    const CellResult& gap = cube.at(kGapIndex, kernel, g);
+                    const CellResult& cell = cube.at(f, kernel, g);
+                    std::ostringstream val;
+                    if (!cell.verified || cell.best_seconds <= 0) {
+                        val << "n/a";
+                    } else {
+                        val << std::fixed << std::setprecision(1)
+                            << 100.0 * gap.best_seconds / cell.best_seconds
+                            << "%";
+                    }
+                    os << std::setw(12) << val.str();
+                }
+                os << "\n";
+            }
+        }
+    };
+    print_half(baseline, "Baseline (speedup over GAP reference)");
+    print_half(optimized, "Optimized (speedup over GAP reference)");
+}
+
+void
+write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write csv: " + path);
+    out << "mode,framework,kernel,graph,best_seconds,avg_seconds,trials,"
+           "verified\n";
+    for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
+        for (Kernel kernel : kAllKernels) {
+            for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
+                const CellResult& cell = cube.at(f, kernel, g);
+                out << to_string(mode) << "," << cube.framework_names[f]
+                    << "," << to_string(kernel) << ","
+                    << cube.graph_names[g] << "," << cell.best_seconds
+                    << "," << cell.avg_seconds << "," << cell.trials << ","
+                    << (cell.verified ? 1 : 0) << "\n";
+            }
+        }
+    }
+}
+
+} // namespace gm::harness

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The NWGraph-style "range of ranges" abstraction.
+ *
+ * Algorithms in this library are generic function templates constrained by
+ * C++20 concepts; they never name a concrete graph class.  Any type whose
+ * vertices index into a random-access range of neighbor ranges qualifies —
+ * this file provides both the concepts and a lightweight adaptor over the
+ * repository's CSR graph.
+ */
+#pragma once
+
+#include <concepts>
+#include <ranges>
+#include <span>
+
+#include "gm/graph/csr.hh"
+
+namespace gm::nwlite
+{
+
+/** Minimal adjacency-list concept: a sized graph whose operator[] yields a
+ *  forward range of integral vertex ids. */
+template <typename G>
+concept adjacency_list = requires(const G& g, vid_t v) {
+    { g.num_vertices() } -> std::convertible_to<vid_t>;
+    { g[v] } -> std::ranges::forward_range;
+};
+
+/** Adjacency list that can also be traversed backwards (in-edges). */
+template <typename G>
+concept bidirectional_adjacency_list =
+    adjacency_list<G> && requires(const G& g, vid_t v) {
+        { g.in_edges(v) } -> std::ranges::forward_range;
+    };
+
+/** Weighted adjacency list: neighbor entries are (target, weight) pairs. */
+template <typename G>
+concept weighted_adjacency_list = requires(const G& g, vid_t v) {
+    { g.num_vertices() } -> std::convertible_to<vid_t>;
+    { g[v] } -> std::ranges::forward_range;
+    requires requires(std::ranges::range_value_t<decltype(g[v])> e) {
+        { e.v } -> std::convertible_to<vid_t>;
+        { e.w } -> std::convertible_to<weight_t>;
+    };
+};
+
+/** Range-of-ranges adaptor over the repository's unweighted CSR graph. */
+class adjacency
+{
+  public:
+    explicit adjacency(const graph::CSRGraph& g) : g_(&g) {}
+
+    /** Vertex count. */
+    vid_t num_vertices() const { return g_->num_vertices(); }
+
+    /** Stored (directed) edge count. */
+    eid_t num_edges() const { return g_->num_edges_directed(); }
+
+    /** True for directed graphs. */
+    bool is_directed() const { return g_->is_directed(); }
+
+    /** Out-neighbor range of @p v. */
+    std::span<const vid_t> operator[](vid_t v) const
+    {
+        return g_->out_neigh(v);
+    }
+
+    /** In-neighbor range of @p v. */
+    std::span<const vid_t>
+    in_edges(vid_t v) const
+    {
+        return g_->in_neigh(v);
+    }
+
+    /** Out-degree of @p v. */
+    eid_t degree(vid_t v) const { return g_->out_degree(v); }
+
+    /** Underlying CSR graph (for relabel-style transforms). */
+    const graph::CSRGraph& base() const { return *g_; }
+
+  private:
+    const graph::CSRGraph* g_;
+};
+
+/** Range-of-ranges adaptor over the weighted CSR graph. */
+class weighted_adjacency
+{
+  public:
+    explicit weighted_adjacency(const graph::WCSRGraph& g) : g_(&g) {}
+
+    /** Vertex count. */
+    vid_t num_vertices() const { return g_->num_vertices(); }
+
+    /** Stored (directed) edge count. */
+    eid_t num_edges() const { return g_->num_edges_directed(); }
+
+    /** Weighted out-neighbor range of @p v. */
+    std::span<const graph::WNode> operator[](vid_t v) const
+    {
+        return g_->out_neigh(v);
+    }
+
+  private:
+    const graph::WCSRGraph* g_;
+};
+
+static_assert(adjacency_list<adjacency>);
+static_assert(bidirectional_adjacency_list<adjacency>);
+static_assert(weighted_adjacency_list<weighted_adjacency>);
+
+} // namespace gm::nwlite

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Atomic helpers over plain arrays via std::atomic_ref.
+ *
+ * Graph kernels keep vertex labels in plain vectors and race on them with
+ * CAS loops; these wrappers express the common idioms (compare-and-swap,
+ * fetch-min, atomic add) the GAP reference code uses.
+ */
+#pragma once
+
+#include <atomic>
+
+namespace gm::par
+{
+
+/** CAS on a plain location; returns true when the swap happened. */
+template <typename T>
+bool
+compare_and_swap(T& location, T expected, T desired)
+{
+    std::atomic_ref<T> ref(location);
+    return ref.compare_exchange_strong(expected, desired,
+                                       std::memory_order_relaxed);
+}
+
+/** Atomically location = min(location, value); true if it decreased. */
+template <typename T>
+bool
+fetch_min(T& location, T value)
+{
+    std::atomic_ref<T> ref(location);
+    T current = ref.load(std::memory_order_relaxed);
+    while (value < current) {
+        if (ref.compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+/** Atomic fetch-add on a plain integer location. */
+template <typename T>
+T
+fetch_add(T& location, T delta)
+{
+    std::atomic_ref<T> ref(location);
+    return ref.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/** Atomic add for floating-point locations (CAS loop). */
+template <typename T>
+void
+atomic_add_float(T& location, T delta)
+{
+    std::atomic_ref<T> ref(location);
+    T current = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(current, current + delta,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/** Relaxed atomic load of a plain location. */
+template <typename T>
+T
+atomic_load(const T& location)
+{
+    // atomic_ref<const T> is not available until C++23; the cast is safe
+    // because load() never writes.
+    std::atomic_ref<T> ref(const_cast<T&>(location));
+    return ref.load(std::memory_order_relaxed);
+}
+
+/** Relaxed atomic store to a plain location. */
+template <typename T>
+void
+atomic_store(T& location, T value)
+{
+    std::atomic_ref<T> ref(location);
+    ref.store(value, std::memory_order_relaxed);
+}
+
+} // namespace gm::par

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Centralized reusable barrier for SPMD-style kernels (delta-stepping,
+ * label propagation rounds) that run one closure per lane and synchronize
+ * between phases.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "gm/par/thread_pool.hh"
+
+namespace gm::par
+{
+
+/** Reusable generation-counting barrier. */
+class Barrier
+{
+  public:
+    /** @param parties Number of lanes that must arrive before release. */
+    explicit Barrier(int parties) : parties_(parties) {}
+
+    /** Block until all parties have arrived at this generation. */
+    void
+    wait()
+    {
+        if (parties_ <= 1)
+            return;
+        std::unique_lock<std::mutex> lock(mutex_);
+        const std::uint64_t my_generation = generation_;
+        if (++waiting_ == parties_) {
+            waiting_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    const int parties_;
+    int waiting_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/** Lane count an SPMD region entered right now would actually get. */
+inline int
+effective_lanes()
+{
+    return ThreadPool::in_parallel_region()
+               ? 1
+               : ThreadPool::instance().num_threads();
+}
+
+} // namespace gm::par

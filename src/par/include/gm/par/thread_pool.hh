@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Persistent fork-join thread pool.
+ *
+ * This is the single parallel substrate shared by every framework analogue in
+ * the repository, standing in for the OpenMP / TBB / cilk runtimes the
+ * evaluated frameworks use.  Keeping one substrate is the reproduction of the
+ * paper's "same hardware for every framework" control.
+ *
+ * Model: the pool owns N-1 worker threads; run() executes a job closure on
+ * all N lanes (callers' thread is lane 0) and returns when every lane has
+ * finished.  Nested run() calls from inside a lane degrade to serial
+ * execution on that lane, which keeps composed algorithms correct.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gm::par
+{
+
+/** Fork-join pool; use ThreadPool::instance() for the process-wide pool. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads Lane count; 0 means hardware_concurrency. */
+    explicit ThreadPool(int num_threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Process-wide pool; size taken from GM_THREADS or the hardware. */
+    static ThreadPool& instance();
+
+    /** Number of lanes (including the caller's lane). */
+    int num_threads() const { return num_threads_; }
+
+    /**
+     * Run @p job on every lane and wait for completion.
+     *
+     * @param job Receives the lane id in [0, num_threads()).
+     */
+    void run(const std::function<void(int)>& job);
+
+    /** True when the calling thread is currently inside a pool job. */
+    static bool in_parallel_region();
+
+  private:
+    void worker_loop(int lane);
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(int)>* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace gm::par

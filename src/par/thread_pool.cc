@@ -1,0 +1,108 @@
+#include "gm/par/thread_pool.hh"
+
+#include "gm/support/env.hh"
+#include "gm/support/log.hh"
+
+namespace gm::par
+{
+
+namespace
+{
+
+thread_local bool tls_in_parallel = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    if (num_threads <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    num_threads_ = num_threads;
+    workers_.reserve(num_threads_ - 1);
+    for (int lane = 1; lane < num_threads_; ++lane)
+        workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+ThreadPool&
+ThreadPool::instance()
+{
+    static ThreadPool pool(static_cast<int>(env_int("GM_THREADS", 0)));
+    return pool;
+}
+
+bool
+ThreadPool::in_parallel_region()
+{
+    return tls_in_parallel;
+}
+
+void
+ThreadPool::run(const std::function<void(int)>& job)
+{
+    if (tls_in_parallel || num_threads_ == 1) {
+        // Nested parallelism degrades to serial execution on this lane.
+        bool saved = tls_in_parallel;
+        tls_in_parallel = true;
+        job(0);
+        tls_in_parallel = saved;
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        pending_ = num_threads_ - 1;
+        ++generation_;
+    }
+    start_cv_.notify_all();
+
+    tls_in_parallel = true;
+    job(0);
+    tls_in_parallel = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::worker_loop(int lane)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(int)>* job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen_generation;
+            });
+            if (shutdown_)
+                return;
+            seen_generation = generation_;
+            job = job_;
+        }
+        tls_in_parallel = true;
+        (*job)(lane);
+        tls_in_parallel = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --pending_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+} // namespace gm::par

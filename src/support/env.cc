@@ -1,0 +1,38 @@
+#include "gm/support/env.hh"
+
+#include <cstdlib>
+
+namespace gm
+{
+
+std::int64_t
+env_int(const char* name, std::int64_t fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env)
+        return fallback;
+    return static_cast<std::int64_t>(v);
+}
+
+std::string
+env_string(const char* name, const std::string& fallback)
+{
+    const char* env = std::getenv(name);
+    return env == nullptr ? fallback : std::string(env);
+}
+
+bool
+env_bool(const char* name, bool fallback)
+{
+    const char* env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    std::string s(env);
+    return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+} // namespace gm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fixed-size concurrent bitmap, modeled on the GAP benchmark's Bitmap.
+ *
+ * Used as the dense frontier representation in pull-direction traversals and
+ * as the successor-set encoding in betweenness centrality.
+ */
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gm
+{
+
+/** Concurrent bitmap with atomic set; reads are plain (publication via the
+ *  enclosing algorithm's barriers). */
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+
+    /** Construct with room for @p size bits, all clear. */
+    explicit Bitmap(std::size_t size) { resize(size); }
+
+    /** Resize to @p size bits; contents become unspecified until reset(). */
+    void
+    resize(std::size_t size)
+    {
+        size_ = size;
+        words_.assign((size + kBits - 1) / kBits, 0);
+    }
+
+    /** Clear all bits. */
+    void
+    reset()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+    }
+
+    /** Number of bits. */
+    std::size_t size() const { return size_; }
+
+    /** Set bit @p pos without atomicity (single-writer phases). */
+    void
+    set_bit(std::size_t pos)
+    {
+        words_[pos / kBits] |= word_t{1} << (pos % kBits);
+    }
+
+    /** Atomically set bit @p pos (concurrent writer phases). */
+    void
+    set_bit_atomic(std::size_t pos)
+    {
+        std::atomic_ref<word_t> word(words_[pos / kBits]);
+        word.fetch_or(word_t{1} << (pos % kBits), std::memory_order_relaxed);
+    }
+
+    /** Atomically set bit @p pos; true when this call flipped it 0 -> 1. */
+    bool
+    set_bit_atomic_and_test(std::size_t pos)
+    {
+        std::atomic_ref<word_t> word(words_[pos / kBits]);
+        const word_t mask = word_t{1} << (pos % kBits);
+        return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
+    }
+
+    /** Clear bit @p pos (single-writer phases). */
+    void
+    clear_bit(std::size_t pos)
+    {
+        words_[pos / kBits] &= ~(word_t{1} << (pos % kBits));
+    }
+
+    /** Test bit @p pos. */
+    bool
+    get_bit(std::size_t pos) const
+    {
+        return (words_[pos / kBits] >> (pos % kBits)) & 1;
+    }
+
+    /** Copy all bits from @p other (must be the same size). */
+    void
+    copy_from(const Bitmap& other)
+    {
+        words_ = other.words_;
+        size_ = other.size_;
+    }
+
+    /** Exchange contents with @p other. */
+    void
+    swap(Bitmap& other)
+    {
+        words_.swap(other.words_);
+        std::swap(size_, other.size_);
+    }
+
+    /** Invoke @p fn(position) for every set bit, in increasing order. */
+    template <typename Fn>
+    void
+    for_each_set(Fn&& fn) const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            word_t w = words_[wi];
+            while (w != 0) {
+                const int bit = __builtin_ctzll(w);
+                fn(wi * kBits + static_cast<std::size_t>(bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Population count over all bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (word_t w : words_)
+            total += static_cast<std::size_t>(__builtin_popcountll(w));
+        return total;
+    }
+
+  private:
+    using word_t = std::uint64_t;
+    static constexpr std::size_t kBits = 64;
+
+    std::vector<word_t> words_;
+    std::size_t size_ = 0;
+};
+
+} // namespace gm

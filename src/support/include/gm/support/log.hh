@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad input, bad
+ * configuration) and exits cleanly; panic() is for internal invariant
+ * violations and aborts.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gm
+{
+
+/** Severity for log(). */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Global log threshold; messages below it are dropped.  Set via GM_LOG. */
+LogLevel log_threshold();
+
+/** Emit a log line to stderr if @p level passes the threshold. */
+void log_message(LogLevel level, const std::string& msg);
+
+/** Print @p msg and exit(1).  Use for user-caused errors. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Print @p msg and abort().  Use for internal bugs. */
+[[noreturn]] void panic(const std::string& msg);
+
+namespace detail
+{
+
+inline void
+stream_all(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+stream_all(std::ostringstream& os, const T& v, const Rest&... rest)
+{
+    os << v;
+    stream_all(os, rest...);
+}
+
+} // namespace detail
+
+/** Variadic convenience wrapper: log_info("built ", n, " vertices"). */
+template <typename... Args>
+void
+log_info(const Args&... args)
+{
+    std::ostringstream os;
+    detail::stream_all(os, args...);
+    log_message(LogLevel::kInfo, os.str());
+}
+
+/** Variadic convenience wrapper for warnings. */
+template <typename... Args>
+void
+log_warn(const Args&... args)
+{
+    std::ostringstream os;
+    detail::stream_all(os, args...);
+    log_message(LogLevel::kWarn, os.str());
+}
+
+} // namespace gm
+
+/** Assert that is kept in release builds; panics with location on failure. */
+#define GM_ASSERT(cond, msg)                                                   \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::gm::panic(std::string("assertion failed at ") + __FILE__ + ":" + \
+                        std::to_string(__LINE__) + ": " #cond " — " + (msg));  \
+        }                                                                      \
+    } while (0)

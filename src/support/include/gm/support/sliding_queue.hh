@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Sliding queue + per-thread insertion buffer, modeled on the GAP benchmark.
+ *
+ * A SlidingQueue holds successive frontiers of a level-synchronous traversal
+ * in one contiguous array: the "window" [shared_out_start, shared_out_end)
+ * is the current frontier; newly produced vertices are appended after it and
+ * become the next frontier on slide_window().  QueueBuffer batches appends
+ * per thread to keep the shared atomic cursor cold.
+ */
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "gm/support/log.hh"
+
+namespace gm
+{
+
+template <typename T>
+class QueueBuffer;
+
+/** Contiguous multi-frontier queue with a sliding current-frontier window. */
+template <typename T>
+class SlidingQueue
+{
+  public:
+    /** @param capacity Upper bound on total elements ever pushed. */
+    explicit SlidingQueue(std::size_t capacity)
+        : storage_(capacity), in_(0), out_start_(0), out_end_(0)
+    {
+    }
+
+    /** Append one element (single-threaded or externally synchronized). */
+    void
+    push_back(T value)
+    {
+        GM_ASSERT(in_ < storage_.size(), "sliding queue overflow");
+        storage_[in_++] = value;
+    }
+
+    /** True when the current window is empty. */
+    bool empty() const { return out_start_ == out_end_; }
+
+    /** Number of elements in the current window. */
+    std::size_t size() const { return out_end_ - out_start_; }
+
+    /** Make everything appended since the last slide the new window. */
+    void
+    slide_window()
+    {
+        out_start_ = out_end_;
+        out_end_ = in_;
+    }
+
+    /** Drop all contents and reset the window. */
+    void
+    reset()
+    {
+        in_ = 0;
+        out_start_ = 0;
+        out_end_ = 0;
+    }
+
+    /** Iterators over the current window. */
+    const T* begin() const { return storage_.data() + out_start_; }
+    const T* end() const { return storage_.data() + out_end_; }
+
+  private:
+    friend class QueueBuffer<T>;
+
+    std::vector<T> storage_;
+    std::size_t in_;
+    std::size_t out_start_;
+    std::size_t out_end_;
+};
+
+/** Per-thread append buffer that flushes into a SlidingQueue in bulk. */
+template <typename T>
+class QueueBuffer
+{
+  public:
+    /** @param queue Shared target queue. @param capacity Local batch size. */
+    explicit QueueBuffer(SlidingQueue<T>& queue, std::size_t capacity = 1024)
+        : queue_(queue), local_(capacity), used_(0)
+    {
+    }
+
+    ~QueueBuffer() { flush(); }
+
+    /** Append locally; flushes to the shared queue when full. */
+    void
+    push_back(T value)
+    {
+        if (used_ == local_.size())
+            flush();
+        local_[used_++] = value;
+    }
+
+    /** Publish buffered elements to the shared queue. */
+    void
+    flush()
+    {
+        if (used_ == 0)
+            return;
+        std::atomic_ref<std::size_t> in(queue_.in_);
+        const std::size_t offset =
+            in.fetch_add(used_, std::memory_order_relaxed);
+        GM_ASSERT(offset + used_ <= queue_.storage_.size(),
+                  "sliding queue overflow during flush");
+        std::copy(local_.begin(), local_.begin() + used_,
+                  queue_.storage_.begin() + offset);
+        used_ = 0;
+    }
+
+  private:
+    SlidingQueue<T>& queue_;
+    std::vector<T> local_;
+    std::size_t used_;
+};
+
+} // namespace gm

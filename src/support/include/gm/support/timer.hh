@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Wall-clock timer mirroring the GAP benchmark's Timer utility.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace gm
+{
+
+/** Simple start/stop wall-clock timer with seconds/milliseconds readout. */
+class Timer
+{
+  public:
+    /** Start (or restart) the timer. */
+    void
+    start()
+    {
+        start_ = Clock::now();
+    }
+
+    /** Stop the timer; elapsed() reports the start→stop span. */
+    void
+    stop()
+    {
+        stop_ = Clock::now();
+    }
+
+    /** Seconds between the last start() and stop(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(stop_ - start_).count();
+    }
+
+    /** Milliseconds between the last start() and stop(). */
+    double
+    millisecs() const
+    {
+        return seconds() * 1e3;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Clock::time_point start_{};
+    Clock::time_point stop_{};
+};
+
+/** RAII helper: times a scope and adds the result to an accumulator. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double& accum_seconds) : accum_(accum_seconds)
+    {
+        timer_.start();
+    }
+
+    ~ScopedTimer()
+    {
+        timer_.stop();
+        accum_ += timer_.seconds();
+    }
+
+  private:
+    Timer timer_;
+    double& accum_;
+};
+
+} // namespace gm

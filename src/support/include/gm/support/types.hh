@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every graphmark module.
+ *
+ * The GAP-style modules use 32-bit vertex ids and 64-bit edge offsets, which
+ * comfortably covers the graph sizes this repository targets.  The
+ * mini-GraphBLAS module (gm::grb) deliberately uses 64-bit indices instead;
+ * see gm/grb/types.hh and DESIGN.md for why.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gm
+{
+
+/** Vertex identifier. */
+using vid_t = std::int32_t;
+
+/** Edge offset / edge count.  Offsets into CSR arrays are 64-bit. */
+using eid_t = std::int64_t;
+
+/** Integer edge weight (GAP uses uniform random weights in [1, 255]). */
+using weight_t = std::int32_t;
+
+/** Floating-point score type for PageRank / betweenness centrality. */
+using score_t = double;
+
+/** Sentinel for "no vertex" (unreached BFS parent, etc.). */
+inline constexpr vid_t kInvalidVid = -1;
+
+/** Sentinel for "unreachable" distances in SSSP. */
+inline constexpr weight_t kInfWeight = std::numeric_limits<weight_t>::max() / 2;
+
+} // namespace gm

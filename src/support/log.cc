@@ -1,0 +1,81 @@
+#include "gm/support/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace gm
+{
+
+namespace
+{
+
+LogLevel
+parse_threshold()
+{
+    const char* env = std::getenv("GM_LOG");
+    if (env == nullptr)
+        return LogLevel::kWarn;
+    std::string s(env);
+    if (s == "debug")
+        return LogLevel::kDebug;
+    if (s == "info")
+        return LogLevel::kInfo;
+    if (s == "warn")
+        return LogLevel::kWarn;
+    if (s == "error")
+        return LogLevel::kError;
+    return LogLevel::kWarn;
+}
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+}
+
+std::mutex log_mutex;
+
+} // namespace
+
+LogLevel
+log_threshold()
+{
+    static const LogLevel threshold = parse_threshold();
+    return threshold;
+}
+
+void
+log_message(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(log_threshold()))
+        return;
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::cerr << "[gm " << level_name(level) << "] " << msg << "\n";
+}
+
+void
+fatal(const std::string& msg)
+{
+    log_message(LogLevel::kError, "fatal: " + msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string& msg)
+{
+    log_message(LogLevel::kError, "panic: " + msg);
+    std::abort();
+}
+
+} // namespace gm

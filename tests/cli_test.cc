@@ -1,0 +1,114 @@
+/** Tests for the GAPBS-style CLI layer: option parsing and the end-to-end
+ *  kernel driver. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gm/cli/driver.hh"
+#include "gm/cli/options.hh"
+
+namespace gm::cli
+{
+namespace
+{
+
+std::optional<Options>
+parse(std::vector<const char*> args)
+{
+    args.insert(args.begin(), "test");
+    return parse_options(static_cast<int>(args.size()),
+                         const_cast<char**>(args.data()), "test");
+}
+
+TEST(CliOptions, DefaultsAreSane)
+{
+    const auto opts = parse({});
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->source, GraphSource::kKronecker);
+    EXPECT_EQ(opts->scale, 14);
+    EXPECT_EQ(opts->trials, 3);
+    EXPECT_EQ(opts->framework, "gap");
+    EXPECT_FALSE(opts->verify);
+    EXPECT_FALSE(opts->optimized);
+}
+
+TEST(CliOptions, GeneratorSelection)
+{
+    EXPECT_EQ(parse({"-g", "12"})->source, GraphSource::kKronecker);
+    EXPECT_EQ(parse({"-u", "12"})->source, GraphSource::kUniform);
+    EXPECT_EQ(parse({"-T", "12"})->source, GraphSource::kTwitterLike);
+    EXPECT_EQ(parse({"-W", "12"})->source, GraphSource::kWebLike);
+    EXPECT_EQ(parse({"-r", "12"})->source, GraphSource::kRoadLike);
+    EXPECT_EQ(parse({"-g", "12"})->scale, 12);
+}
+
+TEST(CliOptions, FileSourceAndFlags)
+{
+    const auto opts = parse({"-f", "/tmp/x.el", "-s", "-n", "7", "-v",
+                             "-F", "gkc", "-O", "-d", "8", "-k", "24",
+                             "-S", "99", "-i", "50", "-e", "0.001"});
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->source, GraphSource::kFile);
+    EXPECT_EQ(opts->file_path, "/tmp/x.el");
+    EXPECT_TRUE(opts->symmetrize);
+    EXPECT_EQ(opts->trials, 7);
+    EXPECT_TRUE(opts->verify);
+    EXPECT_EQ(opts->framework, "gkc");
+    EXPECT_TRUE(opts->optimized);
+    EXPECT_EQ(opts->delta, 8);
+    EXPECT_EQ(opts->degree, 24);
+    EXPECT_EQ(opts->seed, 99u);
+    EXPECT_EQ(opts->max_iters, 50);
+    EXPECT_DOUBLE_EQ(opts->tolerance, 0.001);
+}
+
+TEST(CliOptions, RejectsBadInput)
+{
+    EXPECT_FALSE(parse({"-zz"}).has_value());
+    EXPECT_FALSE(parse({"-g"}).has_value());     // missing value
+    EXPECT_FALSE(parse({"-n", "0"}).has_value()); // trials must be >= 1
+    EXPECT_FALSE(parse({"-h"}).has_value());      // help short-circuits
+}
+
+TEST(CliDriver, RunsEveryKernelOnTinyGraph)
+{
+    Options opts;
+    opts.source = GraphSource::kKronecker;
+    opts.scale = 8;
+    opts.trials = 1;
+    opts.verify = true;
+    for (harness::Kernel kernel : harness::kAllKernels)
+        EXPECT_EQ(run_kernel(kernel, opts), 0)
+            << harness::to_string(kernel);
+}
+
+TEST(CliDriver, RunsEveryFrameworkAlias)
+{
+    Options opts;
+    opts.source = GraphSource::kUniform;
+    opts.scale = 8;
+    opts.trials = 1;
+    opts.verify = true;
+    for (const char* name :
+         {"gap", "suitesparse", "galois", "nwgraph", "graphit", "gkc"}) {
+        opts.framework = name;
+        EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), 0) << name;
+    }
+    opts.framework = "no-such-framework";
+    EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), 1);
+}
+
+TEST(CliDriver, OptimizedModeRuns)
+{
+    Options opts;
+    opts.source = GraphSource::kRoadLike;
+    opts.scale = 8;
+    opts.trials = 1;
+    opts.verify = true;
+    opts.optimized = true;
+    opts.framework = "galois";
+    EXPECT_EQ(run_kernel(harness::Kernel::kSSSP, opts), 0);
+}
+
+} // namespace
+} // namespace gm::cli

@@ -1,0 +1,192 @@
+/** Direct tests of the graphitlite edgeset_apply engine: push and pull
+ *  must produce identical frontiers, dedup and reverse modes must behave,
+ *  and the dir-opt switch must engage on dense frontiers. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/graphitlite/edgeset_apply.hh"
+
+namespace gm::graphitlite
+{
+namespace
+{
+
+using graph::build_graph;
+using graph::CSRGraph;
+using graph::EdgeList;
+
+CSRGraph
+diamond()
+{
+    // 0 -> {1,2} -> 3
+    EdgeList edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+    return build_graph(edges, 4, true);
+}
+
+TEST(EdgesetApply, PushVisitsOutNeighbors)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(0);
+    Schedule sched;
+    sched.direction = Direction::kPush;
+    std::atomic<int> updates{0};
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched,
+        [&](vid_t, vid_t) {
+            updates.fetch_add(1);
+            return true;
+        },
+        [](vid_t) { return true; });
+    EXPECT_EQ(updates.load(), 2);
+    EXPECT_TRUE(next.contains(1));
+    EXPECT_TRUE(next.contains(2));
+    EXPECT_FALSE(next.contains(3));
+    EXPECT_EQ(next.size(), 2u);
+}
+
+TEST(EdgesetApply, PushAndPullProduceSameFrontier)
+{
+    const CSRGraph g = graph::make_kronecker(9, 8, 3);
+    const vid_t n = g.num_vertices();
+    for (Direction dir : {Direction::kPush, Direction::kPull}) {
+        VertexSubset frontier(n);
+        frontier.add(0);
+        for (vid_t v : g.out_neigh(0))
+            frontier.add(v);
+        Schedule sched;
+        sched.direction = dir;
+        // "visited" = frontier itself; activate everything else reached.
+        VertexSubset next = edgeset_apply(
+            g, frontier, sched, [&](vid_t, vid_t) { return true; },
+            [&](vid_t v) { return !frontier.contains(v); });
+        next.materialize_sparse();
+        std::set<vid_t> got(next.sparse().begin(), next.sparse().end());
+        // Oracle: all non-frontier vertices adjacent to the frontier.
+        std::set<vid_t> expected;
+        frontier.materialize_sparse();
+        for (vid_t u : frontier.sparse())
+            for (vid_t v : g.out_neigh(u))
+                if (!frontier.contains(v))
+                    expected.insert(v);
+        EXPECT_EQ(got, expected) << "direction "
+                                 << (dir == Direction::kPush ? "push"
+                                                             : "pull");
+    }
+}
+
+TEST(EdgesetApply, DedupOffAllowsDuplicates)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(1);
+    frontier.add(2);
+    Schedule sched;
+    sched.direction = Direction::kPush;
+    sched.dedup = false;
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched, [](vid_t, vid_t) { return true; },
+        [](vid_t) { return true; });
+    // Vertex 3 activated by both 1 and 2: sparse list has two entries.
+    EXPECT_EQ(next.sparse().size(), 2u);
+    // ... but the bitvector still holds one member.
+    EXPECT_TRUE(next.contains(3));
+    EXPECT_EQ(next.bitmap().count(), 1u);
+}
+
+TEST(EdgesetApply, DedupOnCollapsesDuplicates)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(1);
+    frontier.add(2);
+    Schedule sched;
+    sched.direction = Direction::kPush;
+    sched.dedup = true;
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched, [](vid_t, vid_t) { return true; },
+        [](vid_t) { return true; });
+    EXPECT_EQ(next.size(), 1u);
+}
+
+TEST(EdgesetApply, ReverseModeTraversesInEdges)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(3);
+    Schedule sched;
+    sched.direction = Direction::kPush;
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched, [](vid_t, vid_t) { return true; },
+        [](vid_t) { return true; }, /*pull_early_exit=*/false,
+        /*reverse=*/true);
+    EXPECT_TRUE(next.contains(1));
+    EXPECT_TRUE(next.contains(2));
+    EXPECT_FALSE(next.contains(0));
+}
+
+TEST(EdgesetApply, PullEarlyExitStopsAtFirstHit)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(1);
+    frontier.add(2);
+    Schedule sched;
+    sched.direction = Direction::kPull;
+    std::atomic<int> updates{0};
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched,
+        [&](vid_t, vid_t) {
+            updates.fetch_add(1);
+            return true;
+        },
+        [&](vid_t v) { return v == 3; }, /*pull_early_exit=*/true);
+    // Vertex 3 has two in-edges from the frontier but exits after one.
+    EXPECT_EQ(updates.load(), 1);
+    EXPECT_TRUE(next.contains(3));
+}
+
+TEST(EdgesetApply, CondFiltersTargets)
+{
+    const CSRGraph g = diamond();
+    VertexSubset frontier(4);
+    frontier.add(0);
+    Schedule sched;
+    sched.direction = Direction::kPush;
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched, [](vid_t, vid_t) { return true; },
+        [](vid_t v) { return v != 1; });
+    EXPECT_FALSE(next.contains(1));
+    EXPECT_TRUE(next.contains(2));
+}
+
+TEST(EdgesetApply, DirOptSwitchesToPullOnDenseFrontier)
+{
+    // A dense frontier (> n/20) must take the pull path, observable via
+    // in-edge-order updates: in pull mode each target runs sequentially.
+    const CSRGraph g = graph::make_uniform(9, 8, 5);
+    const vid_t n = g.num_vertices();
+    VertexSubset frontier(n);
+    for (vid_t v = 0; v < n; ++v)
+        frontier.add(v);
+    Schedule sched;
+    sched.direction = Direction::kDirOpt;
+    std::atomic<std::int64_t> updates{0};
+    VertexSubset next = edgeset_apply(
+        g, frontier, sched,
+        [&](vid_t, vid_t) {
+            updates.fetch_add(1);
+            return false; // never activate: pull must still scan
+        },
+        [](vid_t) { return true; });
+    EXPECT_TRUE(next.empty());
+    // Every stored edge examined exactly once (pull over in-edges).
+    EXPECT_EQ(updates.load(), g.num_edges_directed());
+}
+
+} // namespace
+} // namespace gm::graphitlite

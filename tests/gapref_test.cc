@@ -1,0 +1,275 @@
+/** Tests for the GAP reference kernels against the spec verifiers/oracles. */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gm/gapref/kernels.hh"
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::gapref
+{
+namespace
+{
+
+using graph::build_graph;
+using graph::CSRGraph;
+using graph::EdgeList;
+
+struct TestGraph
+{
+    std::string name;
+    CSRGraph g;
+};
+
+std::vector<TestGraph>
+test_graphs()
+{
+    std::vector<TestGraph> graphs;
+    graphs.push_back({"kron", graph::make_kronecker(11, 12, 4)});
+    graphs.push_back({"urand", graph::make_uniform(11, 10, 5)});
+    graphs.push_back({"road", graph::make_road_like(40, 40, 6)});
+    graphs.push_back({"twitter", graph::make_twitter_like(10, 10, 7)});
+    graphs.push_back({"web", graph::make_web_like(10, 8, 8)});
+    return graphs;
+}
+
+/** First few vertices with nonzero out-degree (deterministic sources). */
+std::vector<vid_t>
+pick_sources(const CSRGraph& g, int count, std::uint64_t seed)
+{
+    std::vector<vid_t> sources;
+    Xoshiro256 rng(seed);
+    while (static_cast<int>(sources.size()) < count) {
+        const vid_t v = static_cast<vid_t>(rng.next_bounded(g.num_vertices()));
+        if (g.out_degree(v) > 0)
+            sources.push_back(v);
+    }
+    return sources;
+}
+
+class GapRefKernels : public ::testing::Test
+{
+  protected:
+    static const std::vector<TestGraph>&
+    graphs()
+    {
+        static std::vector<TestGraph> gs = test_graphs();
+        return gs;
+    }
+};
+
+TEST_F(GapRefKernels, BfsVerifiesOnAllGraphs)
+{
+    for (const auto& tg : graphs()) {
+        for (vid_t src : pick_sources(tg.g, 3, 21)) {
+            std::string err;
+            const auto parent = bfs(tg.g, src);
+            EXPECT_TRUE(verify_bfs(tg.g, src, parent, &err))
+                << tg.name << " src=" << src << ": " << err;
+        }
+    }
+}
+
+TEST_F(GapRefKernels, BfsTrivialCases)
+{
+    // Isolated source: only itself reached.
+    EdgeList edges = {{1, 2}};
+    CSRGraph g = build_graph(edges, 4, true);
+    const auto parent = bfs(g, 0);
+    EXPECT_EQ(parent[0], 0);
+    EXPECT_EQ(parent[1], kInvalidVid);
+    EXPECT_EQ(parent[2], kInvalidVid);
+    EXPECT_EQ(parent[3], kInvalidVid);
+}
+
+TEST_F(GapRefKernels, BfsChainDepths)
+{
+    EdgeList edges;
+    constexpr vid_t kLen = 200;
+    for (vid_t v = 0; v + 1 < kLen; ++v)
+        edges.push_back({v, v + 1});
+    CSRGraph g = build_graph(edges, kLen, false);
+    const auto parent = bfs(g, 0);
+    std::string err;
+    EXPECT_TRUE(verify_bfs(g, 0, parent, &err)) << err;
+    for (vid_t v = 1; v < kLen; ++v)
+        EXPECT_EQ(parent[v], v - 1);
+}
+
+TEST_F(GapRefKernels, SsspVerifiesOnAllGraphs)
+{
+    for (const auto& tg : graphs()) {
+        const graph::WCSRGraph wg = graph::add_weights(tg.g, 1234);
+        for (vid_t src : pick_sources(tg.g, 2, 22)) {
+            std::string err;
+            const auto dist = sssp(wg, src, /*delta=*/32);
+            EXPECT_TRUE(verify_sssp(wg, src, dist, &err))
+                << tg.name << " src=" << src << ": " << err;
+        }
+    }
+}
+
+TEST_F(GapRefKernels, SsspDeltaParameterDoesNotChangeResult)
+{
+    const graph::WCSRGraph wg =
+        graph::add_weights(graph::make_kronecker(10, 10, 3), 55);
+    const auto d1 = sssp(wg, 1, 1);
+    const auto d2 = sssp(wg, 1, 64);
+    const auto d3 = sssp(wg, 1, 100000);
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d2, d3);
+}
+
+TEST_F(GapRefKernels, SsspHandDrawnExample)
+{
+    graph::WEdgeList edges = {
+        {0, 1, 4}, {0, 2, 1}, {2, 1, 2}, {1, 3, 1}, {2, 3, 5}};
+    const graph::WCSRGraph wg = graph::build_wgraph(edges, 5, true);
+    const auto dist = sssp(wg, 0, 2);
+    EXPECT_EQ(dist[0], 0);
+    EXPECT_EQ(dist[1], 3);
+    EXPECT_EQ(dist[2], 1);
+    EXPECT_EQ(dist[3], 4);
+    EXPECT_EQ(dist[4], kInfWeight);
+}
+
+TEST_F(GapRefKernels, PageRankVerifiesOnAllGraphs)
+{
+    for (const auto& tg : graphs()) {
+        std::string err;
+        const auto scores = pagerank(tg.g, 0.85, 1e-4, 100);
+        EXPECT_TRUE(verify_pagerank(tg.g, scores, 0.85, 1e-4, &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST_F(GapRefKernels, PageRankGaussSeidelVerifiesAndMatchesJacobi)
+{
+    for (const auto& tg : graphs()) {
+        std::string err;
+        const auto gs = pagerank_gauss_seidel(tg.g, 0.85, 1e-4, 100);
+        EXPECT_TRUE(verify_pagerank(tg.g, gs, 0.85, 1e-4, &err))
+            << tg.name << ": " << err;
+        const auto jacobi = pagerank(tg.g, 0.85, 1e-4, 200);
+        ASSERT_EQ(gs.size(), jacobi.size());
+        for (std::size_t i = 0; i < gs.size(); ++i)
+            ASSERT_NEAR(gs[i], jacobi[i], 1e-3) << tg.name << " v=" << i;
+    }
+}
+
+TEST_F(GapRefKernels, PageRankScoresArePositiveAndBounded)
+{
+    const CSRGraph g = graph::make_kronecker(10, 10, 3);
+    const auto scores = pagerank(g, 0.85, 1e-4, 100);
+    double sum = 0;
+    for (score_t s : scores) {
+        EXPECT_GT(s, 0);
+        EXPECT_LT(s, 1);
+        sum += s;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-6);
+    EXPECT_GT(sum, 0.5);
+}
+
+TEST_F(GapRefKernels, CcVerifiesOnAllGraphs)
+{
+    for (const auto& tg : graphs()) {
+        std::string err;
+        const auto comp = cc_afforest(tg.g);
+        EXPECT_TRUE(verify_cc(tg.g, comp, &err)) << tg.name << ": " << err;
+    }
+}
+
+TEST_F(GapRefKernels, CcTwoIslands)
+{
+    EdgeList edges = {{0, 1}, {1, 2}, {3, 4}};
+    CSRGraph g = build_graph(edges, 5, false);
+    const auto comp = cc_afforest(g);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST_F(GapRefKernels, CcDirectedIsWeaklyConnected)
+{
+    // 0 -> 1 <- 2: weakly one component despite no directed path 0..2.
+    EdgeList edges = {{0, 1}, {2, 1}};
+    CSRGraph g = build_graph(edges, 3, true);
+    const auto comp = cc_afforest(g);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+}
+
+TEST_F(GapRefKernels, BcVerifiesOnAllGraphs)
+{
+    for (const auto& tg : graphs()) {
+        const auto sources = pick_sources(tg.g, 4, 23);
+        std::string err;
+        const auto scores = bc(tg.g, sources);
+        EXPECT_TRUE(verify_bc(tg.g, sources, scores, &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST_F(GapRefKernels, BcPathGraphCenterDominates)
+{
+    EdgeList edges;
+    for (vid_t v = 0; v + 1 < 5; ++v)
+        edges.push_back({v, v + 1});
+    CSRGraph g = build_graph(edges, 5, false);
+    const auto scores = bc(g, {0, 4});
+    // Middle vertex lies on every shortest path between the ends.
+    EXPECT_DOUBLE_EQ(scores[2], 1.0);
+    EXPECT_EQ(scores[0], 0.0);
+    EXPECT_EQ(scores[4], 0.0);
+}
+
+TEST_F(GapRefKernels, TcMatchesOracleOnUndirectedGraphs)
+{
+    for (const auto& tg : graphs()) {
+        if (tg.g.is_directed())
+            continue;
+        std::string err;
+        EXPECT_TRUE(verify_tc(tg.g, tc(tg.g), &err)) << tg.name << ": " << err;
+    }
+}
+
+TEST_F(GapRefKernels, TcKnownCounts)
+{
+    // Triangle plus a pendant: exactly one triangle.
+    EdgeList edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+    CSRGraph g = build_graph(edges, 4, false);
+    EXPECT_EQ(tc(g), 1u);
+    EXPECT_EQ(tc_no_relabel(g), 1u);
+
+    // K4 has 4 triangles.
+    EdgeList k4;
+    for (vid_t a = 0; a < 4; ++a)
+        for (vid_t b = a + 1; b < 4; ++b)
+            k4.push_back({a, b});
+    CSRGraph g4 = build_graph(k4, 4, false);
+    EXPECT_EQ(tc(g4), 4u);
+}
+
+TEST_F(GapRefKernels, TcRelabelHeuristicFiresOnSkewOnly)
+{
+    // Dense power-law graph: worth relabeling.
+    const CSRGraph kron = graph::make_kronecker(12, 20, 3);
+    EXPECT_TRUE(tc_worth_relabeling(kron));
+    // Sparse bounded-degree road: not worth it.
+    const CSRGraph road = graph::make_road_like(40, 40, 3);
+    EXPECT_FALSE(tc_worth_relabeling(road));
+}
+
+TEST_F(GapRefKernels, TcRelabelDoesNotChangeCount)
+{
+    const CSRGraph g = graph::make_kronecker(11, 16, 9);
+    EXPECT_EQ(tc(g), tc_no_relabel(g));
+}
+
+} // namespace
+} // namespace gm::gapref

@@ -1,0 +1,143 @@
+/** Parameterized sweeps over the synthetic generators: size expectations,
+ *  topology-class stability across scales and seeds, and structural
+ *  soundness of every generated graph.  These are the guarantees Table I
+ *  (and the frameworks' run-time heuristics) depend on. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/graph/stats.hh"
+
+namespace gm::graph
+{
+namespace
+{
+
+struct SweepParam
+{
+    int scale;
+    std::uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+void
+check_sound(const CSRGraph& g)
+{
+    const vid_t n = g.num_vertices();
+    ASSERT_EQ(g.out_offsets().size(), static_cast<std::size_t>(n) + 1);
+    for (vid_t v = 0; v < n; ++v) {
+        vid_t prev = -1;
+        for (vid_t u : g.out_neigh(v)) {
+            ASSERT_GE(u, 0);
+            ASSERT_LT(u, n);
+            ASSERT_NE(u, v);
+            ASSERT_GT(u, prev); // sorted, deduped
+            prev = u;
+        }
+    }
+}
+
+TEST_P(GeneratorSweep, KroneckerShape)
+{
+    const auto [scale, seed] = GetParam();
+    const CSRGraph g = make_kronecker(scale, 16, seed);
+    check_sound(g);
+    EXPECT_EQ(g.num_vertices(), vid_t{1} << scale);
+    EXPECT_FALSE(g.is_directed());
+    // Dedup + self-loop removal shrink the edge count, but it must stay
+    // within sane bounds of n * edgefactor.
+    const eid_t target = (eid_t{1} << scale) * 8; // m = n*16/2 undirected
+    EXPECT_GT(g.num_edges(), target / 3);
+    EXPECT_LE(g.num_edges(), target);
+    EXPECT_EQ(classify_degree_distribution(g), DegreeDistribution::kPower);
+}
+
+TEST_P(GeneratorSweep, UniformShape)
+{
+    const auto [scale, seed] = GetParam();
+    const CSRGraph g = make_uniform(scale, 16, seed);
+    check_sound(g);
+    EXPECT_FALSE(g.is_directed());
+    const DegreeStats stats = degree_stats(g);
+    EXPECT_NEAR(stats.average, 16.0, 2.0);
+    EXPECT_EQ(classify_degree_distribution(g),
+              DegreeDistribution::kNormal);
+}
+
+TEST_P(GeneratorSweep, TwitterLikeShape)
+{
+    const auto [scale, seed] = GetParam();
+    const CSRGraph g = make_twitter_like(scale, 16, seed);
+    check_sound(g);
+    EXPECT_TRUE(g.is_directed());
+    EXPECT_EQ(classify_degree_distribution(g), DegreeDistribution::kPower);
+    // Low diameter (small-world): far below the road regime.
+    EXPECT_LT(approx_diameter(g, 2),
+              static_cast<vid_t>(4 * scale));
+}
+
+TEST_P(GeneratorSweep, WebLikeShape)
+{
+    const auto [scale, seed] = GetParam();
+    const CSRGraph g = make_web_like(scale, 12, seed);
+    check_sound(g);
+    EXPECT_TRUE(g.is_directed());
+    EXPECT_EQ(classify_degree_distribution(g), DegreeDistribution::kPower);
+}
+
+TEST_P(GeneratorSweep, RoadLikeShape)
+{
+    const auto [scale, seed] = GetParam();
+    const vid_t side = vid_t{1} << (scale / 2);
+    const CSRGraph g = make_road_like(side, side, seed);
+    check_sound(g);
+    EXPECT_TRUE(g.is_directed());
+    const DegreeStats stats = degree_stats(g);
+    EXPECT_LE(stats.max, 4); // grid: at most 4 outgoing segments
+    EXPECT_EQ(classify_degree_distribution(g),
+              DegreeDistribution::kBounded);
+    // Mesh diameter scales with the side length, not log n.
+    EXPECT_GT(approx_diameter(g, 2), side);
+}
+
+TEST_P(GeneratorSweep, DeterministicAcrossCalls)
+{
+    const auto [scale, seed] = GetParam();
+    for (int variant = 0; variant < 2; ++variant) {
+        const CSRGraph a = variant == 0 ? make_kronecker(scale, 16, seed)
+                                        : make_web_like(scale, 12, seed);
+        const CSRGraph b = variant == 0 ? make_kronecker(scale, 16, seed)
+                                        : make_web_like(scale, 12, seed);
+        EXPECT_EQ(a.out_offsets(), b.out_offsets());
+        EXPECT_EQ(a.out_destinations(), b.out_destinations());
+    }
+}
+
+TEST_P(GeneratorSweep, WeightsDeterministicAndSeedSensitive)
+{
+    const auto [scale, seed] = GetParam();
+    const CSRGraph g = make_uniform(scale, 8, seed);
+    const WCSRGraph w1 = add_weights(g, 1);
+    const WCSRGraph w2 = add_weights(g, 1);
+    const WCSRGraph w3 = add_weights(g, 2);
+    EXPECT_EQ(w1.out_destinations(), w2.out_destinations());
+    EXPECT_NE(w1.out_destinations(), w3.out_destinations());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndSeeds, GeneratorSweep,
+    ::testing::Values(SweepParam{10, 1}, SweepParam{10, 99},
+                      SweepParam{12, 1}, SweepParam{12, 7},
+                      SweepParam{14, 3}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+        return "scale" + std::to_string(info.param.scale) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace gm::graph

@@ -1,0 +1,192 @@
+/** Tests for the schedule-driven (GraphIt-like) framework: same algorithm
+ *  text must verify under many different schedules. */
+#include <gtest/gtest.h>
+
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/graphitlite/edgeset_apply.hh"
+#include "gm/graphitlite/kernels.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::graphitlite
+{
+namespace
+{
+
+struct TestGraph
+{
+    std::string name;
+    graph::CSRGraph g;
+};
+
+const std::vector<TestGraph>&
+graphs()
+{
+    static std::vector<TestGraph> gs = [] {
+        std::vector<TestGraph> v;
+        v.push_back({"kron", graph::make_kronecker(10, 12, 4)});
+        v.push_back({"urand", graph::make_uniform(10, 10, 5)});
+        v.push_back({"road", graph::make_road_like(30, 30, 6)});
+        v.push_back({"web", graph::make_web_like(9, 8, 7)});
+        return v;
+    }();
+    return gs;
+}
+
+std::vector<vid_t>
+pick_sources(const graph::CSRGraph& g, int count, std::uint64_t seed)
+{
+    std::vector<vid_t> sources;
+    Xoshiro256 rng(seed);
+    while (static_cast<int>(sources.size()) < count) {
+        const vid_t v = static_cast<vid_t>(rng.next_bounded(g.num_vertices()));
+        if (g.out_degree(v) > 0)
+            sources.push_back(v);
+    }
+    return sources;
+}
+
+TEST(VertexSubsetTest, SparseAndBitvectorStayInSync)
+{
+    VertexSubset s(100);
+    s.add(5);
+    s.add(7);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_FALSE(s.contains(6));
+    s.mark_bitmap_only();
+    EXPECT_EQ(s.size(), 2u);
+    s.materialize_sparse();
+    EXPECT_EQ(s.sparse().size(), 2u);
+}
+
+TEST(VertexSubsetTest, AtomicAddDeduplicates)
+{
+    VertexSubset s(10);
+    EXPECT_TRUE(s.add_atomic(3));
+    EXPECT_FALSE(s.add_atomic(3));
+    s.mark_bitmap_only();
+    EXPECT_EQ(s.size(), 1u);
+}
+
+/** Schedules a BFS should verify under. */
+std::vector<Schedule>
+bfs_schedules()
+{
+    std::vector<Schedule> scheds;
+    Schedule s;
+    scheds.push_back(s); // dir-opt, sparse
+    s.direction = Direction::kPush;
+    scheds.push_back(s);
+    s.direction = Direction::kPull;
+    scheds.push_back(s);
+    s.direction = Direction::kDirOpt;
+    s.frontier = FrontierRep::kBitvector;
+    scheds.push_back(s);
+    s.dedup = false;
+    s.direction = Direction::kPush;
+    scheds.push_back(s);
+    return scheds;
+}
+
+class BfsScheduleTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BfsScheduleTest, VerifiesUnderSchedule)
+{
+    const Schedule sched = bfs_schedules()[GetParam()];
+    for (const auto& tg : graphs()) {
+        for (vid_t src : pick_sources(tg.g, 2, 61)) {
+            std::string err;
+            EXPECT_TRUE(
+                gapref::verify_bfs(tg.g, src, bfs(tg.g, src, sched), &err))
+                << tg.name << " src=" << src << ": " << err;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, BfsScheduleTest,
+                         ::testing::Range<std::size_t>(0,
+                                                       bfs_schedules().size()));
+
+TEST(GraphItKernels, SsspWithAndWithoutFusionAgree)
+{
+    for (const auto& tg : graphs()) {
+        const graph::WCSRGraph wg = graph::add_weights(tg.g, 111);
+        Schedule fused;
+        fused.bucket_fusion = true;
+        Schedule unfused;
+        unfused.bucket_fusion = false;
+        for (vid_t src : pick_sources(tg.g, 2, 62)) {
+            std::string err;
+            const auto d1 = sssp(wg, src, 32, fused);
+            EXPECT_TRUE(gapref::verify_sssp(wg, src, d1, &err))
+                << tg.name << " fused: " << err;
+            const auto d2 = sssp(wg, src, 32, unfused);
+            EXPECT_EQ(d1, d2) << tg.name;
+        }
+    }
+}
+
+TEST(GraphItKernels, CcLabelPropVerifies)
+{
+    for (const auto& tg : graphs()) {
+        std::string err;
+        EXPECT_TRUE(gapref::verify_cc(tg.g, cc_label_prop(tg.g), &err))
+            << tg.name << ": " << err;
+        Schedule sc;
+        sc.short_circuit = true;
+        EXPECT_TRUE(gapref::verify_cc(tg.g, cc_label_prop(tg.g, sc), &err))
+            << tg.name << " short-circuit: " << err;
+    }
+}
+
+TEST(GraphItKernels, PageRankTiledMatchesUntiled)
+{
+    for (const auto& tg : graphs()) {
+        std::string err;
+        const auto flat = pagerank(tg.g);
+        EXPECT_TRUE(gapref::verify_pagerank(tg.g, flat, 0.85, 1e-4, &err))
+            << tg.name << ": " << err;
+        Schedule tiled;
+        tiled.num_segments = 4;
+        const auto seg = pagerank(tg.g, 0.85, 1e-4, 100, tiled);
+        ASSERT_EQ(flat.size(), seg.size());
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            ASSERT_NEAR(flat[i], seg[i], 1e-12) << tg.name << " v=" << i;
+    }
+}
+
+TEST(GraphItKernels, BcVerifiesBothFrontierReps)
+{
+    for (const auto& tg : graphs()) {
+        const auto sources = pick_sources(tg.g, 4, 63);
+        std::string err;
+        Schedule sparse;
+        sparse.frontier = FrontierRep::kSparse;
+        EXPECT_TRUE(gapref::verify_bc(tg.g, sources,
+                                      bc(tg.g, sources, sparse), &err))
+            << tg.name << " sparse: " << err;
+        Schedule bitv;
+        bitv.frontier = FrontierRep::kBitvector;
+        EXPECT_TRUE(gapref::verify_bc(tg.g, sources,
+                                      bc(tg.g, sources, bitv), &err))
+            << tg.name << " bitvector: " << err;
+    }
+}
+
+TEST(GraphItKernels, TcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        if (tg.g.is_directed())
+            continue;
+        std::string err;
+        EXPECT_TRUE(gapref::verify_tc(tg.g, tc(tg.g), &err))
+            << tg.name << ": " << err;
+    }
+}
+
+} // namespace
+} // namespace gm::graphitlite

@@ -1,0 +1,164 @@
+/** Edge-case tests for mini-GraphBLAS ops: empty inputs, full masks,
+ *  non-complemented masks, terminal-monoid early exit, repeated reuse of
+ *  output vectors (the identity-invariant machinery). */
+#include <gtest/gtest.h>
+
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/grb/ops.hh"
+
+namespace gm::grb
+{
+namespace
+{
+
+using graph::build_graph;
+using graph::EdgeList;
+
+Matrix<std::uint8_t>
+star_matrix()
+{
+    // 0 -> {1,2,3}
+    EdgeList edges = {{0, 1}, {0, 2}, {0, 3}};
+    return matrix_from_graph(build_graph(edges, 4, true));
+}
+
+TEST(GrbOpsEdge, EmptyInputProducesEmptyOutput)
+{
+    const Matrix<std::uint8_t> A = star_matrix();
+    Vector<Index> u(4); // no entries
+    Vector<Index> w(4);
+    vxm_push<AnySecondi>(w, static_cast<const Vector<Index>*>(nullptr),
+                         false, u, A);
+    EXPECT_EQ(w.nvals(), 0);
+}
+
+TEST(GrbOpsEdge, NonComplementedMaskKeepsOnlyMaskedEntries)
+{
+    const Matrix<std::uint8_t> A = star_matrix();
+    Vector<Index> u(4);
+    u.set(0, 0);
+    Vector<Index> mask(4);
+    mask.set(2, 1);
+    mask.convert(Rep::kBitmap);
+    Vector<Index> w(4);
+    vxm_push<AnySecondi>(w, &mask, /*complement=*/false, u, A);
+    EXPECT_EQ(w.nvals(), 1);
+    EXPECT_TRUE(w.present(2));
+    EXPECT_FALSE(w.present(1));
+}
+
+TEST(GrbOpsEdge, OutputVectorReuseAcrossSemiringsIsSafe)
+{
+    const Matrix<std::uint8_t> A = star_matrix();
+    Vector<Index> u(4);
+    u.set(0, 5);
+    Vector<Index> w(4);
+    // First use with AnySecondi (identity -1)...
+    vxm_push<AnySecondi>(w, static_cast<const Vector<Index>*>(nullptr),
+                         false, u, A);
+    EXPECT_EQ(w.get(1), 0);
+    // ...then reuse the same output with MinSecond (identity INT64_MAX):
+    // the identity-tracking fill must re-establish the invariant.
+    Vector<Index> gp(4);
+    gp.fill(7);
+    Vector<Index> w2(4);
+    mxv_pull<MinSecond>(w2, static_cast<const Vector<Index>*>(nullptr),
+                        false, matrix_from_graph_transposed(build_graph(
+                                   EdgeList{{0, 1}, {0, 2}, {0, 3}}, 4,
+                                   true)),
+                        gp);
+    EXPECT_TRUE(w2.present(1));
+    EXPECT_EQ(w2.get(1), 7);
+    EXPECT_FALSE(w2.present(0)); // 0 has no in-edges
+}
+
+TEST(GrbOpsEdge, PullRespectsMaskBeforeScanning)
+{
+    // Masked-out rows must not even be scanned (mask applies to output).
+    EdgeList edges = {{1, 0}, {2, 0}};
+    const auto g = build_graph(edges, 3, true);
+    const Matrix<std::uint8_t> AT = matrix_from_graph_transposed(g);
+    Vector<Index> u(3);
+    u.set(1, 1);
+    u.set(2, 2);
+    u.convert(Rep::kBitmap);
+    Vector<Index> mask(3);
+    mask.set(0, 1);
+    mask.convert(Rep::kBitmap);
+    Vector<Index> w(3);
+    mxv_pull<AnySecondi>(w, &mask, /*complement=*/true, AT, u);
+    EXPECT_EQ(w.nvals(), 0); // vertex 0 masked out, nothing else has in-edges
+}
+
+TEST(GrbOpsEdge, TerminalMonoidStopsAtFirstHit)
+{
+    // Vertex 0 has two in-edges from frontier members; any-secondi takes
+    // whichever comes first in the row and must not overwrite it.
+    EdgeList edges = {{1, 0}, {2, 0}};
+    const auto g = build_graph(edges, 3, true);
+    const Matrix<std::uint8_t> AT = matrix_from_graph_transposed(g);
+    Vector<Index> u(3);
+    u.set(1, 1);
+    u.set(2, 2);
+    u.convert(Rep::kBitmap);
+    Vector<Index> w(3);
+    mxv_pull<AnySecondi>(w, static_cast<const Vector<Index>*>(nullptr),
+                         false, AT, u);
+    ASSERT_TRUE(w.present(0));
+    EXPECT_EQ(w.get(0), 1); // first in sorted in-neighbor order
+}
+
+TEST(GrbOpsEdge, TrilTriuOnEmptyAndDiagonalFreeMatrix)
+{
+    const Matrix<std::uint8_t> empty(3, 3, {0, 0, 0, 0}, {}, {});
+    EXPECT_EQ(tril(empty).nvals(), 0);
+    EXPECT_EQ(triu(empty).nvals(), 0);
+}
+
+TEST(GrbOpsEdge, MaskedMxmOnTriangleFreeGraphIsZero)
+{
+    // A 4-cycle has no triangles.
+    EdgeList edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+    const auto g = build_graph(edges, 4, false);
+    const Matrix<std::uint8_t> A = matrix_from_graph(g);
+    EXPECT_EQ(reduce_matrix(mxm_masked_plus_pair(tril(A), triu(A))), 0);
+}
+
+TEST(GrbOpsEdge, ReduceEmptyVectorIsIdentity)
+{
+    Vector<std::int64_t> v(5);
+    EXPECT_EQ(reduce<PlusPair>(v), 0);
+    Vector<std::int32_t> d(5);
+    EXPECT_EQ(reduce<MinPlus>(d), MinPlus::identity());
+}
+
+TEST(GrbOpsEdge, LargeRandomPushPullEquivalence)
+{
+    const auto g = graph::make_kronecker(10, 10, 17);
+    const Matrix<std::uint8_t> A = matrix_from_graph(g);
+    const Matrix<std::uint8_t> AT = matrix_from_graph_transposed(g);
+    Vector<Index> u(g.num_vertices());
+    for (vid_t v = 0; v < g.num_vertices(); v += 7)
+        u.set(v, v);
+    Vector<Index> w_push(g.num_vertices());
+    vxm_push<MinSecond>(w_push, static_cast<const Vector<Index>*>(nullptr),
+                        false, u, A);
+    Vector<Index> ub(g.num_vertices());
+    for (vid_t v = 0; v < g.num_vertices(); v += 7)
+        ub.set(v, v);
+    ub.convert(Rep::kBitmap);
+    Vector<Index> w_pull(g.num_vertices());
+    mxv_pull<MinSecond>(w_pull, static_cast<const Vector<Index>*>(nullptr),
+                        false, AT, ub);
+    ASSERT_EQ(w_push.nvals(), w_pull.nvals());
+    for (Index i = 0; i < w_push.size(); ++i) {
+        ASSERT_EQ(w_push.present(i), w_pull.present(i)) << i;
+        if (w_push.present(i)) {
+            ASSERT_EQ(w_push.get(i), w_pull.get(i)) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace gm::grb

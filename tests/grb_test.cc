@@ -1,0 +1,263 @@
+/** Tests for the mini-GraphBLAS: vector reps, ops semantics, and the
+ *  LAGraph-style algorithms against the GAP verifiers. */
+#include <gtest/gtest.h>
+
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/grb/lagraph.hh"
+#include "gm/grb/ops.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::grb
+{
+namespace
+{
+
+TEST(GrbVector, RepConversions)
+{
+    Vector<Index> v(100);
+    EXPECT_EQ(v.rep(), Rep::kSparse);
+    v.set(3, 30);
+    v.set(7, 70);
+    EXPECT_EQ(v.nvals(), 2);
+    EXPECT_TRUE(v.present(3));
+    EXPECT_FALSE(v.present(4));
+
+    v.convert(Rep::kBitmap);
+    EXPECT_EQ(v.rep(), Rep::kBitmap);
+    EXPECT_EQ(v.nvals(), 2);
+    EXPECT_TRUE(v.present(7));
+    EXPECT_EQ(v.get(7), 70);
+
+    v.convert(Rep::kSparse);
+    EXPECT_EQ(v.indices().size(), 2u);
+    EXPECT_EQ(v.indices()[0], 3);
+    EXPECT_EQ(v.indices()[1], 7);
+}
+
+TEST(GrbVector, ClearValuesRestoresIdentity)
+{
+    Vector<std::int32_t> v(10);
+    v.set(2, 5);
+    v.clear_values(99);
+    EXPECT_EQ(v.nvals(), 0);
+    EXPECT_EQ(v.raw_values()[2], 99);
+}
+
+TEST(GrbVector, FillMakesDense)
+{
+    Vector<double> v(10);
+    v.fill(0.5);
+    EXPECT_EQ(v.rep(), Rep::kDense);
+    EXPECT_EQ(v.nvals(), 10);
+    EXPECT_TRUE(v.present(9));
+}
+
+TEST(GrbOps, PushPullAgreeOnBfsStep)
+{
+    // 0 -> 1, 0 -> 2, 1 -> 3 on 4 vertices.
+    graph::EdgeList edges = {{0, 1}, {0, 2}, {1, 3}};
+    graph::CSRGraph g = graph::build_graph(edges, 4, true);
+    Matrix<std::uint8_t> A = matrix_from_graph(g);
+    Matrix<std::uint8_t> AT = matrix_from_graph_transposed(g);
+
+    Vector<Index> q(4);
+    q.set(0, 0);
+    Vector<Index> w_push(4);
+    vxm_push<AnySecondi>(w_push, static_cast<const Vector<Index>*>(nullptr),
+                         false, q, A);
+    EXPECT_EQ(w_push.nvals(), 2);
+    EXPECT_TRUE(w_push.present(1));
+    EXPECT_TRUE(w_push.present(2));
+    EXPECT_EQ(w_push.get(1), 0); // parent is vertex 0
+    EXPECT_EQ(w_push.get(2), 0);
+
+    Vector<Index> qb(4);
+    qb.set(0, 0);
+    qb.convert(Rep::kBitmap);
+    Vector<Index> w_pull(4);
+    mxv_pull<AnySecondi>(w_pull, static_cast<const Vector<Index>*>(nullptr),
+                         false, AT, qb);
+    EXPECT_EQ(w_pull.nvals(), 2);
+    EXPECT_EQ(w_pull.get(1), 0);
+    EXPECT_EQ(w_pull.get(2), 0);
+}
+
+TEST(GrbOps, MaskComplementFiltersOutput)
+{
+    graph::EdgeList edges = {{0, 1}, {0, 2}};
+    graph::CSRGraph g = graph::build_graph(edges, 3, true);
+    Matrix<std::uint8_t> A = matrix_from_graph(g);
+    Vector<Index> q(3);
+    q.set(0, 0);
+    Vector<Index> mask(3);
+    mask.set(1, 1); // vertex 1 already visited
+    mask.convert(Rep::kBitmap);
+    Vector<Index> w(3);
+    vxm_push<AnySecondi>(w, &mask, /*complement=*/true, q, A);
+    EXPECT_FALSE(w.present(1));
+    EXPECT_TRUE(w.present(2));
+}
+
+TEST(GrbOps, MinPlusAccumulatesShortestCandidate)
+{
+    graph::WEdgeList edges = {{0, 2, 7}, {1, 2, 3}};
+    graph::WCSRGraph g = graph::build_wgraph(edges, 3, true);
+    Matrix<std::int32_t> WA = matrix_from_wgraph(g);
+    Vector<std::int32_t> u(3);
+    u.set(0, 0);
+    u.set(1, 1);
+    Vector<std::int32_t> w(3);
+    vxm_push<MinPlus>(w, static_cast<const Vector<std::int32_t>*>(nullptr),
+                      false, u, WA);
+    ASSERT_TRUE(w.present(2));
+    EXPECT_EQ(w.get(2), 4); // min(0+7, 1+3)
+}
+
+TEST(GrbOps, TrilTriuSplitMatrix)
+{
+    graph::EdgeList edges = {{0, 1}, {1, 2}, {0, 2}};
+    graph::CSRGraph g = graph::build_graph(edges, 3, false);
+    Matrix<std::uint8_t> A = matrix_from_graph(g);
+    Matrix<std::uint8_t> L = tril(A);
+    Matrix<std::uint8_t> U = triu(A);
+    EXPECT_EQ(L.nvals() + U.nvals(), A.nvals());
+    EXPECT_EQ(L.nvals(), U.nvals());
+    for (Index i = 0; i < L.nrows(); ++i)
+        for (Index e = L.row_ptr()[i]; e < L.row_ptr()[i + 1]; ++e)
+            EXPECT_LT(L.col_idx()[e], i);
+}
+
+TEST(GrbOps, MaskedMxmCountsTrianglePerEdge)
+{
+    // Triangle 0-1-2.
+    graph::EdgeList edges = {{0, 1}, {1, 2}, {0, 2}};
+    graph::CSRGraph g = graph::build_graph(edges, 3, false);
+    Matrix<std::uint8_t> A = matrix_from_graph(g);
+    Matrix<std::int64_t> C = mxm_masked_plus_pair(tril(A), triu(A));
+    EXPECT_EQ(reduce_matrix(C), 1);
+}
+
+TEST(GrbOps, ReduceVector)
+{
+    Vector<std::int64_t> v(10);
+    v.set(1, 5);
+    v.set(4, 7);
+    // reduce applies only the additive monoid; it sums stored values.
+    EXPECT_EQ(reduce<PlusPair /* plus monoid, Out=int64 */>(v), 12);
+}
+
+class LagraphKernels : public ::testing::Test
+{
+  protected:
+    struct TestGraph
+    {
+        std::string name;
+        graph::CSRGraph g;
+    };
+
+    static const std::vector<TestGraph>&
+    graphs()
+    {
+        static std::vector<TestGraph> gs = [] {
+            std::vector<TestGraph> v;
+            v.push_back({"kron", graph::make_kronecker(10, 12, 4)});
+            v.push_back({"urand", graph::make_uniform(10, 10, 5)});
+            v.push_back({"road", graph::make_road_like(30, 30, 6)});
+            v.push_back({"twitter", graph::make_twitter_like(9, 10, 7)});
+            return v;
+        }();
+        return gs;
+    }
+
+    static std::vector<vid_t>
+    pick_sources(const graph::CSRGraph& g, int count, std::uint64_t seed)
+    {
+        std::vector<vid_t> sources;
+        Xoshiro256 rng(seed);
+        while (static_cast<int>(sources.size()) < count) {
+            const vid_t v =
+                static_cast<vid_t>(rng.next_bounded(g.num_vertices()));
+            if (g.out_degree(v) > 0)
+                sources.push_back(v);
+        }
+        return sources;
+    }
+};
+
+TEST_F(LagraphKernels, BfsVerifies)
+{
+    for (const auto& tg : graphs()) {
+        lagraph::GrbGraph gg = lagraph::make_grb_graph(tg.g);
+        for (vid_t src : pick_sources(tg.g, 2, 31)) {
+            std::string err;
+            const auto parent = lagraph::bfs_parent(gg, src);
+            EXPECT_TRUE(gapref::verify_bfs(tg.g, src, parent, &err))
+                << tg.name << " src=" << src << ": " << err;
+        }
+    }
+}
+
+TEST_F(LagraphKernels, SsspVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const graph::WCSRGraph wg = graph::add_weights(tg.g, 77);
+        lagraph::GrbGraph gg = lagraph::make_grb_graph(tg.g);
+        lagraph::attach_weights(gg, wg);
+        for (vid_t src : pick_sources(tg.g, 2, 32)) {
+            std::string err;
+            const auto dist = lagraph::sssp(gg, src, 32);
+            EXPECT_TRUE(gapref::verify_sssp(wg, src, dist, &err))
+                << tg.name << " src=" << src << ": " << err;
+        }
+    }
+}
+
+TEST_F(LagraphKernels, PageRankVerifies)
+{
+    for (const auto& tg : graphs()) {
+        lagraph::GrbGraph gg = lagraph::make_grb_graph(tg.g);
+        std::string err;
+        const auto scores = lagraph::pagerank(gg);
+        EXPECT_TRUE(gapref::verify_pagerank(tg.g, scores, 0.85, 1e-4, &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST_F(LagraphKernels, CcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        lagraph::GrbGraph gg = lagraph::make_grb_graph(tg.g);
+        std::string err;
+        const auto comp = lagraph::cc_fastsv(gg);
+        EXPECT_TRUE(gapref::verify_cc(tg.g, comp, &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST_F(LagraphKernels, BcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        lagraph::GrbGraph gg = lagraph::make_grb_graph(tg.g);
+        const auto sources = pick_sources(tg.g, 4, 33);
+        std::string err;
+        const auto scores = lagraph::bc(gg, sources);
+        EXPECT_TRUE(gapref::verify_bc(tg.g, sources, scores, &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST_F(LagraphKernels, TcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        if (tg.g.is_directed())
+            continue;
+        std::string err;
+        EXPECT_TRUE(gapref::verify_tc(tg.g, lagraph::tc(tg.g), &err))
+            << tg.name << ": " << err;
+    }
+}
+
+} // namespace
+} // namespace gm::grb

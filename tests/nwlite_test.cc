@@ -1,0 +1,192 @@
+/** Tests for the generic range-of-ranges (NWGraph-like) library. */
+#include <gtest/gtest.h>
+
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/nwlite/algorithms.hh"
+#include "gm/support/rng.hh"
+
+namespace gm::nwlite
+{
+namespace
+{
+
+struct TestGraph
+{
+    std::string name;
+    graph::CSRGraph g;
+};
+
+const std::vector<TestGraph>&
+graphs()
+{
+    static std::vector<TestGraph> gs = [] {
+        std::vector<TestGraph> v;
+        v.push_back({"kron", graph::make_kronecker(10, 12, 4)});
+        v.push_back({"urand", graph::make_uniform(10, 10, 5)});
+        v.push_back({"road", graph::make_road_like(30, 30, 6)});
+        v.push_back({"twitter", graph::make_twitter_like(9, 10, 7)});
+        return v;
+    }();
+    return gs;
+}
+
+std::vector<vid_t>
+pick_sources(const graph::CSRGraph& g, int count, std::uint64_t seed)
+{
+    std::vector<vid_t> sources;
+    Xoshiro256 rng(seed);
+    while (static_cast<int>(sources.size()) < count) {
+        const vid_t v = static_cast<vid_t>(rng.next_bounded(g.num_vertices()));
+        if (g.out_degree(v) > 0)
+            sources.push_back(v);
+    }
+    return sources;
+}
+
+/** A deliberately different user type satisfying the adjacency concepts —
+ *  proving the algorithms really are generic over the representation. */
+class VectorOfVectorsGraph
+{
+  public:
+    explicit VectorOfVectorsGraph(const graph::CSRGraph& g)
+        : out_(static_cast<std::size_t>(g.num_vertices())),
+          in_(static_cast<std::size_t>(g.num_vertices())),
+          directed_(g.is_directed())
+    {
+        for (vid_t v = 0; v < g.num_vertices(); ++v) {
+            out_[static_cast<std::size_t>(v)].assign(g.out_neigh(v).begin(),
+                                                     g.out_neigh(v).end());
+            in_[static_cast<std::size_t>(v)].assign(g.in_neigh(v).begin(),
+                                                    g.in_neigh(v).end());
+        }
+    }
+
+    vid_t num_vertices() const { return static_cast<vid_t>(out_.size()); }
+    bool is_directed() const { return directed_; }
+    const std::vector<vid_t>& operator[](vid_t v) const
+    {
+        return out_[static_cast<std::size_t>(v)];
+    }
+    const std::vector<vid_t>&
+    in_edges(vid_t v) const
+    {
+        return in_[static_cast<std::size_t>(v)];
+    }
+    eid_t
+    degree(vid_t v) const
+    {
+        return static_cast<eid_t>(out_[static_cast<std::size_t>(v)].size());
+    }
+
+  private:
+    std::vector<std::vector<vid_t>> out_;
+    std::vector<std::vector<vid_t>> in_;
+    bool directed_;
+};
+
+static_assert(adjacency_list<VectorOfVectorsGraph>);
+static_assert(bidirectional_adjacency_list<VectorOfVectorsGraph>);
+
+TEST(NwliteConcepts, AdjacencyAdaptorSatisfiesConcepts)
+{
+    static_assert(adjacency_list<adjacency>);
+    static_assert(bidirectional_adjacency_list<adjacency>);
+    static_assert(weighted_adjacency_list<weighted_adjacency>);
+    SUCCEED();
+}
+
+TEST(NwliteGeneric, BfsWorksOnUserDefinedGraphType)
+{
+    const graph::CSRGraph g = graph::make_kronecker(9, 10, 3);
+    const VectorOfVectorsGraph user_graph(g);
+    const vid_t src = pick_sources(g, 1, 51)[0];
+    std::string err;
+    EXPECT_TRUE(gapref::verify_bfs(g, src, bfs(user_graph, src), &err))
+        << err;
+}
+
+TEST(NwliteGeneric, PagerankWorksOnUserDefinedGraphType)
+{
+    const graph::CSRGraph g = graph::make_uniform(9, 10, 3);
+    const VectorOfVectorsGraph user_graph(g);
+    std::string err;
+    EXPECT_TRUE(
+        gapref::verify_pagerank(g, pagerank(user_graph), 0.85, 1e-4, &err))
+        << err;
+}
+
+TEST(NwliteKernels, BfsVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const adjacency g(tg.g);
+        for (vid_t src : pick_sources(tg.g, 2, 52)) {
+            std::string err;
+            EXPECT_TRUE(gapref::verify_bfs(tg.g, src, bfs(g, src), &err))
+                << tg.name << ": " << err;
+        }
+    }
+}
+
+TEST(NwliteKernels, SsspVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const graph::WCSRGraph wg = graph::add_weights(tg.g, 99);
+        const weighted_adjacency g(wg);
+        for (vid_t src : pick_sources(tg.g, 2, 53)) {
+            std::string err;
+            EXPECT_TRUE(gapref::verify_sssp(
+                wg, src, delta_stepping(g, src, 32), &err))
+                << tg.name << ": " << err;
+        }
+    }
+}
+
+TEST(NwliteKernels, CcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const adjacency g(tg.g);
+        std::string err;
+        EXPECT_TRUE(gapref::verify_cc(tg.g, afforest(g), &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST(NwliteKernels, PageRankVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const adjacency g(tg.g);
+        std::string err;
+        EXPECT_TRUE(gapref::verify_pagerank(tg.g, pagerank(g), 0.85, 1e-4,
+                                            &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST(NwliteKernels, BcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        const adjacency g(tg.g);
+        const auto sources = pick_sources(tg.g, 4, 54);
+        std::string err;
+        EXPECT_TRUE(
+            gapref::verify_bc(tg.g, sources, brandes_bc(g, sources), &err))
+            << tg.name << ": " << err;
+    }
+}
+
+TEST(NwliteKernels, TcVerifies)
+{
+    for (const auto& tg : graphs()) {
+        if (tg.g.is_directed())
+            continue;
+        const adjacency g(tg.g);
+        std::string err;
+        EXPECT_TRUE(gapref::verify_tc(tg.g, triangle_count(g), &err))
+            << tg.name << ": " << err;
+    }
+}
+
+} // namespace
+} // namespace gm::nwlite

@@ -1,0 +1,198 @@
+/** Unit tests for the gm::par substrate: pool, loops, reductions, atomics. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gm/par/atomics.hh"
+#include "gm/par/barrier.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/par/thread_pool.hh"
+
+namespace gm::par
+{
+namespace
+{
+
+TEST(ThreadPool, RunsJobOnAllLanes)
+{
+    ThreadPool& pool = ThreadPool::instance();
+    std::vector<int> hit(static_cast<std::size_t>(pool.num_threads()), 0);
+    pool.run([&](int lane) { hit[static_cast<std::size_t>(lane)] = 1; });
+    for (int h : hit)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 200; ++round) {
+        ThreadPool::instance().run(
+            [&](int) { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(counter.load(), 200 * ThreadPool::instance().num_threads());
+}
+
+TEST(ThreadPool, NestedRunDegradesToSerial)
+{
+    std::atomic<int> inner_calls{0};
+    ThreadPool::instance().run([&](int) {
+        EXPECT_TRUE(ThreadPool::in_parallel_region());
+        ThreadPool::instance().run(
+            [&](int lane) {
+                EXPECT_EQ(lane, 0);
+                inner_calls.fetch_add(1);
+            });
+    });
+    EXPECT_EQ(inner_calls.load(), ThreadPool::instance().num_threads());
+}
+
+class ScheduleTest : public ::testing::TestWithParam<Schedule>
+{
+};
+
+TEST_P(ScheduleTest, CoversEveryIndexExactlyOnce)
+{
+    constexpr int kN = 100000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for<int>(0, kN,
+                      [&](int i) { hits[i].fetch_add(1); }, GetParam());
+    for (int i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(ScheduleTest, EmptyRangeIsNoop)
+{
+    int calls = 0;
+    parallel_for<int>(5, 5, [&](int) { ++calls; }, GetParam());
+    parallel_for<int>(7, 3, [&](int) { ++calls; }, GetParam());
+    EXPECT_EQ(calls, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleTest,
+                         ::testing::Values(Schedule::kStatic,
+                                           Schedule::kDynamic,
+                                           Schedule::kCyclic));
+
+TEST(ParallelFor, NonZeroBeginRespected)
+{
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for<int>(10, 90, [&](int i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0);
+}
+
+TEST(ParallelReduce, SumMatchesSerial)
+{
+    constexpr std::int64_t kN = 1000000;
+    const std::int64_t sum = parallel_reduce<std::int64_t, std::int64_t>(
+        0, kN, 0, [](std::int64_t i) { return i; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, MaxMatchesSerial)
+{
+    std::vector<int> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<int>((i * 7919) % 10007);
+    const int expected = *std::max_element(data.begin(), data.end());
+    const int got = parallel_reduce<std::size_t, int>(
+        0, data.size(), 0, [&](std::size_t i) { return data[i]; },
+        [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelBlocks, PartitionIsDisjointAndComplete)
+{
+    constexpr int kN = 12345;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_blocks<int>(0, kN, [&](int, int lo, int hi) {
+        for (int i = lo; i < hi; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (int i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelLanes, EveryLaneRunsOnce)
+{
+    std::atomic<int> calls{0};
+    parallel_lanes([&](int lane, int lanes) {
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, lanes);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), ThreadPool::instance().num_threads());
+}
+
+TEST(Atomics, CompareAndSwap)
+{
+    int x = 5;
+    EXPECT_TRUE(compare_and_swap(x, 5, 9));
+    EXPECT_EQ(x, 9);
+    EXPECT_FALSE(compare_and_swap(x, 5, 11));
+    EXPECT_EQ(x, 9);
+}
+
+TEST(Atomics, FetchMinOnlyDecreases)
+{
+    int x = 10;
+    EXPECT_TRUE(fetch_min(x, 3));
+    EXPECT_EQ(x, 3);
+    EXPECT_FALSE(fetch_min(x, 7));
+    EXPECT_EQ(x, 3);
+}
+
+TEST(Atomics, ConcurrentFetchMinFindsGlobalMin)
+{
+    int x = 1 << 30;
+    parallel_for<int>(0, 100000, [&](int i) { fetch_min(x, i ^ 0x2a); });
+    // The minimum of i^42 over the range is 0 (at i == 42).
+    EXPECT_EQ(x, 0);
+}
+
+TEST(Atomics, ConcurrentFloatAdd)
+{
+    double total = 0;
+    parallel_for<int>(0, 100000, [&](int) { atomic_add_float(total, 1.0); });
+    EXPECT_DOUBLE_EQ(total, 100000.0);
+}
+
+TEST(Atomics, ConcurrentFetchAddCounts)
+{
+    std::int64_t counter = 0;
+    parallel_for<int>(0, 50000,
+                      [&](int) { fetch_add<std::int64_t>(counter, 2); });
+    EXPECT_EQ(counter, 100000);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks)
+{
+    Barrier b(1);
+    b.wait();
+    b.wait();
+    SUCCEED();
+}
+
+TEST(Barrier, SynchronizesPhases)
+{
+    const int lanes = effective_lanes();
+    Barrier barrier(lanes);
+    std::vector<int> phase_a(static_cast<std::size_t>(lanes), 0);
+    std::atomic<bool> ok{true};
+    parallel_lanes([&](int lane, int) {
+        phase_a[static_cast<std::size_t>(lane)] = 1;
+        barrier.wait();
+        for (int v : phase_a) {
+            if (v != 1)
+                ok = false;
+        }
+        barrier.wait();
+    });
+    EXPECT_TRUE(ok.load());
+}
+
+} // namespace
+} // namespace gm::par

@@ -1,0 +1,196 @@
+/** Property-based tests: invariants that must hold for every kernel on
+ *  randomized inputs, swept over generator seeds and topology classes via
+ *  parameterized gtest.  These complement the oracle comparisons with
+ *  checks derived from the problem definitions themselves. */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "gm/galoislite/kernels.hh"
+#include "gm/gapref/kernels.hh"
+#include "gm/gkc/kernels.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/graphitlite/kernels.hh"
+#include "gm/grb/lagraph.hh"
+#include "gm/nwlite/algorithms.hh"
+
+namespace gm
+{
+namespace
+{
+
+using graph::CSRGraph;
+
+struct PropertyParam
+{
+    const char* topology;
+    std::uint64_t seed;
+};
+
+CSRGraph
+make_graph(const PropertyParam& p)
+{
+    const std::string topo = p.topology;
+    if (topo == "kron")
+        return graph::make_kronecker(9, 10, p.seed);
+    if (topo == "urand")
+        return graph::make_uniform(9, 8, p.seed);
+    if (topo == "road")
+        return graph::make_road_like(22, 22, p.seed);
+    if (topo == "web")
+        return graph::make_web_like(9, 6, p.seed);
+    return graph::make_twitter_like(9, 8, p.seed);
+}
+
+class KernelProperties : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    CSRGraph g_ = make_graph(GetParam());
+
+    vid_t
+    source() const
+    {
+        for (vid_t v = 0; v < g_.num_vertices(); ++v)
+            if (g_.out_degree(v) > 0)
+                return v;
+        return 0;
+    }
+};
+
+TEST_P(KernelProperties, BfsParentChainsTerminateAtSource)
+{
+    const vid_t src = source();
+    const auto parent = gapref::bfs(g_, src);
+    for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+        if (parent[v] == kInvalidVid)
+            continue;
+        // Walking parents must reach the source in <= n steps (acyclic).
+        vid_t cur = v;
+        vid_t steps = 0;
+        while (cur != src) {
+            cur = parent[cur];
+            ASSERT_NE(cur, kInvalidVid);
+            ASSERT_LE(++steps, g_.num_vertices());
+        }
+    }
+}
+
+TEST_P(KernelProperties, SsspSatisfiesTriangleInequality)
+{
+    const auto wg = graph::add_weights(g_, GetParam().seed * 31 + 7);
+    const vid_t src = source();
+    const auto dist = gapref::sssp(wg, src, 32);
+    EXPECT_EQ(dist[src], 0);
+    for (vid_t u = 0; u < g_.num_vertices(); ++u) {
+        if (dist[u] >= kInfWeight)
+            continue;
+        for (const graph::WNode& wn : wg.out_neigh(u)) {
+            // Relaxed edges: dist[v] <= dist[u] + w(u, v).
+            ASSERT_LE(dist[wn.v], dist[u] + wn.w)
+                << "edge " << u << "->" << wn.v;
+        }
+    }
+}
+
+TEST_P(KernelProperties, PagerankScoresFormSubstochasticVector)
+{
+    const auto scores = gapref::pagerank(g_, 0.85, 1e-4, 100);
+    double sum = 0;
+    for (score_t s : scores) {
+        ASSERT_GT(s, 0);
+        ASSERT_LT(s, 1);
+        sum += s;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST_P(KernelProperties, CcLabelsAreClosedUnderEdges)
+{
+    const auto comp = gapref::cc_afforest(g_);
+    for (vid_t v = 0; v < g_.num_vertices(); ++v)
+        for (vid_t u : g_.out_neigh(v))
+            ASSERT_EQ(comp[v], comp[u]);
+}
+
+TEST_P(KernelProperties, BcScoresNormalizedAndNonNegative)
+{
+    const std::vector<vid_t> sources(4, source());
+    const auto scores = gapref::bc(g_, sources);
+    score_t max_score = 0;
+    for (score_t s : scores) {
+        ASSERT_GE(s, 0);
+        ASSERT_LE(s, 1.0 + 1e-12);
+        max_score = std::max(max_score, s);
+    }
+    // Normalization: unless all scores are zero, the max is exactly 1.
+    if (max_score > 0) {
+        EXPECT_DOUBLE_EQ(max_score, 1.0);
+    }
+}
+
+TEST_P(KernelProperties, AllFrameworksAgreeOnScalarResults)
+{
+    // Undirected view for TC.
+    graph::EdgeList edges;
+    for (vid_t v = 0; v < g_.num_vertices(); ++v)
+        for (vid_t u : g_.out_neigh(v))
+            edges.push_back({v, u});
+    const CSRGraph sym =
+        g_.is_directed()
+            ? graph::build_graph(edges, g_.num_vertices(), false)
+            : g_;
+
+    const std::uint64_t tc_ref = gapref::tc(sym);
+    EXPECT_EQ(galoislite::tc(sym), tc_ref);
+    EXPECT_EQ(gkc::tc(sym), tc_ref);
+    EXPECT_EQ(graphitlite::tc(sym), tc_ref);
+    EXPECT_EQ(nwlite::triangle_count(nwlite::adjacency(sym)), tc_ref);
+    EXPECT_EQ(grb::lagraph::tc(sym), tc_ref);
+
+    auto component_count = [&](const std::vector<vid_t>& comp) {
+        return std::set<vid_t>(comp.begin(), comp.end()).size();
+    };
+    const std::size_t cc_ref = component_count(gapref::cc_afforest(g_));
+    EXPECT_EQ(component_count(galoislite::cc_afforest(g_)), cc_ref);
+    EXPECT_EQ(component_count(gkc::cc_sv(g_)), cc_ref);
+    EXPECT_EQ(component_count(graphitlite::cc_label_prop(g_)), cc_ref);
+    EXPECT_EQ(component_count(nwlite::afforest(nwlite::adjacency(g_))),
+              cc_ref);
+    grb::lagraph::GrbGraph gg = grb::lagraph::make_grb_graph(g_);
+    EXPECT_EQ(component_count(grb::lagraph::cc_fastsv(gg)), cc_ref);
+}
+
+TEST_P(KernelProperties, AllFrameworksAgreeOnSsspDistances)
+{
+    const auto wg = graph::add_weights(g_, GetParam().seed + 5);
+    const vid_t src = source();
+    const auto ref = gapref::sssp(wg, src, 32);
+    EXPECT_EQ(galoislite::sssp_sync(wg, src, 32), ref);
+    EXPECT_EQ(galoislite::sssp_async(wg, src, 32), ref);
+    EXPECT_EQ(gkc::sssp(wg, src, 32), ref);
+    EXPECT_EQ(graphitlite::sssp(wg, src, 32), ref);
+    EXPECT_EQ(
+        nwlite::delta_stepping(nwlite::weighted_adjacency(wg), src, 32),
+        ref);
+    grb::lagraph::GrbGraph gg = grb::lagraph::make_grb_graph(g_);
+    grb::lagraph::attach_weights(gg, wg);
+    EXPECT_EQ(grb::lagraph::sssp(gg, src, 32), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologySeedSweep, KernelProperties,
+    ::testing::Values(PropertyParam{"kron", 1}, PropertyParam{"kron", 2},
+                      PropertyParam{"kron", 3}, PropertyParam{"urand", 1},
+                      PropertyParam{"urand", 2}, PropertyParam{"road", 1},
+                      PropertyParam{"road", 2}, PropertyParam{"web", 1},
+                      PropertyParam{"web", 2}, PropertyParam{"twitter", 1},
+                      PropertyParam{"twitter", 2}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+        return std::string(info.param.topology) + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace gm

@@ -1,0 +1,209 @@
+/** Unit tests for gm::support: bitmap, sliding queue, RNG, env helpers. */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "gm/support/bitmap.hh"
+#include "gm/support/env.hh"
+#include "gm/support/rng.hh"
+#include "gm/support/sliding_queue.hh"
+#include "gm/support/timer.hh"
+
+namespace gm
+{
+namespace
+{
+
+TEST(Bitmap, SetAndGet)
+{
+    Bitmap bm(200);
+    bm.reset();
+    EXPECT_FALSE(bm.get_bit(0));
+    EXPECT_FALSE(bm.get_bit(199));
+    bm.set_bit(0);
+    bm.set_bit(63);
+    bm.set_bit(64);
+    bm.set_bit(199);
+    EXPECT_TRUE(bm.get_bit(0));
+    EXPECT_TRUE(bm.get_bit(63));
+    EXPECT_TRUE(bm.get_bit(64));
+    EXPECT_TRUE(bm.get_bit(199));
+    EXPECT_FALSE(bm.get_bit(1));
+    EXPECT_EQ(bm.count(), 4u);
+}
+
+TEST(Bitmap, ResetClearsEverything)
+{
+    Bitmap bm(128);
+    bm.reset();
+    for (std::size_t i = 0; i < 128; i += 3)
+        bm.set_bit(i);
+    bm.reset();
+    EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(Bitmap, AtomicSetFromManyThreads)
+{
+    Bitmap bm(10000);
+    bm.reset();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&bm, t] {
+            for (std::size_t i = static_cast<std::size_t>(t); i < 10000;
+                 i += 4) {
+                bm.set_bit_atomic(i);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(bm.count(), 10000u);
+}
+
+TEST(Bitmap, SwapExchangesContents)
+{
+    Bitmap a(64);
+    Bitmap b(64);
+    a.reset();
+    b.reset();
+    a.set_bit(1);
+    b.set_bit(2);
+    a.swap(b);
+    EXPECT_TRUE(a.get_bit(2));
+    EXPECT_TRUE(b.get_bit(1));
+    EXPECT_FALSE(a.get_bit(1));
+}
+
+TEST(SlidingQueue, WindowSlides)
+{
+    SlidingQueue<int> q(16);
+    q.push_back(1);
+    q.push_back(2);
+    EXPECT_TRUE(q.empty());
+    q.slide_window();
+    EXPECT_EQ(q.size(), 2u);
+    q.push_back(3);
+    q.slide_window();
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(*q.begin(), 3);
+    q.slide_window();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SlidingQueue, BufferedPushesFlushInBulk)
+{
+    SlidingQueue<int> q(4096);
+    {
+        QueueBuffer<int> buf_a(q, 8);
+        QueueBuffer<int> buf_b(q, 8);
+        for (int i = 0; i < 100; ++i) {
+            buf_a.push_back(i);
+            buf_b.push_back(1000 + i);
+        }
+    } // destructors flush
+    q.slide_window();
+    std::multiset<int> got(q.begin(), q.end());
+    EXPECT_EQ(got.size(), 200u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(got.count(i), 1u);
+        EXPECT_EQ(got.count(1000 + i), 1u);
+    }
+}
+
+TEST(SlidingQueue, ResetEmptiesQueue)
+{
+    SlidingQueue<int> q(8);
+    q.push_back(5);
+    q.slide_window();
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    q.push_back(7);
+    q.slide_window();
+    EXPECT_EQ(*q.begin(), 7);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next_bounded(37), 37u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Xoshiro256 rng(3);
+    int buckets[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++buckets[rng.next_bounded(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, 9000);
+        EXPECT_LT(b, 11000);
+    }
+}
+
+TEST(Env, IntFallbacks)
+{
+    unsetenv("GM_TEST_INT");
+    EXPECT_EQ(env_int("GM_TEST_INT", 5), 5);
+    setenv("GM_TEST_INT", "12", 1);
+    EXPECT_EQ(env_int("GM_TEST_INT", 5), 12);
+    setenv("GM_TEST_INT", "garbage", 1);
+    EXPECT_EQ(env_int("GM_TEST_INT", 5), 5);
+    unsetenv("GM_TEST_INT");
+}
+
+TEST(Env, BoolParsing)
+{
+    unsetenv("GM_TEST_BOOL");
+    EXPECT_TRUE(env_bool("GM_TEST_BOOL", true));
+    setenv("GM_TEST_BOOL", "1", 1);
+    EXPECT_TRUE(env_bool("GM_TEST_BOOL", false));
+    setenv("GM_TEST_BOOL", "off", 1);
+    EXPECT_FALSE(env_bool("GM_TEST_BOOL", true));
+    unsetenv("GM_TEST_BOOL");
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    t.start();
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    t.stop();
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_EQ(t.millisecs(), t.seconds() * 1e3);
+}
+
+} // namespace
+} // namespace gm

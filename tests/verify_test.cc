@@ -1,0 +1,169 @@
+/** Negative-path tests for the GAP spec verifiers: every verifier must
+ *  reject corrupted results, not just accept correct ones.  (The paper
+ *  explicitly calls for formal validation procedures — a verifier that
+ *  cannot fail validates nothing.) */
+#include <gtest/gtest.h>
+
+#include "gm/gapref/kernels.hh"
+#include "gm/gapref/verify.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+
+namespace gm::gapref
+{
+namespace
+{
+
+graph::CSRGraph
+fixture_graph()
+{
+    return graph::make_kronecker(10, 12, 8);
+}
+
+TEST(VerifyBfsNegative, RejectsWrongSourceParent)
+{
+    const auto g = fixture_graph();
+    auto parent = bfs(g, 1);
+    parent[1] = 0; // source must be its own parent
+    std::string err;
+    EXPECT_FALSE(verify_bfs(g, 1, parent, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(VerifyBfsNegative, RejectsNonEdgeParent)
+{
+    const auto g = fixture_graph();
+    auto parent = bfs(g, 1);
+    // Find a reached vertex and assign an implausible parent (itself).
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (v != 1 && parent[v] != kInvalidVid) {
+            parent[v] = v;
+            break;
+        }
+    }
+    std::string err;
+    EXPECT_FALSE(verify_bfs(g, 1, parent, &err));
+}
+
+TEST(VerifyBfsNegative, RejectsClaimedUnreachable)
+{
+    const auto g = fixture_graph();
+    auto parent = bfs(g, 1);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (v != 1 && parent[v] != kInvalidVid) {
+            parent[v] = kInvalidVid; // drop a genuinely reachable vertex
+            break;
+        }
+    }
+    std::string err;
+    EXPECT_FALSE(verify_bfs(g, 1, parent, &err));
+}
+
+TEST(VerifyBfsNegative, RejectsWrongSize)
+{
+    const auto g = fixture_graph();
+    std::vector<vid_t> parent(3, kInvalidVid);
+    EXPECT_FALSE(verify_bfs(g, 1, parent, nullptr));
+}
+
+TEST(VerifySsspNegative, RejectsPerturbedDistance)
+{
+    const auto g = fixture_graph();
+    const auto wg = graph::add_weights(g, 3);
+    auto dist = sssp(wg, 1, 32);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (v != 1 && dist[v] != kInfWeight) {
+            dist[v] += 1;
+            break;
+        }
+    }
+    std::string err;
+    EXPECT_FALSE(verify_sssp(wg, 1, dist, &err));
+}
+
+TEST(VerifyPagerankNegative, RejectsUniformScores)
+{
+    const auto g = fixture_graph();
+    const std::vector<score_t> uniform(
+        static_cast<std::size_t>(g.num_vertices()),
+        score_t{1} / g.num_vertices());
+    std::string err;
+    EXPECT_FALSE(verify_pagerank(g, uniform, 0.85, 1e-4, &err));
+}
+
+TEST(VerifyPagerankNegative, RejectsScaledScores)
+{
+    const auto g = fixture_graph();
+    auto scores = pagerank(g, 0.85, 1e-4, 100);
+    for (auto& s : scores)
+        s *= 2;
+    EXPECT_FALSE(verify_pagerank(g, scores, 0.85, 1e-4, nullptr));
+}
+
+TEST(VerifyCcNegative, RejectsSplitComponent)
+{
+    const auto g = fixture_graph();
+    auto comp = cc_afforest(g);
+    // Give one vertex with neighbors a unique label: edge consistency breaks.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (g.out_degree(v) > 0) {
+            comp[v] = g.num_vertices() - 1 == comp[v] ? comp[v] - 1
+                                                      : g.num_vertices() - 1;
+            // ensure it differs from its neighbor's label
+            comp[v] = comp[graph::target(g.out_neigh(v)[0])] + 1;
+            break;
+        }
+    }
+    std::string err;
+    EXPECT_FALSE(verify_cc(g, comp, &err));
+}
+
+TEST(VerifyCcNegative, RejectsMergedComponents)
+{
+    // Two islands labeled identically: edge test passes, count test must
+    // catch it.
+    graph::EdgeList edges = {{0, 1}, {2, 3}};
+    const auto g = graph::build_graph(edges, 4, false);
+    const std::vector<vid_t> comp = {0, 0, 0, 0};
+    std::string err;
+    EXPECT_FALSE(verify_cc(g, comp, &err));
+    EXPECT_NE(err.find("components"), std::string::npos);
+}
+
+TEST(VerifyBcNegative, RejectsPerturbedScore)
+{
+    const auto g = fixture_graph();
+    const std::vector<vid_t> sources = {1, 2, 3, 4};
+    auto scores = bc(g, sources);
+    // Perturb the largest score.
+    auto it = std::max_element(scores.begin(), scores.end());
+    *it += 0.5;
+    std::string err;
+    EXPECT_FALSE(verify_bc(g, sources, scores, &err));
+}
+
+TEST(VerifyTcNegative, RejectsWrongCount)
+{
+    const auto g = fixture_graph();
+    const std::uint64_t count = tc(g);
+    std::string err;
+    EXPECT_FALSE(verify_tc(g, count + 1, &err));
+    EXPECT_FALSE(verify_tc(g, count == 0 ? 1 : count - 1, &err));
+}
+
+TEST(VerifyPositiveControls, CorrectResultsStillPass)
+{
+    const auto g = fixture_graph();
+    const auto wg = graph::add_weights(g, 3);
+    std::string err;
+    EXPECT_TRUE(verify_bfs(g, 1, bfs(g, 1), &err)) << err;
+    EXPECT_TRUE(verify_sssp(wg, 1, sssp(wg, 1, 32), &err)) << err;
+    EXPECT_TRUE(verify_pagerank(g, pagerank(g, 0.85, 1e-4, 100), 0.85, 1e-4,
+                                &err))
+        << err;
+    EXPECT_TRUE(verify_cc(g, cc_afforest(g), &err)) << err;
+    EXPECT_TRUE(verify_tc(g, tc(g), &err)) << err;
+}
+
+} // namespace
+} // namespace gm::gapref

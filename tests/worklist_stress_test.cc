@@ -1,0 +1,121 @@
+/** Stress tests for the Galois-like asynchronous worklist executor: heavy
+ *  re-activation patterns, convergence of chaotic relaxations, and exact
+ *  work accounting — the properties the async BFS/SSSP kernels rely on. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gm/galoislite/worklist.hh"
+#include "gm/graph/builder.hh"
+#include "gm/graph/generators.hh"
+#include "gm/par/atomics.hh"
+
+namespace gm::galoislite
+{
+namespace
+{
+
+TEST(WorklistStress, WideFanoutProcessedExactlyOnce)
+{
+    // Item i < kWidth pushes 4 children into [kWidth, 5*kWidth); every
+    // item must be processed exactly once despite concurrent pushes.
+    constexpr int kWidth = 5000;
+    std::vector<std::atomic<int>> seen(5 * kWidth);
+    std::vector<int> seeds(kWidth);
+    for (int i = 0; i < kWidth; ++i)
+        seeds[i] = i;
+    for_each_async<int>(seeds, [&](int item, AsyncContext<int>& ctx) {
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+        if (item < kWidth) {
+            for (int c = 0; c < 4; ++c)
+                ctx.push(kWidth + item * 4 + c);
+        }
+    });
+    for (int i = 0; i < 5 * kWidth; ++i)
+        ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(WorklistStress, DeepChainSurvivesSmallChunks)
+{
+    // A 100k-deep dependency chain with chunk size 1: maximal executor
+    // churn, single logical thread of work.
+    constexpr int kDepth = 100000;
+    std::atomic<int> max_seen{0};
+    for_each_async<int>(
+        {0},
+        [&](int item, AsyncContext<int>& ctx) {
+            int cur = max_seen.load();
+            while (item > cur && !max_seen.compare_exchange_weak(cur, item)) {
+            }
+            if (item < kDepth)
+                ctx.push(item + 1);
+        },
+        /*chunk_size=*/1);
+    EXPECT_EQ(max_seen.load(), kDepth);
+}
+
+TEST(WorklistStress, ChaoticRelaxationConverges)
+{
+    // Asynchronous Bellman-Ford on a random weighted graph: re-activation
+    // on improvement only; at quiescence the distances must be optimal.
+    const auto g = graph::make_uniform(10, 8, 31);
+    const auto wg = graph::add_weights(g, 17);
+    const vid_t n = g.num_vertices();
+    std::vector<weight_t> dist(static_cast<std::size_t>(n), kInfWeight);
+    vid_t source = 0;
+    while (g.out_degree(source) == 0)
+        ++source;
+    dist[source] = 0;
+
+    for_each_async<vid_t>({source}, [&](vid_t u, AsyncContext<vid_t>& ctx) {
+        const weight_t du = par::atomic_load(dist[u]);
+        for (const graph::WNode& wn : wg.out_neigh(u)) {
+            if (par::fetch_min(dist[wn.v], du + wn.w))
+                ctx.push(wn.v);
+        }
+    });
+
+    // Quiescence check: no edge is relaxable.
+    for (vid_t u = 0; u < n; ++u) {
+        if (dist[u] >= kInfWeight)
+            continue;
+        for (const graph::WNode& wn : wg.out_neigh(u))
+            ASSERT_LE(dist[wn.v], dist[u] + wn.w);
+    }
+    EXPECT_EQ(dist[source], 0);
+}
+
+TEST(WorklistStress, ContextFlushPublishesPartialChunks)
+{
+    // Explicit flush from inside an operator must make items visible even
+    // though the local buffer is not full.
+    std::atomic<int> count{0};
+    for_each_async<int>(
+        {0},
+        [&](int item, AsyncContext<int>& ctx) {
+            count.fetch_add(1);
+            if (item == 0) {
+                ctx.push(1);
+                ctx.flush();
+                ctx.push(2);
+            }
+        },
+        /*chunk_size=*/1024);
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(WorklistStress, InsertBagManyRounds)
+{
+    InsertBag<int> bag;
+    for (int round = 0; round < 100; ++round) {
+        par::parallel_lanes([&](int lane, int lanes) {
+            for (int i = lane; i < 1000; i += lanes)
+                bag.push(lane, i);
+        });
+        const auto all = bag.take_all();
+        ASSERT_EQ(all.size(), 1000u) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace gm::galoislite

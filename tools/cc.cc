@@ -1,0 +1,9 @@
+/** @file GAPBS-style cc driver; see -h for options. */
+#include "gm/cli/driver.hh"
+
+int
+main(int argc, char** argv)
+{
+    return gm::cli::kernel_main(gm::harness::Kernel::kCC, "cc", argc,
+                                argv);
+}
