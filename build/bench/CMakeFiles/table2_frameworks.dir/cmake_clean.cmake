@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_frameworks.dir/table2_frameworks.cc.o"
+  "CMakeFiles/table2_frameworks.dir/table2_frameworks.cc.o.d"
+  "table2_frameworks"
+  "table2_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_algorithms.dir/table3_algorithms.cc.o"
+  "CMakeFiles/table3_algorithms.dir/table3_algorithms.cc.o.d"
+  "table3_algorithms"
+  "table3_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_fastest.cc" "bench/CMakeFiles/table4_fastest.dir/table4_fastest.cc.o" "gcc" "bench/CMakeFiles/table4_fastest.dir/table4_fastest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gapref/CMakeFiles/gm_gapref.dir/DependInfo.cmake"
+  "/root/repo/build/src/grb/CMakeFiles/gm_grb.dir/DependInfo.cmake"
+  "/root/repo/build/src/galoislite/CMakeFiles/gm_galoislite.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphitlite/CMakeFiles/gm_graphitlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/gkc/CMakeFiles/gm_gkc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/gm_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fastest.dir/table4_fastest.cc.o"
+  "CMakeFiles/table4_fastest.dir/table4_fastest.cc.o.d"
+  "table4_fastest"
+  "table4_fastest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fastest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

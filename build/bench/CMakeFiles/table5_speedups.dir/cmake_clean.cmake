@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speedups.dir/table5_speedups.cc.o"
+  "CMakeFiles/table5_speedups.dir/table5_speedups.cc.o.d"
+  "table5_speedups"
+  "table5_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_shootout.dir/framework_shootout.cpp.o"
+  "CMakeFiles/framework_shootout.dir/framework_shootout.cpp.o.d"
+  "framework_shootout"
+  "framework_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_cli.dir/driver.cc.o"
+  "CMakeFiles/gm_cli.dir/driver.cc.o.d"
+  "CMakeFiles/gm_cli.dir/options.cc.o"
+  "CMakeFiles/gm_cli.dir/options.cc.o.d"
+  "libgm_cli.a"
+  "libgm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_galoislite.dir/kernels.cc.o"
+  "CMakeFiles/gm_galoislite.dir/kernels.cc.o.d"
+  "libgm_galoislite.a"
+  "libgm_galoislite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_galoislite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

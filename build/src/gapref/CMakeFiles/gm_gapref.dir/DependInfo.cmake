@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gapref/bc.cc" "src/gapref/CMakeFiles/gm_gapref.dir/bc.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/bc.cc.o.d"
+  "/root/repo/src/gapref/bfs.cc" "src/gapref/CMakeFiles/gm_gapref.dir/bfs.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/bfs.cc.o.d"
+  "/root/repo/src/gapref/cc.cc" "src/gapref/CMakeFiles/gm_gapref.dir/cc.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/cc.cc.o.d"
+  "/root/repo/src/gapref/pr.cc" "src/gapref/CMakeFiles/gm_gapref.dir/pr.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/pr.cc.o.d"
+  "/root/repo/src/gapref/sssp.cc" "src/gapref/CMakeFiles/gm_gapref.dir/sssp.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/sssp.cc.o.d"
+  "/root/repo/src/gapref/tc.cc" "src/gapref/CMakeFiles/gm_gapref.dir/tc.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/tc.cc.o.d"
+  "/root/repo/src/gapref/verify.cc" "src/gapref/CMakeFiles/gm_gapref.dir/verify.cc.o" "gcc" "src/gapref/CMakeFiles/gm_gapref.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/gm_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_gapref.dir/bc.cc.o"
+  "CMakeFiles/gm_gapref.dir/bc.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/bfs.cc.o"
+  "CMakeFiles/gm_gapref.dir/bfs.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/cc.cc.o"
+  "CMakeFiles/gm_gapref.dir/cc.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/pr.cc.o"
+  "CMakeFiles/gm_gapref.dir/pr.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/sssp.cc.o"
+  "CMakeFiles/gm_gapref.dir/sssp.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/tc.cc.o"
+  "CMakeFiles/gm_gapref.dir/tc.cc.o.d"
+  "CMakeFiles/gm_gapref.dir/verify.cc.o"
+  "CMakeFiles/gm_gapref.dir/verify.cc.o.d"
+  "libgm_gapref.a"
+  "libgm_gapref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_gapref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_gkc.dir/kernels.cc.o"
+  "CMakeFiles/gm_gkc.dir/kernels.cc.o.d"
+  "libgm_gkc.a"
+  "libgm_gkc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_gkc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_graph.dir/builder.cc.o"
+  "CMakeFiles/gm_graph.dir/builder.cc.o.d"
+  "CMakeFiles/gm_graph.dir/generators.cc.o"
+  "CMakeFiles/gm_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gm_graph.dir/io.cc.o"
+  "CMakeFiles/gm_graph.dir/io.cc.o.d"
+  "CMakeFiles/gm_graph.dir/stats.cc.o"
+  "CMakeFiles/gm_graph.dir/stats.cc.o.d"
+  "libgm_graph.a"
+  "libgm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_graphitlite.dir/kernels.cc.o"
+  "CMakeFiles/gm_graphitlite.dir/kernels.cc.o.d"
+  "libgm_graphitlite.a"
+  "libgm_graphitlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_graphitlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_grb.dir/lagraph.cc.o"
+  "CMakeFiles/gm_grb.dir/lagraph.cc.o.d"
+  "libgm_grb.a"
+  "libgm_grb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_grb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gm_grb.
+# This may be replaced when dependencies are built.

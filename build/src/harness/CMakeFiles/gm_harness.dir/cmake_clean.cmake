@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_harness.dir/attributes.cc.o"
+  "CMakeFiles/gm_harness.dir/attributes.cc.o.d"
+  "CMakeFiles/gm_harness.dir/dataset.cc.o"
+  "CMakeFiles/gm_harness.dir/dataset.cc.o.d"
+  "CMakeFiles/gm_harness.dir/registry.cc.o"
+  "CMakeFiles/gm_harness.dir/registry.cc.o.d"
+  "CMakeFiles/gm_harness.dir/runner.cc.o"
+  "CMakeFiles/gm_harness.dir/runner.cc.o.d"
+  "CMakeFiles/gm_harness.dir/tables.cc.o"
+  "CMakeFiles/gm_harness.dir/tables.cc.o.d"
+  "libgm_harness.a"
+  "libgm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_par.dir/thread_pool.cc.o"
+  "CMakeFiles/gm_par.dir/thread_pool.cc.o.d"
+  "libgm_par.a"
+  "libgm_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

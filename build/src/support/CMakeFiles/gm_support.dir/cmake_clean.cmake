@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_support.dir/env.cc.o"
+  "CMakeFiles/gm_support.dir/env.cc.o.d"
+  "CMakeFiles/gm_support.dir/log.cc.o"
+  "CMakeFiles/gm_support.dir/log.cc.o.d"
+  "libgm_support.a"
+  "libgm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

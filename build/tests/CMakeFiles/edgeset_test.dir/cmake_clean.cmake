@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeset_test.dir/edgeset_test.cc.o"
+  "CMakeFiles/edgeset_test.dir/edgeset_test.cc.o.d"
+  "edgeset_test"
+  "edgeset_test.pdb"
+  "edgeset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galoislite_test.dir/galoislite_test.cc.o"
+  "CMakeFiles/galoislite_test.dir/galoislite_test.cc.o.d"
+  "galoislite_test"
+  "galoislite_test.pdb"
+  "galoislite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galoislite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapref_test.dir/gapref_test.cc.o"
+  "CMakeFiles/gapref_test.dir/gapref_test.cc.o.d"
+  "gapref_test"
+  "gapref_test.pdb"
+  "gapref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

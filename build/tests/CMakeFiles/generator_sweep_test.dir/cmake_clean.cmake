@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_sweep_test.dir/generator_sweep_test.cc.o"
+  "CMakeFiles/generator_sweep_test.dir/generator_sweep_test.cc.o.d"
+  "generator_sweep_test"
+  "generator_sweep_test.pdb"
+  "generator_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gkc_test.dir/gkc_test.cc.o"
+  "CMakeFiles/gkc_test.dir/gkc_test.cc.o.d"
+  "gkc_test"
+  "gkc_test.pdb"
+  "gkc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gkc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphitlite_test.dir/graphitlite_test.cc.o"
+  "CMakeFiles/graphitlite_test.dir/graphitlite_test.cc.o.d"
+  "graphitlite_test"
+  "graphitlite_test.pdb"
+  "graphitlite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphitlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

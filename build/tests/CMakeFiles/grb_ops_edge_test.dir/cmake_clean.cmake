@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_ops_edge_test.dir/grb_ops_edge_test.cc.o"
+  "CMakeFiles/grb_ops_edge_test.dir/grb_ops_edge_test.cc.o.d"
+  "grb_ops_edge_test"
+  "grb_ops_edge_test.pdb"
+  "grb_ops_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_ops_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

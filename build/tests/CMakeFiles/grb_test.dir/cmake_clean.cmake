@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grb_test.dir/grb_test.cc.o"
+  "CMakeFiles/grb_test.dir/grb_test.cc.o.d"
+  "grb_test"
+  "grb_test.pdb"
+  "grb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

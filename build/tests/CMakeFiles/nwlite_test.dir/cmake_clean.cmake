@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwlite_test.dir/nwlite_test.cc.o"
+  "CMakeFiles/nwlite_test.dir/nwlite_test.cc.o.d"
+  "nwlite_test"
+  "nwlite_test.pdb"
+  "nwlite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

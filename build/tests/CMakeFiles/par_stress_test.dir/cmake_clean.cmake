@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/par_stress_test.dir/par_stress_test.cc.o"
+  "CMakeFiles/par_stress_test.dir/par_stress_test.cc.o.d"
+  "par_stress_test"
+  "par_stress_test.pdb"
+  "par_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/par_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

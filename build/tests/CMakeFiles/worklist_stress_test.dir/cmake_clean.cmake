@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worklist_stress_test.dir/worklist_stress_test.cc.o"
+  "CMakeFiles/worklist_stress_test.dir/worklist_stress_test.cc.o.d"
+  "worklist_stress_test"
+  "worklist_stress_test.pdb"
+  "worklist_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worklist_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

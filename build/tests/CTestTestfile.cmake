@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/par_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/gapref_test[1]_include.cmake")
+include("/root/repo/build/tests/grb_test[1]_include.cmake")
+include("/root/repo/build/tests/galoislite_test[1]_include.cmake")
+include("/root/repo/build/tests/nwlite_test[1]_include.cmake")
+include("/root/repo/build/tests/graphitlite_test[1]_include.cmake")
+include("/root/repo/build/tests/gkc_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/edgeset_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/grb_ops_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/par_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/worklist_stress_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc.dir/bc.cc.o"
+  "CMakeFiles/bc.dir/bc.cc.o.d"
+  "bc"
+  "bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc.dir/cc.cc.o"
+  "CMakeFiles/cc.dir/cc.cc.o.d"
+  "cc"
+  "cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

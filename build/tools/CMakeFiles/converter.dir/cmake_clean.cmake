@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter.dir/converter.cc.o"
+  "CMakeFiles/converter.dir/converter.cc.o.d"
+  "converter"
+  "converter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pr.dir/pr.cc.o"
+  "CMakeFiles/pr.dir/pr.cc.o.d"
+  "pr"
+  "pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

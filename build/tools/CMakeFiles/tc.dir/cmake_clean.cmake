@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc.dir/tc.cc.o"
+  "CMakeFiles/tc.dir/tc.cc.o.d"
+  "tc"
+  "tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
