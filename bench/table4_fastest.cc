@@ -5,8 +5,10 @@
  * framework, over the full 6-framework x 6-kernel x 5-graph sweep.
  *
  * Env: GM_SCALE (default 14), GM_TRIALS (default 2), GM_THREADS,
- * GM_VERIFY=0 to skip verification.  Also dumps raw CSVs next to the
- * binary (results_baseline.csv / results_optimized.csv).
+ * GM_VERIFY=0 to skip verification, GM_TRIAL_TIMEOUT_MS for the per-trial
+ * watchdog, GM_CHECKPOINT / GM_RESUME for crash-safe JSONL checkpointing.
+ * Also dumps raw CSVs next to the binary (results_baseline.csv /
+ * results_optimized.csv).
  */
 #include <iostream>
 
@@ -25,6 +27,10 @@ main()
     harness::RunOptions opts;
     opts.trials = static_cast<int>(env_int("GM_TRIALS", 5));
     opts.verify = env_bool("GM_VERIFY", true);
+    opts.trial_timeout_ms =
+        static_cast<int>(env_int("GM_TRIAL_TIMEOUT_MS", 0));
+    opts.checkpoint_path = env_string("GM_CHECKPOINT", "");
+    opts.resume_path = env_string("GM_RESUME", "");
 
     Timer timer;
     timer.start();
@@ -37,10 +43,14 @@ main()
     timer.stop();
 
     harness::print_table4(std::cout, baseline, optimized);
-    harness::write_csv("results_baseline.csv", baseline,
-                       harness::Mode::kBaseline);
-    harness::write_csv("results_optimized.csv", optimized,
-                       harness::Mode::kOptimized);
+    if (auto s = harness::write_csv("results_baseline.csv", baseline,
+                                    harness::Mode::kBaseline);
+        !s.is_ok())
+        std::cerr << s.to_string() << "\n";
+    if (auto s = harness::write_csv("results_optimized.csv", optimized,
+                                    harness::Mode::kOptimized);
+        !s.is_ok())
+        std::cerr << s.to_string() << "\n";
     std::cout << "\n(scale 2^" << scale << ", " << opts.trials
               << " trials/cell, full sweep " << timer.seconds()
               << " s; raw data in results_*.csv)\n";

@@ -23,6 +23,10 @@ main()
     harness::RunOptions opts;
     opts.trials = static_cast<int>(env_int("GM_TRIALS", 5));
     opts.verify = env_bool("GM_VERIFY", true);
+    opts.trial_timeout_ms =
+        static_cast<int>(env_int("GM_TRIAL_TIMEOUT_MS", 0));
+    opts.checkpoint_path = env_string("GM_CHECKPOINT", "");
+    opts.resume_path = env_string("GM_RESUME", "");
 
     Timer timer;
     timer.start();

@@ -25,8 +25,13 @@ main(int argc, char** argv)
     graph::CSRGraph g;
     if (argc > 1) {
         vid_t n = 0;
-        const graph::EdgeList edges = graph::read_edge_list(argv[1], &n);
-        g = graph::build_graph(edges, n, /*directed=*/false);
+        auto edges = graph::read_edge_list(argv[1], &n);
+        if (!edges.is_ok()) {
+            std::cerr << "cannot read " << argv[1] << ": "
+                      << edges.status().to_string() << "\n";
+            return 2;
+        }
+        g = graph::build_graph(*std::move(edges), n, /*directed=*/false);
         std::cout << "loaded " << argv[1] << ": ";
     } else {
         g = graph::make_kronecker(/*scale=*/12, /*degree=*/16, /*seed=*/42);

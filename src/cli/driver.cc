@@ -8,6 +8,7 @@
 #include "gm/graph/generators.hh"
 #include "gm/graph/io.hh"
 #include "gm/harness/runner.hh"
+#include "gm/support/status.hh"
 #include "gm/support/timer.hh"
 
 namespace gm::cli
@@ -16,7 +17,11 @@ namespace gm::cli
 namespace
 {
 
-graph::CSRGraph
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+StatusOr<graph::CSRGraph>
 build_input_graph(const Options& opts)
 {
     switch (opts.source) {
@@ -37,13 +42,21 @@ build_input_graph(const Options& opts)
                                        opts.seed);
       }
       case GraphSource::kFile: {
+          // .gmg binaries carry their own header; anything else is a text
+          // edge list.
+          if (opts.file_path.size() >= 4 &&
+              opts.file_path.substr(opts.file_path.size() - 4) == ".gmg") {
+              return graph::load_binary(opts.file_path);
+          }
           vid_t n = 0;
-          const graph::EdgeList edges =
-              graph::read_edge_list(opts.file_path, &n);
-          return graph::build_graph(edges, n, /*directed=*/!opts.symmetrize);
+          auto edges = graph::read_edge_list(opts.file_path, &n);
+          if (!edges.is_ok())
+              return edges.status();
+          return graph::try_build_graph(*std::move(edges), n,
+                                        /*directed=*/!opts.symmetrize);
       }
     }
-    return {};
+    return Status(StatusCode::kInvalidInput, "unknown graph source");
 }
 
 const harness::Framework*
@@ -68,11 +81,38 @@ find_framework(const std::vector<harness::Framework>& frameworks,
 } // namespace
 
 int
+exit_code_for(harness::FailureKind kind)
+{
+    switch (kind) {
+      case harness::FailureKind::kNone:
+        return kExitOk;
+      case harness::FailureKind::kInvalidInput:
+        return kExitInvalidInput;
+      case harness::FailureKind::kKernelError:
+      case harness::FailureKind::kUnsupported:
+        return kExitKernelError;
+      case harness::FailureKind::kTimeout:
+        return kExitTimeout;
+      case harness::FailureKind::kWrongResult:
+        return kExitWrongResult;
+      case harness::FailureKind::kFaultInjected:
+        return kExitFaultInjected;
+    }
+    return kExitKernelError;
+}
+
+int
 run_kernel(harness::Kernel kernel, const Options& opts)
 {
     Timer timer;
     timer.start();
-    graph::CSRGraph g = build_input_graph(opts);
+    auto built = build_input_graph(opts);
+    if (!built.is_ok()) {
+        std::cerr << "cannot build input graph: "
+                  << built.status().to_string() << "\n";
+        return kExitInvalidInput;
+    }
+    graph::CSRGraph g = *std::move(built);
     if (opts.symmetrize && g.is_directed()) {
         graph::EdgeList edges;
         for (vid_t v = 0; v < g.num_vertices(); ++v)
@@ -80,8 +120,15 @@ run_kernel(harness::Kernel kernel, const Options& opts)
                 edges.push_back({v, u});
         g = graph::build_graph(edges, g.num_vertices(), false);
     }
-    harness::Dataset ds = harness::make_dataset(
+    auto made = harness::try_make_dataset(
         "cli", std::move(g), std::max(opts.trials * 4, 8), opts.seed + 1);
+    if (!made.is_ok()) {
+        std::cerr << "cannot build dataset: " << made.status().to_string()
+                  << "\n";
+        return exit_code_for(
+            harness::failure_kind_from_status(made.status().code()));
+    }
+    harness::Dataset ds = *std::move(made);
     ds.delta = opts.delta;
     timer.stop();
     std::cout << "Graph: " << ds.g.num_vertices() << " vertices, "
@@ -94,7 +141,7 @@ run_kernel(harness::Kernel kernel, const Options& opts)
         find_framework(frameworks, opts.framework);
     if (fw == nullptr) {
         std::cerr << "unknown framework: " << opts.framework << "\n";
-        return 1;
+        return kExitInvalidInput;
     }
     const harness::Mode mode = opts.optimized ? harness::Mode::kOptimized
                                               : harness::Mode::kBaseline;
@@ -105,25 +152,40 @@ run_kernel(harness::Kernel kernel, const Options& opts)
     harness::RunOptions run_opts;
     run_opts.trials = 1;
     run_opts.verify = opts.verify;
+    run_opts.trial_timeout_ms = opts.trial_timeout_ms;
+    run_opts.max_attempts = opts.max_attempts;
     double total = 0;
     bool all_verified = true;
+    harness::FailureKind failure = harness::FailureKind::kNone;
     for (int trial = 0; trial < opts.trials; ++trial) {
         // Rotate sources by rotating the dataset's source list.
         std::rotate(ds.sources.begin(), ds.sources.begin() + 1,
                     ds.sources.end());
         const harness::CellResult cell =
             harness::run_cell(ds, *fw, kernel, mode, run_opts);
+        if (cell.failure != harness::FailureKind::kNone) {
+            std::cerr << "Trial DNF:    "
+                      << harness::to_string(cell.failure)
+                      << (cell.failure_message.empty()
+                              ? ""
+                              : " (" + cell.failure_message + ")")
+                      << "\n";
+            failure = cell.failure;
+            break;
+        }
         std::cout << "Trial Time:   " << std::setprecision(5)
                   << cell.avg_seconds << "\n";
         total += cell.avg_seconds;
         all_verified &= cell.verified;
     }
+    if (failure != harness::FailureKind::kNone)
+        return exit_code_for(failure);
     std::cout << "Average Time: " << total / opts.trials << "\n";
     if (opts.verify) {
         std::cout << "Verification: " << (all_verified ? "PASS" : "FAIL")
                   << "\n";
     }
-    return all_verified ? 0 : 1;
+    return all_verified ? kExitOk : kExitWrongResult;
 }
 
 int
@@ -132,7 +194,7 @@ kernel_main(harness::Kernel kernel, const std::string& name, int argc,
 {
     const std::optional<Options> opts = parse_options(argc, argv, name);
     if (!opts.has_value())
-        return 1;
+        return kExitUsage;
     return run_kernel(kernel, *opts);
 }
 

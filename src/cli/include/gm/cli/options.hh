@@ -45,6 +45,11 @@ struct Options
 
     std::string framework = "gap"; ///< gap|suitesparse|galois|nwgraph|graphit|gkc
     bool optimized = false;        ///< use the Optimized rule set
+
+    int trial_timeout_ms = 0;      ///< watchdog deadline; 0 = unsupervised
+    int max_attempts = 2;          ///< retry budget for transient failures
+    std::string checkpoint_path;   ///< stream completed cells here (JSONL)
+    std::string resume_path;       ///< skip cells already in this JSONL
 };
 
 /**

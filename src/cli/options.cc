@@ -31,7 +31,16 @@ print_usage(const std::string& kernel_name)
         << "  -F <name>    framework: gap suitesparse galois nwgraph\n"
         << "               graphit gkc (default gap)\n"
         << "  -O           use the Optimized rule set (default Baseline)\n"
-        << "  -h           this help\n";
+        << "fault tolerance:\n"
+        << "  --trial-timeout-ms <ms>  watchdog deadline per trial\n"
+        << "                           (0 = unsupervised, default)\n"
+        << "  --max-attempts <n>       attempts per trial for transient\n"
+        << "                           failures (default 2)\n"
+        << "  --checkpoint <file>      append each finished cell as JSONL\n"
+        << "  --resume <file>          skip cells recorded in this JSONL\n"
+        << "  -h           this help\n"
+        << "exit codes: 0 ok, 1 usage, 2 invalid input, 3 kernel error,\n"
+        << "            4 timeout, 5 wrong result, 6 injected fault\n";
 }
 
 std::optional<Options>
@@ -114,6 +123,26 @@ parse_options(int argc, char** argv, const std::string& kernel_name)
             opts.framework = value;
         } else if (arg == "-O") {
             opts.optimized = true;
+        } else if (arg == "--trial-timeout-ms") {
+            const char* value = next_value("--trial-timeout-ms");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.trial_timeout_ms = std::atoi(value);
+        } else if (arg == "--max-attempts") {
+            const char* value = next_value("--max-attempts");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.max_attempts = std::atoi(value);
+        } else if (arg == "--checkpoint") {
+            const char* value = next_value("--checkpoint");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.checkpoint_path = value;
+        } else if (arg == "--resume") {
+            const char* value = next_value("--resume");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.resume_path = value;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             print_usage(kernel_name);
@@ -122,6 +151,14 @@ parse_options(int argc, char** argv, const std::string& kernel_name)
     }
     if (opts.trials < 1) {
         std::cerr << "-n must be >= 1\n";
+        return std::nullopt;
+    }
+    if (opts.trial_timeout_ms < 0) {
+        std::cerr << "--trial-timeout-ms must be >= 0\n";
+        return std::nullopt;
+    }
+    if (opts.max_attempts < 1) {
+        std::cerr << "--max-attempts must be >= 1\n";
         return std::nullopt;
     }
     return opts;

@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -20,6 +21,8 @@
 
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
+#include "gm/support/fault_injector.hh"
+#include "gm/support/watchdog.hh"
 
 namespace gm::galoislite
 {
@@ -133,11 +136,17 @@ template <typename T, typename Op>
 void
 for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
 {
+    // Fault-injection site for worklist operations (serial entry; the
+    // in-lane polls below must not throw across the pool boundary).
+    support::FaultInjector::global().at("worklist");
+
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<std::vector<T>> shared;
     int idle = 0;
     bool done = false;
+    // 0 = running, 1 = cancelled by watchdog, 2 = injected fault.
+    std::atomic<int> abort_reason{0};
 
     // Seed the shared list in chunk_size pieces so all lanes start busy.
     for (std::size_t lo = 0; lo < initial.size(); lo += chunk_size) {
@@ -151,7 +160,23 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
         std::vector<T> local;
         std::vector<T> out;
         AsyncContext<T> ctx(out, chunk_size, mutex, shared, cv);
+        auto abort_with = [&](int reason) {
+            abort_reason.store(reason, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            cv.notify_all();
+        };
         for (;;) {
+            if (abort_reason.load(std::memory_order_relaxed) != 0)
+                return;
+            if (support::cancel_requested()) {
+                abort_with(1);
+                return;
+            }
+            if (support::FaultInjector::global().poll("worklist")) {
+                abort_with(2);
+                return;
+            }
             if (local.empty()) {
                 // Prefer own freshly produced work for locality.
                 if (!out.empty()) {
@@ -170,8 +195,12 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
                         }
                         cv.wait(lock,
                                 [&] { return done || !shared.empty(); });
-                        if (done && shared.empty())
+                        if (done &&
+                            (shared.empty() ||
+                             abort_reason.load(std::memory_order_relaxed) !=
+                                 0)) {
                             return;
+                        }
                         --idle;
                         if (!shared.empty()) {
                             local = std::move(shared.front());
@@ -186,6 +215,17 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
             local.clear();
         }
     });
+
+    // Re-raise the abort on the serial caller so the kernel unwinds.
+    switch (abort_reason.load(std::memory_order_relaxed)) {
+      case 1:
+        throw support::CancelledError("worklist cancelled by watchdog");
+      case 2:
+        throw support::FaultInjectedError(
+            "injected fault at site 'worklist'");
+      default:
+        break;
+    }
 }
 
 } // namespace gm::galoislite

@@ -5,6 +5,7 @@
 
 #include "gm/par/atomics.hh"
 #include "gm/par/parallel_for.hh"
+#include "gm/support/fault_injector.hh"
 #include "gm/support/rng.hh"
 
 namespace gm::graph
@@ -152,6 +153,8 @@ CSRGraphT<DestT>
 build_any(const std::vector<EdgeT>& edges, vid_t n, bool directed,
           BuildOptions opts)
 {
+    // Fault-injection site for graph building (serial entry point).
+    support::FaultInjector::global().at("graph.build");
     if (!directed)
         opts.symmetrize = true;
     const bool both_ways = opts.symmetrize;
@@ -195,6 +198,60 @@ build_wgraph(const WEdgeList& edges, vid_t num_vertices, bool directed,
              const BuildOptions& opts)
 {
     return build_any<WEdge, WNode>(edges, num_vertices, directed, opts);
+}
+
+namespace
+{
+
+/** Endpoint-range validation shared by the try_build_* entry points. */
+template <typename EdgeT>
+support::Status
+validate_edges(const std::vector<EdgeT>& edges, vid_t n)
+{
+    if (n < 0) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "negative vertex count");
+    }
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const EdgeT& e = edges[i];
+        if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+            return support::Status(
+                support::StatusCode::kInvalidInput,
+                "edge " + std::to_string(i) + " endpoint out of [0, " +
+                    std::to_string(n) + ")");
+        }
+    }
+    return support::Status::ok();
+}
+
+} // namespace
+
+support::StatusOr<CSRGraph>
+try_build_graph(const EdgeList& edges, vid_t num_vertices, bool directed,
+                const BuildOptions& opts)
+{
+    const support::Status status = validate_edges(edges, num_vertices);
+    if (!status.is_ok())
+        return status;
+    try {
+        return build_graph(edges, num_vertices, directed, opts);
+    } catch (...) {
+        return support::current_exception_status();
+    }
+}
+
+support::StatusOr<WCSRGraph>
+try_build_wgraph(const WEdgeList& edges, vid_t num_vertices, bool directed,
+                 const BuildOptions& opts)
+{
+    const support::Status status = validate_edges(edges, num_vertices);
+    if (!status.is_ok())
+        return status;
+    try {
+        return build_wgraph(edges, num_vertices, directed, opts);
+    } catch (...) {
+        return support::current_exception_status();
+    }
 }
 
 WCSRGraph

@@ -10,6 +10,7 @@
 
 #include "gm/graph/csr.hh"
 #include "gm/graph/edge_list.hh"
+#include "gm/support/status.hh"
 
 namespace gm::graph
 {
@@ -40,6 +41,22 @@ CSRGraph build_graph(const EdgeList& edges, vid_t num_vertices, bool directed,
 /** Build a weighted CSR graph; see build_graph(). */
 WCSRGraph build_wgraph(const WEdgeList& edges, vid_t num_vertices,
                        bool directed, const BuildOptions& opts = {});
+
+/**
+ * Validating build for untrusted edge lists: checks that every endpoint is
+ * in [0, num_vertices) before building, and converts builder-level faults
+ * (injected or otherwise) into a Status instead of unwinding the caller.
+ */
+support::StatusOr<CSRGraph> try_build_graph(const EdgeList& edges,
+                                            vid_t num_vertices,
+                                            bool directed,
+                                            const BuildOptions& opts = {});
+
+/** @copydoc try_build_graph */
+support::StatusOr<WCSRGraph> try_build_wgraph(const WEdgeList& edges,
+                                              vid_t num_vertices,
+                                              bool directed,
+                                              const BuildOptions& opts = {});
 
 /**
  * Attach deterministic uniform weights in [1, 255] to an existing graph.

@@ -2,6 +2,13 @@
  * @file
  * Graph file IO: GAP-style text edge lists (.el / .wel) and a fast binary
  * CSR serialization (.gmg) for benchmark caching.
+ *
+ * Every reader returns StatusOr so corrupt or truncated inputs surface as
+ * recoverable errors (kInvalidInput / kCorruptData) instead of killing a
+ * multi-hour sweep.  The binary format is versioned and self-validating:
+ * magic + version header, size fields bounded against the file length,
+ * monotonicity / range checks on the CSR arrays, and a trailing FNV-1a
+ * checksum over the payload.
  */
 #pragma once
 
@@ -9,25 +16,34 @@
 
 #include "gm/graph/csr.hh"
 #include "gm/graph/edge_list.hh"
+#include "gm/support/status.hh"
 
 namespace gm::graph
 {
 
-/** Read a whitespace-separated "u v" edge list; ids define the vertex
- *  count (max id + 1). */
-EdgeList read_edge_list(const std::string& path, vid_t* num_vertices);
+using support::Status;
+using support::StatusOr;
 
-/** Read a "u v w" weighted edge list. */
-WEdgeList read_weighted_edge_list(const std::string& path,
+/**
+ * Read a whitespace-separated "u v" edge list; ids define the vertex
+ * count (max id + 1).  Blank lines and '#' comments are skipped; any
+ * malformed, negative, or overflowing id fails with the line number.
+ */
+StatusOr<EdgeList> read_edge_list(const std::string& path,
                                   vid_t* num_vertices);
 
+/** Read a "u v w" weighted edge list; rejects NaN/negative weights. */
+StatusOr<WEdgeList> read_weighted_edge_list(const std::string& path,
+                                            vid_t* num_vertices);
+
 /** Write "u v" lines for all stored (directed) edges. */
-void write_edge_list(const CSRGraph& graph, const std::string& path);
+Status write_edge_list(const CSRGraph& graph, const std::string& path);
 
-/** Serialize a CSR graph to a binary .gmg file. */
-void save_binary(const CSRGraph& graph, const std::string& path);
+/** Serialize a CSR graph to a binary .gmg file (v2, checksummed). */
+Status save_binary(const CSRGraph& graph, const std::string& path);
 
-/** Load a CSR graph from a binary .gmg file. */
-CSRGraph load_binary(const std::string& path);
+/** Load a CSR graph from a binary .gmg file, validating the header,
+ *  array bounds, CSR invariants, and checksum. */
+StatusOr<CSRGraph> load_binary(const std::string& path);
 
 } // namespace gm::graph

@@ -1,0 +1,363 @@
+#include "gm/harness/checkpoint.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "gm/support/log.hh"
+
+namespace gm::harness
+{
+
+namespace
+{
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+/** JSON-escape a string value (quotes, backslashes, control chars). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Round-trippable double formatting (17 significant digits). */
+std::string
+format_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Minimal parser for the flat JSON objects checkpoint_line() emits: one
+ * level of {"key": value} where value is a string, number, or bool.  Not a
+ * general JSON parser — torn or foreign lines simply fail to parse, which
+ * is exactly what the loader wants.
+ */
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+    Status
+    parse(std::map<std::string, std::string>& fields)
+    {
+        skip_ws();
+        if (!eat('{'))
+            return corrupt("expected '{'");
+        skip_ws();
+        if (eat('}'))
+            return finish(fields);
+        for (;;) {
+            std::string key;
+            if (Status s = parse_string(key); !s.is_ok())
+                return s;
+            skip_ws();
+            if (!eat(':'))
+                return corrupt("expected ':'");
+            skip_ws();
+            std::string value;
+            if (Status s = parse_value(value); !s.is_ok())
+                return s;
+            fields_[key] = value;
+            skip_ws();
+            if (eat(',')) {
+                skip_ws();
+                continue;
+            }
+            if (eat('}'))
+                return finish(fields);
+            return corrupt("expected ',' or '}'");
+        }
+    }
+
+  private:
+    Status
+    finish(std::map<std::string, std::string>& fields)
+    {
+        skip_ws();
+        if (pos_ != text_.size())
+            return corrupt("trailing garbage after object");
+        fields = std::move(fields_);
+        return Status::ok();
+    }
+
+    Status
+    corrupt(const std::string& what)
+    {
+        return Status(StatusCode::kCorruptData,
+                      "checkpoint line: " + what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parse_string(std::string& out)
+    {
+        if (!eat('"'))
+            return corrupt("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                      if (pos_ + 4 > text_.size())
+                          return corrupt("truncated \\u escape");
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = text_[pos_++];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              return corrupt("bad \\u escape");
+                      }
+                      // We only ever emit \u00xx for control bytes.
+                      out += static_cast<char>(code & 0xff);
+                      break;
+                  }
+                  default:
+                    return corrupt("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return corrupt("unterminated string");
+    }
+
+    Status
+    parse_value(std::string& out)
+    {
+        if (pos_ < text_.size() && text_[pos_] == '"')
+            return parse_string(out);
+        // Bare token: number / true / false.
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ',' &&
+               text_[pos_] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            return corrupt("empty value");
+        out = text_.substr(start, pos_ - start);
+        return Status::ok();
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::map<std::string, std::string> fields_;
+};
+
+/** Fetch a required field or fail with kCorruptData. */
+Status
+require(const std::map<std::string, std::string>& fields,
+        const std::string& key, std::string& out)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+        return Status(StatusCode::kCorruptData,
+                      "checkpoint line: missing field '" + key + "'");
+    }
+    out = it->second;
+    return Status::ok();
+}
+
+} // namespace
+
+std::string
+checkpoint_line(const CheckpointRecord& record)
+{
+    std::ostringstream out;
+    out << "{\"mode\":\"" << json_escape(record.mode) << "\""
+        << ",\"framework\":\"" << json_escape(record.framework) << "\""
+        << ",\"kernel\":\"" << json_escape(record.kernel) << "\""
+        << ",\"graph\":\"" << json_escape(record.graph) << "\""
+        << ",\"best_seconds\":" << format_double(record.cell.best_seconds)
+        << ",\"avg_seconds\":" << format_double(record.cell.avg_seconds)
+        << ",\"trials\":" << record.cell.trials
+        << ",\"attempts\":" << record.cell.attempts
+        << ",\"verified\":" << (record.cell.verified ? "true" : "false")
+        << ",\"supported\":" << (record.cell.supported ? "true" : "false")
+        << ",\"failure\":\"" << json_escape(to_string(record.cell.failure))
+        << "\""
+        << ",\"failure_message\":\""
+        << json_escape(record.cell.failure_message) << "\"}";
+    return out.str();
+}
+
+StatusOr<CheckpointRecord>
+parse_checkpoint_line(const std::string& line)
+{
+    std::map<std::string, std::string> fields;
+    FlatJsonParser parser(line);
+    if (Status s = parser.parse(fields); !s.is_ok())
+        return s;
+
+    CheckpointRecord rec;
+    std::string best, avg, trials, verified, failure;
+    if (Status s = require(fields, "mode", rec.mode); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "framework", rec.framework); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "kernel", rec.kernel); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "graph", rec.graph); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "best_seconds", best); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "avg_seconds", avg); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "trials", trials); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "verified", verified); !s.is_ok())
+        return s;
+    if (Status s = require(fields, "failure", failure); !s.is_ok())
+        return s;
+
+    try {
+        rec.cell.best_seconds = std::stod(best);
+        rec.cell.avg_seconds = std::stod(avg);
+        rec.cell.trials = std::stoi(trials);
+    } catch (const std::exception&) {
+        return Status(StatusCode::kCorruptData,
+                      "checkpoint line: non-numeric timing field");
+    }
+    rec.cell.verified = verified == "true";
+    rec.cell.failure = failure_kind_from_string(failure);
+
+    // Optional fields (older checkpoints may lack them).
+    if (const auto it = fields.find("attempts"); it != fields.end()) {
+        try {
+            rec.cell.attempts = std::stoi(it->second);
+        } catch (const std::exception&) {
+            rec.cell.attempts = rec.cell.trials;
+        }
+    }
+    if (const auto it = fields.find("supported"); it != fields.end())
+        rec.cell.supported = it->second == "true";
+    if (const auto it = fields.find("failure_message"); it != fields.end())
+        rec.cell.failure_message = it->second;
+    return rec;
+}
+
+StatusOr<std::vector<CheckpointRecord>>
+load_checkpoint(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return Status(StatusCode::kInvalidInput,
+                      "cannot open checkpoint file: " + path);
+    }
+    std::vector<CheckpointRecord> records;
+    std::string line;
+    int line_no = 0;
+    int skipped = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        auto rec = parse_checkpoint_line(line);
+        if (!rec.is_ok()) {
+            // Typically the torn final line of a killed run.
+            log_warn(path, ":", line_no,
+                     ": skipping unreadable checkpoint record (",
+                     rec.status().message(), ")");
+            ++skipped;
+            continue;
+        }
+        records.push_back(*std::move(rec));
+    }
+    if (skipped > 0) {
+        log_warn(path, ": ", skipped,
+                 " unreadable record(s) skipped; those cells will rerun");
+    }
+    return records;
+}
+
+void
+append_checkpoint(std::ostream& out, const CheckpointRecord& record)
+{
+    out << checkpoint_line(record) << '\n';
+    out.flush();
+}
+
+} // namespace gm::harness

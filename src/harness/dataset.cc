@@ -10,15 +10,14 @@
 namespace gm::harness
 {
 
-Dataset
-make_dataset(std::string name, graph::CSRGraph g, int num_sources,
-             std::uint64_t seed)
+namespace
 {
-    Dataset ds;
-    ds.name = std::move(name);
-    ds.g = std::move(g);
-    if (ds.g.num_vertices() == 0 || ds.g.num_edges_directed() == 0)
-        fatal("dataset '" + ds.name + "' has no vertices or no edges");
+
+/** The fallible tail of dataset construction (weights, symmetrized and
+ *  relabeled forms, GraphBLAS packaging, stats, sources). */
+Dataset
+build_derived_forms(Dataset ds, int num_sources, std::uint64_t seed)
+{
     ds.wg = graph::add_weights(ds.g, seed ^ 0x5eed);
 
     if (ds.g.is_directed()) {
@@ -56,6 +55,38 @@ make_dataset(std::string name, graph::CSRGraph g, int num_sources,
             ds.sources.push_back(v);
     }
     return ds;
+}
+
+} // namespace
+
+support::StatusOr<Dataset>
+try_make_dataset(std::string name, graph::CSRGraph g, int num_sources,
+                 std::uint64_t seed)
+{
+    Dataset ds;
+    ds.name = std::move(name);
+    ds.g = std::move(g);
+    if (ds.g.num_vertices() == 0 || ds.g.num_edges_directed() == 0) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "dataset '" + ds.name +
+                                   "' has no vertices or no edges");
+    }
+    try {
+        return build_derived_forms(std::move(ds), num_sources, seed);
+    } catch (...) {
+        return support::current_exception_status();
+    }
+}
+
+Dataset
+make_dataset(std::string name, graph::CSRGraph g, int num_sources,
+             std::uint64_t seed)
+{
+    auto ds = try_make_dataset(std::move(name), std::move(g), num_sources,
+                               seed);
+    if (!ds.is_ok())
+        fatal(ds.status().to_string());
+    return *std::move(ds);
 }
 
 DatasetSuite

@@ -14,6 +14,7 @@
 #include "gm/graph/csr.hh"
 #include "gm/graph/stats.hh"
 #include "gm/grb/lagraph.hh"
+#include "gm/support/status.hh"
 
 namespace gm::harness
 {
@@ -61,7 +62,18 @@ struct DatasetSuite
 DatasetSuite make_gap_suite(int scale, int num_sources = 16,
                             std::uint64_t seed = 2020);
 
-/** Build one dataset from an arbitrary graph (used by tests/examples). */
+/**
+ * Build one dataset from an arbitrary graph, recoverably: empty graphs and
+ * faults injected during the derived-form builds come back as a Status
+ * (kInvalidInput / kFaultInjected / ...) instead of killing the process.
+ */
+support::StatusOr<Dataset> try_make_dataset(std::string name,
+                                            graph::CSRGraph g,
+                                            int num_sources,
+                                            std::uint64_t seed);
+
+/** Convenience wrapper for trusted inputs (tests/examples): fatal()s on
+ *  any error try_make_dataset() would report. */
 Dataset make_dataset(std::string name, graph::CSRGraph g, int num_sources,
                      std::uint64_t seed);
 

@@ -5,25 +5,69 @@
  * every result against the spec verifiers, and record the timings.
  * Unverified results are never recorded as timings — the paper calls for
  * exactly this kind of formal validation.
+ *
+ * The runner is fault tolerant: every trial executes on a
+ * watchdog-supervised worker with a configurable deadline, exceptions are
+ * caught per trial, transient failures (injected faults, kernel errors)
+ * are retried with backoff up to a capped attempt count, and a failed cell
+ * becomes a DNF entry with a FailureKind instead of killing the sweep.
+ * run_suite can additionally stream every completed cell to a JSONL
+ * checkpoint and skip cells already present in a resume file.
  */
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
+#include "gm/support/status.hh"
 
 namespace gm::harness
 {
+
+/** Why a cell did not finish (DNF); kNone means it completed. */
+enum class FailureKind
+{
+    kNone = 0,
+    kTimeout,       ///< watchdog deadline exceeded
+    kKernelError,   ///< kernel threw / crashed internally
+    kWrongResult,   ///< result failed spec verification
+    kUnsupported,   ///< framework does not implement the kernel
+    kFaultInjected, ///< GM_FAULTS fault survived all retry attempts
+    kInvalidInput,  ///< dataset/input rejected by the framework
+};
+
+/** Long name ("timeout") — stable, used in checkpoints and CSVs. */
+std::string to_string(FailureKind kind);
+
+/** Short table label ("T/O", "ERR", "WRONG", ...); "" for kNone. */
+const char* short_label(FailureKind kind);
+
+/** Parse to_string()'s output back; kKernelError if unknown. */
+FailureKind failure_kind_from_string(const std::string& name);
+
+/** Map a StatusCode from a failed trial onto the cell taxonomy. */
+FailureKind failure_kind_from_status(support::StatusCode code);
 
 /** Timing summary of one benchmark cell. */
 struct CellResult
 {
     double best_seconds = 0;
     double avg_seconds = 0;
-    int trials = 0;
+    int trials = 0;          ///< completed (timed) trials
     bool verified = false;
     bool supported = true;
+    FailureKind failure = FailureKind::kNone;
+    std::string failure_message;
+    int attempts = 0;        ///< total trial attempts including retries
+
+    /** True when the cell produced a usable timing. */
+    bool
+    completed() const
+    {
+        return failure == FailureKind::kNone && trials > 0;
+    }
 };
 
 /** results[framework][kernel][graph]. */
@@ -49,6 +93,18 @@ struct RunOptions
     /** Skip verification of kernels whose serial oracle is expensive when
      *  the result was already verified once for this (framework, graph). */
     bool verify_first_trial_only = true;
+
+    /** Per-trial watchdog deadline in ms; 0 disables supervision. */
+    int trial_timeout_ms = 0;
+    /** Attempts per trial for transient failures (faults, kernel errors). */
+    int max_attempts = 2;
+    /** Base backoff before a retry; doubles per extra attempt. */
+    int retry_backoff_ms = 10;
+
+    /** When non-empty, stream each completed cell here as JSONL. */
+    std::string checkpoint_path;
+    /** When non-empty, skip cells already recorded in this JSONL file. */
+    std::string resume_path;
 };
 
 /** Run every framework x kernel x graph cell under @p mode. */

@@ -15,6 +15,7 @@
 
 #include "gm/harness/dataset.hh"
 #include "gm/harness/runner.hh"
+#include "gm/support/status.hh"
 
 namespace gm::harness
 {
@@ -36,7 +37,9 @@ void print_table4(std::ostream& os, const ResultsCube& baseline,
 void print_table5(std::ostream& os, const ResultsCube& baseline,
                   const ResultsCube& optimized);
 
-/** Write one cube as CSV (framework,kernel,graph,best,avg,verified). */
-void write_csv(const std::string& path, const ResultsCube& cube, Mode mode);
+/** Write one cube as CSV (framework,kernel,graph,best,avg,verified,
+ *  failure,attempts).  Fails with a Status instead of aborting. */
+support::Status write_csv(const std::string& path, const ResultsCube& cube,
+                          Mode mode);
 
 } // namespace gm::harness

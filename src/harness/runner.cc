@@ -1,16 +1,27 @@
 #include "gm/harness/runner.hh"
 
+#include <chrono>
+#include <fstream>
 #include <limits>
+#include <map>
+#include <thread>
+#include <tuple>
 
 #include "gm/gapref/verify.hh"
+#include "gm/harness/checkpoint.hh"
+#include "gm/support/fault_injector.hh"
 #include "gm/support/log.hh"
 #include "gm/support/timer.hh"
+#include "gm/support/watchdog.hh"
 
 namespace gm::harness
 {
 
 namespace
 {
+
+using support::Status;
+using support::StatusCode;
 
 /** Sources for trial @p t: SSSP/BFS take one, BC takes four. */
 vid_t
@@ -31,7 +42,178 @@ trial_bc_sources(const Dataset& ds, int trial)
     return sources;
 }
 
+/** Everything a trial attempt produces besides its Status. */
+struct TrialOutput
+{
+    double seconds = 0;
+    bool verify_ok = true;
+    std::string verify_err;
+};
+
+/**
+ * One attempt of one trial: kernel (timed) + optional verification, run
+ * inline on the calling thread.  Exceptions escape to the watchdog.
+ */
+void
+run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
+                  Mode mode, int trial, bool check, TrialOutput& out)
+{
+    // Fault-injection sites: all kernels, and per-framework targeting.
+    auto& injector = support::FaultInjector::global();
+    injector.at("kernel");
+    injector.at("kernel." + fw.name);
+
+    Timer timer;
+    bool ok = true;
+    std::string err;
+    switch (kernel) {
+      case Kernel::kBFS: {
+          const vid_t src = trial_source(ds, trial);
+          timer.start();
+          const auto parent = fw.bfs(ds, src, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_bfs(ds.g, src, parent, &err);
+          break;
+      }
+      case Kernel::kSSSP: {
+          const vid_t src = trial_source(ds, trial);
+          timer.start();
+          const auto dist = fw.sssp(ds, src, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_sssp(ds.wg, src, dist, &err);
+          break;
+      }
+      case Kernel::kCC: {
+          timer.start();
+          const auto comp = fw.cc(ds, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_cc(ds.g, comp, &err);
+          break;
+      }
+      case Kernel::kPR: {
+          timer.start();
+          const auto scores = fw.pr(ds, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_pagerank(ds.g, scores, 0.85, 1e-4, &err);
+          break;
+      }
+      case Kernel::kBC: {
+          const auto sources = trial_bc_sources(ds, trial);
+          timer.start();
+          const auto scores = fw.bc(ds, sources, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_bc(ds.g, sources, scores, &err);
+          break;
+      }
+      case Kernel::kTC: {
+          timer.start();
+          const std::uint64_t count = fw.tc(ds, mode);
+          timer.stop();
+          if (check)
+              ok = gapref::verify_tc(ds.g_undirected, count, &err);
+          break;
+      }
+    }
+    out.seconds = timer.seconds();
+    out.verify_ok = ok;
+    out.verify_err = std::move(err);
+}
+
+/** Should this failure be retried (transient) rather than recorded? */
+bool
+is_transient(StatusCode code)
+{
+    return code == StatusCode::kFaultInjected ||
+           code == StatusCode::kKernelError;
+}
+
 } // namespace
+
+std::string
+to_string(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::kNone:
+        return "none";
+      case FailureKind::kTimeout:
+        return "timeout";
+      case FailureKind::kKernelError:
+        return "kernel_error";
+      case FailureKind::kWrongResult:
+        return "wrong_result";
+      case FailureKind::kUnsupported:
+        return "unsupported";
+      case FailureKind::kFaultInjected:
+        return "fault_injected";
+      case FailureKind::kInvalidInput:
+        return "invalid_input";
+    }
+    return "?";
+}
+
+const char*
+short_label(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::kNone:
+        return "";
+      case FailureKind::kTimeout:
+        return "T/O";
+      case FailureKind::kKernelError:
+        return "ERR";
+      case FailureKind::kWrongResult:
+        return "WRONG";
+      case FailureKind::kUnsupported:
+        return "UNSUP";
+      case FailureKind::kFaultInjected:
+        return "FAULT";
+      case FailureKind::kInvalidInput:
+        return "BADIN";
+    }
+    return "?";
+}
+
+FailureKind
+failure_kind_from_string(const std::string& name)
+{
+    for (FailureKind kind :
+         {FailureKind::kNone, FailureKind::kTimeout,
+          FailureKind::kKernelError, FailureKind::kWrongResult,
+          FailureKind::kUnsupported, FailureKind::kFaultInjected,
+          FailureKind::kInvalidInput}) {
+        if (name == to_string(kind))
+            return kind;
+    }
+    return FailureKind::kKernelError;
+}
+
+FailureKind
+failure_kind_from_status(support::StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:
+        return FailureKind::kNone;
+      case StatusCode::kTimeout:
+        return FailureKind::kTimeout;
+      case StatusCode::kWrongResult:
+        return FailureKind::kWrongResult;
+      case StatusCode::kUnsupported:
+        return FailureKind::kUnsupported;
+      case StatusCode::kFaultInjected:
+        return FailureKind::kFaultInjected;
+      case StatusCode::kInvalidInput:
+      case StatusCode::kCorruptData:
+        return FailureKind::kInvalidInput;
+      case StatusCode::kKernelError:
+        return FailureKind::kKernelError;
+    }
+    return FailureKind::kKernelError;
+}
 
 CellResult
 run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
@@ -41,80 +223,64 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
     cell.best_seconds = std::numeric_limits<double>::infinity();
     cell.verified = true;
     double total = 0;
+    const int max_attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
 
     for (int trial = 0; trial < opts.trials; ++trial) {
         const bool check =
             opts.verify && (!opts.verify_first_trial_only || trial == 0);
-        Timer timer;
-        std::string err;
-        bool ok = true;
 
-        switch (kernel) {
-          case Kernel::kBFS: {
-              const vid_t src = trial_source(ds, trial);
-              timer.start();
-              const auto parent = fw.bfs(ds, src, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_bfs(ds.g, src, parent, &err);
-              break;
-          }
-          case Kernel::kSSSP: {
-              const vid_t src = trial_source(ds, trial);
-              timer.start();
-              const auto dist = fw.sssp(ds, src, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_sssp(ds.wg, src, dist, &err);
-              break;
-          }
-          case Kernel::kCC: {
-              timer.start();
-              const auto comp = fw.cc(ds, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_cc(ds.g, comp, &err);
-              break;
-          }
-          case Kernel::kPR: {
-              timer.start();
-              const auto scores = fw.pr(ds, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_pagerank(ds.g, scores, 0.85, 1e-4,
-                                               &err);
-              break;
-          }
-          case Kernel::kBC: {
-              const auto sources = trial_bc_sources(ds, trial);
-              timer.start();
-              const auto scores = fw.bc(ds, sources, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_bc(ds.g, sources, scores, &err);
-              break;
-          }
-          case Kernel::kTC: {
-              timer.start();
-              const std::uint64_t count = fw.tc(ds, mode);
-              timer.stop();
-              if (check)
-                  ok = gapref::verify_tc(ds.g_undirected, count, &err);
-              break;
-          }
-        }
-
-        if (!ok) {
+        TrialOutput out;
+        Status status = Status::ok();
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            ++cell.attempts;
+            out = TrialOutput{};
+            status = support::run_with_watchdog(
+                [&] {
+                    run_trial_attempt(ds, fw, kernel, mode, trial, check,
+                                      out);
+                },
+                opts.trial_timeout_ms);
+            if (status.is_ok())
+                break;
+            if (!is_transient(status.code()) || attempt == max_attempts)
+                break;
+            const int backoff = opts.retry_backoff_ms << (attempt - 1);
             log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
-                     " failed verification: ", err);
-            cell.verified = false;
+                     " trial ", trial, " attempt ", attempt, " failed (",
+                     status.to_string(), "); retrying in ", backoff, " ms");
+            if (backoff > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff));
+            }
         }
-        const double secs = timer.seconds();
-        cell.best_seconds = std::min(cell.best_seconds, secs);
-        total += secs;
+
+        if (!status.is_ok()) {
+            // DNF: record why and stop burning deadline on more trials.
+            cell.failure = failure_kind_from_status(status.code());
+            cell.failure_message = status.message();
+            cell.verified = false;
+            log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
+                     " DNF after ", cell.attempts, " attempt(s): ",
+                     status.to_string());
+            break;
+        }
+
+        if (!out.verify_ok) {
+            log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
+                     " failed verification: ", out.verify_err);
+            cell.verified = false;
+            cell.failure = FailureKind::kWrongResult;
+            if (cell.failure_message.empty())
+                cell.failure_message = out.verify_err;
+        }
+        cell.best_seconds = std::min(cell.best_seconds, out.seconds);
+        total += out.seconds;
         ++cell.trials;
     }
+
     cell.avg_seconds = cell.trials > 0 ? total / cell.trials : 0;
+    if (cell.trials == 0)
+        cell.best_seconds = 0;
     return cell;
 }
 
@@ -129,6 +295,36 @@ run_suite(const DatasetSuite& suite,
     for (const auto& ds : suite.datasets)
         cube.graph_names.push_back(ds->name);
 
+    // Cells already completed in a previous (killed) run of this sweep.
+    std::map<std::tuple<std::string, std::string, std::string>, CellResult>
+        resumed;
+    if (!opts.resume_path.empty()) {
+        auto records = load_checkpoint(opts.resume_path);
+        if (!records.is_ok()) {
+            log_warn("cannot resume from ", opts.resume_path, ": ",
+                     records.status().to_string(), "; running all cells");
+        } else {
+            for (const CheckpointRecord& rec : *records) {
+                if (rec.mode != to_string(mode))
+                    continue;
+                resumed[{rec.framework, rec.kernel, rec.graph}] = rec.cell;
+            }
+            log_info("resuming ", to_string(mode), " sweep: ",
+                     resumed.size(), " cell(s) restored from ",
+                     opts.resume_path);
+        }
+    }
+
+    std::ofstream checkpoint;
+    if (!opts.checkpoint_path.empty()) {
+        checkpoint.open(opts.checkpoint_path,
+                        std::ios::out | std::ios::app);
+        if (!checkpoint) {
+            log_warn("cannot open checkpoint ", opts.checkpoint_path,
+                     "; sweep will not be resumable");
+        }
+    }
+
     cube.cells.resize(frameworks.size());
     for (std::size_t f = 0; f < frameworks.size(); ++f) {
         cube.cells[f].resize(std::size(kAllKernels));
@@ -136,11 +332,30 @@ run_suite(const DatasetSuite& suite,
             auto& row = cube.cells[f][static_cast<std::size_t>(kernel)];
             row.resize(suite.size());
             for (std::size_t g = 0; g < suite.size(); ++g) {
+                const auto key = std::make_tuple(
+                    frameworks[f].name, to_string(kernel), suite[g].name);
+                if (const auto it = resumed.find(key);
+                    it != resumed.end()) {
+                    row[g] = it->second;
+                    log_info(to_string(mode), " ", frameworks[f].name, " ",
+                             to_string(kernel), " ", suite[g].name,
+                             ": restored from checkpoint");
+                    continue;
+                }
                 row[g] = run_cell(suite[g], frameworks[f], kernel, mode,
                                   opts);
                 log_info(to_string(mode), " ", frameworks[f].name, " ",
                          to_string(kernel), " ", suite[g].name, ": ",
-                         row[g].avg_seconds, " s");
+                         row[g].avg_seconds, " s",
+                         row[g].completed() ? "" : " (DNF)");
+                if (checkpoint.is_open()) {
+                    append_checkpoint(
+                        checkpoint,
+                        CheckpointRecord{to_string(mode),
+                                         frameworks[f].name,
+                                         to_string(kernel), suite[g].name,
+                                         row[g]});
+                }
             }
         }
     }

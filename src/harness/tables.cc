@@ -66,7 +66,7 @@ print_table4(std::ostream& os, const ResultsCube& baseline,
                 for (std::size_t f = 0; f < cube.framework_names.size();
                      ++f) {
                     const CellResult& cell = cube.at(f, kernel, g);
-                    if (!cell.verified || cell.trials == 0)
+                    if (!cell.completed() || !cell.verified)
                         continue;
                     // Best-of-trials: the minimum is the robust location
                     // estimate under scheduler interference.
@@ -77,8 +77,13 @@ print_table4(std::ostream& os, const ResultsCube& baseline,
                     }
                 }
                 std::ostringstream val;
-                val << std::fixed << std::setprecision(4) << best << " "
-                    << winner.substr(0, 4);
+                if (first) {
+                    // Nobody produced a verified timing for this cell.
+                    val << "DNF";
+                } else {
+                    val << std::fixed << std::setprecision(4) << best << " "
+                        << winner.substr(0, 4);
+                }
                 os << std::setw(16) << val.str();
             }
             os << "\n";
@@ -111,7 +116,11 @@ print_table5(std::ostream& os, const ResultsCube& baseline,
                     const CellResult& gap = cube.at(kGapIndex, kernel, g);
                     const CellResult& cell = cube.at(f, kernel, g);
                     std::ostringstream val;
-                    if (!cell.verified || cell.best_seconds <= 0) {
+                    if (cell.failure != FailureKind::kNone) {
+                        // DNF cells show why (T/O, FAULT, WRONG, ...).
+                        val << short_label(cell.failure);
+                    } else if (!cell.completed() || !gap.completed() ||
+                               !cell.verified || cell.best_seconds <= 0) {
                         val << "n/a";
                     } else {
                         val << std::fixed << std::setprecision(1)
@@ -128,14 +137,16 @@ print_table5(std::ostream& os, const ResultsCube& baseline,
     print_half(optimized, "Optimized (speedup over GAP reference)");
 }
 
-void
+support::Status
 write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
 {
     std::ofstream out(path);
-    if (!out)
-        fatal("cannot write csv: " + path);
+    if (!out) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "cannot write csv: " + path);
+    }
     out << "mode,framework,kernel,graph,best_seconds,avg_seconds,trials,"
-           "verified\n";
+           "verified,failure,attempts\n";
     for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
         for (Kernel kernel : kAllKernels) {
             for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
@@ -144,10 +155,17 @@ write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
                     << "," << to_string(kernel) << ","
                     << cube.graph_names[g] << "," << cell.best_seconds
                     << "," << cell.avg_seconds << "," << cell.trials << ","
-                    << (cell.verified ? 1 : 0) << "\n";
+                    << (cell.verified ? 1 : 0) << ","
+                    << to_string(cell.failure) << "," << cell.attempts
+                    << "\n";
             }
         }
     }
+    if (!out) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "write error on csv: " + path);
+    }
+    return support::Status::ok();
 }
 
 } // namespace gm::harness

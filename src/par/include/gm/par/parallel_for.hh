@@ -16,12 +16,22 @@
 #include <vector>
 
 #include "gm/par/thread_pool.hh"
+#include "gm/support/watchdog.hh"
 
 namespace gm::par
 {
 
 /** Loop iteration-assignment policy. */
 enum class Schedule { kStatic, kDynamic, kCyclic };
+
+namespace detail
+{
+
+/** Iterations between cancellation polls in contiguous loops; amortizes
+ *  the relaxed atomic load to ~zero cost in kernel hot paths. */
+inline constexpr std::uint64_t kCancelPollMask = 0x3FF;
+
+} // namespace detail
 
 /**
  * Parallel for over [begin, end).
@@ -41,8 +51,19 @@ parallel_for(Index begin, Index end, Fn&& fn,
     const Index n = end - begin;
     const int lanes = pool.num_threads();
     if (lanes == 1 || n == 1 || ThreadPool::in_parallel_region()) {
-        for (Index i = begin; i < end; ++i)
+        // Nested (in-lane) calls must not throw across the pool boundary;
+        // they bail out silently and the outermost serial level throws.
+        const bool nested = ThreadPool::in_parallel_region();
+        std::uint64_t polls = 0;
+        for (Index i = begin; i < end; ++i) {
+            if ((polls++ & detail::kCancelPollMask) == 0 &&
+                support::cancel_requested()) {
+                if (nested)
+                    return;
+                support::check_cancelled();
+            }
             fn(i);
+        }
         return;
     }
 
@@ -51,13 +72,25 @@ parallel_for(Index begin, Index end, Fn&& fn,
             const Index block = (n + lanes - 1) / lanes;
             const Index lo = begin + block * lane;
             const Index hi = lo + block < end ? lo + block : end;
-            for (Index i = lo; i < hi; ++i)
+            std::uint64_t polls = 0;
+            for (Index i = lo; i < hi; ++i) {
+                if ((polls++ & detail::kCancelPollMask) == 0 &&
+                    support::cancel_requested()) {
+                    return;
+                }
                 fn(i);
+            }
         });
     } else if (sched == Schedule::kCyclic) {
         pool.run([&](int lane) {
-            for (Index i = begin + lane; i < end; i += lanes)
+            std::uint64_t polls = 0;
+            for (Index i = begin + lane; i < end; i += lanes) {
+                if ((polls++ & detail::kCancelPollMask) == 0 &&
+                    support::cancel_requested()) {
+                    return;
+                }
                 fn(i);
+            }
         });
     } else {
         if (grain <= 0) {
@@ -68,6 +101,8 @@ parallel_for(Index begin, Index end, Fn&& fn,
         std::atomic<Index> cursor{begin};
         pool.run([&](int) {
             for (;;) {
+                if (support::cancel_requested())
+                    return;
                 const Index lo =
                     cursor.fetch_add(grain, std::memory_order_relaxed);
                 if (lo >= end)
@@ -78,6 +113,10 @@ parallel_for(Index begin, Index end, Fn&& fn,
             }
         });
     }
+    // Lanes drain early once cancelled; surface that to the (serial)
+    // caller as an exception so kernels unwind instead of iterating on a
+    // half-updated frontier forever.
+    support::check_cancelled();
 }
 
 /**
@@ -104,6 +143,7 @@ parallel_blocks(Index begin, Index end, Fn&& fn)
         if (lo < hi)
             fn(lane, lo, hi);
     });
+    support::check_cancelled();
 }
 
 /**
@@ -151,10 +191,17 @@ parallel_reduce(Index begin, Index end, T identity, Map&& map,
         const Index lo = begin + block * lane;
         const Index hi = lo + block < end ? lo + block : end;
         T acc = identity;
-        for (Index i = lo; i < hi; ++i)
+        std::uint64_t polls = 0;
+        for (Index i = lo; i < hi; ++i) {
+            if ((polls++ & detail::kCancelPollMask) == 0 &&
+                support::cancel_requested()) {
+                break;
+            }
             acc = combine(acc, map(i));
+        }
         partial[static_cast<std::size_t>(lane)] = acc;
     });
+    support::check_cancelled();
     T acc = identity;
     for (const T& p : partial)
         acc = combine(acc, p);

@@ -1,0 +1,125 @@
+#include "gm/support/fault_injector.hh"
+
+#include <cstdlib>
+
+#include "gm/support/rng.hh"
+
+namespace gm::support
+{
+
+namespace
+{
+
+/** Deterministic per-poll uniform value in [0, 1). */
+double
+poll_value(std::uint64_t seed, std::uint64_t poll_index)
+{
+    SplitMix64 mix(seed ^ (poll_index * 0x9e3779b97f4a7c15ULL + 0x51));
+    return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+/** Split @p text on @p sep; keeps empty fields. */
+std::vector<std::string>
+split(const std::string& text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+} // namespace
+
+FaultInjector&
+FaultInjector::global()
+{
+    static FaultInjector* injector = [] {
+        auto* inj = new FaultInjector();
+        const char* env = std::getenv("GM_FAULTS");
+        if (env != nullptr) {
+            const Status status = inj->configure(env);
+            if (!status.is_ok())
+                log_warn("ignoring GM_FAULTS: ", status.to_string());
+        }
+        return inj;
+    }();
+    return *injector;
+}
+
+Status
+FaultInjector::configure(const std::string& spec)
+{
+    clear();
+    if (spec.empty())
+        return Status::ok();
+    std::vector<std::shared_ptr<FaultSite>> sites;
+    for (const std::string& entry : split(spec, ',')) {
+        const std::vector<std::string> fields = split(entry, ':');
+        if (fields.size() != 3 || fields[0].empty()) {
+            return Status(StatusCode::kInvalidInput,
+                          "bad GM_FAULTS entry '" + entry +
+                              "' (want site:rate:seed)");
+        }
+        auto site = std::make_shared<FaultSite>();
+        site->site = fields[0];
+        const std::string& rate = fields[1];
+        char* end = nullptr;
+        if (!rate.empty() && rate.back() == 'x') {
+            site->count = std::strtoll(rate.c_str(), &end, 10);
+            if (end != rate.c_str() + rate.size() - 1 || site->count < 0) {
+                return Status(StatusCode::kInvalidInput,
+                              "bad GM_FAULTS count '" + rate + "'");
+            }
+        } else {
+            site->rate = std::strtod(rate.c_str(), &end);
+            if (rate.empty() || end != rate.c_str() + rate.size() ||
+                site->rate < 0 || site->rate > 1) {
+                return Status(StatusCode::kInvalidInput,
+                              "bad GM_FAULTS rate '" + rate +
+                                  "' (want [0,1] or <n>x)");
+            }
+        }
+        site->seed = std::strtoull(fields[2].c_str(), &end, 10);
+        if (fields[2].empty() || end != fields[2].c_str() + fields[2].size()) {
+            return Status(StatusCode::kInvalidInput,
+                          "bad GM_FAULTS seed '" + fields[2] + "'");
+        }
+        sites.push_back(std::move(site));
+    }
+    sites_ = std::move(sites);
+    armed_.store(!sites_.empty(), std::memory_order_relaxed);
+    return Status::ok();
+}
+
+void
+FaultInjector::clear()
+{
+    armed_.store(false, std::memory_order_relaxed);
+    sites_.clear();
+}
+
+bool
+FaultInjector::poll(std::string_view site)
+{
+    if (!enabled())
+        return false;
+    for (const auto& armed : sites_) {
+        if (armed->site != site)
+            continue;
+        const std::uint64_t index =
+            armed->polls.fetch_add(1, std::memory_order_relaxed);
+        if (armed->count >= 0)
+            return index < static_cast<std::uint64_t>(armed->count);
+        return poll_value(armed->seed, index) < armed->rate;
+    }
+    return false;
+}
+
+} // namespace gm::support

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for testing recovery paths.
+ *
+ * Sites are named strings checked at strategic points (graph building,
+ * worklist operations, kernel entry).  Armed via the environment:
+ *
+ *     GM_FAULTS=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+ *
+ * where <rate> is either a probability in [0, 1] (the i-th poll of a site
+ * fires iff hash(seed, i) < rate — reproducible across runs) or "<n>x"
+ * (fire on exactly the first n polls, then never — handy for testing
+ * inject -> retry -> recover round trips).
+ *
+ * Site names in use: "graph.build", "worklist", "kernel", and
+ * "kernel.<Framework>" for targeting a single framework.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gm/support/status.hh"
+
+namespace gm::support
+{
+
+/** One armed injection site. */
+struct FaultSite
+{
+    std::string site;
+    double rate = 0;              ///< probability mode (count < 0)
+    std::int64_t count = -1;      ///< "<n>x" mode: fire first n polls
+    std::uint64_t seed = 0;
+    std::atomic<std::uint64_t> polls{0};
+
+    FaultSite() = default;
+    FaultSite(const FaultSite& other)
+        : site(other.site),
+          rate(other.rate),
+          count(other.count),
+          seed(other.seed),
+          polls(other.polls.load())
+    {
+    }
+};
+
+/** Process-wide registry of armed fault sites. */
+class FaultInjector
+{
+  public:
+    /** The global injector, configured once from GM_FAULTS. */
+    static FaultInjector& global();
+
+    /** (Re)configure from a GM_FAULTS-syntax spec; "" disarms everything. */
+    Status configure(const std::string& spec);
+
+    /** Disarm all sites (used by tests to restore a clean state). */
+    void clear();
+
+    /** True if any site is armed (cheap; checked before hashing). */
+    bool
+    enabled() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Poll @p site: returns true if a fault fires there.  Deterministic in
+     * the per-site poll counter; never throws (safe inside worker lanes).
+     */
+    bool poll(std::string_view site);
+
+    /** Poll @p site and throw FaultInjectedError if it fires. */
+    void
+    at(std::string_view site)
+    {
+        if (poll(site)) {
+            throw FaultInjectedError("injected fault at site '" +
+                                     std::string(site) + "'");
+        }
+    }
+
+  private:
+    std::vector<std::shared_ptr<FaultSite>> sites_;
+    std::atomic<bool> armed_{false};
+};
+
+} // namespace gm::support

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Recoverable error handling: Status / StatusOr<T> plus the exception
+ * bridge used by code that cannot return (kernel entry points, injected
+ * faults, watchdog cancellation).
+ *
+ * The taxonomy mirrors what the benchmark harness needs to *report* rather
+ * than die on: a corrupt input file, a hung kernel, a wrong answer, or a
+ * deliberately injected fault all become data (a DNF cell), never exit(1).
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "gm/support/log.hh"
+
+namespace gm::support
+{
+
+/** Error taxonomy shared by all recoverable paths. */
+enum class StatusCode
+{
+    kOk = 0,
+    kInvalidInput,  ///< caller-supplied bad data (malformed file, bad args)
+    kCorruptData,   ///< on-disk data fails validation (magic, bounds, crc)
+    kTimeout,       ///< watchdog deadline exceeded / trial cancelled
+    kKernelError,   ///< kernel threw or crashed internally
+    kWrongResult,   ///< result failed spec verification
+    kUnsupported,   ///< framework/kernel combination not implemented
+    kFaultInjected, ///< deterministic test fault from GM_FAULTS
+};
+
+/** Short stable name of a code ("ok", "timeout", ...). */
+const char* to_string(StatusCode code);
+
+/** Parse to_string()'s output back into a code; kKernelError if unknown. */
+StatusCode status_code_from_string(const std::string& name);
+
+/** An error code with a human-readable message; kOk means success. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Error (or explicit ok) with message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    /** Success singleton-style factory, for symmetry with errors. */
+    static Status
+    ok()
+    {
+        return Status();
+    }
+
+    bool
+    is_ok() const
+    {
+        return code_ == StatusCode::kOk;
+    }
+
+    StatusCode
+    code() const
+    {
+        return code_;
+    }
+
+    const std::string&
+    message() const
+    {
+        return message_;
+    }
+
+    /** "timeout: trial exceeded 50 ms deadline" style rendering. */
+    std::string
+    to_string() const
+    {
+        if (is_ok())
+            return "ok";
+        return std::string(support::to_string(code_)) + ": " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/** Either a value or the Status explaining why there is none. */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Error state; @p status must not be ok. */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        GM_ASSERT(!status_.is_ok(), "StatusOr built from an ok Status");
+    }
+
+    /** Value state. */
+    StatusOr(T value) : value_(std::move(value)), has_value_(true) {}
+
+    bool
+    is_ok() const
+    {
+        return has_value_;
+    }
+
+    const Status&
+    status() const
+    {
+        return status_;
+    }
+
+    /** The value; asserts is_ok(). */
+    const T&
+    value() const&
+    {
+        GM_ASSERT(has_value_, status_.to_string());
+        return value_;
+    }
+
+    /** Move the value out; asserts is_ok(). */
+    T
+    value() &&
+    {
+        GM_ASSERT(has_value_, status_.to_string());
+        return std::move(value_);
+    }
+
+    const T&
+    operator*() const&
+    {
+        return value();
+    }
+
+    const T*
+    operator->() const
+    {
+        return &value();
+    }
+
+  private:
+    Status status_;
+    T value_{};
+    bool has_value_ = false;
+};
+
+/** Exception carrying a StatusCode, for paths that cannot return Status. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(StatusCode code, const std::string& message)
+        : std::runtime_error(message), code_(code)
+    {
+    }
+
+    StatusCode
+    code() const
+    {
+        return code_;
+    }
+
+  private:
+    StatusCode code_;
+};
+
+/** Thrown by FaultInjector at an armed site. */
+class FaultInjectedError : public Error
+{
+  public:
+    explicit FaultInjectedError(const std::string& message)
+        : Error(StatusCode::kFaultInjected, message)
+    {
+    }
+};
+
+/** Thrown at cooperative cancellation points once a watchdog fires. */
+class CancelledError : public Error
+{
+  public:
+    explicit CancelledError(const std::string& message)
+        : Error(StatusCode::kTimeout, message)
+    {
+    }
+};
+
+/**
+ * Translate the in-flight exception into a Status.  Call from inside a
+ * catch block; unknown exception types map to kKernelError.
+ */
+Status current_exception_status();
+
+} // namespace gm::support

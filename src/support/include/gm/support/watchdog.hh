@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Watchdog-supervised execution with cooperative cancellation.
+ *
+ * A benchmark trial runs on a worker thread while the caller waits with a
+ * deadline.  On expiry the watchdog raises the process-wide cancellation
+ * flag; the parallel runtime (parallel_for chunk grabs, worklist drains)
+ * polls the flag and unwinds via CancelledError, so any kernel built on
+ * those substrates stops within a few chunks.  Truly non-cooperative code
+ * is abandoned (detached) after a grace period and reported as a timeout —
+ * the sweep keeps going instead of hanging with it.
+ */
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "gm/support/status.hh"
+
+namespace gm::support
+{
+
+/** Process-wide cancellation flag; raised by the watchdog on deadline. */
+extern std::atomic<bool> g_cancel_requested;
+
+/** Cheap relaxed poll, safe anywhere including worker lanes. */
+inline bool
+cancel_requested()
+{
+    return g_cancel_requested.load(std::memory_order_relaxed);
+}
+
+/** Raise the cancellation flag. */
+void request_cancel();
+
+/** Clear the cancellation flag (watchdog does this between trials). */
+void reset_cancel();
+
+/** Throw CancelledError if cancellation was requested. */
+inline void
+check_cancelled()
+{
+    if (cancel_requested())
+        throw CancelledError("trial cancelled by watchdog");
+}
+
+/**
+ * Run @p fn under a @p timeout_ms deadline on a supervised worker thread.
+ *
+ * @return ok if @p fn returned normally in time; kTimeout if the deadline
+ *         (plus up to @p grace_ms of cooperative-unwind slack) passed; the
+ *         mapped Status of whatever @p fn threw otherwise.
+ *
+ * timeout_ms <= 0 disables supervision: @p fn runs inline and only its
+ * exceptions are mapped.
+ */
+Status run_with_watchdog(const std::function<void()>& fn, int timeout_ms,
+                         int grace_ms = 5000);
+
+} // namespace gm::support

@@ -1,0 +1,62 @@
+#include "gm/support/status.hh"
+
+#include <new>
+
+namespace gm::support
+{
+
+const char*
+to_string(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:
+        return "ok";
+      case StatusCode::kInvalidInput:
+        return "invalid_input";
+      case StatusCode::kCorruptData:
+        return "corrupt_data";
+      case StatusCode::kTimeout:
+        return "timeout";
+      case StatusCode::kKernelError:
+        return "kernel_error";
+      case StatusCode::kWrongResult:
+        return "wrong_result";
+      case StatusCode::kUnsupported:
+        return "unsupported";
+      case StatusCode::kFaultInjected:
+        return "fault_injected";
+    }
+    return "?";
+}
+
+StatusCode
+status_code_from_string(const std::string& name)
+{
+    for (StatusCode code :
+         {StatusCode::kOk, StatusCode::kInvalidInput,
+          StatusCode::kCorruptData, StatusCode::kTimeout,
+          StatusCode::kKernelError, StatusCode::kWrongResult,
+          StatusCode::kUnsupported, StatusCode::kFaultInjected}) {
+        if (name == to_string(code))
+            return code;
+    }
+    return StatusCode::kKernelError;
+}
+
+Status
+current_exception_status()
+{
+    try {
+        throw;
+    } catch (const Error& e) {
+        return Status(e.code(), e.what());
+    } catch (const std::bad_alloc&) {
+        return Status(StatusCode::kKernelError, "out of memory");
+    } catch (const std::exception& e) {
+        return Status(StatusCode::kKernelError, e.what());
+    } catch (...) {
+        return Status(StatusCode::kKernelError, "unknown exception");
+    }
+}
+
+} // namespace gm::support

@@ -1,0 +1,105 @@
+#include "gm/support/watchdog.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace gm::support
+{
+
+std::atomic<bool> g_cancel_requested{false};
+
+void
+request_cancel()
+{
+    g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+reset_cancel()
+{
+    g_cancel_requested.store(false, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+/** Shared between the waiter and the worker so an abandoned worker can
+ *  still publish its (ignored) outcome without touching freed memory. */
+struct TrialState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+};
+
+} // namespace
+
+Status
+run_with_watchdog(const std::function<void()>& fn, int timeout_ms,
+                  int grace_ms)
+{
+    if (timeout_ms <= 0) {
+        try {
+            fn();
+            return Status::ok();
+        } catch (...) {
+            return current_exception_status();
+        }
+    }
+
+    auto state = std::make_shared<TrialState>();
+    reset_cancel();
+    std::thread worker([state, fn] {
+        Status status = Status::ok();
+        try {
+            fn();
+        } catch (...) {
+            status = current_exception_status();
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done = true;
+        state->status = std::move(status);
+        state->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    const auto finished = [&] { return state->done; };
+    if (state->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           finished)) {
+        lock.unlock();
+        worker.join();
+        return state->status;
+    }
+
+    // Deadline passed: ask the trial to unwind at its next cooperative
+    // checkpoint, then give it a bounded grace period to do so.
+    request_cancel();
+    const bool unwound = state->cv.wait_for(
+        lock, std::chrono::milliseconds(grace_ms), finished);
+    lock.unlock();
+    if (unwound) {
+        worker.join();
+        reset_cancel();
+        return Status(StatusCode::kTimeout,
+                      "trial exceeded " + std::to_string(timeout_ms) +
+                          " ms deadline");
+    }
+
+    // Non-cooperative hang: abandon the worker.  The cancel flag stays
+    // raised so the stray thread can still unwind later; subsequent
+    // timings in this process are best-effort from here on.
+    worker.detach();
+    log_warn("watchdog abandoned an unresponsive trial after ", timeout_ms,
+             " + ", grace_ms, " ms; results may be unreliable until the "
+             "stray worker exits");
+    return Status(StatusCode::kTimeout,
+                  "trial unresponsive after " + std::to_string(timeout_ms) +
+                      " ms deadline + " + std::to_string(grace_ms) +
+                      " ms grace (worker abandoned)");
+}
+
+} // namespace gm::support

@@ -95,7 +95,47 @@ TEST(CliDriver, RunsEveryFrameworkAlias)
         EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), 0) << name;
     }
     opts.framework = "no-such-framework";
-    EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), 1);
+    EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), kExitInvalidInput);
+}
+
+TEST(CliOptions, FaultToleranceFlags)
+{
+    const auto opts = parse({"--trial-timeout-ms", "250", "--max-attempts",
+                             "3", "--checkpoint", "/tmp/cp.jsonl",
+                             "--resume", "/tmp/cp.jsonl"});
+    ASSERT_TRUE(opts.has_value());
+    EXPECT_EQ(opts->trial_timeout_ms, 250);
+    EXPECT_EQ(opts->max_attempts, 3);
+    EXPECT_EQ(opts->checkpoint_path, "/tmp/cp.jsonl");
+    EXPECT_EQ(opts->resume_path, "/tmp/cp.jsonl");
+    EXPECT_FALSE(parse({"--trial-timeout-ms", "-5"}).has_value());
+    EXPECT_FALSE(parse({"--max-attempts", "0"}).has_value());
+    EXPECT_FALSE(parse({"--checkpoint"}).has_value()); // missing value
+}
+
+TEST(CliDriver, ExitCodeMapping)
+{
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kNone), kExitOk);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kInvalidInput),
+              kExitInvalidInput);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kKernelError),
+              kExitKernelError);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kUnsupported),
+              kExitKernelError);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kTimeout), kExitTimeout);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kWrongResult),
+              kExitWrongResult);
+    EXPECT_EQ(exit_code_for(harness::FailureKind::kFaultInjected),
+              kExitFaultInjected);
+}
+
+TEST(CliDriver, MissingFileIsInvalidInput)
+{
+    Options opts;
+    opts.source = GraphSource::kFile;
+    opts.file_path = "/tmp/gm_no_such_file.el";
+    opts.trials = 1;
+    EXPECT_EQ(run_kernel(harness::Kernel::kBFS, opts), kExitInvalidInput);
 }
 
 TEST(CliDriver, OptimizedModeRuns)

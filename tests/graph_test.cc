@@ -258,12 +258,13 @@ TEST(Io, EdgeListRoundTrip)
 {
     CSRGraph g = make_uniform(8, 8, 17);
     const std::string path = "/tmp/gm_io_test.el";
-    write_edge_list(g, path);
+    ASSERT_TRUE(write_edge_list(g, path).is_ok());
     vid_t n = 0;
-    EdgeList edges = read_edge_list(path, &n);
+    auto edges = read_edge_list(path, &n);
+    ASSERT_TRUE(edges.is_ok()) << edges.status().to_string();
     // The written list already has both directions; rebuild as directed and
     // compare structure.
-    CSRGraph h = build_graph(edges, g.num_vertices(), true);
+    CSRGraph h = build_graph(*edges, g.num_vertices(), true);
     EXPECT_EQ(h.out_offsets(), g.out_offsets());
     EXPECT_EQ(h.out_destinations(), g.out_destinations());
     std::remove(path.c_str());
@@ -273,8 +274,10 @@ TEST(Io, BinaryRoundTripUndirected)
 {
     CSRGraph g = make_kronecker(10, 16, 9);
     const std::string path = "/tmp/gm_io_test.gmg";
-    save_binary(g, path);
-    CSRGraph h = load_binary(path);
+    ASSERT_TRUE(save_binary(g, path).is_ok());
+    auto loaded = load_binary(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    CSRGraph h = *std::move(loaded);
     EXPECT_EQ(h.num_vertices(), g.num_vertices());
     EXPECT_EQ(h.is_directed(), g.is_directed());
     EXPECT_EQ(h.out_offsets(), g.out_offsets());
@@ -286,8 +289,10 @@ TEST(Io, BinaryRoundTripDirected)
 {
     CSRGraph g = make_twitter_like(9, 8, 9);
     const std::string path = "/tmp/gm_io_test_dir.gmg";
-    save_binary(g, path);
-    CSRGraph h = load_binary(path);
+    ASSERT_TRUE(save_binary(g, path).is_ok());
+    auto loaded = load_binary(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    CSRGraph h = *std::move(loaded);
     EXPECT_TRUE(h.is_directed());
     EXPECT_EQ(h.out_offsets(), g.out_offsets());
     EXPECT_EQ(h.out_destinations(), g.out_destinations());
@@ -305,10 +310,11 @@ TEST(Io, WeightedEdgeListParses)
         std::fclose(f);
     }
     vid_t n = 0;
-    WEdgeList edges = read_weighted_edge_list(path, &n);
-    ASSERT_EQ(edges.size(), 2u);
+    auto edges = read_weighted_edge_list(path, &n);
+    ASSERT_TRUE(edges.is_ok()) << edges.status().to_string();
+    ASSERT_EQ(edges->size(), 2u);
     EXPECT_EQ(n, 3);
-    EXPECT_EQ(edges[1].w, 7);
+    EXPECT_EQ((*edges)[1].w, 7);
     std::remove(path.c_str());
 }
 

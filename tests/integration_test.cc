@@ -23,8 +23,10 @@ TEST(Integration, GenerateSaveLoadBenchmarkPipeline)
     // generate -> save binary -> load -> dataset -> run cell -> verified.
     const graph::CSRGraph g = graph::make_kronecker(10, 12, 77);
     const std::string path = "/tmp/gm_integration.gmg";
-    graph::save_binary(g, path);
-    graph::CSRGraph loaded = graph::load_binary(path);
+    ASSERT_TRUE(graph::save_binary(g, path).is_ok());
+    auto reloaded = graph::load_binary(path);
+    ASSERT_TRUE(reloaded.is_ok()) << reloaded.status().to_string();
+    graph::CSRGraph loaded = *std::move(reloaded);
     std::remove(path.c_str());
 
     harness::Dataset ds =
@@ -45,13 +47,14 @@ TEST(Integration, TextEdgeListPipeline)
     // write .el -> read -> rebuild -> kernels agree with the original.
     const graph::CSRGraph g = graph::make_uniform(9, 8, 13);
     const std::string path = "/tmp/gm_integration.el";
-    graph::write_edge_list(g, path);
+    ASSERT_TRUE(graph::write_edge_list(g, path).is_ok());
     vid_t n = 0;
-    const graph::EdgeList edges = graph::read_edge_list(path, &n);
+    auto edges = graph::read_edge_list(path, &n);
+    ASSERT_TRUE(edges.is_ok()) << edges.status().to_string();
     std::remove(path.c_str());
     // The file contains both stored directions; rebuild as directed and
     // wrap undirected to avoid re-symmetrizing.
-    graph::CSRGraph rebuilt = graph::build_graph(edges, n, true);
+    graph::CSRGraph rebuilt = graph::build_graph(*edges, n, true);
     const graph::CSRGraph h(n, false, rebuilt.out_offsets(),
                             rebuilt.out_destinations());
     EXPECT_EQ(gapref::tc(g), gapref::tc(h));

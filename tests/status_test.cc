@@ -1,0 +1,210 @@
+/** Tests for the recoverable-error toolkit: Status/StatusOr, the
+ *  deterministic fault injector, and the trial watchdog. */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gm/support/fault_injector.hh"
+#include "gm/support/status.hh"
+#include "gm/support/watchdog.hh"
+
+namespace gm::support
+{
+namespace
+{
+
+/** RAII guard so a test cannot leave the global injector armed. */
+struct InjectorGuard
+{
+    ~InjectorGuard() { FaultInjector::global().clear(); }
+};
+
+TEST(Status, OkByDefault)
+{
+    Status s;
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.to_string(), "ok");
+    EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    Status s(StatusCode::kCorruptData, "bad checksum");
+    EXPECT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+    EXPECT_EQ(s.message(), "bad checksum");
+    EXPECT_EQ(s.to_string(), "corrupt_data: bad checksum");
+}
+
+TEST(Status, CodeNamesRoundTrip)
+{
+    for (StatusCode code :
+         {StatusCode::kOk, StatusCode::kInvalidInput,
+          StatusCode::kCorruptData, StatusCode::kTimeout,
+          StatusCode::kKernelError, StatusCode::kWrongResult,
+          StatusCode::kUnsupported, StatusCode::kFaultInjected}) {
+        EXPECT_EQ(status_code_from_string(to_string(code)), code);
+    }
+    EXPECT_EQ(status_code_from_string("nonsense"),
+              StatusCode::kKernelError);
+}
+
+TEST(StatusOr, HoldsValueOrStatus)
+{
+    StatusOr<int> good(42);
+    ASSERT_TRUE(good.is_ok());
+    EXPECT_EQ(*good, 42);
+    EXPECT_EQ(good.value(), 42);
+
+    StatusOr<int> bad(Status(StatusCode::kInvalidInput, "nope"));
+    EXPECT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(StatusOr, MovesValueOut)
+{
+    StatusOr<std::vector<int>> v(std::vector<int>{1, 2, 3});
+    const std::vector<int> out = std::move(v).value();
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Status, CurrentExceptionStatusMapsTypes)
+{
+    auto map = [](auto&& thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return current_exception_status();
+        }
+        return Status::ok();
+    };
+    EXPECT_EQ(map([] { throw FaultInjectedError("x"); }).code(),
+              StatusCode::kFaultInjected);
+    EXPECT_EQ(map([] { throw CancelledError("x"); }).code(),
+              StatusCode::kTimeout);
+    EXPECT_EQ(map([] { throw Error(StatusCode::kUnsupported, "x"); }).code(),
+              StatusCode::kUnsupported);
+    EXPECT_EQ(map([] { throw std::runtime_error("boom"); }).code(),
+              StatusCode::kKernelError);
+    EXPECT_EQ(map([] { throw 17; }).code(), StatusCode::kKernelError);
+}
+
+TEST(FaultInjector, DisarmedByDefault)
+{
+    InjectorGuard guard;
+    auto& injector = FaultInjector::global();
+    injector.clear();
+    EXPECT_FALSE(injector.enabled());
+    EXPECT_FALSE(injector.poll("kernel"));
+    EXPECT_NO_THROW(injector.at("kernel"));
+}
+
+TEST(FaultInjector, RejectsMalformedSpecs)
+{
+    InjectorGuard guard;
+    auto& injector = FaultInjector::global();
+    EXPECT_FALSE(injector.configure("justasite").is_ok());
+    EXPECT_FALSE(injector.configure("site:notanumber:1").is_ok());
+    EXPECT_FALSE(injector.configure("site:2.5:1").is_ok()); // rate > 1
+    EXPECT_TRUE(injector.configure("").is_ok());            // disarm
+    EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjector, CountModeFiresExactlyN)
+{
+    InjectorGuard guard;
+    auto& injector = FaultInjector::global();
+    ASSERT_TRUE(injector.configure("kernel:2x:7").is_ok());
+    EXPECT_TRUE(injector.enabled());
+    EXPECT_TRUE(injector.poll("kernel"));
+    EXPECT_TRUE(injector.poll("kernel"));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(injector.poll("kernel")) << "poll " << i;
+    // Other sites are unaffected.
+    EXPECT_FALSE(injector.poll("graph.build"));
+}
+
+TEST(FaultInjector, ProbabilityModeIsDeterministic)
+{
+    InjectorGuard guard;
+    auto& injector = FaultInjector::global();
+    auto sample = [&](const std::string& spec) {
+        EXPECT_TRUE(injector.configure(spec).is_ok());
+        std::vector<bool> fires;
+        for (int i = 0; i < 200; ++i)
+            fires.push_back(injector.poll("worklist"));
+        return fires;
+    };
+    const auto a = sample("worklist:0.25:99");
+    const auto b = sample("worklist:0.25:99");
+    EXPECT_EQ(a, b); // same seed -> identical firing pattern
+    const auto c = sample("worklist:0.25:100");
+    EXPECT_NE(a, c); // different seed -> different pattern
+
+    int hits = 0;
+    for (bool fired : a)
+        hits += fired;
+    EXPECT_GT(hits, 10); // ~50 expected; loose bounds avoid flakiness
+    EXPECT_LT(hits, 120);
+}
+
+TEST(FaultInjector, RateOneAlwaysFiresAndAtThrows)
+{
+    InjectorGuard guard;
+    auto& injector = FaultInjector::global();
+    ASSERT_TRUE(injector.configure("kernel:1:3").is_ok());
+    EXPECT_THROW(injector.at("kernel"), FaultInjectedError);
+    EXPECT_NO_THROW(injector.at("other.site"));
+}
+
+TEST(Watchdog, PassesThroughFastWork)
+{
+    int ran = 0;
+    const Status s = run_with_watchdog([&] { ran = 1; }, 5000);
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(Watchdog, UnsupervisedModeRunsInline)
+{
+    const auto self = std::this_thread::get_id();
+    std::thread::id seen;
+    const Status s = run_with_watchdog(
+        [&] { seen = std::this_thread::get_id(); }, 0);
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(seen, self);
+}
+
+TEST(Watchdog, MapsExceptionsToStatus)
+{
+    const Status s = run_with_watchdog(
+        [] { throw Error(StatusCode::kUnsupported, "not here"); }, 5000);
+    EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+    EXPECT_EQ(s.message(), "not here");
+
+    const Status t =
+        run_with_watchdog([] { throw std::runtime_error("boom"); }, 0);
+    EXPECT_EQ(t.code(), StatusCode::kKernelError);
+}
+
+TEST(Watchdog, TimesOutCooperativeSpin)
+{
+    // A loop that honours the cancellation flag: the watchdog fires at the
+    // deadline and the worker unwinds within the grace period.
+    const Status s = run_with_watchdog(
+        [] {
+            while (true) {
+                check_cancelled();
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+        },
+        50, /*grace_ms=*/2000);
+    EXPECT_EQ(s.code(), StatusCode::kTimeout);
+    EXPECT_FALSE(cancel_requested()); // flag is reset between trials
+}
+
+} // namespace
+} // namespace gm::support

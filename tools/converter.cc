@@ -9,6 +9,7 @@
 #include <iostream>
 #include <string>
 
+#include "gm/cli/driver.hh"
 #include "gm/cli/options.hh"
 #include "gm/graph/builder.hh"
 #include "gm/graph/generators.hh"
@@ -66,10 +67,26 @@ main(int argc, char** argv)
           break;
       }
       case cli::GraphSource::kFile: {
+          if (opts->file_path.size() >= 4 &&
+              opts->file_path.substr(opts->file_path.size() - 4) ==
+                  ".gmg") {
+              auto loaded = graph::load_binary(opts->file_path);
+              if (!loaded.is_ok()) {
+                  std::cerr << "cannot load input: "
+                            << loaded.status().to_string() << "\n";
+                  return cli::kExitInvalidInput;
+              }
+              g = *std::move(loaded);
+              break;
+          }
           vid_t n = 0;
-          const graph::EdgeList edges =
-              graph::read_edge_list(opts->file_path, &n);
-          g = graph::build_graph(edges, n, !opts->symmetrize);
+          auto edges = graph::read_edge_list(opts->file_path, &n);
+          if (!edges.is_ok()) {
+              std::cerr << "cannot read input: "
+                        << edges.status().to_string() << "\n";
+              return cli::kExitInvalidInput;
+          }
+          g = graph::build_graph(*std::move(edges), n, !opts->symmetrize);
           break;
       }
     }
@@ -79,13 +96,20 @@ main(int argc, char** argv)
               << graph::to_string(graph::classify_degree_distribution(g))
               << " degree distribution\n";
 
+    gm::support::Status written;
+    const char* what;
     if (out_path.size() > 3 &&
         out_path.substr(out_path.size() - 3) == ".el") {
-        graph::write_edge_list(g, out_path);
-        std::cout << "wrote text edge list to " << out_path << "\n";
+        written = graph::write_edge_list(g, out_path);
+        what = "text edge list";
     } else {
-        graph::save_binary(g, out_path);
-        std::cout << "wrote binary graph to " << out_path << "\n";
+        written = graph::save_binary(g, out_path);
+        what = "binary graph";
     }
-    return 0;
+    if (!written.is_ok()) {
+        std::cerr << "cannot write output: " << written.to_string() << "\n";
+        return cli::kExitInvalidInput;
+    }
+    std::cout << "wrote " << what << " to " << out_path << "\n";
+    return cli::kExitOk;
 }

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Full-sweep suite driver with crash-safe checkpointing: runs every
+ * framework x kernel x graph cell under both rule sets, prints Tables
+ * IV/V, and writes raw CSVs.  Unlike the bench/ table binaries this one
+ * takes flags, streams finished cells to a JSONL checkpoint, and can
+ * resume a killed sweep without re-running completed cells:
+ *
+ *   ./suite --scale 12 --checkpoint sweep.jsonl          # first run
+ *   ./suite --scale 12 --checkpoint sweep.jsonl \
+ *           --resume sweep.jsonl                         # after a crash
+ *
+ * Exit code is the most severe failure observed across the cube (see
+ * gm::cli::ExitCode), so CI can tell a clean sweep from one with DNFs.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gm/cli/driver.hh"
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/harness/runner.hh"
+#include "gm/harness/tables.hh"
+#include "gm/support/timer.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout
+        << "Usage: suite [options]\n"
+        << "  --scale <n>              log2 vertices per graph (default 10)\n"
+        << "  --trials <n>             timed trials per cell (default 2)\n"
+        << "  --no-verify              skip spec verification\n"
+        << "  --trial-timeout-ms <ms>  watchdog deadline per trial (0 = off)\n"
+        << "  --max-attempts <n>       retry budget for transient failures\n"
+        << "  --checkpoint <file>      append finished cells as JSONL\n"
+        << "  --resume <file>          skip cells recorded in this JSONL\n"
+        << "  --csv-prefix <path>      CSV output prefix (default results)\n"
+        << "  -h, --help               this help\n"
+        << "exit codes: 0 ok, 1 usage, 2 invalid input, 3 kernel error,\n"
+        << "            4 timeout, 5 wrong result, 6 injected fault\n";
+}
+
+/** Severity order for the whole-sweep exit code: worst failure wins. */
+int
+severity(int code)
+{
+    switch (code) {
+      case gm::cli::kExitOk:
+        return 0;
+      case gm::cli::kExitWrongResult:
+        return 1;
+      case gm::cli::kExitFaultInjected:
+        return 2;
+      case gm::cli::kExitTimeout:
+        return 3;
+      case gm::cli::kExitKernelError:
+        return 4;
+      case gm::cli::kExitInvalidInput:
+        return 5;
+    }
+    return 6;
+}
+
+int
+worst_exit_code(const gm::harness::ResultsCube& cube)
+{
+    int worst = gm::cli::kExitOk;
+    for (const auto& per_kernel : cube.cells) {
+        for (const auto& per_graph : per_kernel) {
+            for (const auto& cell : per_graph) {
+                const int code = gm::cli::exit_code_for(cell.failure);
+                if (severity(code) > severity(worst))
+                    worst = code;
+            }
+        }
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace gm;
+
+    int scale = 10;
+    std::string csv_prefix = "results";
+    harness::RunOptions opts;
+    opts.trials = 2;
+    opts.verify = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " requires a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            return cli::kExitOk;
+        } else if (arg == "--scale") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            scale = std::atoi(v);
+        } else if (arg == "--trials") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.trials = std::atoi(v);
+        } else if (arg == "--no-verify") {
+            opts.verify = false;
+        } else if (arg == "--trial-timeout-ms") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.trial_timeout_ms = std::atoi(v);
+        } else if (arg == "--max-attempts") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.max_attempts = std::atoi(v);
+        } else if (arg == "--checkpoint") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.checkpoint_path = v;
+        } else if (arg == "--resume") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.resume_path = v;
+        } else if (arg == "--csv-prefix") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            csv_prefix = v;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return cli::kExitUsage;
+        }
+    }
+    if (opts.trials < 1 || opts.max_attempts < 1 ||
+        opts.trial_timeout_ms < 0) {
+        std::cerr << "invalid --trials/--max-attempts/--trial-timeout-ms\n";
+        return cli::kExitUsage;
+    }
+
+    Timer timer;
+    timer.start();
+    const harness::DatasetSuite suite = harness::make_gap_suite(scale);
+    const auto frameworks = harness::make_frameworks();
+    const harness::ResultsCube baseline = harness::run_suite(
+        suite, frameworks, harness::Mode::kBaseline, opts);
+    const harness::ResultsCube optimized = harness::run_suite(
+        suite, frameworks, harness::Mode::kOptimized, opts);
+    timer.stop();
+
+    harness::print_table4(std::cout, baseline, optimized);
+    harness::print_table5(std::cout, baseline, optimized);
+    auto dump_csv = [&](const harness::ResultsCube& cube,
+                        harness::Mode mode) {
+        const std::string path =
+            csv_prefix + "_" + harness::to_string(mode) + ".csv";
+        if (auto s = harness::write_csv(path, cube, mode); !s.is_ok())
+            std::cerr << s.to_string() << "\n";
+    };
+    dump_csv(baseline, harness::Mode::kBaseline);
+    dump_csv(optimized, harness::Mode::kOptimized);
+    std::cout << "\n(scale 2^" << scale << ", " << opts.trials
+              << " trials/cell, full sweep " << timer.seconds() << " s)\n";
+
+    const int base_code = worst_exit_code(baseline);
+    const int opt_code = worst_exit_code(optimized);
+    const int code =
+        severity(base_code) >= severity(opt_code) ? base_code : opt_code;
+    if (code != cli::kExitOk) {
+        std::cerr << "sweep finished with DNF cells (exit " << code
+                  << ")\n";
+    }
+    return code;
+}
