@@ -46,10 +46,11 @@ struct Options
     std::string framework = "gap"; ///< gap|suitesparse|galois|nwgraph|graphit|gkc
     bool optimized = false;        ///< use the Optimized rule set
 
+    // Checkpoint/resume are full-sweep concerns and live on
+    // harness::RunOptions (see tools/suite); the per-kernel binaries run a
+    // single cell and intentionally do not expose them.
     int trial_timeout_ms = 0;      ///< watchdog deadline; 0 = unsupervised
     int max_attempts = 2;          ///< retry budget for transient failures
-    std::string checkpoint_path;   ///< stream completed cells here (JSONL)
-    std::string resume_path;       ///< skip cells already in this JSONL
 };
 
 /**

@@ -36,9 +36,9 @@ print_usage(const std::string& kernel_name)
         << "                           (0 = unsupervised, default)\n"
         << "  --max-attempts <n>       attempts per trial for transient\n"
         << "                           failures (default 2)\n"
-        << "  --checkpoint <file>      append each finished cell as JSONL\n"
-        << "  --resume <file>          skip cells recorded in this JSONL\n"
         << "  -h           this help\n"
+        << "(checkpoint/resume are full-sweep features; see tools/suite\n"
+        << " --checkpoint/--resume)\n"
         << "exit codes: 0 ok, 1 usage, 2 invalid input, 3 kernel error,\n"
         << "            4 timeout, 5 wrong result, 6 injected fault\n";
 }
@@ -133,16 +133,6 @@ parse_options(int argc, char** argv, const std::string& kernel_name)
             if (value == nullptr)
                 return std::nullopt;
             opts.max_attempts = std::atoi(value);
-        } else if (arg == "--checkpoint") {
-            const char* value = next_value("--checkpoint");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.checkpoint_path = value;
-        } else if (arg == "--resume") {
-            const char* value = next_value("--resume");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.resume_path = value;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             print_usage(kernel_name);

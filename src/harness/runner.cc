@@ -1,9 +1,11 @@
 #include "gm/harness/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <thread>
 #include <tuple>
 
@@ -229,22 +231,32 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
         const bool check =
             opts.verify && (!opts.verify_first_trial_only || trial == 0);
 
-        TrialOutput out;
+        // The trial output is heap-owned and the closure captures only
+        // values: if the watchdog abandons a hung worker, the stray thread
+        // may finish long after this stack frame is gone, so it must never
+        // write through references into it.  (ds and fw are caller-owned
+        // and outlive the sweep.)
+        auto out = std::make_shared<TrialOutput>();
         Status status = Status::ok();
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
             ++cell.attempts;
-            out = TrialOutput{};
+            out = std::make_shared<TrialOutput>();
             status = support::run_with_watchdog(
-                [&] {
+                [out, &ds, &fw, kernel, mode, trial, check] {
                     run_trial_attempt(ds, fw, kernel, mode, trial, check,
-                                      out);
+                                      *out);
                 },
                 opts.trial_timeout_ms);
             if (status.is_ok())
                 break;
             if (!is_transient(status.code()) || attempt == max_attempts)
                 break;
-            const int backoff = opts.retry_backoff_ms << (attempt - 1);
+            // Exponential backoff, exponent-capped and saturated so the
+            // shift stays defined for arbitrarily large --max-attempts.
+            const long long backoff = std::min<long long>(
+                static_cast<long long>(opts.retry_backoff_ms)
+                    << std::min(attempt - 1, 10),
+                60'000);
             log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
                      " trial ", trial, " attempt ", attempt, " failed (",
                      status.to_string(), "); retrying in ", backoff, " ms");
@@ -265,16 +277,16 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
             break;
         }
 
-        if (!out.verify_ok) {
+        if (!out->verify_ok) {
             log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
-                     " failed verification: ", out.verify_err);
+                     " failed verification: ", out->verify_err);
             cell.verified = false;
             cell.failure = FailureKind::kWrongResult;
             if (cell.failure_message.empty())
-                cell.failure_message = out.verify_err;
+                cell.failure_message = out->verify_err;
         }
-        cell.best_seconds = std::min(cell.best_seconds, out.seconds);
-        total += out.seconds;
+        cell.best_seconds = std::min(cell.best_seconds, out->seconds);
+        total += out->seconds;
         ++cell.trials;
     }
 

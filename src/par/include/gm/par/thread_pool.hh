@@ -21,6 +21,11 @@
 #include <thread>
 #include <vector>
 
+namespace gm::support
+{
+class CancelToken;
+} // namespace gm::support
+
 namespace gm::par
 {
 
@@ -62,6 +67,9 @@ class ThreadPool
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
     const std::function<void(int)>* job_ = nullptr;
+    /** Caller's cancellation token, installed in every lane for the job's
+     *  duration so supervised trials can cancel their pool work. */
+    const support::CancelToken* job_cancel_ = nullptr;
     std::uint64_t generation_ = 0;
     int pending_ = 0;
     bool shutdown_ = false;

@@ -2,6 +2,7 @@
 
 #include "gm/support/env.hh"
 #include "gm/support/log.hh"
+#include "gm/support/watchdog.hh"
 
 namespace gm::par
 {
@@ -64,6 +65,7 @@ ThreadPool::run(const std::function<void(int)>& job)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
+        job_cancel_ = support::current_cancel_token();
         pending_ = num_threads_ - 1;
         ++generation_;
     }
@@ -76,6 +78,7 @@ ThreadPool::run(const std::function<void(int)>& job)
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
     job_ = nullptr;
+    job_cancel_ = nullptr;
 }
 
 void
@@ -84,6 +87,7 @@ ThreadPool::worker_loop(int lane)
     std::uint64_t seen_generation = 0;
     for (;;) {
         const std::function<void(int)>* job = nullptr;
+        const support::CancelToken* cancel = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_cv_.wait(lock, [&] {
@@ -93,10 +97,14 @@ ThreadPool::worker_loop(int lane)
                 return;
             seen_generation = generation_;
             job = job_;
+            cancel = job_cancel_;
         }
-        tls_in_parallel = true;
-        (*job)(lane);
-        tls_in_parallel = false;
+        {
+            support::ScopedCancelToken scope(cancel);
+            tls_in_parallel = true;
+            (*job)(lane);
+            tls_in_parallel = false;
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --pending_;

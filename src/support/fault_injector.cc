@@ -93,8 +93,12 @@ FaultInjector::configure(const std::string& spec)
         }
         sites.push_back(std::move(site));
     }
-    sites_ = std::move(sites);
-    armed_.store(!sites_.empty(), std::memory_order_relaxed);
+    const bool armed = !sites.empty();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sites_ = std::make_shared<const SiteList>(std::move(sites));
+    }
+    armed_.store(armed, std::memory_order_relaxed);
     return Status::ok();
 }
 
@@ -102,7 +106,8 @@ void
 FaultInjector::clear()
 {
     armed_.store(false, std::memory_order_relaxed);
-    sites_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.reset();
 }
 
 bool
@@ -110,7 +115,14 @@ FaultInjector::poll(std::string_view site)
 {
     if (!enabled())
         return false;
-    for (const auto& armed : sites_) {
+    std::shared_ptr<const SiteList> sites;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sites = sites_;
+    }
+    if (sites == nullptr)
+        return false;
+    for (const auto& armed : *sites) {
         if (armed->site != site)
             continue;
         const std::uint64_t index =

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -71,7 +72,9 @@ class FaultInjector
 
     /**
      * Poll @p site: returns true if a fault fires there.  Deterministic in
-     * the per-site poll counter; never throws (safe inside worker lanes).
+     * the per-site poll counter; safe inside worker lanes, including
+     * concurrently with configure()/clear() — pollers work on an immutable
+     * snapshot of the site list.
      */
     bool poll(std::string_view site);
 
@@ -86,7 +89,11 @@ class FaultInjector
     }
 
   private:
-    std::vector<std::shared_ptr<FaultSite>> sites_;
+    using SiteList = std::vector<std::shared_ptr<FaultSite>>;
+
+    /** Immutable snapshot for pollers; replaced wholesale under mutex_. */
+    std::shared_ptr<const SiteList> sites_;
+    mutable std::mutex mutex_; ///< guards sites_ replacement/snapshot
     std::atomic<bool> armed_{false};
 };
 

@@ -3,12 +3,18 @@
  * Watchdog-supervised execution with cooperative cancellation.
  *
  * A benchmark trial runs on a worker thread while the caller waits with a
- * deadline.  On expiry the watchdog raises the process-wide cancellation
- * flag; the parallel runtime (parallel_for chunk grabs, worklist drains)
- * polls the flag and unwinds via CancelledError, so any kernel built on
- * those substrates stops within a few chunks.  Truly non-cooperative code
- * is abandoned (detached) after a grace period and reported as a timeout —
+ * deadline.  On expiry the watchdog raises the trial's cancellation token;
+ * the parallel runtime (parallel_for chunk grabs, worklist drains) polls
+ * the token and unwinds via CancelledError, so any kernel built on those
+ * substrates stops within a few chunks.  Truly non-cooperative code is
+ * abandoned (detached) after a grace period and reported as a timeout —
  * the sweep keeps going instead of hanging with it.
+ *
+ * Each trial gets its own token, installed as a thread-local on the
+ * supervised worker and propagated into pool lanes by ThreadPool::run.
+ * An abandoned worker therefore keeps seeing its (permanently raised)
+ * token while later trials run under fresh ones, and concurrent
+ * run_with_watchdog calls never cancel each other.
  */
 #pragma once
 
@@ -20,21 +26,65 @@
 namespace gm::support
 {
 
-/** Process-wide cancellation flag; raised by the watchdog on deadline. */
-extern std::atomic<bool> g_cancel_requested;
+/** Per-trial cancellation token; raised once by the watchdog on deadline. */
+class CancelToken
+{
+  public:
+    void
+    request()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    requested() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+namespace detail
+{
+/** Token governing work on this thread; null when unsupervised. */
+extern thread_local const CancelToken* t_cancel_token;
+} // namespace detail
 
 /** Cheap relaxed poll, safe anywhere including worker lanes. */
 inline bool
 cancel_requested()
 {
-    return g_cancel_requested.load(std::memory_order_relaxed);
+    const CancelToken* token = detail::t_cancel_token;
+    return token != nullptr && token->requested();
 }
 
-/** Raise the cancellation flag. */
-void request_cancel();
+/** The calling thread's active token (pools propagate it into lanes). */
+inline const CancelToken*
+current_cancel_token()
+{
+    return detail::t_cancel_token;
+}
 
-/** Clear the cancellation flag (watchdog does this between trials). */
-void reset_cancel();
+/** RAII: make @p token the calling thread's active cancellation token. */
+class ScopedCancelToken
+{
+  public:
+    explicit ScopedCancelToken(const CancelToken* token)
+        : saved_(detail::t_cancel_token)
+    {
+        detail::t_cancel_token = token;
+    }
+
+    ~ScopedCancelToken() { detail::t_cancel_token = saved_; }
+
+    ScopedCancelToken(const ScopedCancelToken&) = delete;
+    ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+  private:
+    const CancelToken* saved_;
+};
 
 /** Throw CancelledError if cancellation was requested. */
 inline void
@@ -53,6 +103,10 @@ check_cancelled()
  *
  * timeout_ms <= 0 disables supervision: @p fn runs inline and only its
  * exceptions are mapped.
+ *
+ * @warning On the abandon path the detached worker keeps running @p fn;
+ *          everything @p fn touches must be heap-owned (shared_ptr
+ *          captures) or guaranteed to outlive the stray thread.
  */
 Status run_with_watchdog(const std::function<void()>& fn, int timeout_ms,
                          int grace_ms = 5000);

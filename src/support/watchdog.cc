@@ -9,19 +9,12 @@
 namespace gm::support
 {
 
-std::atomic<bool> g_cancel_requested{false};
-
-void
-request_cancel()
+namespace detail
 {
-    g_cancel_requested.store(true, std::memory_order_relaxed);
-}
 
-void
-reset_cancel()
-{
-    g_cancel_requested.store(false, std::memory_order_relaxed);
-}
+thread_local const CancelToken* t_cancel_token = nullptr;
+
+} // namespace detail
 
 namespace
 {
@@ -34,6 +27,7 @@ struct TrialState
     std::condition_variable cv;
     bool done = false;
     Status status;
+    CancelToken cancel;
 };
 
 } // namespace
@@ -52,8 +46,8 @@ run_with_watchdog(const std::function<void()>& fn, int timeout_ms,
     }
 
     auto state = std::make_shared<TrialState>();
-    reset_cancel();
     std::thread worker([state, fn] {
+        ScopedCancelToken scope(&state->cancel);
         Status status = Status::ok();
         try {
             fn();
@@ -77,21 +71,22 @@ run_with_watchdog(const std::function<void()>& fn, int timeout_ms,
 
     // Deadline passed: ask the trial to unwind at its next cooperative
     // checkpoint, then give it a bounded grace period to do so.
-    request_cancel();
+    state->cancel.request();
     const bool unwound = state->cv.wait_for(
         lock, std::chrono::milliseconds(grace_ms), finished);
     lock.unlock();
     if (unwound) {
         worker.join();
-        reset_cancel();
         return Status(StatusCode::kTimeout,
                       "trial exceeded " + std::to_string(timeout_ms) +
                           " ms deadline");
     }
 
-    // Non-cooperative hang: abandon the worker.  The cancel flag stays
-    // raised so the stray thread can still unwind later; subsequent
-    // timings in this process are best-effort from here on.
+    // Non-cooperative hang: abandon the worker.  Its per-trial token stays
+    // raised (the shared TrialState lives as long as the stray thread), so
+    // it can still unwind at its next cooperative checkpoint without
+    // affecting later trials, which run under fresh tokens.  Timings may
+    // still be perturbed while the stray burns CPU.
     worker.detach();
     log_warn("watchdog abandoned an unresponsive trial after ", timeout_ms,
              " + ", grace_ms, " ms; results may be unreliable until the "

@@ -101,16 +101,16 @@ TEST(CliDriver, RunsEveryFrameworkAlias)
 TEST(CliOptions, FaultToleranceFlags)
 {
     const auto opts = parse({"--trial-timeout-ms", "250", "--max-attempts",
-                             "3", "--checkpoint", "/tmp/cp.jsonl",
-                             "--resume", "/tmp/cp.jsonl"});
+                             "3"});
     ASSERT_TRUE(opts.has_value());
     EXPECT_EQ(opts->trial_timeout_ms, 250);
     EXPECT_EQ(opts->max_attempts, 3);
-    EXPECT_EQ(opts->checkpoint_path, "/tmp/cp.jsonl");
-    EXPECT_EQ(opts->resume_path, "/tmp/cp.jsonl");
     EXPECT_FALSE(parse({"--trial-timeout-ms", "-5"}).has_value());
     EXPECT_FALSE(parse({"--max-attempts", "0"}).has_value());
-    EXPECT_FALSE(parse({"--checkpoint"}).has_value()); // missing value
+    EXPECT_FALSE(parse({"--trial-timeout-ms"}).has_value()); // no value
+    // Checkpoint/resume are suite-level flags (tools/suite), not per-kernel.
+    EXPECT_FALSE(parse({"--checkpoint", "/tmp/cp.jsonl"}).has_value());
+    EXPECT_FALSE(parse({"--resume", "/tmp/cp.jsonl"}).has_value());
 }
 
 TEST(CliDriver, ExitCodeMapping)

@@ -2,13 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gm/par/atomics.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
 #include "gm/par/thread_pool.hh"
+#include "gm/support/watchdog.hh"
 
 namespace gm::par
 {
@@ -32,6 +35,39 @@ TEST(ThreadPool, ReusableAcrossManyJobs)
             [&](int) { counter.fetch_add(1, std::memory_order_relaxed); });
     }
     EXPECT_EQ(counter.load(), 200 * ThreadPool::instance().num_threads());
+}
+
+TEST(ThreadPool, PropagatesCancelTokenIntoLanes)
+{
+    // The watchdog installs a per-trial token on the supervised worker as
+    // a thread-local; run() must hand it to every pool lane or parallel
+    // kernels could never be cancelled.
+    support::CancelToken token;
+    ThreadPool& pool = ThreadPool::instance();
+    std::vector<std::atomic<int>> saw(
+        static_cast<std::size_t>(pool.num_threads()));
+    {
+        support::ScopedCancelToken scope(&token);
+        std::thread canceller([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            token.request();
+        });
+        pool.run([&](int lane) {
+            // Bounded spin so a propagation regression fails the EXPECTs
+            // below instead of wedging the pool forever.
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(5);
+            while (!support::cancel_requested() &&
+                   std::chrono::steady_clock::now() < deadline)
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            saw[static_cast<std::size_t>(lane)] =
+                support::cancel_requested() ? 1 : 0;
+        });
+        canceller.join();
+    }
+    for (const auto& lane_saw : saw)
+        EXPECT_EQ(lane_saw.load(), 1);
+    EXPECT_FALSE(support::cancel_requested()); // scope restored
 }
 
 TEST(ThreadPool, NestedRunDegradesToSerial)

@@ -2,7 +2,9 @@
  *  deterministic fault injector, and the trial watchdog. */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -192,8 +194,8 @@ TEST(Watchdog, MapsExceptionsToStatus)
 
 TEST(Watchdog, TimesOutCooperativeSpin)
 {
-    // A loop that honours the cancellation flag: the watchdog fires at the
-    // deadline and the worker unwinds within the grace period.
+    // A loop that honours the cancellation token: the watchdog fires at
+    // the deadline and the worker unwinds within the grace period.
     const Status s = run_with_watchdog(
         [] {
             while (true) {
@@ -203,7 +205,56 @@ TEST(Watchdog, TimesOutCooperativeSpin)
         },
         50, /*grace_ms=*/2000);
     EXPECT_EQ(s.code(), StatusCode::kTimeout);
-    EXPECT_FALSE(cancel_requested()); // flag is reset between trials
+    EXPECT_FALSE(cancel_requested()); // this thread has no token installed
+}
+
+TEST(Watchdog, AbandonedWorkerWritesOnlyHeapOwnedState)
+{
+    // A non-cooperative worker that outlives deadline + grace: the
+    // watchdog abandons it, run_with_watchdog returns, and the stray
+    // finishes afterwards.  Everything it touches is shared_ptr-owned, so
+    // its late write is well-defined (ASan stack-use-after-return would
+    // flag a reference into a dead frame here).
+    auto late = std::make_shared<std::atomic<int>>(0);
+    const Status s = run_with_watchdog(
+        [late] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(150));
+            late->store(1, std::memory_order_relaxed);
+        },
+        10, /*grace_ms=*/10);
+    EXPECT_EQ(s.code(), StatusCode::kTimeout);
+    EXPECT_EQ(late->load(), 0); // abandoned, not finished
+    // Wait for the stray so the late store is actually exercised (and so
+    // it cannot leak into a later test).
+    while (late->load(std::memory_order_relaxed) == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+TEST(Watchdog, PerTrialTokensAreIndependent)
+{
+    // An abandoned worker must keep seeing its own raised token even
+    // after later trials start (a process-wide flag would be cleared or
+    // re-raised by them), and those later trials must run under a fresh,
+    // unraised token.
+    auto seen = std::make_shared<std::atomic<int>>(0); // 0=?, 1=up, 2=down
+    const Status stray = run_with_watchdog(
+        [seen] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(150));
+            seen->store(cancel_requested() ? 1 : 2,
+                        std::memory_order_relaxed);
+        },
+        10, /*grace_ms=*/10);
+    EXPECT_EQ(stray.code(), StatusCode::kTimeout);
+
+    // Next trial, started while the stray is still asleep: completes
+    // normally under its own token.
+    const Status next =
+        run_with_watchdog([] { check_cancelled(); }, 1000);
+    EXPECT_TRUE(next.is_ok());
+
+    while (seen->load(std::memory_order_relaxed) == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(seen->load(), 1); // the stray's token stayed raised
 }
 
 } // namespace
