@@ -81,9 +81,9 @@ main()
         unfused.bucket_fusion = false;
         const vid_t src = ds->sources[0];
         const double t_on = time_once(
-            [&] { graphitlite::sssp(ds->wg, src, ds->delta, fused); });
+            [&] { graphitlite::sssp(ds->wg(), src, ds->delta, fused); });
         const double t_off = time_once(
-            [&] { graphitlite::sssp(ds->wg, src, ds->delta, unfused); });
+            [&] { graphitlite::sssp(ds->wg(), src, ds->delta, unfused); });
         row(ds->name, "fusion on", t_on, 0);
         row(ds->name, "fusion off", t_off, t_on);
     }
@@ -98,27 +98,27 @@ main()
         graphitlite::Schedule diropt;
         diropt.direction = graphitlite::Direction::kDirOpt;
         const double t_dir =
-            time_once([&] { graphitlite::bfs(ds->g, src, diropt); });
+            time_once([&] { graphitlite::bfs(ds->g(), src, diropt); });
         row(ds->name, "direction-optimizing", t_dir, 0);
         row(ds->name, "push only",
-            time_once([&] { graphitlite::bfs(ds->g, src, push); }), t_dir);
+            time_once([&] { graphitlite::bfs(ds->g(), src, push); }), t_dir);
         row(ds->name, "pull only",
-            time_once([&] { graphitlite::bfs(ds->g, src, pull); }), t_dir);
+            time_once([&] { graphitlite::bfs(ds->g(), src, pull); }), t_dir);
     }
 
     std::cout << "\nA3. PageRank iteration style\n";
     for (const harness::Dataset* ds : {&road, &kron}) {
         const double t_jacobi =
-            time_once([&] { gapref::pagerank(ds->g, 0.85, 1e-4, 100); });
+            time_once([&] { gapref::pagerank(ds->g(), 0.85, 1e-4, 100); });
         row(ds->name, "Jacobi (GAP ref)", t_jacobi, 0);
         row(ds->name, "Gauss-Seidel (galoislite)",
             time_once([&] {
-                galoislite::pagerank_gauss_seidel(ds->g, 0.85, 1e-4, 100);
+                galoislite::pagerank_gauss_seidel(ds->g(), 0.85, 1e-4, 100);
             }),
             t_jacobi);
         row(ds->name, "Gauss-Seidel (GAP, paper's recommendation)",
             time_once([&] {
-                gapref::pagerank_gauss_seidel(ds->g, 0.85, 1e-4, 100);
+                gapref::pagerank_gauss_seidel(ds->g(), 0.85, 1e-4, 100);
             }),
             t_jacobi);
     }
@@ -126,20 +126,20 @@ main()
     std::cout << "\nA4. Connected-components algorithm family\n";
     for (const harness::Dataset* ds : {&road, &kron, &urand}) {
         const double t_aff =
-            time_once([&] { gapref::cc_afforest(ds->g); });
+            time_once([&] { gapref::cc_afforest(ds->g()); });
         row(ds->name, "Afforest (GAP ref)", t_aff, 0);
         row(ds->name, "Shiloach-Vishkin (gkc)",
-            time_once([&] { gkc::cc_sv(ds->g); }), t_aff);
+            time_once([&] { gkc::cc_sv(ds->g()); }), t_aff);
         row(ds->name, "label propagation (graphit)",
-            time_once([&] { graphitlite::cc_label_prop(ds->g); }), t_aff);
+            time_once([&] { graphitlite::cc_label_prop(ds->g()); }), t_aff);
     }
 
     std::cout << "\nA5. TC heuristic relabel\n";
     for (const harness::Dataset* ds : {&kron, &urand}) {
-        const double t_with = time_once([&] { gapref::tc(ds->g_undirected); });
+        const double t_with = time_once([&] { gapref::tc(ds->g_undirected()); });
         row(ds->name, "heuristic relabel", t_with, 0);
         row(ds->name, "no relabel",
-            time_once([&] { gapref::tc_no_relabel(ds->g_undirected); }),
+            time_once([&] { gapref::tc_no_relabel(ds->g_undirected()); }),
             t_with);
     }
 
@@ -147,15 +147,15 @@ main()
     for (const harness::Dataset* ds : {&road, &urand}) {
         const vid_t src = ds->sources[0];
         const double t_sync =
-            time_once([&] { galoislite::bfs_sync(ds->g, src); });
+            time_once([&] { galoislite::bfs_sync(ds->g(), src); });
         row(ds->name, "BFS bulk-sync", t_sync, 0);
         row(ds->name, "BFS async",
-            time_once([&] { galoislite::bfs_async(ds->g, src); }), t_sync);
+            time_once([&] { galoislite::bfs_async(ds->g(), src); }), t_sync);
         const double s_sync = time_once(
-            [&] { galoislite::sssp_sync(ds->wg, src, ds->delta); });
+            [&] { galoislite::sssp_sync(ds->wg(), src, ds->delta); });
         row(ds->name, "SSSP bulk-sync", s_sync, 0);
         row(ds->name, "SSSP async",
-            time_once([&] { galoislite::sssp_async(ds->wg, src, ds->delta); }),
+            time_once([&] { galoislite::sssp_async(ds->wg(), src, ds->delta); }),
             s_sync);
     }
 

@@ -64,7 +64,7 @@ run_kernel(benchmark::State& state, std::size_t fw_index,
         }
     }
     state.SetItemsProcessed(state.iterations() *
-                            ds.g.num_edges_directed());
+                            ds.g().num_edges_directed());
 }
 
 void

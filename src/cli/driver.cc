@@ -131,8 +131,8 @@ run_kernel(harness::Kernel kernel, const Options& opts)
     harness::Dataset ds = *std::move(made);
     ds.delta = opts.delta;
     timer.stop();
-    std::cout << "Graph: " << ds.g.num_vertices() << " vertices, "
-              << ds.g.num_edges_directed() << " (directed) edges, built in "
+    std::cout << "Graph: " << ds.g().num_vertices() << " vertices, "
+              << ds.g().num_edges_directed() << " (directed) edges, built in "
               << std::fixed << std::setprecision(3) << timer.seconds()
               << " s\n";
 
@@ -181,6 +181,9 @@ run_kernel(harness::Kernel kernel, const Options& opts)
     if (failure != harness::FailureKind::kNone)
         return exit_code_for(failure);
     std::cout << "Average Time: " << total / opts.trials << "\n";
+    // Only the forms this kernel touched were ever built (lazy store).
+    std::cout << "Graph Memory: " << ds.bytes_resident()
+              << " bytes of graph artifacts resident\n";
     if (opts.verify) {
         std::cout << "Verification: " << (all_verified ? "PASS" : "FAIL")
                   << "\n";

@@ -146,6 +146,15 @@ class CSRGraphT
         return directed_ ? in_nbr_ : out_nbr_;
     }
 
+    /** Heap bytes owned by this graph's CSR arrays (undirected graphs
+     *  store no in-arrays, so aliased accessors are not double-counted). */
+    std::size_t
+    bytes_resident() const
+    {
+        return (out_off_.size() + in_off_.size()) * sizeof(eid_t) +
+               (out_nbr_.size() + in_nbr_.size()) * sizeof(DestT);
+    }
+
   private:
     vid_t num_vertices_ = 0;
     bool directed_ = false;

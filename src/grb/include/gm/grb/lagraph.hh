@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gm/graph/csr.hh"
@@ -18,23 +19,57 @@
 namespace gm::grb::lagraph
 {
 
-/** A graph packaged for GraphBLAS consumption: adjacency matrix, its
- *  transpose, optional weighted forms, and cached row degrees. */
+/**
+ * A graph packaged for GraphBLAS consumption.  A and AT are zero-copy
+ * pattern views over the CSR graph's own 32-bit arrays (for undirected
+ * graphs they alias the same buffers), so the packaging owns almost
+ * nothing; the weighted matrix owns only its split column/value arrays.
+ * Copying a GrbGraph copies spans plus keep-alive handles, not buffers.
+ */
 struct GrbGraph
 {
     Index n = 0;
     bool directed = false;
-    Matrix<std::uint8_t> A;   ///< out-edges
-    Matrix<std::uint8_t> AT;  ///< in-edges (== A content for undirected)
-    Matrix<std::int32_t> WA;  ///< weighted out-edges (may be empty)
-    std::vector<Index> out_degree;
+    PatternMatrix A;   ///< out-edges (pattern-only view)
+    PatternMatrix AT;  ///< in-edges (aliases A's buffers for undirected)
+    WeightMatrix WA;   ///< weighted out-edges (may be empty)
+
+    /** Out-degree of @p v, read off A's row pointers. */
+    Index
+    out_degree(Index v) const
+    {
+        const auto rp = A.row_ptr();
+        return rp[static_cast<std::size_t>(v) + 1] -
+               rp[static_cast<std::size_t>(v)];
+    }
+
+    /** Heap bytes owned by this packaging (views contribute nothing). */
+    std::size_t
+    bytes_owned() const
+    {
+        return A.bytes_owned() + AT.bytes_owned() + WA.bytes_owned();
+    }
 };
 
-/** Package a CSR graph (and optionally its weighted form) for GraphBLAS. */
+/** Package a CSR graph for GraphBLAS as zero-copy views; @p g is pinned
+ *  as the keep-alive so the views survive cache eviction. */
+GrbGraph make_grb_graph(std::shared_ptr<const graph::CSRGraph> g);
+
+/** Compatibility overload: copies @p g into a shared owner first (callers
+ *  passing temporaries or stack graphs keep working, at the old cost). */
 GrbGraph make_grb_graph(const graph::CSRGraph& g);
 
-/** Attach weights for SSSP. */
+/** Attach weights for SSSP; row pointers alias @p wg (pinned). */
+void attach_weights(GrbGraph& gg, std::shared_ptr<const graph::WCSRGraph> wg);
+
+/** Compatibility overload: copies @p wg into a shared owner first. */
 void attach_weights(GrbGraph& gg, const graph::WCSRGraph& wg);
+
+/** Bytes the pre-view layout spent packaging @p g for GraphBLAS: A and AT
+ *  widened to 64-bit columns with materialized iso values, a fully-owned
+ *  weighted matrix, and a cached out-degree vector.  The baseline the
+ *  zero-copy packaging is measured against. */
+std::size_t widened_grb_bytes(const graph::CSRGraph& g);
 
 /** Direction-optimizing BFS; returns GAP-style parent array. */
 std::vector<vid_t> bfs_parent(const GrbGraph& gg, vid_t source);

@@ -1,14 +1,29 @@
 /**
  * @file
- * GraphBLAS-style sparse matrix (CSR, 64-bit indices).
+ * GraphBLAS-style sparse matrix (CSR) that can either own its arrays or be
+ * a zero-copy view over arrays owned by someone else (typically a CSR
+ * graph's own offset/destination buffers).
  *
- * A graph's adjacency matrix and its transpose are built as two Matrix
- * objects at load time (the GAP rules do not time transposition because the
- * reference implementation also stores both forms).
+ * Two axes of genericity keep the memory footprint honest:
+ *  - @p CI is the column-index type.  The legacy layout widened every
+ *    32-bit graph index into this module's 64-bit Index; views over a CSR
+ *    graph keep the graph's own vid_t (32-bit) columns instead.  Row
+ *    pointers are always Index, which matches the graph's eid_t exactly,
+ *    so they alias without conversion.
+ *  - An empty values() array means the matrix is pattern-only (every
+ *    stored entry is an implicit iso-value 1), so boolean adjacency
+ *    matrices carry no value array at all.
+ *
+ * A view holds a shared_ptr keep-alive to whatever owns its arrays, so a
+ * Matrix handed out by a cache stays valid even after the cache drops its
+ * reference (eviction).  The GAP rules do not time any of this packaging
+ * because the reference implementation also stores both edge directions.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "gm/graph/csr.hh"
@@ -17,21 +32,68 @@
 namespace gm::grb
 {
 
-/** CSR sparse matrix over value type @p T with 64-bit indices. */
-template <typename T>
+/** CSR sparse matrix over value type @p T with column-index type @p CI. */
+template <typename T, typename CI = Index>
 class Matrix
 {
   public:
+    using value_type = T;
+    using col_index_type = CI;
+
     Matrix() = default;
 
+    /** Owning constructor.  Pass an empty @p values for pattern-only. */
     Matrix(Index nrows, Index ncols, std::vector<Index> row_ptr,
-           std::vector<Index> col_idx, std::vector<T> values)
+           std::vector<CI> col_idx, std::vector<T> values)
         : nrows_(nrows),
           ncols_(ncols),
-          row_ptr_(std::move(row_ptr)),
-          col_idx_(std::move(col_idx)),
-          values_(std::move(values))
+          row_store_(std::move(row_ptr)),
+          col_store_(std::move(col_idx)),
+          val_store_(std::move(values))
     {
+    }
+
+    /**
+     * Zero-copy view over caller-owned arrays.  @p keep_alive pins the
+     * owner of those arrays for the lifetime of this matrix (and any copy
+     * of it), so a view outlives cache eviction of its source.
+     */
+    static Matrix
+    view(Index nrows, Index ncols, std::span<const Index> row_ptr,
+         std::span<const CI> col_idx, std::span<const T> values,
+         std::shared_ptr<const void> keep_alive)
+    {
+        Matrix m;
+        m.nrows_ = nrows;
+        m.ncols_ = ncols;
+        m.row_view_ = row_ptr;
+        m.col_view_ = col_idx;
+        m.val_view_ = values;
+        m.is_view_ = true;
+        m.keep_alive_ = std::move(keep_alive);
+        return m;
+    }
+
+    /**
+     * Hybrid: viewed row pointers, owned columns/values.  Used by the
+     * weighted matrix, whose row structure aliases the weighted graph but
+     * whose interleaved {v,w} destinations must be split into parallel
+     * arrays once.
+     */
+    static Matrix
+    view_rows(Index nrows, Index ncols, std::span<const Index> row_ptr,
+              std::vector<CI> col_idx, std::vector<T> values,
+              std::shared_ptr<const void> keep_alive)
+    {
+        Matrix m;
+        m.nrows_ = nrows;
+        m.ncols_ = ncols;
+        m.row_view_ = row_ptr;
+        m.col_store_ = std::move(col_idx);
+        m.val_store_ = std::move(values);
+        m.is_view_ = true;
+        m.keep_alive_ = std::move(keep_alive);
+        return m;
     }
 
     /** Row count. */
@@ -39,25 +101,65 @@ class Matrix
     /** Column count. */
     Index ncols() const { return ncols_; }
     /** Stored entry count. */
-    Index nvals() const { return static_cast<Index>(col_idx_.size()); }
+    Index nvals() const { return static_cast<Index>(col_idx().size()); }
 
     /** Row pointer array (size nrows()+1). */
-    const std::vector<Index>& row_ptr() const { return row_ptr_; }
+    std::span<const Index>
+    row_ptr() const
+    {
+        return row_view_.empty() ? std::span<const Index>(row_store_)
+                                 : row_view_;
+    }
+
     /** Column index array. */
-    const std::vector<Index>& col_idx() const { return col_idx_; }
-    /** Value array (parallel to col_idx()). */
-    const std::vector<T>& values() const { return values_; }
+    std::span<const CI>
+    col_idx() const
+    {
+        return col_view_.empty() ? std::span<const CI>(col_store_)
+                                 : col_view_;
+    }
+
+    /** Value array (parallel to col_idx()); empty for pattern-only. */
+    std::span<const T>
+    values() const
+    {
+        return val_view_.empty() ? std::span<const T>(val_store_)
+                                 : val_view_;
+    }
+
+    /** True when entries carry no values (implicit iso-value 1). */
+    bool pattern_only() const { return values().empty(); }
+
+    /** True when any array aliases memory owned elsewhere. */
+    bool is_view() const { return is_view_; }
+
+    /** Heap bytes this matrix itself owns (views contribute nothing). */
+    std::size_t
+    bytes_owned() const
+    {
+        return row_store_.size() * sizeof(Index) +
+               col_store_.size() * sizeof(CI) +
+               val_store_.size() * sizeof(T);
+    }
 
   private:
     Index nrows_ = 0;
     Index ncols_ = 0;
-    std::vector<Index> row_ptr_{0};
-    std::vector<Index> col_idx_;
-    std::vector<T> values_;
+    // Owned storage; accessors fall back to it when the matching view span
+    // is empty.  Copies of a view copy only the spans plus the keep-alive.
+    std::vector<Index> row_store_{0};
+    std::vector<CI> col_store_;
+    std::vector<T> val_store_;
+    std::span<const Index> row_view_;
+    std::span<const CI> col_view_;
+    std::span<const T> val_view_;
+    bool is_view_ = false;
+    std::shared_ptr<const void> keep_alive_;
 };
 
 /** Build a boolean-style (value = 1) matrix from a CSR graph's out-edges.
- *  Widens the graph's 32-bit arrays into this module's 64-bit layout. */
+ *  Widens the graph's 32-bit arrays into 64-bit copies — the legacy layout,
+ *  kept as the baseline the zero-copy views are measured against. */
 template <typename T = std::uint8_t>
 Matrix<T>
 matrix_from_graph(const graph::CSRGraph& g)
@@ -71,7 +173,7 @@ matrix_from_graph(const graph::CSRGraph& g)
                      std::move(values));
 }
 
-/** Build the transposed adjacency matrix (rows = in-edges). */
+/** Build the transposed adjacency matrix (rows = in-edges), widened. */
 template <typename T = std::uint8_t>
 Matrix<T>
 matrix_from_graph_transposed(const graph::CSRGraph& g)
@@ -85,7 +187,8 @@ matrix_from_graph_transposed(const graph::CSRGraph& g)
                      std::move(values));
 }
 
-/** Build a weighted matrix from a weighted CSR graph's out-edges. */
+/** Build a weighted matrix from a weighted CSR graph's out-edges
+ *  (fully-owned legacy layout with 64-bit columns). */
 inline Matrix<std::int32_t>
 matrix_from_wgraph(const graph::WCSRGraph& g)
 {
@@ -101,6 +204,60 @@ matrix_from_wgraph(const graph::WCSRGraph& g)
     }
     return Matrix<std::int32_t>(n, n, std::move(row_ptr), std::move(col_idx),
                                 std::move(values));
+}
+
+/** Pattern matrix type for zero-copy adjacency views over a CSR graph. */
+using PatternMatrix = Matrix<std::uint8_t, vid_t>;
+/** Weighted matrix type whose row structure aliases a weighted graph. */
+using WeightMatrix = Matrix<weight_t, vid_t>;
+
+/** Zero-copy pattern (iso-1) view over a CSR graph's out-edge arrays.
+ *  Pass a keep-alive owning @p g when the matrix may outlive the caller's
+ *  reference; nullptr when the caller guarantees the graph's lifetime. */
+inline PatternMatrix
+pattern_view_from_graph(const graph::CSRGraph& g,
+                        std::shared_ptr<const void> keep_alive = nullptr)
+{
+    const Index n = g.num_vertices();
+    return PatternMatrix::view(n, n,
+                               std::span<const Index>(g.out_offsets()),
+                               std::span<const vid_t>(g.out_destinations()),
+                               {}, std::move(keep_alive));
+}
+
+/** Zero-copy pattern view over the in-edge arrays (the transpose).  For
+ *  undirected graphs this aliases the same buffers as the out view. */
+inline PatternMatrix
+pattern_view_from_graph_transposed(
+    const graph::CSRGraph& g, std::shared_ptr<const void> keep_alive = nullptr)
+{
+    const Index n = g.num_vertices();
+    return PatternMatrix::view(n, n,
+                               std::span<const Index>(g.in_offsets()),
+                               std::span<const vid_t>(g.in_destinations()),
+                               {}, std::move(keep_alive));
+}
+
+/** Weighted matrix over a weighted CSR graph: row pointers alias the
+ *  graph's offsets; the interleaved {v,w} destinations are split once into
+ *  owned 32-bit column and value arrays. */
+inline WeightMatrix
+weight_view_from_wgraph(const graph::WCSRGraph& g,
+                        std::shared_ptr<const void> keep_alive = nullptr)
+{
+    const Index n = g.num_vertices();
+    std::vector<vid_t> col_idx;
+    std::vector<weight_t> values;
+    col_idx.reserve(g.out_destinations().size());
+    values.reserve(g.out_destinations().size());
+    for (const graph::WNode& wn : g.out_destinations()) {
+        col_idx.push_back(wn.v);
+        values.push_back(wn.w);
+    }
+    return WeightMatrix::view_rows(n, n,
+                                   std::span<const Index>(g.out_offsets()),
+                                   std::move(col_idx), std::move(values),
+                                   std::move(keep_alive));
 }
 
 } // namespace gm::grb

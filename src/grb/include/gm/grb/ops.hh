@@ -53,10 +53,10 @@ struct NoMaskTag
  * @param w    Output vector; cleared, produced in bitmap representation.
  * @param u    Input vector; must be in sparse representation.
  */
-template <typename SR, typename MV, typename AV, typename UV>
+template <typename SR, typename MV, typename AV, typename UV, typename ACI>
 void
 vxm_push(Vector<typename SR::Out>& w, const Vector<MV>* mask,
-         bool mask_complement, const Vector<UV>& u, const Matrix<AV>& A)
+         bool mask_complement, const Vector<UV>& u, const Matrix<AV, ACI>& A)
 {
     using Out = typename SR::Out;
     GM_ASSERT(u.rep() == Rep::kSparse, "vxm_push requires a sparse input");
@@ -65,9 +65,10 @@ vxm_push(Vector<typename SR::Out>& w, const Vector<MV>* mask,
     StructuralMask<MV> m(mask, mask_complement);
 
     const auto& indices = u.indices();
-    const auto& row_ptr = A.row_ptr();
-    const auto& col_idx = A.col_idx();
-    const auto& values = A.values();
+    const auto row_ptr = A.row_ptr();
+    const auto col_idx = A.col_idx();
+    const auto values = A.values();
+    const bool iso = values.empty(); // pattern-only: every entry is 1
     Out* out = w.raw_values();
 
     par::parallel_for<std::size_t>(
@@ -80,8 +81,9 @@ vxm_push(Vector<typename SR::Out>& w, const Vector<MV>* mask,
                 const Index j = col_idx[static_cast<std::size_t>(e)];
                 if (!m.allows(j))
                     continue;
-                const Out val =
-                    SR::mult(values[static_cast<std::size_t>(e)], uval, k);
+                const Out val = SR::mult(
+                    iso ? AV{1} : values[static_cast<std::size_t>(e)], uval,
+                    k);
                 if constexpr (SR::kClaimBased) {
                     if (w.claim(j))
                         out[j] = val;
@@ -102,10 +104,10 @@ vxm_push(Vector<typename SR::Out>& w, const Vector<MV>* mask,
  *
  * @param u Input vector; must be in bitmap or dense representation.
  */
-template <typename SR, typename MV, typename AV, typename UV>
+template <typename SR, typename MV, typename AV, typename UV, typename ACI>
 void
 mxv_pull(Vector<typename SR::Out>& w, const Vector<MV>* mask,
-         bool mask_complement, const Matrix<AV>& AT, const Vector<UV>& u)
+         bool mask_complement, const Matrix<AV, ACI>& AT, const Vector<UV>& u)
 {
     using Out = typename SR::Out;
     GM_ASSERT(u.rep() != Rep::kSparse, "mxv_pull wants bitmap/dense input");
@@ -113,9 +115,10 @@ mxv_pull(Vector<typename SR::Out>& w, const Vector<MV>* mask,
     w.mark_bitmap();
     StructuralMask<MV> m(mask, mask_complement);
 
-    const auto& row_ptr = AT.row_ptr();
-    const auto& col_idx = AT.col_idx();
-    const auto& values = AT.values();
+    const auto row_ptr = AT.row_ptr();
+    const auto col_idx = AT.col_idx();
+    const auto values = AT.values();
+    const bool iso = values.empty(); // pattern-only: every entry is 1
     Out* out = w.raw_values();
 
     par::parallel_for<Index>(
@@ -132,8 +135,9 @@ mxv_pull(Vector<typename SR::Out>& w, const Vector<MV>* mask,
                     continue;
                 acc = SR::combine(
                     acc,
-                    SR::mult(values[static_cast<std::size_t>(e)], u.get(k),
-                             k));
+                    SR::mult(iso ? AV{1}
+                                 : values[static_cast<std::size_t>(e)],
+                             u.get(k), k));
                 hit = true;
                 if (SR::terminal())
                     break;
@@ -187,54 +191,64 @@ reduce(const Vector<T>& u)
     return acc;
 }
 
-/** Strictly-lower-triangular selection: L = tril(A, -1). */
-template <typename T>
-Matrix<T>
-tril(const Matrix<T>& A)
+/** Strictly-lower-triangular selection: L = tril(A, -1).  Pattern-only
+ *  inputs produce pattern-only outputs. */
+template <typename T, typename CI>
+Matrix<T, CI>
+tril(const Matrix<T, CI>& A)
 {
+    const auto a_row_ptr = A.row_ptr();
+    const auto a_col_idx = A.col_idx();
+    const auto a_values = A.values();
     std::vector<Index> row_ptr(static_cast<std::size_t>(A.nrows()) + 1, 0);
-    std::vector<Index> col_idx;
+    std::vector<CI> col_idx;
     std::vector<T> values;
     col_idx.reserve(static_cast<std::size_t>(A.nvals() / 2));
-    values.reserve(static_cast<std::size_t>(A.nvals() / 2));
+    if (!a_values.empty())
+        values.reserve(static_cast<std::size_t>(A.nvals() / 2));
     for (Index i = 0; i < A.nrows(); ++i) {
-        for (Index e = A.row_ptr()[static_cast<std::size_t>(i)];
-             e < A.row_ptr()[static_cast<std::size_t>(i) + 1]; ++e) {
-            const Index j = A.col_idx()[static_cast<std::size_t>(e)];
+        for (Index e = a_row_ptr[static_cast<std::size_t>(i)];
+             e < a_row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+            const Index j = a_col_idx[static_cast<std::size_t>(e)];
             if (j < i) {
-                col_idx.push_back(j);
-                values.push_back(A.values()[static_cast<std::size_t>(e)]);
+                col_idx.push_back(static_cast<CI>(j));
+                if (!a_values.empty())
+                    values.push_back(a_values[static_cast<std::size_t>(e)]);
             }
         }
         row_ptr[static_cast<std::size_t>(i) + 1] =
             static_cast<Index>(col_idx.size());
     }
-    return Matrix<T>(A.nrows(), A.ncols(), std::move(row_ptr),
-                     std::move(col_idx), std::move(values));
+    return Matrix<T, CI>(A.nrows(), A.ncols(), std::move(row_ptr),
+                         std::move(col_idx), std::move(values));
 }
 
 /** Strictly-upper-triangular selection: U = triu(A, 1). */
-template <typename T>
-Matrix<T>
-triu(const Matrix<T>& A)
+template <typename T, typename CI>
+Matrix<T, CI>
+triu(const Matrix<T, CI>& A)
 {
+    const auto a_row_ptr = A.row_ptr();
+    const auto a_col_idx = A.col_idx();
+    const auto a_values = A.values();
     std::vector<Index> row_ptr(static_cast<std::size_t>(A.nrows()) + 1, 0);
-    std::vector<Index> col_idx;
+    std::vector<CI> col_idx;
     std::vector<T> values;
     for (Index i = 0; i < A.nrows(); ++i) {
-        for (Index e = A.row_ptr()[static_cast<std::size_t>(i)];
-             e < A.row_ptr()[static_cast<std::size_t>(i) + 1]; ++e) {
-            const Index j = A.col_idx()[static_cast<std::size_t>(e)];
+        for (Index e = a_row_ptr[static_cast<std::size_t>(i)];
+             e < a_row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+            const Index j = a_col_idx[static_cast<std::size_t>(e)];
             if (j > i) {
-                col_idx.push_back(j);
-                values.push_back(A.values()[static_cast<std::size_t>(e)]);
+                col_idx.push_back(static_cast<CI>(j));
+                if (!a_values.empty())
+                    values.push_back(a_values[static_cast<std::size_t>(e)]);
             }
         }
         row_ptr[static_cast<std::size_t>(i) + 1] =
             static_cast<Index>(col_idx.size());
     }
-    return Matrix<T>(A.nrows(), A.ncols(), std::move(row_ptr),
-                     std::move(col_idx), std::move(values));
+    return Matrix<T, CI>(A.nrows(), A.ncols(), std::move(row_ptr),
+                         std::move(col_idx), std::move(values));
 }
 
 /**
@@ -243,31 +257,35 @@ triu(const Matrix<T>& A)
  * (the paper notes SuiteSparse builds the whole matrix and then reduces it,
  * and that fusing would be ~2x faster — we deliberately do not fuse).
  */
-template <typename T>
-Matrix<std::int64_t>
-mxm_masked_plus_pair(const Matrix<T>& L, const Matrix<T>& U)
+template <typename T, typename CI>
+Matrix<std::int64_t, CI>
+mxm_masked_plus_pair(const Matrix<T, CI>& L, const Matrix<T, CI>& U)
 {
-    std::vector<Index> row_ptr(L.row_ptr());
-    std::vector<Index> col_idx(L.col_idx());
+    const auto l_row_ptr = L.row_ptr();
+    const auto l_col_idx = L.col_idx();
+    const auto u_row_ptr = U.row_ptr();
+    const auto u_col_idx = U.col_idx();
+    std::vector<Index> row_ptr(l_row_ptr.begin(), l_row_ptr.end());
+    std::vector<CI> col_idx(l_col_idx.begin(), l_col_idx.end());
     std::vector<std::int64_t> values(col_idx.size(), 0);
 
     par::parallel_for<Index>(
         0, L.nrows(),
         [&](Index i) {
-            for (Index e = L.row_ptr()[static_cast<std::size_t>(i)];
-                 e < L.row_ptr()[static_cast<std::size_t>(i) + 1]; ++e) {
-                const Index j = L.col_idx()[static_cast<std::size_t>(e)];
+            for (Index e = l_row_ptr[static_cast<std::size_t>(i)];
+                 e < l_row_ptr[static_cast<std::size_t>(i) + 1]; ++e) {
+                const Index j = l_col_idx[static_cast<std::size_t>(e)];
                 // values[e] = |L.row(i) ∩ U.row(j)| via sorted merge.
-                Index a = L.row_ptr()[static_cast<std::size_t>(i)];
+                Index a = l_row_ptr[static_cast<std::size_t>(i)];
                 const Index a_end =
-                    L.row_ptr()[static_cast<std::size_t>(i) + 1];
-                Index b = U.row_ptr()[static_cast<std::size_t>(j)];
+                    l_row_ptr[static_cast<std::size_t>(i) + 1];
+                Index b = u_row_ptr[static_cast<std::size_t>(j)];
                 const Index b_end =
-                    U.row_ptr()[static_cast<std::size_t>(j) + 1];
+                    u_row_ptr[static_cast<std::size_t>(j) + 1];
                 std::int64_t count = 0;
                 while (a < a_end && b < b_end) {
-                    const Index ca = L.col_idx()[static_cast<std::size_t>(a)];
-                    const Index cb = U.col_idx()[static_cast<std::size_t>(b)];
+                    const Index ca = l_col_idx[static_cast<std::size_t>(a)];
+                    const Index cb = u_col_idx[static_cast<std::size_t>(b)];
                     if (ca == cb) {
                         ++count;
                         ++a;
@@ -282,18 +300,19 @@ mxm_masked_plus_pair(const Matrix<T>& L, const Matrix<T>& U)
             }
         },
         par::Schedule::kDynamic, Index{64});
-    return Matrix<std::int64_t>(L.nrows(), L.ncols(), std::move(row_ptr),
-                                std::move(col_idx), std::move(values));
+    return Matrix<std::int64_t, CI>(L.nrows(), L.ncols(),
+                                    std::move(row_ptr), std::move(col_idx),
+                                    std::move(values));
 }
 
 /** Sum every stored value of a matrix. */
-template <typename T>
+template <typename T, typename CI>
 T
-reduce_matrix(const Matrix<T>& A)
+reduce_matrix(const Matrix<T, CI>& A)
 {
+    const auto values = A.values();
     return par::parallel_reduce<std::size_t, T>(
-        0, A.values().size(), T{0},
-        [&](std::size_t i) { return A.values()[i]; },
+        0, values.size(), T{0}, [&](std::size_t i) { return values[i]; },
         [](T a, T b) { return a + b; });
 }
 

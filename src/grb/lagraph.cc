@@ -14,26 +14,50 @@ namespace gm::grb::lagraph
 {
 
 GrbGraph
+make_grb_graph(std::shared_ptr<const graph::CSRGraph> g)
+{
+    GM_ASSERT(g != nullptr, "make_grb_graph requires a graph");
+    GrbGraph gg;
+    gg.n = g->num_vertices();
+    gg.directed = g->is_directed();
+    gg.A = pattern_view_from_graph(*g, g);
+    gg.AT = pattern_view_from_graph_transposed(*g, g);
+    return gg;
+}
+
+GrbGraph
 make_grb_graph(const graph::CSRGraph& g)
 {
-    GrbGraph gg;
-    gg.n = g.num_vertices();
-    gg.directed = g.is_directed();
-    gg.A = matrix_from_graph(g);
-    gg.AT = matrix_from_graph_transposed(g);
-    gg.out_degree.resize(static_cast<std::size_t>(gg.n));
-    for (Index v = 0; v < gg.n; ++v) {
-        gg.out_degree[static_cast<std::size_t>(v)] =
-            gg.A.row_ptr()[static_cast<std::size_t>(v) + 1] -
-            gg.A.row_ptr()[static_cast<std::size_t>(v)];
-    }
-    return gg;
+    return make_grb_graph(std::make_shared<const graph::CSRGraph>(g));
+}
+
+void
+attach_weights(GrbGraph& gg, std::shared_ptr<const graph::WCSRGraph> wg)
+{
+    GM_ASSERT(wg != nullptr, "attach_weights requires a weighted graph");
+    gg.WA = weight_view_from_wgraph(*wg, wg);
 }
 
 void
 attach_weights(GrbGraph& gg, const graph::WCSRGraph& wg)
 {
-    gg.WA = matrix_from_wgraph(wg);
+    attach_weights(gg, std::make_shared<const graph::WCSRGraph>(wg));
+}
+
+std::size_t
+widened_grb_bytes(const graph::CSRGraph& g)
+{
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    const std::size_t m_out = g.out_destinations().size();
+    const std::size_t m_in = g.in_destinations().size();
+    const std::size_t adjacency =                     // A + AT, widened
+        2 * (n + 1) * sizeof(Index) +
+        (m_out + m_in) * (sizeof(Index) + sizeof(std::uint8_t));
+    const std::size_t weighted =                      // fully-owned WA
+        (n + 1) * sizeof(Index) +
+        m_out * (sizeof(Index) + sizeof(weight_t));
+    const std::size_t degrees = n * sizeof(Index);    // out_degree cache
+    return adjacency + weighted + degrees;
 }
 
 std::vector<vid_t>
@@ -51,6 +75,7 @@ bfs_parent(const GrbGraph& gg, vid_t source)
     Vector<Index> w(n);
 
     Index edges_unexplored = gg.A.nvals();
+    const auto deg_ptr = gg.A.row_ptr();
 
     while (q.nvals() > 0) {
         // LAGraph-style direction heuristic: pull when the frontier is a
@@ -59,7 +84,8 @@ bfs_parent(const GrbGraph& gg, vid_t source)
         if (q.rep() == Rep::kSparse) {
             Index frontier_edges = 0;
             for (Index i : q.indices())
-                frontier_edges += gg.out_degree[static_cast<std::size_t>(i)];
+                frontier_edges += deg_ptr[static_cast<std::size_t>(i) + 1] -
+                                  deg_ptr[static_cast<std::size_t>(i)];
             use_pull = frontier_edges > edges_unexplored / 8;
             edges_unexplored -= frontier_edges;
         } else {
@@ -164,10 +190,12 @@ pagerank(const GrbGraph& gg, double damping, double tolerance, int max_iters)
     Vector<double> contrib(n);
     contrib.fill(0.0);
     Vector<double> incoming(n);
+    const auto deg_ptr = gg.A.row_ptr();
 
     for (int iter = 0; iter < max_iters; ++iter) {
         par::parallel_for<Index>(0, n, [&](Index i) {
-            const Index d = gg.out_degree[static_cast<std::size_t>(i)];
+            const Index d = deg_ptr[static_cast<std::size_t>(i) + 1] -
+                            deg_ptr[static_cast<std::size_t>(i)];
             contrib.raw_values()[i] =
                 d > 0 ? r.raw_values()[i] / static_cast<double>(d) : 0.0;
         }, par::Schedule::kStatic);
@@ -308,8 +336,8 @@ bc(const GrbGraph& gg, const std::vector<vid_t>& sources)
     frontier.erase(std::unique(frontier.begin(), frontier.end()),
                    frontier.end());
 
-    const auto& row_ptr = gg.A.row_ptr();
-    const auto& col_idx = gg.A.col_idx();
+    const auto row_ptr = gg.A.row_ptr();
+    const auto col_idx = gg.A.col_idx();
 
     std::int32_t d = 0;
     while (!frontier.empty()) {
@@ -420,11 +448,78 @@ tc(const graph::CSRGraph& g)
         relabeled = graph::relabel_by_degree(g);
         use = &relabeled;
     }
-    const Matrix<std::uint8_t> A = matrix_from_graph(*use);
-    const Matrix<std::uint8_t> L = tril(A);
-    const Matrix<std::uint8_t> U = triu(A);
-    const Matrix<std::int64_t> C = mxm_masked_plus_pair(L, U);
-    return static_cast<std::uint64_t>(reduce_matrix(C));
+
+    // One boolean matrix serves as A, L and U: rows are sorted, so per-row
+    // split points into A's own adjacency give tril as [row_ptr[i],
+    // lsplit[i]) and triu as [usplit[i], row_ptr[i+1]) without
+    // materializing three copies.
+    const PatternMatrix A = pattern_view_from_graph(*use);
+    const auto row_ptr = A.row_ptr();
+    const auto col_idx = A.col_idx();
+    const Index n = A.nrows();
+
+    std::vector<Index> lsplit(static_cast<std::size_t>(n));
+    std::vector<Index> usplit(static_cast<std::size_t>(n));
+    par::parallel_for<Index>(0, n, [&](Index i) {
+        const vid_t* first = col_idx.data() + row_ptr[static_cast<std::size_t>(i)];
+        const vid_t* last = col_idx.data() + row_ptr[static_cast<std::size_t>(i) + 1];
+        lsplit[static_cast<std::size_t>(i)] = static_cast<Index>(
+            std::lower_bound(first, last, static_cast<vid_t>(i)) -
+            col_idx.data());
+        usplit[static_cast<std::size_t>(i)] = static_cast<Index>(
+            std::upper_bound(first, last, static_cast<vid_t>(i)) -
+            col_idx.data());
+    }, par::Schedule::kStatic);
+
+    // C<L> = L * U' materialized over L's pattern, then reduced (the paper
+    // notes SuiteSparse builds the whole matrix and then reduces it — we
+    // deliberately keep that non-fused shape).
+    std::vector<Index> lptr(static_cast<std::size_t>(n) + 1, 0);
+    for (Index i = 0; i < n; ++i) {
+        lptr[static_cast<std::size_t>(i) + 1] =
+            lptr[static_cast<std::size_t>(i)] +
+            (lsplit[static_cast<std::size_t>(i)] -
+             row_ptr[static_cast<std::size_t>(i)]);
+    }
+    std::vector<std::int64_t> cvals(
+        static_cast<std::size_t>(lptr[static_cast<std::size_t>(n)]), 0);
+
+    par::parallel_for<Index>(
+        0, n,
+        [&](Index i) {
+            Index out = lptr[static_cast<std::size_t>(i)];
+            for (Index e = row_ptr[static_cast<std::size_t>(i)];
+                 e < lsplit[static_cast<std::size_t>(i)]; ++e, ++out) {
+                const Index j = col_idx[static_cast<std::size_t>(e)];
+                // cvals[out] = |L.row(i) ∩ U.row(j)| via sorted merge.
+                Index a = row_ptr[static_cast<std::size_t>(i)];
+                const Index a_end = lsplit[static_cast<std::size_t>(i)];
+                Index b = usplit[static_cast<std::size_t>(j)];
+                const Index b_end = row_ptr[static_cast<std::size_t>(j) + 1];
+                std::int64_t count = 0;
+                while (a < a_end && b < b_end) {
+                    const vid_t ca = col_idx[static_cast<std::size_t>(a)];
+                    const vid_t cb = col_idx[static_cast<std::size_t>(b)];
+                    if (ca == cb) {
+                        ++count;
+                        ++a;
+                        ++b;
+                    } else if (ca < cb) {
+                        ++a;
+                    } else {
+                        ++b;
+                    }
+                }
+                cvals[static_cast<std::size_t>(out)] = count;
+            }
+        },
+        par::Schedule::kDynamic, Index{64});
+
+    return static_cast<std::uint64_t>(par::parallel_reduce<std::size_t,
+                                                           std::int64_t>(
+        0, cvals.size(), std::int64_t{0},
+        [&](std::size_t i) { return cvals[i]; },
+        [](std::int64_t a, std::int64_t b) { return a + b; }));
 }
 
 } // namespace gm::grb::lagraph

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "gm/graph/builder.hh"
 #include "gm/graph/generators.hh"
 #include "gm/support/log.hh"
 #include "gm/support/rng.hh"
@@ -10,69 +9,40 @@
 namespace gm::harness
 {
 
-namespace
-{
-
-/** The fallible tail of dataset construction (weights, symmetrized and
- *  relabeled forms, GraphBLAS packaging, stats, sources). */
-Dataset
-build_derived_forms(Dataset ds, int num_sources, std::uint64_t seed)
-{
-    ds.wg = graph::add_weights(ds.g, seed ^ 0x5eed);
-
-    if (ds.g.is_directed()) {
-        // Symmetrize for triangle counting (GAP runs TC on undirected
-        // inputs; directed graphs are converted up front).
-        graph::EdgeList edges;
-        edges.reserve(
-            static_cast<std::size_t>(ds.g.num_edges_directed()));
-        for (vid_t v = 0; v < ds.g.num_vertices(); ++v)
-            for (vid_t u : ds.g.out_neigh(v))
-                edges.push_back({v, u});
-        ds.g_undirected =
-            graph::build_graph(edges, ds.g.num_vertices(), false);
-    } else {
-        ds.g_undirected = ds.g;
-    }
-    ds.g_relabeled = graph::relabel_by_degree(ds.g_undirected);
-    ds.grb = grb::lagraph::make_grb_graph(ds.g);
-    grb::lagraph::attach_weights(ds.grb, ds.wg);
-
-    ds.distribution = graph::classify_degree_distribution(ds.g);
-    ds.approx_diameter = graph::approx_diameter(ds.g);
-    // Scaled-down analogue of the paper's high/low diameter split: a
-    // diameter past sqrt(n) says "mesh-like" (Road), far beyond the
-    // O(log n) diameters of the power-law and uniform graphs.
-    ds.high_diameter =
-        static_cast<double>(ds.approx_diameter) >
-        std::sqrt(static_cast<double>(ds.g.num_vertices()));
-
-    Xoshiro256 rng(seed);
-    while (static_cast<int>(ds.sources.size()) < num_sources) {
-        const vid_t v =
-            static_cast<vid_t>(rng.next_bounded(ds.g.num_vertices()));
-        if (ds.g.out_degree(v) > 0)
-            ds.sources.push_back(v);
-    }
-    return ds;
-}
-
-} // namespace
-
 support::StatusOr<Dataset>
 try_make_dataset(std::string name, graph::CSRGraph g, int num_sources,
                  std::uint64_t seed)
 {
-    Dataset ds;
-    ds.name = std::move(name);
-    ds.g = std::move(g);
-    if (ds.g.num_vertices() == 0 || ds.g.num_edges_directed() == 0) {
+    if (g.num_vertices() == 0 || g.num_edges_directed() == 0) {
         return support::Status(support::StatusCode::kInvalidInput,
-                               "dataset '" + ds.name +
+                               "dataset '" + name +
                                    "' has no vertices or no edges");
     }
     try {
-        return build_derived_forms(std::move(ds), num_sources, seed);
+        // Derived forms are lazy (the store builds each on first access);
+        // only the base-graph statistics and sources are computed eagerly.
+        Dataset ds(std::make_shared<store::GraphStore>(std::move(g),
+                                                       seed ^ 0x5eed));
+        ds.name = std::move(name);
+        const graph::CSRGraph& base = ds.g();
+
+        ds.distribution = graph::classify_degree_distribution(base);
+        ds.approx_diameter = graph::approx_diameter(base);
+        // Scaled-down analogue of the paper's high/low diameter split: a
+        // diameter past sqrt(n) says "mesh-like" (Road), far beyond the
+        // O(log n) diameters of the power-law and uniform graphs.
+        ds.high_diameter =
+            static_cast<double>(ds.approx_diameter) >
+            std::sqrt(static_cast<double>(base.num_vertices()));
+
+        Xoshiro256 rng(seed);
+        while (static_cast<int>(ds.sources.size()) < num_sources) {
+            const vid_t v =
+                static_cast<vid_t>(rng.next_bounded(base.num_vertices()));
+            if (base.out_degree(v) > 0)
+                ds.sources.push_back(v);
+        }
+        return ds;
     } catch (...) {
         return support::current_exception_status();
     }

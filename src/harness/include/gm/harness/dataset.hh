@@ -1,9 +1,17 @@
 /**
  * @file
- * Benchmark datasets: the five GAP input-graph classes, pre-packaged in
- * every format the frameworks need (per the GAP rules, building a
- * framework's native graph format — like storing both edge directions — is
- * not timed; restructuring *during* a kernel is).
+ * Benchmark datasets: the five GAP input-graph classes.  A Dataset is a
+ * thin facade over a shared gm::store::GraphStore — derived forms
+ * (weighted, symmetrized, relabeled, GraphBLAS packaging) are built
+ * lazily, once, thread-safely, on first access instead of eagerly at
+ * construction.  Per the GAP rules, building a framework's native graph
+ * format is not timed; the runner warms the forms a kernel needs before
+ * starting the trial timer, so laziness never leaks into timings.
+ *
+ * Lifetime rule: references returned by the form accessors stay valid
+ * until evict_derived() drops the store's cache.  Code that must hold a
+ * form across eviction (or across datasets in a streaming sweep) should
+ * take a shared_ptr from store() instead.
  */
 #pragma once
 
@@ -14,25 +22,20 @@
 #include "gm/graph/csr.hh"
 #include "gm/graph/stats.hh"
 #include "gm/grb/lagraph.hh"
+#include "gm/store/graph_store.hh"
 #include "gm/support/status.hh"
 
 namespace gm::harness
 {
 
-/** One benchmark input graph with all untimed pre-derived forms. */
-struct Dataset
+/** One benchmark input graph; derived forms come lazily from its store. */
+class Dataset
 {
+  public:
     std::string name;
-    graph::CSRGraph g;             ///< native graph (out + in edges)
-    graph::WCSRGraph wg;           ///< weighted form for SSSP
-    graph::CSRGraph g_undirected;  ///< symmetrized form for TC
-    /** Degree-relabeled undirected form; Optimized-mode TC may use it
-     *  without paying the relabel cost (as the Galois team did). */
-    graph::CSRGraph g_relabeled;
-    /** GraphBLAS packaging (adjacency matrix + transpose + weights). */
-    grb::lagraph::GrbGraph grb;
 
-    graph::DegreeDistribution distribution;
+    graph::DegreeDistribution distribution =
+        graph::DegreeDistribution::kBounded;
     vid_t approx_diameter = 0;
     /** Ground truth: generated as a high-diameter topology. */
     bool high_diameter = false;
@@ -41,6 +44,61 @@ struct Dataset
 
     /** Deterministic non-isolated benchmark sources. */
     std::vector<vid_t> sources;
+
+    Dataset() = default;
+    explicit Dataset(std::shared_ptr<store::GraphStore> store)
+        : store_(std::move(store))
+    {
+    }
+
+    /** Native graph (out + in edges). */
+    const graph::CSRGraph&
+    g() const
+    {
+        GM_ASSERT(store_ != nullptr, "dataset has no graph store");
+        return store_->base();
+    }
+
+    /** Weighted form for SSSP. */
+    const graph::WCSRGraph& wg() const { return *store()->weighted(); }
+
+    /** Symmetrized form for TC (aliases g() when already undirected). */
+    const graph::CSRGraph&
+    g_undirected() const
+    {
+        return *store()->undirected();
+    }
+
+    /** Degree-relabeled undirected form; Optimized-mode TC may use it
+     *  without paying the relabel cost (as the Galois team did). */
+    const graph::CSRGraph& g_relabeled() const { return *store()->relabeled(); }
+
+    /** GraphBLAS packaging (zero-copy adjacency views, no weights). */
+    const grb::lagraph::GrbGraph& grb() const { return *store()->grb(); }
+
+    /** GraphBLAS packaging with the weighted matrix attached (SSSP). */
+    const grb::lagraph::GrbGraph&
+    grb_weighted() const
+    {
+        return *store()->grb_weighted();
+    }
+
+    /** The underlying artifact store (shared across Dataset copies). */
+    const std::shared_ptr<store::GraphStore>&
+    store() const
+    {
+        GM_ASSERT(store_ != nullptr, "dataset has no graph store");
+        return store_;
+    }
+
+    /** Owned bytes currently resident across this dataset's artifacts. */
+    std::size_t bytes_resident() const { return store()->bytes_resident(); }
+
+    /** Drop cached derived forms (outstanding handles stay valid). */
+    void evict_derived() const { store()->evict_derived(); }
+
+  private:
+    std::shared_ptr<store::GraphStore> store_;
 };
 
 /** The five-graph suite. */
@@ -50,6 +108,16 @@ struct DatasetSuite
 
     const Dataset& operator[](std::size_t i) const { return *datasets[i]; }
     std::size_t size() const { return datasets.size(); }
+
+    /** Owned bytes resident across every dataset's artifacts. */
+    std::size_t
+    bytes_resident() const
+    {
+        std::size_t total = 0;
+        for (const auto& ds : datasets)
+            total += ds->bytes_resident();
+        return total;
+    }
 };
 
 /**
@@ -63,9 +131,10 @@ DatasetSuite make_gap_suite(int scale, int num_sources = 16,
                             std::uint64_t seed = 2020);
 
 /**
- * Build one dataset from an arbitrary graph, recoverably: empty graphs and
- * faults injected during the derived-form builds come back as a Status
- * (kInvalidInput / kFaultInjected / ...) instead of killing the process.
+ * Build one dataset from an arbitrary graph, recoverably: empty graphs
+ * come back as a Status (kInvalidInput) instead of killing the process.
+ * Derived forms are lazy, so faults injected into their builders surface
+ * at first use — inside the runner's supervised trials, which retry them.
  */
 support::StatusOr<Dataset> try_make_dataset(std::string name,
                                             graph::CSRGraph g,

@@ -77,6 +77,9 @@ struct ResultsCube
     std::vector<std::string> graph_names;
     // Indexed [framework][kernel][graph].
     std::vector<std::vector<std::vector<CellResult>>> cells;
+    /** Peak resident artifact bytes per graph, observed right after that
+     *  graph's cells finished (empty for cubes built before this field). */
+    std::vector<std::size_t> graph_peak_bytes;
 
     const CellResult&
     at(std::size_t framework, Kernel kernel, std::size_t graph) const
@@ -105,6 +108,10 @@ struct RunOptions
     std::string checkpoint_path;
     /** When non-empty, skip cells already recorded in this JSONL file. */
     std::string resume_path;
+
+    /** Drop each graph's derived artifacts once all of its cells are
+     *  done, so a sweep keeps at most one graph's forms resident. */
+    bool evict_per_graph = false;
 };
 
 /** Run every framework x kernel x graph cell under @p mode. */

@@ -38,8 +38,20 @@ void print_table5(std::ostream& os, const ResultsCube& baseline,
                   const ResultsCube& optimized);
 
 /** Write one cube as CSV (framework,kernel,graph,best,avg,verified,
- *  failure,attempts).  Fails with a Status instead of aborting. */
+ *  failure,attempts,graph_peak_bytes).  Fails with a Status instead of
+ *  aborting. */
 support::Status write_csv(const std::string& path, const ResultsCube& cube,
                           Mode mode);
+
+/** Print the per-graph artifact memory report: one row per artifact
+ *  (base, weighted, undirected, relabeled, grb, grb+weights) with
+ *  residency, owned bytes, build time, and build count, plus the bytes
+ *  the widened 64-bit GraphBLAS copies would have cost. */
+void print_memory_report(std::ostream& os, const DatasetSuite& suite);
+
+/** Write the memory report as CSV
+ *  (graph,artifact,resident,alias,bytes,build_seconds,builds). */
+support::Status write_memory_csv(const std::string& path,
+                                 const DatasetSuite& suite);
 
 } // namespace gm::harness

@@ -45,23 +45,23 @@ make_gap_reference()
     Framework fw;
     fw.name = "GAP";
     fw.bfs = [](const Dataset& ds, vid_t src, Mode) {
-        return gapref::bfs(ds.g, src);
+        return gapref::bfs(ds.g(), src);
     };
     fw.sssp = [](const Dataset& ds, vid_t src, Mode) {
-        return gapref::sssp(ds.wg, src, ds.delta);
+        return gapref::sssp(ds.wg(), src, ds.delta);
     };
-    fw.cc = [](const Dataset& ds, Mode) { return gapref::cc_afforest(ds.g); };
+    fw.cc = [](const Dataset& ds, Mode) { return gapref::cc_afforest(ds.g()); };
     fw.pr = [](const Dataset& ds, Mode) {
         // Run to the 1e-4 tolerance like every other framework (the
         // GAPBS default 20-iteration cap would make PR comparisons an
         // iteration-count artifact rather than an algorithm comparison).
-        return gapref::pagerank(ds.g, 0.85, 1e-4, 100);
+        return gapref::pagerank(ds.g(), 0.85, 1e-4, 100);
     };
     fw.bc = [](const Dataset& ds, const std::vector<vid_t>& sources, Mode) {
-        return gapref::bc(ds.g, sources);
+        return gapref::bc(ds.g(), sources);
     };
     fw.tc = [](const Dataset& ds, Mode) {
-        return gapref::tc(ds.g_undirected);
+        return gapref::tc(ds.g_undirected());
     };
     return fw;
 }
@@ -75,22 +75,22 @@ make_suitesparse()
     Framework fw;
     fw.name = "SuiteSparse";
     fw.bfs = [](const Dataset& ds, vid_t src, Mode) {
-        return grb::lagraph::bfs_parent(ds.grb, src);
+        return grb::lagraph::bfs_parent(ds.grb(), src);
     };
     fw.sssp = [](const Dataset& ds, vid_t src, Mode) {
-        return grb::lagraph::sssp(ds.grb, src, ds.delta);
+        return grb::lagraph::sssp(ds.grb_weighted(), src, ds.delta);
     };
     fw.cc = [](const Dataset& ds, Mode) {
-        return grb::lagraph::cc_fastsv(ds.grb);
+        return grb::lagraph::cc_fastsv(ds.grb());
     };
     fw.pr = [](const Dataset& ds, Mode) {
-        return grb::lagraph::pagerank(ds.grb);
+        return grb::lagraph::pagerank(ds.grb());
     };
     fw.bc = [](const Dataset& ds, const std::vector<vid_t>& sources, Mode) {
-        return grb::lagraph::bc(ds.grb, sources);
+        return grb::lagraph::bc(ds.grb(), sources);
     };
     fw.tc = [](const Dataset& ds, Mode) {
-        return grb::lagraph::tc(ds.g_undirected);
+        return grb::lagraph::tc(ds.g_undirected());
     };
     return fw;
 }
@@ -107,40 +107,40 @@ make_galois()
     fw.name = "Galois";
     auto use_async = [](const Dataset& ds, Mode mode) {
         if (mode == Mode::kBaseline)
-            return galoislite::pick_async_by_sampling(ds.g);
+            return galoislite::pick_async_by_sampling(ds.g());
         return ds.high_diameter; // Urand is low-diameter: bulk-sync wins
     };
     fw.bfs = [use_async](const Dataset& ds, vid_t src, Mode mode) {
-        return use_async(ds, mode) ? galoislite::bfs_async(ds.g, src)
-                                   : galoislite::bfs_sync(ds.g, src);
+        return use_async(ds, mode) ? galoislite::bfs_async(ds.g(), src)
+                                   : galoislite::bfs_sync(ds.g(), src);
     };
     fw.sssp = [use_async](const Dataset& ds, vid_t src, Mode mode) {
         return use_async(ds, mode)
-                   ? galoislite::sssp_async(ds.wg, src, ds.delta)
-                   : galoislite::sssp_sync(ds.wg, src, ds.delta);
+                   ? galoislite::sssp_async(ds.wg(), src, ds.delta)
+                   : galoislite::sssp_sync(ds.wg(), src, ds.delta);
     };
     fw.cc = [](const Dataset& ds, Mode mode) {
         const bool blocked =
-            mode == Mode::kOptimized && ds.g.is_directed() &&
+            mode == Mode::kOptimized && ds.g().is_directed() &&
             ds.distribution == graph::DegreeDistribution::kPower;
-        return blocked ? galoislite::cc_afforest_edge_blocked(ds.g)
-                       : galoislite::cc_afforest(ds.g);
+        return blocked ? galoislite::cc_afforest_edge_blocked(ds.g())
+                       : galoislite::cc_afforest(ds.g());
     };
     fw.pr = [](const Dataset& ds, Mode) {
-        return galoislite::pagerank_gauss_seidel(ds.g);
+        return galoislite::pagerank_gauss_seidel(ds.g());
     };
     fw.bc = [use_async](const Dataset& ds,
                         const std::vector<vid_t>& sources, Mode mode) {
-        return use_async(ds, mode) ? galoislite::bc_async(ds.g, sources)
-                                   : galoislite::bc_sync(ds.g, sources);
+        return use_async(ds, mode) ? galoislite::bc_async(ds.g(), sources)
+                                   : galoislite::bc_sync(ds.g(), sources);
     };
     fw.tc = [](const Dataset& ds, Mode mode) {
         if (mode == Mode::kOptimized) {
             // Relabel time excluded (paper: "we excluded the time to
             // preprocess and relabel the graph").
-            return gapref::tc_no_relabel(ds.g_relabeled);
+            return gapref::tc_no_relabel(ds.g_relabeled());
         }
-        return galoislite::tc(ds.g_undirected);
+        return galoislite::tc(ds.g_undirected());
     };
     return fw;
 }
@@ -153,23 +153,23 @@ make_nwgraph()
     Framework fw;
     fw.name = "NWGraph";
     fw.bfs = [](const Dataset& ds, vid_t src, Mode) {
-        return nwlite::bfs(nwlite::adjacency(ds.g), src);
+        return nwlite::bfs(nwlite::adjacency(ds.g()), src);
     };
     fw.sssp = [](const Dataset& ds, vid_t src, Mode) {
-        return nwlite::delta_stepping(nwlite::weighted_adjacency(ds.wg), src,
+        return nwlite::delta_stepping(nwlite::weighted_adjacency(ds.wg()), src,
                                       ds.delta);
     };
     fw.cc = [](const Dataset& ds, Mode) {
-        return nwlite::afforest(nwlite::adjacency(ds.g));
+        return nwlite::afforest(nwlite::adjacency(ds.g()));
     };
     fw.pr = [](const Dataset& ds, Mode) {
-        return nwlite::pagerank(nwlite::adjacency(ds.g));
+        return nwlite::pagerank(nwlite::adjacency(ds.g()));
     };
     fw.bc = [](const Dataset& ds, const std::vector<vid_t>& sources, Mode) {
-        return nwlite::brandes_bc(nwlite::adjacency(ds.g), sources);
+        return nwlite::brandes_bc(nwlite::adjacency(ds.g()), sources);
     };
     fw.tc = [](const Dataset& ds, Mode) {
-        return nwlite::triangle_count(nwlite::adjacency(ds.g_undirected));
+        return nwlite::triangle_count(nwlite::adjacency(ds.g_undirected()));
     };
     return fw;
 }
@@ -188,22 +188,22 @@ make_graphit()
         if (mode == Mode::kOptimized && ds.high_diameter) {
             sched.direction = graphitlite::Direction::kPush;
         }
-        return graphitlite::bfs(ds.g, src, sched);
+        return graphitlite::bfs(ds.g(), src, sched);
     };
     fw.sssp = [](const Dataset& ds, vid_t src, Mode) {
         graphitlite::Schedule sched; // bucket fusion always on
-        return graphitlite::sssp(ds.wg, src, ds.delta, sched);
+        return graphitlite::sssp(ds.wg(), src, ds.delta, sched);
     };
     fw.cc = [](const Dataset& ds, Mode mode) {
         graphitlite::Schedule sched;
         sched.short_circuit = mode == Mode::kOptimized && ds.high_diameter;
-        return graphitlite::cc_label_prop(ds.g, sched);
+        return graphitlite::cc_label_prop(ds.g(), sched);
     };
     fw.pr = [](const Dataset& ds, Mode mode) {
         graphitlite::Schedule sched;
         if (mode == Mode::kOptimized && ds.name != "Web")
             sched.num_segments = 8;
-        return graphitlite::pagerank(ds.g, 0.85, 1e-4, 100, sched);
+        return graphitlite::pagerank(ds.g(), 0.85, 1e-4, 100, sched);
     };
     fw.bc = [](const Dataset& ds, const std::vector<vid_t>& sources,
                Mode mode) {
@@ -211,10 +211,10 @@ make_graphit()
         sched.frontier = graphitlite::FrontierRep::kBitvector;
         if (mode == Mode::kOptimized && ds.high_diameter)
             sched.frontier = graphitlite::FrontierRep::kSparse;
-        return graphitlite::bc(ds.g, sources, sched);
+        return graphitlite::bc(ds.g(), sources, sched);
     };
     fw.tc = [](const Dataset& ds, Mode) {
-        return graphitlite::tc(ds.g_undirected);
+        return graphitlite::tc(ds.g_undirected());
     };
     return fw;
 }
@@ -228,18 +228,18 @@ make_gkc()
     Framework fw;
     fw.name = "GKC";
     fw.bfs = [](const Dataset& ds, vid_t src, Mode) {
-        return gkc::bfs(ds.g, src);
+        return gkc::bfs(ds.g(), src);
     };
     fw.sssp = [](const Dataset& ds, vid_t src, Mode) {
-        return gkc::sssp(ds.wg, src, ds.delta);
+        return gkc::sssp(ds.wg(), src, ds.delta);
     };
-    fw.cc = [](const Dataset& ds, Mode) { return gkc::cc_sv(ds.g); };
-    fw.pr = [](const Dataset& ds, Mode) { return gkc::pagerank(ds.g); };
+    fw.cc = [](const Dataset& ds, Mode) { return gkc::cc_sv(ds.g()); };
+    fw.pr = [](const Dataset& ds, Mode) { return gkc::pagerank(ds.g()); };
     fw.bc = [](const Dataset& ds, const std::vector<vid_t>& sources, Mode) {
-        return gkc::bc(ds.g, sources);
+        return gkc::bc(ds.g(), sources);
     };
     fw.tc = [](const Dataset& ds, Mode) {
-        return gkc::tc(ds.g_undirected);
+        return gkc::tc(ds.g_undirected());
     };
     return fw;
 }

@@ -33,12 +33,12 @@ print_table1(std::ostream& os, const DatasetSuite& suite)
     hline(os, 96);
     for (const auto& ds : suite.datasets) {
         const double degree =
-            static_cast<double>(ds->g.num_edges_directed()) /
-            ds->g.num_vertices();
+            static_cast<double>(ds->g().num_edges_directed()) /
+            ds->g().num_vertices();
         os << std::left << std::setw(9) << ds->name << std::setw(13)
-           << ds->g.num_vertices() << std::setw(13)
-           << ds->g.num_edges_directed() << std::setw(10)
-           << (ds->g.is_directed() ? "Y" : "N")
+           << ds->g().num_vertices() << std::setw(13)
+           << ds->g().num_edges_directed() << std::setw(10)
+           << (ds->g().is_directed() ? "Y" : "N")
            << std::setw(9) << std::fixed << std::setprecision(1) << degree
            << std::setw(16) << graph::to_string(ds->distribution)
            << std::setw(14) << ds->approx_diameter << "\n";
@@ -146,19 +146,95 @@ write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
                                "cannot write csv: " + path);
     }
     out << "mode,framework,kernel,graph,best_seconds,avg_seconds,trials,"
-           "verified,failure,attempts\n";
+           "verified,failure,attempts,graph_peak_bytes\n";
     for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
         for (Kernel kernel : kAllKernels) {
             for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
                 const CellResult& cell = cube.at(f, kernel, g);
+                const std::size_t peak =
+                    g < cube.graph_peak_bytes.size()
+                        ? cube.graph_peak_bytes[g]
+                        : 0;
                 out << to_string(mode) << "," << cube.framework_names[f]
                     << "," << to_string(kernel) << ","
                     << cube.graph_names[g] << "," << cell.best_seconds
                     << "," << cell.avg_seconds << "," << cell.trials << ","
                     << (cell.verified ? 1 : 0) << ","
                     << to_string(cell.failure) << "," << cell.attempts
-                    << "\n";
+                    << "," << peak << "\n";
             }
+        }
+    }
+    if (!out) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "write error on csv: " + path);
+    }
+    return support::Status::ok();
+}
+
+namespace
+{
+
+std::string
+human_bytes(std::size_t bytes)
+{
+    std::ostringstream os;
+    const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    if (mib >= 1.0)
+        os << std::fixed << std::setprecision(1) << mib << " MiB";
+    else
+        os << std::fixed << std::setprecision(1)
+           << static_cast<double>(bytes) / 1024.0 << " KiB";
+    return os.str();
+}
+
+} // namespace
+
+void
+print_memory_report(std::ostream& os, const DatasetSuite& suite)
+{
+    os << "GRAPH ARTIFACT MEMORY (owned bytes; aliases and zero-copy views "
+          "cost nothing)\n";
+    hline(os, 78);
+    os << std::left << std::setw(9) << "Graph" << std::setw(13) << "Artifact"
+       << std::setw(12) << "Resident" << std::setw(12) << "Bytes"
+       << std::setw(12) << "Build(s)" << std::setw(8) << "Builds" << "\n";
+    hline(os, 78);
+    for (const auto& ds : suite.datasets) {
+        for (const auto& art : ds->store()->artifacts()) {
+            std::ostringstream state;
+            state << (art.resident ? "yes" : "no")
+                  << (art.alias ? " (alias)" : "");
+            os << std::left << std::setw(9) << ds->name << std::setw(13)
+               << art.name << std::setw(12) << state.str() << std::setw(12)
+               << human_bytes(art.bytes) << std::setw(12) << std::fixed
+               << std::setprecision(4) << art.build_seconds << std::setw(8)
+               << art.builds << "\n";
+        }
+        const std::size_t widened = grb::lagraph::widened_grb_bytes(ds->g());
+        os << std::left << std::setw(9) << ds->name
+           << "resident " << human_bytes(ds->bytes_resident())
+           << "; widened 64-bit GraphBLAS copies would add "
+           << human_bytes(widened) << "\n";
+        hline(os, 78);
+    }
+}
+
+support::Status
+write_memory_csv(const std::string& path, const DatasetSuite& suite)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return support::Status(support::StatusCode::kInvalidInput,
+                               "cannot write csv: " + path);
+    }
+    out << "graph,artifact,resident,alias,bytes,build_seconds,builds\n";
+    for (const auto& ds : suite.datasets) {
+        for (const auto& art : ds->store()->artifacts()) {
+            out << ds->name << "," << art.name << ","
+                << (art.resident ? 1 : 0) << "," << (art.alias ? 1 : 0)
+                << "," << art.bytes << "," << art.build_seconds << ","
+                << art.builds << "\n";
         }
     }
     if (!out) {

@@ -1,0 +1,199 @@
+#include "gm/store/graph_store.hh"
+
+#include <utility>
+
+#include "gm/graph/builder.hh"
+#include "gm/support/timer.hh"
+
+namespace gm::store
+{
+
+namespace
+{
+
+/** Symmetrize a directed graph for TC (GAP runs TC on undirected inputs). */
+graph::CSRGraph
+symmetrized(const graph::CSRGraph& g)
+{
+    graph::EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(g.num_edges_directed()));
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t u : g.out_neigh(v))
+            edges.push_back({v, u});
+    return graph::build_graph(edges, g.num_vertices(), false);
+}
+
+std::size_t
+owned_bytes(const graph::CSRGraph& g)
+{
+    return g.bytes_resident();
+}
+
+std::size_t
+owned_bytes(const graph::WCSRGraph& g)
+{
+    return g.bytes_resident();
+}
+
+std::size_t
+owned_bytes(const grb::lagraph::GrbGraph& gg)
+{
+    return gg.bytes_owned();
+}
+
+} // namespace
+
+GraphStore::GraphStore(graph::CSRGraph base, std::uint64_t weight_seed)
+    : base_(std::make_shared<const graph::CSRGraph>(std::move(base))),
+      weight_seed_(weight_seed)
+{
+}
+
+/**
+ * Memoized acquisition: fast path under the state lock, then the slot's
+ * build mutex serializes the (potentially expensive) build so it happens
+ * exactly once per residency.  Builders may acquire *other* slots through
+ * the public getters — the dependency graph (grb_weighted -> weighted,
+ * relabeled -> undirected) is acyclic, and no build lock is held while
+ * taking the state lock the dependency needs.
+ */
+template <typename T, typename Build>
+std::shared_ptr<const T>
+GraphStore::acquire(Slot<T>& slot, Build&& build) const
+{
+    {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (slot.value)
+            return slot.value;
+    }
+    std::lock_guard<std::mutex> build_lock(slot.build_mu);
+    {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        if (slot.value) // built while we waited for the build lock
+            return slot.value;
+    }
+    Timer timer;
+    timer.start();
+    auto built = std::make_shared<const T>(build());
+    timer.stop();
+    const std::size_t bytes = owned_bytes(*built);
+    {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        slot.value = built;
+        slot.bytes = bytes;
+        slot.build_seconds = timer.seconds();
+        ++slot.builds;
+    }
+    return built;
+}
+
+std::shared_ptr<const graph::WCSRGraph>
+GraphStore::weighted() const
+{
+    return acquire(weighted_,
+                   [&] { return graph::add_weights(*base_, weight_seed_); });
+}
+
+std::shared_ptr<const graph::CSRGraph>
+GraphStore::undirected() const
+{
+    if (!base_->is_directed())
+        return base_; // alias: undirected graphs are their own symmetrization
+    return acquire(undirected_, [&] { return symmetrized(*base_); });
+}
+
+std::shared_ptr<const graph::CSRGraph>
+GraphStore::relabeled() const
+{
+    auto und = undirected(); // dependency first, outside any build lock
+    return acquire(relabeled_,
+                   [&] { return graph::relabel_by_degree(*und); });
+}
+
+std::shared_ptr<const grb::lagraph::GrbGraph>
+GraphStore::grb() const
+{
+    return acquire(grb_, [&] { return grb::lagraph::make_grb_graph(base_); });
+}
+
+std::shared_ptr<const grb::lagraph::GrbGraph>
+GraphStore::grb_weighted() const
+{
+    auto wg = weighted();
+    auto pattern = grb();
+    return acquire(grb_weighted_, [&] {
+        grb::lagraph::GrbGraph gg = *pattern; // shares A/AT views
+        grb::lagraph::attach_weights(gg, wg);
+        return gg;
+    });
+}
+
+void
+GraphStore::evict_derived()
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    weighted_.value.reset();
+    undirected_.value.reset();
+    relabeled_.value.reset();
+    grb_.value.reset();
+    grb_weighted_.value.reset();
+}
+
+std::size_t
+GraphStore::bytes_resident() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    std::size_t total = base_->bytes_resident();
+    const auto add = [&](const auto& slot) {
+        if (slot.value)
+            total += slot.bytes;
+    };
+    add(weighted_);
+    add(undirected_);
+    add(relabeled_);
+    add(grb_);
+    add(grb_weighted_);
+    return total;
+}
+
+template <typename T>
+ArtifactInfo
+GraphStore::info(const char* name, const Slot<T>& slot) const
+{
+    // Caller holds state_mu_.
+    ArtifactInfo row;
+    row.name = name;
+    row.resident = slot.value != nullptr;
+    row.bytes = slot.bytes;
+    row.build_seconds = slot.build_seconds;
+    row.builds = slot.builds;
+    return row;
+}
+
+std::vector<ArtifactInfo>
+GraphStore::artifacts() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    std::vector<ArtifactInfo> rows;
+    ArtifactInfo base_row;
+    base_row.name = "base";
+    base_row.resident = true;
+    base_row.bytes = base_->bytes_resident();
+    rows.push_back(std::move(base_row));
+    rows.push_back(info("weighted", weighted_));
+    if (base_->is_directed()) {
+        rows.push_back(info("undirected", undirected_));
+    } else {
+        ArtifactInfo row;
+        row.name = "undirected";
+        row.resident = true;
+        row.alias = true; // shares the base graph's buffers
+        rows.push_back(std::move(row));
+    }
+    rows.push_back(info("relabeled", relabeled_));
+    rows.push_back(info("grb", grb_));
+    rows.push_back(info("grb+weights", grb_weighted_));
+    return rows;
+}
+
+} // namespace gm::store

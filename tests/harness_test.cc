@@ -40,17 +40,17 @@ TEST(DatasetTest, TopologyClassesMatchTableOne)
 {
     const DatasetSuite& suite = small_suite();
     // Road: directed, bounded degree, high diameter.
-    EXPECT_TRUE(suite[0].g.is_directed());
+    EXPECT_TRUE(suite[0].g().is_directed());
     EXPECT_EQ(suite[0].distribution, graph::DegreeDistribution::kBounded);
     EXPECT_TRUE(suite[0].high_diameter);
     // Twitter / Web: directed power-law.
-    EXPECT_TRUE(suite[1].g.is_directed());
+    EXPECT_TRUE(suite[1].g().is_directed());
     EXPECT_EQ(suite[1].distribution, graph::DegreeDistribution::kPower);
-    EXPECT_TRUE(suite[2].g.is_directed());
+    EXPECT_TRUE(suite[2].g().is_directed());
     // Kron: undirected power-law; Urand: undirected normal.
-    EXPECT_FALSE(suite[3].g.is_directed());
+    EXPECT_FALSE(suite[3].g().is_directed());
     EXPECT_EQ(suite[3].distribution, graph::DegreeDistribution::kPower);
-    EXPECT_FALSE(suite[4].g.is_directed());
+    EXPECT_FALSE(suite[4].g().is_directed());
     EXPECT_EQ(suite[4].distribution, graph::DegreeDistribution::kNormal);
     EXPECT_FALSE(suite[4].high_diameter);
 }
@@ -58,15 +58,15 @@ TEST(DatasetTest, TopologyClassesMatchTableOne)
 TEST(DatasetTest, DerivedFormsAreConsistent)
 {
     for (const auto& ds : small_suite().datasets) {
-        EXPECT_EQ(ds->wg.num_vertices(), ds->g.num_vertices());
-        EXPECT_EQ(ds->wg.num_edges_directed(), ds->g.num_edges_directed());
-        EXPECT_FALSE(ds->g_undirected.is_directed());
-        EXPECT_EQ(ds->g_undirected.num_vertices(), ds->g.num_vertices());
-        EXPECT_EQ(ds->grb.n, ds->g.num_vertices());
-        EXPECT_EQ(ds->grb.A.nvals(), ds->g.num_edges_directed());
+        EXPECT_EQ(ds->wg().num_vertices(), ds->g().num_vertices());
+        EXPECT_EQ(ds->wg().num_edges_directed(), ds->g().num_edges_directed());
+        EXPECT_FALSE(ds->g_undirected().is_directed());
+        EXPECT_EQ(ds->g_undirected().num_vertices(), ds->g().num_vertices());
+        EXPECT_EQ(ds->grb().n, ds->g().num_vertices());
+        EXPECT_EQ(ds->grb().A.nvals(), ds->g().num_edges_directed());
         EXPECT_FALSE(ds->sources.empty());
         for (vid_t s : ds->sources)
-            EXPECT_GT(ds->g.out_degree(s), 0);
+            EXPECT_GT(ds->g().out_degree(s), 0);
     }
 }
 

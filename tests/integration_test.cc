@@ -68,7 +68,7 @@ TEST(Integration, SsspResultIndependentOfDeltaAcrossFrameworks)
     harness::Dataset ds = harness::make_dataset("road", g, 8, 5);
     const auto frameworks = harness::make_frameworks();
     const vid_t src = ds.sources[0];
-    const auto oracle = gapref::serial_dijkstra(ds.wg, src);
+    const auto oracle = gapref::serial_dijkstra(ds.wg(), src);
     for (weight_t delta : {1, 16, 256}) {
         for (const auto& fw : frameworks) {
             harness::Dataset tuned = ds;

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 verification plus an AddressSanitizer pass over
+# the graph-store and GraphBLAS tests (the code most exposed to the
+# zero-copy view lifetimes introduced by the GraphStore refactor).
+#
+#   tools/ci.sh              # from the repo root
+#   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
+#
+# Exits non-zero on the first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier 1: configure + build + full test suite =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier 2: AddressSanitizer build of the store/view tests =="
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DGM_SANITIZE=address
+cmake --build "$ASAN_DIR" -j "$JOBS" \
+    --target store_test grb_test grb_ops_edge_test converter_test
+"$ASAN_DIR/tests/store_test"
+"$ASAN_DIR/tests/grb_test"
+"$ASAN_DIR/tests/grb_ops_edge_test"
+"$ASAN_DIR/tests/converter_test"
+
+echo "== ci.sh: all green =="

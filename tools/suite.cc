@@ -40,6 +40,8 @@ usage()
         << "  --checkpoint <file>      append finished cells as JSONL\n"
         << "  --resume <file>          skip cells recorded in this JSONL\n"
         << "  --csv-prefix <path>      CSV output prefix (default results)\n"
+        << "  --no-evict               keep every graph's derived forms\n"
+        << "                           resident (default: evict per graph)\n"
         << "  -h, --help               this help\n"
         << "exit codes: 0 ok, 1 usage, 2 invalid input, 3 kernel error,\n"
         << "            4 timeout, 5 wrong result, 6 injected fault\n";
@@ -94,6 +96,9 @@ main(int argc, char** argv)
     harness::RunOptions opts;
     opts.trials = 2;
     opts.verify = true;
+    // Stream one graph's artifacts at a time: a 30-cell sweep holds at
+    // most one graph's derived forms, not five graphs' worth.
+    opts.evict_per_graph = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -119,6 +124,8 @@ main(int argc, char** argv)
             opts.trials = std::atoi(v);
         } else if (arg == "--no-verify") {
             opts.verify = false;
+        } else if (arg == "--no-evict") {
+            opts.evict_per_graph = false;
         } else if (arg == "--trial-timeout-ms") {
             const char* v = next_value();
             if (v == nullptr)
@@ -177,8 +184,31 @@ main(int argc, char** argv)
     };
     dump_csv(baseline, harness::Mode::kBaseline);
     dump_csv(optimized, harness::Mode::kOptimized);
+
+    std::cout << "\n";
+    harness::print_memory_report(std::cout, suite);
+    const std::string memory_csv = csv_prefix + "_memory.csv";
+    if (auto s = harness::write_memory_csv(memory_csv, suite); !s.is_ok())
+        std::cerr << s.to_string() << "\n";
+
+    std::size_t peak = 0;
+    std::string peak_graph = "-";
+    auto fold_peak = [&](const harness::ResultsCube& cube) {
+        for (std::size_t g = 0; g < cube.graph_peak_bytes.size(); ++g) {
+            if (cube.graph_peak_bytes[g] > peak) {
+                peak = cube.graph_peak_bytes[g];
+                peak_graph = cube.graph_names[g];
+            }
+        }
+    };
+    fold_peak(baseline);
+    fold_peak(optimized);
     std::cout << "\n(scale 2^" << scale << ", " << opts.trials
-              << " trials/cell, full sweep " << timer.seconds() << " s)\n";
+              << " trials/cell, full sweep " << timer.seconds() << " s; "
+              << (opts.evict_per_graph ? "per-graph eviction on"
+                                       : "eviction off")
+              << ", peak graph footprint " << peak << " bytes on "
+              << peak_graph << ")\n";
 
     const int base_code = worst_exit_code(baseline);
     const int opt_code = worst_exit_code(optimized);
