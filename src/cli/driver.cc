@@ -8,6 +8,7 @@
 #include "gm/graph/generators.hh"
 #include "gm/graph/io.hh"
 #include "gm/harness/runner.hh"
+#include "gm/obs/metrics.hh"
 #include "gm/support/status.hh"
 #include "gm/support/timer.hh"
 
@@ -154,9 +155,12 @@ run_kernel(harness::Kernel kernel, const Options& opts)
     run_opts.verify = opts.verify;
     run_opts.trial_timeout_ms = opts.trial_timeout_ms;
     run_opts.max_attempts = opts.max_attempts;
+    run_opts.trace_dir = opts.trace_dir;
+    run_opts.metrics_path = opts.metrics_path;
     double total = 0;
     bool all_verified = true;
     harness::FailureKind failure = harness::FailureKind::kNone;
+    obs::TrialMetrics last_metrics;
     for (int trial = 0; trial < opts.trials; ++trial) {
         // Rotate sources by rotating the dataset's source list.
         std::rotate(ds.sources.begin(), ds.sources.begin() + 1,
@@ -177,10 +181,21 @@ run_kernel(harness::Kernel kernel, const Options& opts)
                   << cell.avg_seconds << "\n";
         total += cell.avg_seconds;
         all_verified &= cell.verified;
+        last_metrics = cell.metrics;
     }
     if (failure != harness::FailureKind::kNone)
         return exit_code_for(failure);
     std::cout << "Average Time: " << total / opts.trials << "\n";
+    if (!last_metrics.empty()) {
+        std::cout << "Workload:     iterations="
+                  << last_metrics.counter_or("iterations")
+                  << " edges_traversed="
+                  << last_metrics.counter_or("edges_traversed")
+                  << " frontier_peak="
+                  << last_metrics.counter_or("frontier_peak")
+                  << " parallel_efficiency=" << std::setprecision(3)
+                  << last_metrics.parallel_efficiency << "\n";
+    }
     // Only the forms this kernel touched were ever built (lazy store).
     std::cout << "Graph Memory: " << ds.bytes_resident()
               << " bytes of graph artifacts resident\n";

@@ -51,6 +51,10 @@ struct Options
     // single cell and intentionally do not expose them.
     int trial_timeout_ms = 0;      ///< watchdog deadline; 0 = unsupervised
     int max_attempts = 2;          ///< retry budget for transient failures
+
+    // Profiling (gm::obs).
+    std::string trace_dir;    ///< --trace-out: Chrome trace dir, "" = off
+    std::string metrics_path; ///< --metrics-out: per-trial JSONL, "" = off
 };
 
 /**

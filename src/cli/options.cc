@@ -36,6 +36,11 @@ print_usage(const std::string& kernel_name)
         << "                           (0 = unsupervised, default)\n"
         << "  --max-attempts <n>       attempts per trial for transient\n"
         << "                           failures (default 2)\n"
+        << "profiling:\n"
+        << "  --trace-out <dir>        write one Chrome trace_event JSON\n"
+        << "                           file per cell into <dir>\n"
+        << "  --metrics-out <path>     append one metrics JSONL record\n"
+        << "                           per trial to <path>\n"
         << "  -h           this help\n"
         << "(checkpoint/resume are full-sweep features; see tools/suite\n"
         << " --checkpoint/--resume)\n"
@@ -133,6 +138,16 @@ parse_options(int argc, char** argv, const std::string& kernel_name)
             if (value == nullptr)
                 return std::nullopt;
             opts.max_attempts = std::atoi(value);
+        } else if (arg == "--trace-out") {
+            const char* value = next_value("--trace-out");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.trace_dir = value;
+        } else if (arg == "--metrics-out") {
+            const char* value = next_value("--metrics-out");
+            if (value == nullptr)
+                return std::nullopt;
+            opts.metrics_path = value;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             print_usage(kernel_name);

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "gm/obs/trace.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
 #include "gm/support/fault_injector.hh"
@@ -84,12 +85,14 @@ class AsyncContext
   public:
     AsyncContext(std::vector<T>& out, std::size_t flush_threshold,
                  std::mutex& mutex, std::deque<std::vector<T>>& shared,
-                 std::condition_variable& cv)
+                 std::condition_variable& cv,
+                 std::uint64_t* push_tally = nullptr)
         : out_(out),
           flush_threshold_(flush_threshold),
           mutex_(mutex),
           shared_(shared),
-          cv_(cv)
+          cv_(cv),
+          push_tally_(push_tally)
     {
     }
 
@@ -97,6 +100,8 @@ class AsyncContext
     void
     push(const T& item)
     {
+        if (push_tally_ != nullptr)
+            ++*push_tally_;
         out_.push_back(item);
         if (out_.size() >= flush_threshold_)
             flush();
@@ -123,6 +128,7 @@ class AsyncContext
     std::mutex& mutex_;
     std::deque<std::vector<T>>& shared_;
     std::condition_variable& cv_;
+    std::uint64_t* push_tally_;
 };
 
 /**
@@ -157,9 +163,24 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
 
     const int lanes = par::effective_lanes();
     par::parallel_lanes([&](int, int) {
+        // Per-lane workload tallies, flushed into the trace session (if
+        // any) when the lane exits — including the early-return abort
+        // paths, hence the RAII guard.
+        struct Tally
+        {
+            std::uint64_t pushes = 0;
+            std::uint64_t pops = 0;
+
+            ~Tally()
+            {
+                obs::counter_add("worklist.pushes", pushes);
+                obs::counter_add("worklist.pops", pops);
+            }
+        } tally;
         std::vector<T> local;
         std::vector<T> out;
-        AsyncContext<T> ctx(out, chunk_size, mutex, shared, cv);
+        AsyncContext<T> ctx(out, chunk_size, mutex, shared, cv,
+                            &tally.pushes);
         auto abort_with = [&](int reason) {
             abort_reason.store(reason, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(mutex);
@@ -210,6 +231,7 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
                     }
                 }
             }
+            tally.pops += local.size();
             for (const T& item : local)
                 op(item, ctx);
             local.clear();

@@ -9,6 +9,7 @@
 #include "gm/galoislite/worklist.hh"
 #include "gm/graph/builder.hh"
 #include "gm/graph/stats.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
@@ -44,11 +45,14 @@ bfs_sync(const CSRGraph& g, vid_t source)
     vid_t level = 0;
 
     while (!frontier.empty()) {
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(frontier.size()));
         std::int64_t frontier_edges = 0;
         for (vid_t u : frontier)
             frontier_edges += g.out_degree(u);
 
         if (frontier_edges > edges_to_check / 15) {
+            obs::counter_add("bfs.switches", 1);
             // Bottom-up sweep(s) until the frontier thins out again.
             front_bm.reset();
             for (vid_t u : frontier)
@@ -81,6 +85,8 @@ bfs_sync(const CSRGraph& g, vid_t source)
                         [](std::int64_t a, std::int64_t b) { return a + b; }));
                 front_bm.swap(next_bm);
                 ++level;
+                obs::counter_add("iterations", 1);
+                obs::counter_add("bfs.bu_steps", 1);
             } while (awake >= old_awake ||
                      awake > static_cast<std::size_t>(n) / 18);
             frontier.clear();
@@ -108,6 +114,10 @@ bfs_sync(const CSRGraph& g, vid_t source)
         });
         frontier = next_bag.take_all();
         ++level;
+        obs::counter_add("iterations", 1);
+        obs::counter_add("bfs.td_steps", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(frontier_edges));
     }
     return parent;
 }
@@ -451,6 +461,10 @@ pagerank_gauss_seidel(const CSRGraph& g, double damping, double tolerance,
                 return std::fabs(next - old);
             },
             [](double a, double b) { return a + b; });
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(
+                             g.num_edges_directed()));
         if (error < tolerance)
             break;
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/parallel_for.hh"
 #include "gm/support/bitmap.hh"
@@ -135,6 +136,7 @@ bfs(const CSRGraph& g, vid_t source, int alpha, int beta)
     while (!queue.empty()) {
         if (scout_count > edges_to_check / alpha) {
             // Switch to bottom-up until the frontier shrinks again.
+            obs::counter_add("bfs.switches", 1);
             queue_to_bitmap(queue, front);
             std::int64_t awake_count = queue.size();
             std::int64_t old_awake_count;
@@ -143,15 +145,26 @@ bfs(const CSRGraph& g, vid_t source, int alpha, int beta)
                 curr.reset();
                 awake_count = bu_step(g, parent, front, curr);
                 front.swap(curr);
+                obs::counter_add("iterations", 1);
+                obs::counter_add("bfs.bu_steps", 1);
+                obs::counter_max("frontier_peak",
+                                 static_cast<std::uint64_t>(awake_count));
             } while (awake_count >= old_awake_count ||
                      awake_count > n / beta);
             queue.reset();
             bitmap_to_queue(g, front, queue);
             scout_count = 1;
         } else {
+            obs::counter_max("frontier_peak",
+                             static_cast<std::uint64_t>(queue.size()));
             edges_to_check -= scout_count;
             scout_count = td_step(g, parent, queue);
             queue.slide_window();
+            obs::counter_add("iterations", 1);
+            obs::counter_add("bfs.td_steps", 1);
+            obs::counter_add("edges_traversed",
+                             static_cast<std::uint64_t>(
+                                 scout_count > 0 ? scout_count : 0));
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/parallel_for.hh"
 
@@ -35,6 +36,10 @@ pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters)
             },
             [](double a, double b) { return a + b; });
 
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(
+                             g.num_edges_directed()));
         if (error < tolerance)
             break;
     }
@@ -72,6 +77,10 @@ pagerank_gauss_seidel(const CSRGraph& g, double damping, double tolerance,
                 return std::fabs(next - old);
             },
             [](double a, double b) { return a + b; });
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(
+                             g.num_edges_directed()));
         if (error < tolerance)
             break;
     }

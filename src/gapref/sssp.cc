@@ -4,6 +4,7 @@
 #include <atomic>
 #include <limits>
 
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
@@ -41,14 +42,21 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;
         std::size_t iter = 0;
+        // Local workload tallies; flushed into the session (if any) once
+        // the lane finishes, so the hot loop stays branch-free.
+        std::uint64_t edges_scanned = 0;
+        std::uint64_t relaxations = 0;
+        std::uint64_t fused_drains = 0;
 
         auto relax_edges = [&](vid_t u) {
             for (const graph::WNode& wn : g.out_neigh(u)) {
+                ++edges_scanned;
                 weight_t old_dist = par::atomic_load(dist[wn.v]);
                 const weight_t new_dist = dist[u] + wn.w;
                 while (new_dist < old_dist) {
                     if (par::compare_and_swap(dist[wn.v], old_dist,
                                               new_dist)) {
+                        ++relaxations;
                         const std::size_t dest_bin =
                             static_cast<std::size_t>(new_dist / delta);
                         if (dest_bin >= local_bins.size())
@@ -83,6 +91,7 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
             while (curr_bin_index < local_bins.size() &&
                    !local_bins[curr_bin_index].empty() &&
                    local_bins[curr_bin_index].size() < kBinSizeThreshold) {
+                ++fused_drains;
                 std::vector<vid_t> curr_bin_copy;
                 curr_bin_copy.swap(local_bins[curr_bin_index]);
                 for (vid_t u : curr_bin_copy)
@@ -127,6 +136,15 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
             }
             barrier.wait();
             ++iter;
+        }
+
+        obs::counter_add("edges_traversed", edges_scanned);
+        obs::counter_add("sssp.relaxations", relaxations);
+        obs::counter_add("sssp.fused_drains", fused_drains);
+        if (lane == 0) {
+            // One bucket round per iteration of the shared while loop.
+            obs::counter_add("iterations",
+                             static_cast<std::uint64_t>(iter));
         }
     });
 

@@ -8,6 +8,7 @@
 #include "gm/gkc/local_buffer.hh"
 #include "gm/graph/builder.hh"
 #include "gm/graph/stats.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
@@ -40,12 +41,15 @@ bfs(const CSRGraph& g, vid_t source)
     vid_t level = 0;
 
     while (curr_size > 0) {
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(curr_size));
         std::int64_t frontier_edges = 0;
         for (std::size_t i = 0; i < curr_size; ++i)
             frontier_edges += g.out_degree(curr[i]);
 
         if (frontier_edges > edges_to_check / 15) {
             // Bottom-up phase.
+            obs::counter_add("bfs.switches", 1);
             front_bm.reset();
             for (std::size_t i = 0; i < curr_size; ++i)
                 front_bm.set_bit(static_cast<std::size_t>(curr[i]));
@@ -100,6 +104,10 @@ bfs(const CSRGraph& g, vid_t source)
                         [](std::int64_t a, std::int64_t b) { return a + b; }));
                 front_bm.swap(next_bm);
                 ++level;
+                obs::counter_add("iterations", 1);
+                obs::counter_add("bfs.bu_steps", 1);
+                obs::counter_max("frontier_peak",
+                                 static_cast<std::uint64_t>(awake));
             } while (awake >= old_awake ||
                      awake > static_cast<std::size_t>(n) / 18);
             curr_size = 0;
@@ -130,6 +138,10 @@ bfs(const CSRGraph& g, vid_t source)
         curr.swap(next);
         curr_size = next_cursor;
         ++level;
+        obs::counter_add("iterations", 1);
+        obs::counter_add("bfs.td_steps", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(frontier_edges));
     }
     return parent;
 }
@@ -155,14 +167,18 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;
         std::size_t iter = 0;
+        std::uint64_t edges_scanned = 0;
+        std::uint64_t relaxations = 0;
 
         auto relax = [&](vid_t u) {
             for (const graph::WNode& wn : g.out_neigh(u)) {
+                ++edges_scanned;
                 weight_t old_dist = par::atomic_load(dist[wn.v]);
                 const weight_t new_dist = dist[u] + wn.w;
                 while (new_dist < old_dist) {
                     if (par::compare_and_swap(dist[wn.v], old_dist,
                                               new_dist)) {
+                        ++relaxations;
                         const std::size_t b =
                             static_cast<std::size_t>(new_dist / delta);
                         if (b >= local_bins.size())
@@ -220,6 +236,14 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
             }
             barrier.wait();
             ++iter;
+        }
+        obs::counter_add("edges_traversed", edges_scanned);
+        obs::counter_add("sssp.relaxations", relaxations);
+        if (lane == 0) {
+            obs::counter_add("iterations",
+                             static_cast<std::uint64_t>(iter));
+            obs::counter_add("sssp.buckets",
+                             static_cast<std::uint64_t>(iter));
         }
     });
     return dist;
@@ -293,6 +317,10 @@ pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters)
     }, par::Schedule::kStatic);
 
     for (int iter = 0; iter < max_iters; ++iter) {
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(
+                             g.num_edges_directed()));
         const double error = par::parallel_reduce<vid_t, double>(
             0, n, 0.0,
             [&](vid_t v) {

@@ -16,6 +16,7 @@
 #include "gm/graph/csr.hh"
 #include "gm/graphitlite/schedule.hh"
 #include "gm/graphitlite/vertex_subset.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/parallel_for.hh"
 
 namespace gm::graphitlite
@@ -51,6 +52,12 @@ edgeset_apply(const graph::CSRGraph& g, VertexSubset& frontier,
     bool use_pull = sched.direction == Direction::kPull;
     if (sched.direction == Direction::kDirOpt)
         use_pull = frontier.size() > static_cast<std::size_t>(n) / 20;
+
+    obs::counter_add("iterations", 1);
+    obs::counter_add(use_pull ? "edgeset.pull_steps" : "edgeset.push_steps",
+                     1);
+    obs::counter_max("frontier_peak",
+                     static_cast<std::uint64_t>(frontier.size()));
 
     if (use_pull) {
         // Pull: every candidate vertex scans its in-edges for frontier

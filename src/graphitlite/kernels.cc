@@ -10,6 +10,7 @@
 #include "gm/graph/stats.hh"
 #include "gm/graphitlite/edgeset_apply.hh"
 #include "gm/graphitlite/vertex_subset.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/barrier.hh"
 #include "gm/par/parallel_for.hh"
@@ -259,6 +260,10 @@ pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters,
 
     std::vector<score_t> incoming(static_cast<std::size_t>(n));
     for (int iter = 0; iter < max_iters; ++iter) {
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(
+                             g.num_edges_directed()));
         par::parallel_for<vid_t>(0, n, [&](vid_t v) {
             const eid_t d = g.out_degree(v);
             contrib[v] = d > 0 ? scores[v] / d : 0;

@@ -14,6 +14,7 @@
 #include "gm/grb/matrix.hh"
 #include "gm/grb/semiring.hh"
 #include "gm/grb/vector.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/parallel_for.hh"
 
 namespace gm::grb
@@ -59,6 +60,7 @@ vxm_push(Vector<typename SR::Out>& w, const Vector<MV>* mask,
          bool mask_complement, const Vector<UV>& u, const Matrix<AV, ACI>& A)
 {
     using Out = typename SR::Out;
+    obs::ScopedSpan span("grb.vxm_push");
     GM_ASSERT(u.rep() == Rep::kSparse, "vxm_push requires a sparse input");
     w.clear_values(SR::identity());
     w.mark_bitmap();
@@ -110,6 +112,7 @@ mxv_pull(Vector<typename SR::Out>& w, const Vector<MV>* mask,
          bool mask_complement, const Matrix<AV, ACI>& AT, const Vector<UV>& u)
 {
     using Out = typename SR::Out;
+    obs::ScopedSpan span("grb.mxv_pull");
     GM_ASSERT(u.rep() != Rep::kSparse, "mxv_pull wants bitmap/dense input");
     w.clear_values(SR::identity());
     w.mark_bitmap();
@@ -157,6 +160,7 @@ template <typename T, typename MV>
 void
 assign_masked(Vector<T>& w, const Vector<MV>& mask, const Vector<T>& u)
 {
+    obs::ScopedSpan span("grb.assign_masked");
     if (mask.rep() == Rep::kSparse) {
         for (Index i : mask.indices())
             w.set(i, u.get(i));
@@ -173,6 +177,7 @@ typename SR::Out
 reduce(const Vector<T>& u)
 {
     using Out = typename SR::Out;
+    obs::ScopedSpan span("grb.reduce");
     Out acc = SR::identity();
     if (u.rep() == Rep::kDense) {
         return par::parallel_reduce<Index, Out>(
@@ -197,6 +202,7 @@ template <typename T, typename CI>
 Matrix<T, CI>
 tril(const Matrix<T, CI>& A)
 {
+    obs::ScopedSpan span("grb.tril");
     const auto a_row_ptr = A.row_ptr();
     const auto a_col_idx = A.col_idx();
     const auto a_values = A.values();
@@ -228,6 +234,7 @@ template <typename T, typename CI>
 Matrix<T, CI>
 triu(const Matrix<T, CI>& A)
 {
+    obs::ScopedSpan span("grb.triu");
     const auto a_row_ptr = A.row_ptr();
     const auto a_col_idx = A.col_idx();
     const auto a_values = A.values();
@@ -261,6 +268,7 @@ template <typename T, typename CI>
 Matrix<std::int64_t, CI>
 mxm_masked_plus_pair(const Matrix<T, CI>& L, const Matrix<T, CI>& U)
 {
+    obs::ScopedSpan span("grb.mxm_masked_plus_pair");
     const auto l_row_ptr = L.row_ptr();
     const auto l_col_idx = L.col_idx();
     const auto u_row_ptr = U.row_ptr();
@@ -310,6 +318,7 @@ template <typename T, typename CI>
 T
 reduce_matrix(const Matrix<T, CI>& A)
 {
+    obs::ScopedSpan span("grb.reduce_matrix");
     const auto values = A.values();
     return par::parallel_reduce<std::size_t, T>(
         0, values.size(), T{0}, [&](std::size_t i) { return values[i]; },

@@ -78,6 +78,9 @@ bfs_parent(const GrbGraph& gg, vid_t source)
     const auto deg_ptr = gg.A.row_ptr();
 
     while (q.nvals() > 0) {
+        obs::counter_add("iterations", 1);
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(q.nvals()));
         // LAGraph-style direction heuristic: pull when the frontier is a
         // sizable fraction of the graph, push otherwise.
         bool use_pull;
@@ -88,14 +91,18 @@ bfs_parent(const GrbGraph& gg, vid_t source)
                                   deg_ptr[static_cast<std::size_t>(i)];
             use_pull = frontier_edges > edges_unexplored / 8;
             edges_unexplored -= frontier_edges;
+            obs::counter_add("edges_traversed",
+                             static_cast<std::uint64_t>(frontier_edges));
         } else {
             use_pull = q.nvals() > n / 16;
         }
 
         if (use_pull) {
+            obs::counter_add("bfs.pull_steps", 1);
             q.convert(Rep::kBitmap); // conversion cost is part of the run
             mxv_pull<AnySecondi>(w, &pi, /*mask_complement=*/true, gg.AT, q);
         } else {
+            obs::counter_add("bfs.push_steps", 1);
             q.convert(Rep::kSparse); // O(n) scan when coming from bitmap
             vxm_push<AnySecondi>(w, &pi, /*mask_complement=*/true, q, gg.A);
         }
@@ -149,9 +156,13 @@ sssp(const GrbGraph& gg, vid_t source, weight_t delta)
             k = next_bucket;
             continue;
         }
+        obs::counter_add("sssp.buckets", 1);
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(s.nvals()));
 
         // Inner relaxation loop: settle bucket k.
         while (s.nvals() > 0) {
+            obs::counter_add("iterations", 1);
             vxm_push<MinPlus>(req, static_cast<const Vector<std::int32_t>*>(
                                        nullptr),
                               false, s, gg.WA);
@@ -214,6 +225,9 @@ pagerank(const GrbGraph& gg, double damping, double tolerance, int max_iters)
                 return delta;
             },
             [](double a, double b) { return a + b; });
+        obs::counter_add("iterations", 1);
+        obs::counter_add("edges_traversed",
+                         static_cast<std::uint64_t>(gg.A.nvals()));
         if (err < tolerance)
             break;
     }

@@ -1,13 +1,13 @@
 #include "gm/harness/checkpoint.hh"
 
-#include <cctype>
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "gm/obs/metrics.hh"
+#include "gm/support/json.hh"
 #include "gm/support/log.hh"
 
 namespace gm::harness
@@ -19,213 +19,8 @@ namespace
 using support::Status;
 using support::StatusCode;
 using support::StatusOr;
-
-/** JSON-escape a string value (quotes, backslashes, control chars). */
-std::string
-json_escape(const std::string& s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c) & 0xff);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/** Round-trippable double formatting (17 significant digits). */
-std::string
-format_double(double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-/**
- * Minimal parser for the flat JSON objects checkpoint_line() emits: one
- * level of {"key": value} where value is a string, number, or bool.  Not a
- * general JSON parser — torn or foreign lines simply fail to parse, which
- * is exactly what the loader wants.
- */
-class FlatJsonParser
-{
-  public:
-    explicit FlatJsonParser(const std::string& text) : text_(text) {}
-
-    Status
-    parse(std::map<std::string, std::string>& fields)
-    {
-        skip_ws();
-        if (!eat('{'))
-            return corrupt("expected '{'");
-        skip_ws();
-        if (eat('}'))
-            return finish(fields);
-        for (;;) {
-            std::string key;
-            if (Status s = parse_string(key); !s.is_ok())
-                return s;
-            skip_ws();
-            if (!eat(':'))
-                return corrupt("expected ':'");
-            skip_ws();
-            std::string value;
-            if (Status s = parse_value(value); !s.is_ok())
-                return s;
-            fields_[key] = value;
-            skip_ws();
-            if (eat(',')) {
-                skip_ws();
-                continue;
-            }
-            if (eat('}'))
-                return finish(fields);
-            return corrupt("expected ',' or '}'");
-        }
-    }
-
-  private:
-    Status
-    finish(std::map<std::string, std::string>& fields)
-    {
-        skip_ws();
-        if (pos_ != text_.size())
-            return corrupt("trailing garbage after object");
-        fields = std::move(fields_);
-        return Status::ok();
-    }
-
-    Status
-    corrupt(const std::string& what)
-    {
-        return Status(StatusCode::kCorruptData,
-                      "checkpoint line: " + what);
-    }
-
-    void
-    skip_ws()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    eat(char c)
-    {
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    Status
-    parse_string(std::string& out)
-    {
-        if (!eat('"'))
-            return corrupt("expected '\"'");
-        out.clear();
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return Status::ok();
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    break;
-                char esc = text_[pos_++];
-                switch (esc) {
-                  case '"':
-                    out += '"';
-                    break;
-                  case '\\':
-                    out += '\\';
-                    break;
-                  case 'n':
-                    out += '\n';
-                    break;
-                  case 'r':
-                    out += '\r';
-                    break;
-                  case 't':
-                    out += '\t';
-                    break;
-                  case 'u': {
-                      if (pos_ + 4 > text_.size())
-                          return corrupt("truncated \\u escape");
-                      unsigned code = 0;
-                      for (int i = 0; i < 4; ++i) {
-                          char h = text_[pos_++];
-                          code <<= 4;
-                          if (h >= '0' && h <= '9')
-                              code |= static_cast<unsigned>(h - '0');
-                          else if (h >= 'a' && h <= 'f')
-                              code |= static_cast<unsigned>(h - 'a' + 10);
-                          else if (h >= 'A' && h <= 'F')
-                              code |= static_cast<unsigned>(h - 'A' + 10);
-                          else
-                              return corrupt("bad \\u escape");
-                      }
-                      // We only ever emit \u00xx for control bytes.
-                      out += static_cast<char>(code & 0xff);
-                      break;
-                  }
-                  default:
-                    return corrupt("unknown escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        return corrupt("unterminated string");
-    }
-
-    Status
-    parse_value(std::string& out)
-    {
-        if (pos_ < text_.size() && text_[pos_] == '"')
-            return parse_string(out);
-        // Bare token: number / true / false.
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() && text_[pos_] != ',' &&
-               text_[pos_] != '}' &&
-               !std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-        if (pos_ == start)
-            return corrupt("empty value");
-        out = text_.substr(start, pos_ - start);
-        return Status::ok();
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-    std::map<std::string, std::string> fields_;
-};
+using support::json_double;
+using support::json_escape;
 
 /** Fetch a required field or fail with kCorruptData. */
 Status
@@ -246,13 +41,16 @@ require(const std::map<std::string, std::string>& fields,
 std::string
 checkpoint_line(const CheckpointRecord& record)
 {
+    // "v":2 marks lines carrying the metrics blob; parse_checkpoint_line
+    // still accepts unversioned (v1) lines from older sweeps.
     std::ostringstream out;
-    out << "{\"mode\":\"" << json_escape(record.mode) << "\""
+    out << "{\"v\":2"
+        << ",\"mode\":\"" << json_escape(record.mode) << "\""
         << ",\"framework\":\"" << json_escape(record.framework) << "\""
         << ",\"kernel\":\"" << json_escape(record.kernel) << "\""
         << ",\"graph\":\"" << json_escape(record.graph) << "\""
-        << ",\"best_seconds\":" << format_double(record.cell.best_seconds)
-        << ",\"avg_seconds\":" << format_double(record.cell.avg_seconds)
+        << ",\"best_seconds\":" << json_double(record.cell.best_seconds)
+        << ",\"avg_seconds\":" << json_double(record.cell.avg_seconds)
         << ",\"trials\":" << record.cell.trials
         << ",\"attempts\":" << record.cell.attempts
         << ",\"verified\":" << (record.cell.verified ? "true" : "false")
@@ -260,7 +58,10 @@ checkpoint_line(const CheckpointRecord& record)
         << ",\"failure\":\"" << json_escape(to_string(record.cell.failure))
         << "\""
         << ",\"failure_message\":\""
-        << json_escape(record.cell.failure_message) << "\"}";
+        << json_escape(record.cell.failure_message) << "\"";
+    if (!record.cell.metrics.empty())
+        out << ",\"metrics\":" << obs::metrics_json(record.cell.metrics);
+    out << "}";
     return out.str();
 }
 
@@ -268,8 +69,7 @@ StatusOr<CheckpointRecord>
 parse_checkpoint_line(const std::string& line)
 {
     std::map<std::string, std::string> fields;
-    FlatJsonParser parser(line);
-    if (Status s = parser.parse(fields); !s.is_ok())
+    if (Status s = support::parse_flat_json(line, fields); !s.is_ok())
         return s;
 
     CheckpointRecord rec;
@@ -304,7 +104,7 @@ parse_checkpoint_line(const std::string& line)
     rec.cell.verified = verified == "true";
     rec.cell.failure = failure_kind_from_string(failure);
 
-    // Optional fields (older checkpoints may lack them).
+    // Optional fields (v1 checkpoints lack some or all of them).
     if (const auto it = fields.find("attempts"); it != fields.end()) {
         try {
             rec.cell.attempts = std::stoi(it->second);
@@ -316,6 +116,12 @@ parse_checkpoint_line(const std::string& line)
         rec.cell.supported = it->second == "true";
     if (const auto it = fields.find("failure_message"); it != fields.end())
         rec.cell.failure_message = it->second;
+    if (const auto it = fields.find("metrics"); it != fields.end()) {
+        auto metrics = obs::parse_metrics_json(it->second);
+        if (!metrics.is_ok())
+            return metrics.status();
+        rec.cell.metrics = *std::move(metrics);
+    }
     return rec;
 }
 

@@ -21,6 +21,7 @@
 
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
+#include "gm/obs/metrics.hh"
 #include "gm/support/status.hh"
 
 namespace gm::harness
@@ -61,6 +62,10 @@ struct CellResult
     FailureKind failure = FailureKind::kNone;
     std::string failure_message;
     int attempts = 0;        ///< total trial attempts including retries
+
+    /** Workload metrics of the last successful trial (empty when metrics
+     *  collection was disabled or no trial completed). */
+    obs::TrialMetrics metrics;
 
     /** True when the cell produced a usable timing. */
     bool
@@ -112,6 +117,26 @@ struct RunOptions
     /** Drop each graph's derived artifacts once all of its cells are
      *  done, so a sweep keeps at most one graph's forms resident. */
     bool evict_per_graph = false;
+
+    /** Run each trial attempt under a gm::obs::TraceSession and summarize
+     *  it into CellResult::metrics (and the v2 checkpoint blob). */
+    bool collect_metrics = true;
+
+    /** When non-empty, append one metrics JSONL record per completed
+     *  trial (implies metrics collection). */
+    std::string metrics_path;
+
+    /** When non-empty, write one Chrome trace_event JSON file per cell
+     *  into this directory (implies metrics collection). */
+    std::string trace_dir;
+
+    /** True when trials should run under a trace session. */
+    bool
+    profile_enabled() const
+    {
+        return collect_metrics || !metrics_path.empty() ||
+               !trace_dir.empty();
+    }
 };
 
 /** Run every framework x kernel x graph cell under @p mode. */

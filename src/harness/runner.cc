@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -11,6 +12,8 @@
 
 #include "gm/gapref/verify.hh"
 #include "gm/harness/checkpoint.hh"
+#include "gm/obs/chrome_trace.hh"
+#include "gm/obs/trace.hh"
 #include "gm/support/fault_injector.hh"
 #include "gm/support/log.hh"
 #include "gm/support/timer.hh"
@@ -96,7 +99,10 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
     injector.at("kernel");
     injector.at("kernel." + fw.name);
 
-    warm_forms(ds, kernel, mode);
+    {
+        obs::ScopedSpan span("warm_forms");
+        warm_forms(ds, kernel, mode);
+    }
 
     Timer timer;
     bool ok = true;
@@ -104,53 +110,90 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
     switch (kernel) {
       case Kernel::kBFS: {
           const vid_t src = trial_source(ds, trial);
-          timer.start();
-          const auto parent = fw.bfs(ds, src, mode);
-          timer.stop();
-          if (check)
+          std::vector<vid_t> parent;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              parent = fw.bfs(ds, src, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
               ok = gapref::verify_bfs(ds.g(), src, parent, &err);
+          }
           break;
       }
       case Kernel::kSSSP: {
           const vid_t src = trial_source(ds, trial);
-          timer.start();
-          const auto dist = fw.sssp(ds, src, mode);
-          timer.stop();
-          if (check)
+          std::vector<weight_t> dist;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              dist = fw.sssp(ds, src, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
               ok = gapref::verify_sssp(ds.wg(), src, dist, &err);
+          }
           break;
       }
       case Kernel::kCC: {
-          timer.start();
-          const auto comp = fw.cc(ds, mode);
-          timer.stop();
-          if (check)
+          std::vector<vid_t> comp;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              comp = fw.cc(ds, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
               ok = gapref::verify_cc(ds.g(), comp, &err);
+          }
           break;
       }
       case Kernel::kPR: {
-          timer.start();
-          const auto scores = fw.pr(ds, mode);
-          timer.stop();
-          if (check)
-              ok = gapref::verify_pagerank(ds.g(), scores, 0.85, 1e-4, &err);
+          std::vector<score_t> scores;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              scores = fw.pr(ds, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
+              ok = gapref::verify_pagerank(ds.g(), scores, 0.85, 1e-4,
+                                           &err);
+          }
           break;
       }
       case Kernel::kBC: {
           const auto sources = trial_bc_sources(ds, trial);
-          timer.start();
-          const auto scores = fw.bc(ds, sources, mode);
-          timer.stop();
-          if (check)
+          std::vector<score_t> scores;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              scores = fw.bc(ds, sources, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
               ok = gapref::verify_bc(ds.g(), sources, scores, &err);
+          }
           break;
       }
       case Kernel::kTC: {
-          timer.start();
-          const std::uint64_t count = fw.tc(ds, mode);
-          timer.stop();
-          if (check)
+          std::uint64_t count = 0;
+          {
+              obs::ScopedSpan span("kernel");
+              timer.start();
+              count = fw.tc(ds, mode);
+              timer.stop();
+          }
+          if (check) {
+              obs::ScopedSpan span("verify");
               ok = gapref::verify_tc(ds.g_undirected(), count, &err);
+          }
           break;
       }
     }
@@ -260,6 +303,20 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
     double total = 0;
     const int max_attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
 
+    const bool profile = opts.profile_enabled();
+    const std::string cell_label = to_string(mode) + "/" + fw.name + "/" +
+                                   to_string(kernel) + "/" + ds.name;
+    obs::ChromeTraceWriter trace_writer(cell_label);
+
+    std::ofstream metrics_out;
+    if (!opts.metrics_path.empty()) {
+        metrics_out.open(opts.metrics_path, std::ios::out | std::ios::app);
+        if (!metrics_out) {
+            log_warn("cannot open metrics stream ", opts.metrics_path,
+                     "; per-trial metrics will not be recorded");
+        }
+    }
+
     for (int trial = 0; trial < opts.trials; ++trial) {
         const bool check =
             opts.verify && (!opts.verify_first_trial_only || trial == 0);
@@ -271,15 +328,33 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
         // and outlive the sweep.)
         auto out = std::make_shared<TrialOutput>();
         Status status = Status::ok();
+        int last_attempt = 0;
+        obs::TraceSession session;
         for (int attempt = 1; attempt <= max_attempts; ++attempt) {
             ++cell.attempts;
+            last_attempt = attempt;
             out = std::make_shared<TrialOutput>();
+            // One trace session per attempt.  The worker (and every pool
+            // lane it drives) is bound to the session's generation, so a
+            // watchdog-abandoned attempt keeps writing under a dead
+            // generation and its stragglers are dropped at collection
+            // instead of polluting the next attempt's session.
+            if (profile)
+                session.start();
+            const std::uint64_t session_gen = session.gen();
             status = support::run_with_watchdog(
-                [out, &ds, &fw, kernel, mode, trial, check] {
+                [out, &ds, &fw, kernel, mode, trial, check, session_gen] {
+                    obs::SessionBinding bind(session_gen);
                     run_trial_attempt(ds, fw, kernel, mode, trial, check,
                                       *out);
                 },
                 opts.trial_timeout_ms);
+            session.stop();
+            if (!opts.trace_dir.empty()) {
+                trace_writer.add_session(
+                    session, "trial " + std::to_string(trial) +
+                                 " attempt " + std::to_string(attempt));
+            }
             if (status.is_ok())
                 break;
             if (!is_transient(status.code()) || attempt == max_attempts)
@@ -321,11 +396,43 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
         cell.best_seconds = std::min(cell.best_seconds, out->seconds);
         total += out->seconds;
         ++cell.trials;
+
+        if (profile) {
+            obs::TrialMetrics metrics = obs::summarize(session);
+            metrics.peak_bytes = ds.store()->bytes_high_water();
+            if (metrics_out.is_open()) {
+                obs::MetricsRecord rec;
+                rec.mode = to_string(mode);
+                rec.framework = fw.name;
+                rec.kernel = to_string(kernel);
+                rec.graph = ds.name;
+                rec.trial = trial;
+                rec.attempt = last_attempt;
+                rec.metrics = metrics;
+                metrics_out << obs::metrics_record_line(rec) << '\n';
+                metrics_out.flush();
+            }
+            cell.metrics = std::move(metrics);
+        }
     }
 
     cell.avg_seconds = cell.trials > 0 ? total / cell.trials : 0;
     if (cell.trials == 0)
         cell.best_seconds = 0;
+
+    if (!opts.trace_dir.empty() && !trace_writer.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.trace_dir, ec);
+        const std::string file = to_string(mode) + "_" + fw.name + "_" +
+                                 to_string(kernel) + "_" + ds.name +
+                                 ".json";
+        const std::string path =
+            (std::filesystem::path(opts.trace_dir) / file).string();
+        if (Status s = trace_writer.write(path); !s.is_ok()) {
+            log_warn("cannot write trace for ", cell_label, ": ",
+                     s.to_string());
+        }
+    }
     return cell;
 }
 

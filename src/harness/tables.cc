@@ -146,7 +146,8 @@ write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
                                "cannot write csv: " + path);
     }
     out << "mode,framework,kernel,graph,best_seconds,avg_seconds,trials,"
-           "verified,failure,attempts,graph_peak_bytes\n";
+           "verified,failure,attempts,graph_peak_bytes,"
+           "iterations,edges_traversed,frontier_peak,parallel_efficiency\n";
     for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
         for (Kernel kernel : kAllKernels) {
             for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
@@ -155,13 +156,19 @@ write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
                     g < cube.graph_peak_bytes.size()
                         ? cube.graph_peak_bytes[g]
                         : 0;
+                // Workload columns come from the last successful trial's
+                // trace session; cells run without metrics leave them 0.
+                const obs::TrialMetrics& m = cell.metrics;
                 out << to_string(mode) << "," << cube.framework_names[f]
                     << "," << to_string(kernel) << ","
                     << cube.graph_names[g] << "," << cell.best_seconds
                     << "," << cell.avg_seconds << "," << cell.trials << ","
                     << (cell.verified ? 1 : 0) << ","
                     << to_string(cell.failure) << "," << cell.attempts
-                    << "," << peak << "\n";
+                    << "," << peak << "," << m.counter_or("iterations")
+                    << "," << m.counter_or("edges_traversed") << ","
+                    << m.counter_or("frontier_peak") << ","
+                    << m.parallel_efficiency << "\n";
             }
         }
     }

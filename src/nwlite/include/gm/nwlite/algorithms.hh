@@ -27,6 +27,7 @@
 #include "gm/graph/builder.hh"
 #include "gm/graph/stats.hh"
 #include "gm/nwlite/adjacency.hh"
+#include "gm/obs/trace.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/parallel_for.hh"
 #include "gm/support/bitmap.hh"
@@ -53,8 +54,12 @@ bfs(const G& g, vid_t source)
     std::vector<vid_t> frontier{source};
     vid_t level = 0;
     while (!frontier.empty()) {
+        obs::counter_add("iterations", 1);
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(frontier.size()));
         // Simple, untuned switch: go bottom-up purely on frontier size.
         if (frontier.size() > static_cast<std::size_t>(n) / 20) {
+            obs::counter_add("bfs.bu_steps", 1);
             Bitmap front(static_cast<std::size_t>(n));
             front.reset();
             for (vid_t u : frontier)
@@ -82,6 +87,7 @@ bfs(const G& g, vid_t source)
                 });
             frontier = std::move(next);
         } else {
+            obs::counter_add("bfs.td_steps", 1);
             std::vector<vid_t> next;
             std::mutex next_mutex;
             const vid_t next_level = level + 1;
@@ -131,6 +137,10 @@ delta_stepping(const G& g, vid_t source, weight_t delta)
         }
         std::vector<vid_t> active;
         active.swap(buckets[current]);
+        obs::counter_add("iterations", 1);
+        obs::counter_add("sssp.buckets", 1);
+        obs::counter_max("frontier_peak",
+                         static_cast<std::uint64_t>(active.size()));
         std::vector<std::pair<vid_t, std::size_t>> requeued;
         std::mutex requeue_mutex;
 
@@ -287,6 +297,7 @@ pagerank(const G& g, double damping = 0.85, double tolerance = 1e-4,
                 return std::fabs(next - old);
             },
             [](double a, double b) { return a + b; });
+        obs::counter_add("iterations", 1);
         if (error < tolerance)
             break;
     }

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter.  One ChromeTraceWriter accumulates
+ * the spans of every trial session for a benchmark cell and writes a
+ * single file loadable in chrome://tracing or Perfetto: "M" metadata
+ * events naming the process (the cell) and each thread, then one "X"
+ * complete event per span.  Timestamps are microseconds relative to the
+ * earliest session start, so successive trials appear left to right on
+ * one timeline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gm/obs/trace.hh"
+#include "gm/support/status.hh"
+
+namespace gm::obs
+{
+
+class ChromeTraceWriter
+{
+  public:
+    /** @param process_name Label for the trace's single process row
+     *  (e.g. "baseline/gapref/bfs/web"). */
+    explicit ChromeTraceWriter(std::string process_name);
+
+    /** Append a stopped session's spans; also emits a session span so
+     *  trial boundaries are visible even when a trial recorded nothing. */
+    void add_session(const TraceSession& session, const std::string& label);
+
+    bool empty() const { return spans_.empty(); }
+
+    /** Render the complete trace document. */
+    std::string json() const;
+
+    /** json() to @p path; kInvalidInput on I/O failure. */
+    support::Status write(const std::string& path) const;
+
+  private:
+    std::string process_name_;
+    std::vector<SpanRecord> spans_;
+    std::int64_t origin_ns_ = 0;
+    bool have_origin_ = false;
+};
+
+} // namespace gm::obs

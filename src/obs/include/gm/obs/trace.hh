@@ -1,0 +1,243 @@
+/**
+ * @file
+ * gm::obs tracing core: scoped spans and monotonic counters with
+ * thread-local buffers, flushed into a per-trial TraceSession.
+ *
+ * Design constraints, in order:
+ *
+ *  1. Near-zero cost when no session is active.  Every probe starts with
+ *     an inline check of the session generation (a thread-local override
+ *     plus one relaxed atomic load); the inactive path takes no clock
+ *     reads, no locks, and no allocations.
+ *
+ *  2. Safe against abandoned threads.  Watchdog timeouts can leave a
+ *     cancelled trial's pool lanes unwinding while the next trial starts.
+ *     Sessions are identified by a monotonically increasing generation;
+ *     the ThreadPool stamps every lane with the generation its submitter
+ *     observed (SessionBinding), and records are tagged with that
+ *     generation in the thread-local buffer.  Collection takes only
+ *     matching-generation records, so a stale lane can never pollute a
+ *     newer session.
+ *
+ *  3. TSan-clean.  Thread-local buffers live in a process-global registry
+ *     (heap-owned, never freed); each is guarded by its own mutex, which
+ *     is uncontended on the writer fast path and taken by the collector
+ *     only at session stop.
+ *
+ * All timestamps come from Timer::now_ns() — the same steady clock the
+ * harness and bench drivers use — so spans from successive sessions merge
+ * monotonically into one per-cell Chrome trace.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gm/support/timer.hh"
+
+namespace gm::obs
+{
+
+/** One closed span, as collected from a thread-local buffer. */
+struct SpanRecord
+{
+    std::string name;
+    std::int64_t begin_ns = 0;
+    std::int64_t end_ns = 0;
+    int tid = 0;   ///< support thread_index() of the emitting thread
+    int depth = 0; ///< nesting depth on that thread (outermost = 0)
+};
+
+namespace detail
+{
+
+/** Generation of the active session; 0 means tracing is off. */
+extern std::atomic<std::uint64_t> g_active_gen;
+
+/**
+ * Per-thread session override installed by SessionBinding (pool lanes
+ * inherit their submitter's generation through this).  0 = follow the
+ * global generation.
+ */
+inline thread_local std::uint64_t tls_bound_gen = 0;
+
+/** The generation this thread's records would be tagged with; 0 = off. */
+inline std::uint64_t
+effective_gen()
+{
+    if (tls_bound_gen != 0)
+        return tls_bound_gen;
+    return g_active_gen.load(std::memory_order_relaxed);
+}
+
+int open_span();
+void close_span(const char* name, std::uint64_t gen, std::int64_t begin_ns,
+                int depth);
+void counter_add_slow(const char* name, std::uint64_t gen,
+                      std::uint64_t delta);
+void counter_max_slow(const char* name, std::uint64_t gen,
+                      std::uint64_t value);
+
+} // namespace detail
+
+/** True when a probe on this thread would record (cheap; inline). */
+inline bool
+tracing_active()
+{
+    return detail::effective_gen() != 0;
+}
+
+/**
+ * Generation this thread's records would land in (0 = tracing off).
+ * Capture it on a submitting thread and hand it to workers through
+ * SessionBinding so their records stay attributed to the right session.
+ */
+inline std::uint64_t
+current_session_gen()
+{
+    return detail::effective_gen();
+}
+
+/**
+ * Add @p delta to monotonic counter @p name.  Counters from all threads
+ * of a session are summed at collection.  @p name must outlive the call
+ * (string literals in practice).
+ */
+inline void
+counter_add(const char* name, std::uint64_t delta)
+{
+    const std::uint64_t gen = detail::effective_gen();
+    if (gen != 0)
+        detail::counter_add_slow(name, gen, delta);
+}
+
+/**
+ * Raise high-water counter @p name to at least @p value.  Merged with max
+ * across threads at collection.
+ */
+inline void
+counter_max(const char* name, std::uint64_t value)
+{
+    const std::uint64_t gen = detail::effective_gen();
+    if (gen != 0)
+        detail::counter_max_slow(name, gen, value);
+}
+
+/**
+ * RAII span.  Captures the effective generation at open; the close is
+ * recorded only under that same generation, so a span straddling a
+ * session stop (or an abandoned trial) is silently dropped rather than
+ * misattributed.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char* name) : gen_(detail::effective_gen())
+    {
+        if (gen_ != 0) {
+            name_ = name;
+            depth_ = detail::open_span();
+            begin_ns_ = Timer::now_ns();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (gen_ != 0)
+            detail::close_span(name_, gen_, begin_ns_, depth_);
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  private:
+    std::uint64_t gen_;
+    const char* name_ = nullptr;
+    std::int64_t begin_ns_ = 0;
+    int depth_ = 0;
+};
+
+/**
+ * Bind the current thread to a session generation for the binding's
+ * lifetime.  The ThreadPool wraps each lane's job execution in one of
+ * these, carrying the submitter's generation, and the runner binds the
+ * (possibly watchdog-owned) trial thread to the trial's session.  Binding
+ * to 0 restores follow-the-global behaviour.
+ */
+class SessionBinding
+{
+  public:
+    explicit SessionBinding(std::uint64_t gen) : prev_(detail::tls_bound_gen)
+    {
+        detail::tls_bound_gen = gen;
+    }
+
+    ~SessionBinding() { detail::tls_bound_gen = prev_; }
+
+    SessionBinding(const SessionBinding&) = delete;
+    SessionBinding& operator=(const SessionBinding&) = delete;
+
+  private:
+    std::uint64_t prev_;
+};
+
+/**
+ * One trial's worth of trace data.  start() activates tracing globally
+ * (at most one session may be active at a time); stop() deactivates it
+ * and collects every matching-generation record from the thread-local
+ * buffers.  The collected data stays readable until the session is
+ * restarted or destroyed.
+ */
+class TraceSession
+{
+  public:
+    TraceSession() = default;
+    ~TraceSession();
+
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    /** Activate tracing.  Panics if another session is already active. */
+    void start();
+
+    /** Deactivate and collect.  No-op when not running. */
+    void stop();
+
+    bool running() const { return gen_ != 0; }
+
+    /** Generation while running (for SessionBinding); 0 when stopped. */
+    std::uint64_t gen() const { return gen_; }
+
+    std::int64_t begin_ns() const { return begin_ns_; }
+    std::int64_t end_ns() const { return end_ns_; }
+
+    /** Collected spans, sorted by begin_ns.  Valid after stop(). */
+    const std::vector<SpanRecord>& spans() const { return spans_; }
+
+    /** Summed monotonic counters.  Valid after stop(). */
+    const std::map<std::string, std::uint64_t>&
+    counters() const
+    {
+        return counters_;
+    }
+
+    /** Max-merged high-water counters.  Valid after stop(). */
+    const std::map<std::string, std::uint64_t>&
+    maxima() const
+    {
+        return maxima_;
+    }
+
+  private:
+    std::uint64_t gen_ = 0;
+    std::int64_t begin_ns_ = 0;
+    std::int64_t end_ns_ = 0;
+    std::vector<SpanRecord> spans_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::uint64_t> maxima_;
+};
+
+} // namespace gm::obs

@@ -1,0 +1,189 @@
+#include "gm/obs/trace.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "gm/support/log.hh"
+
+namespace gm::obs
+{
+
+namespace detail
+{
+
+std::atomic<std::uint64_t> g_active_gen{0};
+
+} // namespace detail
+
+namespace
+{
+
+/**
+ * Per-thread record buffer.  Heap-owned and registered for the process
+ * lifetime (threads come and go, but a watchdog-abandoned lane may still
+ * be writing when its thread object is long forgotten, so buffers are
+ * deliberately never freed).  gen tags which session the contents belong
+ * to; a writer arriving with a different generation resets the buffer
+ * first, which both recycles memory and guarantees stale records can
+ * never leak into a newer session.
+ */
+struct ThreadBuffer
+{
+    std::mutex mu;
+    std::uint64_t gen = 0;
+    int tid = 0;
+    std::vector<SpanRecord> spans;
+    std::map<std::string, std::uint64_t> adds;
+    std::map<std::string, std::uint64_t> maxes;
+};
+
+std::mutex registry_mu;
+std::vector<ThreadBuffer*>&
+registry()
+{
+    static std::vector<ThreadBuffer*>* r = new std::vector<ThreadBuffer*>();
+    return *r;
+}
+
+ThreadBuffer&
+local_buffer()
+{
+    thread_local ThreadBuffer* buf = [] {
+        auto* b = new ThreadBuffer;
+        b->tid = thread_index();
+        std::lock_guard<std::mutex> lock(registry_mu);
+        registry().push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+/** Reset @p buf for @p gen if it still holds another session's records. */
+void
+retag(ThreadBuffer& buf, std::uint64_t gen)
+{
+    if (buf.gen != gen) {
+        buf.spans.clear();
+        buf.adds.clear();
+        buf.maxes.clear();
+        buf.gen = gen;
+    }
+}
+
+thread_local int tls_depth = 0;
+
+std::atomic<std::uint64_t> next_gen{1};
+
+} // namespace
+
+namespace detail
+{
+
+int
+open_span()
+{
+    return tls_depth++;
+}
+
+void
+close_span(const char* name, std::uint64_t gen, std::int64_t begin_ns,
+           int depth)
+{
+    const std::int64_t end_ns = Timer::now_ns();
+    --tls_depth;
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    retag(buf, gen);
+    buf.spans.push_back(
+        SpanRecord{name, begin_ns, end_ns, buf.tid, depth});
+}
+
+void
+counter_add_slow(const char* name, std::uint64_t gen, std::uint64_t delta)
+{
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    retag(buf, gen);
+    buf.adds[name] += delta;
+}
+
+void
+counter_max_slow(const char* name, std::uint64_t gen, std::uint64_t value)
+{
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    retag(buf, gen);
+    std::uint64_t& slot = buf.maxes[name];
+    if (value > slot)
+        slot = value;
+}
+
+} // namespace detail
+
+TraceSession::~TraceSession()
+{
+    stop();
+}
+
+void
+TraceSession::start()
+{
+    const std::uint64_t gen =
+        next_gen.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t expected = 0;
+    if (!detail::g_active_gen.compare_exchange_strong(expected, gen)) {
+        panic("TraceSession::start: another session is already active");
+    }
+    gen_ = gen;
+    begin_ns_ = Timer::now_ns();
+    end_ns_ = 0;
+    spans_.clear();
+    counters_.clear();
+    maxima_.clear();
+}
+
+void
+TraceSession::stop()
+{
+    if (gen_ == 0)
+        return;
+    end_ns_ = Timer::now_ns();
+    // Deactivate first (seq_cst store): any writer that locks its buffer
+    // after this either sees generation 0 via the global path or carries a
+    // stale binding — both tag records we are about to ignore.  A writer
+    // that beat the store holds its buffer lock, so the collection loop
+    // below waits for it and picks the record up.
+    detail::g_active_gen.store(0);
+
+    std::vector<ThreadBuffer*> bufs;
+    {
+        std::lock_guard<std::mutex> lock(registry_mu);
+        bufs = registry();
+    }
+    for (ThreadBuffer* buf : bufs) {
+        std::lock_guard<std::mutex> lock(buf->mu);
+        if (buf->gen != gen_)
+            continue;
+        spans_.insert(spans_.end(),
+                      std::make_move_iterator(buf->spans.begin()),
+                      std::make_move_iterator(buf->spans.end()));
+        buf->spans.clear();
+        for (const auto& [name, value] : buf->adds)
+            counters_[name] += value;
+        buf->adds.clear();
+        for (const auto& [name, value] : buf->maxes) {
+            std::uint64_t& slot = maxima_[name];
+            if (value > slot)
+                slot = value;
+        }
+        buf->maxes.clear();
+        buf->gen = 0;
+    }
+    std::sort(spans_.begin(), spans_.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.begin_ns < b.begin_ns;
+              });
+    gen_ = 0;
+}
+
+} // namespace gm::obs

@@ -70,6 +70,9 @@ class ThreadPool
     /** Caller's cancellation token, installed in every lane for the job's
      *  duration so supervised trials can cancel their pool work. */
     const support::CancelToken* job_cancel_ = nullptr;
+    /** Trace-session generation the submitter observed; lanes bind to it
+     *  so records from abandoned trials can't pollute a newer session. */
+    std::uint64_t job_gen_ = 0;
     std::uint64_t generation_ = 0;
     int pending_ = 0;
     bool shutdown_ = false;

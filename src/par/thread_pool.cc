@@ -1,7 +1,9 @@
 #include "gm/par/thread_pool.hh"
 
+#include "gm/obs/trace.hh"
 #include "gm/support/env.hh"
 #include "gm/support/log.hh"
+#include "gm/support/timer.hh"
 #include "gm/support/watchdog.hh"
 
 namespace gm::par
@@ -11,6 +13,33 @@ namespace
 {
 
 thread_local bool tls_in_parallel = false;
+
+/**
+ * Execute @p job on @p lane under the session generation @p job_gen that
+ * the submitting thread observed.  Carrying the generation through the
+ * pool (instead of letting lanes read the global) means a lane still
+ * unwinding from a watchdog-abandoned trial keeps writing under its dead
+ * generation and can never pollute the next trial's session.  When a
+ * session is active, each lane's execution is recorded as a "par.lane"
+ * span plus its busy nanoseconds, from which the suite derives per-cell
+ * parallel efficiency.
+ */
+void
+run_lane(const std::function<void(int)>& job, int lane,
+         std::uint64_t job_gen)
+{
+    obs::SessionBinding bind(job_gen);
+    if (job_gen == 0) {
+        job(lane);
+        return;
+    }
+    obs::ScopedSpan span("par.lane");
+    const std::int64_t begin_ns = Timer::now_ns();
+    job(lane);
+    obs::counter_add(
+        "par.busy_ns",
+        static_cast<std::uint64_t>(Timer::now_ns() - begin_ns));
+}
 
 } // namespace
 
@@ -53,12 +82,20 @@ ThreadPool::in_parallel_region()
 void
 ThreadPool::run(const std::function<void(int)>& job)
 {
-    if (tls_in_parallel || num_threads_ == 1) {
-        // Nested parallelism degrades to serial execution on this lane.
-        bool saved = tls_in_parallel;
-        tls_in_parallel = true;
+    if (tls_in_parallel) {
+        // Nested parallelism degrades to serial execution on this lane;
+        // its time is already inside the outer lane's busy span.
         job(0);
-        tls_in_parallel = saved;
+        return;
+    }
+    const std::uint64_t job_gen = obs::current_session_gen();
+    if (job_gen != 0)
+        obs::counter_max("par.lanes",
+                         static_cast<std::uint64_t>(num_threads_));
+    if (num_threads_ == 1) {
+        tls_in_parallel = true;
+        run_lane(job, 0, job_gen);
+        tls_in_parallel = false;
         return;
     }
 
@@ -66,13 +103,14 @@ ThreadPool::run(const std::function<void(int)>& job)
         std::lock_guard<std::mutex> lock(mutex_);
         job_ = &job;
         job_cancel_ = support::current_cancel_token();
+        job_gen_ = job_gen;
         pending_ = num_threads_ - 1;
         ++generation_;
     }
     start_cv_.notify_all();
 
     tls_in_parallel = true;
-    job(0);
+    run_lane(job, 0, job_gen);
     tls_in_parallel = false;
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -88,6 +126,7 @@ ThreadPool::worker_loop(int lane)
     for (;;) {
         const std::function<void(int)>* job = nullptr;
         const support::CancelToken* cancel = nullptr;
+        std::uint64_t job_gen = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_cv_.wait(lock, [&] {
@@ -98,11 +137,12 @@ ThreadPool::worker_loop(int lane)
             seen_generation = generation_;
             job = job_;
             cancel = job_cancel_;
+            job_gen = job_gen_;
         }
         {
             support::ScopedCancelToken scope(cancel);
             tls_in_parallel = true;
-            (*job)(lane);
+            run_lane(*job, lane, job_gen);
             tls_in_parallel = false;
         }
         {

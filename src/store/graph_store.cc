@@ -47,6 +47,7 @@ GraphStore::GraphStore(graph::CSRGraph base, std::uint64_t weight_seed)
     : base_(std::make_shared<const graph::CSRGraph>(std::move(base))),
       weight_seed_(weight_seed)
 {
+    high_water_bytes_ = base_->bytes_resident();
 }
 
 /**
@@ -83,6 +84,7 @@ GraphStore::acquire(Slot<T>& slot, Build&& build) const
         slot.bytes = bytes;
         slot.build_seconds = timer.seconds();
         ++slot.builds;
+        update_high_water();
     }
     return built;
 }
@@ -154,6 +156,30 @@ GraphStore::bytes_resident() const
     add(grb_);
     add(grb_weighted_);
     return total;
+}
+
+void
+GraphStore::update_high_water() const
+{
+    std::size_t total = base_->bytes_resident();
+    const auto add = [&](const auto& slot) {
+        if (slot.value)
+            total += slot.bytes;
+    };
+    add(weighted_);
+    add(undirected_);
+    add(relabeled_);
+    add(grb_);
+    add(grb_weighted_);
+    if (total > high_water_bytes_)
+        high_water_bytes_ = total;
+}
+
+std::size_t
+GraphStore::bytes_high_water() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return high_water_bytes_;
 }
 
 template <typename T>

@@ -85,6 +85,10 @@ class GraphStore
      *  Aliases and zero-copy views contribute nothing. */
     std::size_t bytes_resident() const;
 
+    /** Largest bytes_resident() ever observed on this store.  Updated
+     *  after every build; survives evict_derived(). */
+    std::size_t bytes_high_water() const;
+
     /** Accounting snapshot for every artifact, base first. */
     std::vector<ArtifactInfo> artifacts() const;
 
@@ -105,9 +109,13 @@ class GraphStore
     template <typename T>
     ArtifactInfo info(const char* name, const Slot<T>& slot) const;
 
+    /** Recompute the high-water mark.  Caller holds state_mu_. */
+    void update_high_water() const;
+
     std::shared_ptr<const graph::CSRGraph> base_;
     std::uint64_t weight_seed_;
     mutable std::mutex state_mu_; ///< guards every slot's non-mutex fields
+    mutable std::size_t high_water_bytes_ = 0;
     mutable Slot<graph::WCSRGraph> weighted_;
     mutable Slot<graph::CSRGraph> undirected_;
     mutable Slot<graph::CSRGraph> relabeled_;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal JSON helpers shared by the checkpoint stream and the gm::obs
+ * profile pipeline: escaping, round-trippable double formatting, a parser
+ * for the flat one-object-per-line records we emit, and a structural
+ * validator for whole documents (used to sanity-check exported traces).
+ *
+ * FlatObjectParser handles one level of {"key": value} where value is a
+ * string, number, bool — or a nested object, which is captured as raw text
+ * so the caller can feed it back through another FlatObjectParser.  It is
+ * deliberately not a general JSON parser: torn or foreign lines simply
+ * fail to parse, which is exactly what the crash-safe loaders want.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gm/support/status.hh"
+
+namespace gm::support
+{
+
+/** JSON-escape a string value (quotes, backslashes, control chars). */
+std::string json_escape(const std::string& s);
+
+/** Round-trippable double formatting (17 significant digits). */
+std::string json_double(double v);
+
+/**
+ * Parse one flat JSON object into key -> value-text.  String values are
+ * unescaped; numbers and bools come back as their bare token; nested
+ * objects come back as their raw balanced-brace text (including braces),
+ * ready for a recursive parse_flat_json call.  Trailing garbage after the
+ * closing brace is an error (torn-line detection).
+ */
+Status parse_flat_json(const std::string& text,
+                       std::map<std::string, std::string>& fields);
+
+/**
+ * Structurally validate a complete JSON document (objects, arrays,
+ * strings, numbers, bools, null).  Returns kCorruptData with a position
+ * on the first violation.  Values are not materialized — this is the
+ * cheap "does this trace file parse" check CI runs on exporter output.
+ */
+Status json_validate(const std::string& text);
+
+} // namespace gm::support

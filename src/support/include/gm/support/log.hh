@@ -20,7 +20,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /** Global log threshold; messages below it are dropped.  Set via GM_LOG. */
 LogLevel log_threshold();
 
-/** Emit a log line to stderr if @p level passes the threshold. */
+/**
+ * Stable per-thread index: 0 for the first thread that logs or traces
+ * (in practice the main thread), then 1, 2, ... in first-use order.  The
+ * index never changes for the lifetime of a thread, so log prefixes and
+ * gm::obs trace tids agree.
+ */
+int thread_index();
+
+/**
+ * Emit a log line to stderr if @p level passes the threshold.  The line is
+ * composed into one string and written under a lock with a "[gm LEVEL tN]"
+ * prefix, so concurrent pool workers can never tear each other's output.
+ */
 void log_message(LogLevel level, const std::string& msg);
 
 /** Print @p msg and exit(1).  Use for user-caused errors. */

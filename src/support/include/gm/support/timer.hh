@@ -1,10 +1,15 @@
 /**
  * @file
  * Wall-clock timer mirroring the GAP benchmark's Timer utility.
+ *
+ * Everything in the repo that needs a timestamp goes through
+ * Timer::now_ns() — one steady clock source, so harness timings, bench
+ * loops, and gm::obs span timestamps all line up on the same axis.
  */
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace gm
 {
@@ -13,25 +18,38 @@ namespace gm
 class Timer
 {
   public:
+    /**
+     * Monotonic nanoseconds since an arbitrary (steady) epoch.  The single
+     * clock read used by Timer itself, ScopedTimer, the bench drivers, and
+     * every gm::obs span/counter timestamp.
+     */
+    static std::int64_t
+    now_ns()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
     /** Start (or restart) the timer. */
     void
     start()
     {
-        start_ = Clock::now();
+        start_ns_ = now_ns();
     }
 
     /** Stop the timer; elapsed() reports the start→stop span. */
     void
     stop()
     {
-        stop_ = Clock::now();
+        stop_ns_ = now_ns();
     }
 
     /** Seconds between the last start() and stop(). */
     double
     seconds() const
     {
-        return std::chrono::duration<double>(stop_ - start_).count();
+        return static_cast<double>(stop_ns_ - start_ns_) * 1e-9;
     }
 
     /** Milliseconds between the last start() and stop(). */
@@ -42,10 +60,8 @@ class Timer
     }
 
   private:
-    using Clock = std::chrono::steady_clock;
-
-    Clock::time_point start_{};
-    Clock::time_point stop_{};
+    std::int64_t start_ns_ = 0;
+    std::int64_t stop_ns_ = 0;
 };
 
 /** RAII helper: times a scope and adds the result to an accumulator. */

@@ -1,0 +1,475 @@
+#include "gm/support/json.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gm::support
+{
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace
+{
+
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+    Status
+    parse(std::map<std::string, std::string>& fields)
+    {
+        skip_ws();
+        if (!eat('{'))
+            return corrupt("expected '{'");
+        skip_ws();
+        if (eat('}'))
+            return finish(fields);
+        for (;;) {
+            std::string key;
+            if (Status s = parse_string(key); !s.is_ok())
+                return s;
+            skip_ws();
+            if (!eat(':'))
+                return corrupt("expected ':'");
+            skip_ws();
+            std::string value;
+            if (Status s = parse_value(value); !s.is_ok())
+                return s;
+            fields_[key] = value;
+            skip_ws();
+            if (eat(',')) {
+                skip_ws();
+                continue;
+            }
+            if (eat('}'))
+                return finish(fields);
+            return corrupt("expected ',' or '}'");
+        }
+    }
+
+  private:
+    Status
+    finish(std::map<std::string, std::string>& fields)
+    {
+        skip_ws();
+        if (pos_ != text_.size())
+            return corrupt("trailing garbage after object");
+        fields = std::move(fields_);
+        return Status::ok();
+    }
+
+    Status
+    corrupt(const std::string& what)
+    {
+        return Status(StatusCode::kCorruptData, "json object: " + what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parse_string(std::string& out)
+    {
+        if (!eat('"'))
+            return corrupt("expected '\"'");
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                      if (pos_ + 4 > text_.size())
+                          return corrupt("truncated \\u escape");
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          char h = text_[pos_++];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              return corrupt("bad \\u escape");
+                      }
+                      // We only ever emit \u00xx for control bytes.
+                      out += static_cast<char>(code & 0xff);
+                      break;
+                  }
+                  default:
+                    return corrupt("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return corrupt("unterminated string");
+    }
+
+    /**
+     * Capture a nested object as raw balanced-brace text so the caller can
+     * re-parse it as a flat object.  Strings inside it are skipped opaquely
+     * so a '}' in a string value doesn't end the capture early.
+     */
+    Status
+    capture_object(std::string& out)
+    {
+        const std::size_t start = pos_;
+        int depth = 0;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                while (pos_ < text_.size() && text_[pos_] != '"') {
+                    if (text_[pos_] == '\\')
+                        ++pos_;
+                    ++pos_;
+                }
+                if (pos_ >= text_.size())
+                    return corrupt("unterminated string in nested object");
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                if (--depth == 0) {
+                    out = text_.substr(start, pos_ - start);
+                    return Status::ok();
+                }
+            }
+        }
+        return corrupt("unterminated nested object");
+    }
+
+    Status
+    parse_value(std::string& out)
+    {
+        if (pos_ < text_.size() && text_[pos_] == '"')
+            return parse_string(out);
+        if (pos_ < text_.size() && text_[pos_] == '{')
+            return capture_object(out);
+        // Bare token: number / true / false.
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ',' &&
+               text_[pos_] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            return corrupt("empty value");
+        out = text_.substr(start, pos_ - start);
+        return Status::ok();
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::map<std::string, std::string> fields_;
+};
+
+/** Recursive-descent structural validator; values are never materialized. */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string& text) : text_(text) {}
+
+    Status
+    validate()
+    {
+        skip_ws();
+        if (Status s = value(0); !s.is_ok())
+            return s;
+        skip_ws();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after document");
+        return Status::ok();
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    fail(const std::string& what)
+    {
+        return Status(StatusCode::kCorruptData,
+                      "json at byte " + std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    value(int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object(depth);
+        if (c == '[')
+            return array(depth);
+        if (c == '"')
+            return string();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        if (literal("true") || literal("false") || literal("null"))
+            return Status::ok();
+        return fail("unexpected character");
+    }
+
+    bool
+    literal(const char* word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    object(int depth)
+    {
+        eat('{');
+        skip_ws();
+        if (eat('}'))
+            return Status::ok();
+        for (;;) {
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            if (Status s = string(); !s.is_ok())
+                return s;
+            skip_ws();
+            if (!eat(':'))
+                return fail("expected ':'");
+            skip_ws();
+            if (Status s = value(depth + 1); !s.is_ok())
+                return s;
+            skip_ws();
+            if (eat(',')) {
+                skip_ws();
+                continue;
+            }
+            if (eat('}'))
+                return Status::ok();
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    Status
+    array(int depth)
+    {
+        eat('[');
+        skip_ws();
+        if (eat(']'))
+            return Status::ok();
+        for (;;) {
+            if (Status s = value(depth + 1); !s.is_ok())
+                return s;
+            skip_ws();
+            if (eat(',')) {
+                skip_ws();
+                continue;
+            }
+            if (eat(']'))
+                return Status::ok();
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    Status
+    string()
+    {
+        eat('"');
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Status::ok();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control byte in string");
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                  case 'b':
+                  case 'f':
+                  case 'n':
+                  case 'r':
+                  case 't':
+                    break;
+                  case 'u':
+                    for (int i = 0; i < 4; ++i) {
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])))
+                            return fail("bad \\u escape");
+                        ++pos_;
+                    }
+                    break;
+                  default:
+                    return fail("unknown escape");
+                }
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    number()
+    {
+        eat('-');
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("bad number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (eat('.')) {
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("bad fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("bad exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        return Status::ok();
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Status
+parse_flat_json(const std::string& text,
+                std::map<std::string, std::string>& fields)
+{
+    FlatJsonParser parser(text);
+    return parser.parse(fields);
+}
+
+Status
+json_validate(const std::string& text)
+{
+    JsonValidator v(text);
+    return v.validate();
+}
+
+} // namespace gm::support

@@ -1,5 +1,6 @@
 #include "gm/support/log.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -46,6 +47,8 @@ level_name(LogLevel level)
 
 std::mutex log_mutex;
 
+std::atomic<int> next_thread_index{0};
+
 } // namespace
 
 LogLevel
@@ -55,13 +58,30 @@ log_threshold()
     return threshold;
 }
 
+int
+thread_index()
+{
+    thread_local const int index =
+        next_thread_index.fetch_add(1, std::memory_order_relaxed);
+    return index;
+}
+
 void
 log_message(LogLevel level, const std::string& msg)
 {
     if (static_cast<int>(level) < static_cast<int>(log_threshold()))
         return;
+    // Compose the full line first so the single locked write can never
+    // interleave with another thread's, even on unsynchronized sinks.
+    std::string line = "[gm ";
+    line += level_name(level);
+    line += " t";
+    line += std::to_string(thread_index());
+    line += "] ";
+    line += msg;
+    line += "\n";
     std::lock_guard<std::mutex> lock(log_mutex);
-    std::cerr << "[gm " << level_name(level) << "] " << msg << "\n";
+    std::cerr << line;
 }
 
 void

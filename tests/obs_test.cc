@@ -1,0 +1,273 @@
+/** gm::obs unit tests: span nesting, cross-thread counter aggregation
+ *  (TSan-clean by construction), stale-generation isolation, Chrome trace
+ *  JSON escaping/validity, and metrics JSON round trips. */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/obs/chrome_trace.hh"
+#include "gm/obs/metrics.hh"
+#include "gm/obs/trace.hh"
+#include "gm/support/json.hh"
+
+namespace gm::obs
+{
+namespace
+{
+
+TEST(Trace, InactiveProbesRecordNothing)
+{
+    // No session: probes must be no-ops (and must not crash).
+    EXPECT_FALSE(tracing_active());
+    counter_add("iterations", 3);
+    counter_max("frontier_peak", 99);
+    {
+        ScopedSpan span("orphan");
+    }
+    TraceSession session;
+    session.start();
+    session.stop();
+    EXPECT_TRUE(session.counters().empty());
+    EXPECT_TRUE(session.spans().empty());
+}
+
+TEST(Trace, SpanNestingDepthsAndContainment)
+{
+    TraceSession session;
+    session.start();
+    {
+        ScopedSpan outer("outer");
+        {
+            ScopedSpan inner("inner");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        {
+            ScopedSpan inner2("inner2");
+        }
+    }
+    session.stop();
+
+    ASSERT_EQ(session.spans().size(), 3u);
+    const SpanRecord* outer = nullptr;
+    const SpanRecord* inner = nullptr;
+    for (const SpanRecord& s : session.spans()) {
+        if (s.name == "outer")
+            outer = &s;
+        if (s.name == "inner")
+            inner = &s;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->depth, 0);
+    EXPECT_EQ(inner->depth, 1);
+    // The parent's interval contains the child's.
+    EXPECT_LE(outer->begin_ns, inner->begin_ns);
+    EXPECT_GE(outer->end_ns, inner->end_ns);
+    // And the session interval contains everything.
+    EXPECT_LE(session.begin_ns(), outer->begin_ns);
+    EXPECT_GE(session.end_ns(), outer->end_ns);
+}
+
+TEST(Trace, CountersAggregateAcrossThreads)
+{
+    TraceSession session;
+    session.start();
+    const std::uint64_t gen = session.gen();
+
+    constexpr int kThreads = 4;
+    constexpr int kAdds = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([gen, t] {
+            // Workers inherit the submitter's generation explicitly, the
+            // way ThreadPool lanes do.
+            SessionBinding bind(gen);
+            for (int i = 0; i < kAdds; ++i)
+                counter_add("iterations", 1);
+            counter_max("frontier_peak",
+                        static_cast<std::uint64_t>(100 + t));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    session.stop();
+
+    EXPECT_EQ(session.counters().at("iterations"),
+              static_cast<std::uint64_t>(kThreads * kAdds));
+    EXPECT_EQ(session.maxima().at("frontier_peak"),
+              static_cast<std::uint64_t>(100 + kThreads - 1));
+}
+
+TEST(Trace, StaleGenerationRecordsAreDropped)
+{
+    TraceSession first;
+    first.start();
+    const std::uint64_t stale_gen = first.gen();
+    first.stop();
+
+    TraceSession second;
+    second.start();
+    {
+        // A straggler from the dead session keeps its old binding.
+        SessionBinding bind(stale_gen);
+        counter_add("iterations", 1000);
+    }
+    counter_add("iterations", 1);
+    second.stop();
+
+    EXPECT_EQ(second.counters().at("iterations"), 1u);
+}
+
+TEST(Trace, SessionsAreReusableAndIsolated)
+{
+    TraceSession session;
+    session.start();
+    counter_add("iterations", 7);
+    session.stop();
+    EXPECT_EQ(session.counters().at("iterations"), 7u);
+
+    session.start();
+    counter_add("iterations", 2);
+    session.stop();
+    EXPECT_EQ(session.counters().at("iterations"), 2u);
+}
+
+TEST(ChromeTrace, EscapesNamesAndValidates)
+{
+    TraceSession session;
+    session.start();
+    {
+        ScopedSpan span("evil \"name\"\\with\nnewline");
+    }
+    session.stop();
+
+    ChromeTraceWriter writer("cell \"zero\"");
+    writer.add_session(session, "trial 0");
+    const std::string json = writer.json();
+
+    EXPECT_TRUE(support::json_validate(json).is_ok()) << json;
+    EXPECT_NE(json.find("evil \\\"name\\\"\\\\with\\nnewline"),
+              std::string::npos);
+    // Raw control bytes must never reach the document.
+    EXPECT_EQ(json.find('\n' + std::string("newline")), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsSessionRowAndThreadMetadata)
+{
+    TraceSession session;
+    session.start();
+    {
+        ScopedSpan span("work");
+    }
+    session.stop();
+
+    ChromeTraceWriter writer("cell");
+    EXPECT_TRUE(writer.empty());
+    writer.add_session(session, "trial 0");
+    EXPECT_FALSE(writer.empty());
+    const std::string json = writer.json();
+    EXPECT_TRUE(support::json_validate(json).is_ok()) << json;
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"trial 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"work\""), std::string::npos);
+}
+
+TEST(Metrics, SummarizeComputesEfficiencyAndBreakdown)
+{
+    TraceSession session;
+    session.start();
+    {
+        ScopedSpan span("kernel");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    counter_add("iterations", 5);
+    counter_add("par.busy_ns", 1'000'000);
+    counter_max("par.lanes", 2);
+    session.stop();
+
+    const TrialMetrics m = summarize(session);
+    EXPECT_GT(m.wall_seconds, 0.0);
+    EXPECT_EQ(m.counter_or("iterations"), 5u);
+    EXPECT_EQ(m.lanes, 2);
+    EXPECT_DOUBLE_EQ(m.busy_seconds, 1e-3);
+    EXPECT_GT(m.parallel_efficiency, 0.0);
+    ASSERT_NE(m.span_seconds.find("kernel"), m.span_seconds.end());
+    EXPECT_GT(m.span_seconds.at("kernel"), 0.0);
+    // The session wall covers the sum of its top-level spans.
+    EXPECT_GE(m.wall_seconds, m.span_seconds.at("kernel"));
+}
+
+TEST(Metrics, JsonRoundTrip)
+{
+    TrialMetrics m;
+    m.wall_seconds = 0.125;
+    m.counters["iterations"] = 17;
+    m.counters["edges_traversed"] = 123456789;
+    m.maxima["frontier_peak"] = 4096;
+    m.span_seconds["kernel"] = 0.115;
+    m.span_seconds["warm \"quoted\""] = 0.01;
+    m.lanes = 8;
+    m.busy_seconds = 0.9;
+    m.parallel_efficiency = 0.9;
+    m.peak_bytes = 1u << 30;
+
+    const std::string json = metrics_json(m);
+    EXPECT_TRUE(support::json_validate(json).is_ok()) << json;
+    auto parsed = parse_metrics_json(json);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    EXPECT_DOUBLE_EQ(parsed->wall_seconds, m.wall_seconds);
+    EXPECT_EQ(parsed->counters, m.counters);
+    EXPECT_EQ(parsed->maxima, m.maxima);
+    EXPECT_EQ(parsed->span_seconds.size(), m.span_seconds.size());
+    EXPECT_DOUBLE_EQ(parsed->span_seconds.at("kernel"), 0.115);
+    EXPECT_EQ(parsed->lanes, 8);
+    EXPECT_DOUBLE_EQ(parsed->busy_seconds, 0.9);
+    EXPECT_EQ(parsed->peak_bytes, m.peak_bytes);
+}
+
+TEST(Metrics, RecordLineRoundTrip)
+{
+    MetricsRecord rec;
+    rec.mode = "baseline";
+    rec.framework = "GAP";
+    rec.kernel = "bfs";
+    rec.graph = "web";
+    rec.trial = 3;
+    rec.attempt = 2;
+    rec.metrics.wall_seconds = 1.5;
+    rec.metrics.counters["iterations"] = 12;
+
+    const std::string line = metrics_record_line(rec);
+    EXPECT_TRUE(support::json_validate(line).is_ok()) << line;
+    auto parsed = parse_metrics_record_line(line);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    EXPECT_EQ(parsed->mode, "baseline");
+    EXPECT_EQ(parsed->framework, "GAP");
+    EXPECT_EQ(parsed->kernel, "bfs");
+    EXPECT_EQ(parsed->graph, "web");
+    EXPECT_EQ(parsed->trial, 3);
+    EXPECT_EQ(parsed->attempt, 2);
+    EXPECT_DOUBLE_EQ(parsed->metrics.wall_seconds, 1.5);
+    EXPECT_EQ(parsed->metrics.counter_or("iterations"), 12u);
+}
+
+TEST(Metrics, RejectsTornLine)
+{
+    MetricsRecord rec;
+    rec.mode = "baseline";
+    rec.framework = "GAP";
+    rec.kernel = "bfs";
+    rec.graph = "web";
+    const std::string line = metrics_record_line(rec);
+    const auto torn = parse_metrics_record_line(
+        line.substr(0, line.size() / 2));
+    EXPECT_FALSE(torn.is_ok());
+}
+
+} // namespace
+} // namespace gm::obs

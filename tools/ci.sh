@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# CI entry point: tier-1 verification plus an AddressSanitizer pass over
+# CI entry point: tier-1 verification, an AddressSanitizer pass over
 # the graph-store and GraphBLAS tests (the code most exposed to the
-# zero-copy view lifetimes introduced by the GraphStore refactor).
+# zero-copy view lifetimes introduced by the GraphStore refactor), a
+# ThreadSanitizer pass over the tracing and thread-pool tests (the code
+# with cross-thread counter/span traffic), and a profile-pipeline smoke
+# run that fails on unparseable Chrome trace JSON.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -27,5 +30,28 @@ cmake --build "$ASAN_DIR" -j "$JOBS" \
 "$ASAN_DIR/tests/grb_test"
 "$ASAN_DIR/tests/grb_ops_edge_test"
 "$ASAN_DIR/tests/converter_test"
+
+echo "== tier 3: ThreadSanitizer build of the obs/par tests =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DGM_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target obs_test par_test par_stress_test
+"$TSAN_DIR/tests/obs_test"
+"$TSAN_DIR/tests/par_test"
+"$TSAN_DIR/tests/par_stress_test"
+
+echo "== tier 4: profile pipeline smoke (suite --trace-out + validation) =="
+SMOKE_DIR="$BUILD_DIR/ci-profile-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+"$BUILD_DIR/tools/suite" --scale 6 --trials 1 \
+    --trace-out "$SMOKE_DIR/traces" \
+    --metrics-out "$SMOKE_DIR/metrics.jsonl" \
+    --csv-prefix "$SMOKE_DIR/results" > "$SMOKE_DIR/suite.log"
+# Fails (exit 1) on any trace file that does not parse as JSON, and
+# (exit 2) when the sweep produced no trace files at all.
+"$BUILD_DIR/tools/profile_report" --check-trace "$SMOKE_DIR/traces"
+"$BUILD_DIR/tools/profile_report" --metrics "$SMOKE_DIR/metrics.jsonl" \
+    > /dev/null
 
 echo "== ci.sh: all green =="

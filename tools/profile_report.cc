@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Offline profile reporting over the gm::obs artifacts a sweep leaves
+ * behind:
+ *
+ *   profile_report --metrics sweep_metrics.jsonl
+ *       Rebuild the per-graph x per-framework workload-characterization
+ *       table (iterations, edges traversed, frontier peak, parallel
+ *       efficiency, span time breakdown) from the per-trial JSONL stream.
+ *
+ *   profile_report --check-trace traces/
+ *       Structurally validate every exported Chrome trace_event JSON file
+ *       in a directory; exits nonzero on the first unparseable file (CI
+ *       runs this after a --trace-out sweep).
+ *
+ * Multiple trials of one cell collapse to the last one seen, matching the
+ * runner's "metrics of the last successful trial" convention.
+ */
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "gm/obs/metrics.hh"
+#include "gm/support/json.hh"
+
+namespace
+{
+
+using gm::obs::MetricsRecord;
+using gm::obs::TrialMetrics;
+
+void
+usage()
+{
+    std::cout
+        << "Usage: profile_report [options]\n"
+        << "  --metrics <file>     per-trial metrics JSONL (from\n"
+        << "                       suite --metrics-out / kernel drivers)\n"
+        << "  --check-trace <dir>  validate every .json Chrome trace in\n"
+        << "                       <dir>; nonzero exit on parse failure\n"
+        << "  --spans              include the span time breakdown\n"
+        << "  -h, --help           this help\n";
+}
+
+/** Last-seen metrics per cell, plus how many trials fed it. */
+struct CellProfile
+{
+    TrialMetrics metrics;
+    int trials = 0;
+};
+
+using CellKey = std::tuple<std::string, std::string, std::string,
+                           std::string>; ///< mode, kernel, graph, framework
+
+std::string
+format_count(std::uint64_t v)
+{
+    std::ostringstream os;
+    if (v >= 10'000'000)
+        os << v / 1'000'000 << "M";
+    else if (v >= 10'000)
+        os << v / 1'000 << "k";
+    else
+        os << v;
+    return os.str();
+}
+
+int
+report_metrics(const std::string& path, bool with_spans)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open metrics file: " << path << "\n";
+        return 2;
+    }
+
+    std::map<CellKey, CellProfile> cells;
+    std::string line;
+    int line_no = 0;
+    int skipped = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        auto rec = gm::obs::parse_metrics_record_line(line);
+        if (!rec.is_ok()) {
+            std::cerr << path << ":" << line_no
+                      << ": skipping unreadable record ("
+                      << rec.status().message() << ")\n";
+            ++skipped;
+            continue;
+        }
+        CellProfile& cell = cells[{rec->mode, rec->kernel, rec->graph,
+                                   rec->framework}];
+        cell.metrics = rec->metrics;
+        ++cell.trials;
+    }
+    if (cells.empty()) {
+        std::cerr << path << ": no readable metrics records\n";
+        return 2;
+    }
+
+    // One workload block per (mode, kernel); rows are graph x framework.
+    std::string block;
+    for (const auto& [key, cell] : cells) {
+        const auto& [mode, kernel, graph, framework] = key;
+        const std::string this_block = mode + " / " + kernel;
+        if (this_block != block) {
+            block = this_block;
+            std::cout << "\nWORKLOAD " << block << "\n";
+            std::cout << std::left << std::setw(9) << "Graph"
+                      << std::setw(13) << "Framework" << std::right
+                      << std::setw(7) << "Trials" << std::setw(9) << "Iters"
+                      << std::setw(10) << "Edges" << std::setw(10)
+                      << "FrontPk" << std::setw(7) << "Eff" << std::setw(10)
+                      << "Wall(s)" << std::setw(12) << "Peak(MiB)" << "\n";
+        }
+        const TrialMetrics& m = cell.metrics;
+        std::cout << std::left << std::setw(9) << graph << std::setw(13)
+                  << framework << std::right << std::setw(7) << cell.trials
+                  << std::setw(9) << format_count(m.counter_or("iterations"))
+                  << std::setw(10)
+                  << format_count(m.counter_or("edges_traversed"))
+                  << std::setw(10)
+                  << format_count(m.counter_or("frontier_peak"))
+                  << std::setw(7) << std::fixed << std::setprecision(2)
+                  << m.parallel_efficiency << std::setw(10)
+                  << std::setprecision(4) << m.wall_seconds << std::setw(12)
+                  << std::setprecision(1)
+                  << static_cast<double>(m.peak_bytes) / (1024.0 * 1024.0)
+                  << "\n";
+        if (with_spans) {
+            for (const auto& [name, seconds] : m.span_seconds) {
+                std::cout << "    span " << std::left << std::setw(24)
+                          << name << std::right << std::fixed
+                          << std::setprecision(6) << seconds << " s\n";
+            }
+        }
+    }
+    if (skipped > 0)
+        std::cerr << "\n" << skipped << " unreadable record(s) skipped\n";
+    return 0;
+}
+
+int
+check_traces(const std::string& dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+        std::cerr << "cannot open trace directory: " << dir << " ("
+                  << ec.message() << ")\n";
+        return 2;
+    }
+    int checked = 0;
+    int bad = 0;
+    for (const auto& entry : it) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".json")
+            continue;
+        std::ifstream in(entry.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        if (!in) {
+            std::cerr << entry.path().string() << ": read error\n";
+            ++bad;
+            continue;
+        }
+        ++checked;
+        if (auto s = gm::support::json_validate(text.str()); !s.is_ok()) {
+            std::cerr << entry.path().string() << ": " << s.to_string()
+                      << "\n";
+            ++bad;
+        }
+    }
+    std::cout << checked << " trace file(s) checked, " << bad
+              << " invalid\n";
+    if (checked == 0) {
+        std::cerr << dir << ": no .json trace files found\n";
+        return 2;
+    }
+    return bad == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string metrics_path;
+    std::string trace_dir;
+    bool with_spans = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " requires a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--metrics") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 1;
+            metrics_path = v;
+        } else if (arg == "--check-trace") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 1;
+            trace_dir = v;
+        } else if (arg == "--spans") {
+            with_spans = true;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 1;
+        }
+    }
+    if (metrics_path.empty() && trace_dir.empty()) {
+        usage();
+        return 1;
+    }
+    int code = 0;
+    if (!trace_dir.empty())
+        code = check_traces(trace_dir);
+    if (code == 0 && !metrics_path.empty())
+        code = report_metrics(metrics_path, with_spans);
+    return code;
+}

@@ -40,6 +40,10 @@ usage()
         << "  --checkpoint <file>      append finished cells as JSONL\n"
         << "  --resume <file>          skip cells recorded in this JSONL\n"
         << "  --csv-prefix <path>      CSV output prefix (default results)\n"
+        << "  --trace-out <dir>        write one Chrome trace_event JSON\n"
+        << "                           file per cell into <dir>\n"
+        << "  --metrics-out <path>     append one metrics JSONL record per\n"
+        << "                           trial to <path>\n"
         << "  --no-evict               keep every graph's derived forms\n"
         << "                           resident (default: evict per graph)\n"
         << "  -h, --help               this help\n"
@@ -151,6 +155,16 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return cli::kExitUsage;
             csv_prefix = v;
+        } else if (arg == "--trace-out") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.trace_dir = v;
+        } else if (arg == "--metrics-out") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.metrics_path = v;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             usage();
