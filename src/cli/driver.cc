@@ -9,6 +9,7 @@
 #include "gm/graph/io.hh"
 #include "gm/harness/runner.hh"
 #include "gm/obs/metrics.hh"
+#include "gm/support/fingerprint.hh"
 #include "gm/support/status.hh"
 #include "gm/support/timer.hh"
 
@@ -157,6 +158,15 @@ run_kernel(harness::Kernel kernel, const Options& opts)
     run_opts.max_attempts = opts.max_attempts;
     run_opts.trace_dir = opts.trace_dir;
     run_opts.metrics_path = opts.metrics_path;
+    if (!run_opts.metrics_path.empty()) {
+        support::EnvFingerprint fp = support::collect_fingerprint();
+        fp.scales = "scale=" + std::to_string(opts.scale) +
+                    " trials=" + std::to_string(opts.trials);
+        if (auto s = support::append_fingerprint_record(
+                run_opts.metrics_path, fp);
+            !s.is_ok())
+            std::cerr << s.to_string() << "\n";
+    }
     double total = 0;
     bool all_verified = true;
     harness::FailureKind failure = harness::FailureKind::kNone;

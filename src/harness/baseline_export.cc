@@ -1,0 +1,46 @@
+#include "gm/harness/baseline_export.hh"
+
+namespace gm::harness
+{
+
+perf::BaselineCell
+to_baseline_cell(const CellResult& cell, const std::string& mode,
+                 const std::string& framework, const std::string& kernel,
+                 const std::string& graph)
+{
+    perf::BaselineCell out;
+    out.mode = mode;
+    out.framework = framework;
+    out.kernel = kernel;
+    out.graph = graph;
+    out.seconds = cell.trial_seconds;
+    out.verified = cell.verified;
+    out.failure = to_string(cell.failure);
+    // Key workload counters only: enough to notice "same time, 3x the
+    // edges traversed" drift without dragging the whole metrics blob
+    // into every baseline.
+    for (const char* key :
+         {"iterations", "edges_traversed", "frontier_peak"}) {
+        if (const std::uint64_t v = cell.metrics.counter_or(key); v != 0)
+            out.counters[key] = v;
+    }
+    return out;
+}
+
+void
+append_baseline_cells(perf::Baseline& baseline, const ResultsCube& cube,
+                      Mode mode)
+{
+    for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
+        for (Kernel kernel : kAllKernels) {
+            for (std::size_t g = 0; g < cube.graph_names.size(); ++g) {
+                baseline.cells.push_back(to_baseline_cell(
+                    cube.at(f, kernel, g), to_string(mode),
+                    cube.framework_names[f], to_string(kernel),
+                    cube.graph_names[g]));
+            }
+        }
+    }
+}
+
+} // namespace gm::harness

@@ -41,10 +41,11 @@ require(const std::map<std::string, std::string>& fields,
 std::string
 checkpoint_line(const CheckpointRecord& record)
 {
-    // "v":2 marks lines carrying the metrics blob; parse_checkpoint_line
-    // still accepts unversioned (v1) lines from older sweeps.
+    // "v":3 marks lines carrying the raw trial vector (and the v2 metrics
+    // blob); parse_checkpoint_line still accepts v2 and unversioned (v1)
+    // lines from older sweeps.
     std::ostringstream out;
-    out << "{\"v\":2"
+    out << "{\"v\":3"
         << ",\"mode\":\"" << json_escape(record.mode) << "\""
         << ",\"framework\":\"" << json_escape(record.framework) << "\""
         << ",\"kernel\":\"" << json_escape(record.kernel) << "\""
@@ -59,6 +60,10 @@ checkpoint_line(const CheckpointRecord& record)
         << "\""
         << ",\"failure_message\":\""
         << json_escape(record.cell.failure_message) << "\"";
+    if (!record.cell.trial_seconds.empty()) {
+        out << ",\"trial_seconds\":"
+            << support::json_double_array(record.cell.trial_seconds);
+    }
     if (!record.cell.metrics.empty())
         out << ",\"metrics\":" << obs::metrics_json(record.cell.metrics);
     out << "}";
@@ -116,6 +121,14 @@ parse_checkpoint_line(const std::string& line)
         rec.cell.supported = it->second == "true";
     if (const auto it = fields.find("failure_message"); it != fields.end())
         rec.cell.failure_message = it->second;
+    if (const auto it = fields.find("trial_seconds"); it != fields.end()) {
+        // v3 field; v1/v2 cells resume with an empty sample vector, which
+        // the perf pipeline treats as "no raw samples recorded".
+        if (Status s = support::parse_json_double_array(
+                it->second, rec.cell.trial_seconds);
+            !s.is_ok())
+            return s;
+    }
     if (const auto it = fields.find("metrics"); it != fields.end()) {
         auto metrics = obs::parse_metrics_json(it->second);
         if (!metrics.is_ok())

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Bridge from harness results to gm::perf baselines: flatten a
+ * ResultsCube's cells (raw trial vectors + key workload counters) into
+ * BaselineCell records that tools/perf_gate can compare across runs.
+ */
+#pragma once
+
+#include "gm/harness/runner.hh"
+#include "gm/perf/baseline.hh"
+
+namespace gm::harness
+{
+
+/** Append every cell of @p cube (run under @p mode) to @p baseline. */
+void append_baseline_cells(perf::Baseline& baseline,
+                           const ResultsCube& cube, Mode mode);
+
+/** Convert one cell (used by tests and the single-kernel drivers). */
+perf::BaselineCell to_baseline_cell(const CellResult& cell,
+                                    const std::string& mode,
+                                    const std::string& framework,
+                                    const std::string& kernel,
+                                    const std::string& graph);
+
+} // namespace gm::harness

@@ -63,6 +63,12 @@ struct CellResult
     std::string failure_message;
     int attempts = 0;        ///< total trial attempts including retries
 
+    /** Wall seconds of every completed trial, in completion order.
+     *  Warm-up trials never appear here.  This is the raw sample the
+     *  perf pipeline (gm::stats / gm::perf) summarizes and tests;
+     *  best/avg above are derived conveniences, not the record. */
+    std::vector<double> trial_seconds;
+
     /** Workload metrics of the last successful trial (empty when metrics
      *  collection was disabled or no trial completed). */
     obs::TrialMetrics metrics;
@@ -97,6 +103,12 @@ struct ResultsCube
 struct RunOptions
 {
     int trials = 2;
+
+    /** Untimed warm-up trials before the timed ones.  Excluded from all
+     *  statistics (trials/trial_seconds/avg/best) but visible in Chrome
+     *  traces under a "warmup" span; 0 preserves cold-cache timing. */
+    int warmup = 0;
+
     bool verify = true;
     /** Skip verification of kernels whose serial oracle is expensive when
      *  the result was already verified once for this (framework, graph). */

@@ -15,6 +15,7 @@
 
 #include "gm/harness/dataset.hh"
 #include "gm/harness/runner.hh"
+#include "gm/support/fingerprint.hh"
 #include "gm/support/status.hh"
 
 namespace gm::harness
@@ -37,11 +38,19 @@ void print_table4(std::ostream& os, const ResultsCube& baseline,
 void print_table5(std::ostream& os, const ResultsCube& baseline,
                   const ResultsCube& optimized);
 
-/** Write one cube as CSV (framework,kernel,graph,best,avg,verified,
- *  failure,attempts,graph_peak_bytes).  Fails with a Status instead of
- *  aborting. */
+/**
+ * Write one cube as CSV.  Columns: the historical set
+ * (best_seconds/avg_seconds/trials/verified/...) plus the robust spread
+ * columns (min/median/stddev/cv over the raw trial vector; avg_seconds
+ * keeps its name for existing parsers).  When @p fingerprint is non-null
+ * it is embedded as leading "# fingerprint: {...}" comment lines so an
+ * orphaned results file stays attributable.  Fails with a Status instead
+ * of aborting.
+ */
 support::Status write_csv(const std::string& path, const ResultsCube& cube,
-                          Mode mode);
+                          Mode mode,
+                          const support::EnvFingerprint* fingerprint =
+                              nullptr);
 
 /** Print the per-graph artifact memory report: one row per artifact
  *  (base, weighted, undirected, relabeled, grb, grb+weights) with
@@ -50,8 +59,11 @@ support::Status write_csv(const std::string& path, const ResultsCube& cube,
 void print_memory_report(std::ostream& os, const DatasetSuite& suite);
 
 /** Write the memory report as CSV
- *  (graph,artifact,resident,alias,bytes,build_seconds,builds). */
+ *  (graph,artifact,resident,alias,bytes,build_seconds,builds), with the
+ *  same optional fingerprint comment header as write_csv. */
 support::Status write_memory_csv(const std::string& path,
-                                 const DatasetSuite& suite);
+                                 const DatasetSuite& suite,
+                                 const support::EnvFingerprint* fingerprint =
+                                     nullptr);
 
 } // namespace gm::harness

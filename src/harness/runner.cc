@@ -87,6 +87,24 @@ warm_forms(const Dataset& ds, Kernel kernel, Mode mode)
 }
 
 /**
+ * Injection point *inside* the timed region, polled right after the trial
+ * timer starts: slowdown faults (GM_FAULTS ":delay=<ms>") armed here land
+ * in the measured wall time, which is how the perf-gate CI tier
+ * manufactures a reproducible regression on one chosen cell.  Both the
+ * broad site and the fully-qualified per-cell site are polled.
+ */
+void
+timed_faults(const Dataset& ds, const Framework& fw, Kernel kernel)
+{
+    auto& injector = support::FaultInjector::global();
+    if (!injector.enabled())
+        return;
+    injector.at("trial.timed");
+    injector.at("trial.timed." + fw.name + "." + to_string(kernel) + "." +
+                ds.name);
+}
+
+/**
  * One attempt of one trial: kernel (timed) + optional verification, run
  * inline on the calling thread.  Exceptions escape to the watchdog.
  */
@@ -114,6 +132,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               parent = fw.bfs(ds, src, mode);
               timer.stop();
           }
@@ -129,6 +148,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               dist = fw.sssp(ds, src, mode);
               timer.stop();
           }
@@ -143,6 +163,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               comp = fw.cc(ds, mode);
               timer.stop();
           }
@@ -157,6 +178,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               scores = fw.pr(ds, mode);
               timer.stop();
           }
@@ -173,6 +195,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               scores = fw.bc(ds, sources, mode);
               timer.stop();
           }
@@ -187,6 +210,7 @@ run_trial_attempt(const Dataset& ds, const Framework& fw, Kernel kernel,
           {
               obs::ScopedSpan span("kernel");
               timer.start();
+              timed_faults(ds, fw, kernel);
               count = fw.tc(ds, mode);
               timer.stop();
           }
@@ -317,6 +341,37 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
         }
     }
 
+    // Untimed warm-up trials: same supervised execution path as real
+    // trials so hangs and faults still hit the watchdog, but nothing is
+    // recorded — they exist only to populate caches (and the page cache /
+    // branch predictors) before measurement.  Each one is wrapped in a
+    // "warmup" span so Chrome traces show where measurement really began.
+    for (int w = 0; w < opts.warmup; ++w) {
+        auto out = std::make_shared<TrialOutput>();
+        obs::TraceSession session;
+        if (profile)
+            session.start();
+        const std::uint64_t session_gen = session.gen();
+        const Status status = support::run_with_watchdog(
+            [out, &ds, &fw, kernel, mode, w, session_gen] {
+                obs::SessionBinding bind(session_gen);
+                obs::ScopedSpan span("warmup");
+                run_trial_attempt(ds, fw, kernel, mode, w,
+                                  /*check=*/false, *out);
+            },
+            opts.trial_timeout_ms);
+        session.stop();
+        if (!opts.trace_dir.empty())
+            trace_writer.add_session(session,
+                                     "warmup " + std::to_string(w));
+        if (!status.is_ok()) {
+            // Not a DNF: the timed trials below render the real verdict.
+            log_warn(fw.name, " ", to_string(kernel), " on ", ds.name,
+                     " warm-up ", w, " failed (", status.to_string(),
+                     "); proceeding to timed trials");
+        }
+    }
+
     for (int trial = 0; trial < opts.trials; ++trial) {
         const bool check =
             opts.verify && (!opts.verify_first_trial_only || trial == 0);
@@ -395,6 +450,7 @@ run_cell(const Dataset& ds, const Framework& fw, Kernel kernel, Mode mode,
         }
         cell.best_seconds = std::min(cell.best_seconds, out->seconds);
         total += out->seconds;
+        cell.trial_seconds.push_back(out->seconds);
         ++cell.trials;
 
         if (profile) {

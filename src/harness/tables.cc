@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "gm/stats/stats.hh"
 #include "gm/support/log.hh"
 
 namespace gm::harness
@@ -137,15 +138,37 @@ print_table5(std::ostream& os, const ResultsCube& baseline,
     print_half(optimized, "Optimized (speedup over GAP reference)");
 }
 
+namespace
+{
+
+/** "# fingerprint: {...}" comment header (readers skipping '#' lines
+ *  keep working; attribution survives the file being copied around). */
+void
+write_fingerprint_comment(std::ostream& out,
+                          const support::EnvFingerprint* fingerprint)
+{
+    if (fingerprint != nullptr) {
+        out << "# fingerprint: " << support::fingerprint_json(*fingerprint)
+            << "\n";
+    }
+}
+
+} // namespace
+
 support::Status
-write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
+write_csv(const std::string& path, const ResultsCube& cube, Mode mode,
+          const support::EnvFingerprint* fingerprint)
 {
     std::ofstream out(path);
     if (!out) {
         return support::Status(support::StatusCode::kInvalidInput,
                                "cannot write csv: " + path);
     }
-    out << "mode,framework,kernel,graph,best_seconds,avg_seconds,trials,"
+    write_fingerprint_comment(out, fingerprint);
+    // avg_seconds keeps its historical name; the robust spread columns
+    // (min/median/stddev/cv over the raw trial vector) sit next to it.
+    out << "mode,framework,kernel,graph,best_seconds,avg_seconds,"
+           "min_seconds,median_seconds,stddev_seconds,cv,trials,"
            "verified,failure,attempts,graph_peak_bytes,"
            "iterations,edges_traversed,frontier_peak,parallel_efficiency\n";
     for (std::size_t f = 0; f < cube.framework_names.size(); ++f) {
@@ -156,13 +179,17 @@ write_csv(const std::string& path, const ResultsCube& cube, Mode mode)
                     g < cube.graph_peak_bytes.size()
                         ? cube.graph_peak_bytes[g]
                         : 0;
+                const stats::Summary s =
+                    stats::summarize(cell.trial_seconds);
                 // Workload columns come from the last successful trial's
                 // trace session; cells run without metrics leave them 0.
                 const obs::TrialMetrics& m = cell.metrics;
                 out << to_string(mode) << "," << cube.framework_names[f]
                     << "," << to_string(kernel) << ","
                     << cube.graph_names[g] << "," << cell.best_seconds
-                    << "," << cell.avg_seconds << "," << cell.trials << ","
+                    << "," << cell.avg_seconds << "," << s.min << ","
+                    << s.median << "," << s.stddev << "," << s.cv << ","
+                    << cell.trials << ","
                     << (cell.verified ? 1 : 0) << ","
                     << to_string(cell.failure) << "," << cell.attempts
                     << "," << peak << "," << m.counter_or("iterations")
@@ -228,13 +255,15 @@ print_memory_report(std::ostream& os, const DatasetSuite& suite)
 }
 
 support::Status
-write_memory_csv(const std::string& path, const DatasetSuite& suite)
+write_memory_csv(const std::string& path, const DatasetSuite& suite,
+                 const support::EnvFingerprint* fingerprint)
 {
     std::ofstream out(path);
     if (!out) {
         return support::Status(support::StatusCode::kInvalidInput,
                                "cannot write csv: " + path);
     }
+    write_fingerprint_comment(out, fingerprint);
     out << "graph,artifact,resident,alias,bytes,build_seconds,builds\n";
     for (const auto& ds : suite.datasets) {
         for (const auto& art : ds->store()->artifacts()) {

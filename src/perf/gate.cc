@@ -1,0 +1,270 @@
+#include "gm/perf/gate.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "gm/stats/stats.hh"
+#include "gm/support/json.hh"
+
+namespace gm::perf
+{
+
+namespace
+{
+
+using support::Status;
+using support::StatusCode;
+
+/** Deterministic per-cell seed so report CIs don't depend on cell order. */
+std::uint64_t
+cell_seed(std::uint64_t base, const std::string& key)
+{
+    std::uint64_t h = 1469598103934665603ULL ^ base; // FNV-1a over the key
+    for (char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+CellComparison
+make_row(const BaselineCell& cell)
+{
+    CellComparison row;
+    row.mode = cell.mode;
+    row.framework = cell.framework;
+    row.kernel = cell.kernel;
+    row.graph = cell.graph;
+    return row;
+}
+
+} // namespace
+
+std::string
+to_string(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::kUnchanged:
+        return "unchanged";
+      case Verdict::kImproved:
+        return "improved";
+      case Verdict::kRegressed:
+        return "regressed";
+      case Verdict::kNew:
+        return "new";
+      case Verdict::kMissing:
+        return "missing";
+    }
+    return "?";
+}
+
+GateReport
+compare_baselines(const Baseline& ref, const Baseline& cand,
+                  const GateOptions& opts)
+{
+    GateReport report;
+    report.ref_fingerprint = ref.fingerprint;
+    report.cand_fingerprint = cand.fingerprint;
+    report.options = opts;
+
+    std::map<std::string, const BaselineCell*> ref_by_key;
+    for (const BaselineCell& cell : ref.cells)
+        ref_by_key[cell.key()] = &cell;
+
+    std::map<std::string, const BaselineCell*> cand_by_key;
+    for (const BaselineCell& cell : cand.cells)
+        cand_by_key[cell.key()] = &cell;
+
+    // Candidate-side pass: matched cells get the statistical verdict,
+    // unmatched ones are "new".
+    for (const BaselineCell& cell : cand.cells) {
+        CellComparison row = make_row(cell);
+        row.cand_trials = static_cast<int>(cell.seconds.size());
+        row.cand_median = stats::median_of(cell.seconds);
+        if (opts.bootstrap_resamples > 0 && cell.seconds.size() >= 2) {
+            const auto ci = stats::bootstrap_median_ci(
+                cell.seconds, opts.bootstrap_resamples, 0.95,
+                cell_seed(opts.seed, cell.key()));
+            row.cand_ci_lo = ci.lo;
+            row.cand_ci_hi = ci.hi;
+        }
+
+        const auto it = ref_by_key.find(cell.key());
+        if (it == ref_by_key.end()) {
+            row.verdict = Verdict::kNew;
+            report.cells.push_back(std::move(row));
+            continue;
+        }
+        const BaselineCell& ref_cell = *it->second;
+        row.ref_trials = static_cast<int>(ref_cell.seconds.size());
+        row.ref_median = stats::median_of(ref_cell.seconds);
+
+        if (!ref_cell.completed() && !cell.completed()) {
+            row.verdict = Verdict::kUnchanged;
+            row.note = "DNF on both sides (" + cell.failure + ")";
+        } else if (ref_cell.completed() && !cell.completed()) {
+            // A kernel that stopped finishing is worse than a slow one.
+            row.verdict = Verdict::kRegressed;
+            row.note = "DNF (" + cell.failure + ") in candidate";
+        } else if (!ref_cell.completed() && cell.completed()) {
+            row.verdict = Verdict::kImproved;
+            row.note = "DNF (" + ref_cell.failure + ") in reference only";
+        } else {
+            row.p_value =
+                stats::mann_whitney_u(ref_cell.seconds, cell.seconds);
+            row.change = row.ref_median > 0
+                             ? (row.cand_median - row.ref_median) /
+                                   row.ref_median
+                             : 0;
+            const bool significant = row.p_value < opts.alpha;
+            if (significant && row.change > opts.min_effect)
+                row.verdict = Verdict::kRegressed;
+            else if (significant && row.change < -opts.min_effect)
+                row.verdict = Verdict::kImproved;
+            else
+                row.verdict = Verdict::kUnchanged;
+        }
+        report.cells.push_back(std::move(row));
+    }
+
+    // Reference-side pass: cells the candidate never ran.
+    for (const BaselineCell& cell : ref.cells) {
+        if (cand_by_key.count(cell.key()) != 0)
+            continue;
+        CellComparison row = make_row(cell);
+        row.ref_trials = static_cast<int>(cell.seconds.size());
+        row.ref_median = stats::median_of(cell.seconds);
+        row.verdict = Verdict::kMissing;
+        row.note = "cell absent from candidate";
+        report.cells.push_back(std::move(row));
+    }
+
+    for (const CellComparison& row : report.cells) {
+        switch (row.verdict) {
+          case Verdict::kUnchanged:
+            ++report.unchanged;
+            break;
+          case Verdict::kImproved:
+            ++report.improved;
+            break;
+          case Verdict::kRegressed:
+            ++report.regressed;
+            break;
+          case Verdict::kNew:
+            ++report.added;
+            break;
+          case Verdict::kMissing:
+            ++report.missing;
+            break;
+        }
+    }
+    return report;
+}
+
+void
+print_report(std::ostream& os, const GateReport& report)
+{
+    if (!(report.ref_fingerprint == report.cand_fingerprint)) {
+        os << "WARNING: fingerprints differ; timings may not be "
+              "comparable\n"
+           << "  ref:  " << support::fingerprint_json(report.ref_fingerprint)
+           << "\n"
+           << "  cand: "
+           << support::fingerprint_json(report.cand_fingerprint) << "\n\n";
+    }
+
+    os << "PERF GATE (alpha " << report.options.alpha << ", min effect "
+       << std::fixed << std::setprecision(1)
+       << report.options.min_effect * 100 << "%)\n";
+    os << std::left << std::setw(11) << "Verdict" << std::setw(11) << "Mode"
+       << std::setw(13) << "Framework" << std::setw(7) << "Kernel"
+       << std::setw(9) << "Graph" << std::right << std::setw(12)
+       << "ref med(s)" << std::setw(12) << "cand med(s)" << std::setw(9)
+       << "change" << std::setw(9) << "p" << "\n";
+    os << std::string(93, '-') << "\n";
+    for (const CellComparison& row : report.cells) {
+        // Keep the table scannable: unchanged rows stay silent unless the
+        // sweep is tiny.
+        if (row.verdict == Verdict::kUnchanged && report.cells.size() > 40)
+            continue;
+        os << std::left << std::setw(11) << to_string(row.verdict)
+           << std::setw(11) << row.mode << std::setw(13) << row.framework
+           << std::setw(7) << row.kernel << std::setw(9) << row.graph
+           << std::right << std::fixed << std::setprecision(5)
+           << std::setw(12) << row.ref_median << std::setw(12)
+           << row.cand_median;
+        // Pre-render the percentage so a 6-digit regression widens its
+        // column instead of fusing with the median next to it.
+        std::ostringstream pct;
+        pct << std::fixed << std::setprecision(1) << row.change * 100
+            << "%";
+        os << " " << std::setw(8) << pct.str() << std::setprecision(3)
+           << std::setw(9) << row.p_value;
+        if (!row.note.empty())
+            os << "  " << row.note;
+        os << "\n";
+    }
+    os << std::string(93, '-') << "\n";
+    os << report.cells.size() << " cell(s): " << report.improved
+       << " improved, " << report.unchanged << " unchanged, "
+       << report.regressed << " regressed, " << report.added << " new, "
+       << report.missing << " missing\n";
+    os << "gate: " << (report.failed() ? "FAIL" : "PASS") << "\n";
+}
+
+support::Status
+write_report_json(const std::string& path, const GateReport& report)
+{
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    if (!out) {
+        return Status(StatusCode::kInvalidInput,
+                      "cannot write report: " + path);
+    }
+    using support::json_double;
+    using support::json_escape;
+    out << "{\"kind\":\"gate_header\",\"alpha\":"
+        << json_double(report.options.alpha) << ",\"min_effect\":"
+        << json_double(report.options.min_effect) << ",\"ref_fingerprint\":"
+        << support::fingerprint_json(report.ref_fingerprint)
+        << ",\"cand_fingerprint\":"
+        << support::fingerprint_json(report.cand_fingerprint) << "}\n";
+    for (const CellComparison& row : report.cells) {
+        out << "{\"kind\":\"cell\",\"verdict\":\""
+            << to_string(row.verdict) << "\""
+            << ",\"mode\":\"" << json_escape(row.mode) << "\""
+            << ",\"framework\":\"" << json_escape(row.framework) << "\""
+            << ",\"kernel\":\"" << json_escape(row.kernel) << "\""
+            << ",\"graph\":\"" << json_escape(row.graph) << "\""
+            << ",\"ref_median\":" << json_double(row.ref_median)
+            << ",\"cand_median\":" << json_double(row.cand_median)
+            << ",\"change\":" << json_double(row.change)
+            << ",\"p_value\":" << json_double(row.p_value)
+            << ",\"cand_ci_lo\":" << json_double(row.cand_ci_lo)
+            << ",\"cand_ci_hi\":" << json_double(row.cand_ci_hi)
+            << ",\"ref_trials\":" << row.ref_trials
+            << ",\"cand_trials\":" << row.cand_trials
+            << ",\"note\":\"" << json_escape(row.note) << "\"}\n";
+    }
+    out << "{\"kind\":\"gate_summary\",\"improved\":" << report.improved
+        << ",\"unchanged\":" << report.unchanged
+        << ",\"regressed\":" << report.regressed
+        << ",\"new\":" << report.added << ",\"missing\":" << report.missing
+        << ",\"failed\":" << (report.failed() ? "true" : "false") << "}\n";
+    if (!out) {
+        return Status(StatusCode::kInvalidInput,
+                      "write error on report: " + path);
+    }
+    return Status::ok();
+}
+
+int
+gate_exit_code(const GateReport& report)
+{
+    return report.failed() ? 1 : 0;
+}
+
+} // namespace gm::perf

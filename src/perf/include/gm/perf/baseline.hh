@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Performance baselines: the serialized form of one sweep's raw trial
+ * vectors, keyed per cell, plus the environment fingerprint of the run
+ * that produced them.
+ *
+ * File format is versioned JSONL, matching the harness's crash-safe
+ * conventions (one self-contained record per line; torn lines are
+ * skipped with a warning, not fatal):
+ *
+ *   {"v":1,"kind":"fingerprint","git_sha":...,...}
+ *   {"kind":"cell","mode":"Baseline","framework":"GAP","kernel":"BFS",
+ *    "graph":"Kron","seconds":[0.01,0.011],"verified":true,
+ *    "failure":"none","counters":{"edges_traversed":123,...}}
+ *
+ * A baseline stores *samples*, not summaries: tools/perf_gate recomputes
+ * medians and runs significance tests on the raw vectors, so the
+ * statistics can improve without re-running sweeps.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gm/support/fingerprint.hh"
+#include "gm/support/status.hh"
+
+namespace gm::perf
+{
+
+/** Raw samples of one (mode, framework, kernel, graph) cell. */
+struct BaselineCell
+{
+    std::string mode;
+    std::string framework;
+    std::string kernel;
+    std::string graph;
+
+    /** Wall seconds of every completed (timed, non-warmup) trial. */
+    std::vector<double> seconds;
+
+    /** Key workload counters of the cell's last successful trial. */
+    std::map<std::string, std::uint64_t> counters;
+
+    bool verified = false;
+    std::string failure = "none"; ///< FailureKind long name
+
+    /** Stable identity used to match cells across baselines. */
+    std::string
+    key() const
+    {
+        return mode + "/" + framework + "/" + kernel + "/" + graph;
+    }
+
+    /** True when the cell produced at least one usable timing. */
+    bool
+    completed() const
+    {
+        return failure == "none" && !seconds.empty();
+    }
+};
+
+/** One sweep's worth of raw results. */
+struct Baseline
+{
+    int version = 1;
+    support::EnvFingerprint fingerprint;
+    std::vector<BaselineCell> cells;
+};
+
+/** Serialize one cell record (no trailing newline). */
+std::string baseline_cell_line(const BaselineCell& cell);
+
+/** Parse one cell record line; kCorruptData for torn/malformed lines. */
+support::StatusOr<BaselineCell>
+parse_baseline_cell_line(const std::string& line);
+
+/** Write @p baseline to @p path (truncates; fingerprint record first). */
+support::Status save_baseline(const std::string& path,
+                              const Baseline& baseline);
+
+/**
+ * Load a baseline.  Unreadable lines are skipped with a warning (torn
+ * final line of a killed run); a file with no readable records at all is
+ * kCorruptData.  A missing fingerprint record leaves the default
+ * ("unknown") fingerprint — old files stay loadable.
+ */
+support::StatusOr<Baseline> load_baseline(const std::string& path);
+
+} // namespace gm::perf

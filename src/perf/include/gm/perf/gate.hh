@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The regression gate: compare a candidate baseline against a reference,
+ * cell by cell, and decide whether the candidate is allowed to land.
+ *
+ * A cell only counts as a regression when BOTH hold:
+ *  - the median slowdown exceeds the minimum-effect threshold
+ *    (default 5%), so microsecond jitter on tiny graphs can't fail CI; and
+ *  - a Mann-Whitney U test on the raw trial vectors rejects "same
+ *    distribution" at the configured significance level (default 0.05),
+ *    so a single unlucky trial can't either.
+ *
+ * The same two-sided criterion, mirrored, reports improvements.  Cells
+ * present on only one side are reported as new/missing; cells that
+ * completed in the reference but DNF'd in the candidate are regressions
+ * (a kernel that stopped finishing is worse than a slow one).
+ *
+ * Note on sample sizes: with fewer than 4 trials per side the
+ * Mann-Whitney test cannot reach p < 0.05 even for disjoint samples, so
+ * the gate can never flag anything.  Record baselines with >= 5 trials.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gm/perf/baseline.hh"
+#include "gm/support/status.hh"
+
+namespace gm::perf
+{
+
+/** Per-cell comparison outcome. */
+enum class Verdict
+{
+    kUnchanged = 0,
+    kImproved,
+    kRegressed,
+    kNew,     ///< in candidate only
+    kMissing, ///< in reference only, or completed -> DNF
+};
+
+/** Stable long name ("regressed", ...), used in reports. */
+std::string to_string(Verdict verdict);
+
+/** Gate thresholds. */
+struct GateOptions
+{
+    /** Significance level for the Mann-Whitney test. */
+    double alpha = 0.05;
+    /** Minimum relative median change to count (0.05 = 5%). */
+    double min_effect = 0.05;
+    /** Seed for the bootstrap CIs included in the report. */
+    std::uint64_t seed = 2020;
+    /** Bootstrap resamples per cell (0 disables CI computation). */
+    int bootstrap_resamples = 1000;
+    /** Treat missing cells (reference-only / completed -> DNF) as
+     *  gate failures too. */
+    bool fail_on_missing = false;
+};
+
+/** One row of the comparison. */
+struct CellComparison
+{
+    std::string mode;
+    std::string framework;
+    std::string kernel;
+    std::string graph;
+    Verdict verdict = Verdict::kUnchanged;
+
+    double ref_median = 0;
+    double cand_median = 0;
+    /** (cand - ref) / ref; 0 when undefined. */
+    double change = 0;
+    /** Mann-Whitney two-sided p-value; 1 when not applicable. */
+    double p_value = 1;
+    /** Bootstrap CI of the candidate median (when enabled). */
+    double cand_ci_lo = 0;
+    double cand_ci_hi = 0;
+    /** Trial counts on each side. */
+    int ref_trials = 0;
+    int cand_trials = 0;
+    std::string note; ///< e.g. "DNF (timeout) in candidate"
+};
+
+/** The whole comparison plus its verdict tallies. */
+struct GateReport
+{
+    support::EnvFingerprint ref_fingerprint;
+    support::EnvFingerprint cand_fingerprint;
+    GateOptions options;
+    std::vector<CellComparison> cells;
+
+    int improved = 0;
+    int unchanged = 0;
+    int regressed = 0;
+    int added = 0;
+    int missing = 0;
+
+    /** True when the gate should fail the build. */
+    bool
+    failed() const
+    {
+        return regressed > 0 ||
+               (options.fail_on_missing && missing > 0);
+    }
+};
+
+/** Compare @p cand against @p ref under @p opts. */
+GateReport compare_baselines(const Baseline& ref, const Baseline& cand,
+                             const GateOptions& opts = {});
+
+/** Render the human-readable comparison table + summary line. */
+void print_report(std::ostream& os, const GateReport& report);
+
+/** Write the machine-readable report: one JSON line per cell plus a
+ *  trailing summary record. */
+support::Status write_report_json(const std::string& path,
+                                  const GateReport& report);
+
+/** Process exit code for the gate: 0 pass, 1 regression. */
+int gate_exit_code(const GateReport& report);
+
+} // namespace gm::perf

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Robust statistics over raw benchmark trial vectors.
+ *
+ * The GAP trial protocol produces small samples (2-32 wall times per
+ * cell) whose run-to-run variance is large enough that mean-only
+ * comparisons mislead (Pollard & Norris).  This library provides the
+ * summaries and significance tests the perf pipeline builds on:
+ *
+ *  - summarize(): min/max/mean/median/stddev/MAD/CV in one pass, with
+ *    well-defined values for n == 0 and n == 1.
+ *  - bootstrap_median_ci(): percentile bootstrap confidence interval for
+ *    the median, driven by a seeded Xoshiro256 so results are bit-stable
+ *    across runs and platforms.
+ *  - mann_whitney_u(): two-sided rank-sum test with tie correction and
+ *    continuity correction; degenerates gracefully (p = 1) when every
+ *    observation is tied or either sample is empty.
+ *  - permutation_test(): seeded two-sided permutation test on the
+ *    difference of medians, for callers that prefer an exact-style test
+ *    over the normal approximation.
+ *
+ * Everything here is deterministic: no global RNG, no time source.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gm::stats
+{
+
+/** Order statistics + moments of one sample. */
+struct Summary
+{
+    std::size_t n = 0;
+    double min = 0;
+    double max = 0;
+    double mean = 0;
+    double median = 0;
+    double stddev = 0; ///< sample stddev (n-1 denominator); 0 for n < 2
+    double mad = 0;    ///< raw median absolute deviation (unscaled)
+    double cv = 0;     ///< stddev / mean; 0 when mean == 0
+};
+
+/** Summarize @p samples; all fields are 0 when the sample is empty. */
+Summary summarize(const std::vector<double>& samples);
+
+/** Median of @p samples (average of the middle two for even n); 0 when
+ *  empty. */
+double median_of(std::vector<double> samples);
+
+/** Percentile bootstrap confidence interval. */
+struct BootstrapCI
+{
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * Percentile bootstrap CI for the median of @p samples.
+ *
+ * @param resamples   Bootstrap iterations (e.g. 1000).
+ * @param confidence  Central coverage, e.g. 0.95 for a 95% interval.
+ * @param seed        PRNG seed; identical seeds give identical intervals.
+ *
+ * Degenerate inputs collapse to [median, median] (n < 2 or resamples < 1).
+ */
+BootstrapCI bootstrap_median_ci(const std::vector<double>& samples,
+                                int resamples, double confidence,
+                                std::uint64_t seed);
+
+/**
+ * Two-sided Mann-Whitney U p-value for samples @p a vs @p b, using the
+ * normal approximation with average ranks for ties, the tie-corrected
+ * variance, and a 0.5 continuity correction.
+ *
+ * Returns 1.0 when either sample is empty or the tie correction zeroes
+ * the variance (every observation identical) — i.e. "no evidence of a
+ * difference", never a division by zero.
+ */
+double mann_whitney_u(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/**
+ * Two-sided permutation test on |median(a) - median(b)|: shuffle the
+ * pooled sample @p permutations times with a Xoshiro256 seeded from
+ * @p seed and count splits at least as extreme as the observed one.
+ * Includes the observed split itself ((k+1)/(B+1)), so the p-value is
+ * never 0.  Returns 1.0 for empty samples.
+ */
+double permutation_test(const std::vector<double>& a,
+                        const std::vector<double>& b, int permutations,
+                        std::uint64_t seed);
+
+} // namespace gm::stats

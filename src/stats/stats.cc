@@ -1,0 +1,211 @@
+#include "gm/stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gm/support/rng.hh"
+
+namespace gm::stats
+{
+
+namespace
+{
+
+/** Median of a sorted, non-empty vector. */
+double
+sorted_median(const std::vector<double>& sorted)
+{
+    const std::size_t n = sorted.size();
+    if (n % 2 == 1)
+        return sorted[n / 2];
+    return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+} // namespace
+
+double
+median_of(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    return sorted_median(samples);
+}
+
+Summary
+summarize(const std::vector<double>& samples)
+{
+    Summary s;
+    s.n = samples.size();
+    if (s.n == 0)
+        return s;
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.median = sorted_median(sorted);
+
+    double sum = 0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.n);
+
+    if (s.n >= 2) {
+        double ss = 0;
+        for (double v : sorted) {
+            const double d = v - s.mean;
+            ss += d * d;
+        }
+        s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    }
+    if (s.mean != 0)
+        s.cv = s.stddev / s.mean;
+
+    std::vector<double> dev(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        dev[i] = std::abs(sorted[i] - s.median);
+    std::sort(dev.begin(), dev.end());
+    s.mad = sorted_median(dev);
+    return s;
+}
+
+BootstrapCI
+bootstrap_median_ci(const std::vector<double>& samples, int resamples,
+                    double confidence, std::uint64_t seed)
+{
+    BootstrapCI ci;
+    if (samples.empty())
+        return ci;
+    const double point = median_of(samples);
+    ci.lo = point;
+    ci.hi = point;
+    if (samples.size() < 2 || resamples < 1)
+        return ci;
+
+    Xoshiro256 rng(seed);
+    std::vector<double> medians(static_cast<std::size_t>(resamples));
+    std::vector<double> draw(samples.size());
+    for (int b = 0; b < resamples; ++b) {
+        for (auto& v : draw)
+            v = samples[rng.next_bounded(samples.size())];
+        std::sort(draw.begin(), draw.end());
+        medians[static_cast<std::size_t>(b)] = sorted_median(draw);
+    }
+    std::sort(medians.begin(), medians.end());
+
+    const double tail = std::clamp(1.0 - confidence, 0.0, 1.0) / 2.0;
+    auto quantile = [&](double q) {
+        // Nearest-rank on the sorted bootstrap distribution.
+        const double idx =
+            q * static_cast<double>(medians.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(idx);
+        const std::size_t hi = std::min(lo + 1, medians.size() - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return medians[lo] * (1.0 - frac) + medians[hi] * frac;
+    };
+    ci.lo = quantile(tail);
+    ci.hi = quantile(1.0 - tail);
+    return ci;
+}
+
+double
+mann_whitney_u(const std::vector<double>& a, const std::vector<double>& b)
+{
+    const std::size_t n1 = a.size();
+    const std::size_t n2 = b.size();
+    if (n1 == 0 || n2 == 0)
+        return 1.0;
+
+    // Pool and rank with average ranks for ties.
+    struct Obs
+    {
+        double value;
+        bool from_a;
+    };
+    std::vector<Obs> pool;
+    pool.reserve(n1 + n2);
+    for (double v : a)
+        pool.push_back({v, true});
+    for (double v : b)
+        pool.push_back({v, false});
+    std::sort(pool.begin(), pool.end(),
+              [](const Obs& x, const Obs& y) { return x.value < y.value; });
+
+    const double n = static_cast<double>(n1 + n2);
+    double rank_sum_a = 0;
+    double tie_term = 0; // sum over tie groups of t^3 - t
+    std::size_t i = 0;
+    while (i < pool.size()) {
+        std::size_t j = i;
+        while (j < pool.size() && pool[j].value == pool[i].value)
+            ++j;
+        // Ranks are 1-based; the group spanning [i, j) shares the average.
+        const double avg_rank =
+            (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+        const double t = static_cast<double>(j - i);
+        tie_term += t * t * t - t;
+        for (std::size_t k = i; k < j; ++k) {
+            if (pool[k].from_a)
+                rank_sum_a += avg_rank;
+        }
+        i = j;
+    }
+
+    const double u1 = rank_sum_a - static_cast<double>(n1) *
+                                       (static_cast<double>(n1) + 1) / 2.0;
+    const double mu =
+        static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+    const double variance =
+        static_cast<double>(n1) * static_cast<double>(n2) / 12.0 *
+        ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if (variance <= 0)
+        return 1.0; // every observation tied: no evidence either way
+    double z = std::abs(u1 - mu) - 0.5; // continuity correction
+    if (z < 0)
+        z = 0;
+    z /= std::sqrt(variance);
+    // Two-sided tail of the standard normal.
+    const double p = std::erfc(z / std::sqrt(2.0));
+    return std::min(p, 1.0);
+}
+
+double
+permutation_test(const std::vector<double>& a, const std::vector<double>& b,
+                 int permutations, std::uint64_t seed)
+{
+    const std::size_t n1 = a.size();
+    if (n1 == 0 || b.empty() || permutations < 1)
+        return 1.0;
+
+    std::vector<double> pool = a;
+    pool.insert(pool.end(), b.begin(), b.end());
+    const double observed =
+        std::abs(median_of(a) - median_of(b));
+
+    Xoshiro256 rng(seed);
+    std::vector<double> left(n1);
+    std::vector<double> right(pool.size() - n1);
+    long long extreme = 0;
+    std::vector<double> shuffled = pool;
+    for (int p = 0; p < permutations; ++p) {
+        // Fisher-Yates on the pooled sample.
+        for (std::size_t k = shuffled.size() - 1; k > 0; --k) {
+            const std::size_t j = rng.next_bounded(k + 1);
+            std::swap(shuffled[k], shuffled[j]);
+        }
+        std::copy(shuffled.begin(),
+                  shuffled.begin() + static_cast<std::ptrdiff_t>(n1),
+                  left.begin());
+        std::copy(shuffled.begin() + static_cast<std::ptrdiff_t>(n1),
+                  shuffled.end(), right.begin());
+        const double diff =
+            std::abs(median_of(left) - median_of(right));
+        if (diff >= observed)
+            ++extreme;
+    }
+    return static_cast<double>(extreme + 1) /
+           static_cast<double>(permutations + 1);
+}
+
+} // namespace gm::stats

@@ -1,6 +1,8 @@
 #include "gm/support/fault_injector.hh"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "gm/support/rng.hh"
 
@@ -62,10 +64,11 @@ FaultInjector::configure(const std::string& spec)
     std::vector<std::shared_ptr<FaultSite>> sites;
     for (const std::string& entry : split(spec, ',')) {
         const std::vector<std::string> fields = split(entry, ':');
-        if (fields.size() != 3 || fields[0].empty()) {
+        if ((fields.size() != 3 && fields.size() != 4) ||
+            fields[0].empty()) {
             return Status(StatusCode::kInvalidInput,
                           "bad GM_FAULTS entry '" + entry +
-                              "' (want site:rate:seed)");
+                              "' (want site:rate:seed[:delay=<ms>])");
         }
         auto site = std::make_shared<FaultSite>();
         site->site = fields[0];
@@ -91,6 +94,21 @@ FaultInjector::configure(const std::string& spec)
             return Status(StatusCode::kInvalidInput,
                           "bad GM_FAULTS seed '" + fields[2] + "'");
         }
+        if (fields.size() == 4) {
+            const std::string& delay = fields[3];
+            if (delay.rfind("delay=", 0) != 0) {
+                return Status(StatusCode::kInvalidInput,
+                              "bad GM_FAULTS action '" + delay +
+                                  "' (want delay=<ms>)");
+            }
+            const std::string ms = delay.substr(6);
+            site->delay_ms = std::strtoll(ms.c_str(), &end, 10);
+            if (ms.empty() || end != ms.c_str() + ms.size() ||
+                site->delay_ms <= 0) {
+                return Status(StatusCode::kInvalidInput,
+                              "bad GM_FAULTS delay '" + delay + "'");
+            }
+        }
         sites.push_back(std::move(site));
     }
     const bool armed = !sites.empty();
@@ -110,28 +128,53 @@ FaultInjector::clear()
     sites_.reset();
 }
 
-bool
-FaultInjector::poll(std::string_view site)
+FaultInjector::PollResult
+FaultInjector::poll_result(std::string_view site)
 {
     if (!enabled())
-        return false;
+        return {};
     std::shared_ptr<const SiteList> sites;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         sites = sites_;
     }
     if (sites == nullptr)
-        return false;
+        return {};
     for (const auto& armed : *sites) {
         if (armed->site != site)
             continue;
         const std::uint64_t index =
             armed->polls.fetch_add(1, std::memory_order_relaxed);
-        if (armed->count >= 0)
-            return index < static_cast<std::uint64_t>(armed->count);
-        return poll_value(armed->seed, index) < armed->rate;
+        const bool fired =
+            armed->count >= 0
+                ? index < static_cast<std::uint64_t>(armed->count)
+                : poll_value(armed->seed, index) < armed->rate;
+        return {fired, fired ? armed->delay_ms : 0};
     }
-    return false;
+    return {};
+}
+
+bool
+FaultInjector::poll(std::string_view site)
+{
+    return poll_result(site).fired;
+}
+
+void
+FaultInjector::at(std::string_view site)
+{
+    const PollResult result = poll_result(site);
+    if (!result.fired)
+        return;
+    if (result.delay_ms > 0) {
+        // Slowdown site: burn wall time where the poll sits (the runner
+        // polls trial.timed inside the timed region) instead of failing.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(result.delay_ms));
+        return;
+    }
+    throw FaultInjectedError("injected fault at site '" +
+                             std::string(site) + "'");
 }
 
 } // namespace gm::support

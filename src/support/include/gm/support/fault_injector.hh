@@ -5,15 +5,23 @@
  * Sites are named strings checked at strategic points (graph building,
  * worklist operations, kernel entry).  Armed via the environment:
  *
- *     GM_FAULTS=<site>:<rate>:<seed>[,<site>:<rate>:<seed>...]
+ *     GM_FAULTS=<site>:<rate>:<seed>[:delay=<ms>][,...]
  *
  * where <rate> is either a probability in [0, 1] (the i-th poll of a site
  * fires iff hash(seed, i) < rate — reproducible across runs) or "<n>x"
  * (fire on exactly the first n polls, then never — handy for testing
  * inject -> retry -> recover round trips).
  *
- * Site names in use: "graph.build", "worklist", "kernel", and
- * "kernel.<Framework>" for targeting a single framework.
+ * A site armed with ":delay=<ms>" injects a *slowdown* instead of an
+ * error: at() sleeps for <ms> milliseconds when the site fires rather
+ * than throwing.  This is how the perf-gate CI tier manufactures a
+ * reproducible regression on a chosen cell without touching kernel code.
+ *
+ * Site names in use: "graph.build", "worklist", "kernel",
+ * "kernel.<Framework>" for targeting a single framework, and
+ * "trial.timed" / "trial.timed.<Framework>.<kernel>.<graph>" — polled by
+ * the runner inside the timed region, so delay faults land in the
+ * measured wall time.
  */
 #pragma once
 
@@ -37,6 +45,7 @@ struct FaultSite
     double rate = 0;              ///< probability mode (count < 0)
     std::int64_t count = -1;      ///< "<n>x" mode: fire first n polls
     std::uint64_t seed = 0;
+    std::int64_t delay_ms = 0;    ///< > 0: sleep instead of throwing
     std::atomic<std::uint64_t> polls{0};
 
     FaultSite() = default;
@@ -45,6 +54,7 @@ struct FaultSite
           rate(other.rate),
           count(other.count),
           seed(other.seed),
+          delay_ms(other.delay_ms),
           polls(other.polls.load())
     {
     }
@@ -78,18 +88,22 @@ class FaultInjector
      */
     bool poll(std::string_view site);
 
-    /** Poll @p site and throw FaultInjectedError if it fires. */
-    void
-    at(std::string_view site)
-    {
-        if (poll(site)) {
-            throw FaultInjectedError("injected fault at site '" +
-                                     std::string(site) + "'");
-        }
-    }
+    /**
+     * Poll @p site and act on the armed fault: throw FaultInjectedError
+     * (error sites) or sleep for the armed delay (":delay=<ms>" sites).
+     */
+    void at(std::string_view site);
 
   private:
     using SiteList = std::vector<std::shared_ptr<FaultSite>>;
+
+    /** What one poll of a site resolved to. */
+    struct PollResult
+    {
+        bool fired = false;
+        std::int64_t delay_ms = 0; ///< 0 for error sites
+    };
+    PollResult poll_result(std::string_view site);
 
     /** Immutable snapshot for pollers; replaced wholesale under mutex_. */
     std::shared_ptr<const SiteList> sites_;

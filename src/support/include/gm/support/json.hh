@@ -15,6 +15,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "gm/support/status.hh"
 
@@ -30,12 +31,24 @@ std::string json_double(double v);
 /**
  * Parse one flat JSON object into key -> value-text.  String values are
  * unescaped; numbers and bools come back as their bare token; nested
- * objects come back as their raw balanced-brace text (including braces),
- * ready for a recursive parse_flat_json call.  Trailing garbage after the
- * closing brace is an error (torn-line detection).
+ * objects (and arrays) come back as their raw balanced text (including
+ * the braces/brackets), ready for a recursive parse_flat_json or
+ * parse_json_double_array call.  Trailing garbage after the closing
+ * brace is an error (torn-line detection).
  */
 Status parse_flat_json(const std::string& text,
                        std::map<std::string, std::string>& fields);
+
+/** Serialize a numeric vector as a JSON array of round-trippable
+ *  doubles, e.g. [0.5,1.25]. */
+std::string json_double_array(const std::vector<double>& values);
+
+/**
+ * Parse a JSON array of numbers (as captured by parse_flat_json) into
+ * @p out.  Strings, objects, or nested arrays inside are kCorruptData.
+ */
+Status parse_json_double_array(const std::string& text,
+                               std::vector<double>& out);
 
 /**
  * Structurally validate a complete JSON document (objects, arrays,

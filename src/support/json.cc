@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace gm::support
 {
@@ -186,12 +187,13 @@ class FlatJsonParser
     }
 
     /**
-     * Capture a nested object as raw balanced-brace text so the caller can
-     * re-parse it as a flat object.  Strings inside it are skipped opaquely
-     * so a '}' in a string value doesn't end the capture early.
+     * Capture a nested object or array as raw balanced text so the caller
+     * can re-parse it (parse_flat_json / parse_json_double_array).
+     * Strings inside it are skipped opaquely so a '}' or ']' in a string
+     * value doesn't end the capture early.
      */
     Status
-    capture_object(std::string& out)
+    capture_nested(std::string& out)
     {
         const std::size_t start = pos_;
         int depth = 0;
@@ -205,21 +207,21 @@ class FlatJsonParser
                     ++pos_;
                 }
                 if (pos_ >= text_.size())
-                    return corrupt("unterminated string in nested object");
+                    return corrupt("unterminated string in nested value");
                 ++pos_;
                 continue;
             }
             ++pos_;
-            if (c == '{') {
+            if (c == '{' || c == '[') {
                 ++depth;
-            } else if (c == '}') {
+            } else if (c == '}' || c == ']') {
                 if (--depth == 0) {
                     out = text_.substr(start, pos_ - start);
                     return Status::ok();
                 }
             }
         }
-        return corrupt("unterminated nested object");
+        return corrupt("unterminated nested value");
     }
 
     Status
@@ -227,8 +229,9 @@ class FlatJsonParser
     {
         if (pos_ < text_.size() && text_[pos_] == '"')
             return parse_string(out);
-        if (pos_ < text_.size() && text_[pos_] == '{')
-            return capture_object(out);
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '{' || text_[pos_] == '['))
+            return capture_nested(out);
         // Bare token: number / true / false.
         const std::size_t start = pos_;
         while (pos_ < text_.size() && text_[pos_] != ',' &&
@@ -470,6 +473,67 @@ json_validate(const std::string& text)
 {
     JsonValidator v(text);
     return v.validate();
+}
+
+std::string
+json_double_array(const std::vector<double>& values)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += json_double(values[i]);
+    }
+    out += ']';
+    return out;
+}
+
+Status
+parse_json_double_array(const std::string& text, std::vector<double>& out)
+{
+    out.clear();
+    auto corrupt = [](const std::string& what) {
+        return Status(StatusCode::kCorruptData, "json array: " + what);
+    };
+    std::size_t pos = 0;
+    auto skip_ws = [&] {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    };
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '[')
+        return corrupt("expected '['");
+    ++pos;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+    } else {
+        for (;;) {
+            skip_ws();
+            const char* start = text.c_str() + pos;
+            char* end = nullptr;
+            const double v = std::strtod(start, &end);
+            if (end == start)
+                return corrupt("expected number");
+            pos += static_cast<std::size_t>(end - start);
+            out.push_back(v);
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                break;
+            }
+            return corrupt("expected ',' or ']'");
+        }
+    }
+    skip_ws();
+    if (pos != text.size())
+        return corrupt("trailing garbage after array");
+    return Status::ok();
 }
 
 } // namespace gm::support

@@ -186,7 +186,7 @@ TEST(CheckpointV2, MetricsBlobRoundTrips)
     const harness::CheckpointRecord rec = sample_v2_record();
     const std::string line = harness::checkpoint_line(rec);
     EXPECT_TRUE(support::json_validate(line).is_ok()) << line;
-    EXPECT_NE(line.find("\"v\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"v\":3"), std::string::npos);
     EXPECT_NE(line.find("\"metrics\":{"), std::string::npos);
 
     const auto parsed = harness::parse_checkpoint_line(line);

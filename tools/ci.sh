@@ -3,8 +3,10 @@
 # the graph-store and GraphBLAS tests (the code most exposed to the
 # zero-copy view lifetimes introduced by the GraphStore refactor), a
 # ThreadSanitizer pass over the tracing and thread-pool tests (the code
-# with cross-thread counter/span traffic), and a profile-pipeline smoke
-# run that fails on unparseable Chrome trace JSON.
+# with cross-thread counter/span traffic), a profile-pipeline smoke
+# run that fails on unparseable Chrome trace JSON, and a perf-gate smoke
+# that records a baseline, self-compares it (must pass), then re-runs
+# with a fault-injected slowdown on one cell (must fail).
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -52,6 +54,35 @@ mkdir -p "$SMOKE_DIR"
 # (exit 2) when the sweep produced no trace files at all.
 "$BUILD_DIR/tools/profile_report" --check-trace "$SMOKE_DIR/traces"
 "$BUILD_DIR/tools/profile_report" --metrics "$SMOKE_DIR/metrics.jsonl" \
-    > /dev/null
+    --csv "$SMOKE_DIR/workload.csv" > /dev/null
+test -s "$SMOKE_DIR/workload.csv"
+
+echo "== tier 5: perf-gate smoke (record, self-compare, injected regression) =="
+GATE_DIR="$BUILD_DIR/ci-perf-gate"
+rm -rf "$GATE_DIR"
+mkdir -p "$GATE_DIR"
+# 5 trials: with fewer than 4 per side Mann-Whitney cannot reach
+# p < 0.05, so the gate could never flag anything (see gm/perf/gate.hh).
+"$BUILD_DIR/tools/suite" --scale 6 --trials 5 --warmup 1 \
+    --baseline-out "$GATE_DIR/ref.jsonl" \
+    --csv-prefix "$GATE_DIR/ref" > "$GATE_DIR/ref.log"
+# Self-comparison: identical trial vectors, zero regressions, exit 0.
+"$BUILD_DIR/tools/perf_gate" --ref "$GATE_DIR/ref.jsonl" \
+    --cand "$GATE_DIR/ref.jsonl" \
+    --report-out "$GATE_DIR/self.report.jsonl"
+# Inject a 150 ms sleep inside the timed region of one cell and re-run:
+# the gate must spot the manufactured regression and exit non-zero.
+GM_FAULTS="trial.timed.GAP.BFS.Kron:1:7:delay=150" \
+    "$BUILD_DIR/tools/suite" --scale 6 --trials 5 --warmup 1 \
+    --baseline-out "$GATE_DIR/slow.jsonl" \
+    --csv-prefix "$GATE_DIR/slow" > "$GATE_DIR/slow.log"
+if "$BUILD_DIR/tools/perf_gate" --ref "$GATE_DIR/ref.jsonl" \
+    --cand "$GATE_DIR/slow.jsonl" \
+    --report-out "$GATE_DIR/slow.report.jsonl" > "$GATE_DIR/gate.log"; then
+    echo "perf_gate missed an injected 150 ms regression" >&2
+    cat "$GATE_DIR/gate.log" >&2
+    exit 1
+fi
+grep -q '"verdict":"regressed"' "$GATE_DIR/slow.report.jsonl"
 
 echo "== ci.sh: all green =="

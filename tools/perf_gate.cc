@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CI regression gate over gm::perf baselines:
+ *
+ *   perf_gate --ref baseline.jsonl --cand candidate.jsonl \
+ *             [--alpha 0.05] [--min-effect 5] [--report-out report.jsonl] \
+ *             [--fail-on-missing]
+ *
+ * Compares every cell of the candidate against the reference using a
+ * Mann-Whitney U test on the raw trial vectors plus a minimum-effect
+ * threshold on the median, prints the verdict table, optionally writes a
+ * machine-readable JSONL report, and exits:
+ *
+ *   0  no regressions (self-comparison always lands here)
+ *   1  at least one regressed cell (or missing, with --fail-on-missing)
+ *   2  usage / unreadable baseline
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gm/perf/baseline.hh"
+#include "gm/perf/gate.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout
+        << "Usage: perf_gate --ref <file> --cand <file> [options]\n"
+        << "  --ref <file>         reference baseline (suite --baseline-out)\n"
+        << "  --cand <file>        candidate baseline to gate\n"
+        << "  --alpha <p>          significance level (default 0.05)\n"
+        << "  --min-effect <pct>   minimum median slowdown to flag, in\n"
+        << "                       percent (default 5)\n"
+        << "  --seed <n>           bootstrap seed (default 2020)\n"
+        << "  --report-out <file>  write machine-readable JSONL report\n"
+        << "  --fail-on-missing    missing cells also fail the gate\n"
+        << "  -h, --help           this help\n"
+        << "exit codes: 0 pass, 1 regression, 2 usage/unreadable input\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace gm;
+
+    std::string ref_path;
+    std::string cand_path;
+    std::string report_path;
+    perf::GateOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " requires a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (arg == "--ref") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            ref_path = v;
+        } else if (arg == "--cand") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            cand_path = v;
+        } else if (arg == "--alpha") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            opts.alpha = std::atof(v);
+        } else if (arg == "--min-effect") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            opts.min_effect = std::atof(v) / 100.0;
+        } else if (arg == "--seed") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--report-out") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 2;
+            report_path = v;
+        } else if (arg == "--fail-on-missing") {
+            opts.fail_on_missing = true;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+    if (ref_path.empty() || cand_path.empty()) {
+        usage();
+        return 2;
+    }
+    if (opts.alpha <= 0 || opts.alpha >= 1 || opts.min_effect < 0) {
+        std::cerr << "invalid --alpha/--min-effect\n";
+        return 2;
+    }
+
+    auto ref = perf::load_baseline(ref_path);
+    if (!ref.is_ok()) {
+        std::cerr << ref.status().to_string() << "\n";
+        return 2;
+    }
+    auto cand = perf::load_baseline(cand_path);
+    if (!cand.is_ok()) {
+        std::cerr << cand.status().to_string() << "\n";
+        return 2;
+    }
+
+    const perf::GateReport report =
+        perf::compare_baselines(*ref, *cand, opts);
+    perf::print_report(std::cout, report);
+
+    if (!report_path.empty()) {
+        if (auto s = perf::write_report_json(report_path, report);
+            !s.is_ok()) {
+            std::cerr << s.to_string() << "\n";
+            return 2;
+        }
+        std::cout << "report written to " << report_path << "\n";
+    }
+    return perf::gate_exit_code(report);
+}

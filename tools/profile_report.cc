@@ -13,8 +13,14 @@
  *       in a directory; exits nonzero on the first unparseable file (CI
  *       runs this after a --trace-out sweep).
  *
+ *   profile_report --metrics sweep_metrics.jsonl --csv workload.csv
+ *       Additionally export the workload table as machine-readable CSV
+ *       (one row per mode x kernel x graph x framework cell).
+ *
  * Multiple trials of one cell collapse to the last one seen, matching the
- * runner's "metrics of the last successful trial" convention.
+ * runner's "metrics of the last successful trial" convention.  Leading
+ * {"kind":"fingerprint"} provenance records in the stream are skipped
+ * silently.
  */
 #include <cstdint>
 #include <filesystem>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "gm/obs/metrics.hh"
+#include "gm/support/fingerprint.hh"
 #include "gm/support/json.hh"
 
 namespace
@@ -45,6 +52,7 @@ usage()
         << "                       suite --metrics-out / kernel drivers)\n"
         << "  --check-trace <dir>  validate every .json Chrome trace in\n"
         << "                       <dir>; nonzero exit on parse failure\n"
+        << "  --csv <file>         also export the workload table as CSV\n"
         << "  --spans              include the span time breakdown\n"
         << "  -h, --help           this help\n";
 }
@@ -72,8 +80,44 @@ format_count(std::uint64_t v)
     return os.str();
 }
 
+/** CSV twin of the workload table: one row per cell, raw numbers (no
+ *  human-friendly k/M suffixes) so downstream scripts can aggregate. */
 int
-report_metrics(const std::string& path, bool with_spans)
+write_workload_csv(const std::string& path,
+                   const std::map<CellKey, CellProfile>& cells)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "cannot open csv file: " << path << "\n";
+        return 2;
+    }
+    out << "mode,kernel,graph,framework,trials,iterations,"
+           "edges_traversed,frontier_peak,parallel_efficiency,"
+           "wall_seconds,peak_bytes\n";
+    for (const auto& [key, cell] : cells) {
+        const auto& [mode, kernel, graph, framework] = key;
+        const TrialMetrics& m = cell.metrics;
+        out << mode << "," << kernel << "," << graph << "," << framework
+            << "," << cell.trials << "," << m.counter_or("iterations")
+            << "," << m.counter_or("edges_traversed") << ","
+            << m.counter_or("frontier_peak") << ","
+            << gm::support::json_double(m.parallel_efficiency) << ","
+            << gm::support::json_double(m.wall_seconds) << ","
+            << m.peak_bytes << "\n";
+    }
+    out.flush();
+    if (!out) {
+        std::cerr << "write error: " << path << "\n";
+        return 2;
+    }
+    std::cout << "workload csv written to " << path << " (" << cells.size()
+              << " cells)\n";
+    return 0;
+}
+
+int
+report_metrics(const std::string& path, bool with_spans,
+               const std::string& csv_path)
 {
     std::ifstream in(path);
     if (!in) {
@@ -91,6 +135,12 @@ report_metrics(const std::string& path, bool with_spans)
             continue;
         auto rec = gm::obs::parse_metrics_record_line(line);
         if (!rec.is_ok()) {
+            // Provenance records share the stream; they are expected, not
+            // corruption.
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok() &&
+                gm::support::is_fingerprint_record(fields))
+                continue;
             std::cerr << path << ":" << line_no
                       << ": skipping unreadable record ("
                       << rec.status().message() << ")\n";
@@ -146,6 +196,8 @@ report_metrics(const std::string& path, bool with_spans)
     }
     if (skipped > 0)
         std::cerr << "\n" << skipped << " unreadable record(s) skipped\n";
+    if (!csv_path.empty())
+        return write_workload_csv(csv_path, cells);
     return 0;
 }
 
@@ -195,6 +247,7 @@ main(int argc, char** argv)
 {
     std::string metrics_path;
     std::string trace_dir;
+    std::string csv_path;
     bool with_spans = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -218,6 +271,11 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return 1;
             trace_dir = v;
+        } else if (arg == "--csv") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return 1;
+            csv_path = v;
         } else if (arg == "--spans") {
             with_spans = true;
         } else {
@@ -230,10 +288,14 @@ main(int argc, char** argv)
         usage();
         return 1;
     }
+    if (!csv_path.empty() && metrics_path.empty()) {
+        std::cerr << "--csv requires --metrics\n";
+        return 1;
+    }
     int code = 0;
     if (!trace_dir.empty())
         code = check_traces(trace_dir);
     if (code == 0 && !metrics_path.empty())
-        code = report_metrics(metrics_path, with_spans);
+        code = report_metrics(metrics_path, with_spans, csv_path);
     return code;
 }

@@ -18,10 +18,13 @@
 #include <string>
 
 #include "gm/cli/driver.hh"
+#include "gm/harness/baseline_export.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/harness/runner.hh"
 #include "gm/harness/tables.hh"
+#include "gm/perf/baseline.hh"
+#include "gm/support/fingerprint.hh"
 #include "gm/support/timer.hh"
 
 namespace
@@ -34,6 +37,11 @@ usage()
         << "Usage: suite [options]\n"
         << "  --scale <n>              log2 vertices per graph (default 10)\n"
         << "  --trials <n>             timed trials per cell (default 2)\n"
+        << "  --warmup <n>             untimed warm-up trials per cell,\n"
+        << "                           excluded from statistics (default 0)\n"
+        << "  --baseline-out <file>    write raw per-cell trial vectors +\n"
+        << "                           environment fingerprint (JSONL) for\n"
+        << "                           tools/perf_gate\n"
         << "  --no-verify              skip spec verification\n"
         << "  --trial-timeout-ms <ms>  watchdog deadline per trial (0 = off)\n"
         << "  --max-attempts <n>       retry budget for transient failures\n"
@@ -97,6 +105,7 @@ main(int argc, char** argv)
 
     int scale = 10;
     std::string csv_prefix = "results";
+    std::string baseline_out;
     harness::RunOptions opts;
     opts.trials = 2;
     opts.verify = true;
@@ -126,6 +135,16 @@ main(int argc, char** argv)
             if (v == nullptr)
                 return cli::kExitUsage;
             opts.trials = std::atoi(v);
+        } else if (arg == "--warmup") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            opts.warmup = std::atoi(v);
+        } else if (arg == "--baseline-out") {
+            const char* v = next_value();
+            if (v == nullptr)
+                return cli::kExitUsage;
+            baseline_out = v;
         } else if (arg == "--no-verify") {
             opts.verify = false;
         } else if (arg == "--no-evict") {
@@ -171,10 +190,24 @@ main(int argc, char** argv)
             return cli::kExitUsage;
         }
     }
-    if (opts.trials < 1 || opts.max_attempts < 1 ||
+    if (opts.trials < 1 || opts.warmup < 0 || opts.max_attempts < 1 ||
         opts.trial_timeout_ms < 0) {
-        std::cerr << "invalid --trials/--max-attempts/--trial-timeout-ms\n";
+        std::cerr << "invalid --trials/--warmup/--max-attempts/"
+                     "--trial-timeout-ms\n";
         return cli::kExitUsage;
+    }
+
+    // One fingerprint for every artifact this sweep produces: CSV comment
+    // headers, the metrics stream's leading record, and the baseline.
+    support::EnvFingerprint fingerprint = support::collect_fingerprint();
+    fingerprint.scales = "scale=" + std::to_string(scale) +
+                         " trials=" + std::to_string(opts.trials) +
+                         " warmup=" + std::to_string(opts.warmup);
+    if (!opts.metrics_path.empty()) {
+        if (auto s = support::append_fingerprint_record(opts.metrics_path,
+                                                        fingerprint);
+            !s.is_ok())
+            std::cerr << s.to_string() << "\n";
     }
 
     Timer timer;
@@ -193,16 +226,32 @@ main(int argc, char** argv)
                         harness::Mode mode) {
         const std::string path =
             csv_prefix + "_" + harness::to_string(mode) + ".csv";
-        if (auto s = harness::write_csv(path, cube, mode); !s.is_ok())
+        if (auto s = harness::write_csv(path, cube, mode, &fingerprint);
+            !s.is_ok())
             std::cerr << s.to_string() << "\n";
     };
     dump_csv(baseline, harness::Mode::kBaseline);
     dump_csv(optimized, harness::Mode::kOptimized);
 
+    if (!baseline_out.empty()) {
+        perf::Baseline record;
+        record.fingerprint = fingerprint;
+        harness::append_baseline_cells(record, baseline,
+                                       harness::Mode::kBaseline);
+        harness::append_baseline_cells(record, optimized,
+                                       harness::Mode::kOptimized);
+        if (auto s = perf::save_baseline(baseline_out, record); !s.is_ok())
+            std::cerr << s.to_string() << "\n";
+        else
+            std::cout << "baseline written to " << baseline_out << " ("
+                      << record.cells.size() << " cells)\n";
+    }
+
     std::cout << "\n";
     harness::print_memory_report(std::cout, suite);
     const std::string memory_csv = csv_prefix + "_memory.csv";
-    if (auto s = harness::write_memory_csv(memory_csv, suite); !s.is_ok())
+    if (auto s = harness::write_memory_csv(memory_csv, suite, &fingerprint);
+        !s.is_ok())
         std::cerr << s.to_string() << "\n";
 
     std::size_t peak = 0;
