@@ -1,0 +1,123 @@
+#include "gm/cli/argparse.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gm::cli
+{
+
+ArgParser::ArgParser(std::string program) : program_(std::move(program)) {}
+
+ArgParser&
+ArgParser::usage(std::function<void()> fn)
+{
+    usage_ = std::move(fn);
+    return *this;
+}
+
+ArgParser&
+ArgParser::add(std::vector<std::string>&& names, Handler&& handler)
+{
+    for (std::string& name : names)
+        handlers_[std::move(name)] = handler;
+    return *this;
+}
+
+ArgParser&
+ArgParser::flag(std::vector<std::string> names, std::function<void()> fn)
+{
+    Handler h;
+    h.on_flag = std::move(fn);
+    return add(std::move(names), std::move(h));
+}
+
+ArgParser&
+ArgParser::flag(std::vector<std::string> names, bool* target)
+{
+    return flag(std::move(names), [target] { *target = true; });
+}
+
+ArgParser&
+ArgParser::value(std::vector<std::string> names,
+                 std::function<bool(const std::string&)> fn)
+{
+    Handler h;
+    h.takes_value = true;
+    h.on_value = std::move(fn);
+    return add(std::move(names), std::move(h));
+}
+
+ArgParser&
+ArgParser::value(std::vector<std::string> names, std::string* target)
+{
+    return value(std::move(names), [target](const std::string& v) {
+        *target = v;
+        return true;
+    });
+}
+
+ArgParser&
+ArgParser::value(std::vector<std::string> names, int* target)
+{
+    return value(std::move(names), [target](const std::string& v) {
+        *target = std::atoi(v.c_str());
+        return true;
+    });
+}
+
+ArgParser&
+ArgParser::value(std::vector<std::string> names, double* target)
+{
+    return value(std::move(names), [target](const std::string& v) {
+        *target = std::atof(v.c_str());
+        return true;
+    });
+}
+
+ArgParser&
+ArgParser::value(std::vector<std::string> names, std::uint64_t* target)
+{
+    return value(std::move(names), [target](const std::string& v) {
+        *target = std::strtoull(v.c_str(), nullptr, 10);
+        return true;
+    });
+}
+
+bool
+ArgParser::parse(int argc, char** argv)
+{
+    help_requested_ = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (usage_ && (arg == "-h" || arg == "--help")) {
+            usage_();
+            help_requested_ = true;
+            return false;
+        }
+        auto it = handlers_.find(arg);
+        if (it == handlers_.end()) {
+            std::cerr << "unknown option: " << arg << "\n";
+            if (usage_)
+                usage_();
+            return false;
+        }
+        Handler& handler = it->second;
+        if (!handler.takes_value) {
+            handler.on_flag();
+            continue;
+        }
+        if (i + 1 >= argc) {
+            std::cerr << arg << " requires a value\n";
+            return false;
+        }
+        const std::string value = argv[++i];
+        if (!handler.on_value(value)) {
+            std::cerr << "invalid value for " << arg << ": " << value
+                      << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace gm::cli

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Declarative command-line parsing shared by every binary in tools/.
+ *
+ * Before this existed each tool hand-rolled the same loop: walk argv,
+ * compare strings, call a `next_value` lambda that prints "<flag>
+ * requires a value", convert with atoi/atof, and fall through to an
+ * "unknown option" error plus usage dump.  ArgParser keeps exactly those
+ * semantics (tolerant numeric conversion included, so flag behaviour is
+ * unchanged) behind a table of registered flags:
+ *
+ *   ArgParser parser("perf_gate");
+ *   parser.usage(print_usage);
+ *   parser.value({"--ref"}, &ref_path);
+ *   parser.value({"--alpha"}, &opts.alpha);
+ *   parser.flag({"--fail-on-missing"}, &opts.fail_on_missing);
+ *   if (!parser.parse(argc, argv))
+ *       return parser.help_requested() ? 0 : 2;
+ *
+ * -h/--help are registered automatically when a usage printer is set.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gm::cli
+{
+
+/** Table-driven argv parser; see file header for the usage idiom. */
+class ArgParser
+{
+  public:
+    /** @param program Name used in error messages. */
+    explicit ArgParser(std::string program);
+
+    /** Register a usage printer; also enables -h/--help. */
+    ArgParser& usage(std::function<void()> fn);
+
+    /** Presence flag invoking @p fn. */
+    ArgParser& flag(std::vector<std::string> names,
+                    std::function<void()> fn);
+    /** Presence flag setting @p *target to true. */
+    ArgParser& flag(std::vector<std::string> names, bool* target);
+
+    /** Value-taking option; @p fn may return false to reject the value
+     *  (an error message is printed and parse() fails). */
+    ArgParser& value(std::vector<std::string> names,
+                     std::function<bool(const std::string&)> fn);
+    ArgParser& value(std::vector<std::string> names, std::string* target);
+    /** Numeric targets use atoi/atof semantics (tolerant, like the loops
+     *  this replaces). */
+    ArgParser& value(std::vector<std::string> names, int* target);
+    ArgParser& value(std::vector<std::string> names, double* target);
+    ArgParser& value(std::vector<std::string> names,
+                     std::uint64_t* target);
+
+    /**
+     * Parse argv[1..argc).  Returns false on an unknown option, a missing
+     * value, a rejected value, or a help request; unknown options and
+     * help both print usage when one is registered.
+     */
+    bool parse(int argc, char** argv);
+
+    /** True when parse() returned false because of -h/--help. */
+    bool help_requested() const { return help_requested_; }
+
+  private:
+    struct Handler
+    {
+        bool takes_value = false;
+        std::function<void()> on_flag;
+        std::function<bool(const std::string&)> on_value;
+    };
+
+    ArgParser& add(std::vector<std::string>&& names, Handler&& handler);
+
+    std::string program_;
+    std::function<void()> usage_;
+    std::map<std::string, Handler> handlers_;
+    bool help_requested_ = false;
+};
+
+} // namespace gm::cli

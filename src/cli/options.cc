@@ -4,6 +4,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "gm/cli/argparse.hh"
+
 namespace gm::cli
 {
 
@@ -52,108 +54,46 @@ std::optional<Options>
 parse_options(int argc, char** argv, const std::string& kernel_name)
 {
     Options opts;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << flag << " requires a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
+    ArgParser parser(kernel_name);
+    parser.usage([&kernel_name] { print_usage(kernel_name); });
 
-        if (arg == "-h" || arg == "--help") {
-            print_usage(kernel_name);
-            return std::nullopt;
-        } else if (arg == "-g" || arg == "-u" || arg == "-T" ||
-                   arg == "-W" || arg == "-r") {
-            const char* value = next_value(arg.c_str());
-            if (value == nullptr)
-                return std::nullopt;
-            opts.scale = std::atoi(value);
-            if (arg == "-g")
-                opts.source = GraphSource::kKronecker;
-            else if (arg == "-u")
-                opts.source = GraphSource::kUniform;
-            else if (arg == "-T")
-                opts.source = GraphSource::kTwitterLike;
-            else if (arg == "-W")
-                opts.source = GraphSource::kWebLike;
-            else
-                opts.source = GraphSource::kRoadLike;
-        } else if (arg == "-f") {
-            const char* value = next_value("-f");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.source = GraphSource::kFile;
-            opts.file_path = value;
-        } else if (arg == "-k") {
-            const char* value = next_value("-k");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.degree = std::atoi(value);
-        } else if (arg == "-s") {
-            opts.symmetrize = true;
-        } else if (arg == "-S") {
-            const char* value = next_value("-S");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.seed = static_cast<std::uint64_t>(std::atoll(value));
-        } else if (arg == "-n") {
-            const char* value = next_value("-n");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.trials = std::atoi(value);
-        } else if (arg == "-v") {
-            opts.verify = true;
-        } else if (arg == "-d") {
-            const char* value = next_value("-d");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.delta = static_cast<weight_t>(std::atoi(value));
-        } else if (arg == "-i") {
-            const char* value = next_value("-i");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.max_iters = std::atoi(value);
-        } else if (arg == "-e") {
-            const char* value = next_value("-e");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.tolerance = std::atof(value);
-        } else if (arg == "-F") {
-            const char* value = next_value("-F");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.framework = value;
-        } else if (arg == "-O") {
-            opts.optimized = true;
-        } else if (arg == "--trial-timeout-ms") {
-            const char* value = next_value("--trial-timeout-ms");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.trial_timeout_ms = std::atoi(value);
-        } else if (arg == "--max-attempts") {
-            const char* value = next_value("--max-attempts");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.max_attempts = std::atoi(value);
-        } else if (arg == "--trace-out") {
-            const char* value = next_value("--trace-out");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.trace_dir = value;
-        } else if (arg == "--metrics-out") {
-            const char* value = next_value("--metrics-out");
-            if (value == nullptr)
-                return std::nullopt;
-            opts.metrics_path = value;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            print_usage(kernel_name);
-            return std::nullopt;
-        }
-    }
+    const auto generator = [&](GraphSource source) {
+        return [&opts, source](const std::string& v) {
+            opts.scale = std::atoi(v.c_str());
+            opts.source = source;
+            return true;
+        };
+    };
+    parser.value({"-g"}, generator(GraphSource::kKronecker));
+    parser.value({"-u"}, generator(GraphSource::kUniform));
+    parser.value({"-T"}, generator(GraphSource::kTwitterLike));
+    parser.value({"-W"}, generator(GraphSource::kWebLike));
+    parser.value({"-r"}, generator(GraphSource::kRoadLike));
+    parser.value({"-f"}, [&opts](const std::string& v) {
+        opts.source = GraphSource::kFile;
+        opts.file_path = v;
+        return true;
+    });
+    parser.value({"-k"}, &opts.degree);
+    parser.flag({"-s"}, &opts.symmetrize);
+    parser.value({"-S"}, &opts.seed);
+    parser.value({"-n"}, &opts.trials);
+    parser.flag({"-v"}, &opts.verify);
+    parser.value({"-d"}, [&opts](const std::string& v) {
+        opts.delta = static_cast<weight_t>(std::atoi(v.c_str()));
+        return true;
+    });
+    parser.value({"-i"}, &opts.max_iters);
+    parser.value({"-e"}, &opts.tolerance);
+    parser.value({"-F"}, &opts.framework);
+    parser.flag({"-O"}, &opts.optimized);
+    parser.value({"--trial-timeout-ms"}, &opts.trial_timeout_ms);
+    parser.value({"--max-attempts"}, &opts.max_attempts);
+    parser.value({"--trace-out"}, &opts.trace_dir);
+    parser.value({"--metrics-out"}, &opts.metrics_path);
+
+    if (!parser.parse(argc, argv))
+        return std::nullopt;
     if (opts.trials < 1) {
         std::cerr << "-n must be >= 1\n";
         return std::nullopt;

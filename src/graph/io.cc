@@ -8,6 +8,7 @@
 #include <fstream>
 #include <limits>
 
+#include "gm/support/hash.hh"
 #include "gm/support/log.hh"
 
 namespace gm::graph
@@ -23,28 +24,19 @@ constexpr std::uint64_t kMagic = 0x32484752474d47ULL;
 constexpr std::uint64_t kLegacyMagic = 0x474d475248ULL;
 constexpr std::uint32_t kVersion = 2;
 
-/** Incremental FNV-1a 64 over raw bytes. */
+/** The .gmg trailing checksum is a plain FNV-1a digest. */
 class Checksum
 {
   public:
-    void
-    update(const void* data, std::size_t size)
+    void update(const void* data, std::size_t size)
     {
-        const auto* bytes = static_cast<const unsigned char*>(data);
-        for (std::size_t i = 0; i < size; ++i) {
-            hash_ ^= bytes[i];
-            hash_ *= 0x100000001b3ULL;
-        }
+        fnv_.update(data, size);
     }
 
-    std::uint64_t
-    value() const
-    {
-        return hash_;
-    }
+    std::uint64_t value() const { return fnv_.digest(); }
 
   private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+    support::Fnv1a fnv_;
 };
 
 template <typename T>

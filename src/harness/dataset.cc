@@ -59,6 +59,12 @@ make_dataset(std::string name, graph::CSRGraph g, int num_sources,
     return *std::move(ds);
 }
 
+std::vector<std::string>
+gap_suite_graph_names()
+{
+    return {"Road", "Twitter", "Web", "Kron", "Urand"};
+}
+
 DatasetSuite
 make_gap_suite(int scale, int num_sources, std::uint64_t seed)
 {

@@ -130,6 +130,10 @@ struct DatasetSuite
 DatasetSuite make_gap_suite(int scale, int num_sources = 16,
                             std::uint64_t seed = 2020);
 
+/** Graph names make_gap_suite() would produce, in Table I order, without
+ *  generating any graphs (cheap; suite --list-cells uses this). */
+std::vector<std::string> gap_suite_graph_names();
+
 /**
  * Build one dataset from an arbitrary graph, recoverably: empty graphs
  * come back as a Status (kInvalidInput) instead of killing the process.

@@ -301,6 +301,8 @@ failure_kind_from_status(support::StatusCode code)
       case StatusCode::kOk:
         return FailureKind::kNone;
       case StatusCode::kTimeout:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kCancelled:
         return FailureKind::kTimeout;
       case StatusCode::kWrongResult:
         return FailureKind::kWrongResult;
@@ -312,6 +314,7 @@ failure_kind_from_status(support::StatusCode code)
       case StatusCode::kCorruptData:
         return FailureKind::kInvalidInput;
       case StatusCode::kKernelError:
+      case StatusCode::kResourceExhausted: // never produced by a trial
         return FailureKind::kKernelError;
     }
     return FailureKind::kKernelError;

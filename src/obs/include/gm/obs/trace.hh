@@ -185,11 +185,29 @@ class SessionBinding
 };
 
 /**
+ * Record an externally-timed span (both endpoints measured by the caller,
+ * possibly on different threads — e.g. a request's queue wait, stamped at
+ * enqueue on the submitter and recorded at dequeue on the worker).  The
+ * span lands in the calling thread's buffer under its effective
+ * generation; no-op when tracing is off.  @p name must outlive the call.
+ */
+void record_span(const char* name, std::int64_t begin_ns,
+                 std::int64_t end_ns);
+
+/**
  * One trial's worth of trace data.  start() activates tracing globally
  * (at most one session may be active at a time); stop() deactivates it
  * and collects every matching-generation record from the thread-local
  * buffers.  The collected data stays readable until the session is
  * restarted or destroyed.
+ *
+ * start_detached() activates a session that does NOT claim the global
+ * generation: probes record into it only on threads explicitly bound with
+ * SessionBinding(gen()).  Any number of detached sessions may run
+ * concurrently (gm::serve gives each in-flight request one); they coexist
+ * with at most one global session.  A thread must be bound to at most one
+ * live detached session at a time — its buffer holds records for a single
+ * generation between collections.
  */
 class TraceSession
 {
@@ -202,6 +220,10 @@ class TraceSession
 
     /** Activate tracing.  Panics if another session is already active. */
     void start();
+
+    /** Activate without claiming the global generation; records reach
+     *  this session only through SessionBinding(gen()). */
+    void start_detached();
 
     /** Deactivate and collect.  No-op when not running. */
     void stop();
@@ -233,6 +255,7 @@ class TraceSession
 
   private:
     std::uint64_t gen_ = 0;
+    bool detached_ = false;
     std::int64_t begin_ns_ = 0;
     std::int64_t end_ns_ = 0;
     std::vector<SpanRecord> spans_;

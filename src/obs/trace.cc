@@ -120,6 +120,18 @@ counter_max_slow(const char* name, std::uint64_t gen, std::uint64_t value)
 
 } // namespace detail
 
+void
+record_span(const char* name, std::int64_t begin_ns, std::int64_t end_ns)
+{
+    const std::uint64_t gen = detail::effective_gen();
+    if (gen == 0)
+        return;
+    ThreadBuffer& buf = local_buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    retag(buf, gen);
+    buf.spans.push_back(SpanRecord{name, begin_ns, end_ns, buf.tid, 0});
+}
+
 TraceSession::~TraceSession()
 {
     stop();
@@ -135,6 +147,20 @@ TraceSession::start()
         panic("TraceSession::start: another session is already active");
     }
     gen_ = gen;
+    detached_ = false;
+    begin_ns_ = Timer::now_ns();
+    end_ns_ = 0;
+    spans_.clear();
+    counters_.clear();
+    maxima_.clear();
+}
+
+void
+TraceSession::start_detached()
+{
+    GM_ASSERT(gen_ == 0, "TraceSession::start_detached: already running");
+    gen_ = next_gen.fetch_add(1, std::memory_order_relaxed);
+    detached_ = true;
     begin_ns_ = Timer::now_ns();
     end_ns_ = 0;
     spans_.clear();
@@ -152,8 +178,11 @@ TraceSession::stop()
     // after this either sees generation 0 via the global path or carries a
     // stale binding — both tag records we are about to ignore.  A writer
     // that beat the store holds its buffer lock, so the collection loop
-    // below waits for it and picks the record up.
-    detail::g_active_gen.store(0);
+    // below waits for it and picks the record up.  A detached session
+    // never owned the global generation, so it only drops its bindings
+    // (the serve worker unbinds before calling stop()).
+    if (!detached_)
+        detail::g_active_gen.store(0);
 
     std::vector<ThreadBuffer*> bufs;
     {

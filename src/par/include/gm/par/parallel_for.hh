@@ -50,9 +50,12 @@ parallel_for(Index begin, Index end, Fn&& fn,
     ThreadPool& pool = ThreadPool::instance();
     const Index n = end - begin;
     const int lanes = pool.num_threads();
-    if (lanes == 1 || n == 1 || ThreadPool::in_parallel_region()) {
+    if (lanes == 1 || n == 1 || ThreadPool::in_parallel_region() ||
+        ThreadPool::in_serial_region()) {
         // Nested (in-lane) calls must not throw across the pool boundary;
         // they bail out silently and the outermost serial level throws.
+        // A SerialRegion is not a pool boundary: it throws like any
+        // outermost serial loop so cancelled requests unwind.
         const bool nested = ThreadPool::in_parallel_region();
         std::uint64_t polls = 0;
         for (Index i = begin; i < end; ++i) {
@@ -131,8 +134,11 @@ parallel_blocks(Index begin, Index end, Fn&& fn)
         return;
     ThreadPool& pool = ThreadPool::instance();
     const int lanes = pool.num_threads();
-    if (lanes == 1 || ThreadPool::in_parallel_region()) {
+    if (lanes == 1 || ThreadPool::in_parallel_region() ||
+        ThreadPool::in_serial_region()) {
         fn(0, begin, end);
+        if (!ThreadPool::in_parallel_region())
+            support::check_cancelled();
         return;
     }
     const Index n = end - begin;
@@ -154,7 +160,8 @@ void
 parallel_lanes(Fn&& fn)
 {
     ThreadPool& pool = ThreadPool::instance();
-    if (ThreadPool::in_parallel_region()) {
+    if (ThreadPool::in_parallel_region() ||
+        ThreadPool::in_serial_region()) {
         fn(0, 1);
         return;
     }
@@ -178,10 +185,20 @@ parallel_reduce(Index begin, Index end, T identity, Map&& map,
         return identity;
     ThreadPool& pool = ThreadPool::instance();
     const int lanes = pool.num_threads();
-    if (lanes == 1 || ThreadPool::in_parallel_region()) {
+    if (lanes == 1 || ThreadPool::in_parallel_region() ||
+        ThreadPool::in_serial_region()) {
+        const bool nested = ThreadPool::in_parallel_region();
         T acc = identity;
-        for (Index i = begin; i < end; ++i)
+        std::uint64_t polls = 0;
+        for (Index i = begin; i < end; ++i) {
+            if ((polls++ & detail::kCancelPollMask) == 0 &&
+                support::cancel_requested()) {
+                if (nested)
+                    break;
+                support::check_cancelled();
+            }
             acc = combine(acc, map(i));
+        }
         return acc;
     }
     std::vector<T> partial(static_cast<std::size_t>(lanes), identity);

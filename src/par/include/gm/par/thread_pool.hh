@@ -51,18 +51,32 @@ class ThreadPool
      * Run @p job on every lane and wait for completion.
      *
      * @param job Receives the lane id in [0, num_threads()).
+     *
+     * Safe to call from multiple threads concurrently: submissions are
+     * serialized internally (one fork-join job owns the lanes at a time);
+     * a call made while the caller is already inside a pool job, or while
+     * a SerialRegion is active on the calling thread, degrades to serial
+     * execution on that thread instead of queueing.
      */
     void run(const std::function<void(int)>& job);
 
     /** True when the calling thread is currently inside a pool job. */
     static bool in_parallel_region();
 
+    /** True when a SerialRegion is active on the calling thread. */
+    static bool in_serial_region();
+
   private:
+    friend class SerialRegion;
+
     void worker_loop(int lane);
 
     int num_threads_;
     std::vector<std::thread> workers_;
 
+    /** Serializes concurrent run() callers; the fork-join state below
+     *  (job_, pending_, generation_) describes exactly one job at a time. */
+    std::mutex run_mutex_;
     std::mutex mutex_;
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
@@ -76,6 +90,28 @@ class ThreadPool
     std::uint64_t generation_ = 0;
     int pending_ = 0;
     bool shutdown_ = false;
+};
+
+/**
+ * RAII: while alive on the constructing thread, every parallel primitive
+ * (ThreadPool::run, parallel_for, parallel_reduce, ...) degrades to serial
+ * execution on that thread instead of forking onto the shared pool.
+ *
+ * Unlike the implicit nested-run degrade, cancellation inside a serial
+ * region still *throws* CancelledError at the outermost level — the region
+ * marks "this thread is one lane of some higher-level concurrency" (a
+ * serve worker handling one request), not "we are inside a pool job whose
+ * boundary exceptions must not cross".  Regions nest; the thread returns
+ * to normal forking behaviour when the outermost region is destroyed.
+ */
+class SerialRegion
+{
+  public:
+    SerialRegion();
+    ~SerialRegion();
+
+    SerialRegion(const SerialRegion&) = delete;
+    SerialRegion& operator=(const SerialRegion&) = delete;
 };
 
 } // namespace gm::par

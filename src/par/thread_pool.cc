@@ -13,6 +13,7 @@ namespace
 {
 
 thread_local bool tls_in_parallel = false;
+thread_local int tls_serial_region = 0;
 
 /**
  * Execute @p job on @p lane under the session generation @p job_gen that
@@ -79,15 +80,33 @@ ThreadPool::in_parallel_region()
     return tls_in_parallel;
 }
 
+bool
+ThreadPool::in_serial_region()
+{
+    return tls_serial_region > 0;
+}
+
+SerialRegion::SerialRegion()
+{
+    ++tls_serial_region;
+}
+
+SerialRegion::~SerialRegion()
+{
+    --tls_serial_region;
+}
+
 void
 ThreadPool::run(const std::function<void(int)>& job)
 {
-    if (tls_in_parallel) {
-        // Nested parallelism degrades to serial execution on this lane;
-        // its time is already inside the outer lane's busy span.
+    if (tls_in_parallel || tls_serial_region > 0) {
+        // Nested parallelism (or an explicit serial region) degrades to
+        // serial execution on this thread; its time is already inside the
+        // outer lane's busy span / the request's execute span.
         job(0);
         return;
     }
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
     const std::uint64_t job_gen = obs::current_session_gen();
     if (job_gen != 0)
         obs::counter_max("par.lanes",

@@ -1,0 +1,97 @@
+#include "gm/serve/cache.hh"
+
+namespace gm::serve
+{
+
+ResultCache::Lookup
+ResultCache::lookup_or_join(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = entries_.find(key); it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        ++counters_.hits;
+        Lookup hit;
+        hit.role = Role::kHit;
+        hit.value = it->second.value;
+        hit.fingerprint = it->second.fingerprint;
+        return hit;
+    }
+    ++counters_.misses;
+    auto [it, inserted] = inflight_.try_emplace(key);
+    if (inserted)
+        it->second = std::make_shared<Inflight>();
+    Lookup miss;
+    miss.role = inserted ? Role::kLeader : Role::kFollower;
+    miss.flight = it->second;
+    if (!inserted)
+        ++counters_.joins;
+    return miss;
+}
+
+void
+ResultCache::publish(const std::string& key,
+                     const std::shared_ptr<Inflight>& flight,
+                     support::Status status,
+                     std::shared_ptr<const ResultValue> value,
+                     std::uint64_t fingerprint)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Retire the in-flight slot so the next identical query becomes a
+        // hit (on success) or a fresh leader (on failure) — never a
+        // follower of a finished flight.
+        if (auto it = inflight_.find(key);
+            it != inflight_.end() && it->second == flight)
+            inflight_.erase(it);
+
+        if (status.is_ok() && value != nullptr) {
+            const std::size_t bytes = result_bytes(*value) + key.size();
+            if (bytes <= capacity_bytes_ &&
+                entries_.find(key) == entries_.end()) {
+                while (bytes_ + bytes > capacity_bytes_ && !lru_.empty()) {
+                    const std::string& victim = lru_.back();
+                    auto vit = entries_.find(victim);
+                    bytes_ -= vit->second.bytes;
+                    entries_.erase(vit);
+                    lru_.pop_back();
+                    ++counters_.evictions;
+                }
+                lru_.push_front(key);
+                entries_[key] =
+                    Entry{value, fingerprint, bytes, lru_.begin()};
+                bytes_ += bytes;
+                ++counters_.insertions;
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->status = std::move(status);
+        flight->value =
+            flight->status.is_ok() ? std::move(value) : nullptr;
+        flight->fingerprint = fingerprint;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats out = counters_;
+    out.entries = entries_.size();
+    out.bytes = bytes_;
+    return out;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+}
+
+} // namespace gm::serve

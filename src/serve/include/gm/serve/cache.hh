@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Byte-accounted LRU result cache with single-flight execution dedup.
+ *
+ * lookup_or_join() resolves a cache key to one of three roles:
+ *
+ *   kHit      — a completed result is cached; take it and go.
+ *   kLeader   — nobody is computing this key: the caller must execute the
+ *               kernel and publish() the outcome (success or failure).
+ *   kFollower — an identical query is already executing; wait on the
+ *               returned Inflight until the leader publishes.
+ *
+ * Only successful results are ever inserted — a failed, cancelled, or
+ * deadline-expired leader publishes its status so followers can react,
+ * but leaves no cache entry (no partial or poisoned results).  Insertion
+ * evicts least-recently-used entries until the configured byte budget
+ * holds; a single result larger than the whole budget is simply not
+ * cached.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gm/serve/request.hh"
+#include "gm/support/status.hh"
+
+namespace gm::serve
+{
+
+/** LRU + single-flight cache; all operations are thread-safe. */
+class ResultCache
+{
+  public:
+    /**
+     * Rendezvous between a single-flight leader and its followers.  The
+     * leader fills the fields and flips done under mu; followers wait on
+     * cv (polling their own deadline/cancel state between waits).
+     */
+    struct Inflight
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        /** Leader outcome; ok iff value is set. */
+        support::Status status;
+        std::shared_ptr<const ResultValue> value;
+        std::uint64_t fingerprint = 0;
+    };
+
+    enum class Role { kHit, kLeader, kFollower };
+
+    /** Outcome of lookup_or_join(): role plus the role's payload. */
+    struct Lookup
+    {
+        Role role = Role::kLeader;
+        /** Cached payload; set only for kHit. */
+        std::shared_ptr<const ResultValue> value;
+        std::uint64_t fingerprint = 0;
+        /** Rendezvous; set for kLeader (to publish) and kFollower (to
+         *  wait on). */
+        std::shared_ptr<Inflight> flight;
+    };
+
+    /** Point-in-time counters (monotonic except entries/bytes). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;      ///< leader + follower lookups
+        std::uint64_t joins = 0;       ///< follower lookups only
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+    };
+
+    explicit ResultCache(std::size_t capacity_bytes)
+        : capacity_bytes_(capacity_bytes)
+    {
+    }
+
+    /** Resolve @p key; see the role taxonomy above. */
+    Lookup lookup_or_join(const std::string& key);
+
+    /**
+     * Leader-only: record the execution outcome for @p key, insert the
+     * result when @p status is ok, retire the in-flight slot, and wake
+     * every follower.  Must be called exactly once per kLeader lookup,
+     * on every path out of the execution (including failure) — a leader
+     * that skips publish() would strand its followers.
+     */
+    void publish(const std::string& key,
+                 const std::shared_ptr<Inflight>& flight,
+                 support::Status status,
+                 std::shared_ptr<const ResultValue> value,
+                 std::uint64_t fingerprint);
+
+    Stats stats() const;
+
+    /** Drop every completed entry (in-flight executions are unaffected). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const ResultValue> value;
+        std::uint64_t fingerprint = 0;
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lru_it;
+    };
+
+    std::size_t capacity_bytes_;
+
+    mutable std::mutex mu_;
+    std::size_t bytes_ = 0;
+    std::list<std::string> lru_; ///< front = most recently used
+    std::unordered_map<std::string, Entry> entries_;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+    Stats counters_;
+};
+
+} // namespace gm::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One timer thread for every request deadline in a server.
+ *
+ * arm() registers a (deadline, CancelToken) pair on a min-heap; the timer
+ * thread sleeps until the earliest deadline and raises expired tokens.
+ * Raising is the whole job — the same cooperative-cancellation machinery
+ * the watchdog uses (parallel primitives and worklists polling the
+ * thread's token) unwinds the kernel, and the serve worker classifies the
+ * resulting CancelledError as DEADLINE_EXCEEDED.
+ *
+ * There is deliberately no disarm: tokens are heap-owned (shared_ptr), so
+ * raising one after its request already completed is a harmless store to
+ * an atomic nobody reads.  This keeps arm() O(log n) and lock-light on
+ * the submit path.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "gm/support/watchdog.hh"
+
+namespace gm::serve
+{
+
+/** Shared deadline timer; arm() is thread-safe. */
+class DeadlineScheduler
+{
+  public:
+    DeadlineScheduler();
+    ~DeadlineScheduler();
+
+    DeadlineScheduler(const DeadlineScheduler&) = delete;
+    DeadlineScheduler& operator=(const DeadlineScheduler&) = delete;
+
+    /** Raise @p token once Timer::now_ns() reaches @p deadline_ns. */
+    void arm(std::int64_t deadline_ns,
+             std::shared_ptr<support::CancelToken> token);
+
+  private:
+    struct Armed
+    {
+        std::int64_t deadline_ns = 0;
+        std::shared_ptr<support::CancelToken> token;
+        bool
+        operator>(const Armed& other) const
+        {
+            return deadline_ns > other.deadline_ns;
+        }
+    };
+
+    void loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::priority_queue<Armed, std::vector<Armed>, std::greater<Armed>>
+        heap_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+} // namespace gm::serve

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Typed requests and results for the gm::serve query service.
+ *
+ * A Request names a cell of the benchmark cube (framework x kernel x
+ * graph x mode) plus the per-query inputs (source vertex, deadline); the
+ * server resolves it against its DatasetSuite and framework registry and
+ * answers with a QueryResult.  Result payloads are immutable and shared:
+ * a cache hit and the execution that produced it hand out the same
+ * heap-owned value, so serving N readers costs one kernel run and zero
+ * copies.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gm/harness/framework.hh"
+#include "gm/support/types.hh"
+
+namespace gm::serve
+{
+
+/** One graph query.  Defaults describe "BFS from vertex 0 on GAP". */
+struct Request
+{
+    /** Framework display name or lowercase alias ("GAP", "gkc", ...). */
+    std::string framework = "GAP";
+    harness::Kernel kernel = harness::Kernel::kBFS;
+    /** Dataset name within the server's suite ("Road", "Kron", ...). */
+    std::string graph;
+    harness::Mode mode = harness::Mode::kBaseline;
+    /** Source vertex for BFS/SSSP/BC; ignored (and normalized to 0 in the
+     *  cache key) for CC/PR/TC. */
+    vid_t source = 0;
+    /** Wall-clock budget measured from submit(), covering queue wait and
+     *  execution.  0 disables the deadline. */
+    int deadline_ms = 0;
+};
+
+/**
+ * Kernel result payloads.  BFS parents, SSSP distances, and CC labels
+ * share the int32 alternative (vid_t and weight_t are both int32_t, and
+ * std::variant forbids duplicate alternatives); PR/BC scores share the
+ * double vector; TC is a bare triangle count.
+ */
+using ResultValue = std::variant<std::vector<std::int32_t>,
+                                 std::vector<score_t>, std::uint64_t>;
+
+/** Heap bytes a cached copy of @p value occupies (payload, not variant). */
+std::size_t result_bytes(const ResultValue& value);
+
+/**
+ * FNV-1a digest over the alternative index and raw payload bytes.  Two
+ * results fingerprint equal iff they are bit-identical, which is what the
+ * acceptance tests compare against direct framework execution.
+ */
+std::uint64_t result_fingerprint(const ResultValue& value);
+
+/** A completed query: the shared payload plus serving metadata. */
+struct QueryResult
+{
+    /** Immutable payload, shared with the cache and concurrent readers. */
+    std::shared_ptr<const ResultValue> value;
+    /** result_fingerprint() of *value. */
+    std::uint64_t fingerprint = 0;
+    /** Answered from the result cache without executing. */
+    bool cache_hit = false;
+    /** Answered by joining another in-flight identical query
+     *  (single-flight follower; counts neither as a hit nor a run). */
+    bool shared_execution = false;
+    /** Time spent in the admission queue before a worker picked it up. */
+    double queue_seconds = 0;
+    /** Kernel execution time; 0 for cache hits and followers. */
+    double execute_seconds = 0;
+    /** Total submit()-to-completion latency as stamped by the server
+     *  (covers queue wait, execution or join wait, and cache lookups). */
+    double service_seconds = 0;
+};
+
+} // namespace gm::serve

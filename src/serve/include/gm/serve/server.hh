@@ -1,0 +1,181 @@
+/**
+ * @file
+ * gm::serve::Server — an in-process concurrent graph-query service over a
+ * shared DatasetSuite.
+ *
+ * Architecture (one paragraph): submit() validates a Request against the
+ * suite and framework registry, stamps it, and either enqueues it on a
+ * bounded admission queue or sheds it immediately with RESOURCE_EXHAUSTED
+ * — admission never blocks.  A fixed pool of worker threads drains the
+ * queue; each worker runs its request's kernel serially on its own thread
+ * (par::SerialRegion), so N workers give N-way concurrency across
+ * requests while every individual result stays bit-identical to a direct
+ * serial framework call.  Requests with deadlines are armed on a shared
+ * DeadlineScheduler whose timer raises the request's CancelToken; the
+ * kernel unwinds cooperatively via the same polling the watchdog uses and
+ * the worker reports DEADLINE_EXCEEDED (or CANCELLED for caller-initiated
+ * cancels) without poisoning the store or later requests.  Identical
+ * queries dedupe through the ResultCache's single-flight slots, and
+ * completed results are served zero-copy from its LRU.  Every request
+ * records a detached gm::obs trace session (serve.queue_wait /
+ * serve.execute spans) summarized to a per-request metrics JSONL record.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/obs/trace.hh"
+#include "gm/serve/cache.hh"
+#include "gm/serve/deadline.hh"
+#include "gm/serve/request.hh"
+#include "gm/support/status.hh"
+
+namespace gm::serve
+{
+
+namespace detail
+{
+struct RequestState;
+} // namespace detail
+
+/** Server construction knobs. */
+struct ServerOptions
+{
+    /** Worker threads = maximum concurrently executing requests. */
+    int workers = 4;
+    /** Admission queue bound; a full queue sheds (RESOURCE_EXHAUSTED). */
+    std::size_t queue_capacity = 64;
+    /** Result-cache byte budget; 0 disables caching (single-flight dedup
+     *  of concurrent identical queries still applies). */
+    std::size_t cache_capacity_bytes = 64ull << 20;
+    /** Append one MetricsRecord JSONL line per served request; "" = off. */
+    std::string metrics_path;
+};
+
+/** Point-in-time server counters (cache figures folded in). */
+struct ServerStats
+{
+    std::uint64_t submitted = 0;  ///< accepted into the queue
+    std::uint64_t shed = 0;       ///< refused: queue full
+    std::uint64_t completed = 0;  ///< finished, any status
+    std::uint64_t succeeded = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;     ///< kernel error / injected fault
+    std::uint64_t executions = 0; ///< kernels actually run (leaders)
+    std::uint64_t cache_hits = 0;
+    std::uint64_t single_flight_joins = 0;
+    std::size_t queue_depth = 0;
+    std::size_t cache_entries = 0;
+    std::size_t cache_bytes = 0;
+};
+
+/**
+ * The service.  Owns its workers and deadline timer; the DatasetSuite's
+ * stores are shared (copies of the shared_ptrs), so several servers — or
+ * a server and a sweep — can serve the same graphs concurrently.
+ */
+class Server
+{
+  public:
+    /** A submitted request; wait() blocks until it completes. */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** Block until the request finishes; the result or the failure.
+         *  Const: it reads the shared request state, not the handle. */
+        support::StatusOr<QueryResult> wait() const;
+
+        /** Request cooperative cancellation (wait() then reports
+         *  CANCELLED unless the request already finished). */
+        void cancel() const;
+
+        bool valid() const { return state_ != nullptr; }
+
+      private:
+        friend class Server;
+        explicit Handle(std::shared_ptr<detail::RequestState> state)
+            : state_(std::move(state))
+        {
+        }
+
+        std::shared_ptr<detail::RequestState> state_;
+    };
+
+    Server(harness::DatasetSuite suite,
+           std::vector<harness::Framework> frameworks,
+           ServerOptions options = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Validate and enqueue @p request.  Never blocks: returns
+     * kInvalidInput for an unknown framework/graph or out-of-range
+     * source, kResourceExhausted when the admission queue is full or the
+     * server is shutting down, and a live Handle otherwise.
+     */
+    support::StatusOr<Handle> submit(Request request);
+
+    /** submit() + wait() in one call. */
+    support::StatusOr<QueryResult> query(const Request& request);
+
+    ServerStats stats() const;
+
+    /** Stop accepting work, drain the queue, join the workers.
+     *  Idempotent; the destructor calls it. */
+    void shutdown();
+
+  private:
+    void worker_loop();
+    void process(const std::shared_ptr<detail::RequestState>& state);
+    support::Status wait_for_leader(detail::RequestState& state,
+                                    ResultCache::Inflight& flight,
+                                    QueryResult& result);
+    support::Status classify_cancel(const detail::RequestState& state) const;
+    void complete(const std::shared_ptr<detail::RequestState>& state,
+                  support::Status status, QueryResult result);
+    void write_metrics_record(const detail::RequestState& state,
+                              const obs::TraceSession& session);
+
+    harness::DatasetSuite suite_;
+    std::vector<harness::Framework> frameworks_;
+    ServerOptions options_;
+    ResultCache cache_;
+    DeadlineScheduler deadlines_;
+
+    mutable std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<std::shared_ptr<detail::RequestState>> queue_;
+    bool shutdown_ = false;
+
+    std::mutex metrics_mu_; ///< serializes JSONL appends across workers
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> succeeded_{0};
+    std::atomic<std::uint64_t> deadline_exceeded_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> executions_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+    std::atomic<std::uint64_t> single_flight_joins_{0};
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gm::serve

@@ -1,0 +1,505 @@
+#include "gm/serve/server.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "gm/obs/metrics.hh"
+#include "gm/par/thread_pool.hh"
+#include "gm/support/fault_injector.hh"
+#include "gm/support/hash.hh"
+#include "gm/support/timer.hh"
+#include "gm/support/watchdog.hh"
+
+namespace gm::serve
+{
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace detail
+{
+
+/** Everything one submitted request carries through the pipeline.  Heap-
+ *  owned (shared by the Handle, the queue, and the worker), so a caller
+ *  abandoning its Handle never invalidates an executing request. */
+struct RequestState
+{
+    Request req;
+    const harness::Framework* fw = nullptr;
+    std::shared_ptr<const harness::Dataset> ds;
+    std::string cache_key;
+
+    std::shared_ptr<support::CancelToken> token =
+        std::make_shared<support::CancelToken>();
+    std::int64_t submit_ns = 0;
+    std::int64_t deadline_ns = 0; ///< absolute Timer::now_ns(); 0 = none
+    std::atomic<bool> user_cancelled{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    QueryResult result;
+};
+
+} // namespace detail
+
+using detail::RequestState;
+
+namespace
+{
+
+/** Match a framework by display name or lowercase alias. */
+const harness::Framework*
+find_framework(const std::vector<harness::Framework>& frameworks,
+               const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (const auto& fw : frameworks) {
+        std::string fw_lower = fw.name;
+        std::transform(fw_lower.begin(), fw_lower.end(), fw_lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (name == fw.name || lower == fw_lower)
+            return &fw;
+    }
+    return nullptr;
+}
+
+bool
+kernel_uses_source(harness::Kernel kernel)
+{
+    return kernel == harness::Kernel::kBFS ||
+           kernel == harness::Kernel::kSSSP ||
+           kernel == harness::Kernel::kBC;
+}
+
+/**
+ * Cache identity of a request: the cell coordinates with the graph pinned
+ * by content fingerprint (two suites at different scales never collide),
+ * plus every parameter that changes the answer.  Sourceless kernels
+ * normalize source to 0 so "PR from 3" and "PR from 7" dedupe.
+ */
+std::string
+make_cache_key(const Request& req, const harness::Framework& fw,
+               const harness::Dataset& ds)
+{
+    const vid_t source = kernel_uses_source(req.kernel) ? req.source : 0;
+    std::ostringstream key;
+    key << harness::to_string(req.mode) << "/" << fw.name << "/"
+        << harness::to_string(req.kernel) << "/" << req.graph << "@"
+        << std::hex << ds.store()->fingerprint() << std::dec << "/d"
+        << ds.delta << "/s" << source;
+    return key.str();
+}
+
+/** Run the kernel for @p state on the calling thread. */
+ResultValue
+execute_kernel(const RequestState& state)
+{
+    const harness::Framework& fw = *state.fw;
+    const harness::Dataset& ds = *state.ds;
+    const Request& req = state.req;
+    switch (req.kernel) {
+      case harness::Kernel::kBFS:
+        return fw.bfs(ds, req.source, req.mode);
+      case harness::Kernel::kSSSP:
+        return fw.sssp(ds, req.source, req.mode);
+      case harness::Kernel::kCC:
+        return fw.cc(ds, req.mode);
+      case harness::Kernel::kPR:
+        return fw.pr(ds, req.mode);
+      case harness::Kernel::kBC:
+        return fw.bc(ds, std::vector<vid_t>{req.source}, req.mode);
+      case harness::Kernel::kTC:
+        return fw.tc(ds, req.mode);
+    }
+    throw support::Error(StatusCode::kInvalidInput, "unknown kernel");
+}
+
+} // namespace
+
+std::size_t
+result_bytes(const ResultValue& value)
+{
+    return std::visit(
+        [](const auto& v) -> std::size_t {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::uint64_t>)
+                return sizeof(std::uint64_t);
+            else
+                return v.size() * sizeof(typename T::value_type) +
+                       sizeof(T);
+        },
+        value);
+}
+
+std::uint64_t
+result_fingerprint(const ResultValue& value)
+{
+    support::Fnv1a h;
+    h.update_value(static_cast<std::uint64_t>(value.index()));
+    std::visit(
+        [&h](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::uint64_t>)
+                h.update_value(v);
+            else
+                h.update_vector(v);
+        },
+        value);
+    return h.digest();
+}
+
+Server::Server(harness::DatasetSuite suite,
+               std::vector<harness::Framework> frameworks,
+               ServerOptions options)
+    : suite_(std::move(suite)),
+      frameworks_(std::move(frameworks)),
+      options_(options),
+      cache_(options.cache_capacity_bytes)
+{
+    GM_ASSERT(options_.workers >= 1, "server needs at least one worker");
+    GM_ASSERT(options_.queue_capacity >= 1,
+              "server needs a non-empty admission queue");
+    workers_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+StatusOr<Server::Handle>
+Server::submit(Request request)
+{
+    const harness::Framework* fw =
+        find_framework(frameworks_, request.framework);
+    if (fw == nullptr)
+        return Status(StatusCode::kInvalidInput,
+                      "unknown framework: " + request.framework);
+
+    std::shared_ptr<const harness::Dataset> ds;
+    for (const auto& candidate : suite_.datasets) {
+        if (candidate->name == request.graph) {
+            ds = candidate;
+            break;
+        }
+    }
+    if (ds == nullptr)
+        return Status(StatusCode::kInvalidInput,
+                      "unknown graph: " + request.graph);
+
+    if (kernel_uses_source(request.kernel) &&
+        (request.source < 0 || request.source >= ds->g().num_vertices()))
+        return Status(StatusCode::kInvalidInput,
+                      "source " + std::to_string(request.source) +
+                          " out of range for graph " + request.graph);
+
+    auto state = std::make_shared<RequestState>();
+    state->req = std::move(request);
+    state->fw = fw;
+    state->ds = ds;
+    state->cache_key = make_cache_key(state->req, *fw, *ds);
+    state->submit_ns = Timer::now_ns();
+    if (state->req.deadline_ms > 0)
+        state->deadline_ns =
+            state->submit_ns +
+            static_cast<std::int64_t>(state->req.deadline_ms) * 1'000'000;
+
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (shutdown_)
+            return Status(StatusCode::kResourceExhausted,
+                          "server is shut down");
+        if (queue_.size() >= options_.queue_capacity) {
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            return Status(StatusCode::kResourceExhausted,
+                          "admission queue full (capacity " +
+                              std::to_string(options_.queue_capacity) +
+                              ")");
+        }
+        queue_.push_back(state);
+    }
+    queue_cv_.notify_one();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (state->deadline_ns != 0)
+        deadlines_.arm(state->deadline_ns, state->token);
+    return Handle(state);
+}
+
+StatusOr<QueryResult>
+Server::query(const Request& request)
+{
+    auto handle = submit(request);
+    if (!handle.is_ok())
+        return handle.status();
+    return std::move(handle).value().wait();
+}
+
+void
+Server::worker_loop()
+{
+    for (;;) {
+        std::shared_ptr<RequestState> state;
+        {
+            std::unique_lock<std::mutex> lock(queue_mu_);
+            queue_cv_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // shutdown, queue drained
+            state = queue_.front();
+            queue_.pop_front();
+        }
+        process(state);
+    }
+}
+
+Status
+Server::classify_cancel(const RequestState& state) const
+{
+    if (state.deadline_ns != 0 && Timer::now_ns() >= state.deadline_ns &&
+        !state.user_cancelled.load(std::memory_order_relaxed))
+        return Status(StatusCode::kDeadlineExceeded,
+                      "deadline of " +
+                          std::to_string(state.req.deadline_ms) +
+                          " ms exceeded");
+    return Status(StatusCode::kCancelled, "cancelled by caller");
+}
+
+void
+Server::process(const std::shared_ptr<RequestState>& state)
+{
+    const std::int64_t dequeue_ns = Timer::now_ns();
+    QueryResult result;
+    result.queue_seconds =
+        static_cast<double>(dequeue_ns - state->submit_ns) * 1e-9;
+
+    // Expired or cancelled while still queued: answer without executing.
+    if (state->user_cancelled.load(std::memory_order_relaxed) ||
+        (state->deadline_ns != 0 && dequeue_ns >= state->deadline_ns)) {
+        complete(state, classify_cancel(*state), std::move(result));
+        return;
+    }
+
+    obs::TraceSession session;
+    session.start_detached();
+    Status status;
+    {
+        obs::SessionBinding binding(session.gen());
+        obs::record_span("serve.queue_wait", state->submit_ns, dequeue_ns);
+
+        ResultCache::Lookup lookup =
+            cache_.lookup_or_join(state->cache_key);
+        switch (lookup.role) {
+          case ResultCache::Role::kHit: {
+              obs::counter_add("serve.cache_hit", 1);
+              cache_hits_.fetch_add(1, std::memory_order_relaxed);
+              result.value = std::move(lookup.value);
+              result.fingerprint = lookup.fingerprint;
+              result.cache_hit = true;
+              break;
+          }
+          case ResultCache::Role::kFollower: {
+              single_flight_joins_.fetch_add(1, std::memory_order_relaxed);
+              const std::int64_t join_begin = Timer::now_ns();
+              status = wait_for_leader(*state, *lookup.flight, result);
+              obs::record_span("serve.join_wait", join_begin,
+                               Timer::now_ns());
+              break;
+          }
+          case ResultCache::Role::kLeader: {
+              executions_.fetch_add(1, std::memory_order_relaxed);
+              const std::int64_t exec_begin = Timer::now_ns();
+              std::shared_ptr<const ResultValue> value;
+              std::uint64_t fingerprint = 0;
+              try {
+                  // Serial execution on this worker thread: concurrency
+                  // comes from the worker pool, not from the kernel, so
+                  // results are bit-identical to a direct serial run and
+                  // N requests never contend for the shared ThreadPool.
+                  support::ScopedCancelToken scope(state->token.get());
+                  par::SerialRegion serial;
+                  obs::ScopedSpan span("serve.execute");
+                  support::FaultInjector::global().at("serve.execute");
+                  support::check_cancelled();
+                  ResultValue v = execute_kernel(*state);
+                  fingerprint = result_fingerprint(v);
+                  value = std::make_shared<const ResultValue>(std::move(v));
+              } catch (...) {
+                  status = support::current_exception_status();
+              }
+              // Cooperative unwinds surface as the watchdog's kTimeout;
+              // re-express them in service terms.
+              if (status.code() == StatusCode::kTimeout)
+                  status = classify_cancel(*state);
+              cache_.publish(state->cache_key, lookup.flight, status,
+                             value, fingerprint);
+              if (status.is_ok()) {
+                  result.value = std::move(value);
+                  result.fingerprint = fingerprint;
+              }
+              result.execute_seconds =
+                  static_cast<double>(Timer::now_ns() - exec_begin) * 1e-9;
+              break;
+          }
+        }
+    }
+    session.stop();
+    if (!options_.metrics_path.empty())
+        write_metrics_record(*state, session);
+    complete(state, std::move(status), std::move(result));
+}
+
+Status
+Server::wait_for_leader(RequestState& state, ResultCache::Inflight& flight,
+                        QueryResult& result)
+{
+    std::unique_lock<std::mutex> lock(flight.mu);
+    while (!flight.done) {
+        if (state.user_cancelled.load(std::memory_order_relaxed))
+            return Status(StatusCode::kCancelled, "cancelled by caller");
+        if (state.deadline_ns != 0 && Timer::now_ns() >= state.deadline_ns)
+            return Status(StatusCode::kDeadlineExceeded,
+                          "deadline of " +
+                              std::to_string(state.req.deadline_ms) +
+                              " ms exceeded while joined to an "
+                              "in-flight execution");
+        flight.cv.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    if (flight.status.is_ok()) {
+        result.value = flight.value;
+        result.fingerprint = flight.fingerprint;
+        result.shared_execution = true;
+        return Status::ok();
+    }
+    switch (flight.status.code()) {
+      case StatusCode::kTimeout:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kCancelled:
+        // The leader was abandoned for reasons unrelated to the query
+        // itself; this follower's answer was never computed.
+        return Status(StatusCode::kCancelled,
+                      "single-flight leader abandoned; safe to retry");
+      default:
+        // Deterministic failure: retrying the same query would repeat it.
+        return flight.status;
+    }
+}
+
+void
+Server::complete(const std::shared_ptr<RequestState>& state, Status status,
+                 QueryResult result)
+{
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    switch (status.code()) {
+      case StatusCode::kOk:
+        succeeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kCancelled:
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(state->mu);
+        result.service_seconds =
+            static_cast<double>(Timer::now_ns() - state->submit_ns) * 1e-9;
+        state->status = std::move(status);
+        state->result = std::move(result);
+        state->done = true;
+    }
+    state->cv.notify_all();
+}
+
+void
+Server::write_metrics_record(const RequestState& state,
+                             const obs::TraceSession& session)
+{
+    obs::MetricsRecord record;
+    record.mode = harness::to_string(state.req.mode);
+    record.framework = state.fw->name;
+    record.kernel = harness::to_string(state.req.kernel);
+    record.graph = state.req.graph;
+    record.trial = 0;
+    record.attempt = 1;
+    record.metrics = obs::summarize(session);
+    record.metrics.peak_bytes = state.ds->bytes_resident();
+    const std::string line = obs::metrics_record_line(record);
+
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.metrics_path, std::ios::app);
+    if (out)
+        out << line << "\n";
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.shed = shed_.load(std::memory_order_relaxed);
+    out.completed = completed_.load(std::memory_order_relaxed);
+    out.succeeded = succeeded_.load(std::memory_order_relaxed);
+    out.deadline_exceeded =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    out.cancelled = cancelled_.load(std::memory_order_relaxed);
+    out.failed = failed_.load(std::memory_order_relaxed);
+    out.executions = executions_.load(std::memory_order_relaxed);
+    out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    out.single_flight_joins =
+        single_flight_joins_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        out.queue_depth = queue_.size();
+    }
+    const ResultCache::Stats cache = cache_.stats();
+    out.cache_entries = cache.entries;
+    out.cache_bytes = cache.bytes;
+    return out;
+}
+
+StatusOr<QueryResult>
+Server::Handle::wait() const
+{
+    GM_ASSERT(state_ != nullptr, "wait() on an empty serve::Handle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->done; });
+    if (!state_->status.is_ok())
+        return state_->status;
+    return state_->result;
+}
+
+void
+Server::Handle::cancel() const
+{
+    GM_ASSERT(state_ != nullptr, "cancel() on an empty serve::Handle");
+    state_->user_cancelled.store(true, std::memory_order_relaxed);
+    state_->token->request();
+}
+
+} // namespace gm::serve

@@ -50,6 +50,14 @@ Summary summarize(const std::vector<double>& samples);
  *  empty. */
 double median_of(std::vector<double> samples);
 
+/**
+ * Linear-interpolated percentile of @p samples (p in [0, 100]), the
+ * "exclusive median"-compatible definition: rank = p/100 * (n-1) on the
+ * sorted sample, interpolating between the neighbours.  p = 50 matches
+ * median_of(); 0 when empty.  Latency reports use p50/p95/p99.
+ */
+double percentile_of(std::vector<double> samples, double p);
+
 /** Percentile bootstrap confidence interval. */
 struct BootstrapCI
 {

@@ -32,6 +32,25 @@ median_of(std::vector<double> samples)
     return sorted_median(samples);
 }
 
+double
+percentile_of(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0;
+    if (p <= 0)
+        return *std::min_element(samples.begin(), samples.end());
+    if (p >= 100)
+        return *std::max_element(samples.begin(), samples.end());
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples[lo];
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
 Summary
 summarize(const std::vector<double>& samples)
 {

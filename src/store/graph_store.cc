@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gm/graph/builder.hh"
+#include "gm/support/hash.hh"
 #include "gm/support/timer.hh"
 
 namespace gm::store
@@ -139,6 +140,23 @@ GraphStore::evict_derived()
     relabeled_.value.reset();
     grb_.value.reset();
     grb_weighted_.value.reset();
+}
+
+std::uint64_t
+GraphStore::fingerprint() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!fingerprint_done_) {
+        support::Fnv1a h;
+        h.update_value(base_->num_vertices());
+        h.update_value(base_->is_directed());
+        h.update_vector(base_->out_offsets());
+        h.update_vector(base_->out_destinations());
+        h.update_value(weight_seed_);
+        fingerprint_ = h.digest();
+        fingerprint_done_ = true;
+    }
+    return fingerprint_;
 }
 
 std::size_t

@@ -92,6 +92,16 @@ class GraphStore
     /** Accounting snapshot for every artifact, base first. */
     std::vector<ArtifactInfo> artifacts() const;
 
+    /**
+     * Content fingerprint of this store: FNV-1a 64 over the base CSR
+     * arrays (vertex count, directedness, offsets, destinations) and the
+     * weight seed.  Lazy and memoized; stable across processes, so it can
+     * identify a graph in cache keys and result records (gm::serve keys
+     * its result cache on it).  Derived forms are deterministic functions
+     * of the base + seed and need no hashing of their own.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     template <typename T>
     struct Slot
@@ -116,6 +126,8 @@ class GraphStore
     std::uint64_t weight_seed_;
     mutable std::mutex state_mu_; ///< guards every slot's non-mutex fields
     mutable std::size_t high_water_bytes_ = 0;
+    mutable bool fingerprint_done_ = false;
+    mutable std::uint64_t fingerprint_ = 0;
     mutable Slot<graph::WCSRGraph> weighted_;
     mutable Slot<graph::CSRGraph> undirected_;
     mutable Slot<graph::CSRGraph> relabeled_;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Incremental FNV-1a 64-bit hashing, the one content-hash primitive shared
+ * by the .gmg checksum, graph-store fingerprints, and the serve layer's
+ * cache keys / result fingerprints.  FNV-1a is not cryptographic; it is a
+ * fast, dependency-free, platform-stable digest for integrity checks and
+ * cache identity, which is all any caller here needs.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gm::support
+{
+
+/** Incremental FNV-1a 64 over raw bytes. */
+class Fnv1a
+{
+  public:
+    /** Fold @p size raw bytes into the digest. */
+    Fnv1a&
+    update(const void* data, std::size_t size)
+    {
+        const auto* bytes = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= 0x100000001b3ULL;
+        }
+        return *this;
+    }
+
+    /** Fold a string (content only, not its length). */
+    Fnv1a&
+    update(std::string_view s)
+    {
+        return update(s.data(), s.size());
+    }
+
+    /** Fold a trivially-copyable value's object representation. */
+    template <typename T>
+    Fnv1a&
+    update_value(const T& value)
+    {
+        return update(&value, sizeof(value));
+    }
+
+    /** Fold a vector of trivially-copyable elements (content + count). */
+    template <typename T>
+    Fnv1a&
+    update_vector(const std::vector<T>& values)
+    {
+        update_value(values.size());
+        return update(values.data(), values.size() * sizeof(T));
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/** One-shot digest of a byte range. */
+inline std::uint64_t
+fnv1a(const void* data, std::size_t size)
+{
+    return Fnv1a().update(data, size).digest();
+}
+
+/** One-shot digest of a string. */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    return Fnv1a().update(s).digest();
+}
+
+} // namespace gm::support

@@ -22,8 +22,23 @@
 namespace gm::support
 {
 
-/** JSON-escape a string value (quotes, backslashes, control chars). */
+/**
+ * JSON-escape a string value (quotes, backslashes, control chars).
+ *
+ * Safe on untrusted input: every control byte (0x00-0x1f, 0x7f) is
+ * escaped, and bytes that do not form valid UTF-8 (stray continuation
+ * bytes, truncated sequences, overlongs, surrogates, > U+10FFFF) are
+ * replaced with U+FFFD so the output is always a valid UTF-8 JSON string
+ * no matter what a caller smuggles into request params.  Escaping is
+ * therefore lossy exactly on invalid input: unescaping yields
+ * json_sanitize_utf8() of the original, and is lossless once the input is
+ * valid UTF-8.
+ */
 std::string json_escape(const std::string& s);
+
+/** Replace every byte that is not part of a valid UTF-8 sequence with
+ *  U+FFFD.  Idempotent; identity on valid UTF-8. */
+std::string json_sanitize_utf8(const std::string& s);
 
 /** Round-trippable double formatting (17 significant digits). */
 std::string json_double(double v);

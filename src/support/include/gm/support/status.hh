@@ -30,6 +30,13 @@ enum class StatusCode
     kWrongResult,   ///< result failed spec verification
     kUnsupported,   ///< framework/kernel combination not implemented
     kFaultInjected, ///< deterministic test fault from GM_FAULTS
+
+    // Service-path codes (gm::serve): a request can be refused, expire, or
+    // be abandoned without anything being wrong with the kernel itself.
+    kResourceExhausted, ///< admission queue full; retry later
+    kDeadlineExceeded,  ///< request deadline expired before completion
+    kCancelled,         ///< request cancelled (caller, or single-flight
+                        ///< leader abandoned); safe to retry
 };
 
 /** Short stable name of a code ("ok", "timeout", ...). */

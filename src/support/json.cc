@@ -7,38 +7,133 @@
 namespace gm::support
 {
 
+namespace
+{
+
+/** U+FFFD REPLACEMENT CHARACTER, as raw UTF-8. */
+constexpr const char* kReplacement = "\xef\xbf\xbd";
+
+/**
+ * Length of the valid UTF-8 sequence starting at @p s[i], or 0 when the
+ * bytes there are not one (bad lead byte, truncated or malformed
+ * continuations, overlong encodings, surrogates, > U+10FFFF).
+ */
+std::size_t
+utf8_sequence_length(const std::string& s, std::size_t i)
+{
+    const auto at = [&](std::size_t k) {
+        return static_cast<unsigned char>(s[k]);
+    };
+    const unsigned char lead = at(i);
+    if (lead < 0x80)
+        return 1;
+    std::size_t len = 0;
+    unsigned char lo = 0x80;
+    unsigned char hi = 0xbf;
+    if (lead >= 0xc2 && lead <= 0xdf) {
+        len = 2;
+    } else if (lead >= 0xe0 && lead <= 0xef) {
+        len = 3;
+        if (lead == 0xe0)
+            lo = 0xa0; // reject overlong three-byte forms
+        else if (lead == 0xed)
+            hi = 0x9f; // reject UTF-16 surrogates U+D800..U+DFFF
+    } else if (lead >= 0xf0 && lead <= 0xf4) {
+        len = 4;
+        if (lead == 0xf0)
+            lo = 0x90; // reject overlong four-byte forms
+        else if (lead == 0xf4)
+            hi = 0x8f; // reject code points above U+10FFFF
+    } else {
+        return 0; // continuation byte, or 0xc0/0xc1/0xf5..0xff
+    }
+    if (i + len > s.size())
+        return 0;
+    if (at(i + 1) < lo || at(i + 1) > hi)
+        return 0;
+    for (std::size_t k = 2; k < len; ++k) {
+        if (at(i + k) < 0x80 || at(i + k) > 0xbf)
+            return 0;
+    }
+    return len;
+}
+
+} // namespace
+
 std::string
 json_escape(const std::string& s)
 {
     std::string out;
     out.reserve(s.size() + 2);
-    for (char c : s) {
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
         switch (c) {
           case '"':
             out += "\\\"";
-            break;
+            ++i;
+            continue;
           case '\\':
             out += "\\\\";
-            break;
+            ++i;
+            continue;
+          case '\b':
+            out += "\\b";
+            ++i;
+            continue;
+          case '\f':
+            out += "\\f";
+            ++i;
+            continue;
           case '\n':
             out += "\\n";
-            break;
+            ++i;
+            continue;
           case '\r':
             out += "\\r";
-            break;
+            ++i;
+            continue;
           case '\t':
             out += "\\t";
-            break;
+            ++i;
+            continue;
           default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c) & 0xff);
-                out += buf;
-            } else {
-                out += c;
-            }
+            break;
         }
+        const unsigned char byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte == 0x7f) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(byte));
+            out += buf;
+            ++i;
+            continue;
+        }
+        const std::size_t len = utf8_sequence_length(s, i);
+        if (len == 0) {
+            out += kReplacement;
+            ++i;
+            continue;
+        }
+        out.append(s, i, len);
+        i += len;
+    }
+    return out;
+}
+
+std::string
+json_sanitize_utf8(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+        const std::size_t len = utf8_sequence_length(s, i);
+        if (len == 0) {
+            out += kReplacement;
+            ++i;
+            continue;
+        }
+        out.append(s, i, len);
+        i += len;
     }
     return out;
 }
@@ -147,6 +242,15 @@ class FlatJsonParser
                   case '\\':
                     out += '\\';
                     break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
                   case 'n':
                     out += '\n';
                     break;
@@ -172,8 +276,22 @@ class FlatJsonParser
                           else
                               return corrupt("bad \\u escape");
                       }
-                      // We only ever emit \u00xx for control bytes.
-                      out += static_cast<char>(code & 0xff);
+                      // Decode to UTF-8.  Lone surrogates (we never emit
+                      // them, and pairing is beyond this flat parser)
+                      // become U+FFFD rather than invalid bytes.
+                      if (code < 0x80) {
+                          out += static_cast<char>(code);
+                      } else if (code < 0x800) {
+                          out += static_cast<char>(0xc0 | (code >> 6));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      } else if (code >= 0xd800 && code <= 0xdfff) {
+                          out += "\xef\xbf\xbd";
+                      } else {
+                          out += static_cast<char>(0xe0 | (code >> 12));
+                          out += static_cast<char>(0x80 |
+                                                   ((code >> 6) & 0x3f));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      }
                       break;
                   }
                   default:

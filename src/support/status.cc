@@ -25,6 +25,12 @@ to_string(StatusCode code)
         return "unsupported";
       case StatusCode::kFaultInjected:
         return "fault_injected";
+      case StatusCode::kResourceExhausted:
+        return "resource_exhausted";
+      case StatusCode::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case StatusCode::kCancelled:
+        return "cancelled";
     }
     return "?";
 }
@@ -36,7 +42,9 @@ status_code_from_string(const std::string& name)
          {StatusCode::kOk, StatusCode::kInvalidInput,
           StatusCode::kCorruptData, StatusCode::kTimeout,
           StatusCode::kKernelError, StatusCode::kWrongResult,
-          StatusCode::kUnsupported, StatusCode::kFaultInjected}) {
+          StatusCode::kUnsupported, StatusCode::kFaultInjected,
+          StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+          StatusCode::kCancelled}) {
         if (name == to_string(code))
             return code;
     }

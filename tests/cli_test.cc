@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "gm/cli/argparse.hh"
 #include "gm/cli/driver.hh"
 #include "gm/cli/options.hh"
 
@@ -18,6 +19,66 @@ parse(std::vector<const char*> args)
     args.insert(args.begin(), "test");
     return parse_options(static_cast<int>(args.size()),
                          const_cast<char**>(args.data()), "test");
+}
+
+bool
+run_parser(ArgParser& parser, std::vector<const char*> args)
+{
+    args.insert(args.begin(), "test");
+    return parser.parse(static_cast<int>(args.size()),
+                        const_cast<char**>(args.data()));
+}
+
+TEST(ArgParse, TypedTargetsAndAliases)
+{
+    int count = 0;
+    double rate = 0;
+    std::uint64_t seed = 0;
+    std::string path;
+    bool verbose = false;
+    int hits = 0;
+    ArgParser parser("test");
+    parser.value({"--count", "-n"}, &count);
+    parser.value({"--rate"}, &rate);
+    parser.value({"--seed"}, &seed);
+    parser.value({"--out"}, &path);
+    parser.flag({"--verbose", "-v"}, &verbose);
+    parser.flag({"--bump"}, [&hits] { ++hits; });
+    EXPECT_TRUE(run_parser(parser, {"-n", "7", "--rate", "0.25", "--seed",
+                                    "99", "--out", "x.csv", "-v",
+                                    "--bump", "--bump"}));
+    EXPECT_EQ(count, 7);
+    EXPECT_DOUBLE_EQ(rate, 0.25);
+    EXPECT_EQ(seed, 99u);
+    EXPECT_EQ(path, "x.csv");
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(ArgParse, ErrorsAndHelp)
+{
+    ArgParser parser("test");
+    int usage_calls = 0;
+    parser.usage([&usage_calls] { ++usage_calls; });
+    int n = 0;
+    parser.value({"-n"}, &n);
+    parser.value({"--reject"},
+                 [](const std::string&) { return false; });
+
+    EXPECT_FALSE(run_parser(parser, {"--nope"})); // unknown option
+    EXPECT_FALSE(parser.help_requested());
+    EXPECT_EQ(usage_calls, 1);
+
+    EXPECT_FALSE(run_parser(parser, {"-n"})); // missing value
+    EXPECT_FALSE(run_parser(parser, {"--reject", "v"})); // handler said no
+    EXPECT_FALSE(run_parser(parser, {"--help"}));
+    EXPECT_TRUE(parser.help_requested());
+    EXPECT_EQ(usage_calls, 2);
+
+    // help_requested resets on the next parse.
+    EXPECT_TRUE(run_parser(parser, {"-n", "3"}));
+    EXPECT_FALSE(parser.help_requested());
+    EXPECT_EQ(n, 3);
 }
 
 TEST(CliOptions, DefaultsAreSane)

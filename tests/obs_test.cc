@@ -136,6 +136,80 @@ TEST(Trace, SessionsAreReusableAndIsolated)
     EXPECT_EQ(session.counters().at("iterations"), 2u);
 }
 
+TEST(Trace, DetachedSessionsRunConcurrently)
+{
+    // Each "request" thread owns a detached session: no global claim, so
+    // any number coexist, and records reach a session only via explicit
+    // binding to its generation.
+    constexpr int kThreads = 6;
+    std::vector<std::uint64_t> seen(kThreads, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &seen] {
+            TraceSession session;
+            session.start_detached();
+            {
+                SessionBinding bind(session.gen());
+                ScopedSpan span("execute");
+                counter_add("work", static_cast<std::uint64_t>(t + 1));
+            }
+            session.stop();
+            EXPECT_EQ(session.spans().size(), 1u);
+            seen[static_cast<std::size_t>(t)] =
+                session.counters().at("work");
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)],
+                  static_cast<std::uint64_t>(t + 1));
+}
+
+TEST(Trace, DetachedCoexistsWithGlobalSession)
+{
+    // A global session on this thread and a detached session on a worker
+    // thread (the serve shape: bench loop traced globally, each request
+    // traced detached on its worker).  Neither steals the other's probes.
+    TraceSession global;
+    global.start();
+    counter_add("global_work", 1);
+
+    TraceSession detached;
+    std::thread worker([&] {
+        detached.start_detached(); // must not panic while global is live
+        SessionBinding bind(detached.gen());
+        counter_add("detached_work", 5);
+    });
+    worker.join();
+    detached.stop();
+    counter_add("global_work", 1); // global session still live
+
+    global.stop();
+    EXPECT_EQ(global.counters().at("global_work"), 2u);
+    EXPECT_EQ(global.counters().count("detached_work"), 0u);
+    EXPECT_EQ(detached.counters().at("detached_work"), 5u);
+    EXPECT_EQ(detached.counters().count("global_work"), 0u);
+}
+
+TEST(Trace, RecordSpanStoresExternalTimestamps)
+{
+    TraceSession session;
+    session.start_detached();
+    const std::int64_t begin = Timer::now_ns() - 1000;
+    const std::int64_t end = begin + 500;
+    record_span("ignored.unbound", begin, end); // off: thread not bound
+    {
+        SessionBinding bind(session.gen());
+        record_span("queue_wait", begin, end);
+    }
+    session.stop();
+    ASSERT_EQ(session.spans().size(), 1u);
+    EXPECT_EQ(session.spans()[0].name, "queue_wait");
+    EXPECT_EQ(session.spans()[0].begin_ns, begin);
+    EXPECT_EQ(session.spans()[0].end_ns, end);
+}
+
 TEST(ChromeTrace, EscapesNamesAndValidates)
 {
     TraceSession session;

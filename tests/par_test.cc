@@ -230,5 +230,127 @@ TEST(Barrier, SynchronizesPhases)
     EXPECT_TRUE(ok.load());
 }
 
+TEST(SerialRegion, DegradesLoopsToCallingThread)
+{
+    SerialRegion serial;
+    EXPECT_TRUE(ThreadPool::in_serial_region());
+    const auto self = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    std::atomic<int> count{0};
+    parallel_for(0, 10000, [&](int) {
+        if (std::this_thread::get_id() != self)
+            off_thread.fetch_add(1, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(off_thread.load(), 0);
+    EXPECT_EQ(count.load(), 10000);
+
+    const long sum = parallel_reduce(
+        0, 1000, 0L, [](int i) { return static_cast<long>(i); },
+        [](long a, long b) { return a + b; });
+    EXPECT_EQ(sum, 999L * 1000 / 2);
+
+    int lanes_seen = -1;
+    parallel_lanes([&](int lane, int lanes) {
+        EXPECT_EQ(lane, 0);
+        lanes_seen = lanes;
+    });
+    EXPECT_EQ(lanes_seen, 1);
+
+    int blocks = 0;
+    parallel_blocks(0, 100, [&](int, int lo, int hi) {
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 100);
+        ++blocks;
+    });
+    EXPECT_EQ(blocks, 1);
+}
+
+TEST(SerialRegion, EndsWhenOutermostRegionDies)
+{
+    {
+        SerialRegion outer;
+        {
+            SerialRegion inner;
+            EXPECT_TRUE(ThreadPool::in_serial_region());
+        }
+        EXPECT_TRUE(ThreadPool::in_serial_region());
+    }
+    EXPECT_FALSE(ThreadPool::in_serial_region());
+}
+
+TEST(SerialRegion, CancellationStillThrows)
+{
+    // Unlike the nested-in-pool degrade (silent return), a serial region
+    // must surface cancellation as an exception so a cancelled serve
+    // request unwinds out of its kernel.
+    support::CancelToken token;
+    token.request();
+    support::ScopedCancelToken scope(&token);
+    SerialRegion serial;
+    EXPECT_THROW(parallel_for(0, 100000, [](int) {}),
+                 support::CancelledError);
+    EXPECT_THROW(parallel_reduce(
+                     0, 100000, 0L,
+                     [](int i) { return static_cast<long>(i); },
+                     [](long a, long b) { return a + b; }),
+                 support::CancelledError);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAreSerialized)
+{
+    // Several free threads hammer run() at once; every submission must
+    // execute on all lanes exactly once (the TSan tier additionally
+    // checks the fork-join state isn't torn).
+    ThreadPool& pool = ThreadPool::instance();
+    const int submitters = 4;
+    const int rounds = 25;
+    std::atomic<long> executions{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < submitters; ++t) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < rounds; ++r) {
+                std::atomic<int> lanes_hit{0};
+                pool.run([&](int) {
+                    lanes_hit.fetch_add(1, std::memory_order_relaxed);
+                    executions.fetch_add(1, std::memory_order_relaxed);
+                });
+                EXPECT_EQ(lanes_hit.load(), pool.num_threads());
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    EXPECT_EQ(executions.load(),
+              static_cast<long>(submitters) * rounds * pool.num_threads());
+}
+
+TEST(ThreadPool, SerialRegionSubmitterDoesNotBlockOnPool)
+{
+    // A thread inside a SerialRegion never queues on the shared pool, so
+    // it makes progress even while another thread owns a long pool job.
+    ThreadPool& pool = ThreadPool::instance();
+    std::atomic<bool> release{false};
+    std::thread hog([&] {
+        pool.run([&](int lane) {
+            if (lane == 0) {
+                while (!release.load(std::memory_order_acquire))
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+            }
+        });
+    });
+    std::atomic<int> serial_sum{0};
+    std::thread serial([&] {
+        SerialRegion region;
+        parallel_for(0, 1000,
+                     [&](int) { serial_sum.fetch_add(1); });
+        release.store(true, std::memory_order_release);
+    });
+    serial.join();
+    hog.join();
+    EXPECT_EQ(serial_sum.load(), 1000);
+}
+
 } // namespace
 } // namespace gm::par

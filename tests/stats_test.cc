@@ -45,6 +45,25 @@ TEST(Summarize, UnsortedInputMatchesSorted)
     EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
 }
 
+TEST(Percentile, MatchesMedianAndInterpolates)
+{
+    const std::vector<double> s{4, 1, 3, 2}; // sorted: 1 2 3 4
+    EXPECT_DOUBLE_EQ(percentile_of(s, 50), median_of(s));
+    EXPECT_DOUBLE_EQ(percentile_of(s, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile_of(s, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile_of(s, 25), 1.75);
+    EXPECT_DOUBLE_EQ(percentile_of(s, 75), 3.25);
+    // Tail percentiles on a bigger sample: p99 of 0..100 is 99.
+    std::vector<double> big;
+    for (int i = 0; i <= 100; ++i)
+        big.push_back(i);
+    EXPECT_DOUBLE_EQ(percentile_of(big, 95), 95.0);
+    EXPECT_DOUBLE_EQ(percentile_of(big, 99), 99.0);
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentile_of({7.5}, 99), 7.5);
+}
+
 TEST(Summarize, EmptySampleIsAllZero)
 {
     const Summary s = summarize({});

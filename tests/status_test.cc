@@ -47,7 +47,9 @@ TEST(Status, CodeNamesRoundTrip)
          {StatusCode::kOk, StatusCode::kInvalidInput,
           StatusCode::kCorruptData, StatusCode::kTimeout,
           StatusCode::kKernelError, StatusCode::kWrongResult,
-          StatusCode::kUnsupported, StatusCode::kFaultInjected}) {
+          StatusCode::kUnsupported, StatusCode::kFaultInjected,
+          StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+          StatusCode::kCancelled}) {
         EXPECT_EQ(status_code_from_string(to_string(code)), code);
     }
     EXPECT_EQ(status_code_from_string("nonsense"),

@@ -63,6 +63,20 @@ TEST(GraphStoreTest, DerivedFormsAreLazyAndMemoized)
               store.base().bytes_resident() + row.bytes);
 }
 
+TEST(GraphStoreTest, FingerprintIsStableAndContentSensitive)
+{
+    GraphStore a(graph::make_kronecker(8, 8, 1), 7);
+    GraphStore b(graph::make_kronecker(8, 8, 1), 7);
+    // Same content -> same fingerprint, memoized across calls.
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.fingerprint(), a.fingerprint());
+    // Different topology or different weight seed -> different key.
+    GraphStore c(graph::make_kronecker(8, 8, 2), 7);
+    GraphStore d(graph::make_kronecker(8, 8, 1), 8);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
 TEST(GraphStoreTest, ConcurrentAcquireBuildsExactlyOnce)
 {
     GraphStore store(graph::make_kronecker(10, 8, 2), 7);

@@ -1,12 +1,16 @@
-/** Unit tests for gm::support: bitmap, sliding queue, RNG, env helpers. */
+/** Unit tests for gm::support: bitmap, sliding queue, RNG, env helpers,
+ *  content hashing, and JSON escaping of untrusted input. */
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <thread>
 
 #include "gm/support/bitmap.hh"
 #include "gm/support/env.hh"
+#include "gm/support/hash.hh"
+#include "gm/support/json.hh"
 #include "gm/support/rng.hh"
 #include "gm/support/sliding_queue.hh"
 #include "gm/support/timer.hh"
@@ -191,6 +195,114 @@ TEST(Env, BoolParsing)
     setenv("GM_TEST_BOOL", "off", 1);
     EXPECT_FALSE(env_bool("GM_TEST_BOOL", true));
     unsetenv("GM_TEST_BOOL");
+}
+
+TEST(Fnv1a, MatchesKnownVectors)
+{
+    // Standard FNV-1a 64 test vectors.
+    EXPECT_EQ(support::fnv1a(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(support::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(support::fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, IncrementalEqualsOneShot)
+{
+    support::Fnv1a h;
+    h.update("foo").update("bar");
+    EXPECT_EQ(h.digest(), support::fnv1a("foobar"));
+}
+
+TEST(Fnv1a, VectorFoldsLengthAndContent)
+{
+    const std::vector<int> a{1, 2, 3};
+    const std::vector<int> b{1, 2, 3, 0};
+    support::Fnv1a ha;
+    support::Fnv1a hb;
+    ha.update_vector(a);
+    hb.update_vector(b);
+    EXPECT_NE(ha.digest(), hb.digest());
+    // Same content hashes the same regardless of how it's chunked in.
+    support::Fnv1a hc;
+    hc.update_vector(a);
+    EXPECT_EQ(ha.digest(), hc.digest());
+}
+
+TEST(JsonEscape, EscapesControlBytesAndQuotes)
+{
+    const std::string escaped = support::json_escape(
+        std::string("a\"b\\c\n\r\t\b\f\x01\x7f") + std::string(1, '\0'));
+    EXPECT_EQ(escaped,
+              "a\\\"b\\\\c\\n\\r\\t\\b\\f\\u0001\\u007f\\u0000");
+}
+
+TEST(JsonEscape, PreservesValidUtf8)
+{
+    // 2-, 3-, and 4-byte sequences pass through untouched.
+    const std::string s = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+    EXPECT_EQ(support::json_escape(s), s);
+    EXPECT_EQ(support::json_sanitize_utf8(s), s);
+}
+
+TEST(JsonEscape, ReplacesInvalidUtf8)
+{
+    const std::string replacement = "\xef\xbf\xbd";
+    // Stray continuation byte, truncated lead, overlong, surrogate,
+    // > U+10FFFF.
+    EXPECT_EQ(support::json_escape("\x80"), replacement);
+    EXPECT_EQ(support::json_escape("\xc3"), replacement);
+    EXPECT_EQ(support::json_escape("\xc0\xaf"), replacement + replacement);
+    EXPECT_EQ(support::json_escape("\xed\xa0\x80"),
+              replacement + replacement + replacement);
+    EXPECT_EQ(support::json_escape("\xf5\x80\x80\x80"),
+              replacement + replacement + replacement + replacement);
+    // Valid neighbours survive.
+    EXPECT_EQ(support::json_escape("a\x80z"), "a" + replacement + "z");
+}
+
+TEST(JsonEscape, SanitizeIsIdempotent)
+{
+    Xoshiro256 rng(2020);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string s;
+        const std::size_t len = rng.next_bounded(64);
+        for (std::size_t i = 0; i < len; ++i)
+            s += static_cast<char>(rng.next_bounded(256));
+        const std::string once = support::json_sanitize_utf8(s);
+        EXPECT_EQ(support::json_sanitize_utf8(once), once);
+    }
+}
+
+TEST(JsonEscape, FuzzRoundTripThroughParser)
+{
+    // Arbitrary bytes, escaped into a flat record, must (a) validate as
+    // JSON and (b) parse back to the sanitized form of the input — this
+    // is the contract serve relies on for untrusted request params.
+    Xoshiro256 rng(7);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string s;
+        const std::size_t len = rng.next_bounded(48);
+        for (std::size_t i = 0; i < len; ++i) {
+            // Mix of plain ASCII, control bytes, and raw high bytes so
+            // both escape paths and the UTF-8 validator get exercised.
+            switch (rng.next_bounded(4)) {
+              case 0:
+                s += static_cast<char>('a' + rng.next_bounded(26));
+                break;
+              case 1:
+                s += static_cast<char>(rng.next_bounded(0x20));
+                break;
+              default:
+                s += static_cast<char>(rng.next_bounded(256));
+                break;
+            }
+        }
+        const std::string doc =
+            "{\"k\":\"" + support::json_escape(s) + "\"}";
+        EXPECT_TRUE(support::json_validate(doc).is_ok()) << doc;
+        std::map<std::string, std::string> fields;
+        ASSERT_TRUE(support::parse_flat_json(doc, fields).is_ok()) << doc;
+        EXPECT_EQ(fields["k"], support::json_sanitize_utf8(s));
+    }
 }
 
 TEST(Timer, MeasuresElapsedTime)

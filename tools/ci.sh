@@ -2,11 +2,14 @@
 # CI entry point: tier-1 verification, an AddressSanitizer pass over
 # the graph-store and GraphBLAS tests (the code most exposed to the
 # zero-copy view lifetimes introduced by the GraphStore refactor), a
-# ThreadSanitizer pass over the tracing and thread-pool tests (the code
-# with cross-thread counter/span traffic), a profile-pipeline smoke
-# run that fails on unparseable Chrome trace JSON, and a perf-gate smoke
-# that records a baseline, self-compares it (must pass), then re-runs
-# with a fault-injected slowdown on one cell (must fail).
+# ThreadSanitizer pass over the tracing, thread-pool, and serve tests
+# (the code with cross-thread counter/span/queue traffic), a
+# profile-pipeline smoke run that fails on unparseable Chrome trace JSON,
+# a perf-gate smoke that records a baseline, self-compares it (must
+# pass), then re-runs with a fault-injected slowdown on one cell (must
+# fail), and a serve smoke that drives the query service closed-loop
+# (cache warm-up) and open-loop under injected overload (deadline misses
+# + shedding).
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -33,14 +36,15 @@ cmake --build "$ASAN_DIR" -j "$JOBS" \
 "$ASAN_DIR/tests/grb_ops_edge_test"
 "$ASAN_DIR/tests/converter_test"
 
-echo "== tier 3: ThreadSanitizer build of the obs/par tests =="
+echo "== tier 3: ThreadSanitizer build of the obs/par/serve tests =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DGM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target obs_test par_test par_stress_test
+    --target obs_test par_test par_stress_test serve_test
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/par_test"
 "$TSAN_DIR/tests/par_stress_test"
+"$TSAN_DIR/tests/serve_test"
 
 echo "== tier 4: profile pipeline smoke (suite --trace-out + validation) =="
 SMOKE_DIR="$BUILD_DIR/ci-profile-smoke"
@@ -84,5 +88,41 @@ if "$BUILD_DIR/tools/perf_gate" --ref "$GATE_DIR/ref.jsonl" \
     exit 1
 fi
 grep -q '"verdict":"regressed"' "$GATE_DIR/slow.report.jsonl"
+
+echo "== tier 6: serve smoke (closed-loop mixed load, open-loop overload) =="
+SERVE_DIR="$BUILD_DIR/ci-serve-smoke"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+# Closed loop: a mixed seeded workload must complete with zero failures
+# and a warm cache (hits > 0 is guaranteed: 200 draws from 32 queries).
+"$BUILD_DIR/tools/serve_bench" --scale 6 --requests 200 --distinct 32 \
+    --workers 4 --clients 8 --seed 42 \
+    --csv "$SERVE_DIR/closed.csv" \
+    --baseline-out "$SERVE_DIR/closed.jsonl" \
+    --metrics-out "$SERVE_DIR/closed_metrics.jsonl" \
+    | tee "$SERVE_DIR/closed.log"
+grep -q "failed=0" "$SERVE_DIR/closed.log"
+if grep -q "cache:       0 hits" "$SERVE_DIR/closed.log"; then
+    echo "serve_bench closed loop produced no cache hits" >&2
+    exit 1
+fi
+test -s "$SERVE_DIR/closed.csv"
+test -s "$SERVE_DIR/closed.jsonl"
+# Open-loop overload: a 40 ms injected delay in serve.execute against a
+# 2-worker / 4-slot server at 400 req/s must exercise both protective
+# paths — deadline misses and queue shedding — and still exit 0.
+GM_FAULTS="serve.execute:1:9:delay=40" \
+    "$BUILD_DIR/tools/serve_bench" --scale 6 --requests 60 --distinct 60 \
+    --workers 2 --queue 4 --open-loop --rate 400 --deadline-ms 100 \
+    --cache-mb 0 --seed 42 | tee "$SERVE_DIR/open.log"
+if grep -q "deadline_exceeded=0 " "$SERVE_DIR/open.log"; then
+    echo "serve_bench overload exercised no deadline misses" >&2
+    exit 1
+fi
+if grep -q " shed=0 " "$SERVE_DIR/open.log"; then
+    echo "serve_bench overload shed nothing" >&2
+    exit 1
+fi
+grep -q "failed=0" "$SERVE_DIR/open.log"
 
 echo "== ci.sh: all green =="

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "gm/cli/argparse.hh"
 #include "gm/perf/baseline.hh"
 #include "gm/perf/gate.hh"
 
@@ -54,56 +55,20 @@ main(int argc, char** argv)
     std::string report_path;
     perf::GateOptions opts;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " requires a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (arg == "--ref") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            ref_path = v;
-        } else if (arg == "--cand") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            cand_path = v;
-        } else if (arg == "--alpha") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            opts.alpha = std::atof(v);
-        } else if (arg == "--min-effect") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            opts.min_effect = std::atof(v) / 100.0;
-        } else if (arg == "--seed") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            opts.seed = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--report-out") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 2;
-            report_path = v;
-        } else if (arg == "--fail-on-missing") {
-            opts.fail_on_missing = true;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            usage();
-            return 2;
-        }
-    }
+    cli::ArgParser parser("perf_gate");
+    parser.usage(usage);
+    parser.value({"--ref"}, &ref_path);
+    parser.value({"--cand"}, &cand_path);
+    parser.value({"--alpha"}, &opts.alpha);
+    parser.value({"--min-effect"}, [&opts](const std::string& v) {
+        opts.min_effect = std::atof(v.c_str()) / 100.0;
+        return true;
+    });
+    parser.value({"--seed"}, &opts.seed);
+    parser.value({"--report-out"}, &report_path);
+    parser.flag({"--fail-on-missing"}, &opts.fail_on_missing);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? 0 : 2;
     if (ref_path.empty() || cand_path.empty()) {
         usage();
         return 2;

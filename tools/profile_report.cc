@@ -33,6 +33,7 @@
 #include <tuple>
 #include <vector>
 
+#include "gm/cli/argparse.hh"
 #include "gm/obs/metrics.hh"
 #include "gm/support/fingerprint.hh"
 #include "gm/support/json.hh"
@@ -249,41 +250,14 @@ main(int argc, char** argv)
     std::string trace_dir;
     std::string csv_path;
     bool with_spans = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " requires a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        if (arg == "-h" || arg == "--help") {
-            usage();
-            return 0;
-        } else if (arg == "--metrics") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 1;
-            metrics_path = v;
-        } else if (arg == "--check-trace") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 1;
-            trace_dir = v;
-        } else if (arg == "--csv") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return 1;
-            csv_path = v;
-        } else if (arg == "--spans") {
-            with_spans = true;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            usage();
-            return 1;
-        }
-    }
+    gm::cli::ArgParser parser("profile_report");
+    parser.usage(usage);
+    parser.value({"--metrics"}, &metrics_path);
+    parser.value({"--check-trace"}, &trace_dir);
+    parser.value({"--csv"}, &csv_path);
+    parser.flag({"--spans"}, &with_spans);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? 0 : 1;
     if (metrics_path.empty() && trace_dir.empty()) {
         usage();
         return 1;

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Seeded, deterministic load generator for gm::serve.
+ *
+ * Builds the GAP suite at a given scale, stands up a Server, and drives
+ * it with a reproducible request stream sampled (Xoshiro256, --seed) from
+ * a fixed population of distinct queries — so cache hits, single-flight
+ * joins, and (in open-loop overload) shed counts are repeatable run to
+ * run.
+ *
+ * Two drive modes:
+ *
+ *   closed loop (default)  --clients threads, each issuing its next
+ *                          request when the previous one completes; load
+ *                          self-limits to the service rate.
+ *   open loop (--open-loop) one dispatcher submits at a fixed --rate
+ *                          regardless of completions; with a small queue
+ *                          (or a GM_FAULTS serve.execute delay) this is
+ *                          how CI manufactures deterministic shedding
+ *                          and deadline misses.
+ *
+ * Reports throughput, p50/p95/p99 service latency (gm::stats), cache hit
+ * ratio, and shed/deadline counts; optionally writes a per-request CSV
+ * and a fingerprinted perf-baseline JSONL (one cell per kernel x graph,
+ * seconds = per-request service latencies) that tools/perf_gate can
+ * compare across runs.
+ *
+ * Exit codes: 0 ok (shed/deadline outcomes are expected under overload),
+ * 1 usage, 2 output-file error, 3 unexpected kernel failures.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/cli/argparse.hh"
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/perf/baseline.hh"
+#include "gm/serve/server.hh"
+#include "gm/stats/stats.hh"
+#include "gm/support/fingerprint.hh"
+#include "gm/support/json.hh"
+#include "gm/support/rng.hh"
+#include "gm/support/timer.hh"
+
+namespace
+{
+
+using gm::Timer;
+using gm::harness::Kernel;
+using gm::serve::Request;
+using gm::serve::Server;
+using gm::serve::ServerOptions;
+using gm::serve::ServerStats;
+using gm::support::StatusCode;
+
+void
+usage()
+{
+    std::cout
+        << "Usage: serve_bench [options]\n"
+        << "  --scale <n>        log2 vertices per suite graph (default 8)\n"
+        << "  --workers <n>      server worker threads (default 4)\n"
+        << "  --queue <n>        admission queue capacity (default 64)\n"
+        << "  --cache-mb <n>     result cache budget in MiB (default 64;\n"
+        << "                     0 disables caching)\n"
+        << "  --requests <n>     total requests to issue (default 200)\n"
+        << "  --distinct <n>     distinct query population size (default 32)\n"
+        << "  --clients <n>      closed-loop client threads (default 8)\n"
+        << "  --open-loop        open-loop mode: submit at --rate from one\n"
+        << "                     dispatcher instead of closed-loop clients\n"
+        << "  --rate <req/s>     open-loop arrival rate (default 500)\n"
+        << "  --deadline-ms <n>  per-request deadline (default 0 = none)\n"
+        << "  --framework <name> framework to query (default GAP)\n"
+        << "  --kernels <csv>    kernels in the population\n"
+        << "                     (default BFS,SSSP,CC,PR)\n"
+        << "  --seed <n>         workload seed (default 42)\n"
+        << "  --csv <file>       write one row per request\n"
+        << "  --baseline-out <f> write fingerprinted perf-baseline JSONL\n"
+        << "                     (one cell per kernel x graph) for\n"
+        << "                     tools/perf_gate\n"
+        << "  --metrics-out <f>  server-side per-request metrics JSONL\n"
+        << "  -h, --help         this help\n";
+}
+
+/** What the generator observed about one issued request. */
+struct Outcome
+{
+    int population_index = 0;
+    StatusCode code = StatusCode::kOk;
+    bool cache_hit = false;
+    bool shared = false;
+    double queue_seconds = 0;
+    double execute_seconds = 0;
+    double service_seconds = 0;
+};
+
+std::vector<Kernel>
+parse_kernels(const std::string& csv, bool* ok)
+{
+    std::vector<Kernel> kernels;
+    std::stringstream in(csv);
+    std::string name;
+    *ok = true;
+    while (std::getline(in, name, ',')) {
+        bool found = false;
+        for (Kernel kernel : gm::harness::kAllKernels) {
+            if (gm::harness::to_string(kernel) == name) {
+                kernels.push_back(kernel);
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown kernel: " << name << "\n";
+            *ok = false;
+        }
+    }
+    if (kernels.empty())
+        *ok = false;
+    return kernels;
+}
+
+/** Fixed population of distinct queries, then a sampled request stream —
+ *  everything downstream of the seed is reproducible. */
+std::vector<Request>
+make_population(const gm::harness::DatasetSuite& suite,
+                const std::vector<Kernel>& kernels,
+                const std::string& framework, int distinct, int deadline_ms,
+                gm::Xoshiro256& rng)
+{
+    std::vector<Request> population;
+    population.reserve(static_cast<std::size_t>(distinct));
+    for (int i = 0; i < distinct; ++i) {
+        const auto& ds =
+            *suite.datasets[rng.next_bounded(suite.size())];
+        Request req;
+        req.framework = framework;
+        req.kernel = kernels[rng.next_bounded(kernels.size())];
+        req.graph = ds.name;
+        req.source = ds.sources[rng.next_bounded(ds.sources.size())];
+        req.deadline_ms = deadline_ms;
+        population.push_back(req);
+    }
+    return population;
+}
+
+void
+record_outcome(Outcome& out, const gm::support::StatusOr<
+                                 gm::serve::QueryResult>& result)
+{
+    if (result.is_ok()) {
+        out.code = StatusCode::kOk;
+        out.cache_hit = result->cache_hit;
+        out.shared = result->shared_execution;
+        out.queue_seconds = result->queue_seconds;
+        out.execute_seconds = result->execute_seconds;
+        out.service_seconds = result->service_seconds;
+    } else {
+        out.code = result.status().code();
+    }
+}
+
+int
+write_csv(const std::string& path, const std::vector<Request>& population,
+          const std::vector<Outcome>& outcomes)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "cannot open csv file: " << path << "\n";
+        return 2;
+    }
+    out << "request,framework,kernel,graph,source,status,cache_hit,"
+           "shared_execution,queue_seconds,execute_seconds,"
+           "service_seconds\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const Outcome& o = outcomes[i];
+        const Request& req = population[
+            static_cast<std::size_t>(o.population_index)];
+        out << i << "," << req.framework << ","
+            << gm::harness::to_string(req.kernel) << "," << req.graph
+            << "," << req.source << "," << gm::support::to_string(o.code)
+            << "," << (o.cache_hit ? 1 : 0) << "," << (o.shared ? 1 : 0)
+            << "," << gm::support::json_double(o.queue_seconds) << ","
+            << gm::support::json_double(o.execute_seconds) << ","
+            << gm::support::json_double(o.service_seconds) << "\n";
+    }
+    out.flush();
+    if (!out) {
+        std::cerr << "write error: " << path << "\n";
+        return 2;
+    }
+    std::cout << "per-request csv written to " << path << " ("
+              << outcomes.size() << " rows)\n";
+    return 0;
+}
+
+int
+write_baseline(const std::string& path,
+               const gm::support::EnvFingerprint& fingerprint,
+               const std::vector<Request>& population,
+               const std::vector<Outcome>& outcomes)
+{
+    // One perf cell per kernel x graph: seconds = ok service latencies.
+    std::map<std::string, gm::perf::BaselineCell> cells;
+    std::map<std::string, std::uint64_t> hits;
+    for (const Outcome& o : outcomes) {
+        const Request& req = population[
+            static_cast<std::size_t>(o.population_index)];
+        const std::string kernel = gm::harness::to_string(req.kernel);
+        const std::string key = kernel + "/" + req.graph;
+        gm::perf::BaselineCell& cell = cells[key];
+        if (cell.kernel.empty()) {
+            cell.mode = "Serve";
+            cell.framework = req.framework;
+            cell.kernel = kernel;
+            cell.graph = req.graph;
+            cell.verified = true;
+        }
+        ++cell.counters["requests"];
+        if (o.code == StatusCode::kOk) {
+            cell.seconds.push_back(o.service_seconds);
+            if (o.cache_hit)
+                ++hits[key];
+        }
+    }
+    gm::perf::Baseline baseline;
+    baseline.fingerprint = fingerprint;
+    for (auto& [key, cell] : cells) {
+        cell.counters["cache_hits"] = hits[key];
+        baseline.cells.push_back(std::move(cell));
+    }
+    if (auto s = gm::perf::save_baseline(path, baseline); !s.is_ok()) {
+        std::cerr << s.to_string() << "\n";
+        return 2;
+    }
+    std::cout << "baseline written to " << path << " ("
+              << baseline.cells.size() << " cells)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int scale = 8;
+    int requests = 200;
+    int distinct = 32;
+    int clients = 8;
+    bool open_loop = false;
+    double rate = 500;
+    int deadline_ms = 0;
+    std::string framework = "GAP";
+    std::string kernels_csv = "BFS,SSSP,CC,PR";
+    std::uint64_t seed = 42;
+    std::size_t cache_mb = 64;
+    std::string csv_path;
+    std::string baseline_path;
+    ServerOptions server_options;
+
+    gm::cli::ArgParser parser("serve_bench");
+    parser.usage(usage);
+    parser.value({"--scale"}, &scale);
+    parser.value({"--workers"}, &server_options.workers);
+    parser.value({"--queue"}, [&server_options](const std::string& v) {
+        const int n = std::atoi(v.c_str());
+        if (n < 1)
+            return false;
+        server_options.queue_capacity = static_cast<std::size_t>(n);
+        return true;
+    });
+    parser.value({"--cache-mb"}, &cache_mb);
+    parser.value({"--requests"}, &requests);
+    parser.value({"--distinct"}, &distinct);
+    parser.value({"--clients"}, &clients);
+    parser.flag({"--open-loop"}, &open_loop);
+    parser.value({"--rate"}, &rate);
+    parser.value({"--deadline-ms"}, &deadline_ms);
+    parser.value({"--framework"}, &framework);
+    parser.value({"--kernels"}, &kernels_csv);
+    parser.value({"--seed"}, &seed);
+    parser.value({"--csv"}, &csv_path);
+    parser.value({"--baseline-out"}, &baseline_path);
+    parser.value({"--metrics-out"}, &server_options.metrics_path);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? 0 : 1;
+    if (scale < 6 || requests < 1 || distinct < 1 || clients < 1 ||
+        server_options.workers < 1 || rate <= 0 || deadline_ms < 0) {
+        std::cerr << "invalid --scale/--requests/--distinct/--clients/"
+                     "--workers/--rate/--deadline-ms\n";
+        return 1;
+    }
+    server_options.cache_capacity_bytes = cache_mb << 20;
+
+    bool kernels_ok = false;
+    const std::vector<Kernel> kernels =
+        parse_kernels(kernels_csv, &kernels_ok);
+    if (!kernels_ok)
+        return 1;
+
+    gm::support::EnvFingerprint fingerprint =
+        gm::support::collect_fingerprint();
+    {
+        std::ostringstream scales;
+        scales << "scale=" << scale << " workers="
+               << server_options.workers << " requests=" << requests
+               << " distinct=" << distinct << " seed=" << seed
+               << (open_loop ? " open-loop" : " closed-loop");
+        fingerprint.scales = scales.str();
+    }
+    if (!server_options.metrics_path.empty()) {
+        if (auto s = gm::support::append_fingerprint_record(
+                server_options.metrics_path, fingerprint);
+            !s.is_ok())
+            std::cerr << s.to_string() << "\n";
+    }
+
+    Timer build_timer;
+    build_timer.start();
+    gm::harness::DatasetSuite suite = gm::harness::make_gap_suite(scale);
+    build_timer.stop();
+    std::cout << "suite built: " << suite.size() << " graphs at 2^"
+              << scale << " vertices in " << std::fixed
+              << std::setprecision(3) << build_timer.seconds() << " s\n";
+
+    gm::Xoshiro256 rng(seed);
+    const std::vector<Request> population = make_population(
+        suite, kernels, framework, distinct, deadline_ms, rng);
+    std::vector<int> stream(static_cast<std::size_t>(requests));
+    for (int& index : stream)
+        index = static_cast<int>(rng.next_bounded(population.size()));
+
+    Server server(std::move(suite), gm::harness::make_frameworks(),
+                  server_options);
+
+    std::vector<Outcome> outcomes(static_cast<std::size_t>(requests));
+    Timer drive_timer;
+    drive_timer.start();
+    if (open_loop) {
+        // Fixed-interval arrivals; completions are collected afterwards
+        // from the handles, so a slow server sheds instead of slowing the
+        // dispatcher down.
+        const auto interval = std::chrono::nanoseconds(
+            static_cast<std::int64_t>(1e9 / rate));
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::pair<int, Server::Handle>> pending;
+        pending.reserve(stream.size());
+        for (int i = 0; i < requests; ++i) {
+            std::this_thread::sleep_until(start + i * interval);
+            Outcome& out = outcomes[static_cast<std::size_t>(i)];
+            out.population_index = stream[static_cast<std::size_t>(i)];
+            auto handle = server.submit(
+                population[static_cast<std::size_t>(
+                    out.population_index)]);
+            if (handle.is_ok())
+                pending.emplace_back(i, *std::move(handle));
+            else
+                out.code = handle.status().code();
+        }
+        for (auto& [index, handle] : pending)
+            record_outcome(outcomes[static_cast<std::size_t>(index)],
+                           handle.wait());
+    } else {
+        std::atomic<int> next{0};
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(clients));
+        for (int c = 0; c < clients; ++c) {
+            workers.emplace_back([&] {
+                for (;;) {
+                    const int i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= requests)
+                        return;
+                    Outcome& out = outcomes[static_cast<std::size_t>(i)];
+                    out.population_index =
+                        stream[static_cast<std::size_t>(i)];
+                    record_outcome(
+                        out, server.query(population[
+                                 static_cast<std::size_t>(
+                                     out.population_index)]));
+                }
+            });
+        }
+        for (auto& worker : workers)
+            worker.join();
+    }
+    drive_timer.stop();
+    server.shutdown();
+
+    // ------------------------------------------------------------ report
+    std::vector<double> latencies;
+    std::uint64_t ok = 0, deadline = 0, cancelled = 0, shed = 0,
+                  failed = 0, hits = 0;
+    for (const Outcome& o : outcomes) {
+        switch (o.code) {
+          case StatusCode::kOk:
+            ++ok;
+            latencies.push_back(o.service_seconds);
+            if (o.cache_hit)
+                ++hits;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++deadline;
+            break;
+          case StatusCode::kCancelled:
+            ++cancelled;
+            break;
+          case StatusCode::kResourceExhausted:
+            ++shed;
+            break;
+          default:
+            ++failed;
+            break;
+        }
+    }
+    const ServerStats stats = server.stats();
+    const double wall = drive_timer.seconds();
+    const double hit_ratio =
+        ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok) : 0;
+    std::ostringstream mode_line;
+    if (open_loop)
+        mode_line << "open loop @ " << std::fixed << std::setprecision(0)
+                  << rate << " req/s";
+    else
+        mode_line << "closed loop, " << clients << " clients";
+    std::cout << "mode:        " << mode_line.str() << "\n";
+    std::cout << "requests:    " << requests << " over " << distinct
+              << " distinct queries (seed " << seed << ")\n";
+    std::cout << "throughput:  " << std::fixed << std::setprecision(1)
+              << static_cast<double>(requests) / wall << " req/s ("
+              << std::setprecision(3) << wall << " s wall)\n";
+    std::cout << "latency:     p50 "
+              << gm::stats::percentile_of(latencies, 50) * 1e3
+              << " ms, p95 "
+              << gm::stats::percentile_of(latencies, 95) * 1e3
+              << " ms, p99 "
+              << gm::stats::percentile_of(latencies, 99) * 1e3 << " ms ("
+              << ok << " ok)\n";
+    std::cout << "cache:       " << hits << " hits (ratio "
+              << std::setprecision(3) << hit_ratio << "), "
+              << stats.single_flight_joins << " single-flight joins, "
+              << stats.executions << " executions\n";
+    std::cout << "outcomes:    ok=" << ok << " deadline_exceeded="
+              << deadline << " cancelled=" << cancelled << " shed=" << shed
+              << " failed=" << failed << "\n";
+
+    int code = 0;
+    if (!csv_path.empty())
+        code = std::max(code, write_csv(csv_path, population, outcomes));
+    if (!baseline_path.empty())
+        code = std::max(code, write_baseline(baseline_path, fingerprint,
+                                             population, outcomes));
+    if (failed > 0) {
+        std::cerr << failed << " request(s) failed unexpectedly\n";
+        code = std::max(code, 3);
+    }
+    return code;
+}

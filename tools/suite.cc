@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "gm/cli/argparse.hh"
 #include "gm/cli/driver.hh"
 #include "gm/harness/baseline_export.hh"
 #include "gm/harness/dataset.hh"
@@ -54,6 +55,11 @@ usage()
         << "                           trial to <path>\n"
         << "  --no-evict               keep every graph's derived forms\n"
         << "                           resident (default: evict per graph)\n"
+        << "  --list-cells             print the mode x framework x kernel\n"
+        << "                           x graph cell matrix (with each\n"
+        << "                           cell's baseline key) and exit\n"
+        << "                           without generating graphs or\n"
+        << "                           running trials\n"
         << "  -h, --help               this help\n"
         << "exit codes: 0 ok, 1 usage, 2 invalid input, 3 kernel error,\n"
         << "            4 timeout, 5 wrong result, 6 injected fault\n";
@@ -96,6 +102,44 @@ worst_exit_code(const gm::harness::ResultsCube& cube)
     return worst;
 }
 
+/**
+ * --list-cells: enumerate every cell a sweep at this scale would run —
+ * one row per mode x framework x kernel x graph, keyed exactly as the
+ * baseline/perf_gate pipeline keys them — without generating a single
+ * graph or timing a single trial.  Lets CI scripts and serve_bench
+ * workloads agree on cell identity up front.
+ */
+int
+list_cells(int scale)
+{
+    using gm::harness::Kernel;
+    const auto frameworks = gm::harness::make_frameworks();
+    const auto graphs = gm::harness::gap_suite_graph_names();
+    const Kernel kernels[] = {Kernel::kBFS, Kernel::kSSSP, Kernel::kCC,
+                              Kernel::kPR,  Kernel::kBC,   Kernel::kTC};
+    std::size_t count = 0;
+    std::cout << "mode,framework,kernel,graph,key\n";
+    for (const auto mode :
+         {gm::harness::Mode::kBaseline, gm::harness::Mode::kOptimized}) {
+        const std::string mode_name = gm::harness::to_string(mode);
+        for (const auto& fw : frameworks) {
+            for (const Kernel kernel : kernels) {
+                const std::string kernel_name =
+                    gm::harness::to_string(kernel);
+                for (const auto& graph : graphs) {
+                    std::cout << mode_name << "," << fw.name << ","
+                              << kernel_name << "," << graph << ","
+                              << mode_name << "/" << fw.name << "/"
+                              << kernel_name << "/" << graph << "\n";
+                    ++count;
+                }
+            }
+        }
+    }
+    std::cout << "# " << count << " cells at scale 2^" << scale << "\n";
+    return gm::cli::kExitOk;
+}
+
 } // namespace
 
 int
@@ -113,83 +157,27 @@ main(int argc, char** argv)
     // most one graph's derived forms, not five graphs' worth.
     opts.evict_per_graph = true;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next_value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << arg << " requires a value\n";
-                return nullptr;
-            }
-            return argv[++i];
-        };
-        if (arg == "-h" || arg == "--help") {
-            usage();
-            return cli::kExitOk;
-        } else if (arg == "--scale") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            scale = std::atoi(v);
-        } else if (arg == "--trials") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.trials = std::atoi(v);
-        } else if (arg == "--warmup") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.warmup = std::atoi(v);
-        } else if (arg == "--baseline-out") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            baseline_out = v;
-        } else if (arg == "--no-verify") {
-            opts.verify = false;
-        } else if (arg == "--no-evict") {
-            opts.evict_per_graph = false;
-        } else if (arg == "--trial-timeout-ms") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.trial_timeout_ms = std::atoi(v);
-        } else if (arg == "--max-attempts") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.max_attempts = std::atoi(v);
-        } else if (arg == "--checkpoint") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.checkpoint_path = v;
-        } else if (arg == "--resume") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.resume_path = v;
-        } else if (arg == "--csv-prefix") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            csv_prefix = v;
-        } else if (arg == "--trace-out") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.trace_dir = v;
-        } else if (arg == "--metrics-out") {
-            const char* v = next_value();
-            if (v == nullptr)
-                return cli::kExitUsage;
-            opts.metrics_path = v;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
-            usage();
-            return cli::kExitUsage;
-        }
-    }
+    bool list_only = false;
+    cli::ArgParser parser("suite");
+    parser.usage(usage);
+    parser.value({"--scale"}, &scale);
+    parser.value({"--trials"}, &opts.trials);
+    parser.value({"--warmup"}, &opts.warmup);
+    parser.value({"--baseline-out"}, &baseline_out);
+    parser.flag({"--no-verify"}, [&opts] { opts.verify = false; });
+    parser.flag({"--no-evict"}, [&opts] { opts.evict_per_graph = false; });
+    parser.value({"--trial-timeout-ms"}, &opts.trial_timeout_ms);
+    parser.value({"--max-attempts"}, &opts.max_attempts);
+    parser.value({"--checkpoint"}, &opts.checkpoint_path);
+    parser.value({"--resume"}, &opts.resume_path);
+    parser.value({"--csv-prefix"}, &csv_prefix);
+    parser.value({"--trace-out"}, &opts.trace_dir);
+    parser.value({"--metrics-out"}, &opts.metrics_path);
+    parser.flag({"--list-cells"}, &list_only);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? cli::kExitOk : cli::kExitUsage;
+    if (list_only)
+        return list_cells(scale);
     if (opts.trials < 1 || opts.warmup < 0 || opts.max_attempts < 1 ||
         opts.trial_timeout_ms < 0) {
         std::cerr << "invalid --trials/--warmup/--max-attempts/"
