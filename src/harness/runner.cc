@@ -315,6 +315,7 @@ failure_kind_from_status(support::StatusCode code)
         return FailureKind::kInvalidInput;
       case StatusCode::kKernelError:
       case StatusCode::kResourceExhausted: // never produced by a trial
+      case StatusCode::kUnavailable:       // serving-layer only
         return FailureKind::kKernelError;
     }
     return FailureKind::kKernelError;

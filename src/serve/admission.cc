@@ -1,0 +1,97 @@
+#include "gm/serve/admission.hh"
+
+#include "gm/support/log.hh"
+
+namespace gm::serve
+{
+
+const char*
+to_string(Priority priority)
+{
+    switch (priority) {
+      case Priority::kInteractive:
+        return "interactive";
+      case Priority::kBatch:
+        return "batch";
+      case Priority::kBestEffort:
+        return "best_effort";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options)
+{
+    GM_ASSERT(options_.total_capacity >= 1,
+              "admission needs a non-empty queue");
+    GM_ASSERT(options_.workers >= 1, "admission needs >= 1 worker");
+    GM_ASSERT(options_.service_ewma_alpha > 0 &&
+                  options_.service_ewma_alpha <= 1,
+              "service_ewma_alpha must be in (0, 1]");
+}
+
+AdmissionController::Decision
+AdmissionController::try_admit(Ticket ticket, std::int64_t now_ns)
+{
+    const auto lane = static_cast<std::size_t>(ticket.priority);
+    GM_ASSERT(lane < lanes_.size(), "priority out of range");
+    if (depth_ >= options_.total_capacity)
+        return Decision::kQueueFull;
+    if (lanes_[lane].size() >= options_.class_capacity[lane])
+        return Decision::kClassFull;
+    if (ticket.deadline_ns != 0) {
+        const std::int64_t wait = estimated_wait_ns(ticket.priority);
+        if (wait > 0 && now_ns + wait >= ticket.deadline_ns)
+            return Decision::kDeadlineInfeasible;
+    }
+    lanes_[lane].push_back(std::move(ticket));
+    ++depth_;
+    return Decision::kAdmitted;
+}
+
+std::shared_ptr<void>
+AdmissionController::pop()
+{
+    for (auto& lane : lanes_) {
+        if (lane.empty())
+            continue;
+        std::shared_ptr<void> payload = std::move(lane.front().payload);
+        lane.pop_front();
+        --depth_;
+        return payload;
+    }
+    return nullptr;
+}
+
+void
+AdmissionController::record_service(std::int64_t service_ns)
+{
+    if (service_ns <= 0)
+        return;
+    if (service_ewma_ns_ == 0)
+        service_ewma_ns_ = static_cast<double>(service_ns);
+    else
+        service_ewma_ns_ +=
+            options_.service_ewma_alpha *
+            (static_cast<double>(service_ns) - service_ewma_ns_);
+}
+
+std::int64_t
+AdmissionController::estimated_wait_ns(Priority priority) const
+{
+    if (service_ewma_ns_ == 0)
+        return 0;
+    // Everything drained before a new arrival of this priority: the same
+    // and higher lanes, `workers` at a time, plus its own execution.
+    std::size_t ahead = 0;
+    for (std::size_t lane = 0;
+         lane <= static_cast<std::size_t>(priority); ++lane)
+        ahead += lanes_[lane].size();
+    const auto rounds =
+        (ahead + static_cast<std::size_t>(options_.workers)) /
+        static_cast<std::size_t>(options_.workers);
+    return static_cast<std::int64_t>(static_cast<double>(rounds) *
+                                     service_ewma_ns_);
+}
+
+} // namespace gm::serve

@@ -1,5 +1,7 @@
 #include "gm/serve/cache.hh"
 
+#include "gm/support/fault_injector.hh"
+
 namespace gm::serve
 {
 
@@ -8,13 +10,18 @@ ResultCache::lookup_or_join(const std::string& key)
 {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = entries_.find(key); it != entries_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-        ++counters_.hits;
-        Lookup hit;
-        hit.role = Role::kHit;
-        hit.value = it->second.value;
-        hit.fingerprint = it->second.fingerprint;
-        return hit;
+        if (!expired(it->second, clock_->now_ns())) {
+            lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+            ++counters_.hits;
+            Lookup hit;
+            hit.role = Role::kHit;
+            hit.value = it->second.value;
+            hit.fingerprint = it->second.fingerprint;
+            return hit;
+        }
+        // Past its TTL: no longer a hit, but deliberately kept — peek()
+        // serves it stale until a fresh leader's publish() replaces it.
+        ++counters_.expired_misses;
     }
     ++counters_.misses;
     auto [it, inserted] = inflight_.try_emplace(key);
@@ -28,6 +35,22 @@ ResultCache::lookup_or_join(const std::string& key)
     return miss;
 }
 
+ResultCache::Peek
+ResultCache::peek(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Peek out;
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return out;
+    out.value = it->second.value;
+    out.fingerprint = it->second.fingerprint;
+    out.fresh = !expired(it->second, clock_->now_ns());
+    if (!out.fresh)
+        ++counters_.stale_serves;
+    return out;
+}
+
 void
 ResultCache::publish(const std::string& key,
                      const std::shared_ptr<Inflight>& flight,
@@ -35,6 +58,16 @@ ResultCache::publish(const std::string& key,
                      std::shared_ptr<const ResultValue> value,
                      std::uint64_t fingerprint)
 {
+    // Chaos site: an injected error loses the insertion (not the
+    // answer), a delay fault slows publication.
+    bool drop_insert = false;
+    if (status.is_ok() && value != nullptr) {
+        try {
+            support::FaultInjector::global().at("serve.cache.insert");
+        } catch (const support::FaultInjectedError&) {
+            drop_insert = true;
+        }
+    }
     {
         std::lock_guard<std::mutex> lock(mu_);
         // Retire the in-flight slot so the next identical query becomes a
@@ -44,10 +77,15 @@ ResultCache::publish(const std::string& key,
             it != inflight_.end() && it->second == flight)
             inflight_.erase(it);
 
-        if (status.is_ok() && value != nullptr) {
+        if (status.is_ok() && value != nullptr && !drop_insert) {
             const std::size_t bytes = result_bytes(*value) + key.size();
-            if (bytes <= capacity_bytes_ &&
-                entries_.find(key) == entries_.end()) {
+            if (bytes <= capacity_bytes_) {
+                // Replace an existing (possibly expired) entry in place.
+                if (auto it = entries_.find(key); it != entries_.end()) {
+                    bytes_ -= it->second.bytes;
+                    lru_.erase(it->second.lru_it);
+                    entries_.erase(it);
+                }
                 while (bytes_ + bytes > capacity_bytes_ && !lru_.empty()) {
                     const std::string& victim = lru_.back();
                     auto vit = entries_.find(victim);
@@ -57,8 +95,8 @@ ResultCache::publish(const std::string& key,
                     ++counters_.evictions;
                 }
                 lru_.push_front(key);
-                entries_[key] =
-                    Entry{value, fingerprint, bytes, lru_.begin()};
+                entries_[key] = Entry{value, fingerprint, bytes,
+                                      clock_->now_ns(), lru_.begin()};
                 bytes_ += bytes;
                 ++counters_.insertions;
             }

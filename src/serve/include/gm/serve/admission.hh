@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Priority-class admission control for gm::serve.
+ *
+ * Replaces the server's single bounded deque with one FIFO lane per
+ * Priority class, each with its own slot quota under a shared total.
+ * Quotas make starvation a policy, not an accident: a best-effort flood
+ * exhausts its own lane and sheds while interactive slots stay free.
+ * Draining is strict priority (interactive, then batch, then
+ * best-effort), FIFO within a lane.
+ *
+ * The controller also refuses work it already knows it cannot finish in
+ * time: it keeps an EWMA of recent execution times (fed by the server
+ * after each kernel run) and, for a request with a deadline, estimates
+ * the queue wait ahead of it — requests queued at the same or higher
+ * priority, drained `workers` at a time.  When submit time + estimated
+ * wait already exceeds the deadline, the request is shed immediately
+ * (kDeadlineInfeasible -> RESOURCE_EXHAUSTED at the API) instead of
+ * occupying a slot only to expire unserved.
+ *
+ * The controller is a pure data structure: not thread-safe (the server's
+ * queue mutex synchronizes it, exactly as with the deque it replaces),
+ * and payload-agnostic — it queues opaque shared_ptr<void> tickets, so it
+ * unit-tests without a server.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "gm/serve/request.hh"
+
+namespace gm::serve
+{
+
+/** Per-class quotas; defaults shed best-effort first under pressure. */
+struct AdmissionOptions
+{
+    /** Hard cap across all classes (the old queue_capacity). */
+    std::size_t total_capacity = 64;
+    /** Per-class slot quotas, indexed by Priority.  A class at its quota
+     *  sheds even when the total has room.  Defaults: interactive may use
+     *  every slot, batch half, best-effort a quarter. */
+    std::array<std::size_t, kPriorityClasses> class_capacity = {64, 32, 16};
+    /** EWMA smoothing for the drain-rate estimate, in (0, 1]. */
+    double service_ewma_alpha = 0.2;
+    /** Worker count used to convert queue depth into estimated wait. */
+    int workers = 4;
+};
+
+/** Priority queue with quotas + deadline-infeasibility shedding. */
+class AdmissionController
+{
+  public:
+    enum class Decision
+    {
+        kAdmitted,           ///< enqueued
+        kQueueFull,          ///< total capacity reached
+        kClassFull,          ///< the request's class quota reached
+        kDeadlineInfeasible, ///< cannot finish before its deadline
+    };
+
+    /** One queued request: the fields admission decides on, plus the
+     *  owner's opaque payload handed back verbatim by pop(). */
+    struct Ticket
+    {
+        Priority priority = Priority::kInteractive;
+        std::int64_t deadline_ns = 0; ///< absolute; 0 = none
+        std::shared_ptr<void> payload;
+    };
+
+    explicit AdmissionController(AdmissionOptions options);
+
+    /** Admit @p ticket at submit time @p now_ns, or say why not.  Only
+     *  kAdmitted mutates the queue. */
+    Decision try_admit(Ticket ticket, std::int64_t now_ns);
+
+    /** Payload of the highest-priority oldest request; null when empty. */
+    std::shared_ptr<void> pop();
+
+    /** Record one observed execution time; feeds the drain estimate. */
+    void record_service(std::int64_t service_ns);
+
+    std::size_t
+    depth() const
+    {
+        return depth_;
+    }
+
+    std::size_t
+    depth(Priority priority) const
+    {
+        return lanes_[static_cast<std::size_t>(priority)].size();
+    }
+
+    bool
+    empty() const
+    {
+        return depth_ == 0;
+    }
+
+    /** Current EWMA of execution time (0 until the first record). */
+    std::int64_t
+    service_estimate_ns() const
+    {
+        return static_cast<std::int64_t>(service_ewma_ns_);
+    }
+
+    /**
+     * Estimated queue wait for a new request of @p priority: requests
+     * serviced before it (same or higher priority), drained workers-wide,
+     * each costing the EWMA execution time.  0 until an estimate exists.
+     */
+    std::int64_t estimated_wait_ns(Priority priority) const;
+
+  private:
+    AdmissionOptions options_;
+    std::array<std::deque<Ticket>, kPriorityClasses> lanes_;
+    std::size_t depth_ = 0;
+    double service_ewma_ns_ = 0;
+};
+
+} // namespace gm::serve

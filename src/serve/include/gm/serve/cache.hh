@@ -16,6 +16,20 @@
  * evicts least-recently-used entries until the configured byte budget
  * holds; a single result larger than the whole budget is simply not
  * cached.
+ *
+ * Entries may carry a TTL (ttl_ns > 0).  An expired entry is no longer a
+ * hit — lookup_or_join() falls through to the single-flight logic and a
+ * fresh leader recomputes (publish() then replaces the entry in place) —
+ * but it is *kept* until replaced or evicted, because an expired answer
+ * is exactly what degraded-mode serving wants: peek() returns any entry,
+ * fresh or stale, without touching LRU order or single-flight state, and
+ * the server uses it to answer allow_stale requests when the fresh path
+ * is shed, broken, or failing (QueryResult::degraded).
+ *
+ * The "serve.cache.insert" fault site is polled inside publish() before
+ * insertion: an injected error drops the insertion (the flight still
+ * completes and followers still wake — the cache just stays cold), a
+ * delay fault slows publication.
  */
 #pragma once
 
@@ -28,6 +42,7 @@
 #include <unordered_map>
 
 #include "gm/serve/request.hh"
+#include "gm/support/clock.hh"
 #include "gm/support/status.hh"
 
 namespace gm::serve
@@ -75,17 +90,44 @@ class ResultCache
         std::uint64_t joins = 0;       ///< follower lookups only
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0;
+        std::uint64_t expired_misses = 0; ///< lookups past an entry's TTL
+        std::uint64_t stale_serves = 0;   ///< peek() answers past TTL
         std::size_t entries = 0;
         std::size_t bytes = 0;
     };
 
-    explicit ResultCache(std::size_t capacity_bytes)
-        : capacity_bytes_(capacity_bytes)
+    /** peek() outcome: a cached payload plus its freshness. */
+    struct Peek
+    {
+        std::shared_ptr<const ResultValue> value;
+        std::uint64_t fingerprint = 0;
+        /** Within TTL (always true when the cache has no TTL). */
+        bool fresh = true;
+    };
+
+    /**
+     * @p ttl_ns > 0 ages entries (0 = never expire); @p clock is the
+     * time source for TTLs (defaults to the system clock; tests inject a
+     * ManualClock).
+     */
+    explicit ResultCache(std::size_t capacity_bytes,
+                         std::int64_t ttl_ns = 0,
+                         support::Clock* clock = nullptr)
+        : capacity_bytes_(capacity_bytes),
+          ttl_ns_(ttl_ns),
+          clock_(clock != nullptr ? clock : support::Clock::system())
     {
     }
 
     /** Resolve @p key; see the role taxonomy above. */
     Lookup lookup_or_join(const std::string& key);
+
+    /**
+     * Degraded-mode read: any entry for @p key — fresh or expired — with
+     * no LRU or single-flight side effects.  value == nullptr when the
+     * key was never cached (or was evicted).
+     */
+    Peek peek(const std::string& key);
 
     /**
      * Leader-only: record the execution outcome for @p key, insert the
@@ -111,10 +153,19 @@ class ResultCache
         std::shared_ptr<const ResultValue> value;
         std::uint64_t fingerprint = 0;
         std::size_t bytes = 0;
+        std::int64_t inserted_ns = 0;
         std::list<std::string>::iterator lru_it;
     };
 
+    /** Caller holds mu_. */
+    bool expired(const Entry& entry, std::int64_t now_ns) const
+    {
+        return ttl_ns_ > 0 && now_ns - entry.inserted_ns >= ttl_ns_;
+    }
+
     std::size_t capacity_bytes_;
+    std::int64_t ttl_ns_;
+    support::Clock* clock_;
 
     mutable std::mutex mu_;
     std::size_t bytes_ = 0;

@@ -24,6 +24,25 @@
 namespace gm::serve
 {
 
+/**
+ * Admission priority class.  Classes are quota'd independently (a
+ * best-effort flood cannot fill the queue slots reserved for interactive
+ * traffic) and drained strict-priority: interactive before batch before
+ * best-effort, FIFO within a class.
+ */
+enum class Priority
+{
+    kInteractive = 0, ///< latency-sensitive; largest quota, drained first
+    kBatch = 1,       ///< throughput traffic; middle quota
+    kBestEffort = 2,  ///< shed-first traffic; smallest quota
+};
+
+/** Number of priority classes (array dimension for quotas/stats). */
+inline constexpr int kPriorityClasses = 3;
+
+/** Short stable name ("interactive", "batch", "best_effort"). */
+const char* to_string(Priority priority);
+
 /** One graph query.  Defaults describe "BFS from vertex 0 on GAP". */
 struct Request
 {
@@ -39,6 +58,17 @@ struct Request
     /** Wall-clock budget measured from submit(), covering queue wait and
      *  execution.  0 disables the deadline. */
     int deadline_ms = 0;
+    /** Admission class; see Priority. */
+    Priority priority = Priority::kInteractive;
+    /**
+     * Degraded-mode opt-in: when the request cannot be served fresh —
+     * shed at admission, fast-failed by an open circuit breaker, or
+     * failed/expired during execution — answer from a cached result for
+     * the same cell if one exists (even one past its TTL), marked
+     * QueryResult::degraded.  The fallback never masks INVALID_INPUT or a
+     * caller-initiated cancel.
+     */
+    bool allow_stale = false;
 };
 
 /**
@@ -72,6 +102,11 @@ struct QueryResult
     /** Answered by joining another in-flight identical query
      *  (single-flight follower; counts neither as a hit nor a run). */
     bool shared_execution = false;
+    /** Served stale from the cache because the fresh path was shed, the
+     *  cell's breaker was open, or execution failed (allow_stale only).
+     *  The payload may predate the latest data; counted separately in
+     *  ServerStats::degraded. */
+    bool degraded = false;
     /** Time spent in the admission queue before a worker picked it up. */
     double queue_seconds = 0;
     /** Kernel execution time; 0 for cache hits and followers. */

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Client-side retry policy with a server-wide retry budget.
+ *
+ * Server::query() retries only statuses the serving layer marks
+ * transient — a shed admission (RESOURCE_EXHAUSTED), an open breaker
+ * (UNAVAILABLE), or an abandoned single-flight leader (CANCELLED, which
+ * query() can only see for that reason: the caller holds the only
+ * handle).  Deterministic outcomes (INVALID_INPUT, kernel errors,
+ * DEADLINE_EXCEEDED — the budget is spent) are never retried.
+ *
+ * Backoff is capped exponential with deterministic jitter: attempt k
+ * sleeps initial * multiplier^(k-1), clamped to max, scaled by a factor
+ * in [0.5, 1.5) drawn from SplitMix64(seed, attempt) — reproducible for
+ * a given policy seed, decorrelated across attempts.
+ *
+ * The budget is the anti-amplification control: a token bucket owned by
+ * the server.  Every *fresh* query deposits `ratio` tokens (capped);
+ * every retry withdraws one.  During an outage the fresh-query stream
+ * keeps depositing at ratio x arrival rate, so retry traffic is bounded
+ * at ~ratio of offered load no matter how aggressive per-call policies
+ * are — retries can speed recovery, never pile onto the collapse.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+#include "gm/support/status.hh"
+
+namespace gm::serve
+{
+
+/** Per-call retry knobs (attempts + backoff shape). */
+struct RetryPolicy
+{
+    /** Total attempts including the first; 1 = no retries. */
+    int max_attempts = 1;
+    /** Backoff before retry 1 (then multiplied per attempt). */
+    std::int64_t initial_backoff_ms = 5;
+    /** Exponential growth factor per attempt. */
+    double backoff_multiplier = 2.0;
+    /** Backoff ceiling. */
+    std::int64_t max_backoff_ms = 200;
+    /** Jitter seed; same seed -> same backoff sequence. */
+    std::uint64_t seed = 0;
+};
+
+/** True if @p code is transient from the serving layer's point of view. */
+bool retryable_status(support::StatusCode code);
+
+/** Backoff before attempt @p next_attempt (2-based), jittered. */
+std::int64_t backoff_ms(const RetryPolicy& policy, int next_attempt);
+
+/**
+ * Server-wide token bucket bounding total retry volume.  Thread-safe.
+ */
+class RetryBudget
+{
+  public:
+    /** @p ratio tokens deposited per fresh query; bucket holds at most
+     *  @p cap tokens.  ratio <= 0 disables retries entirely. */
+    RetryBudget(double ratio, double cap)
+        : ratio_(ratio), cap_(cap), tokens_(cap)
+    {
+    }
+
+    /** A fresh (non-retry) query arrived: deposit. */
+    void
+    deposit()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tokens_ = std::min(cap_, tokens_ + ratio_);
+    }
+
+    /** Try to pay for one retry; false = budget exhausted, don't retry. */
+    bool
+    withdraw()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    double
+    tokens() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tokens_;
+    }
+
+  private:
+    const double ratio_;
+    const double cap_;
+    mutable std::mutex mu_;
+    double tokens_;
+};
+
+} // namespace gm::serve

@@ -1,31 +1,38 @@
 /**
  * @file
  * gm::serve::Server — an in-process concurrent graph-query service over a
- * shared DatasetSuite.
+ * shared DatasetSuite, with defined behavior under overload and faults.
  *
  * Architecture (one paragraph): submit() validates a Request against the
- * suite and framework registry, stamps it, and either enqueues it on a
- * bounded admission queue or sheds it immediately with RESOURCE_EXHAUSTED
- * — admission never blocks.  A fixed pool of worker threads drains the
- * queue; each worker runs its request's kernel serially on its own thread
- * (par::SerialRegion), so N workers give N-way concurrency across
- * requests while every individual result stays bit-identical to a direct
- * serial framework call.  Requests with deadlines are armed on a shared
- * DeadlineScheduler whose timer raises the request's CancelToken; the
- * kernel unwinds cooperatively via the same polling the watchdog uses and
- * the worker reports DEADLINE_EXCEEDED (or CANCELLED for caller-initiated
- * cancels) without poisoning the store or later requests.  Identical
- * queries dedupe through the ResultCache's single-flight slots, and
- * completed results are served zero-copy from its LRU.  Every request
- * records a detached gm::obs trace session (serve.queue_wait /
- * serve.execute spans) summarized to a per-request metrics JSONL record.
+ * suite and framework registry, stamps it, gates it through the cell's
+ * circuit breaker, and offers it to the AdmissionController — per
+ * priority-class quotas, plus deadline-aware expiry that sheds requests
+ * whose deadline cannot be met at the current drain rate.  Admission
+ * never blocks: refused work is answered immediately, either degraded
+ * from the result cache (allow_stale) or with RESOURCE_EXHAUSTED /
+ * UNAVAILABLE.  A fixed pool of worker threads drains the queue
+ * strict-priority; each worker runs its request's kernel serially on its
+ * own thread (par::SerialRegion), so N workers give N-way concurrency
+ * across requests while every non-degraded result stays bit-identical to
+ * a direct serial framework call.  Requests with deadlines are armed on
+ * a shared DeadlineScheduler whose timer raises the request's
+ * CancelToken; kernels unwind cooperatively and the worker reports
+ * DEADLINE_EXCEEDED (or CANCELLED for caller-initiated cancels) without
+ * poisoning the store or later requests.  Identical queries dedupe
+ * through the ResultCache's single-flight slots; completed results are
+ * served zero-copy from its LRU; execution failures feed the cell's
+ * breaker, which fast-fails a sick cell and half-opens with probes.
+ * query() layers a jittered-backoff RetryPolicy over submit()+wait(),
+ * bounded by a server-wide retry budget so retries never amplify an
+ * outage.  Every request records a detached gm::obs trace session
+ * summarized to a per-request metrics JSONL record; breaker transitions
+ * are appended to the same stream.
  */
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,9 +42,13 @@
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/obs/trace.hh"
+#include "gm/serve/admission.hh"
+#include "gm/serve/breaker.hh"
 #include "gm/serve/cache.hh"
 #include "gm/serve/deadline.hh"
 #include "gm/serve/request.hh"
+#include "gm/serve/retry.hh"
+#include "gm/support/clock.hh"
 #include "gm/support/status.hh"
 
 namespace gm::serve
@@ -53,28 +64,70 @@ struct ServerOptions
 {
     /** Worker threads = maximum concurrently executing requests. */
     int workers = 4;
-    /** Admission queue bound; a full queue sheds (RESOURCE_EXHAUSTED). */
+    /** Total admission-queue bound across all priority classes. */
     std::size_t queue_capacity = 64;
+    /** Per-class admission quotas (indexed by Priority).  All-zero (the
+     *  default) derives {total, total/2, total/4} from queue_capacity —
+     *  interactive may fill the queue, best-effort sheds first. */
+    std::array<std::size_t, kPriorityClasses> class_capacity = {0, 0, 0};
     /** Result-cache byte budget; 0 disables caching (single-flight dedup
      *  of concurrent identical queries still applies). */
     std::size_t cache_capacity_bytes = 64ull << 20;
-    /** Append one MetricsRecord JSONL line per served request; "" = off. */
+    /** Result-cache TTL in ms; 0 = entries never expire.  Expired
+     *  entries stop being hits but remain peek()-able for degraded
+     *  (allow_stale) serving until replaced or evicted. */
+    std::int64_t cache_ttl_ms = 0;
+    /** Per-cell circuit breakers; set enable_breaker = false to run
+     *  every request regardless of cell health. */
+    bool enable_breaker = true;
+    BreakerOptions breaker;
+    /** Default RetryPolicy for query(); max_attempts = 1 disables. */
+    RetryPolicy retry;
+    /** Retry-budget token bucket: tokens deposited per fresh query and
+     *  the bucket cap.  Bounds server-wide retry volume to roughly
+     *  ratio x offered load during an outage. */
+    double retry_budget_ratio = 0.1;
+    double retry_budget_cap = 10;
+    /** Time source for breaker cooldowns and cache TTLs (request
+     *  timestamps and deadlines always use the steady Timer clock).
+     *  Null = Clock::system(); tests may inject a ManualClock. */
+    support::Clock* clock = nullptr;
+    /** Append one MetricsRecord JSONL line per served request (plus one
+     *  "serve.breaker" line per breaker transition); "" = off. */
     std::string metrics_path;
 };
 
-/** Point-in-time server counters (cache figures folded in). */
+/**
+ * Point-in-time server counters (cache figures folded in).  The snapshot
+ * is coherent: it is taken under the same lock every mutation holds, so
+ * the invariants hold in any snapshot, mid-flight or not:
+ *
+ *     completed == succeeded + deadline_exceeded + cancelled + failed
+ *     submitted >= completed + queue_depth
+ *     degraded  <= succeeded
+ */
 struct ServerStats
 {
-    std::uint64_t submitted = 0;  ///< accepted into the queue
-    std::uint64_t shed = 0;       ///< refused: queue full
+    std::uint64_t submitted = 0;  ///< accepted (handle returned), incl.
+                                  ///< degraded answers served at submit
+    std::uint64_t shed = 0;       ///< refused: queue/class full or
+                                  ///< deadline infeasible
+    std::uint64_t infeasible = 0; ///< subset of shed: deadline-aware
+                                  ///< queued-expiry at submit
+    std::uint64_t unavailable = 0; ///< refused: circuit breaker open
     std::uint64_t completed = 0;  ///< finished, any status
     std::uint64_t succeeded = 0;
+    std::uint64_t degraded = 0;   ///< subset of succeeded: stale answers
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;     ///< kernel error / injected fault
     std::uint64_t executions = 0; ///< kernels actually run (leaders)
     std::uint64_t cache_hits = 0;
     std::uint64_t single_flight_joins = 0;
+    std::uint64_t retries = 0;    ///< retry attempts issued by query()
+    std::uint64_t retry_denied = 0; ///< retries blocked by the budget
+    std::uint64_t breaker_transitions = 0;
+    std::size_t breaker_open_cells = 0;
     std::size_t queue_depth = 0;
     std::size_t cache_entries = 0;
     std::size_t cache_bytes = 0;
@@ -97,6 +150,14 @@ class Server
         /** Block until the request finishes; the result or the failure.
          *  Const: it reads the shared request state, not the handle. */
         support::StatusOr<QueryResult> wait() const;
+
+        /**
+         * wait() with a bound: DEADLINE_EXCEEDED after @p timeout_ms if
+         * the request has not completed.  The request itself is NOT
+         * consumed or cancelled — it keeps executing, and a later
+         * wait()/wait_for() can still collect it.
+         */
+        support::StatusOr<QueryResult> wait_for(int timeout_ms) const;
 
         /** Request cooperative cancellation (wait() then reports
          *  CANCELLED unless the request already finished). */
@@ -123,23 +184,57 @@ class Server
     Server& operator=(const Server&) = delete;
 
     /**
-     * Validate and enqueue @p request.  Never blocks: returns
-     * kInvalidInput for an unknown framework/graph or out-of-range
-     * source, kResourceExhausted when the admission queue is full or the
-     * server is shutting down, and a live Handle otherwise.
+     * Validate, breaker-gate, and enqueue @p request.  Never blocks:
+     * returns kInvalidInput for an unknown framework/graph or
+     * out-of-range source, kResourceExhausted when admission refuses
+     * (queue/class full, deadline infeasible, or shutting down),
+     * kUnavailable when the cell's breaker is open — unless the refused
+     * request can be answered from the cache (always for a fresh entry
+     * on the breaker path, allow_stale for anything else), in which case
+     * the returned Handle is already complete.
      */
     support::StatusOr<Handle> submit(Request request);
 
-    /** submit() + wait() in one call. */
+    /** submit() + wait() under the server's default RetryPolicy. */
     support::StatusOr<QueryResult> query(const Request& request);
 
+    /** submit() + wait() with explicit retries: transient failures
+     *  (shed, breaker-open, abandoned leader) are retried with jittered
+     *  exponential backoff, bounded by the server-wide retry budget. */
+    support::StatusOr<QueryResult> query(const Request& request,
+                                         const RetryPolicy& policy);
+
     ServerStats stats() const;
+
+    /** The cell breaker registry (read-only observers for tools/tests). */
+    CircuitBreaker& breaker() { return breaker_; }
 
     /** Stop accepting work, drain the queue, join the workers.
      *  Idempotent; the destructor calls it. */
     void shutdown();
 
   private:
+    /** All mutable counters behind one lock; see ServerStats. */
+    struct Counters
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t infeasible = 0;
+        std::uint64_t unavailable = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t succeeded = 0;
+        std::uint64_t degraded = 0;
+        std::uint64_t deadline_exceeded = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t executions = 0;
+        std::uint64_t cache_hits = 0;
+        std::uint64_t single_flight_joins = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t retry_denied = 0;
+        std::size_t queue_depth = 0;
+    };
+
     void worker_loop();
     void process(const std::shared_ptr<detail::RequestState>& state);
     support::Status wait_for_leader(detail::RequestState& state,
@@ -148,32 +243,36 @@ class Server
     support::Status classify_cancel(const detail::RequestState& state) const;
     void complete(const std::shared_ptr<detail::RequestState>& state,
                   support::Status status, QueryResult result);
+    /** Fill @p result from any cached entry for the state's key; true if
+     *  one existed (degraded when past TTL, cache_hit when fresh). */
+    bool try_cache_fallback(const detail::RequestState& state,
+                            QueryResult& result);
+    /** Breaker bookkeeping for a leader outcome (or non-execution). */
+    void record_cell_outcome(const detail::RequestState& state,
+                             const support::Status& status, bool executed);
     void write_metrics_record(const detail::RequestState& state,
                               const obs::TraceSession& session);
+    /** Append drained breaker transitions to the metrics stream. */
+    void flush_breaker_transitions();
 
     harness::DatasetSuite suite_;
     std::vector<harness::Framework> frameworks_;
     ServerOptions options_;
+    support::Clock* clock_;
     ResultCache cache_;
+    CircuitBreaker breaker_;
+    RetryBudget retry_budget_;
     DeadlineScheduler deadlines_;
 
     mutable std::mutex queue_mu_;
     std::condition_variable queue_cv_;
-    std::deque<std::shared_ptr<detail::RequestState>> queue_;
+    AdmissionController admission_;
     bool shutdown_ = false;
 
     std::mutex metrics_mu_; ///< serializes JSONL appends across workers
 
-    std::atomic<std::uint64_t> submitted_{0};
-    std::atomic<std::uint64_t> shed_{0};
-    std::atomic<std::uint64_t> completed_{0};
-    std::atomic<std::uint64_t> succeeded_{0};
-    std::atomic<std::uint64_t> deadline_exceeded_{0};
-    std::atomic<std::uint64_t> cancelled_{0};
-    std::atomic<std::uint64_t> failed_{0};
-    std::atomic<std::uint64_t> executions_{0};
-    std::atomic<std::uint64_t> cache_hits_{0};
-    std::atomic<std::uint64_t> single_flight_joins_{0};
+    mutable std::mutex stats_mu_; ///< guards counters_ as one snapshot
+    Counters counters_;
 
     std::vector<std::thread> workers_;
 };

@@ -1,0 +1,44 @@
+#include "gm/serve/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gm/support/rng.hh"
+
+namespace gm::serve
+{
+
+bool
+retryable_status(support::StatusCode code)
+{
+    switch (code) {
+      case support::StatusCode::kResourceExhausted: // shed; load may drain
+      case support::StatusCode::kUnavailable:       // breaker may half-open
+      case support::StatusCode::kCancelled: // abandoned leader; the query
+                                            // itself was never computed
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::int64_t
+backoff_ms(const RetryPolicy& policy, int next_attempt)
+{
+    if (policy.initial_backoff_ms <= 0)
+        return 0;
+    const double exponent = std::max(0, next_attempt - 2);
+    double ms = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(std::max(1.0, policy.backoff_multiplier),
+                         exponent);
+    ms = std::min(ms, static_cast<double>(policy.max_backoff_ms));
+    // Deterministic jitter in [0.5, 1.5): same seed, same sequence.
+    SplitMix64 mix(policy.seed ^
+                   (static_cast<std::uint64_t>(next_attempt) *
+                    0x9e3779b97f4a7c15ULL));
+    const double jitter =
+        0.5 + static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+    return static_cast<std::int64_t>(ms * jitter);
+}
+
+} // namespace gm::serve

@@ -5,11 +5,13 @@
 #include <chrono>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "gm/obs/metrics.hh"
 #include "gm/par/thread_pool.hh"
 #include "gm/support/fault_injector.hh"
 #include "gm/support/hash.hh"
+#include "gm/support/json.hh"
 #include "gm/support/timer.hh"
 #include "gm/support/watchdog.hh"
 
@@ -32,11 +34,16 @@ struct RequestState
     const harness::Framework* fw = nullptr;
     std::shared_ptr<const harness::Dataset> ds;
     std::string cache_key;
+    std::string cell_key; ///< breaker key: framework/kernel/graph
 
     std::shared_ptr<support::CancelToken> token =
         std::make_shared<support::CancelToken>();
     std::int64_t submit_ns = 0;
     std::int64_t deadline_ns = 0; ///< absolute Timer::now_ns(); 0 = none
+    /** Half-open probe: the breaker granted this request a probe slot;
+     *  its outcome (or non-execution) must be reported back.  Written
+     *  before enqueue, read after the queue handoff. */
+    bool probe = false;
     std::atomic<bool> user_cancelled{false};
 
     std::mutex mu;
@@ -98,6 +105,15 @@ make_cache_key(const Request& req, const harness::Framework& fw,
     return key.str();
 }
 
+/** Breaker identity: the unit that fails together.  Source and mode are
+ *  deliberately excluded — a sick kernel is sick from every source. */
+std::string
+make_cell_key(const Request& req, const harness::Framework& fw)
+{
+    return fw.name + "/" + std::string(harness::to_string(req.kernel)) +
+           "/" + req.graph;
+}
+
 /** Run the kernel for @p state on the calling thread. */
 ResultValue
 execute_kernel(const RequestState& state)
@@ -120,6 +136,29 @@ execute_kernel(const RequestState& state)
         return fw.tc(ds, req.mode);
     }
     throw support::Error(StatusCode::kInvalidInput, "unknown kernel");
+}
+
+AdmissionOptions
+make_admission_options(const ServerOptions& options)
+{
+    AdmissionOptions out;
+    out.total_capacity = options.queue_capacity;
+    out.workers = options.workers;
+    const bool derive =
+        options.class_capacity[0] == 0 && options.class_capacity[1] == 0 &&
+        options.class_capacity[2] == 0;
+    if (derive) {
+        out.class_capacity = {
+            options.queue_capacity,
+            std::max<std::size_t>(1, options.queue_capacity / 2),
+            std::max<std::size_t>(1, options.queue_capacity / 4)};
+    } else {
+        for (int i = 0; i < kPriorityClasses; ++i)
+            out.class_capacity[static_cast<std::size_t>(i)] = std::max<
+                std::size_t>(
+                1, options.class_capacity[static_cast<std::size_t>(i)]);
+    }
+    return out;
 }
 
 } // namespace
@@ -162,7 +201,13 @@ Server::Server(harness::DatasetSuite suite,
     : suite_(std::move(suite)),
       frameworks_(std::move(frameworks)),
       options_(options),
-      cache_(options.cache_capacity_bytes)
+      clock_(options.clock != nullptr ? options.clock
+                                      : support::Clock::system()),
+      cache_(options.cache_capacity_bytes,
+             options.cache_ttl_ms * 1'000'000, clock_),
+      breaker_(options.breaker, clock_),
+      retry_budget_(options.retry_budget_ratio, options.retry_budget_cap),
+      admission_(make_admission_options(options))
 {
     GM_ASSERT(options_.workers >= 1, "server needs at least one worker");
     GM_ASSERT(options_.queue_capacity >= 1,
@@ -187,6 +232,7 @@ Server::shutdown()
     for (auto& worker : workers_)
         worker.join();
     workers_.clear();
+    flush_breaker_transitions();
 }
 
 StatusOr<Server::Handle>
@@ -220,28 +266,120 @@ Server::submit(Request request)
     state->fw = fw;
     state->ds = ds;
     state->cache_key = make_cache_key(state->req, *fw, *ds);
+    state->cell_key = make_cell_key(state->req, *fw);
     state->submit_ns = Timer::now_ns();
     if (state->req.deadline_ms > 0)
         state->deadline_ns =
             state->submit_ns +
             static_cast<std::int64_t>(state->req.deadline_ms) * 1'000'000;
 
+    // Serves a refused request from the cache when policy allows, or
+    // refuses it for real.  Returns the already-completed handle or the
+    // refusal status.
+    const auto refuse = [&](Status status,
+                            bool fresh_ok) -> StatusOr<Handle> {
+        QueryResult result;
+        if ((state->req.allow_stale || fresh_ok) &&
+            try_cache_fallback(*state, result) &&
+            (result.degraded ? state->req.allow_stale : true)) {
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++counters_.submitted;
+            }
+            complete(state, Status::ok(), std::move(result));
+            return Handle(state);
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            if (status.code() == StatusCode::kUnavailable)
+                ++counters_.unavailable;
+            else
+                ++counters_.shed;
+        }
+        return status;
+    };
+
+    // Chaos site: an injected admission fault sheds the request exactly
+    // as a full queue would (degraded fallback applies); a delay fault
+    // slows the submit path.
+    try {
+        support::FaultInjector::global().at("serve.admission");
+    } catch (const support::FaultInjectedError&) {
+        return refuse(Status(StatusCode::kResourceExhausted,
+                             "injected fault at serve.admission"),
+                      /*fresh_ok=*/false);
+    }
+
+    // Circuit breaker: fast-fail a sick cell instead of queueing into
+    // it.  A fresh cached result is still served (no execution needed);
+    // half-open grants pass through as probes.
+    if (options_.enable_breaker) {
+        switch (breaker_.admit(state->cell_key)) {
+          case CircuitBreaker::Gate::kAllow:
+            break;
+          case CircuitBreaker::Gate::kProbe:
+            state->probe = true;
+            break;
+          case CircuitBreaker::Gate::kReject:
+            return refuse(
+                Status(StatusCode::kUnavailable,
+                       "circuit breaker open for cell " + state->cell_key),
+                /*fresh_ok=*/true);
+        }
+    }
+
+    AdmissionController::Decision decision;
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
-        if (shutdown_)
+        if (shutdown_) {
+            breaker_.release(state->cell_key, state->probe);
             return Status(StatusCode::kResourceExhausted,
                           "server is shut down");
-        if (queue_.size() >= options_.queue_capacity) {
-            shed_.fetch_add(1, std::memory_order_relaxed);
-            return Status(StatusCode::kResourceExhausted,
-                          "admission queue full (capacity " +
-                              std::to_string(options_.queue_capacity) +
-                              ")");
         }
-        queue_.push_back(state);
+        AdmissionController::Ticket ticket;
+        ticket.priority = state->req.priority;
+        ticket.deadline_ns = state->deadline_ns;
+        ticket.payload = state;
+        decision = admission_.try_admit(std::move(ticket),
+                                        state->submit_ns);
+        if (decision == AdmissionController::Decision::kAdmitted) {
+            // Counted while still holding queue_mu_: a worker cannot pop
+            // (and decrement queue_depth) until the queue lock is
+            // released, so no snapshot can see the pop before the push.
+            std::lock_guard<std::mutex> stats_lock(stats_mu_);
+            ++counters_.submitted;
+            ++counters_.queue_depth;
+        }
     }
+    if (decision != AdmissionController::Decision::kAdmitted) {
+        breaker_.release(state->cell_key, state->probe);
+        state->probe = false;
+        std::string reason;
+        switch (decision) {
+          case AdmissionController::Decision::kQueueFull:
+            reason = "admission queue full (capacity " +
+                     std::to_string(options_.queue_capacity) + ")";
+            break;
+          case AdmissionController::Decision::kClassFull:
+            reason = std::string("admission quota for class '") +
+                     to_string(state->req.priority) + "' is full";
+            break;
+          default:
+            reason = "deadline of " +
+                     std::to_string(state->req.deadline_ms) +
+                     " ms is infeasible at the current queue drain rate";
+            break;
+        }
+        if (decision ==
+            AdmissionController::Decision::kDeadlineInfeasible) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++counters_.infeasible;
+        }
+        return refuse(Status(StatusCode::kResourceExhausted, reason),
+                      /*fresh_ok=*/false);
+    }
+
     queue_cv_.notify_one();
-    submitted_.fetch_add(1, std::memory_order_relaxed);
     if (state->deadline_ns != 0)
         deadlines_.arm(state->deadline_ns, state->token);
     return Handle(state);
@@ -250,10 +388,42 @@ Server::submit(Request request)
 StatusOr<QueryResult>
 Server::query(const Request& request)
 {
-    auto handle = submit(request);
-    if (!handle.is_ok())
-        return handle.status();
-    return std::move(handle).value().wait();
+    return query(request, options_.retry);
+}
+
+StatusOr<QueryResult>
+Server::query(const Request& request, const RetryPolicy& policy)
+{
+    retry_budget_.deposit();
+    int attempt = 1;
+    for (;;) {
+        Status status;
+        auto handle = submit(request);
+        if (handle.is_ok()) {
+            auto result = std::move(handle).value().wait();
+            if (result.is_ok())
+                return result;
+            status = result.status();
+        } else {
+            status = handle.status();
+        }
+        if (attempt >= policy.max_attempts ||
+            !retryable_status(status.code()))
+            return status;
+        if (!retry_budget_.withdraw()) {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++counters_.retry_denied;
+            return status;
+        }
+        ++attempt;
+        {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++counters_.retries;
+        }
+        const std::int64_t ms = backoff_ms(policy, attempt);
+        if (ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
 }
 
 void
@@ -263,12 +433,16 @@ Server::worker_loop()
         std::shared_ptr<RequestState> state;
         {
             std::unique_lock<std::mutex> lock(queue_mu_);
-            queue_cv_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
-            if (queue_.empty())
+            queue_cv_.wait(
+                lock, [this] { return shutdown_ || !admission_.empty(); });
+            if (admission_.empty())
                 return; // shutdown, queue drained
-            state = queue_.front();
-            queue_.pop_front();
+            state = std::static_pointer_cast<RequestState>(
+                admission_.pop());
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            --counters_.queue_depth;
         }
         process(state);
     }
@@ -287,6 +461,32 @@ Server::classify_cancel(const RequestState& state) const
 }
 
 void
+Server::record_cell_outcome(const RequestState& state,
+                            const Status& status, bool executed)
+{
+    if (!options_.enable_breaker)
+        return;
+    if (!executed) {
+        breaker_.release(state.cell_key, state.probe);
+        return;
+    }
+    switch (status.code()) {
+      case StatusCode::kOk:
+        breaker_.record_success(state.cell_key, state.probe);
+        break;
+      case StatusCode::kCancelled:
+        // Caller-initiated: says nothing about the cell's health.
+        breaker_.release(state.cell_key, state.probe);
+        break;
+      default:
+        // Kernel errors, injected faults, and deadline/timeout expiries
+        // mid-execution all count: a slow cell is a sick cell.
+        breaker_.record_failure(state.cell_key, state.probe);
+        break;
+    }
+}
+
+void
 Server::process(const std::shared_ptr<RequestState>& state)
 {
     const std::int64_t dequeue_ns = Timer::now_ns();
@@ -297,13 +497,16 @@ Server::process(const std::shared_ptr<RequestState>& state)
     // Expired or cancelled while still queued: answer without executing.
     if (state->user_cancelled.load(std::memory_order_relaxed) ||
         (state->deadline_ns != 0 && dequeue_ns >= state->deadline_ns)) {
-        complete(state, classify_cancel(*state), std::move(result));
+        const Status status = classify_cancel(*state);
+        record_cell_outcome(*state, status, /*executed=*/false);
+        complete(state, status, std::move(result));
         return;
     }
 
     obs::TraceSession session;
     session.start_detached();
     Status status;
+    bool executed = false;
     {
         obs::SessionBinding binding(session.gen());
         obs::record_span("serve.queue_wait", state->submit_ns, dequeue_ns);
@@ -313,22 +516,34 @@ Server::process(const std::shared_ptr<RequestState>& state)
         switch (lookup.role) {
           case ResultCache::Role::kHit: {
               obs::counter_add("serve.cache_hit", 1);
-              cache_hits_.fetch_add(1, std::memory_order_relaxed);
+              {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  ++counters_.cache_hits;
+              }
               result.value = std::move(lookup.value);
               result.fingerprint = lookup.fingerprint;
               result.cache_hit = true;
+              record_cell_outcome(*state, status, /*executed=*/false);
               break;
           }
           case ResultCache::Role::kFollower: {
-              single_flight_joins_.fetch_add(1, std::memory_order_relaxed);
+              {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  ++counters_.single_flight_joins;
+              }
               const std::int64_t join_begin = Timer::now_ns();
               status = wait_for_leader(*state, *lookup.flight, result);
               obs::record_span("serve.join_wait", join_begin,
                                Timer::now_ns());
+              record_cell_outcome(*state, status, /*executed=*/false);
               break;
           }
           case ResultCache::Role::kLeader: {
-              executions_.fetch_add(1, std::memory_order_relaxed);
+              executed = true;
+              {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  ++counters_.executions;
+              }
               const std::int64_t exec_begin = Timer::now_ns();
               std::shared_ptr<const ResultValue> value;
               std::uint64_t fingerprint = 0;
@@ -352,22 +567,32 @@ Server::process(const std::shared_ptr<RequestState>& state)
               // re-express them in service terms.
               if (status.code() == StatusCode::kTimeout)
                   status = classify_cancel(*state);
+              record_cell_outcome(*state, status, /*executed=*/true);
               cache_.publish(state->cache_key, lookup.flight, status,
                              value, fingerprint);
               if (status.is_ok()) {
                   result.value = std::move(value);
                   result.fingerprint = fingerprint;
               }
+              const std::int64_t exec_ns = Timer::now_ns() - exec_begin;
               result.execute_seconds =
-                  static_cast<double>(Timer::now_ns() - exec_begin) * 1e-9;
+                  static_cast<double>(exec_ns) * 1e-9;
+              {
+                  // Feed the admission drain estimate: what one queue
+                  // slot actually cost, success or not.
+                  std::lock_guard<std::mutex> lock(queue_mu_);
+                  admission_.record_service(exec_ns);
+              }
               break;
           }
         }
     }
+    (void)executed;
     session.stop();
     if (!options_.metrics_path.empty())
         write_metrics_record(*state, session);
     complete(state, std::move(status), std::move(result));
+    flush_breaker_transitions();
 }
 
 Status
@@ -406,24 +631,58 @@ Server::wait_for_leader(RequestState& state, ResultCache::Inflight& flight,
     }
 }
 
+bool
+Server::try_cache_fallback(const RequestState& state, QueryResult& result)
+{
+    ResultCache::Peek peek = cache_.peek(state.cache_key);
+    if (peek.value == nullptr)
+        return false;
+    result.value = std::move(peek.value);
+    result.fingerprint = peek.fingerprint;
+    if (peek.fresh) {
+        result.cache_hit = true;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.cache_hits;
+    } else {
+        result.degraded = true;
+    }
+    return true;
+}
+
 void
 Server::complete(const std::shared_ptr<RequestState>& state, Status status,
                  QueryResult result)
 {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    switch (status.code()) {
-      case StatusCode::kOk:
-        succeeded_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case StatusCode::kDeadlineExceeded:
-        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      case StatusCode::kCancelled:
-        cancelled_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      default:
-        failed_.fetch_add(1, std::memory_order_relaxed);
-        break;
+    // Degraded mode: a request that opted in and cannot be served fresh
+    // — shed, breaker-open, failed, or expired — is answered from the
+    // cache (stale included) rather than refused.  Never masks a bad
+    // request or a caller's own cancel.
+    if (!status.is_ok() && state->req.allow_stale &&
+        status.code() != StatusCode::kInvalidInput &&
+        !state->user_cancelled.load(std::memory_order_relaxed) &&
+        result.value == nullptr && try_cache_fallback(*state, result)) {
+        status = Status::ok();
+        obs::counter_add("serve.degraded", result.degraded ? 1 : 0);
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.completed;
+        switch (status.code()) {
+          case StatusCode::kOk:
+            ++counters_.succeeded;
+            if (result.degraded)
+                ++counters_.degraded;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++counters_.deadline_exceeded;
+            break;
+          case StatusCode::kCancelled:
+            ++counters_.cancelled;
+            break;
+          default:
+            ++counters_.failed;
+            break;
+        }
     }
     {
         std::lock_guard<std::mutex> lock(state->mu);
@@ -457,26 +716,53 @@ Server::write_metrics_record(const RequestState& state,
         out << line << "\n";
 }
 
+void
+Server::flush_breaker_transitions()
+{
+    // Drain unconditionally (bounds memory); write only when streaming.
+    const std::vector<CircuitBreaker::Transition> transitions =
+        breaker_.drain_transitions();
+    if (transitions.empty() || options_.metrics_path.empty())
+        return;
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.metrics_path, std::ios::app);
+    if (!out)
+        return;
+    for (const CircuitBreaker::Transition& t : transitions) {
+        out << "{\"kind\":\"serve.breaker\",\"cell\":\""
+            << support::json_escape(t.cell) << "\",\"from\":\""
+            << CircuitBreaker::to_string(t.from) << "\",\"to\":\""
+            << CircuitBreaker::to_string(t.to) << "\",\"seq\":" << t.seq
+            << "}\n";
+    }
+}
+
 ServerStats
 Server::stats() const
 {
     ServerStats out;
-    out.submitted = submitted_.load(std::memory_order_relaxed);
-    out.shed = shed_.load(std::memory_order_relaxed);
-    out.completed = completed_.load(std::memory_order_relaxed);
-    out.succeeded = succeeded_.load(std::memory_order_relaxed);
-    out.deadline_exceeded =
-        deadline_exceeded_.load(std::memory_order_relaxed);
-    out.cancelled = cancelled_.load(std::memory_order_relaxed);
-    out.failed = failed_.load(std::memory_order_relaxed);
-    out.executions = executions_.load(std::memory_order_relaxed);
-    out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    out.single_flight_joins =
-        single_flight_joins_.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(queue_mu_);
-        out.queue_depth = queue_.size();
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        const Counters& c = counters_;
+        out.submitted = c.submitted;
+        out.shed = c.shed;
+        out.infeasible = c.infeasible;
+        out.unavailable = c.unavailable;
+        out.completed = c.completed;
+        out.succeeded = c.succeeded;
+        out.degraded = c.degraded;
+        out.deadline_exceeded = c.deadline_exceeded;
+        out.cancelled = c.cancelled;
+        out.failed = c.failed;
+        out.executions = c.executions;
+        out.cache_hits = c.cache_hits;
+        out.single_flight_joins = c.single_flight_joins;
+        out.retries = c.retries;
+        out.retry_denied = c.retry_denied;
+        out.queue_depth = c.queue_depth;
     }
+    out.breaker_transitions = breaker_.transition_count();
+    out.breaker_open_cells = breaker_.open_cells();
     const ResultCache::Stats cache = cache_.stats();
     out.cache_entries = cache.entries;
     out.cache_bytes = cache.bytes;
@@ -489,6 +775,24 @@ Server::Handle::wait() const
     GM_ASSERT(state_ != nullptr, "wait() on an empty serve::Handle");
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [this] { return state_->done; });
+    if (!state_->status.is_ok())
+        return state_->status;
+    return state_->result;
+}
+
+StatusOr<QueryResult>
+Server::Handle::wait_for(int timeout_ms) const
+{
+    GM_ASSERT(state_ != nullptr, "wait_for() on an empty serve::Handle");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    const bool done = state_->cv.wait_for(
+        lock, std::chrono::milliseconds(std::max(0, timeout_ms)),
+        [this] { return state_->done; });
+    if (!done)
+        return Status(StatusCode::kDeadlineExceeded,
+                      "wait_for(" + std::to_string(timeout_ms) +
+                          " ms) expired; the request is still in "
+                          "flight and can be waited on again");
     if (!state_->status.is_ok())
         return state_->status;
     return state_->result;

@@ -1,0 +1,29 @@
+#include "gm/support/clock.hh"
+
+namespace gm::support
+{
+
+namespace
+{
+
+/** The production clock: Timer::now_ns(), shared with every timestamp. */
+class SystemClock final : public Clock
+{
+  public:
+    std::int64_t
+    now_ns() const override
+    {
+        return Timer::now_ns();
+    }
+};
+
+} // namespace
+
+Clock*
+Clock::system()
+{
+    static SystemClock clock;
+    return &clock;
+}
+
+} // namespace gm::support

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Injectable time source for components whose behavior is a function of
+ * elapsed time (circuit breakers, cache TTLs, admission drain estimates).
+ *
+ * Production code uses Clock::system(), a thin shim over Timer::now_ns()
+ * — the same steady clock every timestamp in the repo already uses.
+ * Tests inject a ManualClock and advance it explicitly, so time-driven
+ * state machines (open -> half-open -> closed) are stepped
+ * deterministically instead of raced against real sleeps.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "gm/support/timer.hh"
+
+namespace gm::support
+{
+
+/** Abstract monotonic nanosecond clock. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic nanoseconds since an arbitrary epoch. */
+    virtual std::int64_t now_ns() const = 0;
+
+    /** The process-wide steady clock (Timer::now_ns). */
+    static Clock* system();
+};
+
+/** Test clock: time moves only when the test says so.  Thread-safe. */
+class ManualClock : public Clock
+{
+  public:
+    explicit ManualClock(std::int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+    std::int64_t
+    now_ns() const override
+    {
+        return now_ns_.load(std::memory_order_relaxed);
+    }
+
+    void
+    advance_ns(std::int64_t delta_ns)
+    {
+        now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+    }
+
+    void
+    advance_ms(std::int64_t delta_ms)
+    {
+        advance_ns(delta_ms * 1'000'000);
+    }
+
+    void
+    set_ns(std::int64_t now_ns)
+    {
+        now_ns_.store(now_ns, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> now_ns_;
+};
+
+} // namespace gm::support

@@ -22,6 +22,23 @@
  * "trial.timed" / "trial.timed.<Framework>.<kernel>.<graph>" — polled by
  * the runner inside the timed region, so delay faults land in the
  * measured wall time.
+ *
+ * gm::serve sites (the chaos-harness surface; see DESIGN.md section 12):
+ *
+ *   "serve.execute"       polled by the single-flight leader just before
+ *                         the kernel runs; an error fault fails the
+ *                         request (and feeds the cell's circuit breaker),
+ *                         a delay fault stretches its service time.
+ *   "serve.admission"     polled inside Server::submit() before the
+ *                         admission decision; an error fault sheds the
+ *                         request as RESOURCE_EXHAUSTED (eligible for
+ *                         degraded stale serving), a delay fault slows
+ *                         the submit path.
+ *   "serve.cache.insert"  polled inside ResultCache::publish() before a
+ *                         successful result is inserted; an error fault
+ *                         drops the insertion (the caller still gets its
+ *                         answer, followers still wake — the cache just
+ *                         stays cold), a delay fault slows publication.
  */
 #pragma once
 

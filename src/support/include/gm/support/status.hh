@@ -37,6 +37,8 @@ enum class StatusCode
     kDeadlineExceeded,  ///< request deadline expired before completion
     kCancelled,         ///< request cancelled (caller, or single-flight
                         ///< leader abandoned); safe to retry
+    kUnavailable,       ///< circuit breaker open for the requested cell;
+                        ///< fast-failed without executing, retry later
 };
 
 /** Short stable name of a code ("ok", "timeout", ...). */

@@ -31,6 +31,8 @@ to_string(StatusCode code)
         return "deadline_exceeded";
       case StatusCode::kCancelled:
         return "cancelled";
+      case StatusCode::kUnavailable:
+        return "unavailable";
     }
     return "?";
 }
@@ -44,7 +46,7 @@ status_code_from_string(const std::string& name)
           StatusCode::kKernelError, StatusCode::kWrongResult,
           StatusCode::kUnsupported, StatusCode::kFaultInjected,
           StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
-          StatusCode::kCancelled}) {
+          StatusCode::kCancelled, StatusCode::kUnavailable}) {
         if (name == to_string(code))
             return code;
     }

@@ -1,0 +1,804 @@
+/**
+ * Tests for the gm::serve overload-resilience layer: circuit breakers
+ * (deterministic under a ManualClock), priority-class admission control,
+ * retry policy/budget, degraded-mode (allow_stale) cache serving, stats
+ * snapshot coherence, Handle::wait_for, and shutdown races.  Runs under
+ * the TSan CI tier alongside serve_test.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/serve/admission.hh"
+#include "gm/serve/breaker.hh"
+#include "gm/serve/retry.hh"
+#include "gm/serve/server.hh"
+#include "gm/support/clock.hh"
+#include "gm/support/fault_injector.hh"
+
+namespace gm::serve
+{
+namespace
+{
+
+using harness::Kernel;
+using support::ManualClock;
+using support::StatusCode;
+
+/** Shared scale-8 suite + frameworks: built once for the whole binary. */
+const harness::DatasetSuite&
+suite()
+{
+    static const harness::DatasetSuite s = harness::make_gap_suite(8);
+    return s;
+}
+
+const std::vector<harness::Framework>&
+frameworks()
+{
+    static const std::vector<harness::Framework> f =
+        harness::make_frameworks();
+    return f;
+}
+
+/** RAII GM_FAULTS spec: armed for the test, disarmed on exit. */
+struct ScopedFaults
+{
+    explicit ScopedFaults(const std::string& spec)
+    {
+        EXPECT_TRUE(
+            support::FaultInjector::global().configure(spec).is_ok());
+    }
+    ~ScopedFaults() { support::FaultInjector::global().clear(); }
+};
+
+/** Spin until @p pred or ~4 s; returns whether it held. */
+template <typename Pred>
+bool
+eventually(Pred&& pred)
+{
+    for (int i = 0; i < 2000; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+}
+
+Request
+bfs_request(const std::string& graph, vid_t source = 0)
+{
+    Request req;
+    req.framework = "GAP";
+    req.kernel = Kernel::kBFS;
+    req.graph = graph;
+    req.source = source;
+    return req;
+}
+
+void
+assert_invariants(const ServerStats& s)
+{
+    ASSERT_EQ(s.completed, s.succeeded + s.deadline_exceeded +
+                               s.cancelled + s.failed);
+    ASSERT_GE(s.submitted, s.completed + s.queue_depth);
+    ASSERT_LE(s.degraded, s.succeeded);
+}
+
+// -------------------------------------------------------------- breaker
+
+BreakerOptions
+fast_breaker()
+{
+    BreakerOptions opts;
+    opts.failure_threshold = 3;
+    opts.window_ns = 1'000'000'000;  // 1 s
+    opts.cooldown_ns = 100'000'000;  // 100 ms
+    opts.half_open_probes = 1;
+    opts.close_successes = 2;
+    return opts;
+}
+
+TEST(BreakerTest, OpensOnlyOnBurstWithinWindow)
+{
+    ManualClock clock(1'000'000'000);
+    CircuitBreaker breaker(fast_breaker(), &clock);
+    const std::string cell = "GAP/BFS/Road";
+
+    // A slow trickle — one failure per 2 s against a 1 s window — never
+    // accumulates enough in-window failures to open.
+    for (int i = 0; i < 10; ++i) {
+        breaker.record_failure(cell, /*probe=*/false);
+        clock.advance_ms(2'000);
+    }
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kAllow);
+
+    // A burst of threshold failures at one instant opens it.
+    for (int i = 0; i < 3; ++i)
+        breaker.record_failure(cell, false);
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kReject);
+    EXPECT_EQ(breaker.open_cells(), 1u);
+
+    // Other cells are unaffected.
+    EXPECT_EQ(breaker.admit("GAP/pr/Road"), CircuitBreaker::Gate::kAllow);
+}
+
+TEST(BreakerTest, CooldownHalfOpensAndProbesClose)
+{
+    ManualClock clock(1'000'000'000);
+    CircuitBreaker breaker(fast_breaker(), &clock);
+    const std::string cell = "GAP/BFS/Road";
+    for (int i = 0; i < 3; ++i)
+        breaker.record_failure(cell, false);
+    ASSERT_EQ(breaker.state(cell), CircuitBreaker::State::kOpen);
+
+    // Before the cooldown: still rejecting.
+    clock.advance_ms(50);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kReject);
+
+    // After the cooldown: exactly one probe slot; the rest keep failing
+    // fast until the probe decides.
+    clock.advance_ms(60);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kReject);
+
+    // First probe success frees the slot but does not close yet
+    // (close_successes = 2); the second closes.
+    breaker.record_success(cell, /*probe=*/true);
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+    breaker.record_success(cell, true);
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.open_cells(), 0u);
+
+    // closed -> open -> half_open -> closed, in order.
+    const auto transitions = breaker.drain_transitions();
+    ASSERT_EQ(transitions.size(), 3u);
+    EXPECT_EQ(transitions[0].to, CircuitBreaker::State::kOpen);
+    EXPECT_EQ(transitions[1].to, CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(transitions[2].to, CircuitBreaker::State::kClosed);
+    EXPECT_LT(transitions[0].seq, transitions[1].seq);
+    EXPECT_LT(transitions[1].seq, transitions[2].seq);
+    EXPECT_EQ(breaker.transition_count(), 3u);
+    EXPECT_TRUE(breaker.drain_transitions().empty()); // drained
+}
+
+TEST(BreakerTest, ProbeFailureReopensAndRestartsCooldown)
+{
+    ManualClock clock(1'000'000'000);
+    CircuitBreaker breaker(fast_breaker(), &clock);
+    const std::string cell = "GAP/BFS/Road";
+    for (int i = 0; i < 3; ++i)
+        breaker.record_failure(cell, false);
+    clock.advance_ms(110);
+    ASSERT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+
+    breaker.record_failure(cell, /*probe=*/true);
+    EXPECT_EQ(breaker.state(cell), CircuitBreaker::State::kOpen);
+
+    // The cooldown restarted at the probe failure, not the first open.
+    clock.advance_ms(50);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kReject);
+    clock.advance_ms(60);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+}
+
+TEST(BreakerTest, ReleaseFreesAnUnusedProbeSlot)
+{
+    ManualClock clock(1'000'000'000);
+    CircuitBreaker breaker(fast_breaker(), &clock);
+    const std::string cell = "GAP/BFS/Road";
+    for (int i = 0; i < 3; ++i)
+        breaker.record_failure(cell, false);
+    clock.advance_ms(110);
+    ASSERT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+    ASSERT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kReject);
+
+    // The probe never executed (cancelled in queue): releasing its slot
+    // lets the next request probe instead of starving the half-open cell.
+    breaker.release(cell, /*probe=*/true);
+    EXPECT_EQ(breaker.admit(cell), CircuitBreaker::Gate::kProbe);
+}
+
+// ------------------------------------------------------------ admission
+
+AdmissionController::Ticket
+ticket(Priority priority, int marker, std::int64_t deadline_ns = 0)
+{
+    AdmissionController::Ticket t;
+    t.priority = priority;
+    t.deadline_ns = deadline_ns;
+    t.payload = std::make_shared<int>(marker);
+    return t;
+}
+
+int
+marker_of(const std::shared_ptr<void>& payload)
+{
+    return *std::static_pointer_cast<int>(payload);
+}
+
+TEST(AdmissionTest, ClassQuotasShedIndependently)
+{
+    AdmissionOptions opts;
+    opts.total_capacity = 8;
+    opts.class_capacity = {8, 4, 2};
+    AdmissionController admission(opts);
+
+    using D = AdmissionController::Decision;
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kBestEffort, 1), 0),
+              D::kAdmitted);
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kBestEffort, 2), 0),
+              D::kAdmitted);
+    // Best-effort is at quota: it sheds even though the queue has room.
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kBestEffort, 3), 0),
+              D::kClassFull);
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kInteractive, 4), 0),
+              D::kAdmitted);
+    EXPECT_EQ(admission.depth(), 3u);
+    EXPECT_EQ(admission.depth(Priority::kBestEffort), 2u);
+}
+
+TEST(AdmissionTest, TotalCapacityCapsEveryClass)
+{
+    AdmissionOptions opts;
+    opts.total_capacity = 2;
+    opts.class_capacity = {2, 2, 2};
+    AdmissionController admission(opts);
+
+    using D = AdmissionController::Decision;
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kInteractive, 1), 0),
+              D::kAdmitted);
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kBatch, 2), 0),
+              D::kAdmitted);
+    EXPECT_EQ(admission.try_admit(ticket(Priority::kInteractive, 3), 0),
+              D::kQueueFull);
+}
+
+TEST(AdmissionTest, DrainsStrictPriorityFifoWithinClass)
+{
+    AdmissionOptions opts;
+    AdmissionController admission(opts);
+    ASSERT_EQ(admission.try_admit(ticket(Priority::kBestEffort, 1), 0),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_EQ(admission.try_admit(ticket(Priority::kBatch, 2), 0),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_EQ(admission.try_admit(ticket(Priority::kInteractive, 3), 0),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_EQ(admission.try_admit(ticket(Priority::kInteractive, 4), 0),
+              AdmissionController::Decision::kAdmitted);
+
+    EXPECT_EQ(marker_of(admission.pop()), 3); // interactive first, FIFO
+    EXPECT_EQ(marker_of(admission.pop()), 4);
+    EXPECT_EQ(marker_of(admission.pop()), 2); // then batch
+    EXPECT_EQ(marker_of(admission.pop()), 1); // best-effort last
+    EXPECT_TRUE(admission.empty());
+    EXPECT_EQ(admission.pop(), nullptr);
+}
+
+TEST(AdmissionTest, InfeasibleDeadlinesShedAtSubmit)
+{
+    AdmissionOptions opts;
+    opts.workers = 1;
+    AdmissionController admission(opts);
+
+    // Until a service estimate exists, deadlines are taken on faith.
+    EXPECT_EQ(admission.try_admit(
+                  ticket(Priority::kInteractive, 1, /*deadline_ns=*/1), 0),
+              AdmissionController::Decision::kAdmitted);
+    ASSERT_NE(admission.pop(), nullptr);
+
+    // 10 ms EWMA, three requests already queued, one worker: a new
+    // interactive arrival waits ~4 rounds = 40 ms.
+    admission.record_service(10'000'000);
+    EXPECT_EQ(admission.service_estimate_ns(), 10'000'000);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(admission.try_admit(ticket(Priority::kInteractive, i), 0),
+                  AdmissionController::Decision::kAdmitted);
+    const std::int64_t wait =
+        admission.estimated_wait_ns(Priority::kInteractive);
+    EXPECT_EQ(wait, 40'000'000);
+
+    // A 20 ms deadline cannot be met; a 50 ms one can.
+    EXPECT_EQ(admission.try_admit(
+                  ticket(Priority::kInteractive, 9, 20'000'000), 0),
+              AdmissionController::Decision::kDeadlineInfeasible);
+    EXPECT_EQ(admission.try_admit(
+                  ticket(Priority::kInteractive, 9, 50'000'000), 0),
+              AdmissionController::Decision::kAdmitted);
+}
+
+// ---------------------------------------------------------------- retry
+
+TEST(RetryTest, OnlyTransientStatusesAreRetryable)
+{
+    EXPECT_TRUE(retryable_status(StatusCode::kResourceExhausted));
+    EXPECT_TRUE(retryable_status(StatusCode::kUnavailable));
+    EXPECT_TRUE(retryable_status(StatusCode::kCancelled));
+    EXPECT_FALSE(retryable_status(StatusCode::kInvalidInput));
+    EXPECT_FALSE(retryable_status(StatusCode::kDeadlineExceeded));
+    EXPECT_FALSE(retryable_status(StatusCode::kKernelError));
+    EXPECT_FALSE(retryable_status(StatusCode::kFaultInjected));
+    EXPECT_FALSE(retryable_status(StatusCode::kOk));
+}
+
+TEST(RetryTest, BackoffIsDeterministicCappedAndJittered)
+{
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 10;
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff_ms = 80;
+    policy.seed = 42;
+
+    // Nominal schedule 10, 20, 40, 80, 80(capped); jitter in [0.5, 1.5).
+    const std::int64_t nominal[] = {10, 20, 40, 80, 80};
+    for (int attempt = 2; attempt <= 6; ++attempt) {
+        const std::int64_t ms = backoff_ms(policy, attempt);
+        const std::int64_t base = nominal[attempt - 2];
+        EXPECT_GE(ms, base / 2) << "attempt " << attempt;
+        EXPECT_LT(ms, base + base / 2 + 1) << "attempt " << attempt;
+        // Same policy, same attempt -> same backoff.
+        EXPECT_EQ(ms, backoff_ms(policy, attempt));
+    }
+
+    // Different seeds decorrelate at least one attempt of the schedule.
+    RetryPolicy other = policy;
+    other.seed = 43;
+    bool any_different = false;
+    for (int attempt = 2; attempt <= 6; ++attempt)
+        any_different |=
+            backoff_ms(policy, attempt) != backoff_ms(other, attempt);
+    EXPECT_TRUE(any_different);
+}
+
+TEST(RetryTest, BudgetIsATokenBucket)
+{
+    RetryBudget budget(/*ratio=*/0.5, /*cap=*/2.0);
+    EXPECT_TRUE(budget.withdraw());  // starts full: 2 tokens
+    EXPECT_TRUE(budget.withdraw());
+    EXPECT_FALSE(budget.withdraw()); // exhausted
+
+    budget.deposit(); // +0.5: still below one token
+    EXPECT_FALSE(budget.withdraw());
+    budget.deposit();
+    EXPECT_TRUE(budget.withdraw()); // 1.0 accumulated
+
+    // Deposits never exceed the cap.
+    for (int i = 0; i < 100; ++i)
+        budget.deposit();
+    EXPECT_EQ(budget.tokens(), 2.0);
+}
+
+// ------------------------------------------------- server: breaker path
+
+TEST(ServeResilienceTest, BreakerOpensFastFailsAndRecovers)
+{
+    const std::string metrics =
+        "serve_resilience_breaker_metrics.jsonl";
+    std::remove(metrics.c_str());
+
+    ManualClock clock(1'000'000'000);
+    ServerOptions options;
+    options.workers = 1;
+    options.breaker.failure_threshold = 3;
+    options.breaker.close_successes = 1;
+    options.clock = &clock;
+    options.metrics_path = metrics;
+    Server server(suite(), frameworks(), options);
+
+    const Request req = bfs_request("Road", 1);
+    const std::string cell = "GAP/BFS/Road";
+
+    {
+        // Exactly three injected failures: enough to open the breaker.
+        ScopedFaults faults("serve.execute:3x:7");
+        for (int i = 0; i < 3; ++i) {
+            auto result = server.query(req);
+            ASSERT_FALSE(result.is_ok());
+            EXPECT_EQ(result.status().code(), StatusCode::kFaultInjected);
+        }
+    }
+    EXPECT_EQ(server.breaker().state(cell),
+              CircuitBreaker::State::kOpen);
+
+    // Open: fast-fail without executing.
+    auto rejected = server.query(req);
+    ASSERT_FALSE(rejected.is_ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+    {
+        const ServerStats s = server.stats();
+        EXPECT_EQ(s.unavailable, 1u);
+        EXPECT_EQ(s.executions, 3u);
+        EXPECT_EQ(s.failed, 3u);
+        EXPECT_GE(s.breaker_open_cells, 1u);
+    }
+
+    // Cooldown elapses (manual clock: deterministic), the probe runs
+    // clean (faults exhausted), and the breaker closes.
+    clock.advance_ms(1'100);
+    auto recovered = server.query(req);
+    ASSERT_TRUE(recovered.is_ok());
+    EXPECT_FALSE(recovered.value().degraded);
+    EXPECT_EQ(server.breaker().state(cell),
+              CircuitBreaker::State::kClosed);
+
+    server.shutdown();
+    {
+        const ServerStats s = server.stats();
+        EXPECT_EQ(s.breaker_transitions, 3u); // open, half-open, closed
+        assert_invariants(s);
+    }
+
+    // The transitions landed in the metrics stream as "serve.breaker"
+    // records alongside the per-request lines.
+    std::ifstream in(metrics);
+    ASSERT_TRUE(in.is_open());
+    int breaker_lines = 0;
+    bool saw_open = false, saw_half_open = false, saw_closed = false;
+    for (std::string line; std::getline(in, line);) {
+        if (line.find("\"kind\":\"serve.breaker\"") == std::string::npos)
+            continue;
+        ++breaker_lines;
+        EXPECT_NE(line.find("\"cell\":\"" + cell + "\""),
+                  std::string::npos);
+        saw_open |= line.find("\"to\":\"open\"") != std::string::npos;
+        saw_half_open |=
+            line.find("\"to\":\"half_open\"") != std::string::npos;
+        saw_closed |= line.find("\"to\":\"closed\"") != std::string::npos;
+    }
+    EXPECT_EQ(breaker_lines, 3);
+    EXPECT_TRUE(saw_open);
+    EXPECT_TRUE(saw_half_open);
+    EXPECT_TRUE(saw_closed);
+    std::remove(metrics.c_str());
+}
+
+// --------------------------------------------- server: degraded serving
+
+TEST(ServeResilienceTest, AllowStaleServesExpiredCacheOnFailure)
+{
+    ManualClock clock(1'000'000'000);
+    ServerOptions options;
+    options.workers = 1;
+    options.cache_ttl_ms = 50;
+    options.clock = &clock;
+    Server server(suite(), frameworks(), options);
+
+    Request req = bfs_request("Road", 2);
+    auto fresh = server.query(req);
+    ASSERT_TRUE(fresh.is_ok());
+    const std::uint64_t fingerprint = fresh.value().fingerprint;
+
+    clock.advance_ms(60); // past the TTL: the entry is stale, not gone
+
+    ScopedFaults faults("serve.execute:1:3"); // every execution fails
+    // Without the opt-in, the failure surfaces.
+    auto strict = server.query(req);
+    ASSERT_FALSE(strict.is_ok());
+    EXPECT_EQ(strict.status().code(), StatusCode::kFaultInjected);
+
+    // With allow_stale, the stale entry answers, marked degraded.
+    req.allow_stale = true;
+    auto degraded = server.query(req);
+    ASSERT_TRUE(degraded.is_ok());
+    EXPECT_TRUE(degraded.value().degraded);
+    EXPECT_FALSE(degraded.value().cache_hit);
+    EXPECT_EQ(degraded.value().fingerprint, fingerprint);
+
+    const ServerStats s = server.stats();
+    EXPECT_EQ(s.degraded, 1u);
+    EXPECT_EQ(s.failed, 1u); // only the strict query
+    assert_invariants(s);
+}
+
+TEST(ServeResilienceTest, OpenBreakerServesStaleAtSubmit)
+{
+    ManualClock clock(1'000'000'000);
+    ServerOptions options;
+    options.workers = 1;
+    options.cache_ttl_ms = 50;
+    options.breaker.failure_threshold = 2;
+    options.clock = &clock;
+    Server server(suite(), frameworks(), options);
+
+    Request req = bfs_request("Road", 3);
+    auto fresh = server.query(req);
+    ASSERT_TRUE(fresh.is_ok());
+    const std::uint64_t fingerprint = fresh.value().fingerprint;
+    clock.advance_ms(60);
+
+    {
+        ScopedFaults faults("serve.execute:2x:5");
+        for (int i = 0; i < 2; ++i)
+            ASSERT_FALSE(server.query(req).is_ok());
+    }
+    ASSERT_EQ(server.breaker().state("GAP/BFS/Road"),
+              CircuitBreaker::State::kOpen);
+    const std::uint64_t executions_before = server.stats().executions;
+
+    // The breaker rejects at submit; the stale entry still answers the
+    // opted-in request — already complete, no execution, no queueing.
+    req.allow_stale = true;
+    auto handle = server.submit(req);
+    ASSERT_TRUE(handle.is_ok());
+    auto result = handle.value().wait();
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_TRUE(result.value().degraded);
+    EXPECT_EQ(result.value().fingerprint, fingerprint);
+    EXPECT_EQ(server.stats().executions, executions_before);
+
+    // Without the opt-in (and with no fresh entry) the same submit
+    // fast-fails UNAVAILABLE.
+    req.allow_stale = false;
+    auto refused = server.submit(req);
+    ASSERT_FALSE(refused.is_ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+    assert_invariants(server.stats());
+}
+
+// ------------------------------------------------- server: priorities
+
+TEST(ServeResilienceTest, ClassQuotasProtectInteractiveTraffic)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 4;
+    options.class_capacity = {4, 2, 1};
+    options.cache_capacity_bytes = 0; // keep every request an execution
+    Server server(suite(), frameworks(), options);
+
+    // Pin the only worker: the first execution sleeps 150 ms.
+    ScopedFaults faults("serve.execute:1x:9:delay=150");
+    auto blocker = server.submit(bfs_request("Road", 10));
+    ASSERT_TRUE(blocker.is_ok());
+    ASSERT_TRUE(eventually(
+        [&server] { return server.stats().queue_depth == 0; }));
+
+    std::vector<Server::Handle> admitted;
+    auto submit_at = [&](Priority priority, vid_t source) {
+        Request req = bfs_request("Road", source);
+        req.priority = priority;
+        return server.submit(req);
+    };
+
+    auto be1 = submit_at(Priority::kBestEffort, 11);
+    ASSERT_TRUE(be1.is_ok()); // best-effort quota is 1
+    admitted.push_back(be1.value());
+
+    auto be2 = submit_at(Priority::kBestEffort, 12);
+    ASSERT_FALSE(be2.is_ok()); // quota full: shed...
+    EXPECT_EQ(be2.status().code(), StatusCode::kResourceExhausted);
+
+    auto batch = submit_at(Priority::kBatch, 13);
+    ASSERT_TRUE(batch.is_ok()); // ...while other classes still admit
+    admitted.push_back(batch.value());
+    auto interactive = submit_at(Priority::kInteractive, 14);
+    ASSERT_TRUE(interactive.is_ok());
+    admitted.push_back(interactive.value());
+
+    // One more interactive hits the total queue bound.
+    auto interactive2 = submit_at(Priority::kInteractive, 15);
+    ASSERT_TRUE(interactive2.is_ok()); // 4th slot
+    admitted.push_back(interactive2.value());
+    auto overflow = submit_at(Priority::kInteractive, 16);
+    ASSERT_FALSE(overflow.is_ok());
+    EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+
+    EXPECT_EQ(server.stats().shed, 2u);
+    ASSERT_TRUE(blocker.value().wait().is_ok());
+    for (const auto& handle : admitted)
+        EXPECT_TRUE(handle.wait().is_ok());
+    assert_invariants(server.stats());
+}
+
+// ----------------------------------------------------- server: retries
+
+TEST(ServeResilienceTest, QueryRetriesShedRequestsUntilAdmitted)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    options.cache_capacity_bytes = 0;
+    Server server(suite(), frameworks(), options);
+
+    // Worker busy for 80 ms, the single queue slot taken: the next
+    // submit sheds, and query() retries it in until capacity frees.
+    ScopedFaults faults("serve.execute:1x:9:delay=80");
+    auto blocker = server.submit(bfs_request("Road", 20));
+    ASSERT_TRUE(blocker.is_ok());
+    ASSERT_TRUE(eventually(
+        [&server] { return server.stats().queue_depth == 0; }));
+    auto filler = server.submit(bfs_request("Road", 21));
+    ASSERT_TRUE(filler.is_ok());
+
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.initial_backoff_ms = 10;
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff_ms = 80;
+    policy.seed = 7;
+    auto result = server.query(bfs_request("Road", 22), policy);
+    ASSERT_TRUE(result.is_ok());
+
+    const ServerStats s = server.stats();
+    EXPECT_GE(s.retries, 1u);
+    EXPECT_GE(s.shed, 1u);
+    ASSERT_TRUE(blocker.value().wait().is_ok());
+    ASSERT_TRUE(filler.value().wait().is_ok());
+    assert_invariants(server.stats());
+}
+
+TEST(ServeResilienceTest, ExhaustedRetryBudgetDeniesRetries)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    options.cache_capacity_bytes = 0;
+    options.retry_budget_ratio = 0;
+    options.retry_budget_cap = 0; // empty bucket: no retry ever paid for
+    Server server(suite(), frameworks(), options);
+
+    ScopedFaults faults("serve.execute:1x:9:delay=80");
+    auto blocker = server.submit(bfs_request("Road", 30));
+    ASSERT_TRUE(blocker.is_ok());
+    ASSERT_TRUE(eventually(
+        [&server] { return server.stats().queue_depth == 0; }));
+    auto filler = server.submit(bfs_request("Road", 31));
+    ASSERT_TRUE(filler.is_ok());
+
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ms = 1;
+    auto result = server.query(bfs_request("Road", 32), policy);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+    const ServerStats s = server.stats();
+    EXPECT_EQ(s.retries, 0u);
+    EXPECT_EQ(s.retry_denied, 1u);
+    ASSERT_TRUE(blocker.value().wait().is_ok());
+    ASSERT_TRUE(filler.value().wait().is_ok());
+}
+
+// ------------------------------------------- server: stats + wait_for
+
+TEST(ServeResilienceTest, StatsSnapshotsAreCoherentUnderLoad)
+{
+    ServerOptions options;
+    options.workers = 3;
+    options.queue_capacity = 8;
+    Server server(suite(), frameworks(), options);
+
+    std::atomic<bool> done{false};
+    std::thread sampler([&] {
+        while (!done.load()) {
+            const ServerStats s = server.stats();
+            assert_invariants(s);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    // Mixed load: varied sources, tiny deadlines (some expire), a few
+    // cancels, and enough volume to keep the queue busy.
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&server, t] {
+            for (int i = 0; i < 20; ++i) {
+                Request req = bfs_request(
+                    "Road", static_cast<vid_t>(1 + (t * 20 + i) % 50));
+                if (i % 4 == 1)
+                    req.deadline_ms = 1;
+                if (i % 4 == 2)
+                    req.priority = Priority::kBestEffort;
+                auto handle = server.submit(req);
+                if (!handle.is_ok())
+                    continue; // shed under load: expected
+                if (i % 5 == 3)
+                    handle.value().cancel();
+                (void)handle.value().wait();
+            }
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+    done.store(true);
+    sampler.join();
+
+    server.shutdown();
+    const ServerStats s = server.stats();
+    assert_invariants(s);
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_EQ(s.submitted, s.completed); // everything drained
+    EXPECT_GT(s.succeeded, 0u);
+}
+
+TEST(ServeResilienceTest, WaitForTimesOutWithoutConsumingTheRequest)
+{
+    ServerOptions options;
+    options.workers = 1;
+    Server server(suite(), frameworks(), options);
+
+    ScopedFaults faults("serve.execute:1x:5:delay=250");
+    auto handle = server.submit(bfs_request("Road", 40));
+    ASSERT_TRUE(handle.is_ok());
+
+    // The bounded wait expires long before the 250 ms execution...
+    auto early = handle.value().wait_for(10);
+    ASSERT_FALSE(early.is_ok());
+    EXPECT_EQ(early.status().code(), StatusCode::kDeadlineExceeded);
+
+    // ...but the request is untouched: a later wait collects the result.
+    auto result = handle.value().wait();
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_NE(result.value().value, nullptr);
+    EXPECT_EQ(server.stats().deadline_exceeded, 0u);
+}
+
+// ------------------------------------------------ server: shutdown races
+
+TEST(ServeResilienceTest, ShutdownCompletesInflightLeaderAndFollower)
+{
+    ServerOptions options;
+    options.workers = 2;
+    options.cache_capacity_bytes = 0; // single-flight without caching
+    Server server(suite(), frameworks(), options);
+
+    ScopedFaults faults("serve.execute:1x:5:delay=150");
+    auto leader = server.submit(bfs_request("Road", 41));
+    ASSERT_TRUE(leader.is_ok());
+    auto follower = server.submit(bfs_request("Road", 41));
+    ASSERT_TRUE(follower.is_ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    // Shutdown while the leader executes and the follower waits on it:
+    // both must complete (no strand, no hang), then workers exit.
+    server.shutdown();
+
+    auto a = leader.value().wait();
+    auto b = follower.value().wait();
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(a.value().fingerprint, b.value().fingerprint);
+    EXPECT_TRUE(a.value().shared_execution ||
+                b.value().shared_execution);
+
+    // Submitting after shutdown is refused, not crashed.
+    auto late = server.submit(bfs_request("Road", 42));
+    ASSERT_FALSE(late.is_ok());
+    EXPECT_EQ(late.status().code(), StatusCode::kResourceExhausted);
+    assert_invariants(server.stats());
+}
+
+TEST(ServeResilienceTest, CancelAfterCompletionIsBenign)
+{
+    ServerOptions options;
+    options.workers = 1;
+    Server server(suite(), frameworks(), options);
+
+    auto handle = server.submit(bfs_request("Road", 43));
+    ASSERT_TRUE(handle.is_ok());
+    auto result = handle.value().wait();
+    ASSERT_TRUE(result.is_ok());
+
+    // Cancelling a finished request changes nothing: the result is
+    // already published and a re-wait returns it unchanged.
+    handle.value().cancel();
+    auto again = handle.value().wait();
+    ASSERT_TRUE(again.is_ok());
+    EXPECT_EQ(again.value().fingerprint, result.value().fingerprint);
+    EXPECT_EQ(server.stats().cancelled, 0u);
+}
+
+} // namespace
+} // namespace gm::serve

@@ -7,9 +7,11 @@
 # profile-pipeline smoke run that fails on unparseable Chrome trace JSON,
 # a perf-gate smoke that records a baseline, self-compares it (must
 # pass), then re-runs with a fault-injected slowdown on one cell (must
-# fail), and a serve smoke that drives the query service closed-loop
+# fail), a serve smoke that drives the query service closed-loop
 # (cache warm-up) and open-loop under injected overload (deadline misses
-# + shedding).
+# + shedding), and a chaos smoke that runs serve_bench --chaos under a
+# pinned fault storm and gates on the availability SLO plus full
+# circuit-breaker open/half-open/closed cycles.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -40,11 +42,13 @@ echo "== tier 3: ThreadSanitizer build of the obs/par/serve tests =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DGM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target obs_test par_test par_stress_test serve_test
+    --target obs_test par_test par_stress_test serve_test \
+    serve_resilience_test
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/par_test"
 "$TSAN_DIR/tests/par_stress_test"
 "$TSAN_DIR/tests/serve_test"
+"$TSAN_DIR/tests/serve_resilience_test"
 
 echo "== tier 4: profile pipeline smoke (suite --trace-out + validation) =="
 SMOKE_DIR="$BUILD_DIR/ci-profile-smoke"
@@ -124,5 +128,43 @@ if grep -q " shed=0 " "$SERVE_DIR/open.log"; then
     exit 1
 fi
 grep -q "failed=0" "$SERVE_DIR/open.log"
+
+echo "== tier 7: chaos smoke (pinned fault storm, availability SLO) =="
+CHAOS_DIR="$BUILD_DIR/ci-chaos-smoke"
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+# A pinned storm — 20% serve.execute errors, 30% cache-insert drops, and
+# injected admission delays — against an allow_stale mixed-priority
+# workload with a 10 ms cache TTL.  The run must (a) keep storm-phase
+# availability at or above 99% (degraded answers count as available;
+# serve_bench exits 4 below the floor), (b) exercise the circuit
+# breakers through full open -> half-open -> closed cycles, and (c) log
+# those transitions into the metrics JSONL without breaking
+# profile_report.
+"$BUILD_DIR/tools/serve_bench" --chaos --scale 8 --kernels BFS \
+    --distinct 6 --requests 800 --clients 4 --workers 2 \
+    --cache-ttl-ms 10 --think-ms 2 --seed 42 \
+    --chaos-faults "serve.execute:0.2:9,serve.cache.insert:0.3:13,serve.admission:0.02:11:delay=5" \
+    --min-availability 0.99 \
+    --slo-out "$CHAOS_DIR/slo.jsonl" \
+    --metrics-out "$CHAOS_DIR/chaos_metrics.jsonl" \
+    | tee "$CHAOS_DIR/chaos.log"
+grep -q "failed=0" "$CHAOS_DIR/chaos.log"
+if grep -q "breaker_transitions=0 " "$CHAOS_DIR/chaos.log"; then
+    echo "chaos storm opened no circuit breakers" >&2
+    exit 1
+fi
+grep -q '"to":"open"' "$CHAOS_DIR/chaos_metrics.jsonl"
+grep -q '"to":"half_open"' "$CHAOS_DIR/chaos_metrics.jsonl"
+grep -q '"to":"closed"' "$CHAOS_DIR/chaos_metrics.jsonl"
+grep -q '"kind":"serve.slo","phase":"storm"' "$CHAOS_DIR/slo.jsonl"
+# The metrics stream (per-request records + breaker/slo side-records)
+# must still be consumable by the profile pipeline.
+"$BUILD_DIR/tools/profile_report" --metrics "$CHAOS_DIR/chaos_metrics.jsonl" \
+    > /dev/null 2> "$CHAOS_DIR/report.err"
+if grep -q "skipping unreadable record" "$CHAOS_DIR/report.err"; then
+    echo "profile_report warned on serve side-records" >&2
+    exit 1
+fi
 
 echo "== ci.sh: all green =="

@@ -136,11 +136,13 @@ report_metrics(const std::string& path, bool with_spans,
             continue;
         auto rec = gm::obs::parse_metrics_record_line(line);
         if (!rec.is_ok()) {
-            // Provenance records share the stream; they are expected, not
-            // corruption.
+            // Typed side-records share the stream (fingerprint
+            // provenance, serve.breaker transitions, serve.slo
+            // summaries): anything carrying a "kind" discriminator is
+            // expected, not corruption.
             std::map<std::string, std::string> fields;
             if (gm::support::parse_flat_json(line, fields).is_ok() &&
-                gm::support::is_fingerprint_record(fields))
+                fields.count("kind") > 0)
                 continue;
             std::cerr << path << ":" << line_no
                       << ": skipping unreadable record ("

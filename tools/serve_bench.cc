@@ -19,6 +19,16 @@
  *                          how CI manufactures deterministic shedding
  *                          and deadline misses.
  *
+ * A third mode, --chaos, is the resilience harness: a three-phase run
+ * (warm: fault-free, populates the cache; storm: a pinned GM_FAULTS-
+ * syntax fault spec is armed across the serve.* sites; recover: faults
+ * cleared, breakers probe shut) over a mixed-priority, allow_stale
+ * workload with client-side retries and a short cache TTL.  It reports
+ * availability (fraction of requests answered, fresh or degraded),
+ * goodput (fresh answers/s), degraded share, and breaker transitions,
+ * writes them as a fingerprinted SLO JSONL (--slo-out), and can gate CI
+ * runs (--min-availability, exit 4 on violation).
+ *
  * Reports throughput, p50/p95/p99 service latency (gm::stats), cache hit
  * ratio, and shed/deadline counts; optionally writes a per-request CSV
  * and a fingerprinted perf-baseline JSONL (one cell per kernel x graph,
@@ -26,7 +36,8 @@
  * compare across runs.
  *
  * Exit codes: 0 ok (shed/deadline outcomes are expected under overload),
- * 1 usage, 2 output-file error, 3 unexpected kernel failures.
+ * 1 usage, 2 output-file error, 3 unexpected kernel failures, 4 chaos
+ * SLO violation (--min-availability).
  */
 #include <algorithm>
 #include <atomic>
@@ -46,6 +57,7 @@
 #include "gm/perf/baseline.hh"
 #include "gm/serve/server.hh"
 #include "gm/stats/stats.hh"
+#include "gm/support/fault_injector.hh"
 #include "gm/support/fingerprint.hh"
 #include "gm/support/json.hh"
 #include "gm/support/rng.hh"
@@ -88,6 +100,22 @@ usage()
         << "                     (one cell per kernel x graph) for\n"
         << "                     tools/perf_gate\n"
         << "  --metrics-out <f>  server-side per-request metrics JSONL\n"
+        << "chaos mode:\n"
+        << "  --chaos            three-phase fault-storm run (warm, storm,\n"
+        << "                     recover) over a mixed-priority allow_stale\n"
+        << "                     workload; reports an SLO summary\n"
+        << "  --chaos-faults <s> GM_FAULTS-syntax spec armed for the storm\n"
+        << "                     phase (default: 20% serve.execute errors\n"
+        << "                     plus admission delay + cache-insert drops)\n"
+        << "  --cache-ttl-ms <n> result-cache TTL (default 25 in chaos;\n"
+        << "                     expired entries serve degraded)\n"
+        << "  --think-ms <n>     per-client pause between requests\n"
+        << "                     (default 1 in chaos; forces re-execution\n"
+        << "                     past the TTL instead of pure cache hits)\n"
+        << "  --slo-out <file>   fingerprinted SLO JSONL (one record per\n"
+        << "                     phase plus an overall record)\n"
+        << "  --min-availability <frac>  exit 4 if storm-phase availability\n"
+        << "                     drops below this fraction (e.g. 0.99)\n"
         << "  -h, --help         this help\n";
 }
 
@@ -98,6 +126,7 @@ struct Outcome
     StatusCode code = StatusCode::kOk;
     bool cache_hit = false;
     bool shared = false;
+    bool degraded = false;
     double queue_seconds = 0;
     double execute_seconds = 0;
     double service_seconds = 0;
@@ -160,6 +189,7 @@ record_outcome(Outcome& out, const gm::support::StatusOr<
         out.code = StatusCode::kOk;
         out.cache_hit = result->cache_hit;
         out.shared = result->shared_execution;
+        out.degraded = result->degraded;
         out.queue_seconds = result->queue_seconds;
         out.execute_seconds = result->execute_seconds;
         out.service_seconds = result->service_seconds;
@@ -178,7 +208,7 @@ write_csv(const std::string& path, const std::vector<Request>& population,
         return 2;
     }
     out << "request,framework,kernel,graph,source,status,cache_hit,"
-           "shared_execution,queue_seconds,execute_seconds,"
+           "shared_execution,degraded,queue_seconds,execute_seconds,"
            "service_seconds\n";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const Outcome& o = outcomes[i];
@@ -188,6 +218,7 @@ write_csv(const std::string& path, const std::vector<Request>& population,
             << gm::harness::to_string(req.kernel) << "," << req.graph
             << "," << req.source << "," << gm::support::to_string(o.code)
             << "," << (o.cache_hit ? 1 : 0) << "," << (o.shared ? 1 : 0)
+            << "," << (o.degraded ? 1 : 0)
             << "," << gm::support::json_double(o.queue_seconds) << ","
             << gm::support::json_double(o.execute_seconds) << ","
             << gm::support::json_double(o.service_seconds) << "\n";
@@ -246,6 +277,113 @@ write_baseline(const std::string& path,
     return 0;
 }
 
+// ---------------------------------------------------------------- chaos
+
+/** Aggregated view of one chaos phase. */
+struct PhaseStats
+{
+    std::string name;
+    std::uint64_t issued = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t fresh = 0;    ///< ok and not degraded
+    std::uint64_t degraded = 0; ///< ok but served stale
+    std::uint64_t shed = 0;
+    std::uint64_t deadline = 0;
+    std::uint64_t failed = 0;
+    double wall_seconds = 0;
+
+    double
+    availability() const
+    {
+        return issued == 0 ? 1.0
+                           : static_cast<double>(ok) /
+                                 static_cast<double>(issued);
+    }
+
+    double
+    goodput_rps() const
+    {
+        return wall_seconds > 0
+                   ? static_cast<double>(fresh) / wall_seconds
+                   : 0;
+    }
+
+    double
+    degraded_share() const
+    {
+        return ok == 0 ? 0
+                       : static_cast<double>(degraded) /
+                             static_cast<double>(ok);
+    }
+};
+
+PhaseStats
+summarize_phase(const std::string& name,
+                const std::vector<Outcome>& outcomes, double wall)
+{
+    PhaseStats phase;
+    phase.name = name;
+    phase.issued = outcomes.size();
+    phase.wall_seconds = wall;
+    for (const Outcome& o : outcomes) {
+        switch (o.code) {
+          case StatusCode::kOk:
+            ++phase.ok;
+            if (o.degraded)
+                ++phase.degraded;
+            else
+                ++phase.fresh;
+            break;
+          case StatusCode::kResourceExhausted:
+            ++phase.shed;
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++phase.deadline;
+            break;
+          default:
+            ++phase.failed;
+            break;
+        }
+    }
+    return phase;
+}
+
+void
+print_phase(const PhaseStats& p)
+{
+    std::cout << "chaos " << std::left << std::setw(8) << (p.name + ":")
+              << std::right << " issued=" << p.issued << " ok=" << p.ok
+              << " availability=" << std::fixed << std::setprecision(4)
+              << p.availability() << " degraded=" << p.degraded
+              << " shed=" << p.shed << " deadline_exceeded=" << p.deadline
+              << " failed=" << p.failed << " goodput=" << std::setprecision(1)
+              << p.goodput_rps() << " req/s\n";
+}
+
+std::string
+slo_record_line(const PhaseStats& p, const ServerStats& stats,
+                bool overall)
+{
+    std::ostringstream out;
+    out << "{\"kind\":\"serve.slo\",\"phase\":\""
+        << gm::support::json_escape(p.name) << "\",\"issued\":" << p.issued
+        << ",\"ok\":" << p.ok << ",\"degraded\":" << p.degraded
+        << ",\"shed\":" << p.shed << ",\"deadline_exceeded\":" << p.deadline
+        << ",\"failed\":" << p.failed << ",\"availability\":"
+        << gm::support::json_double(p.availability())
+        << ",\"goodput_rps\":" << gm::support::json_double(p.goodput_rps())
+        << ",\"degraded_share\":"
+        << gm::support::json_double(p.degraded_share())
+        << ",\"wall_seconds\":" << gm::support::json_double(p.wall_seconds);
+    if (overall)
+        out << ",\"breaker_transitions\":" << stats.breaker_transitions
+            << ",\"breaker_open_cells\":" << stats.breaker_open_cells
+            << ",\"retries\":" << stats.retries
+            << ",\"retry_denied\":" << stats.retry_denied;
+    out << "}";
+    return out.str();
+}
+
 } // namespace
 
 int
@@ -264,6 +402,14 @@ main(int argc, char** argv)
     std::size_t cache_mb = 64;
     std::string csv_path;
     std::string baseline_path;
+    bool chaos = false;
+    std::string chaos_faults =
+        "serve.execute:0.2:9,serve.admission:0.05:11:delay=2,"
+        "serve.cache.insert:0.25:13";
+    int cache_ttl_ms = -1; // chaos defaults to 25; -1 = unset
+    int think_ms = -1;     // chaos defaults to 1; -1 = unset
+    std::string slo_path;
+    double min_availability = -1;
     ServerOptions server_options;
 
     gm::cli::ArgParser parser("serve_bench");
@@ -290,6 +436,12 @@ main(int argc, char** argv)
     parser.value({"--csv"}, &csv_path);
     parser.value({"--baseline-out"}, &baseline_path);
     parser.value({"--metrics-out"}, &server_options.metrics_path);
+    parser.flag({"--chaos"}, &chaos);
+    parser.value({"--chaos-faults"}, &chaos_faults);
+    parser.value({"--cache-ttl-ms"}, &cache_ttl_ms);
+    parser.value({"--think-ms"}, &think_ms);
+    parser.value({"--slo-out"}, &slo_path);
+    parser.value({"--min-availability"}, &min_availability);
     if (!parser.parse(argc, argv))
         return parser.help_requested() ? 0 : 1;
     if (scale < 6 || requests < 1 || distinct < 1 || clients < 1 ||
@@ -299,6 +451,26 @@ main(int argc, char** argv)
         return 1;
     }
     server_options.cache_capacity_bytes = cache_mb << 20;
+    if (cache_ttl_ms >= 0)
+        server_options.cache_ttl_ms = cache_ttl_ms;
+    if (chaos) {
+        // Chaos posture: short TTL so the storm actually executes (and
+        // stale entries exist to degrade onto), a breaker that opens and
+        // re-closes within the run, and client-side retries.
+        if (cache_ttl_ms < 0)
+            server_options.cache_ttl_ms = 25;
+        if (think_ms < 0)
+            think_ms = 1;
+        server_options.breaker.failure_threshold = 3;
+        server_options.breaker.cooldown_ns = 250'000'000; // 250 ms
+        server_options.breaker.close_successes = 1;
+        server_options.retry.max_attempts = 3;
+        server_options.retry.initial_backoff_ms = 2;
+        server_options.retry.max_backoff_ms = 20;
+        server_options.retry.seed = seed;
+    }
+    if (think_ms < 0)
+        think_ms = 0;
 
     bool kernels_ok = false;
     const std::vector<Kernel> kernels =
@@ -340,6 +512,142 @@ main(int argc, char** argv)
 
     Server server(std::move(suite), gm::harness::make_frameworks(),
                   server_options);
+
+    if (chaos) {
+        // Closed-loop driver over explicit population indices; every
+        // request opts into degraded serving and priorities rotate
+        // deterministically across the three classes.
+        auto drive = [&](const std::vector<int>& indices) {
+            std::vector<Outcome> outs(indices.size());
+            std::atomic<std::size_t> next{0};
+            std::vector<std::thread> threads;
+            threads.reserve(static_cast<std::size_t>(clients));
+            for (int c = 0; c < clients; ++c) {
+                threads.emplace_back([&] {
+                    for (;;) {
+                        const std::size_t i =
+                            next.fetch_add(1, std::memory_order_relaxed);
+                        if (i >= indices.size())
+                            return;
+                        Outcome& out = outs[i];
+                        out.population_index = indices[i];
+                        Request req = population[
+                            static_cast<std::size_t>(indices[i])];
+                        req.allow_stale = true;
+                        req.priority = static_cast<gm::serve::Priority>(
+                            i % static_cast<std::size_t>(
+                                    gm::serve::kPriorityClasses));
+                        record_outcome(out, server.query(req));
+                        if (think_ms > 0)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(think_ms));
+                    }
+                });
+            }
+            for (auto& thread : threads)
+                thread.join();
+            return outs;
+        };
+        auto run_phase = [&](const std::string& name,
+                             const std::vector<int>& indices) {
+            Timer timer;
+            timer.start();
+            const std::vector<Outcome> outs = drive(indices);
+            timer.stop();
+            PhaseStats phase =
+                summarize_phase(name, outs, timer.seconds());
+            print_phase(phase);
+            return phase;
+        };
+
+        // Warm: every distinct query once, fault-free, so each cache key
+        // exists before the storm.
+        gm::support::FaultInjector::global().clear();
+        std::vector<int> warm_indices(population.size());
+        for (std::size_t i = 0; i < warm_indices.size(); ++i)
+            warm_indices[i] = static_cast<int>(i);
+        const PhaseStats warm = run_phase("warm", warm_indices);
+
+        // Storm: the pinned fault spec is armed for the sampled stream.
+        if (auto s = gm::support::FaultInjector::global().configure(
+                chaos_faults);
+            !s.is_ok()) {
+            std::cerr << "bad --chaos-faults: " << s.to_string() << "\n";
+            return 1;
+        }
+        std::cout << "chaos storm faults: " << chaos_faults << "\n";
+        const PhaseStats storm = run_phase("storm", stream);
+        gm::support::FaultInjector::global().clear();
+        const std::uint64_t storm_transitions =
+            server.stats().breaker_transitions;
+
+        // Recover: wait out the breaker cooldown, then run the
+        // population twice fault-free so every open cell gets probed
+        // shut.
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            server_options.breaker.cooldown_ns) +
+            std::chrono::milliseconds(50));
+        std::vector<int> recover_indices = warm_indices;
+        recover_indices.insert(recover_indices.end(),
+                               warm_indices.begin(), warm_indices.end());
+        const PhaseStats recover = run_phase("recover", recover_indices);
+
+        server.shutdown();
+        const ServerStats stats = server.stats();
+
+        PhaseStats overall;
+        overall.name = "overall";
+        for (const PhaseStats* p : {&warm, &storm, &recover}) {
+            overall.issued += p->issued;
+            overall.ok += p->ok;
+            overall.fresh += p->fresh;
+            overall.degraded += p->degraded;
+            overall.shed += p->shed;
+            overall.deadline += p->deadline;
+            overall.failed += p->failed;
+            overall.wall_seconds += p->wall_seconds;
+        }
+        std::cout << "breaker:     transitions=" << stats.breaker_transitions
+                  << " (storm " << storm_transitions << ") open_cells="
+                  << stats.breaker_open_cells << " retries="
+                  << stats.retries << " retry_denied=" << stats.retry_denied
+                  << "\n";
+        std::cout << "chaos_slo:   availability=" << std::fixed
+                  << std::setprecision(4) << storm.availability()
+                  << " degraded_share=" << storm.degraded_share()
+                  << " goodput=" << std::setprecision(1)
+                  << storm.goodput_rps() << " req/s breaker_transitions="
+                  << stats.breaker_transitions << " failed="
+                  << overall.failed << "\n";
+
+        int code = 0;
+        if (!slo_path.empty()) {
+            if (auto s = gm::support::append_fingerprint_record(
+                    slo_path, fingerprint);
+                !s.is_ok()) {
+                std::cerr << s.to_string() << "\n";
+                code = 2;
+            }
+            std::ofstream out(slo_path, std::ios::app);
+            if (!out) {
+                std::cerr << "cannot open slo file: " << slo_path << "\n";
+                code = 2;
+            } else {
+                for (const PhaseStats* p : {&warm, &storm, &recover})
+                    out << slo_record_line(*p, stats, false) << "\n";
+                out << slo_record_line(overall, stats, true) << "\n";
+                std::cout << "slo report written to " << slo_path << "\n";
+            }
+        }
+        if (min_availability >= 0 &&
+            storm.availability() < min_availability) {
+            std::cerr << "SLO violation: storm availability "
+                      << storm.availability() << " < " << min_availability
+                      << "\n";
+            code = std::max(code, 4);
+        }
+        return code;
+    }
 
     std::vector<Outcome> outcomes(static_cast<std::size_t>(requests));
     Timer drive_timer;
