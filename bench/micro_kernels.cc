@@ -8,8 +8,12 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/par/thread_pool.hh"
 #include "gm/support/env.hh"
 
 namespace
@@ -67,9 +71,88 @@ run_kernel(benchmark::State& state, std::size_t fw_index,
                             ds.g().num_edges_directed());
 }
 
+// ---------------------------------------------------- substrate overhead
+//
+// Fork-join costs bound how fine-grained the kernels can afford to be;
+// BFS on Road runs hundreds of near-empty frontier steps, so per-fork
+// overhead is directly visible in Table 3.  ThreadPool::run takes a
+// FunctionRef (non-owning, never allocates); the StdFunction variant
+// measures what each fork would cost if the boundary still required
+// constructing a std::function (the pre-refactor API), capture included.
+
+void
+bench_fork_join_function_ref(benchmark::State& state)
+{
+    par::LaneLease lease(par::ThreadPool::instance().num_threads());
+    std::int64_t sink = 0;
+    for (auto _ : state) {
+        par::ThreadPool::instance().run([&](int lane) {
+            benchmark::DoNotOptimize(sink += lane);
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+bench_fork_join_std_function(benchmark::State& state)
+{
+    par::LaneLease lease(par::ThreadPool::instance().num_threads());
+    std::int64_t sink = 0;
+    // Fat capture defeats small-buffer optimization, as kernel bodies
+    // capturing graph refs + several arrays did before the refactor.
+    struct Fat
+    {
+        std::int64_t* out;
+        char pad[64];
+    } fat{&sink, {}};
+    for (auto _ : state) {
+        const std::function<void(int)> job = [fat](int lane) {
+            benchmark::DoNotOptimize(*fat.out += lane);
+        };
+        par::ThreadPool::instance().run(job);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+bench_tiny_parallel_for(benchmark::State& state)
+{
+    par::LaneLease lease(par::ThreadPool::instance().num_threads());
+    std::vector<std::int64_t> cells(64, 0);
+    for (auto _ : state) {
+        par::parallel_for<std::size_t>(
+            0, cells.size(), [&](std::size_t i) { cells[i] += 1; });
+    }
+    benchmark::DoNotOptimize(cells.data());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cells.size()));
+}
+
+void
+bench_lane_lease_acquire(benchmark::State& state)
+{
+    for (auto _ : state) {
+        par::LaneLease lease(par::ThreadPool::instance().num_threads());
+        benchmark::DoNotOptimize(lease.width());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
 void
 register_all()
 {
+    benchmark::RegisterBenchmark("Par/ForkJoin/FunctionRef",
+                                 bench_fork_join_function_ref)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("Par/ForkJoin/StdFunction",
+                                 bench_fork_join_std_function)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("Par/TinyParallelFor",
+                                 bench_tiny_parallel_for)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("Par/LaneLeaseAcquire",
+                                 bench_lane_lease_acquire)
+        ->Unit(benchmark::kMicrosecond);
     // Kron (index 3) and Road (index 0): the two topology extremes.
     const std::size_t graph_indexes[] = {3, 0};
     const char* graph_names[] = {"Kron", "Road"};

@@ -161,8 +161,11 @@ for_each_async(std::vector<T> initial, Op op, std::size_t chunk_size = 64)
                             initial.begin() + static_cast<std::ptrdiff_t>(hi));
     }
 
-    const int lanes = par::effective_lanes();
-    par::parallel_lanes([&](int, int) {
+    par::parallel_lanes([&](int, int lanes) {
+        // Idle-termination counts against the lane count of *this* region
+        // (the parallel_lanes callback argument) — a pre-fork prediction
+        // could exceed the lanes an ephemeral lease was actually granted
+        // and the executor would wait for arrivals that never come.
         // Per-lane workload tallies, flushed into the trace session (if
         // any) when the lane exits — including the early-return abort
         // paths, hence the RAII guard.

@@ -113,6 +113,20 @@ bfs_sync(const CSRGraph& g, vid_t source)
             }
         });
         frontier = next_bag.take_all();
+        // The CAS picks an arbitrary winner; canonicalize each discovery's
+        // parent to its minimum frontier in-neighbor (depth == level) so
+        // the output is lane-count independent.
+        par::parallel_for<std::size_t>(0, frontier.size(),
+                                       [&](std::size_t i) {
+            const vid_t v = frontier[i];
+            vid_t best = n;
+            for (vid_t u : g.in_neigh(v)) {
+                if (u < best && depth[u] == level)
+                    best = u;
+            }
+            if (best != n)
+                parent[v] = best;
+        });
         ++level;
         obs::counter_add("iterations", 1);
         obs::counter_add("bfs.td_steps", 1);
@@ -146,24 +160,24 @@ bfs_async(const CSRGraph& g, vid_t source)
             }
         });
 
-    // Repair parents that were overwritten by deeper relaxations: a parent
-    // is valid only if exactly one level shallower.
+    // The chaotic relaxation races on parent (a lane can store its claim
+    // after a shallower relaxation already lowered depth, and even two
+    // same-depth claimants finish in arbitrary order), but depth itself is
+    // the unique BFS-distance fixpoint.  So recompute every parent from
+    // depth: first in-neighbor one level shallower, in adjacency order —
+    // deterministic at any lane count.
+    const vid_t unreached = std::numeric_limits<vid_t>::max();
     par::parallel_for<vid_t>(0, n, [&](vid_t v) {
         if (v == source)
             return;
-        if (depth[v] == std::numeric_limits<vid_t>::max()) {
+        if (depth[v] == unreached) {
             parent[v] = kInvalidVid;
             return;
         }
-        const vid_t p = parent[v];
-        const vid_t unreached = std::numeric_limits<vid_t>::max();
-        if (p == kInvalidVid || depth[p] == unreached ||
-            depth[p] + 1 != depth[v]) {
-            for (vid_t u : g.in_neigh(v)) {
-                if (depth[u] != unreached && depth[u] + 1 == depth[v]) {
-                    parent[v] = u;
-                    return;
-                }
+        for (vid_t u : g.in_neigh(v)) {
+            if (depth[u] != unreached && depth[u] + 1 == depth[v]) {
+                parent[v] = u;
+                return;
             }
         }
     });
@@ -192,7 +206,10 @@ delta_stepping(const WCSRGraph& g, vid_t source, weight_t delta,
     frontier[0] = source;
     std::size_t shared_indexes[2] = {0, kMaxBin};
     std::size_t frontier_tails[2] = {1, 0};
-    par::Barrier barrier(par::effective_lanes());
+    // Lease first so the barrier parties match the lanes parallel_lanes
+    // (adopting this lease) actually runs.
+    par::LaneLease lease(par::num_threads());
+    par::SpinBarrier barrier(lease.width());
 
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;
@@ -436,9 +453,11 @@ pagerank_gauss_seidel(const CSRGraph& g, double damping, double tolerance,
     const vid_t n = g.num_vertices();
     const score_t base = (1.0 - damping) / n;
     std::vector<score_t> scores(static_cast<std::size_t>(n), score_t{1} / n);
-    // Gauss-Seidel on the *contribution* vector: the per-edge inner loop
-    // touches one stream (like Jacobi's), but updates land in place, so
-    // later vertices in the same round already see them — fewer rounds.
+    // Blocked Gauss-Seidel on the *contribution* vector: the per-edge
+    // inner loop touches one stream (like Jacobi's), but later blocks of
+    // the sweep already see earlier blocks' committed updates — fewer
+    // rounds.  The block grid depends on n only and blocks commit in
+    // ascending order, keeping the result lane-count independent.
     std::vector<score_t> contrib(static_cast<std::size_t>(n));
     std::vector<score_t> inv_degree(static_cast<std::size_t>(n));
     par::parallel_for<vid_t>(0, n, [&](vid_t v) {
@@ -447,20 +466,33 @@ pagerank_gauss_seidel(const CSRGraph& g, double damping, double tolerance,
         contrib[v] = scores[v] * inv_degree[v];
     }, par::Schedule::kStatic);
 
+    constexpr vid_t kBlocks = 64;
+    const vid_t block = (n + kBlocks - 1) / kBlocks < 1
+                            ? 1
+                            : (n + kBlocks - 1) / kBlocks;
+    std::vector<score_t> staged(static_cast<std::size_t>(block));
+
     for (int iter = 0; iter < max_iters; ++iter) {
-        const double error = par::parallel_reduce<vid_t, double>(
-            0, n, 0.0,
-            [&](vid_t v) {
-                score_t incoming = 0;
-                for (vid_t u : g.in_neigh(v))
-                    incoming += par::atomic_load(contrib[u]);
-                const score_t next = base + damping * incoming;
-                const score_t old = scores[v];
-                scores[v] = next;
-                par::atomic_store(contrib[v], next * inv_degree[v]);
-                return std::fabs(next - old);
-            },
-            [](double a, double b) { return a + b; });
+        double error = 0.0;
+        for (vid_t lo = 0; lo < n; lo += block) {
+            const vid_t hi = std::min<vid_t>(lo + block, n);
+            error += par::parallel_reduce<vid_t, double>(
+                lo, hi, 0.0,
+                [&](vid_t v) {
+                    score_t incoming = 0;
+                    for (vid_t u : g.in_neigh(v))
+                        incoming += contrib[u];
+                    const score_t next = base + damping * incoming;
+                    const score_t old = scores[v];
+                    scores[v] = next;
+                    staged[v - lo] = next * inv_degree[v];
+                    return std::fabs(next - old);
+                },
+                [](double a, double b) { return a + b; });
+            par::parallel_for<vid_t>(lo, hi, [&](vid_t v) {
+                contrib[v] = staged[v - lo];
+            }, par::Schedule::kStatic);
+        }
         obs::counter_add("iterations", 1);
         obs::counter_add("edges_traversed",
                          static_cast<std::uint64_t>(
@@ -476,10 +508,10 @@ pagerank_gauss_seidel(const CSRGraph& g, double damping, double tolerance,
 namespace
 {
 
-/** Serial-per-source Brandes used by the source-parallel variant. */
-void
-brandes_one_source(const CSRGraph& g, vid_t s, std::vector<score_t>& scores,
-                   std::mutex& scores_mutex)
+/** Serial-per-source Brandes used by the source-parallel variant; returns
+ *  the per-vertex dependency vector for @p s (delta[s] forced to 0). */
+std::vector<double>
+brandes_one_source(const CSRGraph& g, vid_t s)
 {
     const vid_t n = g.num_vertices();
     std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
@@ -508,11 +540,8 @@ brandes_one_source(const CSRGraph& g, vid_t s, std::vector<score_t>& scores,
                 delta[v] += (sigma[v] / sigma[u]) * (1 + delta[u]);
         }
     }
-    std::lock_guard<std::mutex> lock(scores_mutex);
-    for (vid_t v = 0; v < n; ++v) {
-        if (v != s)
-            scores[v] += delta[v];
-    }
+    delta[s] = 0.0;
+    return delta;
 }
 
 } // namespace
@@ -594,12 +623,21 @@ bc_sync(const CSRGraph& g, const std::vector<vid_t>& sources)
 std::vector<score_t>
 bc_async(const CSRGraph& g, const std::vector<vid_t>& sources)
 {
-    std::vector<score_t> scores(static_cast<std::size_t>(g.num_vertices()),
-                                0.0);
-    std::mutex scores_mutex;
+    const vid_t n = g.num_vertices();
+    std::vector<score_t> scores(static_cast<std::size_t>(n), 0.0);
+    // Dependencies are real-valued, so the accumulation order matters for
+    // the low bits: keep each source's vector and merge in source order
+    // rather than letting lanes race additions into the shared array.
+    std::vector<std::vector<double>> per_source(sources.size());
     par::parallel_for<std::size_t>(0, sources.size(), [&](std::size_t i) {
-        brandes_one_source(g, sources[i], scores, scores_mutex);
+        per_source[i] = brandes_one_source(g, sources[i]);
     });
+    par::parallel_for<vid_t>(0, n, [&](vid_t v) {
+        double total = 0.0;
+        for (const auto& delta : per_source)
+            total += delta[static_cast<std::size_t>(v)];
+        scores[v] = total;
+    }, par::Schedule::kStatic);
     const score_t biggest = *std::max_element(scores.begin(), scores.end());
     if (biggest > 0) {
         for (auto& sc : scores)

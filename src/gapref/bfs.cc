@@ -44,6 +44,13 @@ bu_step(const CSRGraph& g, std::vector<vid_t>& parent, const Bitmap& front,
  * One top-down (push) step: frontier vertices claim their unvisited
  * out-neighbors via CAS.  Returns the degree sum of the claimed vertices
  * (the GAPBS "scout count" used by the direction switch).
+ *
+ * The CAS race decides only *membership* deterministically (v is claimed
+ * iff some frontier vertex reaches it) — which u wins is timing-dependent,
+ * so a repair pass afterwards (td_repair_parents) rewrites each claimed
+ * vertex's parent to its minimum frontier in-neighbor.  The scout count is
+ * already deterministic: -curr is v's encoded degree regardless of which
+ * lane claimed it.
  */
 std::int64_t
 td_step(const CSRGraph& g, std::vector<vid_t>& parent,
@@ -77,6 +84,36 @@ td_step(const CSRGraph& g, std::vector<vid_t>& parent,
     for (std::int64_t s : lane_scout)
         total += s;
     return total;
+}
+
+/**
+ * Rewrite each newly claimed vertex's parent to its minimum in-neighbor
+ * whose bit is set in @p front, making the top-down parent choice
+ * order-independent.
+ *
+ * @p front may carry stale bits from earlier steps: a stale bit marks a
+ * vertex from a *previous* frontier, and every out-neighbor of a previous
+ * frontier is already visited — so a stale u with an edge to a vertex
+ * claimed this step cannot exist, and the min is always taken over true
+ * current-frontier in-neighbors.  (The same invariant is what lets
+ * bu_step tolerate accumulated bits.)
+ */
+void
+td_repair_parents(const CSRGraph& g, std::vector<vid_t>& parent,
+                  const Bitmap& front, const vid_t* claimed,
+                  std::size_t count)
+{
+    const vid_t none = g.num_vertices();
+    par::parallel_for<std::size_t>(0, count, [&](std::size_t i) {
+        const vid_t v = claimed[i];
+        vid_t best = none;
+        for (vid_t u : g.in_neigh(v)) {
+            if (u < best && front.get_bit(static_cast<std::size_t>(u)))
+                best = u;
+        }
+        if (best != none)
+            parent[v] = best;
+    });
 }
 
 void
@@ -158,8 +195,11 @@ bfs(const CSRGraph& g, vid_t source, int alpha, int beta)
             obs::counter_max("frontier_peak",
                              static_cast<std::uint64_t>(queue.size()));
             edges_to_check -= scout_count;
+            queue_to_bitmap(queue, front);
             scout_count = td_step(g, parent, queue);
             queue.slide_window();
+            td_repair_parents(g, parent, front, queue.begin(),
+                              queue.size());
             obs::counter_add("iterations", 1);
             obs::counter_add("bfs.td_steps", 1);
             obs::counter_add("edges_traversed",

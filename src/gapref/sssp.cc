@@ -37,7 +37,15 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
     std::size_t shared_indexes[2] = {0, kMaxBin};
     std::size_t frontier_tails[2] = {1, 0};
 
-    par::Barrier barrier(par::effective_lanes());
+    // Hold the lease up front so the barrier parties match the lanes
+    // parallel_lanes (which adopts this lease) will actually run —
+    // effective_lanes() alone is an upper bound that an ephemeral
+    // acquisition might not reach.  The short delta-stepping rounds favor
+    // the spinning barrier.  dist itself is deterministic at any width:
+    // monotone CAS relaxation converges to the unique shortest-distance
+    // fixpoint regardless of relaxation order.
+    par::LaneLease lease(par::num_threads());
+    par::SpinBarrier barrier(lease.width());
 
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;

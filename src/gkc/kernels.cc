@@ -135,6 +135,21 @@ bfs(const CSRGraph& g, vid_t source)
                 }
             }
         });
+        // The CAS decides membership deterministically but lets an
+        // arbitrary frontier vertex win the parent slot; rewrite each
+        // discovery's parent as its minimum current-level in-neighbor so
+        // the output is identical at any lane count (depth[u] == level is
+        // exactly "u is in the frontier just expanded").
+        par::parallel_for<std::size_t>(0, next_cursor, [&](std::size_t i) {
+            const vid_t v = next[i];
+            vid_t best = n;
+            for (vid_t u : g.in_neigh(v)) {
+                if (u < best && depth[u] == level)
+                    best = u;
+            }
+            if (best != n)
+                parent[v] = best;
+        });
         curr.swap(next);
         curr_size = next_cursor;
         ++level;
@@ -162,7 +177,11 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta)
     frontier[0] = source;
     std::size_t shared_indexes[2] = {0, kMaxBin};
     std::size_t frontier_tails[2] = {1, 0};
-    par::Barrier barrier(par::effective_lanes());
+    // Lease first so the barrier parties match the lanes parallel_lanes
+    // (adopting this lease) actually runs; the short bucket rounds favor
+    // the spinning barrier.
+    par::LaneLease lease(par::num_threads());
+    par::SpinBarrier barrier(lease.width());
 
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;
@@ -306,8 +325,11 @@ pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters)
     const vid_t n = g.num_vertices();
     const score_t base = (1.0 - damping) / n;
     std::vector<score_t> scores(static_cast<std::size_t>(n), score_t{1} / n);
-    // Gauss-Seidel over an in-place contribution array: one load per edge
-    // (like Jacobi) but rounds see earlier updates, converging sooner.
+    // Blocked Gauss-Seidel over a contribution array: one load per edge
+    // (like Jacobi) but later blocks see earlier blocks' updates within a
+    // sweep, converging sooner.  The block grid is fixed (a function of n
+    // only) and blocks commit in ascending order, so the schedule — and
+    // therefore the result — is identical at any lane count.
     std::vector<score_t> contrib(static_cast<std::size_t>(n));
     std::vector<score_t> inv_degree(static_cast<std::size_t>(n));
     par::parallel_for<vid_t>(0, n, [&](vid_t v) {
@@ -316,24 +338,37 @@ pagerank(const CSRGraph& g, double damping, double tolerance, int max_iters)
         contrib[v] = scores[v] * inv_degree[v];
     }, par::Schedule::kStatic);
 
+    constexpr vid_t kBlocks = 64;
+    const vid_t block = (n + kBlocks - 1) / kBlocks < 1
+                            ? 1
+                            : (n + kBlocks - 1) / kBlocks;
+    std::vector<score_t> staged(static_cast<std::size_t>(block));
+
     for (int iter = 0; iter < max_iters; ++iter) {
         obs::counter_add("iterations", 1);
         obs::counter_add("edges_traversed",
                          static_cast<std::uint64_t>(
                              g.num_edges_directed()));
-        const double error = par::parallel_reduce<vid_t, double>(
-            0, n, 0.0,
-            [&](vid_t v) {
-                score_t incoming = 0;
-                for (vid_t u : g.in_neigh(v))
-                    incoming += par::atomic_load(contrib[u]);
-                const score_t next = base + damping * incoming;
-                const score_t old = scores[v];
-                scores[v] = next;
-                par::atomic_store(contrib[v], next * inv_degree[v]);
-                return std::fabs(next - old);
-            },
-            [](double a, double b) { return a + b; });
+        double error = 0.0;
+        for (vid_t lo = 0; lo < n; lo += block) {
+            const vid_t hi = std::min<vid_t>(lo + block, n);
+            error += par::parallel_reduce<vid_t, double>(
+                lo, hi, 0.0,
+                [&](vid_t v) {
+                    score_t incoming = 0;
+                    for (vid_t u : g.in_neigh(v))
+                        incoming += contrib[u];
+                    const score_t next = base + damping * incoming;
+                    const score_t old = scores[v];
+                    scores[v] = next;
+                    staged[v - lo] = next * inv_degree[v];
+                    return std::fabs(next - old);
+                },
+                [](double a, double b) { return a + b; });
+            par::parallel_for<vid_t>(lo, hi, [&](vid_t v) {
+                contrib[v] = staged[v - lo];
+            }, par::Schedule::kStatic);
+        }
         if (error < tolerance)
             break;
     }

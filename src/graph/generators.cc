@@ -12,17 +12,27 @@ namespace gm::graph
 namespace
 {
 
-/** Fill [lo, hi) of @p edges in parallel with per-range seeded RNGs. */
+/** RNG stream chunk: the edge list is carved into fixed-length chunks,
+ *  each filled from its own seeded stream.  The grid depends only on the
+ *  list length, never on the lane count, so generated graphs are
+ *  bit-identical at any GM_THREADS (chunks are merely *scheduled* across
+ *  whatever lanes are available). */
+constexpr std::size_t kGenChunk = 1024;
+
+/** Fill @p edges in parallel with per-chunk seeded RNG streams. */
 template <typename Fn>
 void
 fill_edges_parallel(EdgeList& edges, std::uint64_t seed, Fn&& make_edge)
 {
-    par::parallel_blocks<std::size_t>(
-        0, edges.size(), [&](int, std::size_t lo, std::size_t hi) {
-            Xoshiro256 rng(seed ^ (0xabcdef12345ULL + lo * 0x9e3779b9ULL));
-            for (std::size_t i = lo; i < hi; ++i)
-                edges[i] = make_edge(rng);
-        });
+    const std::size_t n = edges.size();
+    const std::size_t num_chunks = (n + kGenChunk - 1) / kGenChunk;
+    par::parallel_for<std::size_t>(0, num_chunks, [&](std::size_t c) {
+        const std::size_t lo = c * kGenChunk;
+        const std::size_t hi = std::min(lo + kGenChunk, n);
+        Xoshiro256 rng(seed ^ (0xabcdef12345ULL + c * 0x9e3779b9ULL));
+        for (std::size_t i = lo; i < hi; ++i)
+            edges[i] = make_edge(rng);
+    });
 }
 
 } // namespace

@@ -39,6 +39,23 @@ bfs(const CSRGraph& g, vid_t source, const Schedule& sched)
                 return par::atomic_load(parent[v]) == kInvalidVid;
             },
             /*pull_early_exit=*/true);
+        // The push-mode CAS lets an arbitrary frontier vertex win the
+        // parent slot; canonicalize each discovery to its first frontier
+        // in-neighbor (adjacency lists are sorted, so first == minimum —
+        // the same vertex the pull path's early exit picks), making the
+        // output independent of lane count and traversal direction.
+        next.materialize_sparse();
+        const auto& discovered = next.sparse();
+        par::parallel_for<std::size_t>(0, discovered.size(),
+                                       [&](std::size_t i) {
+            const vid_t v = discovered[i];
+            for (vid_t u : g.in_neigh(v)) {
+                if (frontier.contains(u)) {
+                    parent[v] = u;
+                    break;
+                }
+            }
+        });
         frontier = std::move(next);
     }
     return parent;
@@ -62,7 +79,10 @@ sssp(const WCSRGraph& g, vid_t source, weight_t delta, const Schedule& sched)
     frontier[0] = source;
     std::size_t shared_indexes[2] = {0, kMaxBin};
     std::size_t frontier_tails[2] = {1, 0};
-    par::Barrier barrier(par::effective_lanes());
+    // Lease first so the barrier parties match the lanes parallel_lanes
+    // (adopting this lease) actually runs.
+    par::LaneLease lease(par::num_threads());
+    par::SpinBarrier barrier(lease.width());
 
     par::parallel_lanes([&](int lane, int lanes) {
         std::vector<std::vector<vid_t>> local_bins;
@@ -387,18 +407,22 @@ bc(const CSRGraph& g, const std::vector<vid_t>& sources,
             ++level;
         }
 
-        // Backward: transposed propagation — each vertex at depth d+1
-        // scatters its dependency to predecessors through in-edges.
+        // Backward: each predecessor pulls its dependency from successors
+        // through out-edges.  A scatter along in-edges would race
+        // real-valued additions into delta (order-dependent low bits); the
+        // pull accumulates serially per vertex in adjacency order, so the
+        // result is identical at any lane count.
         const std::size_t num_levels =
             bitvector ? level_bitmaps.size() : level_lists.size();
-        for (std::size_t d = num_levels; d-- > 1;) {
-            auto process = [&](vid_t v) {
-                const double share =
-                    (1.0 + delta[v]) / std::max(sigma[v], 1.0);
-                for (vid_t u : g.in_neigh(v)) {
+        for (std::size_t d = num_levels - 1; d-- > 0;) {
+            auto process = [&](vid_t u) {
+                double acc = 0.0;
+                for (vid_t v : g.out_neigh(u)) {
                     if (depth[u] + 1 == depth[v])
-                        par::atomic_add_float(delta[u], sigma[u] * share);
+                        acc += sigma[u] * (1.0 + delta[v]) /
+                               std::max(sigma[v], 1.0);
                 }
+                delta[u] = acc;
             };
             if (bitvector) {
                 // Bitvector frontier: O(n) scan per level.

@@ -23,14 +23,22 @@
 namespace gm::grb
 {
 
-/** any_secondi: value = index of the vector entry (BFS parent discovery). */
+/** min_secondi: value = index of the vector entry (BFS parent discovery).
+ *
+ *  SuiteSparse uses any_secondi here — "any" parent is a valid BFS tree —
+ *  but "any" means whichever scatter lands first, so the tree depends on
+ *  lane interleaving.  We pin the choice to the minimum frontier index:
+ *  push-direction fetch_min is order-independent, and because CSR rows are
+ *  sorted ascending the pull direction's first-hit early exit (terminal)
+ *  already yields the same minimum, so both directions agree at any lane
+ *  count. */
 struct AnySecondi
 {
     using Out = Index;
 
-    static Out identity() { return -1; }
+    static Out identity() { return std::numeric_limits<Out>::max(); }
     static bool terminal() { return true; }
-    static constexpr bool kClaimBased = true;
+    static constexpr bool kClaimBased = false;
 
     template <typename AV, typename UV>
     static Out
@@ -39,13 +47,13 @@ struct AnySecondi
         return u_index;
     }
 
-    static Out combine(Out a, Out b) { return a == identity() ? b : a; }
+    static Out combine(Out a, Out b) { return a < b ? a : b; }
 
     /** Returns true when this call contributed a new value. */
     static bool
     atomic_combine(Out& loc, Out val)
     {
-        return par::compare_and_swap<Out>(loc, -1, val);
+        return par::fetch_min<Out>(loc, val);
     }
 };
 

@@ -108,6 +108,20 @@ bfs(const G& g, vid_t source)
                     std::lock_guard<std::mutex> lock(next_mutex);
                     next.insert(next.end(), local.begin(), local.end());
                 });
+            // The CAS picks an arbitrary winner; canonicalize each
+            // discovery's parent to its minimum frontier in-neighbor
+            // (depth == level) so the output is lane-count independent.
+            par::parallel_for<std::size_t>(0, next.size(),
+                                           [&](std::size_t i) {
+                const vid_t v = next[i];
+                vid_t best = n;
+                for (vid_t u : g.in_edges(v)) {
+                    if (u < best && depth[u] == level)
+                        best = u;
+                }
+                if (best != n)
+                    parent[v] = best;
+            });
             frontier = std::move(next);
         }
         ++level;
@@ -273,8 +287,11 @@ pagerank(const G& g, double damping = 0.85, double tolerance = 1e-4,
     const vid_t n = g.num_vertices();
     const score_t base = (1.0 - damping) / n;
     std::vector<score_t> scores(static_cast<std::size_t>(n), score_t{1} / n);
-    // In-place Gauss-Seidel over the contribution vector: the per-edge
-    // stream matches Jacobi's, but updates are visible within the round.
+    // Blocked Gauss-Seidel over the contribution vector: the per-edge
+    // stream matches Jacobi's, but later blocks of the sweep see earlier
+    // blocks' committed updates.  The block grid depends on n only and
+    // blocks commit in ascending order, keeping the result lane-count
+    // independent.
     std::vector<score_t> contrib(static_cast<std::size_t>(n));
     std::vector<score_t> inv_degree(static_cast<std::size_t>(n));
     par::parallel_for<vid_t>(0, n, [&](vid_t v) {
@@ -283,20 +300,33 @@ pagerank(const G& g, double damping = 0.85, double tolerance = 1e-4,
         contrib[v] = scores[v] * inv_degree[v];
     }, par::Schedule::kStatic);
 
+    constexpr vid_t kBlocks = 64;
+    const vid_t block = (n + kBlocks - 1) / kBlocks < 1
+                            ? 1
+                            : (n + kBlocks - 1) / kBlocks;
+    std::vector<score_t> staged(static_cast<std::size_t>(block));
+
     for (int iter = 0; iter < max_iters; ++iter) {
-        const double error = par::parallel_reduce<vid_t, double>(
-            0, n, 0.0,
-            [&](vid_t v) {
-                score_t incoming = 0;
-                for (vid_t u : g.in_edges(v))
-                    incoming += par::atomic_load(contrib[u]);
-                const score_t next = base + damping * incoming;
-                const score_t old = scores[v];
-                scores[v] = next;
-                par::atomic_store(contrib[v], next * inv_degree[v]);
-                return std::fabs(next - old);
-            },
-            [](double a, double b) { return a + b; });
+        double error = 0.0;
+        for (vid_t lo = 0; lo < n; lo += block) {
+            const vid_t hi = std::min<vid_t>(lo + block, n);
+            error += par::parallel_reduce<vid_t, double>(
+                lo, hi, 0.0,
+                [&](vid_t v) {
+                    score_t incoming = 0;
+                    for (vid_t u : g.in_edges(v))
+                        incoming += contrib[u];
+                    const score_t next = base + damping * incoming;
+                    const score_t old = scores[v];
+                    scores[v] = next;
+                    staged[v - lo] = next * inv_degree[v];
+                    return std::fabs(next - old);
+                },
+                [](double a, double b) { return a + b; });
+            par::parallel_for<vid_t>(lo, hi, [&](vid_t v) {
+                contrib[v] = staged[v - lo];
+            }, par::Schedule::kStatic);
+        }
         obs::counter_add("iterations", 1);
         if (error < tolerance)
             break;

@@ -1,21 +1,36 @@
 /**
  * @file
- * Centralized reusable barrier for SPMD-style kernels (delta-stepping,
- * label propagation rounds) that run one closure per lane and synchronize
+ * Reusable barriers for SPMD-style kernels (delta-stepping, label
+ * propagation rounds) that run one closure per lane and synchronize
  * between phases.
+ *
+ * Two implementations with the same interface:
+ *  - Barrier: mutex/condvar; lanes sleep while waiting.  Right for long
+ *    phases or oversubscribed machines.
+ *  - SpinBarrier: sense-reversing atomic barrier; lanes spin (with yield)
+ *    on a generation word.  Right for the short inner rounds of iterative
+ *    kernels where a futex sleep/wake costs more than the phase itself.
+ *
+ * Sizing rule under lane leases: construct the barrier from the width of a
+ * LaneLease you hold (or the lane_count argument parallel_lanes passes to
+ * its callback) — NOT from a lane count predicted before forking.  An
+ * ephemeral lease may be granted fewer lanes than effective_lanes()
+ * reported, and a barrier sized for more parties than arrive deadlocks.
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 #include "gm/par/thread_pool.hh"
 
 namespace gm::par
 {
 
-/** Reusable generation-counting barrier. */
+/** Reusable generation-counting barrier (sleeping). */
 class Barrier
 {
   public:
@@ -47,13 +62,59 @@ class Barrier
     std::uint64_t generation_ = 0;
 };
 
-/** Lane count an SPMD region entered right now would actually get. */
+/**
+ * Reusable sense-reversing barrier (spinning).
+ *
+ * The last lane to arrive resets the arrival count and bumps the
+ * generation (release); everyone else spins on the generation (acquire),
+ * yielding between probes so oversubscribed runs still make progress.
+ * Reversal is encoded in the generation counter itself, so the barrier is
+ * immediately reusable for the next phase.
+ */
+class SpinBarrier
+{
+  public:
+    /** @param parties Number of lanes that must arrive before release. */
+    explicit SpinBarrier(int parties) : parties_(parties) {}
+
+    /** Block (spin) until all parties have arrived at this generation. */
+    void
+    wait()
+    {
+        if (parties_ <= 1)
+            return;
+        const std::uint64_t my_generation =
+            generation_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) ==
+            parties_ - 1) {
+            arrived_.store(0, std::memory_order_relaxed);
+            generation_.store(my_generation + 1,
+                              std::memory_order_release);
+            return;
+        }
+        while (generation_.load(std::memory_order_acquire) ==
+               my_generation) {
+            std::this_thread::yield();
+        }
+    }
+
+  private:
+    const int parties_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+/**
+ * Lane count an SPMD region entered right now would get — an upper bound
+ * when no lease is held (see ThreadPool::current_width()).  Use only for
+ * capacity hints (per-lane buffer reservations); for barrier parties or
+ * anything that must match the lanes actually running, hold a LaneLease
+ * and use its width().
+ */
 inline int
 effective_lanes()
 {
-    return ThreadPool::in_parallel_region()
-               ? 1
-               : ThreadPool::instance().num_threads();
+    return ThreadPool::current_width();
 }
 
 } // namespace gm::par

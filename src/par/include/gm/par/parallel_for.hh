@@ -8,6 +8,17 @@
  *              load balance for skewed work (power-law graphs).
  *  - kCyclic:  lane t handles iterations t, t+N, t+2N, ... — the NWGraph
  *              paper-described distribution for triangle counting.
+ *
+ * All primitives execute on the calling thread's LaneLease (taking an
+ * ephemeral lease when none is active), so concurrent callers holding
+ * disjoint leases run in parallel.
+ *
+ * parallel_reduce is deterministic by construction: iterations are
+ * partitioned on a fixed chunk grid derived from the iteration count
+ * alone (never from the lane count), each chunk is accumulated serially
+ * in index order, and chunk partials are combined in ascending chunk
+ * order — the same fold the one-lane path performs.  Floating-point
+ * reductions are therefore bit-identical at any GM_THREADS / lease width.
  */
 #pragma once
 
@@ -31,6 +42,22 @@ namespace detail
  *  the relaxed atomic load to ~zero cost in kernel hot paths. */
 inline constexpr std::uint64_t kCancelPollMask = 0x3FF;
 
+/** Target chunk count of the deterministic reduction grid.  The grid is
+ *  a function of the iteration count only — two runs at different lane
+ *  counts walk identical chunks and combine them in identical order. */
+inline constexpr std::int64_t kReduceChunkTarget = 256;
+
+/** Chunk length of the deterministic grid over @p n iterations. */
+template <typename Index>
+Index
+reduce_chunk_length(Index n)
+{
+    const auto wide = static_cast<std::int64_t>(n);
+    const std::int64_t chunk =
+        (wide + kReduceChunkTarget - 1) / kReduceChunkTarget;
+    return chunk < 1 ? Index{1} : static_cast<Index>(chunk);
+}
+
 } // namespace detail
 
 /**
@@ -47,11 +74,9 @@ parallel_for(Index begin, Index end, Fn&& fn,
 {
     if (begin >= end)
         return;
-    ThreadPool& pool = ThreadPool::instance();
     const Index n = end - begin;
-    const int lanes = pool.num_threads();
-    if (lanes == 1 || n == 1 || ThreadPool::in_parallel_region() ||
-        ThreadPool::in_serial_region()) {
+
+    const auto run_serial = [&] {
         // Nested (in-lane) calls must not throw across the pool boundary;
         // they bail out silently and the outermost serial level throws.
         // A SerialRegion is not a pool boundary: it throws like any
@@ -67,6 +92,17 @@ parallel_for(Index begin, Index end, Fn&& fn,
             }
             fn(i);
         }
+    };
+
+    if (n == 1 || ThreadPool::current_width() == 1) {
+        run_serial();
+        return;
+    }
+    ThreadPool& pool = ThreadPool::instance();
+    LaneLease lease(pool.num_threads());
+    const int lanes = lease.width();
+    if (lanes == 1) {
+        run_serial();
         return;
     }
 
@@ -132,13 +168,18 @@ parallel_blocks(Index begin, Index end, Fn&& fn)
 {
     if (begin >= end)
         return;
-    ThreadPool& pool = ThreadPool::instance();
-    const int lanes = pool.num_threads();
-    if (lanes == 1 || ThreadPool::in_parallel_region() ||
-        ThreadPool::in_serial_region()) {
+    if (ThreadPool::current_width() == 1) {
         fn(0, begin, end);
         if (!ThreadPool::in_parallel_region())
             support::check_cancelled();
+        return;
+    }
+    ThreadPool& pool = ThreadPool::instance();
+    LaneLease lease(pool.num_threads());
+    const int lanes = lease.width();
+    if (lanes == 1) {
+        fn(0, begin, end);
+        support::check_cancelled();
         return;
     }
     const Index n = end - begin;
@@ -154,27 +195,37 @@ parallel_blocks(Index begin, Index end, Fn&& fn)
 
 /**
  * Run @p fn once per lane with (lane, lane_count); fn pulls its own work.
+ *
+ * The lane count passed to @p fn is exactly the number of lanes running
+ * the region.  Callers that size shared state (or a Barrier) before
+ * entering must hold their own LaneLease and use its width() — an
+ * ephemeral acquisition here could be granted fewer lanes than
+ * ThreadPool::current_width() predicted.
  */
 template <typename Fn>
 void
 parallel_lanes(Fn&& fn)
 {
-    ThreadPool& pool = ThreadPool::instance();
-    if (ThreadPool::in_parallel_region() ||
-        ThreadPool::in_serial_region()) {
+    if (ThreadPool::current_width() == 1) {
         fn(0, 1);
         return;
     }
-    const int lanes = pool.num_threads();
+    ThreadPool& pool = ThreadPool::instance();
+    LaneLease lease(pool.num_threads());
+    const int lanes = lease.width();
     pool.run([&](int lane) { fn(lane, lanes); });
 }
 
 /**
- * Parallel reduction over [begin, end).
+ * Deterministic parallel reduction over [begin, end).
  *
  * @param identity Identity element of @p combine.
  * @param map      Per-iteration value: map(i).
  * @param combine  Associative combiner.
+ *
+ * Evaluates combine over a fixed chunk grid (see file comment): the
+ * result is a pure function of [begin, end), map, and combine — never of
+ * the lane count — so float sums are bit-identical at any width.
  */
 template <typename Index, typename T, typename Map, typename Combine>
 T
@@ -183,45 +234,67 @@ parallel_reduce(Index begin, Index end, T identity, Map&& map,
 {
     if (begin >= end)
         return identity;
-    ThreadPool& pool = ThreadPool::instance();
-    const int lanes = pool.num_threads();
-    if (lanes == 1 || ThreadPool::in_parallel_region() ||
-        ThreadPool::in_serial_region()) {
-        const bool nested = ThreadPool::in_parallel_region();
+    const Index n = end - begin;
+    const Index chunk = detail::reduce_chunk_length(n);
+    const std::size_t num_chunks =
+        static_cast<std::size_t>((n + chunk - 1) / chunk);
+
+    // Serial accumulation of one chunk, in index order.  @p bail tells it
+    // to drain silently on cancellation (pool lanes and nested calls must
+    // not throw across the fork boundary).
+    const auto chunk_value = [&](std::size_t c, bool bail) -> T {
         T acc = identity;
+        const Index lo = begin + static_cast<Index>(c) * chunk;
+        const Index hi = lo + chunk < end ? lo + chunk : end;
         std::uint64_t polls = 0;
-        for (Index i = begin; i < end; ++i) {
+        for (Index i = lo; i < hi; ++i) {
             if ((polls++ & detail::kCancelPollMask) == 0 &&
                 support::cancel_requested()) {
-                if (nested)
+                if (bail)
                     break;
                 support::check_cancelled();
             }
             acc = combine(acc, map(i));
         }
         return acc;
-    }
-    std::vector<T> partial(static_cast<std::size_t>(lanes), identity);
-    const Index n = end - begin;
-    pool.run([&](int lane) {
-        const Index block = (n + lanes - 1) / lanes;
-        const Index lo = begin + block * lane;
-        const Index hi = lo + block < end ? lo + block : end;
+    };
+
+    const auto run_serial = [&]() -> T {
+        const bool nested = ThreadPool::in_parallel_region();
         T acc = identity;
-        std::uint64_t polls = 0;
-        for (Index i = lo; i < hi; ++i) {
-            if ((polls++ & detail::kCancelPollMask) == 0 &&
-                support::cancel_requested()) {
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            if (nested && support::cancel_requested())
                 break;
-            }
-            acc = combine(acc, map(i));
+            acc = combine(acc, chunk_value(c, nested));
         }
-        partial[static_cast<std::size_t>(lane)] = acc;
+        return acc;
+    };
+
+    if (num_chunks == 1 || ThreadPool::current_width() == 1)
+        return run_serial();
+    ThreadPool& pool = ThreadPool::instance();
+    LaneLease lease(pool.num_threads());
+    if (lease.width() == 1)
+        return run_serial();
+
+    std::vector<T> partial(num_chunks, identity);
+    std::atomic<std::size_t> cursor{0};
+    pool.run([&](int) {
+        for (;;) {
+            if (support::cancel_requested())
+                return;
+            const std::size_t c =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (c >= num_chunks)
+                return;
+            partial[c] = chunk_value(c, /*bail=*/true);
+        }
     });
     support::check_cancelled();
+    // Ordered combine: ascending chunk index, exactly the serial fold.
     T acc = identity;
-    for (const T& p : partial)
-        acc = combine(acc, p);
+    for (std::size_t c = 0; c < num_chunks; ++c)
+        acc = combine(acc, partial[c]);
     return acc;
 }
 

@@ -1,25 +1,42 @@
 /**
  * @file
- * Persistent fork-join thread pool.
+ * Persistent lane-leasing thread pool.
  *
  * This is the single parallel substrate shared by every framework analogue in
  * the repository, standing in for the OpenMP / TBB / cilk runtimes the
  * evaluated frameworks use.  Keeping one substrate is the reproduction of the
  * paper's "same hardware for every framework" control.
  *
- * Model: the pool owns N-1 worker threads; run() executes a job closure on
- * all N lanes (callers' thread is lane 0) and returns when every lane has
- * finished.  Nested run() calls from inside a lane degrade to serial
- * execution on that lane, which keeps composed algorithms correct.
+ * Model: the pool owns N-1 worker threads ("lanes" 1..N-1; the submitting
+ * thread is always lane 0).  Work is executed under a LaneLease — an RAII
+ * grant of K disjoint lanes.  A thread holding a lease forks jobs onto
+ * exactly its leased lanes, so two threads holding disjoint leases run
+ * genuinely in parallel instead of serializing on a global job slot; this
+ * is what lets gm::serve execute several multi-lane requests at once.
+ * Threads without a lease get an ephemeral one per fork (best-effort over
+ * the currently free workers).  Nested run() calls from inside a lane
+ * degrade to serial execution on that lane, which keeps composed
+ * algorithms correct.
+ *
+ * Determinism contract: nothing above this layer may depend on how many
+ * lanes a lease actually granted.  parallel_reduce partitions work on a
+ * fixed chunk grid (a function of the iteration count only) and combines
+ * in chunk order, and every kernel is written so racy updates converge to
+ * order-independent fixpoints — so results are bit-identical at any
+ * GM_THREADS and any lease width.
+ *
+ * Set GM_PIN_THREADS=1 to pin worker lanes to cores round-robin
+ * (topology-aware placement for measurement runs).
  */
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "gm/par/function_ref.hh"
 
 namespace gm::support
 {
@@ -29,7 +46,34 @@ class CancelToken;
 namespace gm::par
 {
 
-/** Fork-join pool; use ThreadPool::instance() for the process-wide pool. */
+class LaneLease;
+
+namespace detail
+{
+
+/** Shared fork-join state of one lease: the owner dispatches jobs into it,
+ *  the leased workers execute them until released. */
+struct LeaseState
+{
+    std::mutex mu;
+    std::condition_variable cv;      ///< workers wait for jobs / release
+    std::condition_variable done_cv; ///< owner waits for joins / returns
+
+    FunctionRef<void(int)> job;
+    const support::CancelToken* cancel = nullptr;
+    std::uint64_t obs_gen = 0;
+    std::uint64_t job_seq = 0; ///< bumped once per dispatched job
+    int pending = 0;           ///< lanes still running the current job
+
+    int width = 1;       ///< granted lanes, including the owner's lane 0
+    int lanes_held = 0;  ///< pool workers attached (width - 1)
+    bool released = false;
+    int returned = 0;    ///< workers fully detached and back in the pool
+};
+
+} // namespace detail
+
+/** Lane-leasing fork-join pool; ThreadPool::instance() is process-wide. */
 class ThreadPool
 {
   public:
@@ -48,17 +92,18 @@ class ThreadPool
     int num_threads() const { return num_threads_; }
 
     /**
-     * Run @p job on every lane and wait for completion.
+     * Run @p job on the calling thread's lanes and wait for completion.
      *
-     * @param job Receives the lane id in [0, num_threads()).
+     * @param job Non-owning callable receiving the lane id in [0, width).
+     * @return The width actually used (every lane id passed was < it).
      *
-     * Safe to call from multiple threads concurrently: submissions are
-     * serialized internally (one fork-join job owns the lanes at a time);
-     * a call made while the caller is already inside a pool job, or while
-     * a SerialRegion is active on the calling thread, degrades to serial
-     * execution on that thread instead of queueing.
+     * Under an active LaneLease the job runs on exactly the leased lanes;
+     * without one an ephemeral lease over the currently free workers is
+     * taken for the duration of the call.  A call made while the caller
+     * is already inside a pool job, or while a SerialRegion is active on
+     * the calling thread, degrades to serial execution on that thread.
      */
-    void run(const std::function<void(int)>& job);
+    int run(FunctionRef<void(int)> job);
 
     /** True when the calling thread is currently inside a pool job. */
     static bool in_parallel_region();
@@ -66,30 +111,75 @@ class ThreadPool
     /** True when a SerialRegion is active on the calling thread. */
     static bool in_serial_region();
 
+    /**
+     * Width a run() from this thread would use right now: 1 inside a
+     * lane or a SerialRegion, the lease width under a LaneLease, and the
+     * full lane count otherwise (an upper bound there — an ephemeral
+     * lease may be granted fewer if other leases hold workers; SPMD
+     * kernels that size shared state by lane count must hold their own
+     * LaneLease and use its width()).
+     */
+    static int current_width();
+
   private:
+    friend class LaneLease;
     friend class SerialRegion;
 
-    void worker_loop(int lane);
+    void worker_loop(int slot);
+    /** Run jobs for @p state on lease lane @p lane until released. */
+    void serve_lease(detail::LeaseState& state, int lane);
+    /** Assign up to @p want free workers to @p state; returns the count
+     *  granted.  Lease lane ids are handed out from 1 upward. */
+    int acquire_workers(int want, detail::LeaseState* state);
 
     int num_threads_;
+    bool pin_threads_ = false;
     std::vector<std::thread> workers_;
 
-    /** Serializes concurrent run() callers; the fork-join state below
-     *  (job_, pending_, generation_) describes exactly one job at a time. */
-    std::mutex run_mutex_;
-    std::mutex mutex_;
+    std::mutex mutex_; ///< guards free_, assignment_, shutdown_
     std::condition_variable start_cv_;
-    std::condition_variable done_cv_;
-    const std::function<void(int)>* job_ = nullptr;
-    /** Caller's cancellation token, installed in every lane for the job's
-     *  duration so supervised trials can cancel their pool work. */
-    const support::CancelToken* job_cancel_ = nullptr;
-    /** Trace-session generation the submitter observed; lanes bind to it
-     *  so records from abandoned trials can't pollute a newer session. */
-    std::uint64_t job_gen_ = 0;
-    std::uint64_t generation_ = 0;
-    int pending_ = 0;
+    std::vector<int> free_;                         ///< free worker slots
+    std::vector<detail::LeaseState*> assignment_;   ///< per-slot lease
+    std::vector<int> lane_id_;                      ///< per-slot lease lane
     bool shutdown_ = false;
+};
+
+/**
+ * RAII grant of up to @p width lanes (the constructing thread's lane 0
+ * plus up to width-1 pool workers held exclusively until destruction).
+ * All parallel primitives called on this thread while the lease is alive
+ * execute on exactly these lanes, so concurrent lease holders proceed in
+ * parallel on disjoint workers.
+ *
+ * Acquisition is best-effort: width() reports what was actually granted
+ * (at least 1 — the owner always has its own lane).  Results never depend
+ * on the granted width (see the determinism contract above), only speed
+ * does.  Constructing a lease while one is already active on the thread
+ * (or inside a pool lane / SerialRegion) adopts the enclosing context
+ * instead of acquiring: width() reports the enclosing width and
+ * destruction releases nothing.
+ */
+class LaneLease
+{
+  public:
+    explicit LaneLease(int width);
+    ~LaneLease();
+
+    LaneLease(const LaneLease&) = delete;
+    LaneLease& operator=(const LaneLease&) = delete;
+
+    /** Lanes this thread's parallel work runs on (1 = serial). */
+    int width() const { return width_; }
+
+    /** The calling thread's innermost owned lease, or null. */
+    static LaneLease* current();
+
+  private:
+    friend class ThreadPool;
+
+    detail::LeaseState state_;
+    int width_ = 1;
+    bool adopted_ = false;
 };
 
 /**
@@ -99,10 +189,12 @@ class ThreadPool
  *
  * Unlike the implicit nested-run degrade, cancellation inside a serial
  * region still *throws* CancelledError at the outermost level — the region
- * marks "this thread is one lane of some higher-level concurrency" (a
- * serve worker handling one request), not "we are inside a pool job whose
- * boundary exceptions must not cross".  Regions nest; the thread returns
- * to normal forking behaviour when the outermost region is destroyed.
+ * marks "this thread is one lane of some higher-level concurrency", not
+ * "we are inside a pool job whose boundary exceptions must not cross".
+ * Regions nest; the thread returns to normal forking behaviour when the
+ * outermost region is destroyed.  (gm::serve used to pin every request
+ * under one of these; requests now take a LaneLease of their declared
+ * width instead, and a width-1 lease is the exact serial equivalent.)
  */
 class SerialRegion
 {

@@ -6,6 +6,11 @@
 #include "gm/support/timer.hh"
 #include "gm/support/watchdog.hh"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace gm::par
 {
 
@@ -14,6 +19,7 @@ namespace
 
 thread_local bool tls_in_parallel = false;
 thread_local int tls_serial_region = 0;
+thread_local LaneLease* tls_lease = nullptr;
 
 /**
  * Execute @p job on @p lane under the session generation @p job_gen that
@@ -22,12 +28,11 @@ thread_local int tls_serial_region = 0;
  * unwinding from a watchdog-abandoned trial keeps writing under its dead
  * generation and can never pollute the next trial's session.  When a
  * session is active, each lane's execution is recorded as a "par.lane"
- * span plus its busy nanoseconds, from which the suite derives per-cell
- * parallel efficiency.
+ * span plus its busy nanoseconds, from which the suite and gm::serve
+ * derive parallel efficiency.
  */
 void
-run_lane(const std::function<void(int)>& job, int lane,
-         std::uint64_t job_gen)
+run_lane(FunctionRef<void(int)> job, int lane, std::uint64_t job_gen)
 {
     obs::SessionBinding bind(job_gen);
     if (job_gen == 0) {
@@ -42,6 +47,23 @@ run_lane(const std::function<void(int)>& job, int lane,
         static_cast<std::uint64_t>(Timer::now_ns() - begin_ns));
 }
 
+/** Pin the calling thread to @p cpu modulo the online-CPU count. */
+void
+pin_to_cpu(int cpu)
+{
+#ifdef __linux__
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu) % hw, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(int num_threads)
@@ -51,9 +73,18 @@ ThreadPool::ThreadPool(int num_threads)
         num_threads = hw == 0 ? 1 : static_cast<int>(hw);
     }
     num_threads_ = num_threads;
-    workers_.reserve(num_threads_ - 1);
-    for (int lane = 1; lane < num_threads_; ++lane)
-        workers_.emplace_back([this, lane] { worker_loop(lane); });
+    pin_threads_ = env_int("GM_PIN_THREADS", 0) != 0;
+    const int worker_count = num_threads_ - 1;
+    assignment_.assign(static_cast<std::size_t>(worker_count), nullptr);
+    lane_id_.assign(static_cast<std::size_t>(worker_count), 0);
+    free_.reserve(static_cast<std::size_t>(worker_count));
+    workers_.reserve(static_cast<std::size_t>(worker_count));
+    for (int slot = 0; slot < worker_count; ++slot) {
+        free_.push_back(slot);
+        workers_.emplace_back([this, slot] { worker_loop(slot); });
+    }
+    if (pin_threads_)
+        pin_to_cpu(0); // the constructing thread is the canonical lane 0
 }
 
 ThreadPool::~ThreadPool()
@@ -86,6 +117,16 @@ ThreadPool::in_serial_region()
     return tls_serial_region > 0;
 }
 
+int
+ThreadPool::current_width()
+{
+    if (tls_in_parallel || tls_serial_region > 0)
+        return 1;
+    if (tls_lease != nullptr)
+        return tls_lease->width();
+    return instance().num_threads();
+}
+
 SerialRegion::SerialRegion()
 {
     ++tls_serial_region;
@@ -96,79 +137,199 @@ SerialRegion::~SerialRegion()
     --tls_serial_region;
 }
 
-void
-ThreadPool::run(const std::function<void(int)>& job)
+LaneLease*
+LaneLease::current()
+{
+    return tls_lease;
+}
+
+LaneLease::LaneLease(int width)
+{
+    // Inside a lane, a SerialRegion, or an enclosing lease: adopt the
+    // context instead of acquiring (run() consults the innermost owner).
+    if (tls_in_parallel || tls_serial_region > 0) {
+        adopted_ = true;
+        width_ = 1;
+        return;
+    }
+    if (tls_lease != nullptr) {
+        adopted_ = true;
+        width_ = tls_lease->width();
+        return;
+    }
+    ThreadPool& pool = ThreadPool::instance();
+    if (width > pool.num_threads())
+        width = pool.num_threads();
+    if (width < 1)
+        width = 1;
+    state_.lanes_held = pool.acquire_workers(width - 1, &state_);
+    state_.width = 1 + state_.lanes_held;
+    width_ = state_.width;
+    tls_lease = this;
+}
+
+LaneLease::~LaneLease()
+{
+    if (adopted_)
+        return;
+    tls_lease = nullptr;
+    if (state_.lanes_held == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(state_.mu);
+        state_.released = true;
+    }
+    state_.cv.notify_all();
+    // Wait until every worker has fully detached (and re-queued itself as
+    // free) before the state goes out of scope.
+    std::unique_lock<std::mutex> lock(state_.mu);
+    state_.done_cv.wait(
+        lock, [this] { return state_.returned == state_.lanes_held; });
+}
+
+int
+ThreadPool::acquire_workers(int want, detail::LeaseState* state)
+{
+    if (want <= 0)
+        return 0;
+    int got = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (got < want && !free_.empty()) {
+            const int slot = free_.back();
+            free_.pop_back();
+            assignment_[static_cast<std::size_t>(slot)] = state;
+            lane_id_[static_cast<std::size_t>(slot)] = 1 + got;
+            ++got;
+        }
+    }
+    if (got > 0)
+        start_cv_.notify_all();
+    return got;
+}
+
+int
+ThreadPool::run(FunctionRef<void(int)> job)
 {
     if (tls_in_parallel || tls_serial_region > 0) {
         // Nested parallelism (or an explicit serial region) degrades to
         // serial execution on this thread; its time is already inside the
         // outer lane's busy span / the request's execute span.
         job(0);
-        return;
+        return 1;
     }
-    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    if (tls_lease == nullptr) {
+        // Ephemeral lease over whatever is free right now; released when
+        // this fork joins.  Long-lived lease holders (serve requests)
+        // amortize this acquisition over many forks.
+        LaneLease ephemeral(num_threads_);
+        return run(job);
+    }
+    detail::LeaseState& state = tls_lease->state_;
     const std::uint64_t job_gen = obs::current_session_gen();
+    const int width = tls_lease->width();
     if (job_gen != 0)
-        obs::counter_max("par.lanes",
-                         static_cast<std::uint64_t>(num_threads_));
-    if (num_threads_ == 1) {
+        obs::counter_max("par.lanes", static_cast<std::uint64_t>(width));
+    if (width == 1) {
         tls_in_parallel = true;
-        run_lane(job, 0, job_gen);
+        try {
+            run_lane(job, 0, job_gen);
+        } catch (...) {
+            tls_in_parallel = false;
+            throw;
+        }
         tls_in_parallel = false;
-        return;
+        return 1;
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job_ = &job;
-        job_cancel_ = support::current_cancel_token();
-        job_gen_ = job_gen;
-        pending_ = num_threads_ - 1;
-        ++generation_;
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.job = job;
+        state.cancel = support::current_cancel_token();
+        state.obs_gen = job_gen;
+        state.pending = width - 1;
+        ++state.job_seq;
     }
-    start_cv_.notify_all();
+    state.cv.notify_all();
 
     tls_in_parallel = true;
-    run_lane(job, 0, job_gen);
+    try {
+        run_lane(job, 0, job_gen);
+    } catch (...) {
+        // Join the lanes before unwinding: they reference the job.
+        tls_in_parallel = false;
+        std::unique_lock<std::mutex> lock(state.mu);
+        state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+        throw;
+    }
     tls_in_parallel = false;
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
-    job_cancel_ = nullptr;
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+    return width;
 }
 
 void
-ThreadPool::worker_loop(int lane)
+ThreadPool::serve_lease(detail::LeaseState& state, int lane)
 {
-    std::uint64_t seen_generation = 0;
+    std::uint64_t seen_seq = 0;
+    std::unique_lock<std::mutex> lock(state.mu);
     for (;;) {
-        const std::function<void(int)>* job = nullptr;
-        const support::CancelToken* cancel = nullptr;
-        std::uint64_t job_gen = 0;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            start_cv_.wait(lock, [&] {
-                return shutdown_ || generation_ != seen_generation;
-            });
-            if (shutdown_)
-                return;
-            seen_generation = generation_;
-            job = job_;
-            cancel = job_cancel_;
-            job_gen = job_gen_;
-        }
+        state.cv.wait(lock, [&] {
+            return state.released || state.job_seq != seen_seq;
+        });
+        if (state.released)
+            return;
+        seen_seq = state.job_seq;
+        const FunctionRef<void(int)> job = state.job;
+        const support::CancelToken* cancel = state.cancel;
+        const std::uint64_t job_gen = state.obs_gen;
+        lock.unlock();
         {
             support::ScopedCancelToken scope(cancel);
             tls_in_parallel = true;
-            run_lane(*job, lane, job_gen);
+            run_lane(job, lane, job_gen);
             tls_in_parallel = false;
         }
+        lock.lock();
+        if (--state.pending == 0)
+            state.done_cv.notify_all();
+    }
+}
+
+void
+ThreadPool::worker_loop(int slot)
+{
+    if (pin_threads_)
+        pin_to_cpu(slot + 1);
+    for (;;) {
+        detail::LeaseState* state = nullptr;
+        int lane = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ ||
+                       assignment_[static_cast<std::size_t>(slot)] !=
+                           nullptr;
+            });
+            if (shutdown_)
+                return;
+            state = assignment_[static_cast<std::size_t>(slot)];
+            lane = lane_id_[static_cast<std::size_t>(slot)];
+        }
+        serve_lease(*state, lane);
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            --pending_;
+            assignment_[static_cast<std::size_t>(slot)] = nullptr;
+            free_.push_back(slot);
         }
-        done_cv_.notify_one();
+        // Tell the releasing owner this lane is fully detached; the state
+        // must not be touched after the notify.
+        {
+            std::lock_guard<std::mutex> lock(state->mu);
+            ++state->returned;
+        }
+        state->done_cv.notify_all();
     }
 }
 

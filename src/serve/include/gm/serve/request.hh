@@ -61,6 +61,14 @@ struct Request
     /** Admission class; see Priority. */
     Priority priority = Priority::kInteractive;
     /**
+     * Execution width: how many parallel lanes the kernel may use.
+     * Clamped at submit to [1, the server's lane budget].  Width changes
+     * latency only, never the answer — kernels are order-deterministic,
+     * so the payload (and its fingerprint, and the cache key) is
+     * bit-identical at any width.
+     */
+    int width = 1;
+    /**
      * Degraded-mode opt-in: when the request cannot be served fresh —
      * shed at admission, fast-failed by an open circuit breaker, or
      * failed/expired during execution — answer from a cached result for
@@ -111,6 +119,13 @@ struct QueryResult
     double queue_seconds = 0;
     /** Kernel execution time; 0 for cache hits and followers. */
     double execute_seconds = 0;
+    /** Lanes actually granted to this execution (may be fewer than the
+     *  requested width under contention); 0 when no kernel ran (cache
+     *  hit, follower, degraded). */
+    int lanes = 0;
+    /** Lane busy time / (lanes x execute time) for the execution that
+     *  produced this result; 0 when no kernel ran. */
+    double parallel_efficiency = 0;
     /** Total submit()-to-completion latency as stamped by the server
      *  (covers queue wait, execution or join wait, and cache lookups). */
     double service_seconds = 0;

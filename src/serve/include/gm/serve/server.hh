@@ -11,10 +11,14 @@
  * never blocks: refused work is answered immediately, either degraded
  * from the result cache (allow_stale) or with RESOURCE_EXHAUSTED /
  * UNAVAILABLE.  A fixed pool of worker threads drains the queue
- * strict-priority; each worker runs its request's kernel serially on its
- * own thread (par::SerialRegion), so N workers give N-way concurrency
- * across requests while every non-degraded result stays bit-identical to
- * a direct serial framework call.  Requests with deadlines are armed on
+ * strict-priority; each request declares an execution width, and a
+ * server-wide lane budget (defaulting to the par::ThreadPool size) gates
+ * how many lanes may execute kernels at once — a leader acquires its
+ * width from the budget, runs the kernel under a par::LaneLease of that
+ * many lanes, and releases them, so concurrent requests execute genuinely
+ * in parallel on disjoint lane sets while every result stays
+ * bit-identical to a serial run (kernels are order-deterministic; see
+ * DESIGN.md section 13).  Requests with deadlines are armed on
  * a shared DeadlineScheduler whose timer raises the request's
  * CancelToken; kernels unwind cooperatively and the worker reports
  * DEADLINE_EXCEEDED (or CANCELLED for caller-initiated cancels) without
@@ -64,6 +68,12 @@ struct ServerOptions
 {
     /** Worker threads = maximum concurrently executing requests. */
     int workers = 4;
+    /** Total lanes the server may hand to executing kernels at once;
+     *  request widths are clamped to it and leaders block until their
+     *  width fits.  0 derives max(workers, par::ThreadPool size): width-1
+     *  traffic keeps full workers-way concurrency, and one wide request
+     *  can use every core (GM_THREADS). */
+    int lane_budget = 0;
     /** Total admission-queue bound across all priority classes. */
     std::size_t queue_capacity = 64;
     /** Per-class admission quotas (indexed by Priority).  All-zero (the
@@ -122,6 +132,8 @@ struct ServerStats
     std::uint64_t cancelled = 0;
     std::uint64_t failed = 0;     ///< kernel error / injected fault
     std::uint64_t executions = 0; ///< kernels actually run (leaders)
+    std::uint64_t lanes_granted = 0; ///< cumulative lanes across
+                                     ///< executions (mean = /executions)
     std::uint64_t cache_hits = 0;
     std::uint64_t single_flight_joins = 0;
     std::uint64_t retries = 0;    ///< retry attempts issued by query()
@@ -228,6 +240,7 @@ class Server
         std::uint64_t cancelled = 0;
         std::uint64_t failed = 0;
         std::uint64_t executions = 0;
+        std::uint64_t lanes_granted = 0;
         std::uint64_t cache_hits = 0;
         std::uint64_t single_flight_joins = 0;
         std::uint64_t retries = 0;
@@ -237,6 +250,11 @@ class Server
 
     void worker_loop();
     void process(const std::shared_ptr<detail::RequestState>& state);
+    /** Block until @p width lanes fit in the budget and charge them;
+     *  false (nothing charged) if the request is cancelled or its
+     *  deadline passes while waiting. */
+    bool acquire_lanes(const detail::RequestState& state, int width);
+    void release_lanes(int width);
     support::Status wait_for_leader(detail::RequestState& state,
                                     ResultCache::Inflight& flight,
                                     QueryResult& result);
@@ -268,6 +286,12 @@ class Server
     std::condition_variable queue_cv_;
     AdmissionController admission_;
     bool shutdown_ = false;
+    /** Core-budget scheduler state, guarded by queue_mu_: lanes charged
+     *  to currently executing leaders.  Invariant: 0 <= lanes_in_use_ <=
+     *  lane_budget_. */
+    int lane_budget_ = 1;
+    int lanes_in_use_ = 0;
+    std::condition_variable lanes_cv_;
 
     std::mutex metrics_mu_; ///< serializes JSONL appends across workers
 

@@ -212,6 +212,15 @@ Server::Server(harness::DatasetSuite suite,
     GM_ASSERT(options_.workers >= 1, "server needs at least one worker");
     GM_ASSERT(options_.queue_capacity >= 1,
               "server needs a non-empty admission queue");
+    // Default budget: at least one lane per worker, so width-1 traffic
+    // keeps the full workers-way request concurrency the pool provides
+    // (as before this scheduler existed), and at least the ThreadPool
+    // size so one wide request can use every core.
+    lane_budget_ =
+        options_.lane_budget >= 1
+            ? options_.lane_budget
+            : std::max(options_.workers,
+                       par::ThreadPool::instance().num_threads());
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back([this] { worker_loop(); });
@@ -263,6 +272,10 @@ Server::submit(Request request)
 
     auto state = std::make_shared<RequestState>();
     state->req = std::move(request);
+    // Width changes latency, never the answer (kernels are
+    // order-deterministic), so it is clamped rather than validated and
+    // stays out of the cache key.
+    state->req.width = std::clamp(state->req.width, 1, lane_budget_);
     state->fw = fw;
     state->ds = ds;
     state->cache_key = make_cache_key(state->req, *fw, *ds);
@@ -539,6 +552,20 @@ Server::process(const std::shared_ptr<RequestState>& state)
               break;
           }
           case ResultCache::Role::kLeader: {
+              // Core-budget scheduling: charge the request's width
+              // against the lane budget before executing.  Cache hits
+              // and followers never touch the budget, so they are served
+              // even when every lane is busy.
+              const int width = state->req.width;
+              if (!acquire_lanes(*state, width)) {
+                  status = classify_cancel(*state);
+                  record_cell_outcome(*state, status, /*executed=*/false);
+                  // Wake followers: their leader never ran ("abandoned"
+                  // at wait_for_leader, so they retry cleanly).
+                  cache_.publish(state->cache_key, lookup.flight, status,
+                                 nullptr, 0);
+                  break;
+              }
               executed = true;
               {
                   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -548,12 +575,17 @@ Server::process(const std::shared_ptr<RequestState>& state)
               std::shared_ptr<const ResultValue> value;
               std::uint64_t fingerprint = 0;
               try {
-                  // Serial execution on this worker thread: concurrency
-                  // comes from the worker pool, not from the kernel, so
-                  // results are bit-identical to a direct serial run and
-                  // N requests never contend for the shared ThreadPool.
+                  // Multi-lane execution under a LaneLease: the kernel's
+                  // forks run on the leased lanes only, so concurrent
+                  // requests parallelize on disjoint lane sets, and
+                  // order-deterministic kernels make the payload
+                  // bit-identical to a serial run at any width.
                   support::ScopedCancelToken scope(state->token.get());
-                  par::SerialRegion serial;
+                  par::LaneLease lease(width);
+                  result.lanes = lease.width();
+                  obs::counter_add(
+                      "serve.lanes",
+                      static_cast<std::uint64_t>(lease.width()));
                   obs::ScopedSpan span("serve.execute");
                   support::FaultInjector::global().at("serve.execute");
                   support::check_cancelled();
@@ -578,21 +610,66 @@ Server::process(const std::shared_ptr<RequestState>& state)
               result.execute_seconds =
                   static_cast<double>(exec_ns) * 1e-9;
               {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  counters_.lanes_granted +=
+                      static_cast<std::uint64_t>(
+                          std::max(0, result.lanes));
+              }
+              {
                   // Feed the admission drain estimate: what one queue
                   // slot actually cost, success or not.
                   std::lock_guard<std::mutex> lock(queue_mu_);
                   admission_.record_service(exec_ns);
               }
+              release_lanes(width);
               break;
           }
         }
     }
     (void)executed;
     session.stop();
+    if (result.lanes > 0 && result.execute_seconds > 0) {
+        // Lane busy time over lanes x wall: 1.0 means every granted lane
+        // was busy for the whole execution.
+        const obs::TrialMetrics summary = obs::summarize(session);
+        result.parallel_efficiency =
+            std::min(1.0, summary.busy_seconds /
+                              (result.execute_seconds *
+                               static_cast<double>(result.lanes)));
+    }
     if (!options_.metrics_path.empty())
         write_metrics_record(*state, session);
     complete(state, std::move(status), std::move(result));
     flush_breaker_transitions();
+}
+
+bool
+Server::acquire_lanes(const RequestState& state, int width)
+{
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    for (;;) {
+        if (lanes_in_use_ + width <= lane_budget_) {
+            lanes_in_use_ += width;
+            return true;
+        }
+        if (state.user_cancelled.load(std::memory_order_relaxed))
+            return false;
+        if (state.deadline_ns != 0 && Timer::now_ns() >= state.deadline_ns)
+            return false;
+        // Budget holders are executing leaders, which always finish, so
+        // this wait cannot deadlock; the poll bounds cancel latency.
+        lanes_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+}
+
+void
+Server::release_lanes(int width)
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        lanes_in_use_ -= width;
+    }
+    lanes_cv_.notify_all();
 }
 
 Status
@@ -755,6 +832,7 @@ Server::stats() const
         out.cancelled = c.cancelled;
         out.failed = c.failed;
         out.executions = c.executions;
+        out.lanes_granted = c.lanes_granted;
         out.cache_hits = c.cache_hits;
         out.single_flight_joins = c.single_flight_joins;
         out.retries = c.retries;

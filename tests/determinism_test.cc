@@ -1,0 +1,143 @@
+/**
+ * Cross-width determinism suite: every framework analogue must produce a
+ * bit-identical result payload no matter how many lanes its parallel
+ * primitives run on.  This is the kernel-level contract behind both the
+ * detcheck CI tier (which varies GM_THREADS across processes) and
+ * gm::serve's parallel execution (which varies LaneLease widths within
+ * one process) — see DESIGN.md section 13.
+ *
+ * Each case computes a fingerprint under an owned width-1 lease (the
+ * exact serial fold) and re-runs under leases of width 2, 3, and the
+ * full pool; kernels adopt the enclosing lease, so this exercises the
+ * same adoption path a served request uses.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/par/thread_pool.hh"
+#include "gm/support/hash.hh"
+
+namespace gm
+{
+namespace
+{
+
+using harness::Dataset;
+using harness::Framework;
+using harness::Kernel;
+using harness::Mode;
+
+const harness::DatasetSuite&
+suite()
+{
+    static const harness::DatasetSuite s = harness::make_gap_suite(6);
+    return s;
+}
+
+const std::vector<Framework>&
+frameworks()
+{
+    static const std::vector<Framework> f = harness::make_frameworks();
+    return f;
+}
+
+std::uint64_t
+cell_fingerprint(const Framework& fw, Kernel kernel, const Dataset& ds)
+{
+    const vid_t source = ds.sources.empty() ? 0 : ds.sources[0];
+    support::Fnv1a h;
+    switch (kernel) {
+      case Kernel::kBFS:
+        h.update_vector(fw.bfs(ds, source, Mode::kBaseline));
+        break;
+      case Kernel::kSSSP:
+        h.update_vector(fw.sssp(ds, source, Mode::kBaseline));
+        break;
+      case Kernel::kCC:
+        h.update_vector(fw.cc(ds, Mode::kBaseline));
+        break;
+      case Kernel::kPR:
+        h.update_vector(fw.pr(ds, Mode::kBaseline));
+        break;
+      case Kernel::kBC:
+        h.update_vector(fw.bc(ds, {source}, Mode::kBaseline));
+        break;
+      case Kernel::kTC:
+        h.update_value(fw.tc(ds, Mode::kBaseline));
+        break;
+    }
+    return h.digest();
+}
+
+/** Fingerprint @p compute at widths {1, 2, 3, pool}; all must agree. */
+void
+expect_width_invariant(const std::function<std::uint64_t()>& compute)
+{
+    const std::uint64_t reference = [&] {
+        par::LaneLease lease(1);
+        return compute();
+    }();
+    const int pool_width = par::ThreadPool::instance().num_threads();
+    for (const int w : {2, 3, pool_width}) {
+        par::LaneLease lease(w);
+        EXPECT_EQ(compute(), reference) << "width " << w;
+    }
+}
+
+TEST(Determinism, EveryFrameworkEveryKernelOnKron)
+{
+    // Kron is the adversarial graph here: dense enough to trigger
+    // direction-optimized BFS switching and heavy CAS contention.
+    const Dataset* kron = nullptr;
+    for (const auto& ds : suite().datasets)
+        if (ds->name == "Kron")
+            kron = ds.get();
+    ASSERT_NE(kron, nullptr);
+    for (const Framework& fw : frameworks()) {
+        for (Kernel kernel : harness::kAllKernels) {
+            SCOPED_TRACE(fw.name + "/" + harness::to_string(kernel));
+            expect_width_invariant(
+                [&] { return cell_fingerprint(fw, kernel, *kron); });
+        }
+    }
+}
+
+TEST(Determinism, PageRankScoresBitIdenticalOnEveryGraph)
+{
+    // PR is the pure-float kernel: reassociated sums would differ in the
+    // low mantissa bits, so bit-equal digests prove ordered reductions.
+    for (const auto& ds : suite().datasets) {
+        for (const Framework& fw : frameworks()) {
+            SCOPED_TRACE(fw.name + "/PR/" + ds->name);
+            expect_width_invariant(
+                [&] { return cell_fingerprint(fw, Kernel::kPR, *ds); });
+        }
+    }
+}
+
+TEST(Determinism, GeneratedGraphsAreWidthInvariant)
+{
+    // Graph generation itself is parallel; the RNG chunk grid must make
+    // the edge structure a pure function of (scale, seed).
+    const auto structure_digest = [] {
+        const harness::DatasetSuite s = harness::make_gap_suite(6);
+        support::Fnv1a h;
+        for (const auto& ds : s.datasets) {
+            const auto& g = ds->g();
+            for (vid_t v = 0; v < g.num_vertices(); ++v)
+                for (vid_t u : g.out_neigh(v))
+                    h.update_value(u);
+        }
+        return h.digest();
+    };
+    expect_width_invariant(structure_digest);
+}
+
+} // namespace
+} // namespace gm

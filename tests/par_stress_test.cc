@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gm/par/atomics.hh"
@@ -120,6 +121,65 @@ TEST(ParStress, QueueBufferUnderPool)
         ASSERT_EQ(seen[static_cast<std::size_t>(*it)], 0);
         seen[static_cast<std::size_t>(*it)] = 1;
     }
+}
+
+TEST(ParStress, ConcurrentLeaseHoldersShareThePool)
+{
+    // Several threads each hold a LaneLease and hammer fork-joins plus
+    // deterministic reductions concurrently — the gm::serve execution
+    // pattern.  Guards (under TSan) the lease acquire/release protocol,
+    // the per-lease fork-join state, and that results never depend on
+    // how many lanes each holder was granted.
+    constexpr int kHolders = 4;
+    constexpr int kRounds = 100;
+    constexpr int kN = 5000;
+    const double expected = [&] {
+        // Reference from the one-lane path: parallel_reduce's contract is
+        // bit-equality with its own fixed chunk-grid fold at any width.
+        LaneLease lease(1);
+        return parallel_reduce<int, double>(
+            0, kN, 0.0, [](int i) { return 1.0 / (1.0 + i); },
+            [](double a, double b) { return a + b; });
+    }();
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> holders;
+    holders.reserve(kHolders);
+    for (int t = 0; t < kHolders; ++t) {
+        holders.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                LaneLease lease(2);
+                const double sum = parallel_reduce<int, double>(
+                    0, kN, 0.0, [](int i) { return 1.0 / (1.0 + i); },
+                    [](double a, double b) { return a + b; });
+                if (sum != expected)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& holder : holders)
+        holder.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ParStress, LeaseChurnUnderForkLoad)
+{
+    // Rapid acquire/release while another thread runs ephemeral-lease
+    // forks: stresses worker attach/detach against job dispatch.
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> forks{0};
+    std::thread churner([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            LaneLease lease(ThreadPool::instance().num_threads());
+            ThreadPool::instance().run([](int) {});
+        }
+    });
+    for (int round = 0; round < 500; ++round) {
+        parallel_for<int>(0, 64,
+                          [&](int) { forks.fetch_add(1); });
+    }
+    stop.store(true, std::memory_order_release);
+    churner.join();
+    EXPECT_EQ(forks.load(), 500 * 64);
 }
 
 TEST(ParStress, DynamicScheduleBalancesSkewedWork)

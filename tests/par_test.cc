@@ -1,8 +1,10 @@
 /** Unit tests for the gm::par substrate: pool, loops, reductions, atomics. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -350,6 +352,155 @@ TEST(ThreadPool, SerialRegionSubmitterDoesNotBlockOnPool)
     serial.join();
     hog.join();
     EXPECT_EQ(serial_sum.load(), 1000);
+}
+
+// ------------------------------------------------------------- LaneLease
+
+TEST(LaneLease, GrantsAtMostRequestedWidth)
+{
+    const int pool_width = ThreadPool::instance().num_threads();
+    LaneLease lease(2);
+    EXPECT_GE(lease.width(), 1);
+    EXPECT_LE(lease.width(), std::min(2, pool_width));
+    EXPECT_EQ(LaneLease::current(), &lease);
+}
+
+TEST(LaneLease, RunUsesExactlyTheLeasedLanes)
+{
+    LaneLease lease(ThreadPool::instance().num_threads());
+    const int width = lease.width();
+    std::vector<std::atomic<int>> hit(static_cast<std::size_t>(width));
+    const int used = ThreadPool::instance().run([&](int lane) {
+        ASSERT_LT(lane, width);
+        hit[static_cast<std::size_t>(lane)].fetch_add(1);
+    });
+    EXPECT_EQ(used, width);
+    for (const auto& h : hit)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(LaneLease, NestedLeaseAdoptsEnclosingWidth)
+{
+    LaneLease outer(ThreadPool::instance().num_threads());
+    {
+        LaneLease inner(1);
+        // Adoption: the inner lease must not shrink (or re-acquire) the
+        // thread's lanes; primitives keep running on the outer grant.
+        EXPECT_EQ(inner.width(), outer.width());
+        EXPECT_EQ(LaneLease::current(), &outer);
+    }
+    EXPECT_EQ(LaneLease::current(), &outer);
+}
+
+TEST(LaneLease, WidthOneLeaseDegradesPrimitivesToSerial)
+{
+    LaneLease lease(1);
+    EXPECT_EQ(lease.width(), 1);
+    std::thread::id self = std::this_thread::get_id();
+    int calls = 0;
+    parallel_for<int>(0, 100, [&](int) {
+        EXPECT_EQ(std::this_thread::get_id(), self);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 100);
+}
+
+TEST(LaneLease, InsideLaneAdoptsSerially)
+{
+    ThreadPool::instance().run([&](int) {
+        LaneLease nested(8);
+        EXPECT_EQ(nested.width(), 1);
+    });
+}
+
+TEST(LaneLease, ConcurrentHoldersProgressIndependently)
+{
+    // Two threads each hold a lease and fork repeatedly; neither may
+    // deadlock on the other (disjoint lanes, or serial fallback when the
+    // pool has no spare workers).
+    std::atomic<long> total{0};
+    auto work = [&] {
+        LaneLease lease(2);
+        for (int round = 0; round < 50; ++round) {
+            ThreadPool::instance().run(
+                [&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+        }
+    };
+    std::thread a(work);
+    std::thread b(work);
+    a.join();
+    b.join();
+    // Each fork runs on >= 1 lane, so 100 forks contribute >= 100.
+    EXPECT_GE(total.load(), 100);
+}
+
+// ------------------------------------------- cross-width determinism
+
+/** Runs @p body under an owned lease of each width in {1, 2, 3, pool}
+ *  and checks every run produces bit-identical results. */
+template <typename Fn>
+void
+expect_same_at_every_width(Fn&& body)
+{
+    const int pool_width = ThreadPool::instance().num_threads();
+    const int widths[] = {1, 2, 3, pool_width};
+    const auto reference = [&] {
+        LaneLease lease(1);
+        return body();
+    }();
+    for (const int w : widths) {
+        LaneLease lease(w);
+        EXPECT_EQ(body(), reference) << "width " << w;
+    }
+}
+
+TEST(Determinism, FloatSumBitIdenticalAcrossWidths)
+{
+    // Summands with wildly different magnitudes: any reassociation of
+    // the fold shows up in the low bits of the double.
+    constexpr int kN = 100000;
+    expect_same_at_every_width([&] {
+        return parallel_reduce<int, double>(
+            0, kN, 0.0,
+            [](int i) { return 1.0 / (1.0 + i) + (i % 7) * 1e9; },
+            [](double a, double b) { return a + b; });
+    });
+}
+
+TEST(Determinism, NonCommutativeCombineOrdered)
+{
+    // combine(a, b) = a * 31 + b is order-sensitive: any deviation from
+    // the ascending chunk fold changes the value.
+    constexpr int kN = 10000;
+    expect_same_at_every_width([&] {
+        return parallel_reduce<int, std::uint64_t>(
+            0, kN, 0,
+            [](int i) { return static_cast<std::uint64_t>(i % 13); },
+            [](std::uint64_t a, std::uint64_t b) { return a * 31 + b; });
+    });
+}
+
+TEST(Determinism, ReduceMatchesOneLaneFoldExactly)
+{
+    constexpr int kN = 54321; // not a multiple of the chunk grid
+    const auto fold = [] {
+        return parallel_reduce<int, double>(
+            0, kN, 0.0, [](int i) { return 1.0 / (1.0 + i); },
+            [](double a, double b) { return a + b; });
+    };
+    const double one_lane = [&] {
+        LaneLease lease(1);
+        return fold();
+    }();
+    // Bit equality, not near-equality: the contract is that the parallel
+    // path performs the identical chunk-grid fold the one-lane path does
+    // (the grid is a function of kN alone).  A naive continuous fold is
+    // a *different* association and is only near-equal.
+    EXPECT_EQ(fold(), one_lane);
+    double naive = 0.0;
+    for (int i = 0; i < kN; ++i)
+        naive += 1.0 / (1.0 + i);
+    EXPECT_NEAR(one_lane, naive, 1e-9);
 }
 
 } // namespace

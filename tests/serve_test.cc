@@ -270,6 +270,72 @@ TEST(ServeTest, EightConcurrentQueriesMatchDirectExecution)
     EXPECT_EQ(stats.shed, 0u);
 }
 
+TEST(ServeTest, WideRequestsMatchSerialResultsBitForBit)
+{
+    // The core determinism promise of parallel serving: the same query
+    // executed at widths 1, 2, 5, and 8 returns byte-identical payloads
+    // (width is a latency knob, never an answer knob).  Cache off so
+    // every submission actually executes.
+    ServerOptions options;
+    options.workers = 2;
+    options.lane_budget = 8;
+    options.cache_capacity_bytes = 0;
+    Server server = make_server(options);
+
+    const harness::Dataset& kron = suite()[3];
+    const ResultValue expected = direct([&] {
+        return ResultValue(frameworks()[harness::kGapIndex].pr(
+            kron, Mode::kBaseline));
+    });
+
+    for (const int width : {1, 2, 5, 8}) {
+        Request req;
+        req.framework = "GAP";
+        req.kernel = Kernel::kPR; // float kernel: reassociation-sensitive
+        req.graph = "Kron";
+        req.width = width;
+        auto got = server.query(req);
+        ASSERT_TRUE(got.is_ok())
+            << "width " << width << ": " << got.status().to_string();
+        EXPECT_EQ(got->fingerprint, result_fingerprint(expected))
+            << "width " << width;
+        EXPECT_TRUE(*got->value == expected) << "width " << width;
+        // The lease is best-effort, but at least the caller's lane ran.
+        EXPECT_GE(got->lanes, 1) << "width " << width;
+        EXPECT_LE(got->lanes, width) << "width " << width;
+        EXPECT_GE(got->parallel_efficiency, 0.0);
+        EXPECT_LE(got->parallel_efficiency, 1.0);
+    }
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.executions, 4u);
+    EXPECT_GE(stats.lanes_granted, 4u); // >= 1 lane per execution
+}
+
+TEST(ServeTest, WidthIsClampedToTheLaneBudget)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.lane_budget = 2;
+    options.cache_capacity_bytes = 0;
+    Server server = make_server(options);
+
+    Request req;
+    req.framework = "GAP";
+    req.kernel = Kernel::kBFS;
+    req.graph = "Road";
+    req.source = suite()[0].sources[0];
+    req.width = 64; // far beyond the budget
+    auto got = server.query(req);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_LE(got->lanes, 2);
+
+    req.width = -3; // nonsense widths degrade to serial, not an error
+    got = server.query(req);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_GE(got->lanes, 1);
+}
+
 TEST(ServeTest, EveryKernelAndAliasServes)
 {
     ServerOptions options;

@@ -7,11 +7,17 @@
 # profile-pipeline smoke run that fails on unparseable Chrome trace JSON,
 # a perf-gate smoke that records a baseline, self-compares it (must
 # pass), then re-runs with a fault-injected slowdown on one cell (must
-# fail), a serve smoke that drives the query service closed-loop
-# (cache warm-up) and open-loop under injected overload (deadline misses
-# + shedding), and a chaos smoke that runs serve_bench --chaos under a
-# pinned fault storm and gates on the availability SLO plus full
-# circuit-breaker open/half-open/closed cycles.
+# fail), a determinism tier that fingerprints every framework x kernel
+# x graph cell at GM_THREADS=1 and GM_THREADS=8 and fails on any byte
+# difference (the contract DESIGN.md section 13 pins), a serve smoke
+# that drives the query service closed-loop (cache warm-up) with a
+# mixed-width request population (lane-leased parallel execution),
+# open-loop under injected overload (deadline misses + shedding), and
+# through tools/serve_perf_check.sh (width-8 vs width-1 baselines must
+# show zero perf_gate regressions), and a
+# chaos smoke that runs serve_bench --chaos under a pinned fault storm
+# and gates on the availability SLO plus full circuit-breaker
+# open/half-open/closed cycles.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -93,19 +99,40 @@ if "$BUILD_DIR/tools/perf_gate" --ref "$GATE_DIR/ref.jsonl" \
 fi
 grep -q '"verdict":"regressed"' "$GATE_DIR/slow.report.jsonl"
 
-echo "== tier 6: serve smoke (closed-loop mixed load, open-loop overload) =="
+echo "== tier 6: determinism (fingerprints at GM_THREADS=1 vs 8) =="
+DET_DIR="$BUILD_DIR/ci-determinism"
+rm -rf "$DET_DIR"
+mkdir -p "$DET_DIR"
+# Every framework x kernel x graph cell must produce a bit-identical
+# result payload at any thread count; detcheck prints one FNV-1a
+# fingerprint per cell, so any scheduling-dependent result shows up as
+# a CSV diff.  This is the end-to-end gate on the deterministic
+# parallel substrate (ordered reductions, min-combine claims, fixed
+# RNG chunk grids in the generators).
+GM_THREADS=1 "$BUILD_DIR/tools/detcheck" --scale 6 > "$DET_DIR/det1.csv"
+GM_THREADS=8 "$BUILD_DIR/tools/detcheck" --scale 6 > "$DET_DIR/det8.csv"
+if ! diff "$DET_DIR/det1.csv" "$DET_DIR/det8.csv"; then
+    echo "kernel results differ between GM_THREADS=1 and GM_THREADS=8" >&2
+    exit 1
+fi
+
+echo "== tier 7: serve smoke (closed-loop mixed load, open-loop overload) =="
 SERVE_DIR="$BUILD_DIR/ci-serve-smoke"
 rm -rf "$SERVE_DIR"
 mkdir -p "$SERVE_DIR"
 # Closed loop: a mixed seeded workload must complete with zero failures
 # and a warm cache (hits > 0 is guaranteed: 200 draws from 32 queries).
+# The width distribution exercises the lane-budget scheduler: 70% of
+# requests run width-1, 30% ask for 4 lanes, and every answer must
+# still be served (identical payloads regardless of width).
 "$BUILD_DIR/tools/serve_bench" --scale 6 --requests 200 --distinct 32 \
-    --workers 4 --clients 8 --seed 42 \
+    --workers 4 --clients 8 --seed 42 --width 1:0.7,4:0.3 \
     --csv "$SERVE_DIR/closed.csv" \
     --baseline-out "$SERVE_DIR/closed.jsonl" \
     --metrics-out "$SERVE_DIR/closed_metrics.jsonl" \
     | tee "$SERVE_DIR/closed.log"
 grep -q "failed=0" "$SERVE_DIR/closed.log"
+grep -q "mean lanes/request" "$SERVE_DIR/closed.log"
 if grep -q "cache:       0 hits" "$SERVE_DIR/closed.log"; then
     echo "serve_bench closed loop produced no cache hits" >&2
     exit 1
@@ -128,8 +155,14 @@ if grep -q " shed=0 " "$SERVE_DIR/open.log"; then
     exit 1
 fi
 grep -q "failed=0" "$SERVE_DIR/open.log"
+# Lane-leased execution must never cost width-1-equivalent traffic:
+# records fresh width-1 vs width-8 baselines over the same seeded heavy
+# workload and perf_gates them (and, on >=4-core hosts, requires a
+# significant large-query improvement).  The committed reference pair
+# lives in perf/baselines/.
+BUILD_DIR="$BUILD_DIR" tools/serve_perf_check.sh
 
-echo "== tier 7: chaos smoke (pinned fault storm, availability SLO) =="
+echo "== tier 8: chaos smoke (pinned fault storm, availability SLO) =="
 CHAOS_DIR="$BUILD_DIR/ci-chaos-smoke"
 rm -rf "$CHAOS_DIR"
 mkdir -p "$CHAOS_DIR"

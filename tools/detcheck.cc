@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Determinism checker: run every framework x kernel x graph cell and
+ * print one `framework,kernel,graph,fingerprint` CSV row per cell, where
+ * the fingerprint is an FNV-1a digest over the raw result payload.
+ *
+ * The output is a pure function of the suite and the kernels — never of
+ * GM_THREADS — so CI diffs two runs at different thread counts and fails
+ * on any byte difference:
+ *
+ *     GM_THREADS=1 detcheck --scale 6 > det1.csv
+ *     GM_THREADS=8 detcheck --scale 6 > det8.csv
+ *     diff det1.csv det8.csv
+ *
+ * Exit codes: 0 ok, 1 usage, 3 a kernel threw.
+ */
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gm/cli/argparse.hh"
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/support/hash.hh"
+
+namespace
+{
+
+using gm::harness::Dataset;
+using gm::harness::Framework;
+using gm::harness::Kernel;
+using gm::harness::Mode;
+
+void
+usage()
+{
+    std::cout
+        << "Usage: detcheck [options]\n"
+        << "  --scale <n>        log2 vertices per suite graph (default 6)\n"
+        << "  --frameworks <csv> frameworks to run (default: all)\n"
+        << "  --kernels <csv>    kernels to run (default: all)\n"
+        << "  --mode <name>      Baseline or Optimized (default Baseline)\n"
+        << "  -h, --help         this help\n";
+}
+
+std::uint64_t
+run_cell(const Framework& fw, Kernel kernel, const Dataset& ds, Mode mode)
+{
+    const gm::vid_t source = ds.sources.empty() ? 0 : ds.sources[0];
+    gm::support::Fnv1a h;
+    switch (kernel) {
+      case Kernel::kBFS:
+        h.update_vector(fw.bfs(ds, source, mode));
+        break;
+      case Kernel::kSSSP:
+        h.update_vector(fw.sssp(ds, source, mode));
+        break;
+      case Kernel::kCC:
+        h.update_vector(fw.cc(ds, mode));
+        break;
+      case Kernel::kPR:
+        h.update_vector(fw.pr(ds, mode));
+        break;
+      case Kernel::kBC:
+        h.update_vector(fw.bc(ds, {source}, mode));
+        break;
+      case Kernel::kTC:
+        h.update_value(fw.tc(ds, mode));
+        break;
+    }
+    return h.digest();
+}
+
+bool
+selected(const std::string& csv, const std::string& name)
+{
+    if (csv.empty())
+        return true;
+    std::stringstream in(csv);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (item == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int scale = 6;
+    std::string frameworks_csv;
+    std::string kernels_csv;
+    std::string mode_name = "Baseline";
+
+    gm::cli::ArgParser parser("detcheck");
+    parser.usage(usage);
+    parser.value({"--scale"}, &scale);
+    parser.value({"--frameworks"}, &frameworks_csv);
+    parser.value({"--kernels"}, &kernels_csv);
+    parser.value({"--mode"}, &mode_name);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? 0 : 1;
+    if (scale < 4) {
+        std::cerr << "invalid --scale\n";
+        return 1;
+    }
+    Mode mode;
+    if (mode_name == "Baseline") {
+        mode = Mode::kBaseline;
+    } else if (mode_name == "Optimized") {
+        mode = Mode::kOptimized;
+    } else {
+        std::cerr << "unknown --mode: " << mode_name << "\n";
+        return 1;
+    }
+
+    const gm::harness::DatasetSuite suite =
+        gm::harness::make_gap_suite(scale);
+    const std::vector<Framework> frameworks =
+        gm::harness::make_frameworks();
+
+    std::cout << "framework,kernel,graph,fingerprint\n";
+    int failures = 0;
+    for (const Framework& fw : frameworks) {
+        if (!selected(frameworks_csv, fw.name))
+            continue;
+        for (Kernel kernel : gm::harness::kAllKernels) {
+            if (!selected(kernels_csv, gm::harness::to_string(kernel)))
+                continue;
+            for (const auto& ds : suite.datasets) {
+                try {
+                    const std::uint64_t digest =
+                        run_cell(fw, kernel, *ds, mode);
+                    std::cout << fw.name << ","
+                              << gm::harness::to_string(kernel) << ","
+                              << ds->name << "," << std::hex << digest
+                              << std::dec << "\n";
+                } catch (const std::exception& e) {
+                    std::cerr << fw.name << "/"
+                              << gm::harness::to_string(kernel) << "/"
+                              << ds->name << " threw: " << e.what()
+                              << "\n";
+                    ++failures;
+                }
+            }
+        }
+    }
+    return failures == 0 ? 0 : 3;
+}

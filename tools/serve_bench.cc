@@ -42,6 +42,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -91,6 +92,12 @@ usage()
         << "                     dispatcher instead of closed-loop clients\n"
         << "  --rate <req/s>     open-loop arrival rate (default 500)\n"
         << "  --deadline-ms <n>  per-request deadline (default 0 = none)\n"
+        << "  --width <spec>     execution-width distribution over the\n"
+        << "                     query population: a single width (\"8\")\n"
+        << "                     or weighted widths (\"1:0.7,8:0.3\");\n"
+        << "                     default 1\n"
+        << "  --lane-budget <n>  server lane budget (default 0 = derive\n"
+        << "                     from workers and GM_THREADS)\n"
         << "  --framework <name> framework to query (default GAP)\n"
         << "  --kernels <csv>    kernels in the population\n"
         << "                     (default BFS,SSSP,CC,PR)\n"
@@ -130,7 +137,59 @@ struct Outcome
     double queue_seconds = 0;
     double execute_seconds = 0;
     double service_seconds = 0;
+    int lanes = 0; ///< lanes granted (0 = no kernel ran)
+    double parallel_efficiency = 0;
 };
+
+/** Parsed --width spec: candidate widths with sampling weights. */
+struct WidthDist
+{
+    std::vector<int> widths = {1};
+    std::vector<double> weights = {1.0};
+
+    int
+    sample(gm::Xoshiro256& rng) const
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        double x = rng.next_double() * total;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            x -= weights[i];
+            if (x <= 0)
+                return widths[i];
+        }
+        return widths.back();
+    }
+};
+
+/** "8" or "1:0.7,8:0.3" (width:weight pairs, weights default 1). */
+bool
+parse_width_dist(const std::string& spec, WidthDist* out)
+{
+    out->widths.clear();
+    out->weights.clear();
+    std::stringstream in(spec);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        const std::size_t colon = item.find(':');
+        const std::string width_part = item.substr(0, colon);
+        char* end = nullptr;
+        const long width = std::strtol(width_part.c_str(), &end, 10);
+        if (end == width_part.c_str() || *end != '\0' || width < 1)
+            return false;
+        double weight = 1.0;
+        if (colon != std::string::npos) {
+            const std::string weight_part = item.substr(colon + 1);
+            weight = std::strtod(weight_part.c_str(), &end);
+            if (end == weight_part.c_str() || *end != '\0' || weight <= 0)
+                return false;
+        }
+        out->widths.push_back(static_cast<int>(width));
+        out->weights.push_back(weight);
+    }
+    return !out->widths.empty();
+}
 
 std::vector<Kernel>
 parse_kernels(const std::string& csv, bool* ok)
@@ -163,7 +222,7 @@ std::vector<Request>
 make_population(const gm::harness::DatasetSuite& suite,
                 const std::vector<Kernel>& kernels,
                 const std::string& framework, int distinct, int deadline_ms,
-                gm::Xoshiro256& rng)
+                const WidthDist& width_dist, gm::Xoshiro256& rng)
 {
     std::vector<Request> population;
     population.reserve(static_cast<std::size_t>(distinct));
@@ -176,6 +235,7 @@ make_population(const gm::harness::DatasetSuite& suite,
         req.graph = ds.name;
         req.source = ds.sources[rng.next_bounded(ds.sources.size())];
         req.deadline_ms = deadline_ms;
+        req.width = width_dist.sample(rng);
         population.push_back(req);
     }
     return population;
@@ -193,6 +253,8 @@ record_outcome(Outcome& out, const gm::support::StatusOr<
         out.queue_seconds = result->queue_seconds;
         out.execute_seconds = result->execute_seconds;
         out.service_seconds = result->service_seconds;
+        out.lanes = result->lanes;
+        out.parallel_efficiency = result->parallel_efficiency;
     } else {
         out.code = result.status().code();
     }
@@ -209,7 +271,7 @@ write_csv(const std::string& path, const std::vector<Request>& population,
     }
     out << "request,framework,kernel,graph,source,status,cache_hit,"
            "shared_execution,degraded,queue_seconds,execute_seconds,"
-           "service_seconds\n";
+           "service_seconds,width,lanes,parallel_efficiency\n";
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const Outcome& o = outcomes[i];
         const Request& req = population[
@@ -221,7 +283,9 @@ write_csv(const std::string& path, const std::vector<Request>& population,
             << "," << (o.degraded ? 1 : 0)
             << "," << gm::support::json_double(o.queue_seconds) << ","
             << gm::support::json_double(o.execute_seconds) << ","
-            << gm::support::json_double(o.service_seconds) << "\n";
+            << gm::support::json_double(o.service_seconds) << ","
+            << req.width << "," << o.lanes << ","
+            << gm::support::json_double(o.parallel_efficiency) << "\n";
     }
     out.flush();
     if (!out) {
@@ -291,6 +355,25 @@ struct PhaseStats
     std::uint64_t deadline = 0;
     std::uint64_t failed = 0;
     double wall_seconds = 0;
+    std::uint64_t executions = 0; ///< outcomes that ran a kernel
+    std::uint64_t lanes_total = 0;
+    double efficiency_total = 0;
+
+    double
+    mean_lanes() const
+    {
+        return executions == 0 ? 0
+                               : static_cast<double>(lanes_total) /
+                                     static_cast<double>(executions);
+    }
+
+    double
+    mean_parallel_efficiency() const
+    {
+        return executions == 0
+                   ? 0
+                   : efficiency_total / static_cast<double>(executions);
+    }
 
     double
     availability() const
@@ -326,6 +409,11 @@ summarize_phase(const std::string& name,
     phase.issued = outcomes.size();
     phase.wall_seconds = wall;
     for (const Outcome& o : outcomes) {
+        if (o.lanes > 0) {
+            ++phase.executions;
+            phase.lanes_total += static_cast<std::uint64_t>(o.lanes);
+            phase.efficiency_total += o.parallel_efficiency;
+        }
         switch (o.code) {
           case StatusCode::kOk:
             ++phase.ok;
@@ -374,7 +462,10 @@ slo_record_line(const PhaseStats& p, const ServerStats& stats,
         << ",\"goodput_rps\":" << gm::support::json_double(p.goodput_rps())
         << ",\"degraded_share\":"
         << gm::support::json_double(p.degraded_share())
-        << ",\"wall_seconds\":" << gm::support::json_double(p.wall_seconds);
+        << ",\"wall_seconds\":" << gm::support::json_double(p.wall_seconds)
+        << ",\"mean_lanes\":" << gm::support::json_double(p.mean_lanes())
+        << ",\"mean_parallel_efficiency\":"
+        << gm::support::json_double(p.mean_parallel_efficiency());
     if (overall)
         out << ",\"breaker_transitions\":" << stats.breaker_transitions
             << ",\"breaker_open_cells\":" << stats.breaker_open_cells
@@ -396,6 +487,7 @@ main(int argc, char** argv)
     bool open_loop = false;
     double rate = 500;
     int deadline_ms = 0;
+    std::string width_spec = "1";
     std::string framework = "GAP";
     std::string kernels_csv = "BFS,SSSP,CC,PR";
     std::uint64_t seed = 42;
@@ -430,6 +522,8 @@ main(int argc, char** argv)
     parser.flag({"--open-loop"}, &open_loop);
     parser.value({"--rate"}, &rate);
     parser.value({"--deadline-ms"}, &deadline_ms);
+    parser.value({"--width"}, &width_spec);
+    parser.value({"--lane-budget"}, &server_options.lane_budget);
     parser.value({"--framework"}, &framework);
     parser.value({"--kernels"}, &kernels_csv);
     parser.value({"--seed"}, &seed);
@@ -477,6 +571,11 @@ main(int argc, char** argv)
         parse_kernels(kernels_csv, &kernels_ok);
     if (!kernels_ok)
         return 1;
+    WidthDist width_dist;
+    if (!parse_width_dist(width_spec, &width_dist)) {
+        std::cerr << "bad --width spec: " << width_spec << "\n";
+        return 1;
+    }
 
     gm::support::EnvFingerprint fingerprint =
         gm::support::collect_fingerprint();
@@ -505,7 +604,7 @@ main(int argc, char** argv)
 
     gm::Xoshiro256 rng(seed);
     const std::vector<Request> population = make_population(
-        suite, kernels, framework, distinct, deadline_ms, rng);
+        suite, kernels, framework, distinct, deadline_ms, width_dist, rng);
     std::vector<int> stream(static_cast<std::size_t>(requests));
     for (int& index : stream)
         index = static_cast<int>(rng.next_bounded(population.size()));
@@ -707,7 +806,14 @@ main(int argc, char** argv)
     std::vector<double> latencies;
     std::uint64_t ok = 0, deadline = 0, cancelled = 0, shed = 0,
                   failed = 0, hits = 0;
+    std::uint64_t execs = 0, lanes_total = 0;
+    double efficiency_total = 0;
     for (const Outcome& o : outcomes) {
+        if (o.lanes > 0) {
+            ++execs;
+            lanes_total += static_cast<std::uint64_t>(o.lanes);
+            efficiency_total += o.parallel_efficiency;
+        }
         switch (o.code) {
           case StatusCode::kOk:
             ++ok;
@@ -759,6 +865,17 @@ main(int argc, char** argv)
     std::cout << "outcomes:    ok=" << ok << " deadline_exceeded="
               << deadline << " cancelled=" << cancelled << " shed=" << shed
               << " failed=" << failed << "\n";
+    if (execs > 0) {
+        std::cout << "parallel:    mean lanes/request "
+                  << std::setprecision(2)
+                  << static_cast<double>(lanes_total) /
+                         static_cast<double>(execs)
+                  << " over " << execs << " executions, mean efficiency "
+                  << std::setprecision(3)
+                  << efficiency_total / static_cast<double>(execs)
+                  << " (" << stats.lanes_granted
+                  << " lanes granted in total)\n";
+    }
 
     int code = 0;
     if (!csv_path.empty())
