@@ -26,7 +26,12 @@
  * GM_THREADS and any lease width.
  *
  * Set GM_PIN_THREADS=1 to pin worker lanes to cores round-robin
- * (topology-aware placement for measurement runs).
+ * (topology-aware placement for measurement runs).  The thread that
+ * constructs the pool is pinned to core 0 as well, which is only
+ * meaningful for single-client measurement runs (suite, bench) where one
+ * thread submits every job for the life of the process; under concurrent
+ * lane leasing (gm::serve) lease owners are arbitrary threads — only the
+ * worker lanes keep a topology-stable pin there.
  */
 #pragma once
 
@@ -68,7 +73,13 @@ struct LeaseState
     int width = 1;       ///< granted lanes, including the owner's lane 0
     int lanes_held = 0;  ///< pool workers attached (width - 1)
     bool released = false;
-    int returned = 0;    ///< workers fully detached and back in the pool
+    /** Workers fully detached and back in the pool.  Guarded by the
+     *  pool's mutex_ (NOT mu): the detach handshake must run entirely on
+     *  pool-owned synchronization, because the releasing owner destroys
+     *  this state the instant the last detach is observed — a worker
+     *  touching lease-owned mu/cv after its increment would race that
+     *  destruction. */
+    int returned = 0;
 };
 
 } // namespace detail
@@ -136,8 +147,12 @@ class ThreadPool
     bool pin_threads_ = false;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_; ///< guards free_, assignment_, shutdown_
+    std::mutex mutex_; ///< guards free_, assignment_, shutdown_, and
+                       ///< every LeaseState::returned
     std::condition_variable start_cv_;
+    /** Signals lease detachments to ~LaneLease.  Pool-owned (it outlives
+     *  every lease) so workers never notify through lease memory. */
+    std::condition_variable detach_cv_;
     std::vector<int> free_;                         ///< free worker slots
     std::vector<detail::LeaseState*> assignment_;   ///< per-slot lease
     std::vector<int> lane_id_;                      ///< per-slot lease lane

@@ -83,8 +83,15 @@ ThreadPool::ThreadPool(int num_threads)
         free_.push_back(slot);
         workers_.emplace_back([this, slot] { worker_loop(slot); });
     }
-    if (pin_threads_)
-        pin_to_cpu(0); // the constructing thread is the canonical lane 0
+    if (pin_threads_) {
+        // Pin the constructing thread to core 0.  This placement is only
+        // meaningful for single-client measurement runs (suite, bench),
+        // where the first-touch thread is the one that submits every job
+        // and so really is lane 0 of every lease; under concurrent lane
+        // leasing (gm::serve) lease owners are arbitrary threads and only
+        // the worker lanes below keep a topology-stable pin.
+        pin_to_cpu(0);
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -181,9 +188,14 @@ LaneLease::~LaneLease()
     }
     state_.cv.notify_all();
     // Wait until every worker has fully detached (and re-queued itself as
-    // free) before the state goes out of scope.
-    std::unique_lock<std::mutex> lock(state_.mu);
-    state_.done_cv.wait(
+    // free) before the state goes out of scope.  The handshake runs on
+    // the pool's own mutex/cv: a worker's final act is an increment and
+    // notify under pool.mutex_, so once the predicate holds — observable
+    // only after that worker released pool.mutex_ — no worker touches
+    // state_ (or any lease memory) again, and it can safely be destroyed.
+    ThreadPool& pool = ThreadPool::instance();
+    std::unique_lock<std::mutex> lock(pool.mutex_);
+    pool.detach_cv_.wait(
         lock, [this] { return state_.returned == state_.lanes_held; });
 }
 
@@ -319,17 +331,21 @@ ThreadPool::worker_loop(int slot)
         }
         serve_lease(*state, lane);
         {
+            // Re-queue as free and tell the releasing owner this lane is
+            // fully detached, in one pool-lock critical section.  The
+            // increment and notify deliberately use the pool's mutex/cv,
+            // not the lease's: ~LaneLease destroys the LeaseState as soon
+            // as it observes returned == lanes_held, and it cannot observe
+            // that until this lock is released — after which this thread
+            // never touches the state again.  (Notifying through
+            // lease-owned state after the final increment would race that
+            // destruction: the notify itself touches the state.)
             std::lock_guard<std::mutex> lock(mutex_);
             assignment_[static_cast<std::size_t>(slot)] = nullptr;
             free_.push_back(slot);
-        }
-        // Tell the releasing owner this lane is fully detached; the state
-        // must not be touched after the notify.
-        {
-            std::lock_guard<std::mutex> lock(state->mu);
             ++state->returned;
+            detach_cv_.notify_all();
         }
-        state->done_cv.notify_all();
     }
 }
 

@@ -60,6 +60,7 @@ namespace gm::serve
 
 namespace detail
 {
+struct LaneGate;
 struct RequestState;
 } // namespace detail
 
@@ -252,7 +253,9 @@ class Server
     void process(const std::shared_ptr<detail::RequestState>& state);
     /** Block until @p width lanes fit in the budget and charge them;
      *  false (nothing charged) if the request is cancelled or its
-     *  deadline passes while waiting. */
+     *  deadline passes while waiting.  Event-driven: woken by
+     *  release_lanes(), Handle::cancel(), and shutdown(), with the
+     *  request deadline as the only timed bound. */
     bool acquire_lanes(const detail::RequestState& state, int width);
     void release_lanes(int width);
     support::Status wait_for_leader(detail::RequestState& state,
@@ -286,12 +289,15 @@ class Server
     std::condition_variable queue_cv_;
     AdmissionController admission_;
     bool shutdown_ = false;
-    /** Core-budget scheduler state, guarded by queue_mu_: lanes charged
-     *  to currently executing leaders.  Invariant: 0 <= lanes_in_use_ <=
-     *  lane_budget_. */
+    /** Total lanes leaders may hold at once; const after construction.
+     *  Invariant: 0 <= lane_gate_->in_use <= lane_budget_. */
     int lane_budget_ = 1;
-    int lanes_in_use_ = 0;
-    std::condition_variable lanes_cv_;
+    /** Core-budget scheduler state (lanes charged to currently executing
+     *  leaders) plus the cv lane waiters block on.  shared_ptr-owned by
+     *  the server AND by every RequestState, so Handle::cancel() can wake
+     *  waiters through it without ever dereferencing the server — a
+     *  handle may outlive the Server. */
+    std::shared_ptr<detail::LaneGate> lane_gate_;
 
     std::mutex metrics_mu_; ///< serializes JSONL appends across workers
 

@@ -25,6 +25,22 @@ using support::StatusOr;
 namespace detail
 {
 
+/**
+ * Core-budget scheduler state: lanes charged to currently executing
+ * leaders, plus the condition variable lane waiters block on.  Waits are
+ * event-driven — release_lanes(), Handle::cancel(), and shutdown() all
+ * notify cv — so acquire_lanes never has to poll.  Shared-ptr-owned by
+ * the Server and by every RequestState: cancel() wakes waiters through
+ * the request's own reference, never through the server, so a Handle
+ * outliving the Server stays safe.
+ */
+struct LaneGate
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    int in_use = 0; ///< lanes held by executing leaders; guarded by mu
+};
+
 /** Everything one submitted request carries through the pipeline.  Heap-
  *  owned (shared by the Handle, the queue, and the worker), so a caller
  *  abandoning its Handle never invalidates an executing request. */
@@ -45,6 +61,9 @@ struct RequestState
      *  before enqueue, read after the queue handoff. */
     bool probe = false;
     std::atomic<bool> user_cancelled{false};
+    /** The server's lane gate; lets cancel() wake a leader blocked in
+     *  acquire_lanes without touching the (possibly destroyed) server. */
+    std::shared_ptr<LaneGate> gate;
 
     std::mutex mu;
     std::condition_variable cv;
@@ -221,6 +240,7 @@ Server::Server(harness::DatasetSuite suite,
             ? options_.lane_budget
             : std::max(options_.workers,
                        par::ThreadPool::instance().num_threads());
+    lane_gate_ = std::make_shared<detail::LaneGate>();
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back([this] { worker_loop(); });
@@ -238,6 +258,11 @@ Server::shutdown()
         shutdown_ = true;
     }
     queue_cv_.notify_all();
+    // Wake any leader blocked on the lane budget so it re-checks its
+    // cancel/deadline state promptly.  Draining leaders that are still
+    // live keep waiting — budget holders always finish, so the wait
+    // terminates and the queue drains as documented.
+    lane_gate_->cv.notify_all();
     for (auto& worker : workers_)
         worker.join();
     workers_.clear();
@@ -280,6 +305,7 @@ Server::submit(Request request)
     state->ds = ds;
     state->cache_key = make_cache_key(state->req, *fw, *ds);
     state->cell_key = make_cell_key(state->req, *fw);
+    state->gate = lane_gate_;
     state->submit_ns = Timer::now_ns();
     if (state->req.deadline_ms > 0)
         state->deadline_ns =
@@ -646,30 +672,44 @@ Server::process(const std::shared_ptr<RequestState>& state)
 bool
 Server::acquire_lanes(const RequestState& state, int width)
 {
-    std::unique_lock<std::mutex> lock(queue_mu_);
+    detail::LaneGate& gate = *lane_gate_;
+    std::unique_lock<std::mutex> lock(gate.mu);
     for (;;) {
-        if (lanes_in_use_ + width <= lane_budget_) {
-            lanes_in_use_ += width;
-            return true;
-        }
         if (state.user_cancelled.load(std::memory_order_relaxed))
             return false;
         if (state.deadline_ns != 0 && Timer::now_ns() >= state.deadline_ns)
             return false;
+        if (gate.in_use + width <= lane_budget_) {
+            gate.in_use += width;
+            return true;
+        }
         // Budget holders are executing leaders, which always finish, so
-        // this wait cannot deadlock; the poll bounds cancel latency.
-        lanes_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        // this wait cannot deadlock — including during shutdown's queue
+        // drain.  Wakeups are event-driven (release_lanes, cancel(), and
+        // shutdown() all notify); the only timed bound needed is the
+        // request's own deadline, so expiry is reported the moment it
+        // passes instead of on the next poll tick.
+        if (state.deadline_ns == 0) {
+            gate.cv.wait(lock);
+        } else {
+            const std::int64_t remaining_ns =
+                state.deadline_ns - Timer::now_ns();
+            if (remaining_ns > 0)
+                gate.cv.wait_for(lock,
+                                 std::chrono::nanoseconds(remaining_ns));
+        }
     }
 }
 
 void
 Server::release_lanes(int width)
 {
+    detail::LaneGate& gate = *lane_gate_;
     {
-        std::lock_guard<std::mutex> lock(queue_mu_);
-        lanes_in_use_ -= width;
+        std::lock_guard<std::mutex> lock(gate.mu);
+        gate.in_use -= width;
     }
-    lanes_cv_.notify_all();
+    gate.cv.notify_all();
 }
 
 Status
@@ -882,6 +922,11 @@ Server::Handle::cancel() const
     GM_ASSERT(state_ != nullptr, "cancel() on an empty serve::Handle");
     state_->user_cancelled.store(true, std::memory_order_relaxed);
     state_->token->request();
+    // Wake the request if it is a leader blocked on the lane budget; the
+    // gate is shared-ptr-owned by the state, so this is safe even after
+    // the server has been destroyed.
+    if (state_->gate != nullptr)
+        state_->gate->cv.notify_all();
 }
 
 } // namespace gm::serve

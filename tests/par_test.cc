@@ -299,32 +299,38 @@ TEST(SerialRegion, CancellationStillThrows)
                  support::CancelledError);
 }
 
-TEST(ThreadPool, ConcurrentSubmittersAreSerialized)
+TEST(ThreadPool, ConcurrentSubmittersShareLanes)
 {
-    // Several free threads hammer run() at once; every submission must
-    // execute on all lanes exactly once (the TSan tier additionally
-    // checks the fork-join state isn't torn).
+    // Several free threads hammer run() at once.  Each submission takes a
+    // best-effort ephemeral lease, so it must execute on exactly the
+    // width run() reports — every lane once, at least 1 (the submitter's
+    // own lane), at most the pool width, and possibly fewer than the
+    // pool width while other submitters hold workers.  (The TSan tier
+    // additionally checks the fork-join and detach state isn't torn.)
     ThreadPool& pool = ThreadPool::instance();
     const int submitters = 4;
     const int rounds = 25;
     std::atomic<long> executions{0};
+    std::atomic<long> width_total{0};
     std::vector<std::thread> threads;
     for (int t = 0; t < submitters; ++t) {
         threads.emplace_back([&] {
             for (int r = 0; r < rounds; ++r) {
                 std::atomic<int> lanes_hit{0};
-                pool.run([&](int) {
+                const int width = pool.run([&](int) {
                     lanes_hit.fetch_add(1, std::memory_order_relaxed);
                     executions.fetch_add(1, std::memory_order_relaxed);
                 });
-                EXPECT_EQ(lanes_hit.load(), pool.num_threads());
+                EXPECT_GE(width, 1);
+                EXPECT_LE(width, pool.num_threads());
+                EXPECT_EQ(lanes_hit.load(), width);
+                width_total.fetch_add(width, std::memory_order_relaxed);
             }
         });
     }
     for (auto& th : threads)
         th.join();
-    EXPECT_EQ(executions.load(),
-              static_cast<long>(submitters) * rounds * pool.num_threads());
+    EXPECT_EQ(executions.load(), width_total.load());
 }
 
 TEST(ThreadPool, SerialRegionSubmitterDoesNotBlockOnPool)
