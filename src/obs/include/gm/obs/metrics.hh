@@ -76,6 +76,12 @@ struct MetricsRecord
     std::string graph;
     int trial = 0;   ///< trial index within the cell
     int attempt = 0; ///< 1-based attempt number that produced the trial
+    /** Request-scoped trace id (gm::serve): every record for one logical
+     *  query — across retries, single-flight joins, and degraded serves —
+     *  carries the same id.  0 = not request-scoped (suite trials);
+     *  serialized as a 16-digit hex "trace" field, omitted when 0, so
+     *  pre-trace JSONL streams and checkpoints still round-trip. */
+    std::uint64_t trace_id = 0;
     TrialMetrics metrics;
 };
 

@@ -1,5 +1,6 @@
 #include "gm/obs/metrics.hh"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -173,8 +174,14 @@ metrics_record_line(const MetricsRecord& record)
         << ",\"kernel\":\"" << support::json_escape(record.kernel) << "\""
         << ",\"graph\":\"" << support::json_escape(record.graph) << "\""
         << ",\"trial\":" << record.trial
-        << ",\"attempt\":" << record.attempt
-        << ",\"metrics\":" << metrics_json(record.metrics) << "}";
+        << ",\"attempt\":" << record.attempt;
+    if (record.trace_id != 0) {
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(record.trace_id));
+        out << ",\"trace\":\"" << hex << "\"";
+    }
+    out << ",\"metrics\":" << metrics_json(record.metrics) << "}";
     return out.str();
 }
 
@@ -210,8 +217,10 @@ parse_metrics_record_line(const std::string& line)
         rec.trial = std::stoi(trial);
         if (const auto it = fields.find("attempt"); it != fields.end())
             rec.attempt = std::stoi(it->second);
+        if (const auto it = fields.find("trace"); it != fields.end())
+            rec.trace_id = std::stoull(it->second, nullptr, 16);
     } catch (const std::exception&) {
-        return corrupt("non-integer trial/attempt");
+        return corrupt("non-integer trial/attempt/trace");
     }
     auto parsed = parse_metrics_json(metrics);
     if (!parsed.is_ok())

@@ -1,9 +1,65 @@
 #include "gm/serve/breaker.hh"
 
 #include "gm/support/log.hh"
+#include "gm/telemetry/registry.hh"
 
 namespace gm::serve
 {
+
+namespace
+{
+
+/** Telemetry for breaker state machines.  Transition counters are keyed
+ *  by destination state; per-cell gauges encode the state as a number
+ *  (0 = closed, 1 = open, 2 = half_open); open_cells counts cells not
+ *  currently closed.  Handles resolve lazily (transitions are rare and
+ *  already hold the breaker mutex). */
+struct BreakerTelemetry
+{
+    telemetry::Counter& to_open;
+    telemetry::Counter& to_half_open;
+    telemetry::Counter& to_closed;
+    telemetry::Gauge& open_cells;
+
+    BreakerTelemetry()
+        : to_open(telemetry::Registry::global().counter(telemetry::labeled(
+              "gm_serve_breaker_transitions_total", {{"to", "open"}}))),
+          to_half_open(
+              telemetry::Registry::global().counter(telemetry::labeled(
+                  "gm_serve_breaker_transitions_total",
+                  {{"to", "half_open"}}))),
+          to_closed(
+              telemetry::Registry::global().counter(telemetry::labeled(
+                  "gm_serve_breaker_transitions_total",
+                  {{"to", "closed"}}))),
+          open_cells(telemetry::Registry::global().gauge(
+              "gm_serve_breaker_open_cells"))
+    {
+    }
+};
+
+BreakerTelemetry&
+breaker_telemetry()
+{
+    static BreakerTelemetry* t = new BreakerTelemetry();
+    return *t;
+}
+
+double
+state_number(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::kClosed:
+        return 0;
+      case CircuitBreaker::State::kOpen:
+        return 1;
+      case CircuitBreaker::State::kHalfOpen:
+        return 2;
+    }
+    return 0;
+}
+
+} // namespace
 
 CircuitBreaker::CircuitBreaker(BreakerOptions options,
                                support::Clock* clock)
@@ -57,6 +113,26 @@ CircuitBreaker::transition(const std::string& name, Cell& cell, State to,
         return;
     transitions_.push_back(
         {name, cell.state, to, now_ns, transition_seq_++});
+    BreakerTelemetry& bt = breaker_telemetry();
+    switch (to) {
+      case State::kOpen:
+        bt.to_open.inc();
+        break;
+      case State::kHalfOpen:
+        bt.to_half_open.inc();
+        break;
+      case State::kClosed:
+        bt.to_closed.inc();
+        break;
+    }
+    if (cell.state == State::kClosed && to != State::kClosed)
+        bt.open_cells.add(1);
+    else if (cell.state != State::kClosed && to == State::kClosed)
+        bt.open_cells.add(-1);
+    telemetry::Registry::global()
+        .gauge(telemetry::labeled("gm_serve_breaker_state",
+                                  {{"cell", name}}))
+        .set(state_number(to));
     cell.state = to;
     if (to == State::kOpen) {
         cell.opened_at_ns = now_ns;

@@ -1,9 +1,59 @@
 #include "gm/serve/cache.hh"
 
 #include "gm/support/fault_injector.hh"
+#include "gm/telemetry/registry.hh"
 
 namespace gm::serve
 {
+
+namespace
+{
+
+/** Live-telemetry handles for the cache, acquired once per process.
+ *  Probes no-op unless a Server has enabled the global registry. */
+struct CacheTelemetry
+{
+    telemetry::Counter& hits;
+    telemetry::Counter& misses;
+    telemetry::Counter& expired_misses;
+    telemetry::Counter& joins;
+    telemetry::Counter& insertions;
+    telemetry::Counter& evictions;
+    telemetry::Counter& stale_serves;
+    telemetry::Gauge& bytes;
+    telemetry::Gauge& entries;
+
+    CacheTelemetry()
+        : hits(telemetry::Registry::global().counter(
+              "gm_serve_cache_hits_total")),
+          misses(telemetry::Registry::global().counter(
+              "gm_serve_cache_misses_total")),
+          expired_misses(telemetry::Registry::global().counter(
+              "gm_serve_cache_expired_misses_total")),
+          joins(telemetry::Registry::global().counter(
+              "gm_serve_cache_joins_total")),
+          insertions(telemetry::Registry::global().counter(
+              "gm_serve_cache_insertions_total")),
+          evictions(telemetry::Registry::global().counter(
+              "gm_serve_cache_evictions_total")),
+          stale_serves(telemetry::Registry::global().counter(
+              "gm_serve_cache_stale_serves_total")),
+          bytes(telemetry::Registry::global().gauge(
+              "gm_serve_cache_bytes")),
+          entries(telemetry::Registry::global().gauge(
+              "gm_serve_cache_entries"))
+    {
+    }
+};
+
+CacheTelemetry&
+cache_telemetry()
+{
+    static CacheTelemetry* t = new CacheTelemetry();
+    return *t;
+}
+
+} // namespace
 
 ResultCache::Lookup
 ResultCache::lookup_or_join(const std::string& key)
@@ -13,6 +63,7 @@ ResultCache::lookup_or_join(const std::string& key)
         if (!expired(it->second, clock_->now_ns())) {
             lru_.splice(lru_.begin(), lru_, it->second.lru_it);
             ++counters_.hits;
+            cache_telemetry().hits.inc();
             Lookup hit;
             hit.role = Role::kHit;
             hit.value = it->second.value;
@@ -22,16 +73,20 @@ ResultCache::lookup_or_join(const std::string& key)
         // Past its TTL: no longer a hit, but deliberately kept — peek()
         // serves it stale until a fresh leader's publish() replaces it.
         ++counters_.expired_misses;
+        cache_telemetry().expired_misses.inc();
     }
     ++counters_.misses;
+    cache_telemetry().misses.inc();
     auto [it, inserted] = inflight_.try_emplace(key);
     if (inserted)
         it->second = std::make_shared<Inflight>();
     Lookup miss;
     miss.role = inserted ? Role::kLeader : Role::kFollower;
     miss.flight = it->second;
-    if (!inserted)
+    if (!inserted) {
         ++counters_.joins;
+        cache_telemetry().joins.inc();
+    }
     return miss;
 }
 
@@ -46,8 +101,10 @@ ResultCache::peek(const std::string& key)
     out.value = it->second.value;
     out.fingerprint = it->second.fingerprint;
     out.fresh = !expired(it->second, clock_->now_ns());
-    if (!out.fresh)
+    if (!out.fresh) {
         ++counters_.stale_serves;
+        cache_telemetry().stale_serves.inc();
+    }
     return out;
 }
 
@@ -93,14 +150,19 @@ ResultCache::publish(const std::string& key,
                     entries_.erase(vit);
                     lru_.pop_back();
                     ++counters_.evictions;
+                    cache_telemetry().evictions.inc();
                 }
                 lru_.push_front(key);
                 entries_[key] = Entry{value, fingerprint, bytes,
                                       clock_->now_ns(), lru_.begin()};
                 bytes_ += bytes;
                 ++counters_.insertions;
+                cache_telemetry().insertions.inc();
             }
         }
+        cache_telemetry().bytes.set(static_cast<double>(bytes_));
+        cache_telemetry().entries.set(
+            static_cast<double>(entries_.size()));
     }
     {
         std::lock_guard<std::mutex> lock(flight->mu);
@@ -130,6 +192,8 @@ ResultCache::clear()
     entries_.clear();
     lru_.clear();
     bytes_ = 0;
+    cache_telemetry().bytes.set(0);
+    cache_telemetry().entries.set(0);
 }
 
 } // namespace gm::serve

@@ -3,9 +3,39 @@
 #include <chrono>
 
 #include "gm/support/timer.hh"
+#include "gm/telemetry/registry.hh"
 
 namespace gm::serve
 {
+
+namespace
+{
+
+/** Armed-timer gauge (heap occupancy) + fired-deadline counter.  A timer
+ *  "fires" when its deadline passes, whether or not the request is still
+ *  running — completed requests keep their timer until expiry. */
+struct DeadlineTelemetry
+{
+    telemetry::Gauge& armed;
+    telemetry::Counter& fired;
+
+    DeadlineTelemetry()
+        : armed(telemetry::Registry::global().gauge(
+              "gm_serve_deadline_armed")),
+          fired(telemetry::Registry::global().counter(
+              "gm_serve_deadline_fired_total"))
+    {
+    }
+};
+
+DeadlineTelemetry&
+deadline_telemetry()
+{
+    static DeadlineTelemetry* t = new DeadlineTelemetry();
+    return *t;
+}
+
+} // namespace
 
 DeadlineScheduler::DeadlineScheduler() : thread_([this] { loop(); }) {}
 
@@ -17,6 +47,9 @@ DeadlineScheduler::~DeadlineScheduler()
     }
     cv_.notify_all();
     thread_.join();
+    // Timers still armed at teardown (requests that finished before
+    // their deadline) leave the gauge; zero it out.
+    deadline_telemetry().armed.add(-static_cast<double>(heap_.size()));
 }
 
 void
@@ -26,6 +59,7 @@ DeadlineScheduler::arm(std::int64_t deadline_ns,
     {
         std::lock_guard<std::mutex> lock(mu_);
         heap_.push(Armed{deadline_ns, std::move(token)});
+        deadline_telemetry().armed.add(1);
     }
     cv_.notify_all();
 }
@@ -51,6 +85,8 @@ DeadlineScheduler::loop()
                heap_.top().deadline_ns <= Timer::now_ns()) {
             heap_.top().token->request();
             heap_.pop();
+            deadline_telemetry().armed.add(-1);
+            deadline_telemetry().fired.inc();
         }
     }
 }

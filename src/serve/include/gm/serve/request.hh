@@ -69,6 +69,17 @@ struct Request
      */
     int width = 1;
     /**
+     * Request-scoped trace id.  0 (the default) tells the server to mint
+     * one at submit; query() mints once before its first attempt and
+     * reuses the id across retries, so every JSONL record and trace
+     * session for one logical query carries the same id.  Excluded from
+     * the cache key (identity of the answer, not of the asker).
+     */
+    std::uint64_t trace_id = 0;
+    /** 1-based attempt number stamped by query()'s retry loop (callers
+     *  submitting directly may leave it; submit() normalizes 0 to 1). */
+    int attempt = 1;
+    /**
      * Degraded-mode opt-in: when the request cannot be served fresh —
      * shed at admission, fast-failed by an open circuit breaker, or
      * failed/expired during execution — answer from a cached result for
@@ -129,6 +140,9 @@ struct QueryResult
     /** Total submit()-to-completion latency as stamped by the server
      *  (covers queue wait, execution or join wait, and cache lookups). */
     double service_seconds = 0;
+    /** The request's trace id (minted at submit when the caller left it
+     *  0); matches the "trace" field of this query's JSONL records. */
+    std::uint64_t trace_id = 0;
 };
 
 } // namespace gm::serve

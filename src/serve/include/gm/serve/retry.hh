@@ -28,6 +28,7 @@
 #include <mutex>
 
 #include "gm/support/status.hh"
+#include "gm/telemetry/registry.hh"
 
 namespace gm::serve
 {
@@ -66,12 +67,25 @@ class RetryBudget
     {
     }
 
+    /** Publish the live token level to @p gauge on every change (the
+     *  owning Server points this at gm_serve_retry_budget_tokens). */
+    void
+    attach_gauge(telemetry::Gauge* gauge)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gauge_ = gauge;
+        if (gauge_ != nullptr)
+            gauge_->set(tokens_);
+    }
+
     /** A fresh (non-retry) query arrived: deposit. */
     void
     deposit()
     {
         std::lock_guard<std::mutex> lock(mu_);
         tokens_ = std::min(cap_, tokens_ + ratio_);
+        if (gauge_ != nullptr)
+            gauge_->set(tokens_);
     }
 
     /** Try to pay for one retry; false = budget exhausted, don't retry. */
@@ -82,6 +96,8 @@ class RetryBudget
         if (tokens_ < 1.0)
             return false;
         tokens_ -= 1.0;
+        if (gauge_ != nullptr)
+            gauge_->set(tokens_);
         return true;
     }
 
@@ -97,6 +113,7 @@ class RetryBudget
     const double cap_;
     mutable std::mutex mu_;
     double tokens_;
+    telemetry::Gauge* gauge_ = nullptr; ///< optional live token mirror
 };
 
 } // namespace gm::serve

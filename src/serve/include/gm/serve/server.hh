@@ -54,6 +54,12 @@
 #include "gm/serve/retry.hh"
 #include "gm/support/clock.hh"
 #include "gm/support/status.hh"
+#include "gm/telemetry/slo.hh"
+
+namespace gm::telemetry
+{
+class MetricsListener;
+} // namespace gm::telemetry
 
 namespace gm::serve
 {
@@ -62,6 +68,7 @@ namespace detail
 {
 struct LaneGate;
 struct RequestState;
+struct ServeTelemetry;
 } // namespace detail
 
 /** Server construction knobs. */
@@ -104,8 +111,27 @@ struct ServerOptions
      *  Null = Clock::system(); tests may inject a ManualClock. */
     support::Clock* clock = nullptr;
     /** Append one MetricsRecord JSONL line per served request (plus one
-     *  "serve.breaker" line per breaker transition); "" = off. */
+     *  "serve.breaker" line per breaker transition, one "serve.refusal"
+     *  line per refused attempt, and "serve.slo.burn" lines on SLO
+     *  monitor transitions); "" = off. */
     std::string metrics_path;
+    /** Register serve metrics in telemetry::Registry::global() and keep
+     *  the registry enabled for the server's lifetime.  Counters are
+     *  process-wide and cumulative: two servers in one process share
+     *  (and both advance) the same series. */
+    bool enable_telemetry = true;
+    /** Serve the Prometheus-style text exposition from a blocking TCP
+     *  listener on 127.0.0.1:<metrics_port>.  -1 = off; 0 = pick an
+     *  ephemeral port (read it back with Server::metrics_port()). */
+    int metrics_port = -1;
+    /** Append one {"kind":"serve.telemetry"} registry snapshot line
+     *  every telemetry_flush_ms (crash-safe JSONL); "" = off. */
+    std::string telemetry_path;
+    int telemetry_flush_ms = 250;
+    /** SLO monitor targets (availability burn rate + optional p99);
+     *  always evaluated — gauges and burn records only surface through
+     *  telemetry/metrics streams when those are configured. */
+    telemetry::SloOptions slo;
 };
 
 /**
@@ -217,7 +243,30 @@ class Server
     support::StatusOr<QueryResult> query(const Request& request,
                                          const RetryPolicy& policy);
 
-    ServerStats stats() const;
+    /**
+     * Coherent point-in-time counters: the snapshot is assembled under
+     * the same stats mutex every mutation holds, so the ServerStats
+     * invariants hold in any snapshot, mid-storm included.  This is the
+     * one sanctioned way to read server counters.
+     */
+    ServerStats stats_snapshot() const;
+
+    /** Alias for stats_snapshot(), kept for older call sites. */
+    ServerStats
+    stats() const
+    {
+        return stats_snapshot();
+    }
+
+    /** Actual metrics-exposition port (resolves metrics_port = 0 to the
+     *  ephemeral port chosen at bind); -1 when the listener is off or
+     *  failed to bind. */
+    int metrics_port() const;
+
+    /** Evaluate the SLO monitor now: rolling availability, multi-window
+     *  burn rates, firing state.  Updates gauges and appends a
+     *  serve.slo.burn record on a fire/clear transition. */
+    telemetry::SloEvaluation slo_evaluation();
 
     /** The cell breaker registry (read-only observers for tools/tests). */
     CircuitBreaker& breaker() { return breaker_; }
@@ -275,6 +324,24 @@ class Server
                               const obs::TraceSession& session);
     /** Append drained breaker transitions to the metrics stream. */
     void flush_breaker_transitions();
+    /** Fresh nonzero request-scoped trace id (SplitMix64 over a
+     *  per-server sequence). */
+    std::uint64_t mint_trace_id();
+    /** {"kind":"serve.refusal"} record for a refused attempt (or one
+     *  answered degraded at submit), so retried requests leave one
+     *  trace-stamped line per attempt even when nothing executed. */
+    void write_refusal_record(const detail::RequestState& state,
+                              const support::Status& status,
+                              bool served_degraded);
+    /** Feed one finished request into the SLO monitor and evaluate it
+     *  at bucket granularity. */
+    void observe_slo(bool answered, bool fresh, std::int64_t latency_ns);
+    /** evaluate + gauge updates + burn-record on transition. */
+    telemetry::SloEvaluation evaluate_slo(std::int64_t now_ns);
+    void write_slo_burn_record(const telemetry::SloEvaluation& ev);
+    /** One {"kind":"serve.telemetry"} JSONL snapshot line. */
+    void write_telemetry_snapshot();
+    void telemetry_flush_loop();
 
     harness::DatasetSuite suite_;
     std::vector<harness::Framework> frameworks_;
@@ -303,6 +370,23 @@ class Server
 
     mutable std::mutex stats_mu_; ///< guards counters_ as one snapshot
     Counters counters_;
+
+    /** Pre-acquired registry handles (null when telemetry disabled). */
+    std::unique_ptr<detail::ServeTelemetry> tm_;
+    telemetry::SloMonitor slo_;
+    std::atomic<std::int64_t> last_slo_eval_ns_{0};
+    std::unique_ptr<telemetry::MetricsListener> listener_;
+
+    /** Trace-id minting: a per-server random base xor a sequence. */
+    std::uint64_t trace_base_ = 0;
+    std::atomic<std::uint64_t> trace_seq_{0};
+
+    /** Periodic registry -> JSONL snapshot flusher (telemetry_path). */
+    std::thread flusher_;
+    std::mutex flusher_mu_;
+    std::condition_variable flusher_cv_;
+    bool flusher_stop_ = false;
+    std::uint64_t telemetry_seq_ = 0; ///< snapshot lines written
 
     std::vector<std::thread> workers_;
 };

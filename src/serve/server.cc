@@ -7,13 +7,18 @@
 #include <sstream>
 #include <thread>
 
+#include <cstdio>
+
 #include "gm/obs/metrics.hh"
 #include "gm/par/thread_pool.hh"
 #include "gm/support/fault_injector.hh"
 #include "gm/support/hash.hh"
 #include "gm/support/json.hh"
+#include "gm/support/rng.hh"
 #include "gm/support/timer.hh"
 #include "gm/support/watchdog.hh"
+#include "gm/telemetry/exposition.hh"
+#include "gm/telemetry/registry.hh"
 
 namespace gm::serve
 {
@@ -24,6 +29,129 @@ using support::StatusOr;
 
 namespace detail
 {
+
+/**
+ * Every registry handle the server's hot paths touch, acquired once at
+ * construction so serving a request costs relaxed atomic ops only —
+ * never a name lookup.  Null on the Server when enable_telemetry=false.
+ *
+ * Latency histograms are pre-created for the full kernel x priority
+ * grid; all series live in telemetry::Registry::global() and are
+ * cumulative across servers in the process.
+ */
+struct ServeTelemetry
+{
+    static constexpr int kKernels = 6; ///< harness::Kernel cardinality
+
+    telemetry::Counter* submitted = nullptr;
+    telemetry::Counter* accepted[kPriorityClasses] = {};
+    telemetry::Counter* shed[kPriorityClasses] = {};
+    telemetry::Gauge* queue_depth[kPriorityClasses] = {};
+    telemetry::Counter* infeasible = nullptr;
+    telemetry::Counter* unavailable = nullptr;
+    telemetry::Counter* succeeded = nullptr;
+    telemetry::Counter* failed = nullptr;
+    telemetry::Counter* deadline_exceeded = nullptr;
+    telemetry::Counter* cancelled = nullptr;
+    telemetry::Counter* degraded = nullptr;
+    telemetry::Counter* executions = nullptr;
+    telemetry::Counter* lanes_requested = nullptr;
+    telemetry::Counter* lanes_granted = nullptr;
+    telemetry::Gauge* lanes_in_use = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* retry_denied = nullptr;
+    telemetry::Gauge* retry_tokens = nullptr;
+    telemetry::Histogram* latency_ns[kKernels][kPriorityClasses] = {};
+    telemetry::Histogram* queue_wait_ns = nullptr;
+    telemetry::Histogram* execute_ns = nullptr;
+    /** Parallel efficiency in millionths (0..1e6): integer-valued so the
+     *  log-linear buckets resolve the interesting 0.5..1.0 range. */
+    telemetry::Histogram* parallel_efficiency_millionths = nullptr;
+    telemetry::Gauge* slo_availability_short = nullptr;
+    telemetry::Gauge* slo_availability_long = nullptr;
+    telemetry::Gauge* slo_fresh_availability_short = nullptr;
+    telemetry::Gauge* slo_fresh_availability_long = nullptr;
+    telemetry::Gauge* slo_burn_short = nullptr;
+    telemetry::Gauge* slo_burn_long = nullptr;
+    telemetry::Gauge* slo_firing = nullptr;
+    telemetry::Gauge* slo_p99_short_ns = nullptr;
+    telemetry::Gauge* slo_availability_lifetime = nullptr;
+
+    ServeTelemetry()
+    {
+        telemetry::Registry& reg = telemetry::Registry::global();
+        submitted = &reg.counter("gm_serve_submitted_total");
+        for (int p = 0; p < kPriorityClasses; ++p) {
+            const std::string cls = to_string(static_cast<Priority>(p));
+            accepted[p] = &reg.counter(telemetry::labeled(
+                "gm_serve_admission_accepted_total", {{"class", cls}}));
+            shed[p] = &reg.counter(telemetry::labeled(
+                "gm_serve_admission_shed_total", {{"class", cls}}));
+            queue_depth[p] = &reg.gauge(telemetry::labeled(
+                "gm_serve_queue_depth", {{"class", cls}}));
+        }
+        infeasible = &reg.counter("gm_serve_admission_infeasible_total");
+        unavailable = &reg.counter("gm_serve_unavailable_total");
+        succeeded = &reg.counter(telemetry::labeled(
+            "gm_serve_completed_total", {{"status", "succeeded"}}));
+        failed = &reg.counter(telemetry::labeled(
+            "gm_serve_completed_total", {{"status", "failed"}}));
+        deadline_exceeded = &reg.counter(
+            telemetry::labeled("gm_serve_completed_total",
+                               {{"status", "deadline_exceeded"}}));
+        cancelled = &reg.counter(telemetry::labeled(
+            "gm_serve_completed_total", {{"status", "cancelled"}}));
+        degraded = &reg.counter("gm_serve_degraded_total");
+        executions = &reg.counter("gm_serve_executions_total");
+        lanes_requested = &reg.counter("gm_serve_lanes_requested_total");
+        lanes_granted = &reg.counter("gm_serve_lanes_granted_total");
+        lanes_in_use = &reg.gauge("gm_serve_lanes_in_use");
+        retries = &reg.counter("gm_serve_retries_total");
+        retry_denied = &reg.counter("gm_serve_retry_denied_total");
+        retry_tokens = &reg.gauge("gm_serve_retry_budget_tokens");
+        for (int k = 0; k < kKernels; ++k) {
+            const std::string kernel =
+                harness::to_string(static_cast<harness::Kernel>(k));
+            for (int p = 0; p < kPriorityClasses; ++p)
+                latency_ns[k][p] = &reg.histogram(telemetry::labeled(
+                    "gm_serve_latency_ns",
+                    {{"kernel", kernel},
+                     {"priority",
+                      to_string(static_cast<Priority>(p))}}));
+        }
+        queue_wait_ns = &reg.histogram("gm_serve_queue_wait_ns");
+        execute_ns = &reg.histogram("gm_serve_execute_ns");
+        parallel_efficiency_millionths =
+            &reg.histogram("gm_serve_parallel_efficiency_millionths");
+        slo_availability_short = &reg.gauge("gm_slo_availability_short");
+        slo_availability_long = &reg.gauge("gm_slo_availability_long");
+        slo_fresh_availability_short =
+            &reg.gauge("gm_slo_fresh_availability_short");
+        slo_fresh_availability_long =
+            &reg.gauge("gm_slo_fresh_availability_long");
+        slo_burn_short = &reg.gauge("gm_slo_burn_short");
+        slo_burn_long = &reg.gauge("gm_slo_burn_long");
+        slo_firing = &reg.gauge("gm_slo_firing");
+        slo_p99_short_ns = &reg.gauge("gm_slo_p99_short_ns");
+        slo_availability_lifetime =
+            &reg.gauge("gm_slo_availability_lifetime");
+    }
+
+    telemetry::Counter&
+    completed_for(StatusCode code)
+    {
+        switch (code) {
+          case StatusCode::kOk:
+            return *succeeded;
+          case StatusCode::kDeadlineExceeded:
+            return *deadline_exceeded;
+          case StatusCode::kCancelled:
+            return *cancelled;
+          default:
+            return *failed;
+        }
+    }
+};
 
 /**
  * Core-budget scheduler state: lanes charged to currently executing
@@ -157,6 +285,12 @@ execute_kernel(const RequestState& state)
     throw support::Error(StatusCode::kInvalidInput, "unknown kernel");
 }
 
+int
+priority_class(Priority priority)
+{
+    return static_cast<int>(priority);
+}
+
 AdmissionOptions
 make_admission_options(const ServerOptions& options)
 {
@@ -226,11 +360,35 @@ Server::Server(harness::DatasetSuite suite,
              options.cache_ttl_ms * 1'000'000, clock_),
       breaker_(options.breaker, clock_),
       retry_budget_(options.retry_budget_ratio, options.retry_budget_cap),
-      admission_(make_admission_options(options))
+      admission_(make_admission_options(options)),
+      slo_(options.slo)
 {
     GM_ASSERT(options_.workers >= 1, "server needs at least one worker");
     GM_ASSERT(options_.queue_capacity >= 1,
               "server needs a non-empty admission queue");
+    if (options_.enable_telemetry) {
+        telemetry::Registry::global().enable();
+        tm_ = std::make_unique<detail::ServeTelemetry>();
+        retry_budget_.attach_gauge(tm_->retry_tokens);
+    }
+    // A random per-server base decorrelates trace ids across servers in
+    // one process; the sequence keeps them unique within a server.
+    trace_base_ =
+        SplitMix64(static_cast<std::uint64_t>(Timer::now_ns()) ^
+                   (reinterpret_cast<std::uintptr_t>(this) << 16))
+            .next();
+    if (options_.metrics_port >= 0) {
+        listener_ = std::make_unique<telemetry::MetricsListener>(
+            options_.metrics_port, [] {
+                return telemetry::render_text(
+                    telemetry::Registry::global().snapshot());
+            });
+        if (!listener_->status().is_ok()) {
+            log_warn("serve: metrics listener failed: " +
+                              listener_->status().message());
+            listener_.reset();
+        }
+    }
     // Default budget: at least one lane per worker, so width-1 traffic
     // keeps the full workers-way request concurrency the pool provides
     // (as before this scheduler existed), and at least the ThreadPool
@@ -244,6 +402,8 @@ Server::Server(harness::DatasetSuite suite,
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back([this] { worker_loop(); });
+    if (!options_.telemetry_path.empty())
+        flusher_ = std::thread([this] { telemetry_flush_loop(); });
 }
 
 Server::~Server() { shutdown(); }
@@ -267,6 +427,23 @@ Server::shutdown()
         worker.join();
     workers_.clear();
     flush_breaker_transitions();
+    {
+        std::lock_guard<std::mutex> lock(flusher_mu_);
+        flusher_stop_ = true;
+    }
+    flusher_cv_.notify_all();
+    if (flusher_.joinable())
+        flusher_.join();
+    if (!options_.telemetry_path.empty()) {
+        // Final snapshot so the stream's last line reflects shutdown
+        // state even with a long flush interval.
+        write_telemetry_snapshot();
+        evaluate_slo(Timer::now_ns());
+    }
+    if (listener_ != nullptr)
+        listener_->stop();
+    if (options_.enable_telemetry)
+        telemetry::Registry::global().disable();
 }
 
 StatusOr<Server::Handle>
@@ -297,6 +474,12 @@ Server::submit(Request request)
 
     auto state = std::make_shared<RequestState>();
     state->req = std::move(request);
+    // Trace identity: minted here for bare submits; query() mints once
+    // per logical request and reuses it across retries.
+    if (state->req.trace_id == 0)
+        state->req.trace_id = mint_trace_id();
+    if (state->req.attempt <= 0)
+        state->req.attempt = 1;
     // Width changes latency, never the answer (kernels are
     // order-deterministic), so it is clamped rather than validated and
     // stays out of the cache key.
@@ -325,6 +508,9 @@ Server::submit(Request request)
                 std::lock_guard<std::mutex> lock(stats_mu_);
                 ++counters_.submitted;
             }
+            if (tm_ != nullptr)
+                tm_->submitted->inc();
+            write_refusal_record(*state, status, /*served_degraded=*/true);
             complete(state, Status::ok(), std::move(result));
             return Handle(state);
         }
@@ -335,6 +521,16 @@ Server::submit(Request request)
             else
                 ++counters_.shed;
         }
+        if (tm_ != nullptr) {
+            if (status.code() == StatusCode::kUnavailable)
+                tm_->unavailable->inc();
+            else
+                tm_->shed[priority_class(state->req.priority)]->inc();
+        }
+        write_refusal_record(*state, status, /*served_degraded=*/false);
+        // A real refusal is an unanswered request from the SLO's point
+        // of view; degraded serves are scored in complete().
+        observe_slo(/*answered=*/false, /*fresh=*/false, /*latency_ns=*/0);
         return status;
     };
 
@@ -390,6 +586,13 @@ Server::submit(Request request)
             ++counters_.queue_depth;
         }
     }
+    if (decision == AdmissionController::Decision::kAdmitted &&
+        tm_ != nullptr) {
+        const int cls = priority_class(state->req.priority);
+        tm_->submitted->inc();
+        tm_->accepted[cls]->inc();
+        tm_->queue_depth[cls]->add(1);
+    }
     if (decision != AdmissionController::Decision::kAdmitted) {
         breaker_.release(state->cell_key, state->probe);
         state->probe = false;
@@ -411,8 +614,12 @@ Server::submit(Request request)
         }
         if (decision ==
             AdmissionController::Decision::kDeadlineInfeasible) {
-            std::lock_guard<std::mutex> lock(stats_mu_);
-            ++counters_.infeasible;
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++counters_.infeasible;
+            }
+            if (tm_ != nullptr)
+                tm_->infeasible->inc();
         }
         return refuse(Status(StatusCode::kResourceExhausted, reason),
                       /*fresh_ok=*/false);
@@ -434,10 +641,17 @@ StatusOr<QueryResult>
 Server::query(const Request& request, const RetryPolicy& policy)
 {
     retry_budget_.deposit();
+    // One trace id per logical query: every attempt (including refused
+    // ones) stamps the same id into its JSONL records, with `attempt`
+    // disambiguating them.
+    Request attempt_req = request;
+    if (attempt_req.trace_id == 0)
+        attempt_req.trace_id = mint_trace_id();
     int attempt = 1;
     for (;;) {
         Status status;
-        auto handle = submit(request);
+        attempt_req.attempt = attempt;
+        auto handle = submit(attempt_req);
         if (handle.is_ok()) {
             auto result = std::move(handle).value().wait();
             if (result.is_ok())
@@ -450,8 +664,12 @@ Server::query(const Request& request, const RetryPolicy& policy)
             !retryable_status(status.code()))
             return status;
         if (!retry_budget_.withdraw()) {
-            std::lock_guard<std::mutex> lock(stats_mu_);
-            ++counters_.retry_denied;
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++counters_.retry_denied;
+            }
+            if (tm_ != nullptr)
+                tm_->retry_denied->inc();
             return status;
         }
         ++attempt;
@@ -459,6 +677,8 @@ Server::query(const Request& request, const RetryPolicy& policy)
             std::lock_guard<std::mutex> lock(stats_mu_);
             ++counters_.retries;
         }
+        if (tm_ != nullptr)
+            tm_->retries->inc();
         const std::int64_t ms = backoff_ms(policy, attempt);
         if (ms > 0)
             std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -483,6 +703,8 @@ Server::worker_loop()
             std::lock_guard<std::mutex> lock(stats_mu_);
             --counters_.queue_depth;
         }
+        if (tm_ != nullptr)
+            tm_->queue_depth[priority_class(state->req.priority)]->add(-1);
         process(state);
     }
 }
@@ -532,6 +754,10 @@ Server::process(const std::shared_ptr<RequestState>& state)
     QueryResult result;
     result.queue_seconds =
         static_cast<double>(dequeue_ns - state->submit_ns) * 1e-9;
+    if (tm_ != nullptr)
+        tm_->queue_wait_ns->record(
+            static_cast<std::uint64_t>(
+                std::max<std::int64_t>(0, dequeue_ns - state->submit_ns)));
 
     // Expired or cancelled while still queued: answer without executing.
     if (state->user_cancelled.load(std::memory_order_relaxed) ||
@@ -549,6 +775,9 @@ Server::process(const std::shared_ptr<RequestState>& state)
     {
         obs::SessionBinding binding(session.gen());
         obs::record_span("serve.queue_wait", state->submit_ns, dequeue_ns);
+        // Bind the request's trace id to the session so its spans and the
+        // JSONL record carry the same identity.
+        obs::counter_max("serve.trace", state->req.trace_id);
 
         ResultCache::Lookup lookup =
             cache_.lookup_or_join(state->cache_key);
@@ -583,6 +812,9 @@ Server::process(const std::shared_ptr<RequestState>& state)
               // and followers never touch the budget, so they are served
               // even when every lane is busy.
               const int width = state->req.width;
+              if (tm_ != nullptr)
+                  tm_->lanes_requested->inc(
+                      static_cast<std::uint64_t>(width));
               if (!acquire_lanes(*state, width)) {
                   status = classify_cancel(*state);
                   record_cell_outcome(*state, status, /*executed=*/false);
@@ -597,6 +829,8 @@ Server::process(const std::shared_ptr<RequestState>& state)
                   std::lock_guard<std::mutex> lock(stats_mu_);
                   ++counters_.executions;
               }
+              if (tm_ != nullptr)
+                  tm_->executions->inc();
               const std::int64_t exec_begin = Timer::now_ns();
               std::shared_ptr<const ResultValue> value;
               std::uint64_t fingerprint = 0;
@@ -641,6 +875,13 @@ Server::process(const std::shared_ptr<RequestState>& state)
                       static_cast<std::uint64_t>(
                           std::max(0, result.lanes));
               }
+              if (tm_ != nullptr) {
+                  tm_->lanes_granted->inc(static_cast<std::uint64_t>(
+                      std::max(0, result.lanes)));
+                  tm_->execute_ns->record(
+                      static_cast<std::uint64_t>(std::max<std::int64_t>(
+                          0, exec_ns)));
+              }
               {
                   // Feed the admission drain estimate: what one queue
                   // slot actually cost, success or not.
@@ -662,6 +903,10 @@ Server::process(const std::shared_ptr<RequestState>& state)
             std::min(1.0, summary.busy_seconds /
                               (result.execute_seconds *
                                static_cast<double>(result.lanes)));
+        if (tm_ != nullptr)
+            tm_->parallel_efficiency_millionths->record(
+                static_cast<std::uint64_t>(result.parallel_efficiency *
+                                           1e6));
     }
     if (!options_.metrics_path.empty())
         write_metrics_record(*state, session);
@@ -681,6 +926,8 @@ Server::acquire_lanes(const RequestState& state, int width)
             return false;
         if (gate.in_use + width <= lane_budget_) {
             gate.in_use += width;
+            if (tm_ != nullptr)
+                tm_->lanes_in_use->set(gate.in_use);
             return true;
         }
         // Budget holders are executing leaders, which always finish, so
@@ -708,6 +955,8 @@ Server::release_lanes(int width)
     {
         std::lock_guard<std::mutex> lock(gate.mu);
         gate.in_use -= width;
+        if (tm_ != nullptr)
+            tm_->lanes_in_use->set(gate.in_use);
     }
     gate.cv.notify_all();
 }
@@ -781,6 +1030,9 @@ Server::complete(const std::shared_ptr<RequestState>& state, Status status,
         status = Status::ok();
         obs::counter_add("serve.degraded", result.degraded ? 1 : 0);
     }
+    const std::int64_t done_ns = Timer::now_ns();
+    const std::int64_t latency_ns =
+        std::max<std::int64_t>(0, done_ns - state->submit_ns);
     {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++counters_.completed;
@@ -801,10 +1053,21 @@ Server::complete(const std::shared_ptr<RequestState>& state, Status status,
             break;
         }
     }
+    if (tm_ != nullptr) {
+        tm_->completed_for(status.code()).inc();
+        if (status.is_ok() && result.degraded)
+            tm_->degraded->inc();
+        const int kernel = static_cast<int>(state->req.kernel);
+        if (kernel >= 0 && kernel < detail::ServeTelemetry::kKernels)
+            tm_->latency_ns[kernel][priority_class(state->req.priority)]
+                ->record(static_cast<std::uint64_t>(latency_ns));
+    }
+    observe_slo(status.is_ok(), status.is_ok() && !result.degraded,
+                latency_ns);
+    result.trace_id = state->req.trace_id;
     {
         std::lock_guard<std::mutex> lock(state->mu);
-        result.service_seconds =
-            static_cast<double>(Timer::now_ns() - state->submit_ns) * 1e-9;
+        result.service_seconds = static_cast<double>(latency_ns) * 1e-9;
         state->status = std::move(status);
         state->result = std::move(result);
         state->done = true;
@@ -822,7 +1085,8 @@ Server::write_metrics_record(const RequestState& state,
     record.kernel = harness::to_string(state.req.kernel);
     record.graph = state.req.graph;
     record.trial = 0;
-    record.attempt = 1;
+    record.attempt = state.req.attempt;
+    record.trace_id = state.req.trace_id;
     record.metrics = obs::summarize(session);
     record.metrics.peak_bytes = state.ds->bytes_resident();
     const std::string line = obs::metrics_record_line(record);
@@ -855,7 +1119,7 @@ Server::flush_breaker_transitions()
 }
 
 ServerStats
-Server::stats() const
+Server::stats_snapshot() const
 {
     ServerStats out;
     {
@@ -885,6 +1149,199 @@ Server::stats() const
     out.cache_entries = cache.entries;
     out.cache_bytes = cache.bytes;
     return out;
+}
+
+int
+Server::metrics_port() const
+{
+    return listener_ != nullptr ? listener_->port() : -1;
+}
+
+telemetry::SloEvaluation
+Server::slo_evaluation()
+{
+    return evaluate_slo(Timer::now_ns());
+}
+
+std::uint64_t
+Server::mint_trace_id()
+{
+    const std::uint64_t seq =
+        trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t id =
+        SplitMix64(trace_base_ ^ (seq * 0x9e3779b97f4a7c15ULL)).next();
+    return id == 0 ? 1 : id; // 0 means "mint for me"
+}
+
+namespace
+{
+
+/** Trace ids render as fixed-width hex, matching obs::metrics_record_line. */
+std::string
+trace_hex(std::uint64_t trace_id)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(trace_id));
+    return std::string(hex);
+}
+
+} // namespace
+
+void
+Server::write_refusal_record(const RequestState& state,
+                             const Status& status, bool served_degraded)
+{
+    if (options_.metrics_path.empty())
+        return;
+    std::ostringstream line;
+    line << "{\"kind\":\"serve.refusal\",\"trace\":\""
+         << trace_hex(state.req.trace_id)
+         << "\",\"attempt\":" << state.req.attempt << ",\"code\":\""
+         << support::to_string(status.code()) << "\",\"cell\":\""
+         << support::json_escape(state.cell_key)
+         << "\",\"degraded\":" << (served_degraded ? 1 : 0)
+         << ",\"t_ns\":" << Timer::now_ns() << "}";
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.metrics_path, std::ios::app);
+    if (out)
+        out << line.str() << "\n";
+}
+
+void
+Server::observe_slo(bool answered, bool fresh, std::int64_t latency_ns)
+{
+    const std::int64_t now = Timer::now_ns();
+    slo_.record(now, answered, fresh,
+                static_cast<std::uint64_t>(
+                    std::max<std::int64_t>(0, latency_ns)));
+    // Evaluate at roughly half-bucket granularity: one caller wins the
+    // CAS and pays for the evaluation, everyone else just records.
+    const std::int64_t period = std::max<std::int64_t>(
+        1, options_.slo.bucket_ns / 2);
+    std::int64_t last = last_slo_eval_ns_.load(std::memory_order_relaxed);
+    if (now - last < period)
+        return;
+    if (!last_slo_eval_ns_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed))
+        return;
+    evaluate_slo(now);
+}
+
+telemetry::SloEvaluation
+Server::evaluate_slo(std::int64_t now_ns)
+{
+    const telemetry::SloEvaluation ev = slo_.evaluate(now_ns);
+    if (tm_ != nullptr) {
+        tm_->slo_availability_short->set(ev.availability_short);
+        tm_->slo_availability_long->set(ev.availability_long);
+        tm_->slo_fresh_availability_short->set(
+            ev.fresh_availability_short);
+        tm_->slo_fresh_availability_long->set(ev.fresh_availability_long);
+        tm_->slo_burn_short->set(ev.burn_short);
+        tm_->slo_burn_long->set(ev.burn_long);
+        tm_->slo_firing->set(ev.firing ? 1.0 : 0.0);
+        tm_->slo_p99_short_ns->set(
+            static_cast<double>(ev.p99_short_ns));
+        tm_->slo_availability_lifetime->set(ev.availability_lifetime);
+    }
+    if (ev.changed)
+        write_slo_burn_record(ev);
+    return ev;
+}
+
+void
+Server::write_slo_burn_record(const telemetry::SloEvaluation& ev)
+{
+    // Burn transitions stream with the per-request records when those
+    // are on; otherwise they join the telemetry snapshots.
+    const std::string& path = !options_.metrics_path.empty()
+                                  ? options_.metrics_path
+                                  : options_.telemetry_path;
+    if (path.empty())
+        return;
+    std::ostringstream line;
+    line << "{\"kind\":\"serve.slo.burn\",\"state\":\""
+         << (ev.firing ? "firing" : "clear")
+         << "\",\"t_ns\":" << ev.at_ns
+         << ",\"burn_short\":" << support::json_double(ev.burn_short)
+         << ",\"burn_long\":" << support::json_double(ev.burn_long)
+         << ",\"availability_short\":"
+         << support::json_double(ev.availability_short)
+         << ",\"fresh_availability_short\":"
+         << support::json_double(ev.fresh_availability_short)
+         << ",\"p99_short_ns\":" << ev.p99_short_ns
+         << ",\"short_total\":" << ev.short_total
+         << ",\"long_total\":" << ev.long_total << "}";
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(path, std::ios::app);
+    if (out)
+        out << line.str() << "\n";
+}
+
+void
+Server::write_telemetry_snapshot()
+{
+    if (options_.telemetry_path.empty())
+        return;
+    const telemetry::Snapshot snap =
+        telemetry::Registry::global().snapshot();
+    std::ostringstream line;
+    line << "{\"kind\":\"serve.telemetry\",\"seq\":" << telemetry_seq_++
+         << ",\"t_ns\":" << Timer::now_ns() << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        line << (first ? "" : ",") << "\"" << support::json_escape(name)
+             << "\":" << value;
+        first = false;
+    }
+    line << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+        line << (first ? "" : ",") << "\"" << support::json_escape(name)
+             << "\":" << support::json_double(value);
+        first = false;
+    }
+    line << "},\"hist\":{";
+    first = true;
+    for (const auto& [name, hist] : snap.histograms) {
+        line << (first ? "" : ",") << "\"" << support::json_escape(name)
+             << "\":{\"count\":" << hist.count << ",\"sum\":" << hist.sum
+             << ",\"buckets\":{";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+            if (hist.buckets[b] == 0)
+                continue;
+            line << (first_bucket ? "" : ",") << "\"" << b
+                 << "\":" << hist.buckets[b];
+            first_bucket = false;
+        }
+        line << "}}";
+        first = false;
+    }
+    line << "}}";
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.telemetry_path, std::ios::app);
+    if (out)
+        out << line.str() << "\n";
+}
+
+void
+Server::telemetry_flush_loop()
+{
+    const auto interval = std::chrono::milliseconds(
+        std::max(1, options_.telemetry_flush_ms));
+    std::unique_lock<std::mutex> lock(flusher_mu_);
+    for (;;) {
+        flusher_cv_.wait_for(lock, interval,
+                             [this] { return flusher_stop_; });
+        if (flusher_stop_)
+            return;
+        lock.unlock();
+        write_telemetry_snapshot();
+        evaluate_slo(Timer::now_ns());
+        lock.lock();
+    }
 }
 
 StatusOr<QueryResult>

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Exposition rendering/parsing/checking and the TCP scrape endpoint.
+ */
+#include "gm/telemetry/exposition.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "gm/support/json.hh"
+
+namespace gm::telemetry
+{
+
+namespace
+{
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+/** Family = series name up to the label block. */
+std::string
+family_of(const std::string& series)
+{
+    const auto brace = series.find('{');
+    return brace == std::string::npos ? series : series.substr(0, brace);
+}
+
+/** Insert @p suffix before the label block, appending @p extra_label
+ *  (already `k="v"` formatted, may be empty) into the block. */
+std::string
+component_series(const std::string& series, const std::string& suffix,
+                 const std::string& extra_label)
+{
+    const auto brace = series.find('{');
+    std::string out;
+    if (brace == std::string::npos) {
+        out = series + suffix;
+        if (!extra_label.empty())
+            out += "{" + extra_label + "}";
+        return out;
+    }
+    out = series.substr(0, brace) + suffix;
+    if (extra_label.empty())
+        return out + series.substr(brace);
+    // `fam{a="b"}` -> `fam_bucket{a="b",le="..."}`
+    out += series.substr(brace, series.size() - brace - 1);
+    out += (series.size() - brace > 2 ? "," : "");
+    out += extra_label;
+    out += '}';
+    return out;
+}
+
+std::string
+format_value(double v)
+{
+    // Integral values (counters, bucket counts) print without a decimal
+    // point so two scrapes of the same state render identically.
+    if (v >= 0 && v == static_cast<double>(static_cast<std::uint64_t>(v))) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+    return support::json_double(v);
+}
+
+struct FamilyBlock
+{
+    std::string type;
+    std::vector<std::string> lines;
+};
+
+void
+render_histogram(const std::string& series, const HistogramSnapshot& h,
+                 std::vector<std::string>& lines)
+{
+    char buf[64];
+    std::uint64_t cum = 0;
+    int last_nonzero = -1;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b)
+        if (h.buckets[b] != 0)
+            last_nonzero = static_cast<int>(b);
+    for (int b = 0; b <= last_nonzero; ++b) {
+        cum += h.buckets[b];
+        std::snprintf(buf, sizeof buf, "le=\"%llu\"",
+                      static_cast<unsigned long long>(
+                          Histogram::bucket_upper(b)));
+        lines.push_back(component_series(series, "_bucket", buf) + " " +
+                        std::to_string(cum));
+    }
+    lines.push_back(component_series(series, "_bucket", "le=\"+Inf\"") +
+                    " " + std::to_string(h.count));
+    lines.push_back(component_series(series, "_sum", "") + " " +
+                    std::to_string(h.sum));
+    lines.push_back(component_series(series, "_count", "") + " " +
+                    std::to_string(h.count));
+}
+
+} // namespace
+
+std::string
+render_text(const Snapshot& snap)
+{
+    // Group series into families first: series of one family must sit
+    // under a single # TYPE line, and ASCII sort of full names can
+    // interleave families ("a" < "ab" < "a{...}").
+    std::map<std::string, FamilyBlock> families;
+    for (const auto& [name, value] : snap.counters) {
+        auto& fam = families[family_of(name)];
+        fam.type = "counter";
+        fam.lines.push_back(name + " " + format_value(
+                                             static_cast<double>(value)));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        auto& fam = families[family_of(name)];
+        fam.type = "gauge";
+        fam.lines.push_back(name + " " + format_value(value));
+    }
+    for (const auto& [name, hist] : snap.histograms) {
+        auto& fam = families[family_of(name)];
+        fam.type = "histogram";
+        render_histogram(name, hist, fam.lines);
+    }
+    std::string out;
+    for (const auto& [family, block] : families) {
+        out += "# TYPE " + family + " " + block.type + "\n";
+        for (const auto& line : block.lines) {
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::map<std::string, double>
+Exposition::by_name() const
+{
+    std::map<std::string, double> out;
+    for (const auto& s : samples)
+        out[s.name] = s.value;
+    return out;
+}
+
+std::string
+Exposition::type_of(const std::string& sample_name) const
+{
+    const std::string family = family_of(sample_name);
+    auto it = types.find(family);
+    if (it != types.end())
+        return it->second;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+        const std::size_t n = std::strlen(suffix);
+        if (family.size() > n &&
+            family.compare(family.size() - n, n, suffix) == 0) {
+            it = types.find(family.substr(0, family.size() - n));
+            if (it != types.end() && it->second == "histogram")
+                return it->second;
+        }
+    }
+    return "";
+}
+
+StatusOr<Exposition>
+parse_exposition(const std::string& text)
+{
+    Exposition exp;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line);
+            std::string hash, keyword, family, type;
+            ls >> hash >> keyword >> family >> type;
+            if (keyword == "TYPE") {
+                if (family.empty() || type.empty())
+                    return Status(StatusCode::kCorruptData,
+                                  "exposition line " +
+                                      std::to_string(lineno) +
+                                      ": malformed TYPE comment");
+                if (exp.types.count(family))
+                    return Status(StatusCode::kCorruptData,
+                                  "exposition line " +
+                                      std::to_string(lineno) +
+                                      ": duplicate TYPE for " + family);
+                exp.types[family] = type;
+            }
+            continue;
+        }
+        // `name{labels} value` — labels may contain spaces inside
+        // quotes, so split at the last space instead of the first.
+        const auto space = line.find_last_of(' ');
+        if (space == std::string::npos || space == 0 ||
+            space + 1 >= line.size())
+            return Status(StatusCode::kCorruptData,
+                          "exposition line " + std::to_string(lineno) +
+                              ": expected `name value`");
+        Sample s;
+        s.name = line.substr(0, space);
+        char* end = nullptr;
+        const std::string value_text = line.substr(space + 1);
+        if (value_text == "+Inf") {
+            s.value = std::numeric_limits<double>::infinity();
+        } else {
+            s.value = std::strtod(value_text.c_str(), &end);
+            if (end == value_text.c_str() || *end != '\0')
+                return Status(StatusCode::kCorruptData,
+                              "exposition line " + std::to_string(lineno) +
+                                  ": unparseable value `" + value_text +
+                                  "`");
+        }
+        exp.samples.push_back(std::move(s));
+    }
+    return exp;
+}
+
+Status
+check_exposition(const std::string& text)
+{
+    auto parsed = parse_exposition(text);
+    if (!parsed.is_ok())
+        return parsed.status();
+    const Exposition& exp = *parsed;
+    std::map<std::string, int> seen;
+    for (const auto& s : exp.samples) {
+        if (++seen[s.name] > 1)
+            return Status(StatusCode::kCorruptData,
+                          "duplicate series: " + s.name);
+        if (exp.type_of(s.name).empty())
+            return Status(StatusCode::kCorruptData,
+                          "series without TYPE declaration: " + s.name);
+    }
+    return Status::ok();
+}
+
+Status
+check_monotone(const std::string& before, const std::string& after)
+{
+    if (Status s = check_exposition(before); !s.is_ok())
+        return s;
+    if (Status s = check_exposition(after); !s.is_ok())
+        return s;
+    const Exposition b = *parse_exposition(before);
+    const Exposition a = *parse_exposition(after);
+    const auto after_values = a.by_name();
+    for (const auto& s : b.samples) {
+        // Histogram _bucket/_sum/_count series are cumulative counts
+        // (sums of non-negative values), so they are monotone too.
+        const std::string type = b.type_of(s.name);
+        if (type != "counter" && type != "histogram")
+            continue;
+        auto it = after_values.find(s.name);
+        if (it == after_values.end())
+            continue;  // series may legitimately appear later, not vanish
+        if (it->second + 1e-9 < s.value)
+            return Status(StatusCode::kCorruptData,
+                          "counter went backwards: " + s.name + " " +
+                              support::json_double(s.value) + " -> " +
+                              support::json_double(it->second));
+    }
+    return Status::ok();
+}
+
+// ------------------------------------------------------------- listener
+
+MetricsListener::MetricsListener(int port, std::function<std::string()> body)
+    : body_fn_(std::move(body))
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        status_ = Status(StatusCode::kUnavailable,
+                         std::string("socket: ") + std::strerror(errno));
+        return;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        status_ = Status(StatusCode::kUnavailable,
+                         "bind/listen 127.0.0.1:" + std::to_string(port) +
+                             ": " + std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { loop(); });
+}
+
+MetricsListener::~MetricsListener()
+{
+    stop();
+}
+
+void
+MetricsListener::stop()
+{
+    if (listen_fd_ < 0)
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void
+MetricsListener::loop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR &&
+                !stopping_.load(std::memory_order_relaxed))
+                continue;
+            return;  // shut down (or unrecoverable accept failure)
+        }
+        // Drain whatever request line the client sent; the endpoint
+        // serves the same document regardless of the path.
+        char req[1024];
+        (void)::recv(fd, req, sizeof req, 0);
+        const std::string body = body_fn_();
+        std::string resp =
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) + "\r\n\r\n" + body;
+        std::size_t off = 0;
+        while (off < resp.size()) {
+            const ssize_t n = ::send(fd, resp.data() + off,
+                                     resp.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+    }
+}
+
+StatusOr<std::string>
+scrape_text(const std::string& host, int port, int timeout_ms)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status(StatusCode::kUnavailable,
+                      std::string("socket: ") + std::strerror(errno));
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Status(StatusCode::kInvalidInput,
+                      "not an IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status(StatusCode::kUnavailable,
+                      "connect " + host + ":" + std::to_string(port) +
+                          ": " + err);
+    }
+    const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+    if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(req.size())) {
+        ::close(fd);
+        return Status(StatusCode::kUnavailable, "send failed");
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            ::close(fd);
+            return Status(StatusCode::kUnavailable,
+                          std::string("recv: ") + std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const auto header_end = resp.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        return Status(StatusCode::kCorruptData,
+                      "malformed scrape response (no header terminator)");
+    if (resp.compare(0, 12, "HTTP/1.0 200") != 0 &&
+        resp.compare(0, 12, "HTTP/1.1 200") != 0)
+        return Status(StatusCode::kUnavailable,
+                      "scrape returned non-200: " +
+                          resp.substr(0, resp.find("\r\n")));
+    return resp.substr(header_end + 4);
+}
+
+} // namespace gm::telemetry

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Prometheus-style text exposition for the telemetry registry, a parser
+ * and format checker for it (shared by tools/gmtop and CI), and a
+ * minimal blocking TCP listener that serves the rendered text on
+ * 127.0.0.1:<port> — text format only, no HTTP library.
+ *
+ * Format emitted (one `# TYPE` line per family, families sorted):
+ *
+ *   # TYPE gm_serve_submitted_total counter
+ *   gm_serve_submitted_total 1234
+ *   # TYPE gm_serve_latency_ns histogram
+ *   gm_serve_latency_ns_bucket{kernel="BFS",priority="batch",le="512"} 7
+ *   gm_serve_latency_ns_bucket{kernel="BFS",priority="batch",le="+Inf"} 9
+ *   gm_serve_latency_ns_sum{kernel="BFS",priority="batch"} 3121
+ *   gm_serve_latency_ns_count{kernel="BFS",priority="batch"} 9
+ *
+ * Histogram buckets are cumulative and `le` bounds are raw exclusive
+ * upper bounds in the metric's own unit (the unit is in the family name,
+ * e.g. `_ns` — values are not rescaled to seconds).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/support/status.hh"
+#include "gm/telemetry/registry.hh"
+
+namespace gm::telemetry
+{
+
+/** Render @p snap in the exposition format above (deterministic). */
+std::string render_text(const Snapshot& snap);
+
+/** One parsed sample line (`name{labels} value`). */
+struct Sample
+{
+    std::string name;  ///< full series name including labels
+    double value = 0.0;
+};
+
+/** Parsed exposition document. */
+struct Exposition
+{
+    /** family -> "counter" | "gauge" | "histogram" from # TYPE lines. */
+    std::map<std::string, std::string> types;
+    std::vector<Sample> samples;  ///< in document order
+
+    /** Samples as a name -> value map (fails on duplicates upstream). */
+    std::map<std::string, double> by_name() const;
+
+    /**
+     * Declared type of a sample, resolving histogram component
+     * suffixes (_bucket/_sum/_count); "" when the family is undeclared.
+     */
+    std::string type_of(const std::string& sample_name) const;
+};
+
+/** Parse exposition text; kCorruptData on malformed lines. */
+support::StatusOr<Exposition> parse_exposition(const std::string& text);
+
+/**
+ * Structural format check: parses, rejects duplicate series names and
+ * samples whose family has no preceding # TYPE declaration.
+ */
+support::Status check_exposition(const std::string& text);
+
+/**
+ * Two-scrape monotonicity check: every counter series and histogram
+ * _bucket/_sum/_count series present in both scrapes must not decrease
+ * from @p before to @p after.  Both inputs are format-checked first.
+ */
+support::Status check_monotone(const std::string& before,
+                               const std::string& after);
+
+/**
+ * Blocking single-threaded scrape endpoint.  Binds 127.0.0.1:<port>
+ * (port 0 picks an ephemeral port — read it back with port()), accepts
+ * one connection at a time, answers any request with an HTTP/1.0
+ * response whose body is body_fn(), and closes.  Scrapes are expected
+ * to be rare (seconds apart); there is deliberately no concurrency.
+ */
+class MetricsListener
+{
+  public:
+    MetricsListener(int port, std::function<std::string()> body_fn);
+    ~MetricsListener();
+
+    MetricsListener(const MetricsListener&) = delete;
+    MetricsListener& operator=(const MetricsListener&) = delete;
+
+    /** Bind/listen outcome; serving only happens when ok. */
+    const support::Status&
+    status() const
+    {
+        return status_;
+    }
+
+    /** Actual bound port (resolved when constructed with port 0). */
+    int
+    port() const
+    {
+        return port_;
+    }
+
+    /** Stop accepting and join the accept loop (idempotent). */
+    void stop();
+
+  private:
+    void loop();
+
+    std::function<std::string()> body_fn_;
+    support::Status status_;
+    int listen_fd_ = -1;
+    int port_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+/**
+ * One-shot scrape client (gmtop, tests, CI): connects to
+ * @p host:@p port, sends a GET, returns the response body with HTTP
+ * headers stripped.  kUnavailable when the endpoint cannot be reached.
+ */
+support::StatusOr<std::string> scrape_text(const std::string& host,
+                                           int port,
+                                           int timeout_ms = 2000);
+
+} // namespace gm::telemetry

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Rolling-window SLO monitor with multi-window burn-rate evaluation.
+ *
+ * The serving SLO distinguishes two availability notions:
+ *
+ *  - *lenient* availability (answered / total): a degraded stale answer
+ *    still counts, matching the chaos harness's `{"kind":"serve.slo"}`
+ *    records and serve_bench's --min-availability gate;
+ *  - *strict* (fresh) availability (fresh / total): only non-degraded
+ *    successes count.  **Burn rates are computed on strict
+ *    availability** — under an allow_stale storm the lenient number sits
+ *    near 1.0 by design, and a monitor burning on it would never fire.
+ *    Degraded serves spend error budget; they just don't fail callers.
+ *
+ * Burn rate = strict error rate / (1 - availability_target).  The
+ * monitor fires when both the short and long windows burn at or above
+ * fire_burn (the classic multi-window guard against one-bucket blips),
+ * or when the short-window p99 exceeds p99_target_ns; it clears when
+ * the short-window burn drops to clear_burn or below and p99 recovers.
+ *
+ * Time is always passed in by the caller (support::Clock discipline),
+ * so tests step the monitor deterministically.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "gm/telemetry/registry.hh"
+
+namespace gm::telemetry
+{
+
+struct SloOptions
+{
+    /** Target on strict (fresh) availability, e.g. 0.999. */
+    double availability_target = 0.999;
+    /** Short-window p99 latency target; 0 disables the latency SLO. */
+    std::uint64_t p99_target_ns = 0;
+    /** Rolling-window resolution. */
+    std::int64_t bucket_ns = 1'000'000'000;
+    /** Short window = short_buckets * bucket_ns (fast detection). */
+    int short_buckets = 10;
+    /** Long window = long_buckets * bucket_ns (blip suppression). */
+    int long_buckets = 60;
+    /** Fire when burn_short and burn_long both reach this. */
+    double fire_burn = 2.0;
+    /** Clear when burn_short falls to this or below. */
+    double clear_burn = 1.0;
+};
+
+/** One evaluate() result. */
+struct SloEvaluation
+{
+    std::int64_t at_ns = 0;
+
+    std::uint64_t short_total = 0;
+    std::uint64_t long_total = 0;
+    double availability_short = 1.0;        ///< lenient, short window
+    double availability_long = 1.0;         ///< lenient, long window
+    double fresh_availability_short = 1.0;  ///< strict, short window
+    double fresh_availability_long = 1.0;   ///< strict, long window
+    double burn_short = 0.0;
+    double burn_long = 0.0;
+    std::uint64_t p99_short_ns = 0;
+
+    bool firing = false;
+    bool changed = false;  ///< firing state flipped in this evaluation
+
+    std::uint64_t lifetime_total = 0;
+    std::uint64_t lifetime_answered = 0;
+    std::uint64_t lifetime_fresh = 0;
+    double availability_lifetime = 1.0;  ///< lenient, cumulative
+};
+
+/**
+ * Thread-safe rolling-window monitor.  record() is called per finished
+ * request (answered = caller got a value, fresh = answered and not
+ * degraded); evaluate() merges the window buckets and updates the
+ * firing state machine.
+ */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(const SloOptions& opts);
+
+    void record(std::int64_t now_ns, bool answered, bool fresh,
+                std::uint64_t latency_ns);
+
+    SloEvaluation evaluate(std::int64_t now_ns);
+
+    bool
+    firing() const
+    {
+        return firing_.load(std::memory_order_relaxed);
+    }
+
+    const SloOptions&
+    options() const
+    {
+        return opts_;
+    }
+
+  private:
+    struct Bucket
+    {
+        std::int64_t index = -1;  ///< absolute bucket number, -1 = empty
+        std::uint64_t total = 0;
+        std::uint64_t answered = 0;
+        std::uint64_t fresh = 0;
+        std::array<std::uint32_t, Histogram::kBuckets> latency{};
+    };
+
+    /** Ring slot for absolute bucket @p abs, reset if stale. */
+    Bucket& slot(std::int64_t abs);
+
+    SloOptions opts_;
+    mutable std::mutex mu_;
+    std::vector<Bucket> ring_;
+    std::uint64_t lifetime_total_ = 0;
+    std::uint64_t lifetime_answered_ = 0;
+    std::uint64_t lifetime_fresh_ = 0;
+    std::atomic<bool> firing_{false};
+};
+
+} // namespace gm::telemetry

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SloMonitor implementation: bucket ring, window merges, burn rates.
+ */
+#include "gm/telemetry/slo.hh"
+
+#include <algorithm>
+
+#include "gm/support/log.hh"
+
+namespace gm::telemetry
+{
+
+SloMonitor::SloMonitor(const SloOptions& opts) : opts_(opts)
+{
+    GM_ASSERT(opts_.bucket_ns > 0, "SLO bucket width must be positive");
+    GM_ASSERT(opts_.short_buckets > 0 &&
+                  opts_.long_buckets >= opts_.short_buckets,
+              "SLO windows must satisfy 0 < short <= long");
+    GM_ASSERT(opts_.availability_target > 0.0 &&
+                  opts_.availability_target < 1.0,
+              "availability target must be in (0,1)");
+    ring_.resize(static_cast<std::size_t>(opts_.long_buckets) + 1);
+}
+
+SloMonitor::Bucket&
+SloMonitor::slot(std::int64_t abs)
+{
+    Bucket& b = ring_[static_cast<std::size_t>(abs) % ring_.size()];
+    if (b.index != abs) {
+        b.index = abs;
+        b.total = b.answered = b.fresh = 0;
+        b.latency.fill(0);
+    }
+    return b;
+}
+
+void
+SloMonitor::record(std::int64_t now_ns, bool answered, bool fresh,
+                   std::uint64_t latency_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Bucket& b = slot(now_ns / opts_.bucket_ns);
+    b.total += 1;
+    if (answered) {
+        b.answered += 1;
+        ++b.latency[Histogram::bucket_index(latency_ns)];
+    }
+    if (fresh)
+        b.fresh += 1;
+    lifetime_total_ += 1;
+    if (answered)
+        lifetime_answered_ += 1;
+    if (fresh)
+        lifetime_fresh_ += 1;
+}
+
+SloEvaluation
+SloMonitor::evaluate(std::int64_t now_ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t abs = now_ns / opts_.bucket_ns;
+
+    std::uint64_t s_total = 0, s_answered = 0, s_fresh = 0;
+    std::uint64_t l_total = 0, l_answered = 0, l_fresh = 0;
+    std::array<std::uint64_t, Histogram::kBuckets> s_latency{};
+    for (const Bucket& b : ring_) {
+        if (b.index < 0 || b.index > abs ||
+            b.index <= abs - opts_.long_buckets)
+            continue;
+        l_total += b.total;
+        l_answered += b.answered;
+        l_fresh += b.fresh;
+        if (b.index > abs - opts_.short_buckets) {
+            s_total += b.total;
+            s_answered += b.answered;
+            s_fresh += b.fresh;
+            for (int i = 0; i < Histogram::kBuckets; ++i)
+                s_latency[i] += b.latency[i];
+        }
+    }
+
+    SloEvaluation ev;
+    ev.at_ns = now_ns;
+    ev.short_total = s_total;
+    ev.long_total = l_total;
+    const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+        return den == 0 ? 1.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    };
+    ev.availability_short = ratio(s_answered, s_total);
+    ev.availability_long = ratio(l_answered, l_total);
+    ev.fresh_availability_short = ratio(s_fresh, s_total);
+    ev.fresh_availability_long = ratio(l_fresh, l_total);
+
+    const double budget = 1.0 - opts_.availability_target;
+    ev.burn_short = (1.0 - ev.fresh_availability_short) / budget;
+    ev.burn_long = (1.0 - ev.fresh_availability_long) / budget;
+
+    // Short-window p99 by cumulative crossing of the merged latency
+    // histogram (same rank convention as HistogramSnapshot::quantile).
+    if (s_answered > 0) {
+        const double rank = 0.99 * static_cast<double>(s_answered - 1);
+        std::uint64_t cum = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+            if (s_latency[b] == 0)
+                continue;
+            cum += s_latency[b];
+            if (static_cast<double>(cum) > rank) {
+                ev.p99_short_ns = Histogram::bucket_lower(b) / 2 +
+                                  Histogram::bucket_upper(b) / 2;
+                break;
+            }
+        }
+    }
+
+    const bool p99_violated = opts_.p99_target_ns > 0 && s_answered > 0 &&
+                              ev.p99_short_ns > opts_.p99_target_ns;
+    const bool was_firing = firing_.load(std::memory_order_relaxed);
+    bool now_firing = was_firing;
+    if (!was_firing) {
+        if ((s_total > 0 && l_total > 0 &&
+             ev.burn_short >= opts_.fire_burn &&
+             ev.burn_long >= opts_.fire_burn) ||
+            p99_violated)
+            now_firing = true;
+    } else {
+        if (ev.burn_short <= opts_.clear_burn && !p99_violated)
+            now_firing = false;
+    }
+    firing_.store(now_firing, std::memory_order_relaxed);
+    ev.firing = now_firing;
+    ev.changed = now_firing != was_firing;
+
+    ev.lifetime_total = lifetime_total_;
+    ev.lifetime_answered = lifetime_answered_;
+    ev.lifetime_fresh = lifetime_fresh_;
+    ev.availability_lifetime = ratio(lifetime_answered_, lifetime_total_);
+    return ev;
+}
+
+} // namespace gm::telemetry

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -417,7 +419,7 @@ TEST(ServeResilienceTest, BreakerOpensFastFailsAndRecovers)
     ASSERT_FALSE(rejected.is_ok());
     EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
     {
-        const ServerStats s = server.stats();
+        const ServerStats s = server.stats_snapshot();
         EXPECT_EQ(s.unavailable, 1u);
         EXPECT_EQ(s.executions, 3u);
         EXPECT_EQ(s.failed, 3u);
@@ -435,7 +437,7 @@ TEST(ServeResilienceTest, BreakerOpensFastFailsAndRecovers)
 
     server.shutdown();
     {
-        const ServerStats s = server.stats();
+        const ServerStats s = server.stats_snapshot();
         EXPECT_EQ(s.breaker_transitions, 3u); // open, half-open, closed
         assert_invariants(s);
     }
@@ -496,7 +498,7 @@ TEST(ServeResilienceTest, AllowStaleServesExpiredCacheOnFailure)
     EXPECT_FALSE(degraded.value().cache_hit);
     EXPECT_EQ(degraded.value().fingerprint, fingerprint);
 
-    const ServerStats s = server.stats();
+    const ServerStats s = server.stats_snapshot();
     EXPECT_EQ(s.degraded, 1u);
     EXPECT_EQ(s.failed, 1u); // only the strict query
     assert_invariants(s);
@@ -525,7 +527,7 @@ TEST(ServeResilienceTest, OpenBreakerServesStaleAtSubmit)
     }
     ASSERT_EQ(server.breaker().state("GAP/BFS/Road"),
               CircuitBreaker::State::kOpen);
-    const std::uint64_t executions_before = server.stats().executions;
+    const std::uint64_t executions_before = server.stats_snapshot().executions;
 
     // The breaker rejects at submit; the stale entry still answers the
     // opted-in request — already complete, no execution, no queueing.
@@ -536,7 +538,7 @@ TEST(ServeResilienceTest, OpenBreakerServesStaleAtSubmit)
     ASSERT_TRUE(result.is_ok());
     EXPECT_TRUE(result.value().degraded);
     EXPECT_EQ(result.value().fingerprint, fingerprint);
-    EXPECT_EQ(server.stats().executions, executions_before);
+    EXPECT_EQ(server.stats_snapshot().executions, executions_before);
 
     // Without the opt-in (and with no fresh entry) the same submit
     // fast-fails UNAVAILABLE.
@@ -544,7 +546,7 @@ TEST(ServeResilienceTest, OpenBreakerServesStaleAtSubmit)
     auto refused = server.submit(req);
     ASSERT_FALSE(refused.is_ok());
     EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
-    assert_invariants(server.stats());
+    assert_invariants(server.stats_snapshot());
 }
 
 // ------------------------------------------------- server: priorities
@@ -563,7 +565,7 @@ TEST(ServeResilienceTest, ClassQuotasProtectInteractiveTraffic)
     auto blocker = server.submit(bfs_request("Road", 10));
     ASSERT_TRUE(blocker.is_ok());
     ASSERT_TRUE(eventually(
-        [&server] { return server.stats().queue_depth == 0; }));
+        [&server] { return server.stats_snapshot().queue_depth == 0; }));
 
     std::vector<Server::Handle> admitted;
     auto submit_at = [&](Priority priority, vid_t source) {
@@ -595,11 +597,11 @@ TEST(ServeResilienceTest, ClassQuotasProtectInteractiveTraffic)
     ASSERT_FALSE(overflow.is_ok());
     EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
 
-    EXPECT_EQ(server.stats().shed, 2u);
+    EXPECT_EQ(server.stats_snapshot().shed, 2u);
     ASSERT_TRUE(blocker.value().wait().is_ok());
     for (const auto& handle : admitted)
         EXPECT_TRUE(handle.wait().is_ok());
-    assert_invariants(server.stats());
+    assert_invariants(server.stats_snapshot());
 }
 
 // ----------------------------------------------------- server: retries
@@ -618,7 +620,7 @@ TEST(ServeResilienceTest, QueryRetriesShedRequestsUntilAdmitted)
     auto blocker = server.submit(bfs_request("Road", 20));
     ASSERT_TRUE(blocker.is_ok());
     ASSERT_TRUE(eventually(
-        [&server] { return server.stats().queue_depth == 0; }));
+        [&server] { return server.stats_snapshot().queue_depth == 0; }));
     auto filler = server.submit(bfs_request("Road", 21));
     ASSERT_TRUE(filler.is_ok());
 
@@ -631,12 +633,12 @@ TEST(ServeResilienceTest, QueryRetriesShedRequestsUntilAdmitted)
     auto result = server.query(bfs_request("Road", 22), policy);
     ASSERT_TRUE(result.is_ok());
 
-    const ServerStats s = server.stats();
+    const ServerStats s = server.stats_snapshot();
     EXPECT_GE(s.retries, 1u);
     EXPECT_GE(s.shed, 1u);
     ASSERT_TRUE(blocker.value().wait().is_ok());
     ASSERT_TRUE(filler.value().wait().is_ok());
-    assert_invariants(server.stats());
+    assert_invariants(server.stats_snapshot());
 }
 
 TEST(ServeResilienceTest, ExhaustedRetryBudgetDeniesRetries)
@@ -653,7 +655,7 @@ TEST(ServeResilienceTest, ExhaustedRetryBudgetDeniesRetries)
     auto blocker = server.submit(bfs_request("Road", 30));
     ASSERT_TRUE(blocker.is_ok());
     ASSERT_TRUE(eventually(
-        [&server] { return server.stats().queue_depth == 0; }));
+        [&server] { return server.stats_snapshot().queue_depth == 0; }));
     auto filler = server.submit(bfs_request("Road", 31));
     ASSERT_TRUE(filler.is_ok());
 
@@ -664,7 +666,7 @@ TEST(ServeResilienceTest, ExhaustedRetryBudgetDeniesRetries)
     ASSERT_FALSE(result.is_ok());
     EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 
-    const ServerStats s = server.stats();
+    const ServerStats s = server.stats_snapshot();
     EXPECT_EQ(s.retries, 0u);
     EXPECT_EQ(s.retry_denied, 1u);
     ASSERT_TRUE(blocker.value().wait().is_ok());
@@ -683,7 +685,7 @@ TEST(ServeResilienceTest, StatsSnapshotsAreCoherentUnderLoad)
     std::atomic<bool> done{false};
     std::thread sampler([&] {
         while (!done.load()) {
-            const ServerStats s = server.stats();
+            const ServerStats s = server.stats_snapshot();
             assert_invariants(s);
             std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
@@ -716,7 +718,7 @@ TEST(ServeResilienceTest, StatsSnapshotsAreCoherentUnderLoad)
     sampler.join();
 
     server.shutdown();
-    const ServerStats s = server.stats();
+    const ServerStats s = server.stats_snapshot();
     assert_invariants(s);
     EXPECT_EQ(s.queue_depth, 0u);
     EXPECT_EQ(s.submitted, s.completed); // everything drained
@@ -742,7 +744,7 @@ TEST(ServeResilienceTest, WaitForTimesOutWithoutConsumingTheRequest)
     auto result = handle.value().wait();
     ASSERT_TRUE(result.is_ok());
     EXPECT_NE(result.value().value, nullptr);
-    EXPECT_EQ(server.stats().deadline_exceeded, 0u);
+    EXPECT_EQ(server.stats_snapshot().deadline_exceeded, 0u);
 }
 
 // ------------------------------------------------ server: shutdown races
@@ -777,7 +779,7 @@ TEST(ServeResilienceTest, ShutdownCompletesInflightLeaderAndFollower)
     auto late = server.submit(bfs_request("Road", 42));
     ASSERT_FALSE(late.is_ok());
     EXPECT_EQ(late.status().code(), StatusCode::kResourceExhausted);
-    assert_invariants(server.stats());
+    assert_invariants(server.stats_snapshot());
 }
 
 TEST(ServeResilienceTest, CancelAfterCompletionIsBenign)
@@ -797,7 +799,142 @@ TEST(ServeResilienceTest, CancelAfterCompletionIsBenign)
     auto again = handle.value().wait();
     ASSERT_TRUE(again.is_ok());
     EXPECT_EQ(again.value().fingerprint, result.value().fingerprint);
-    EXPECT_EQ(server.stats().cancelled, 0u);
+    EXPECT_EQ(server.stats_snapshot().cancelled, 0u);
+}
+
+// ------------------------------------------------- telemetry + tracing
+
+/** All `"name":"hex"` trace values on lines containing @p marker. */
+std::vector<std::string>
+traces_in(const std::string& path, const std::string& marker)
+{
+    std::vector<std::string> out;
+    std::ifstream in(path);
+    for (std::string line; std::getline(in, line);) {
+        if (line.find(marker) == std::string::npos)
+            continue;
+        const std::size_t at = line.find("\"trace\":\"");
+        if (at == std::string::npos)
+            continue;
+        const std::size_t begin = at + 9;
+        out.push_back(line.substr(begin, line.find('"', begin) - begin));
+    }
+    return out;
+}
+
+TEST(ServeResilienceTest, RetriedQueryKeepsOneTraceAcrossAttempts)
+{
+    const std::string metrics = "serve_resilience_trace_metrics.jsonl";
+    std::remove(metrics.c_str());
+
+    ServerOptions options;
+    options.workers = 1;
+    options.queue_capacity = 1;
+    options.cache_capacity_bytes = 0;
+    options.metrics_path = metrics;
+    Server server(suite(), frameworks(), options);
+
+    // Same shape as QueryRetriesShedRequestsUntilAdmitted: a blocked
+    // worker plus a full queue force query() to shed and retry.
+    ScopedFaults faults("serve.execute:1x:9:delay=80");
+    auto blocker = server.submit(bfs_request("Road", 50));
+    ASSERT_TRUE(blocker.is_ok());
+    ASSERT_TRUE(eventually(
+        [&server] { return server.stats_snapshot().queue_depth == 0; }));
+    auto filler = server.submit(bfs_request("Road", 51));
+    ASSERT_TRUE(filler.is_ok());
+
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    policy.initial_backoff_ms = 10;
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff_ms = 80;
+    policy.seed = 7;
+    auto result = server.query(bfs_request("Road", 52), policy);
+    ASSERT_TRUE(result.is_ok());
+    ASSERT_NE(result.value().trace_id, 0u);
+    ASSERT_GE(server.stats_snapshot().retries, 1u);
+    ASSERT_TRUE(blocker.value().wait().is_ok());
+    ASSERT_TRUE(filler.value().wait().is_ok());
+    server.shutdown();
+
+    // Refused attempts left serve.refusal records; the admitted attempt
+    // left a per-request metrics record.  Every one of them carries the
+    // trace id query() minted, and that id matches the returned result.
+    char expected[32];
+    std::snprintf(expected, sizeof expected, "%016llx",
+                  static_cast<unsigned long long>(result.value().trace_id));
+    const auto refused = traces_in(metrics, "\"kind\":\"serve.refusal\"");
+    ASSERT_GE(refused.size(), 1u);
+    for (const std::string& trace : refused)
+        EXPECT_EQ(trace, expected);
+    const auto all = traces_in(metrics, "\"trace\":\"");
+    int matching = 0;
+    for (const std::string& trace : all)
+        matching += trace == expected ? 1 : 0;
+    // Refusals + the final successful attempt's request record.
+    EXPECT_EQ(matching, static_cast<int>(refused.size()) + 1);
+
+    // The other two requests minted distinct traces at submit().
+    const auto unique = [&all] {
+        std::vector<std::string> v = all;
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        return v.size();
+    }();
+    EXPECT_EQ(unique, 3u);
+    std::remove(metrics.c_str());
+}
+
+TEST(ServeResilienceTest, StatsStayCoherentMidChaosStorm)
+{
+    // The StatsSnapshotsAreCoherentUnderLoad scenario with fault
+    // injection layered on: execute failures, admission delays, and
+    // cache-insert faults must not let a mid-storm stats_snapshot()
+    // observe a torn or contradictory view.
+    ServerOptions options;
+    options.workers = 3;
+    options.queue_capacity = 8;
+    options.cache_ttl_ms = 20;
+    Server server(suite(), frameworks(), options);
+
+    ScopedFaults faults("serve.execute:0.2:9,"
+                        "serve.admission:0.05:11:delay=2,"
+                        "serve.cache.insert:0.25:13");
+    std::atomic<bool> done{false};
+    std::thread sampler([&] {
+        while (!done.load()) {
+            assert_invariants(server.stats_snapshot());
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    });
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&server, t] {
+            for (int i = 0; i < 25; ++i) {
+                Request req = bfs_request(
+                    "Road", static_cast<vid_t>(1 + (t * 25 + i) % 40));
+                req.allow_stale = true;
+                if (i % 4 == 2)
+                    req.priority = Priority::kBestEffort;
+                auto handle = server.submit(req);
+                if (!handle.is_ok())
+                    continue; // shed or fast-failed: expected in a storm
+                (void)handle.value().wait();
+            }
+        });
+    }
+    for (auto& client : clients)
+        client.join();
+    done.store(true);
+    sampler.join();
+
+    server.shutdown();
+    const ServerStats s = server.stats_snapshot();
+    assert_invariants(s);
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_EQ(s.submitted, s.completed);
 }
 
 } // namespace

@@ -240,7 +240,7 @@ TEST(ServeTest, EightConcurrentQueriesMatchDirectExecution)
     // All 8 workers must be in flight simultaneously at some point.
     int max_in_flight = 0;
     eventually([&] {
-        const ServerStats s = server.stats();
+        const ServerStats s = server.stats_snapshot();
         max_in_flight = std::max(
             max_in_flight, static_cast<int>(s.executions - s.completed));
         return max_in_flight >= 8;
@@ -263,7 +263,7 @@ TEST(ServeTest, EightConcurrentQueriesMatchDirectExecution)
         EXPECT_TRUE(*got->value == expected) << i;
         EXPECT_GE(got->queue_seconds, 0.0);
     }
-    const ServerStats stats = server.stats();
+    const ServerStats stats = server.stats_snapshot();
     EXPECT_EQ(stats.submitted, requests.size());
     EXPECT_EQ(stats.executions, requests.size()); // all distinct
     EXPECT_EQ(stats.succeeded, requests.size());
@@ -307,7 +307,7 @@ TEST(ServeTest, WideRequestsMatchSerialResultsBitForBit)
         EXPECT_LE(got->parallel_efficiency, 1.0);
     }
 
-    const ServerStats stats = server.stats();
+    const ServerStats stats = server.stats_snapshot();
     EXPECT_EQ(stats.executions, 4u);
     EXPECT_GE(stats.lanes_granted, 4u); // >= 1 lane per execution
 }
@@ -377,7 +377,7 @@ TEST(ServeTest, RepeatedQueryHitsCacheWithSameResult)
     EXPECT_EQ(second->value, first->value); // zero-copy: same payload
     EXPECT_EQ(second->execute_seconds, 0.0);
 
-    const ServerStats stats = server.stats();
+    const ServerStats stats = server.stats_snapshot();
     EXPECT_EQ(stats.executions, 1u);
     EXPECT_EQ(stats.cache_hits, 1u);
     EXPECT_GT(stats.cache_bytes, 0u);
@@ -401,7 +401,7 @@ TEST(ServeTest, IdenticalBurstSingleFlightsToOneExecution)
     auto leader = server.submit(req);
     ASSERT_TRUE(leader.is_ok());
     ASSERT_TRUE(eventually(
-        [&] { return server.stats().executions == 1; }));
+        [&] { return server.stats_snapshot().executions == 1; }));
 
     std::vector<Server::Handle> handles;
     for (int i = 0; i < 7; ++i) {
@@ -419,7 +419,7 @@ TEST(ServeTest, IdenticalBurstSingleFlightsToOneExecution)
         EXPECT_TRUE(got->cache_hit || got->shared_execution);
     }
 
-    const ServerStats stats = server.stats();
+    const ServerStats stats = server.stats_snapshot();
     EXPECT_EQ(stats.submitted, 8u);
     EXPECT_EQ(stats.executions, 1u); // 8 requests, one kernel run
     EXPECT_EQ(stats.single_flight_joins + stats.cache_hits, 7u);
@@ -441,16 +441,16 @@ TEST(ServeTest, DeadlineExceededLeavesServerServing)
     auto got = server.query(req);
     ASSERT_FALSE(got.is_ok());
     EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
-    EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+    EXPECT_EQ(server.stats_snapshot().deadline_exceeded, 1u);
 
     // No partial result was cached, and the server still serves: the same
     // query (without deadline) executes fresh and succeeds.
-    EXPECT_EQ(server.stats().cache_entries, 0u);
+    EXPECT_EQ(server.stats_snapshot().cache_entries, 0u);
     req.deadline_ms = 0;
     auto retry = server.query(req);
     ASSERT_TRUE(retry.is_ok()) << retry.status().to_string();
     EXPECT_FALSE(retry->cache_hit);
-    EXPECT_EQ(server.stats().executions, 2u);
+    EXPECT_EQ(server.stats_snapshot().executions, 2u);
 
     const ResultValue expected = direct([&] {
         return ResultValue(frameworks()[harness::kGapIndex].bfs(
@@ -473,7 +473,7 @@ TEST(ServeTest, DeadlineExpiringInQueueSkipsExecution)
     auto first = server.submit(blocker);
     ASSERT_TRUE(first.is_ok());
     ASSERT_TRUE(eventually(
-        [&] { return server.stats().executions == 1; }));
+        [&] { return server.stats_snapshot().executions == 1; }));
 
     // Queued behind a 300 ms execution with a 30 ms budget: it must come
     // back DEADLINE_EXCEEDED without ever executing.
@@ -484,7 +484,7 @@ TEST(ServeTest, DeadlineExpiringInQueueSkipsExecution)
     ASSERT_FALSE(got.is_ok());
     EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
     EXPECT_TRUE(first->wait().is_ok());
-    EXPECT_EQ(server.stats().executions, 1u);
+    EXPECT_EQ(server.stats_snapshot().executions, 1u);
 }
 
 TEST(ServeTest, FullQueueShedsDeterministically)
@@ -504,7 +504,7 @@ TEST(ServeTest, FullQueueShedsDeterministically)
     auto blocker = server.submit(req);
     ASSERT_TRUE(blocker.is_ok());
     ASSERT_TRUE(eventually(
-        [&] { return server.stats().executions == 1; }));
+        [&] { return server.stats_snapshot().executions == 1; }));
 
     // ...two distinct queries fill the queue...
     std::vector<Server::Handle> queued;
@@ -524,7 +524,7 @@ TEST(ServeTest, FullQueueShedsDeterministically)
         EXPECT_EQ(refused.status().code(),
                   StatusCode::kResourceExhausted);
     }
-    EXPECT_EQ(server.stats().shed, 3u);
+    EXPECT_EQ(server.stats_snapshot().shed, 3u);
 
     EXPECT_TRUE(blocker->wait().is_ok());
     for (auto& handle : queued)
@@ -550,13 +550,13 @@ TEST(ServeTest, CancelledMidKernelLeavesNoCacheEntry)
     auto leader = server.submit(req);
     ASSERT_TRUE(leader.is_ok());
     ASSERT_TRUE(eventually(
-        [&] { return server.stats().executions == 1; }));
+        [&] { return server.stats_snapshot().executions == 1; }));
 
     // An identical concurrent query joins the leader's flight...
     auto follower = server.submit(req);
     ASSERT_TRUE(follower.is_ok());
     ASSERT_TRUE(eventually(
-        [&] { return server.stats().single_flight_joins == 1; }));
+        [&] { return server.stats_snapshot().single_flight_joins == 1; }));
 
     // ...then the leader is cancelled mid-kernel.
     leader->cancel();
@@ -571,7 +571,7 @@ TEST(ServeTest, CancelledMidKernelLeavesNoCacheEntry)
 
     // No partial result poisoned the cache; a retry executes fresh and
     // matches direct execution.
-    EXPECT_EQ(server.stats().cache_entries, 0u);
+    EXPECT_EQ(server.stats_snapshot().cache_entries, 0u);
     auto retry = server.query(req);
     ASSERT_TRUE(retry.is_ok()) << retry.status().to_string();
     EXPECT_FALSE(retry->cache_hit);
@@ -580,7 +580,7 @@ TEST(ServeTest, CancelledMidKernelLeavesNoCacheEntry)
             suite()[2], req.source, req.mode));
     });
     EXPECT_EQ(retry->fingerprint, result_fingerprint(expected));
-    EXPECT_EQ(server.stats().cancelled, 2u);
+    EXPECT_EQ(server.stats_snapshot().cancelled, 2u);
 }
 
 TEST(ServeTest, WritesParseableMetricsRecords)

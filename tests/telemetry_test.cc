@@ -1,0 +1,452 @@
+/**
+ * Tests for gm::telemetry: histogram bucket geometry (edge values,
+ * lower/upper round-trips), cross-shard merge determinism under varying
+ * thread counts, quantile accuracy pinned against gm::stats exact
+ * percentiles, exposition render/parse/check round trips, the metrics
+ * listener + scrape client on an ephemeral port, and the SLO burn-rate
+ * monitor's fire/clear state machine under synthetic timestamps.  Runs
+ * under the TSan CI tier alongside the serve suites.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gm/stats/stats.hh"
+#include "gm/support/rng.hh"
+#include "gm/telemetry/exposition.hh"
+#include "gm/telemetry/registry.hh"
+#include "gm/telemetry/slo.hh"
+
+namespace gm::telemetry
+{
+namespace
+{
+
+// ---------------------------------------------------- bucket geometry
+
+TEST(HistogramBucketsTest, SmallValuesGetTheirOwnBucket)
+{
+    EXPECT_EQ(Histogram::bucket_index(0), 0);
+    EXPECT_EQ(Histogram::bucket_index(1), 1);
+    EXPECT_EQ(Histogram::bucket_index(2), 2);
+    EXPECT_EQ(Histogram::bucket_index(3), 3);
+    EXPECT_EQ(Histogram::bucket_index(4), 4);
+}
+
+TEST(HistogramBucketsTest, ExtremesLandInTerminalBuckets)
+{
+    EXPECT_EQ(Histogram::bucket_index(0), 0);
+    EXPECT_EQ(Histogram::bucket_index(
+                  std::numeric_limits<std::uint64_t>::max()),
+              Histogram::kBuckets - 1);
+    // The largest power of two: still inside the table, no overflow.
+    EXPECT_LT(Histogram::bucket_index(std::uint64_t{1} << 63),
+              Histogram::kBuckets);
+}
+
+TEST(HistogramBucketsTest, BoundsRoundTripThroughBucketIndex)
+{
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t lower = Histogram::bucket_lower(b);
+        const std::uint64_t upper = Histogram::bucket_upper(b);
+        ASSERT_LT(lower, upper) << "bucket " << b;
+        // Both edges of the half-open interval map back to the bucket.
+        ASSERT_EQ(Histogram::bucket_index(lower), b) << "bucket " << b;
+        ASSERT_EQ(Histogram::bucket_index(upper - 1), b) << "bucket " << b;
+        // Buckets tile the axis with no gaps.
+        if (b + 1 < Histogram::kBuckets) {
+            ASSERT_EQ(Histogram::bucket_lower(b + 1), upper)
+                << "bucket " << b;
+        }
+    }
+    EXPECT_EQ(Histogram::bucket_upper(Histogram::kBuckets - 1),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramBucketsTest, RelativeWidthIsBoundedAboveSmallValues)
+{
+    // Log-linear promise: above the linear range, width / lower <= 25%.
+    for (int b = Histogram::bucket_index(64); b < Histogram::kBuckets - 1;
+         ++b) {
+        const double lower =
+            static_cast<double>(Histogram::bucket_lower(b));
+        const double width =
+            static_cast<double>(Histogram::bucket_upper(b)) - lower;
+        ASSERT_LE(width / lower, 0.25 + 1e-12) << "bucket " << b;
+    }
+}
+
+// ------------------------------------------------- sharding + merging
+
+/**
+ * Record the same multiset of observations from @p threads threads and
+ * return the rendered exposition text.  Any dependence on thread count
+ * or interleaving shows up as a textual diff.
+ */
+std::string
+render_with_threads(int threads)
+{
+    Registry registry;
+    registry.enable();
+    Counter& requests = registry.counter("t_requests_total");
+    Gauge& depth = registry.gauge("t_depth");
+    Histogram& latency = registry.histogram(
+        labeled("t_latency_ns", {{"kernel", "BFS"}}));
+
+    constexpr int kTotal = 4096;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            SplitMix64 mix(0xfeedULL); // same stream on every thread
+            for (int i = 0; i < kTotal; ++i) {
+                const std::uint64_t v = mix.next() >> 34; // ~0..1e9
+                if (i % threads != t)
+                    continue; // partition the observations
+                requests.inc();
+                latency.record(v);
+            }
+        });
+    }
+    for (std::thread& w : workers)
+        w.join();
+    depth.set(static_cast<double>(threads * 0 + 7)); // thread-invariant
+    return render_text(registry.snapshot());
+}
+
+TEST(RegistryTest, MergedSnapshotIsBitIdenticalAcrossThreadCounts)
+{
+    const std::string baseline = render_with_threads(1);
+    for (const int threads : {2, 5, 8})
+        ASSERT_EQ(render_with_threads(threads), baseline)
+            << "threads=" << threads;
+}
+
+TEST(RegistryTest, DisabledProbesRecordNothing)
+{
+    Registry registry; // never enabled
+    registry.counter("r_total").inc(10);
+    registry.gauge("r_gauge").set(4.5);
+    registry.histogram("r_hist").record(123);
+
+    const Snapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].second, 0u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].second, 0.0);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].second.count, 0u);
+}
+
+TEST(RegistryTest, EnableDisableNests)
+{
+    Registry registry;
+    registry.enable();
+    registry.enable(); // second server sharing the registry
+    registry.disable();
+    EXPECT_TRUE(registry.enabled()); // still held by the first enable
+    registry.counter("n_total").inc();
+    registry.disable();
+    EXPECT_FALSE(registry.enabled());
+    registry.counter("n_total").inc(); // dropped
+    EXPECT_EQ(registry.snapshot().counters[0].second, 1u);
+}
+
+TEST(RegistryTest, HandlesAreStableAcrossLookups)
+{
+    Registry registry;
+    Counter& a = registry.counter("h_total");
+    Counter& b = registry.counter("h_total");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(&registry.gauge("h_g"), &registry.gauge("h_g"));
+    EXPECT_EQ(&registry.histogram("h_h"), &registry.histogram("h_h"));
+}
+
+TEST(RegistryTest, LabeledComposesAndEscapes)
+{
+    EXPECT_EQ(labeled("f", {{"k", "BFS"}, {"p", "batch"}}),
+              "f{k=\"BFS\",p=\"batch\"}");
+    EXPECT_EQ(labeled("f", {}), "f");
+    EXPECT_EQ(labeled("f", {{"k", "a\"b\\c\nd"}}),
+              "f{k=\"a\\\"b\\\\c\\nd\"}");
+}
+
+// ------------------------------------------------------ quantiles
+
+TEST(HistogramQuantilesTest, WithinOneBucketWidthOfExact)
+{
+    Registry registry;
+    registry.enable();
+    Histogram& hist = registry.histogram("q_ns");
+
+    SplitMix64 mix(0xabcdefULL);
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = mix.next() >> 40; // ~0..16.7M, log-spread
+        hist.record(v);
+        samples.push_back(static_cast<double>(v));
+    }
+
+    const HistogramSnapshot snap = hist.snapshot();
+    ASSERT_EQ(snap.count, 20000u);
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double exact = stats::percentile_of(samples, q * 100.0);
+        const int bucket =
+            Histogram::bucket_index(static_cast<std::uint64_t>(exact));
+        const double width =
+            static_cast<double>(Histogram::bucket_upper(bucket)) -
+            static_cast<double>(Histogram::bucket_lower(bucket));
+        EXPECT_NEAR(snap.quantile(q), exact, width) << "q=" << q;
+    }
+}
+
+TEST(HistogramQuantilesTest, EmptyAndDegenerateSnapshots)
+{
+    Registry registry;
+    registry.enable();
+    Histogram& hist = registry.histogram("d_ns");
+    EXPECT_EQ(hist.snapshot().quantile(0.99), 0.0);
+    EXPECT_EQ(hist.snapshot().mean(), 0.0);
+
+    hist.record(1000);
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.sum, 1000u);
+    EXPECT_EQ(snap.mean(), 1000.0);
+    // Single sample: the estimate sits in that sample's bucket.
+    const int bucket = Histogram::bucket_index(1000);
+    EXPECT_GE(snap.quantile(0.5),
+              static_cast<double>(Histogram::bucket_lower(bucket)));
+    EXPECT_LE(snap.quantile(0.5),
+              static_cast<double>(Histogram::bucket_upper(bucket)));
+}
+
+// ------------------------------------------------------- exposition
+
+TEST(ExpositionTest, RenderParseRoundTrip)
+{
+    Registry registry;
+    registry.enable();
+    registry.counter("e_total").inc(3);
+    registry.gauge("e_depth").set(2.5);
+    registry.histogram(labeled("e_ns", {{"k", "BFS"}})).record(100);
+    registry.histogram(labeled("e_ns", {{"k", "PR"}})).record(200);
+
+    const std::string text = render_text(registry.snapshot());
+    ASSERT_TRUE(check_exposition(text).is_ok()) << text;
+
+    const auto parsed = parse_exposition(text);
+    ASSERT_TRUE(parsed.is_ok());
+    const auto values = parsed->by_name();
+    EXPECT_EQ(values.at("e_total"), 3.0);
+    EXPECT_EQ(values.at("e_depth"), 2.5);
+    EXPECT_EQ(values.at("e_ns_count{k=\"BFS\"}"), 1.0);
+    EXPECT_EQ(values.at("e_ns_sum{k=\"PR\"}"), 200.0);
+    EXPECT_EQ(parsed->type_of("e_total"), "counter");
+    EXPECT_EQ(parsed->type_of("e_depth"), "gauge");
+    EXPECT_EQ(parsed->type_of("e_ns_bucket{k=\"BFS\",le=\"+Inf\"}"),
+              "histogram");
+
+    // Cumulative buckets: the +Inf bucket equals the count.
+    EXPECT_EQ(values.at("e_ns_bucket{k=\"BFS\",le=\"+Inf\"}"), 1.0);
+}
+
+TEST(ExpositionTest, CheckRejectsDuplicateSeries)
+{
+    const std::string text = "# TYPE dup_total counter\n"
+                             "dup_total 1\n"
+                             "dup_total 2\n";
+    EXPECT_FALSE(check_exposition(text).is_ok());
+}
+
+TEST(ExpositionTest, CheckRejectsUndeclaredFamilies)
+{
+    EXPECT_FALSE(check_exposition("orphan_total 1\n").is_ok());
+}
+
+TEST(ExpositionTest, MonotoneCheckCatchesCounterRegression)
+{
+    const std::string before = "# TYPE m_total counter\nm_total 5\n";
+    const std::string grew = "# TYPE m_total counter\nm_total 9\n";
+    const std::string shrank = "# TYPE m_total counter\nm_total 4\n";
+    EXPECT_TRUE(check_monotone(before, grew).is_ok());
+    EXPECT_FALSE(check_monotone(before, shrank).is_ok());
+
+    // Gauges may move either way.
+    const std::string g1 = "# TYPE m_depth gauge\nm_depth 5\n";
+    const std::string g2 = "# TYPE m_depth gauge\nm_depth 1\n";
+    EXPECT_TRUE(check_monotone(g1, g2).is_ok());
+}
+
+// ------------------------------------------------- listener + scrape
+
+TEST(ListenerTest, ScrapeRoundTripOnEphemeralPort)
+{
+    Registry registry;
+    registry.enable();
+    registry.counter("l_total").inc(11);
+    Histogram& hist = registry.histogram("l_ns");
+    hist.record(500);
+
+    MetricsListener listener(0, [&registry] {
+        return render_text(registry.snapshot());
+    });
+    ASSERT_TRUE(listener.status().is_ok())
+        << listener.status().to_string();
+    ASSERT_GT(listener.port(), 0);
+
+    const auto first = scrape_text("127.0.0.1", listener.port());
+    ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+    ASSERT_TRUE(check_exposition(*first).is_ok());
+    EXPECT_EQ(parse_exposition(*first)->by_name().at("l_total"), 11.0);
+
+    // Counters move between scrapes; monotonicity must hold.
+    registry.counter("l_total").inc(4);
+    hist.record(900);
+    const auto second = scrape_text("127.0.0.1", listener.port());
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_TRUE(check_monotone(*first, *second).is_ok());
+    EXPECT_EQ(parse_exposition(*second)->by_name().at("l_total"), 15.0);
+
+    listener.stop();
+    // After stop() the endpoint refuses scrapes.
+    EXPECT_FALSE(scrape_text("127.0.0.1", listener.port(), 200).is_ok());
+}
+
+TEST(ListenerTest, ScrapeOfClosedPortFailsFast)
+{
+    // Grab an ephemeral port, then close it so nothing is listening.
+    int dead_port = 0;
+    {
+        MetricsListener probe(0, [] { return std::string(); });
+        ASSERT_TRUE(probe.status().is_ok());
+        dead_port = probe.port();
+        probe.stop();
+    }
+    const auto result = scrape_text("127.0.0.1", dead_port, 200);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), support::StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------- SLO monitor
+
+SloOptions
+fast_slo()
+{
+    SloOptions opts;
+    opts.availability_target = 0.9; // 10% error budget
+    opts.bucket_ns = 1'000'000;     // 1 ms buckets
+    opts.short_buckets = 4;
+    opts.long_buckets = 20;
+    opts.fire_burn = 2.0;
+    opts.clear_burn = 1.0;
+    return opts;
+}
+
+TEST(SloMonitorTest, FiresOnSustainedBurnAndClearsAfterRecovery)
+{
+    SloMonitor monitor(fast_slo());
+    std::int64_t now = 10'000'000;
+
+    // Healthy traffic: no burn.
+    for (int i = 0; i < 40; ++i)
+        monitor.record(now + i * 100'000, true, true, 50'000);
+    SloEvaluation ev = monitor.evaluate(now + 4'000'000);
+    EXPECT_FALSE(ev.firing);
+    EXPECT_EQ(ev.burn_short, 0.0);
+    EXPECT_EQ(ev.fresh_availability_short, 1.0);
+
+    // Storm: half the requests only answered degraded -> strict error
+    // rate 0.5 = burn 5 against the 10% budget, in both windows.
+    now += 5'000'000;
+    for (int i = 0; i < 40; ++i)
+        monitor.record(now + i * 100'000, true, i % 2 == 0, 200'000);
+    ev = monitor.evaluate(now + 4'000'000);
+    EXPECT_TRUE(ev.firing);
+    EXPECT_TRUE(ev.changed);
+    EXPECT_GE(ev.burn_short, 2.0);
+    EXPECT_GE(ev.burn_long, 2.0);
+    // Lenient availability stays perfect: every request was answered.
+    EXPECT_EQ(ev.availability_short, 1.0);
+    EXPECT_LT(ev.fresh_availability_short, 0.6);
+    EXPECT_TRUE(monitor.firing());
+
+    // Recovery: fresh traffic pushes the storm out of the short window.
+    now += 5'000'000;
+    for (int i = 0; i < 40; ++i)
+        monitor.record(now + i * 100'000, true, true, 50'000);
+    ev = monitor.evaluate(now + 4'000'000);
+    EXPECT_FALSE(ev.firing);
+    EXPECT_TRUE(ev.changed);
+    EXPECT_FALSE(monitor.firing());
+
+    // Lifetime accounting survives the window roll-off.
+    EXPECT_EQ(ev.lifetime_total, 120u);
+    EXPECT_EQ(ev.lifetime_answered, 120u);
+    EXPECT_EQ(ev.lifetime_fresh, 100u);
+    EXPECT_EQ(ev.availability_lifetime, 1.0);
+}
+
+TEST(SloMonitorTest, OneBucketBlipDoesNotFire)
+{
+    // A short-window spike with a quiet long window: multi-window guard
+    // keeps the monitor silent.
+    SloOptions opts = fast_slo();
+    SloMonitor monitor(opts);
+    std::int64_t now = 50'000'000;
+
+    // Long window: lots of healthy traffic spread across 20 buckets.
+    for (int i = 0; i < 200; ++i)
+        monitor.record(now + i * 100'000, true, true, 50'000);
+    now += 20'000'000;
+    // One bad bucket inside the short window.
+    for (int i = 0; i < 15; ++i)
+        monitor.record(now, true, false, 200'000);
+    const SloEvaluation ev = monitor.evaluate(now + 500'000);
+    EXPECT_GE(ev.burn_short, 2.0);
+    EXPECT_LT(ev.burn_long, 2.0);
+    EXPECT_FALSE(ev.firing);
+}
+
+TEST(SloMonitorTest, LatencyTargetAloneCanFire)
+{
+    SloOptions opts = fast_slo();
+    opts.p99_target_ns = 100'000;
+    SloMonitor monitor(opts);
+    std::int64_t now = 80'000'000;
+
+    // Fully available but slow: p99 above target fires the monitor.
+    for (int i = 0; i < 50; ++i)
+        monitor.record(now + i * 50'000, true, true, 400'000);
+    SloEvaluation ev = monitor.evaluate(now + 3'000'000);
+    EXPECT_TRUE(ev.firing);
+    EXPECT_GT(ev.p99_short_ns, opts.p99_target_ns);
+    EXPECT_EQ(ev.burn_short, 0.0);
+
+    // Latency recovers; monitor clears.
+    now += 10'000'000;
+    for (int i = 0; i < 50; ++i)
+        monitor.record(now + i * 50'000, true, true, 10'000);
+    ev = monitor.evaluate(now + 3'000'000);
+    EXPECT_FALSE(ev.firing);
+}
+
+TEST(SloMonitorTest, UnansweredRequestsBurnBothAvailabilities)
+{
+    SloMonitor monitor(fast_slo());
+    const std::int64_t now = 200'000'000;
+    for (int i = 0; i < 10; ++i)
+        monitor.record(now, i < 6, i < 6, 100'000);
+    const SloEvaluation ev = monitor.evaluate(now + 500'000);
+    EXPECT_DOUBLE_EQ(ev.availability_short, 0.6);
+    EXPECT_DOUBLE_EQ(ev.fresh_availability_short, 0.6);
+    EXPECT_DOUBLE_EQ(ev.burn_short, 4.0); // 0.4 / 0.1
+}
+
+} // namespace
+} // namespace gm::telemetry

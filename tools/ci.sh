@@ -17,7 +17,13 @@
 # show zero perf_gate regressions), and a
 # chaos smoke that runs serve_bench --chaos under a pinned fault storm
 # and gates on the availability SLO plus full circuit-breaker
-# open/half-open/closed cycles.
+# open/half-open/closed cycles — now scraped live: gmtop hits the
+# --metrics-port endpoint mid-storm (format + counter-monotonicity
+# checks across two scrapes), the SLO burn monitor must fire in the
+# storm and clear by the settle phase, the scraped lifetime
+# availability must agree with the post-hoc SLO JSONL, and the
+# disabled-telemetry probe budget is enforced via
+# bench/telemetry_overhead.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -49,12 +55,13 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DGM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target obs_test par_test par_stress_test serve_test \
-    serve_resilience_test
+    serve_resilience_test telemetry_test
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/par_test"
 "$TSAN_DIR/tests/par_stress_test"
 "$TSAN_DIR/tests/serve_test"
 "$TSAN_DIR/tests/serve_resilience_test"
+"$TSAN_DIR/tests/telemetry_test"
 
 echo "== tier 4: profile pipeline smoke (suite --trace-out + validation) =="
 SMOKE_DIR="$BUILD_DIR/ci-profile-smoke"
@@ -173,15 +180,53 @@ mkdir -p "$CHAOS_DIR"
 # serve_bench exits 4 below the floor), (b) exercise the circuit
 # breakers through full open -> half-open -> closed cycles, and (c) log
 # those transitions into the metrics JSONL without breaking
-# profile_report.
+# profile_report.  The bench runs in the background with a live metrics
+# endpoint (--metrics-port 0) so gmtop can scrape it mid-storm: two
+# scrapes ~0.3 s apart must pass the structural format check and the
+# counter-monotonicity check, proving the endpoint answers while the
+# server is under fault load, not just at the edges.
 "$BUILD_DIR/tools/serve_bench" --chaos --scale 8 --kernels BFS \
     --distinct 6 --requests 800 --clients 4 --workers 2 \
     --cache-ttl-ms 10 --think-ms 2 --seed 42 \
     --chaos-faults "serve.execute:0.2:9,serve.cache.insert:0.3:13,serve.admission:0.02:11:delay=5" \
     --min-availability 0.99 \
+    --metrics-port 0 \
+    --telemetry-out "$CHAOS_DIR/telemetry.jsonl" \
+    --telemetry-flush-ms 100 \
     --slo-out "$CHAOS_DIR/slo.jsonl" \
     --metrics-out "$CHAOS_DIR/chaos_metrics.jsonl" \
-    | tee "$CHAOS_DIR/chaos.log"
+    > "$CHAOS_DIR/chaos.log" 2>&1 &
+CHAOS_PID=$!
+# The port line is flushed as soon as the listener binds; poll for it.
+METRICS_PORT=""
+for _ in $(seq 1 100); do
+    METRICS_PORT="$(sed -n \
+        's/^metrics exposition on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$CHAOS_DIR/chaos.log")"
+    [ -n "$METRICS_PORT" ] && break
+    sleep 0.05
+done
+if [ -z "$METRICS_PORT" ]; then
+    echo "serve_bench never announced a metrics port" >&2
+    wait "$CHAOS_PID" || true
+    cat "$CHAOS_DIR/chaos.log" >&2
+    exit 1
+fi
+"$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" --check
+"$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" --raw \
+    > "$CHAOS_DIR/scrape1.txt"
+sleep 0.3
+# Second scrape: counters must only have grown since the first.
+"$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" \
+    --monotone-against "$CHAOS_DIR/scrape1.txt"
+SCRAPED_AVAIL="$("$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" \
+    --get gm_slo_availability_lifetime)"
+if ! wait "$CHAOS_PID"; then
+    echo "serve_bench chaos run failed" >&2
+    cat "$CHAOS_DIR/chaos.log" >&2
+    exit 1
+fi
+cat "$CHAOS_DIR/chaos.log"
 grep -q "failed=0" "$CHAOS_DIR/chaos.log"
 if grep -q "breaker_transitions=0 " "$CHAOS_DIR/chaos.log"; then
     echo "chaos storm opened no circuit breakers" >&2
@@ -191,13 +236,47 @@ grep -q '"to":"open"' "$CHAOS_DIR/chaos_metrics.jsonl"
 grep -q '"to":"half_open"' "$CHAOS_DIR/chaos_metrics.jsonl"
 grep -q '"to":"closed"' "$CHAOS_DIR/chaos_metrics.jsonl"
 grep -q '"kind":"serve.slo","phase":"storm"' "$CHAOS_DIR/slo.jsonl"
+# The SLO burn monitor must fire during the storm and have cleared by
+# the settle phase, leaving firing/clear transition records behind.
+grep -q "slo storm:.*firing=1" "$CHAOS_DIR/chaos.log"
+grep -q "slo settle:.*firing=0" "$CHAOS_DIR/chaos.log"
+grep -q '"kind":"serve.slo.burn","state":"firing"' \
+    "$CHAOS_DIR/chaos_metrics.jsonl"
+grep -q '"kind":"serve.slo.burn","state":"clear"' \
+    "$CHAOS_DIR/chaos_metrics.jsonl"
+# The periodic flusher left crash-safe telemetry snapshots behind.
+grep -q '"kind":"serve.telemetry"' "$CHAOS_DIR/telemetry.jsonl"
+# The availability the live endpoint reported mid-run must agree with
+# what the SLO JSONL records post-hoc (same monitor, so the scrape can
+# only lag it, never contradict it).
+REPORTED_AVAIL="$(sed -n \
+    's/.*"phase":"overall".*"availability":\([0-9.]*\).*/\1/p' \
+    "$CHAOS_DIR/slo.jsonl")"
+awk -v a="$SCRAPED_AVAIL" -v b="$REPORTED_AVAIL" 'BEGIN {
+    d = a - b; if (d < 0) d = -d;
+    if (d > 0.05) {
+        printf "scraped availability %s vs slo.jsonl %s: drift > 0.05\n",
+               a, b > "/dev/stderr";
+        exit 1;
+    }
+}'
 # The metrics stream (per-request records + breaker/slo side-records)
-# must still be consumable by the profile pipeline.
+# must still be consumable by the profile pipeline, and the --slo view
+# must tabulate the phase records, burn transitions, and snapshots.
 "$BUILD_DIR/tools/profile_report" --metrics "$CHAOS_DIR/chaos_metrics.jsonl" \
     > /dev/null 2> "$CHAOS_DIR/report.err"
 if grep -q "skipping unreadable record" "$CHAOS_DIR/report.err"; then
     echo "profile_report warned on serve side-records" >&2
     exit 1
 fi
+cat "$CHAOS_DIR/slo.jsonl" "$CHAOS_DIR/chaos_metrics.jsonl" \
+    "$CHAOS_DIR/telemetry.jsonl" > "$CHAOS_DIR/combined.jsonl"
+"$BUILD_DIR/tools/profile_report" --slo "$CHAOS_DIR/combined.jsonl" \
+    > "$CHAOS_DIR/slo_report.txt"
+grep -q "storm" "$CHAOS_DIR/slo_report.txt"
+grep -q "BURN TRANSITIONS" "$CHAOS_DIR/slo_report.txt"
+# Telemetry must be free when off: the disabled-registry probe budget
+# (bench/telemetry_overhead exits non-zero above ~10 ns/op).
+"$BUILD_DIR/bench/telemetry_overhead" | tail -1
 
 echo "== ci.sh: all green =="

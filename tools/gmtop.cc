@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Scrape-and-pretty-print client for the gm::telemetry /metrics
+ * endpoint (`serve_bench --metrics-port`, or any gm::serve Server with
+ * ServerOptions::metrics_port set).
+ *
+ *   gmtop --port 9464             one scrape, human-readable summary:
+ *                                 counters, gauges, and histogram
+ *                                 quantiles (p50/p95/p99 as bucket
+ *                                 upper bounds)
+ *   gmtop --port 9464 --raw       dump the exposition text verbatim
+ *   gmtop --port 9464 --get gm_serve_submitted_total
+ *                                 print one sample's value (scripting)
+ *   gmtop --port 9464 --check     structural format check (duplicate
+ *                                 series, undeclared types); exit 3 on
+ *                                 violation — CI scrapes through this
+ *
+ * Exit codes: 0 ok, 1 usage, 2 scrape/endpoint failure, 3 format-check
+ * or --get lookup failure.
+ */
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gm/cli/argparse.hh"
+#include "gm/telemetry/exposition.hh"
+
+namespace
+{
+
+using gm::telemetry::Exposition;
+using gm::telemetry::Sample;
+
+void
+usage()
+{
+    std::cout
+        << "Usage: gmtop --port <n> [options]\n"
+        << "  --port <n>       metrics port to scrape (required)\n"
+        << "  --host <h>       host (default 127.0.0.1)\n"
+        << "  --timeout-ms <n> connect/read timeout (default 2000)\n"
+        << "  --raw            print the exposition text verbatim\n"
+        << "  --get <series>   print one sample's value and exit\n"
+        << "  --check          structural format check only (exit 3 on\n"
+        << "                   violation)\n"
+        << "  --monotone-against <file>\n"
+        << "                   scrape and require every counter/histogram\n"
+        << "                   series to be >= its value in <file> (a\n"
+        << "                   prior --raw dump); exit 3 on regression\n"
+        << "  -h, --help       this help\n";
+}
+
+/** Split "family{labels}" into family and the label block ("" if none). */
+void
+split_labels(const std::string& name, std::string* family,
+             std::string* labels)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+        *family = name;
+        labels->clear();
+    } else {
+        *family = name.substr(0, brace);
+        *labels = name.substr(brace);
+    }
+}
+
+/** Accumulated histogram components for one (family, labels) series. */
+struct HistogramSeries
+{
+    double count = 0;
+    double sum = 0;
+    /** (upper bound, cumulative count), document order. */
+    std::vector<std::pair<double, double>> buckets;
+
+    /** Upper bound of the bucket where cumulative count crosses q. */
+    double
+    quantile(double q) const
+    {
+        const double rank = q * count;
+        for (const auto& [le, cum] : buckets)
+            if (cum >= rank)
+                return le;
+        return buckets.empty() ? 0 : buckets.back().first;
+    }
+};
+
+/** Strip one histogram suffix; "" if @p family has none. */
+std::string
+histogram_base(const std::string& family, const char* suffix)
+{
+    const std::string tail(suffix);
+    if (family.size() <= tail.size() ||
+        family.compare(family.size() - tail.size(), tail.size(), tail) != 0)
+        return "";
+    return family.substr(0, family.size() - tail.size());
+}
+
+/** Drop an `le="..."` label from a label block. */
+std::string
+strip_le(const std::string& labels)
+{
+    const std::size_t at = labels.find("le=\"");
+    if (at == std::string::npos)
+        return labels;
+    std::size_t end = labels.find('"', at + 4);
+    if (end == std::string::npos)
+        return labels;
+    ++end; // past the closing quote
+    std::size_t begin = at;
+    if (end < labels.size() && labels[end] == ',')
+        ++end; // le was first: eat the following comma
+    else if (begin > 1 && labels[begin - 1] == ',')
+        --begin; // le was last: eat the preceding comma
+    std::string out = labels;
+    out.erase(begin, end - begin);
+    if (out == "{}")
+        out.clear();
+    return out;
+}
+
+double
+le_bound(const std::string& labels)
+{
+    const std::size_t at = labels.find("le=\"");
+    if (at == std::string::npos)
+        return 0;
+    const std::size_t begin = at + 4;
+    const std::size_t end = labels.find('"', begin);
+    const std::string text = labels.substr(begin, end - begin);
+    if (text == "+Inf")
+        return std::numeric_limits<double>::infinity();
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::string
+format_bound(double v)
+{
+    if (std::isinf(v))
+        return "+Inf";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(0) << v;
+    return os.str();
+}
+
+void
+pretty_print(const Exposition& exposition)
+{
+    // Histogram components fold back into per-series summaries; plain
+    // counters and gauges print as-is.
+    std::map<std::string, HistogramSeries> histograms;
+    std::vector<const Sample*> scalars;
+    for (const Sample& sample : exposition.samples) {
+        std::string family, labels;
+        split_labels(sample.name, &family, &labels);
+        const std::string type = exposition.type_of(sample.name);
+        if (type == "histogram") {
+            if (const std::string base = histogram_base(family, "_bucket");
+                !base.empty()) {
+                HistogramSeries& h = histograms[base + strip_le(labels)];
+                h.buckets.emplace_back(le_bound(labels), sample.value);
+            } else if (const std::string base_sum =
+                           histogram_base(family, "_sum");
+                       !base_sum.empty()) {
+                histograms[base_sum + labels].sum = sample.value;
+            } else if (const std::string base_count =
+                           histogram_base(family, "_count");
+                       !base_count.empty()) {
+                histograms[base_count + labels].count = sample.value;
+            }
+        } else {
+            scalars.push_back(&sample);
+        }
+    }
+    std::cout << std::left << std::setw(58) << "SERIES" << std::right
+              << std::setw(16) << "VALUE" << "\n";
+    for (const Sample* sample : scalars) {
+        std::ostringstream value;
+        value << std::setprecision(10) << sample->value;
+        std::cout << std::left << std::setw(58) << sample->name
+                  << std::right << std::setw(16) << value.str() << "\n";
+    }
+    if (histograms.empty())
+        return;
+    std::cout << "\n"
+              << std::left << std::setw(58) << "HISTOGRAM" << std::right
+              << std::setw(10) << "COUNT" << std::setw(12) << "MEAN"
+              << std::setw(10) << "P50<=" << std::setw(10) << "P95<="
+              << std::setw(10) << "P99<=" << "\n";
+    for (const auto& [name, h] : histograms) {
+        if (h.count <= 0)
+            continue;
+        std::ostringstream mean;
+        mean << std::fixed << std::setprecision(0) << h.sum / h.count;
+        std::cout << std::left << std::setw(58) << name << std::right
+                  << std::setw(10) << static_cast<std::uint64_t>(h.count)
+                  << std::setw(12) << mean.str() << std::setw(10)
+                  << format_bound(h.quantile(0.50)) << std::setw(10)
+                  << format_bound(h.quantile(0.95)) << std::setw(10)
+                  << format_bound(h.quantile(0.99)) << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int port = -1;
+    std::string host = "127.0.0.1";
+    int timeout_ms = 2000;
+    bool raw = false;
+    bool check = false;
+    std::string get_series;
+    std::string monotone_against;
+    gm::cli::ArgParser parser("gmtop");
+    parser.usage(usage);
+    parser.value({"--port"}, &port);
+    parser.value({"--host"}, &host);
+    parser.value({"--timeout-ms"}, &timeout_ms);
+    parser.flag({"--raw"}, &raw);
+    parser.flag({"--check"}, &check);
+    parser.value({"--get"}, &get_series);
+    parser.value({"--monotone-against"}, &monotone_against);
+    if (!parser.parse(argc, argv))
+        return parser.help_requested() ? 0 : 1;
+    if (port < 0) {
+        usage();
+        return 1;
+    }
+
+    const auto body = gm::telemetry::scrape_text(host, port, timeout_ms);
+    if (!body.is_ok()) {
+        std::cerr << "scrape failed: " << body.status().to_string() << "\n";
+        return 2;
+    }
+    if (raw) {
+        std::cout << *body;
+        return 0;
+    }
+    if (check) {
+        if (auto s = gm::telemetry::check_exposition(*body); !s.is_ok()) {
+            std::cerr << "format check failed: " << s.to_string() << "\n";
+            return 3;
+        }
+        std::cout << "format ok\n";
+        return 0;
+    }
+    if (!monotone_against.empty()) {
+        std::ifstream in(monotone_against);
+        if (!in.is_open()) {
+            std::cerr << "cannot open " << monotone_against << "\n";
+            return 2;
+        }
+        std::ostringstream before;
+        before << in.rdbuf();
+        if (auto s = gm::telemetry::check_monotone(before.str(), *body);
+            !s.is_ok()) {
+            std::cerr << "monotone check failed: " << s.to_string()
+                      << "\n";
+            return 3;
+        }
+        std::cout << "monotone ok\n";
+        return 0;
+    }
+    const auto exposition = gm::telemetry::parse_exposition(*body);
+    if (!exposition.is_ok()) {
+        std::cerr << "parse failed: " << exposition.status().to_string()
+                  << "\n";
+        return 2;
+    }
+    if (!get_series.empty()) {
+        for (const Sample& sample : exposition->samples) {
+            if (sample.name == get_series) {
+                std::cout << std::setprecision(17) << sample.value << "\n";
+                return 0;
+            }
+        }
+        std::cerr << "no such series: " << get_series << "\n";
+        return 3;
+    }
+    pretty_print(*exposition);
+    return 0;
+}

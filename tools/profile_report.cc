@@ -22,7 +22,9 @@
  * {"kind":"fingerprint"} provenance records in the stream are skipped
  * silently.
  */
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -53,9 +55,43 @@ usage()
         << "                       suite --metrics-out / kernel drivers)\n"
         << "  --check-trace <dir>  validate every .json Chrome trace in\n"
         << "                       <dir>; nonzero exit on parse failure\n"
+        << "  --slo <file>         summarize a serve JSONL stream: phase\n"
+        << "                       SLO table (serve.slo), burn-monitor\n"
+        << "                       transitions (serve.slo.burn), refusals\n"
+        << "                       (serve.refusal), and telemetry\n"
+        << "                       snapshots (serve.telemetry)\n"
         << "  --csv <file>         also export the workload table as CSV\n"
         << "  --spans              include the span time breakdown\n"
         << "  -h, --help           this help\n";
+}
+
+/**
+ * The "kind" discriminator of a JSONL record, or "" when the line does
+ * not carry one.  String-level extraction on purpose: telemetry
+ * snapshots nest objects, which the flat-JSON parser rejects, yet their
+ * kind must still be recognizable.
+ */
+std::string
+record_kind(const std::string& line)
+{
+    const std::string tag = "\"kind\":\"";
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t begin = at + tag.size();
+    const std::size_t end = line.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return line.substr(begin, end - begin);
+}
+
+/** Field value from a flat record via parse_flat_json, or @p fallback. */
+std::string
+field_or(const std::map<std::string, std::string>& fields,
+         const std::string& name, const std::string& fallback)
+{
+    auto it = fields.find(name);
+    return it == fields.end() ? fallback : it->second;
 }
 
 /** Last-seen metrics per cell, plus how many trials fed it. */
@@ -137,12 +173,11 @@ report_metrics(const std::string& path, bool with_spans,
         auto rec = gm::obs::parse_metrics_record_line(line);
         if (!rec.is_ok()) {
             // Typed side-records share the stream (fingerprint
-            // provenance, serve.breaker transitions, serve.slo
-            // summaries): anything carrying a "kind" discriminator is
-            // expected, not corruption.
-            std::map<std::string, std::string> fields;
-            if (gm::support::parse_flat_json(line, fields).is_ok() &&
-                fields.count("kind") > 0)
+            // provenance, serve.breaker transitions, serve.slo /
+            // serve.slo.burn summaries, serve.refusal traces, nested
+            // serve.telemetry snapshots): anything carrying a "kind"
+            // discriminator is expected, not corruption.
+            if (!record_kind(line).empty())
                 continue;
             std::cerr << path << ":" << line_no
                       << ": skipping unreadable record ("
@@ -204,6 +239,134 @@ report_metrics(const std::string& path, bool with_spans,
     return 0;
 }
 
+/**
+ * Summarize a serve JSONL stream: one table row per serve.slo phase
+ * record, then burn-monitor transitions, refusal counts by status code,
+ * and the telemetry snapshot envelope (count + last sequence number).
+ */
+int
+report_slo(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open slo file: " << path << "\n";
+        return 2;
+    }
+    struct BurnEvent
+    {
+        std::string state;
+        std::string t_ns;
+        std::string burn_short;
+        std::string fresh_availability_short;
+    };
+    std::vector<std::map<std::string, std::string>> phases;
+    std::vector<BurnEvent> burns;
+    std::map<std::string, std::uint64_t> refusals_by_code;
+    std::uint64_t snapshots = 0;
+    std::string last_snapshot_seq;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const std::string kind = record_kind(line);
+        if (kind == "serve.slo") {
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok())
+                phases.push_back(std::move(fields));
+        } else if (kind == "serve.slo.burn") {
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok())
+                burns.push_back({field_or(fields, "state", "?"),
+                                 field_or(fields, "t_ns", "0"),
+                                 field_or(fields, "burn_short", "0"),
+                                 field_or(fields,
+                                          "fresh_availability_short",
+                                          "1")});
+        } else if (kind == "serve.refusal") {
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok())
+                ++refusals_by_code[field_or(fields, "code", "?")];
+        } else if (kind == "serve.telemetry") {
+            ++snapshots;
+            const std::string tag = "\"seq\":";
+            const std::size_t at = line.find(tag);
+            if (at != std::string::npos) {
+                std::size_t end = at + tag.size();
+                while (end < line.size() &&
+                       std::isdigit(static_cast<unsigned char>(line[end])))
+                    ++end;
+                last_snapshot_seq =
+                    line.substr(at + tag.size(), end - at - tag.size());
+            }
+        }
+    }
+    if (phases.empty() && burns.empty() && snapshots == 0 &&
+        refusals_by_code.empty()) {
+        std::cerr << path << ": no serve.slo/serve.slo.burn/serve.refusal/"
+                     "serve.telemetry records\n";
+        return 2;
+    }
+    if (!phases.empty()) {
+        std::cout << "SLO PHASES\n"
+                  << std::left << std::setw(10) << "Phase" << std::right
+                  << std::setw(8) << "Issued" << std::setw(8) << "OK"
+                  << std::setw(10) << "Avail" << std::setw(10) << "Degr"
+                  << std::setw(7) << "Shed" << std::setw(9) << "DlExc"
+                  << std::setw(8) << "Failed" << std::setw(11)
+                  << "Goodput/s" << "\n";
+        // Availability/goodput arrive as full-precision JSON doubles;
+        // re-round them so the columns stay columns.
+        const auto fixed = [](const std::string& text, int places) {
+            std::ostringstream out;
+            out << std::fixed << std::setprecision(places)
+                << std::strtod(text.c_str(), nullptr);
+            return out.str();
+        };
+        for (const auto& p : phases) {
+            std::cout << std::left << std::setw(10)
+                      << field_or(p, "phase", "?") << std::right
+                      << std::setw(8) << field_or(p, "issued", "0")
+                      << std::setw(8) << field_or(p, "ok", "0")
+                      << std::setw(10)
+                      << fixed(field_or(p, "availability", "1"), 4)
+                      << std::setw(10) << field_or(p, "degraded", "0")
+                      << std::setw(7) << field_or(p, "shed", "0")
+                      << std::setw(9)
+                      << field_or(p, "deadline_exceeded", "0")
+                      << std::setw(8) << field_or(p, "failed", "0")
+                      << std::setw(11)
+                      << fixed(field_or(p, "goodput_rps", "0"), 1)
+                      << "\n";
+        }
+    }
+    if (!burns.empty()) {
+        std::cout << "\nBURN TRANSITIONS\n";
+        for (const BurnEvent& b : burns) {
+            std::ostringstream burn, fresh;
+            burn << std::fixed << std::setprecision(2)
+                 << std::strtod(b.burn_short.c_str(), nullptr);
+            fresh << std::fixed << std::setprecision(4)
+                  << std::strtod(b.fresh_availability_short.c_str(),
+                                 nullptr);
+            std::cout << "  " << std::left << std::setw(7) << b.state
+                      << " t_ns=" << b.t_ns << " burn_short="
+                      << burn.str() << " fresh_availability_short="
+                      << fresh.str() << "\n";
+        }
+    }
+    if (!refusals_by_code.empty()) {
+        std::cout << "\nREFUSALS\n";
+        for (const auto& [code, count] : refusals_by_code)
+            std::cout << "  " << std::left << std::setw(20) << code
+                      << std::right << std::setw(8) << count << "\n";
+    }
+    if (snapshots > 0)
+        std::cout << "\nTELEMETRY: " << snapshots
+                  << " snapshot(s), last seq " << last_snapshot_seq
+                  << "\n";
+    return 0;
+}
+
 int
 check_traces(const std::string& dir)
 {
@@ -250,17 +413,19 @@ main(int argc, char** argv)
 {
     std::string metrics_path;
     std::string trace_dir;
+    std::string slo_path;
     std::string csv_path;
     bool with_spans = false;
     gm::cli::ArgParser parser("profile_report");
     parser.usage(usage);
     parser.value({"--metrics"}, &metrics_path);
     parser.value({"--check-trace"}, &trace_dir);
+    parser.value({"--slo"}, &slo_path);
     parser.value({"--csv"}, &csv_path);
     parser.flag({"--spans"}, &with_spans);
     if (!parser.parse(argc, argv))
         return parser.help_requested() ? 0 : 1;
-    if (metrics_path.empty() && trace_dir.empty()) {
+    if (metrics_path.empty() && trace_dir.empty() && slo_path.empty()) {
         usage();
         return 1;
     }
@@ -273,5 +438,7 @@ main(int argc, char** argv)
         code = check_traces(trace_dir);
     if (code == 0 && !metrics_path.empty())
         code = report_metrics(metrics_path, with_spans, csv_path);
+    if (code == 0 && !slo_path.empty())
+        code = report_slo(slo_path);
     return code;
 }

@@ -107,6 +107,14 @@ usage()
         << "                     (one cell per kernel x graph) for\n"
         << "                     tools/perf_gate\n"
         << "  --metrics-out <f>  server-side per-request metrics JSONL\n"
+        << "  --metrics-port <n> serve a Prometheus-style /metrics text\n"
+        << "                     endpoint on 127.0.0.1:<n> for the run\n"
+        << "                     (0 = ephemeral; the chosen port is\n"
+        << "                     printed; scrape with tools/gmtop)\n"
+        << "  --telemetry-out <f> periodic {\"kind\":\"serve.telemetry\"}\n"
+        << "                     registry snapshots (JSONL, crash-safe\n"
+        << "                     append)\n"
+        << "  --telemetry-flush-ms <n>  snapshot interval (default 250)\n"
         << "chaos mode:\n"
         << "  --chaos            three-phase fault-storm run (warm, storm,\n"
         << "                     recover) over a mixed-priority allow_stale\n"
@@ -530,6 +538,10 @@ main(int argc, char** argv)
     parser.value({"--csv"}, &csv_path);
     parser.value({"--baseline-out"}, &baseline_path);
     parser.value({"--metrics-out"}, &server_options.metrics_path);
+    parser.value({"--metrics-port"}, &server_options.metrics_port);
+    parser.value({"--telemetry-out"}, &server_options.telemetry_path);
+    parser.value({"--telemetry-flush-ms"},
+                 &server_options.telemetry_flush_ms);
     parser.flag({"--chaos"}, &chaos);
     parser.value({"--chaos-faults"}, &chaos_faults);
     parser.value({"--cache-ttl-ms"}, &cache_ttl_ms);
@@ -562,6 +574,15 @@ main(int argc, char** argv)
         server_options.retry.initial_backoff_ms = 2;
         server_options.retry.max_backoff_ms = 20;
         server_options.retry.seed = seed;
+        // SLO windows sized to the run, not to production: 50 ms buckets
+        // so the burn monitor fires within the storm phase and clears
+        // during recovery.  The target is on *fresh* availability, and
+        // this workload deliberately serves degraded under faults, so
+        // 90% (not three nines) is the meaningful line here.
+        server_options.slo.bucket_ns = 50'000'000;
+        server_options.slo.short_buckets = 4;
+        server_options.slo.long_buckets = 20;
+        server_options.slo.availability_target = 0.9;
     }
     if (think_ms < 0)
         think_ms = 0;
@@ -611,6 +632,11 @@ main(int argc, char** argv)
 
     Server server(std::move(suite), gm::harness::make_frameworks(),
                   server_options);
+    if (server.metrics_port() >= 0)
+        // Flushed eagerly: scrape clients (CI, gmtop) parse the port
+        // from a redirected log while the bench is still running.
+        std::cout << "metrics exposition on 127.0.0.1:"
+                  << server.metrics_port() << std::endl;
 
     if (chaos) {
         // Closed-loop driver over explicit population indices; every
@@ -656,6 +682,21 @@ main(int argc, char** argv)
             PhaseStats phase =
                 summarize_phase(name, outs, timer.seconds());
             print_phase(phase);
+            // End-of-phase burn-monitor state: CI greps for
+            // "slo storm: ... firing=1" / "slo recover: ... firing=0".
+            const gm::telemetry::SloEvaluation ev =
+                server.slo_evaluation();
+            std::cout << "slo " << std::left << std::setw(8)
+                      << (name + ":") << std::right << " firing="
+                      << (ev.firing ? 1 : 0) << " burn_short="
+                      << std::fixed << std::setprecision(1)
+                      << ev.burn_short << " burn_long=" << ev.burn_long
+                      << " fresh_availability_short="
+                      << std::setprecision(4)
+                      << ev.fresh_availability_short << " p99_short_ms="
+                      << std::setprecision(2)
+                      << static_cast<double>(ev.p99_short_ns) * 1e-6
+                      << "\n";
             return phase;
         };
 
@@ -678,7 +719,7 @@ main(int argc, char** argv)
         const PhaseStats storm = run_phase("storm", stream);
         gm::support::FaultInjector::global().clear();
         const std::uint64_t storm_transitions =
-            server.stats().breaker_transitions;
+            server.stats_snapshot().breaker_transitions;
 
         // Recover: wait out the breaker cooldown, then run the
         // population twice fault-free so every open cell gets probed
@@ -691,12 +732,21 @@ main(int argc, char** argv)
                                warm_indices.begin(), warm_indices.end());
         const PhaseStats recover = run_phase("recover", recover_indices);
 
+        // Settle: age the storm's buckets out of the burn monitor's
+        // short window, then one fault-free pass so the final
+        // evaluation sees recovery only — this is the phase whose
+        // "firing=0" line proves the monitor clears.
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            server_options.slo.bucket_ns *
+            (server_options.slo.short_buckets + 1)));
+        const PhaseStats settle = run_phase("settle", warm_indices);
+
         server.shutdown();
-        const ServerStats stats = server.stats();
+        const ServerStats stats = server.stats_snapshot();
 
         PhaseStats overall;
         overall.name = "overall";
-        for (const PhaseStats* p : {&warm, &storm, &recover}) {
+        for (const PhaseStats* p : {&warm, &storm, &recover, &settle}) {
             overall.issued += p->issued;
             overall.ok += p->ok;
             overall.fresh += p->fresh;
@@ -732,7 +782,8 @@ main(int argc, char** argv)
                 std::cerr << "cannot open slo file: " << slo_path << "\n";
                 code = 2;
             } else {
-                for (const PhaseStats* p : {&warm, &storm, &recover})
+                for (const PhaseStats* p :
+                     {&warm, &storm, &recover, &settle})
                     out << slo_record_line(*p, stats, false) << "\n";
                 out << slo_record_line(overall, stats, true) << "\n";
                 std::cout << "slo report written to " << slo_path << "\n";
@@ -835,7 +886,7 @@ main(int argc, char** argv)
             break;
         }
     }
-    const ServerStats stats = server.stats();
+    const ServerStats stats = server.stats_snapshot();
     const double wall = drive_timer.seconds();
     const double hit_ratio =
         ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok) : 0;
