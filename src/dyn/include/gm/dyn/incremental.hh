@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Incremental kernel maintenance over gm::dyn GraphViews.
+ *
+ * The gm::dyn canonical kernels are defined by *unique fixed points* so a
+ * repaired result is provably equal to a full recompute — not merely
+ * equivalent up to tie-breaking, which is what makes "incremental is
+ * bit-identical to full" testable:
+ *
+ *  - cc_labels:  label = minimum vertex id in the weakly-connected
+ *                component (the Afforest result after full compression,
+ *                with min-id roots);
+ *  - bfs_depths: hop distance from the source (-1 unreached);
+ *  - sssp_dists: shortest weighted distance from the source, with the
+ *                store's deterministic pair weights (kInfWeight
+ *                unreached);
+ *  - pagerank:   pull-style Jacobi iteration to an L1 tolerance —
+ *                contractive, so the incremental (delta) variant lands
+ *                within convergence epsilon of the full result.
+ *
+ * Each maintainer keeps the previous result and repairs it from a
+ * BatchEffect: CC re-links the batch-touched endpoints (union by min
+ * label, then one relabel pass — skipped entirely when no insert joins
+ * two components); BFS/SSSP re-trigger monotone relaxation from endpoints
+ * a new arc improved; PageRank re-converges only the dirty frontier.
+ * Every maintainer falls back to full recompute when the dirty set
+ * exceeds its threshold — and CC/BFS/SSSP also on any effective delete,
+ * since deletions break their monotone-repair arguments.  Decisions are
+ * deterministic (pure functions of the effect), so repaired results are
+ * bit-identical across GM_THREADS.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gm/dyn/overlay.hh"
+
+namespace gm::dyn
+{
+
+/** Canonical connected components: min vertex id per component (weakly
+ *  connected for directed graphs). */
+std::vector<vid_t> cc_labels(const GraphView& view);
+
+/** Canonical BFS depths from @p source (-1 unreached); follows out-arcs. */
+std::vector<vid_t> bfs_depths(const GraphView& view, vid_t source);
+
+/** Canonical SSSP distances from @p source using the deterministic
+ *  graph::pair_weight weights (kInfWeight unreached); follows out-arcs. */
+std::vector<weight_t> sssp_dists(const GraphView& view, vid_t source,
+                                 std::uint64_t weight_seed);
+
+/** Knobs for the canonical PageRank. */
+struct PageRankOptions
+{
+    score_t damping = 0.85;
+    score_t tolerance = 1e-9; ///< L1 stop threshold for the full solve
+    int max_iters = 200;
+};
+
+/** Canonical pull-Jacobi PageRank over the merged view. */
+std::vector<score_t> pagerank(const GraphView& view,
+                              const PageRankOptions& opts = {});
+
+/** Incremental-vs-full decision counters, exported as gm_dyn_* metrics. */
+struct MaintainerStats
+{
+    std::uint64_t incremental = 0; ///< batches repaired in place
+    std::uint64_t full = 0;        ///< batches that fell back to recompute
+    double last_dirty_fraction = 0.0;
+};
+
+/** Shared threshold policy: repair only below this |dirty|/n fraction. */
+struct MaintainerOptions
+{
+    double full_threshold = 0.05;
+};
+
+/** Incremental connected components (Afforest-style re-linking). */
+class CCMaintainer
+{
+  public:
+    explicit CCMaintainer(const MaintainerOptions& opts = {}) : opts_(opts) {}
+
+    /** Full recompute against @p view (also the fallback path). */
+    void rebuild(const GraphView& view);
+
+    /** Repair after one applied batch.  @return true when the
+     *  incremental path was taken (false: fell back to rebuild). */
+    bool update(const GraphView& view, const BatchEffect& effect);
+
+    const std::vector<vid_t>& labels() const { return labels_; }
+    const MaintainerStats& stats() const { return stats_; }
+
+  private:
+    MaintainerOptions opts_;
+    std::vector<vid_t> labels_;
+    MaintainerStats stats_;
+};
+
+/** Incremental BFS depths from a fixed source. */
+class BfsMaintainer
+{
+  public:
+    explicit BfsMaintainer(vid_t source, const MaintainerOptions& opts = {})
+        : source_(source), opts_(opts)
+    {
+    }
+
+    void rebuild(const GraphView& view);
+    bool update(const GraphView& view, const BatchEffect& effect);
+
+    const std::vector<vid_t>& depths() const { return depths_; }
+    const MaintainerStats& stats() const { return stats_; }
+
+  private:
+    vid_t source_;
+    MaintainerOptions opts_;
+    std::vector<vid_t> depths_;
+    MaintainerStats stats_;
+};
+
+/** Incremental SSSP distances from a fixed source. */
+class SsspMaintainer
+{
+  public:
+    SsspMaintainer(vid_t source, std::uint64_t weight_seed,
+                   const MaintainerOptions& opts = {})
+        : source_(source), weight_seed_(weight_seed), opts_(opts)
+    {
+    }
+
+    void rebuild(const GraphView& view);
+    bool update(const GraphView& view, const BatchEffect& effect);
+
+    const std::vector<weight_t>& dists() const { return dists_; }
+    const MaintainerStats& stats() const { return stats_; }
+
+  private:
+    vid_t source_;
+    std::uint64_t weight_seed_;
+    MaintainerOptions opts_;
+    std::vector<weight_t> dists_;
+    MaintainerStats stats_;
+};
+
+/** Delta PageRank: re-converges only the dirty frontier.  Handles deletes
+ *  (the pull update re-reads the live adjacency); falls back on dirty
+ *  fraction only. */
+class PageRankMaintainer
+{
+  public:
+    explicit PageRankMaintainer(const PageRankOptions& pr = {},
+                                const MaintainerOptions& opts = {})
+        : pr_(pr), opts_(opts)
+    {
+    }
+
+    void rebuild(const GraphView& view);
+    bool update(const GraphView& view, const BatchEffect& effect);
+
+    const std::vector<score_t>& scores() const { return scores_; }
+    const MaintainerStats& stats() const { return stats_; }
+
+  private:
+    PageRankOptions pr_;
+    MaintainerOptions opts_;
+    std::vector<score_t> scores_;
+    MaintainerStats stats_;
+};
+
+} // namespace gm::dyn

@@ -16,6 +16,7 @@ struct CacheTelemetry
     telemetry::Counter& hits;
     telemetry::Counter& misses;
     telemetry::Counter& expired_misses;
+    telemetry::Counter& stale_generation_misses;
     telemetry::Counter& joins;
     telemetry::Counter& insertions;
     telemetry::Counter& evictions;
@@ -30,6 +31,8 @@ struct CacheTelemetry
               "gm_serve_cache_misses_total")),
           expired_misses(telemetry::Registry::global().counter(
               "gm_serve_cache_expired_misses_total")),
+          stale_generation_misses(telemetry::Registry::global().counter(
+              "gm_serve_cache_stale_generation_misses_total")),
           joins(telemetry::Registry::global().counter(
               "gm_serve_cache_joins_total")),
           insertions(telemetry::Registry::global().counter(
@@ -56,11 +59,13 @@ cache_telemetry()
 } // namespace
 
 ResultCache::Lookup
-ResultCache::lookup_or_join(const std::string& key)
+ResultCache::lookup_or_join(const std::string& key,
+                            std::uint64_t generation)
 {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = entries_.find(key); it != entries_.end()) {
-        if (!expired(it->second, clock_->now_ns())) {
+        const bool same_gen = it->second.generation == generation;
+        if (same_gen && !expired(it->second, clock_->now_ns())) {
             lru_.splice(lru_.begin(), lru_, it->second.lru_it);
             ++counters_.hits;
             cache_telemetry().hits.inc();
@@ -68,12 +73,19 @@ ResultCache::lookup_or_join(const std::string& key)
             hit.role = Role::kHit;
             hit.value = it->second.value;
             hit.fingerprint = it->second.fingerprint;
+            hit.generation = it->second.generation;
             return hit;
         }
-        // Past its TTL: no longer a hit, but deliberately kept — peek()
-        // serves it stale until a fresh leader's publish() replaces it.
-        ++counters_.expired_misses;
-        cache_telemetry().expired_misses.inc();
+        // Past its TTL or from an older data generation: no longer a
+        // hit, but deliberately kept — peek() serves it stale until a
+        // fresh leader's publish() replaces it.
+        if (same_gen) {
+            ++counters_.expired_misses;
+            cache_telemetry().expired_misses.inc();
+        } else {
+            ++counters_.stale_generation_misses;
+            cache_telemetry().stale_generation_misses.inc();
+        }
     }
     ++counters_.misses;
     cache_telemetry().misses.inc();
@@ -91,7 +103,7 @@ ResultCache::lookup_or_join(const std::string& key)
 }
 
 ResultCache::Peek
-ResultCache::peek(const std::string& key)
+ResultCache::peek(const std::string& key, std::uint64_t generation)
 {
     std::lock_guard<std::mutex> lock(mu_);
     Peek out;
@@ -100,7 +112,9 @@ ResultCache::peek(const std::string& key)
         return out;
     out.value = it->second.value;
     out.fingerprint = it->second.fingerprint;
-    out.fresh = !expired(it->second, clock_->now_ns());
+    out.generation = it->second.generation;
+    out.fresh = it->second.generation == generation &&
+                !expired(it->second, clock_->now_ns());
     if (!out.fresh) {
         ++counters_.stale_serves;
         cache_telemetry().stale_serves.inc();
@@ -113,7 +127,7 @@ ResultCache::publish(const std::string& key,
                      const std::shared_ptr<Inflight>& flight,
                      support::Status status,
                      std::shared_ptr<const ResultValue> value,
-                     std::uint64_t fingerprint)
+                     std::uint64_t fingerprint, std::uint64_t generation)
 {
     // Chaos site: an injected error loses the insertion (not the
     // answer), a delay fault slows publication.
@@ -153,8 +167,9 @@ ResultCache::publish(const std::string& key,
                     cache_telemetry().evictions.inc();
                 }
                 lru_.push_front(key);
-                entries_[key] = Entry{value, fingerprint, bytes,
-                                      clock_->now_ns(), lru_.begin()};
+                entries_[key] = Entry{value, fingerprint, generation,
+                                      bytes, clock_->now_ns(),
+                                      lru_.begin()};
                 bytes_ += bytes;
                 ++counters_.insertions;
                 cache_telemetry().insertions.inc();
@@ -170,6 +185,7 @@ ResultCache::publish(const std::string& key,
         flight->value =
             flight->status.is_ok() ? std::move(value) : nullptr;
         flight->fingerprint = fingerprint;
+        flight->generation = generation;
         flight->done = true;
     }
     flight->cv.notify_all();

@@ -26,6 +26,16 @@
  * the server uses it to answer allow_stale requests when the fresh path
  * is shed, broken, or failing (QueryResult::degraded).
  *
+ * Entries are additionally tagged with the data generation they were
+ * computed against (gm::dyn mutations bump the store generation).  A
+ * lookup passes the generation it wants; an entry from an older
+ * generation is not a hit — it behaves exactly like a TTL expiry
+ * (counted as stale_generation_misses, kept for peek()) so a mutated
+ * graph invalidates its cached answers without any explicit flush, while
+ * allow_stale callers can still be served the pre-mutation answer,
+ * marked degraded.  Callers that never mutate pass the default 0
+ * everywhere and see the old behavior unchanged.
+ *
  * The "serve.cache.insert" fault site is polled inside publish() before
  * insertion: an injected error drops the insertion (the flight still
  * completes and followers still wake — the cache just stays cold), a
@@ -66,6 +76,8 @@ class ResultCache
         support::Status status;
         std::shared_ptr<const ResultValue> value;
         std::uint64_t fingerprint = 0;
+        /** Data generation the leader executed against. */
+        std::uint64_t generation = 0;
     };
 
     enum class Role { kHit, kLeader, kFollower };
@@ -77,6 +89,8 @@ class ResultCache
         /** Cached payload; set only for kHit. */
         std::shared_ptr<const ResultValue> value;
         std::uint64_t fingerprint = 0;
+        /** Generation the hit was computed against (kHit only). */
+        std::uint64_t generation = 0;
         /** Rendezvous; set for kLeader (to publish) and kFollower (to
          *  wait on). */
         std::shared_ptr<Inflight> flight;
@@ -91,7 +105,10 @@ class ResultCache
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0;
         std::uint64_t expired_misses = 0; ///< lookups past an entry's TTL
-        std::uint64_t stale_serves = 0;   ///< peek() answers past TTL
+        /** Lookups that found an entry from an older data generation. */
+        std::uint64_t stale_generation_misses = 0;
+        std::uint64_t stale_serves = 0;   ///< peek() answers past TTL or
+                                          ///< from an older generation
         std::size_t entries = 0;
         std::size_t bytes = 0;
     };
@@ -101,7 +118,10 @@ class ResultCache
     {
         std::shared_ptr<const ResultValue> value;
         std::uint64_t fingerprint = 0;
-        /** Within TTL (always true when the cache has no TTL). */
+        /** Generation the entry was computed against. */
+        std::uint64_t generation = 0;
+        /** Within TTL and from the requested generation (always true when
+         *  the cache has no TTL and the caller never mutates). */
         bool fresh = true;
     };
 
@@ -119,28 +139,32 @@ class ResultCache
     {
     }
 
-    /** Resolve @p key; see the role taxonomy above. */
-    Lookup lookup_or_join(const std::string& key);
+    /** Resolve @p key against data generation @p generation; see the
+     *  role taxonomy above.  An entry from another generation is treated
+     *  like a TTL expiry: not a hit, but kept for peek(). */
+    Lookup lookup_or_join(const std::string& key,
+                          std::uint64_t generation = 0);
 
     /**
-     * Degraded-mode read: any entry for @p key — fresh or expired — with
-     * no LRU or single-flight side effects.  value == nullptr when the
-     * key was never cached (or was evicted).
+     * Degraded-mode read: any entry for @p key — fresh, expired, or from
+     * an older generation — with no LRU or single-flight side effects.
+     * value == nullptr when the key was never cached (or was evicted).
      */
-    Peek peek(const std::string& key);
+    Peek peek(const std::string& key, std::uint64_t generation = 0);
 
     /**
      * Leader-only: record the execution outcome for @p key, insert the
-     * result when @p status is ok, retire the in-flight slot, and wake
-     * every follower.  Must be called exactly once per kLeader lookup,
-     * on every path out of the execution (including failure) — a leader
-     * that skips publish() would strand its followers.
+     * result (tagged with the @p generation it was computed against) when
+     * @p status is ok, retire the in-flight slot, and wake every
+     * follower.  Must be called exactly once per kLeader lookup, on every
+     * path out of the execution (including failure) — a leader that skips
+     * publish() would strand its followers.
      */
     void publish(const std::string& key,
                  const std::shared_ptr<Inflight>& flight,
                  support::Status status,
                  std::shared_ptr<const ResultValue> value,
-                 std::uint64_t fingerprint);
+                 std::uint64_t fingerprint, std::uint64_t generation = 0);
 
     Stats stats() const;
 
@@ -152,6 +176,7 @@ class ResultCache
     {
         std::shared_ptr<const ResultValue> value;
         std::uint64_t fingerprint = 0;
+        std::uint64_t generation = 0;
         std::size_t bytes = 0;
         std::int64_t inserted_ns = 0;
         std::list<std::string>::iterator lru_it;

@@ -41,8 +41,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "gm/dyn/overlay.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/obs/trace.hh"
@@ -66,6 +68,7 @@ namespace gm::serve
 
 namespace detail
 {
+struct DynState;
 struct LaneGate;
 struct RequestState;
 struct ServeTelemetry;
@@ -132,6 +135,33 @@ struct ServerOptions
      *  always evaluated — gauges and burn records only surface through
      *  telemetry/metrics streams when those are configured. */
     telemetry::SloOptions slo;
+    /** Compact the gm::dyn overlay into a fresh CSR generation after
+     *  every N applied batches per graph (1 = every mutate() call bumps
+     *  the generation; 0 = never compact, deltas accumulate and queries
+     *  keep reading the merged view's base generation). */
+    int dyn_compact_every = 1;
+    /** Dirty-set fraction (|touched vertices| / n) above which the
+     *  incremental kernel maintainers fall back to full recompute. */
+    double dyn_full_threshold = 0.05;
+};
+
+/** Outcome of one Server::mutate() batch, for callers and tests. */
+struct MutationOutcome
+{
+    /** Store generation current after the mutation (bumped iff the batch
+     *  changed the graph and this call compacted). */
+    std::uint64_t generation = 0;
+    std::size_t requested = 0;   ///< mutations submitted in the batch
+    eid_t inserted_arcs = 0;     ///< stored arcs that became live
+    eid_t deleted_arcs = 0;      ///< stored arcs that died
+    std::size_t dirty = 0;       ///< vertices whose adjacency changed
+    double dirty_fraction = 0;   ///< dirty / n
+    bool compacted = false;      ///< folded into a fresh CSR generation
+    /** Incremental-vs-full decisions for the maintained kernels (false =
+     *  fell back to full recompute; meaningless when nothing changed). */
+    bool cc_incremental = false;
+    bool pr_incremental = false;
+    double mutate_seconds = 0;   ///< apply + maintain + compact wall time
 };
 
 /**
@@ -165,6 +195,12 @@ struct ServerStats
     std::uint64_t single_flight_joins = 0;
     std::uint64_t retries = 0;    ///< retry attempts issued by query()
     std::uint64_t retry_denied = 0; ///< retries blocked by the budget
+    std::uint64_t mutations = 0;  ///< mutate() batches applied
+    std::uint64_t mutation_inserted_arcs = 0;
+    std::uint64_t mutation_deleted_arcs = 0;
+    std::uint64_t compactions = 0; ///< CSR generations installed
+    std::uint64_t dyn_incremental = 0; ///< maintainer repairs in place
+    std::uint64_t dyn_full = 0;        ///< maintainer full recomputes
     std::uint64_t breaker_transitions = 0;
     std::size_t breaker_open_cells = 0;
     std::size_t queue_depth = 0;
@@ -244,6 +280,27 @@ class Server
                                          const RetryPolicy& policy);
 
     /**
+     * Apply one batch of edge mutations to @p graph between queries.
+     * Blocks until every executing leader finishes (the mutation
+     * quiesces kernel execution by holding the entire lane budget), then
+     * applies the batch to the graph's gm::dyn overlay, repairs the
+     * maintained kernels (CC and PageRank — incrementally when the dirty
+     * set is small and the batch is insert-only for CC, full recompute
+     * otherwise), and per dyn_compact_every folds the overlay into a
+     * fresh CSR generation installed into the store.  Queries submitted
+     * concurrently are unaffected except for waiting: cached answers
+     * from older generations stop being fresh hits (they remain
+     * allow_stale fodder, served as degraded) and the next fresh query
+     * recomputes against the new generation.
+     *
+     * Returns kInvalidInput for an unknown graph or an out-of-range
+     * endpoint (the batch is rejected whole — nothing applied), and
+     * kResourceExhausted after shutdown().
+     */
+    support::StatusOr<MutationOutcome>
+    mutate(const std::string& graph, const dyn::MutationBatch& batch);
+
+    /**
      * Coherent point-in-time counters: the snapshot is assembled under
      * the same stats mutex every mutation holds, so the ServerStats
      * invariants hold in any snapshot, mid-storm included.  This is the
@@ -295,6 +352,12 @@ class Server
         std::uint64_t single_flight_joins = 0;
         std::uint64_t retries = 0;
         std::uint64_t retry_denied = 0;
+        std::uint64_t mutations = 0;
+        std::uint64_t mutation_inserted_arcs = 0;
+        std::uint64_t mutation_deleted_arcs = 0;
+        std::uint64_t compactions = 0;
+        std::uint64_t dyn_incremental = 0;
+        std::uint64_t dyn_full = 0;
         std::size_t queue_depth = 0;
     };
 
@@ -307,6 +370,12 @@ class Server
      *  request deadline as the only timed bound. */
     bool acquire_lanes(const detail::RequestState& state, int width);
     void release_lanes(int width);
+    /** Quiesce kernel execution: block until no leader holds lanes, then
+     *  charge the entire budget (mutations run exclusively). */
+    void acquire_all_lanes();
+    /** {"kind":"serve.mutation"} JSONL record for one applied batch. */
+    void write_mutation_record(const std::string& graph,
+                               const MutationOutcome& outcome);
     support::Status wait_for_leader(detail::RequestState& state,
                                     ResultCache::Inflight& flight,
                                     QueryResult& result);
@@ -367,6 +436,16 @@ class Server
     std::shared_ptr<detail::LaneGate> lane_gate_;
 
     std::mutex metrics_mu_; ///< serializes JSONL appends across workers
+
+    /** Per-graph dynamic overlays + kernel maintainers, created lazily on
+     *  first mutate().  dyn_mu_ serializes mutations; readers never take
+     *  it (they go through the store, quiesced by the lane budget). */
+    std::mutex dyn_mu_;
+    std::unordered_map<std::string, std::unique_ptr<detail::DynState>>
+        dyn_;
+    /** Largest generation installed by any graph's compactions — the
+     *  monotone gm_dyn_generation gauge value.  Guarded by dyn_mu_. */
+    std::uint64_t dyn_generation_peak_ = 0;
 
     mutable std::mutex stats_mu_; ///< guards counters_ as one snapshot
     Counters counters_;

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "gm/dyn/incremental.hh"
 #include "gm/obs/metrics.hh"
 #include "gm/par/thread_pool.hh"
 #include "gm/support/fault_injector.hh"
@@ -76,6 +77,17 @@ struct ServeTelemetry
     telemetry::Gauge* slo_firing = nullptr;
     telemetry::Gauge* slo_p99_short_ns = nullptr;
     telemetry::Gauge* slo_availability_lifetime = nullptr;
+    telemetry::Counter* dyn_batches = nullptr;
+    telemetry::Counter* dyn_inserted_arcs = nullptr;
+    telemetry::Counter* dyn_deleted_arcs = nullptr;
+    telemetry::Counter* dyn_compactions = nullptr;
+    telemetry::Counter* dyn_incremental = nullptr;
+    telemetry::Counter* dyn_full = nullptr;
+    telemetry::Gauge* dyn_generation = nullptr;
+    telemetry::Gauge* dyn_dirty_fraction = nullptr;
+    telemetry::Gauge* dyn_overlay_bytes = nullptr;
+    telemetry::Histogram* dyn_batch_edges = nullptr;
+    telemetry::Histogram* dyn_mutate_ns = nullptr;
 
     ServeTelemetry()
     {
@@ -135,6 +147,18 @@ struct ServeTelemetry
         slo_p99_short_ns = &reg.gauge("gm_slo_p99_short_ns");
         slo_availability_lifetime =
             &reg.gauge("gm_slo_availability_lifetime");
+        dyn_batches = &reg.counter("gm_dyn_batches_total");
+        dyn_inserted_arcs = &reg.counter("gm_dyn_inserted_arcs_total");
+        dyn_deleted_arcs = &reg.counter("gm_dyn_deleted_arcs_total");
+        dyn_compactions = &reg.counter("gm_dyn_compactions_total");
+        dyn_incremental =
+            &reg.counter("gm_dyn_incremental_updates_total");
+        dyn_full = &reg.counter("gm_dyn_full_rebuilds_total");
+        dyn_generation = &reg.gauge("gm_dyn_generation");
+        dyn_dirty_fraction = &reg.gauge("gm_dyn_dirty_fraction");
+        dyn_overlay_bytes = &reg.gauge("gm_dyn_overlay_bytes");
+        dyn_batch_edges = &reg.histogram("gm_dyn_batch_edges");
+        dyn_mutate_ns = &reg.histogram("gm_dyn_mutate_ns");
     }
 
     telemetry::Counter&
@@ -200,6 +224,31 @@ struct RequestState
     QueryResult result;
 };
 
+/**
+ * Per-graph dynamic state, created lazily on the first mutate() for a
+ * graph: the store's delta overlay plus the kernels the server maintains
+ * across mutations.  CC and PageRank are global (sourceless) answers, so
+ * one maintainer each covers the graph; BFS/SSSP maintenance is per
+ * source and lives with callers that pin a source (bench/dyn_maintenance
+ * exercises it).  Guarded by the server's dyn_mu_.
+ */
+struct DynState
+{
+    dyn::DynamicGraph graph;
+    dyn::CCMaintainer cc;
+    dyn::PageRankMaintainer pr;
+    std::uint64_t batches = 0; ///< applied batches (compaction cadence)
+
+    DynState(std::shared_ptr<store::GraphStore> store,
+             const dyn::MaintainerOptions& opts)
+        : graph(std::move(store)), cc(opts), pr({}, opts)
+    {
+        const dyn::GraphView view = graph.view();
+        cc.rebuild(view);
+        pr.rebuild(view);
+    }
+};
+
 } // namespace detail
 
 using detail::RequestState;
@@ -235,9 +284,12 @@ kernel_uses_source(harness::Kernel kernel)
 
 /**
  * Cache identity of a request: the cell coordinates with the graph pinned
- * by content fingerprint (two suites at different scales never collide),
- * plus every parameter that changes the answer.  Sourceless kernels
- * normalize source to 0 so "PR from 3" and "PR from 7" dedupe.
+ * by stable store identity (two suites at different scales never
+ * collide), plus every parameter that changes the answer.  Sourceless
+ * kernels normalize source to 0 so "PR from 3" and "PR from 7" dedupe.
+ * Identity, not fingerprint: mutations install fresh CSR generations
+ * without changing the key — the cache's generation tag decides whether
+ * an entry under the key is still fresh.
  */
 std::string
 make_cache_key(const Request& req, const harness::Framework& fw,
@@ -247,7 +299,7 @@ make_cache_key(const Request& req, const harness::Framework& fw,
     std::ostringstream key;
     key << harness::to_string(req.mode) << "/" << fw.name << "/"
         << harness::to_string(req.kernel) << "/" << req.graph << "@"
-        << std::hex << ds.store()->fingerprint() << std::dec << "/d"
+        << std::hex << ds.store()->identity() << std::dec << "/d"
         << ds.delta << "/s" << source;
     return key.str();
 }
@@ -685,6 +737,128 @@ Server::query(const Request& request, const RetryPolicy& policy)
     }
 }
 
+StatusOr<MutationOutcome>
+Server::mutate(const std::string& graph, const dyn::MutationBatch& batch)
+{
+    std::shared_ptr<const harness::Dataset> ds;
+    for (const auto& candidate : suite_.datasets) {
+        if (candidate->name == graph) {
+            ds = candidate;
+            break;
+        }
+    }
+    if (ds == nullptr)
+        return Status(StatusCode::kInvalidInput,
+                      "unknown graph: " + graph);
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (shutdown_)
+            return Status(StatusCode::kResourceExhausted,
+                          "server is shut down");
+    }
+
+    const std::int64_t begin_ns = Timer::now_ns();
+    MutationOutcome outcome;
+    outcome.requested = batch.size();
+
+    // Exclusive with kernel execution (leaders read the store's base by
+    // plain reference) and, via dyn_mu_, with other mutations.
+    acquire_all_lanes();
+    Status status = Status::ok();
+    std::uint64_t generation_peak = 0;
+    double overlay_bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(dyn_mu_);
+        auto it = dyn_.find(graph);
+        if (it == dyn_.end())
+            it = dyn_.emplace(graph,
+                              std::make_unique<detail::DynState>(
+                                  ds->store(),
+                                  dyn::MaintainerOptions{
+                                      options_.dyn_full_threshold}))
+                     .first;
+        detail::DynState& st = *it->second;
+        auto effect_or = st.graph.apply(batch);
+        if (!effect_or.is_ok()) {
+            status = effect_or.status();
+        } else {
+            const dyn::BatchEffect& effect = effect_or.value();
+            const dyn::GraphView view = st.graph.view();
+            outcome.inserted_arcs = effect.inserted_arcs;
+            outcome.deleted_arcs = effect.deleted_arcs;
+            outcome.dirty = effect.dirty.size();
+            outcome.dirty_fraction =
+                effect.dirty_fraction(view.num_vertices());
+            if (effect.changed()) {
+                outcome.cc_incremental = st.cc.update(view, effect);
+                outcome.pr_incremental = st.pr.update(view, effect);
+            }
+            ++st.batches;
+            if (options_.dyn_compact_every > 0 &&
+                st.batches % static_cast<std::uint64_t>(
+                                 options_.dyn_compact_every) ==
+                    0 &&
+                st.graph.pending_entries() > 0) {
+                outcome.generation = st.graph.compact();
+                outcome.compacted = true;
+            } else {
+                outcome.generation = ds->store()->generation();
+            }
+            dyn_generation_peak_ =
+                std::max(dyn_generation_peak_, outcome.generation);
+            generation_peak = dyn_generation_peak_;
+            overlay_bytes =
+                static_cast<double>(st.graph.pending_bytes());
+        }
+    }
+    release_lanes(lane_budget_);
+    if (!status.is_ok())
+        return status;
+
+    outcome.mutate_seconds =
+        static_cast<double>(Timer::now_ns() - begin_ns) * 1e-9;
+    const bool changed =
+        outcome.inserted_arcs > 0 || outcome.deleted_arcs > 0;
+    const std::uint64_t incremental =
+        changed ? static_cast<std::uint64_t>(outcome.cc_incremental) +
+                      static_cast<std::uint64_t>(outcome.pr_incremental)
+                : 0;
+    const std::uint64_t full = changed ? 2 - incremental : 0;
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++counters_.mutations;
+        counters_.mutation_inserted_arcs +=
+            static_cast<std::uint64_t>(outcome.inserted_arcs);
+        counters_.mutation_deleted_arcs +=
+            static_cast<std::uint64_t>(outcome.deleted_arcs);
+        if (outcome.compacted)
+            ++counters_.compactions;
+        counters_.dyn_incremental += incremental;
+        counters_.dyn_full += full;
+    }
+    if (tm_ != nullptr) {
+        tm_->dyn_batches->inc();
+        tm_->dyn_batch_edges->record(
+            static_cast<std::uint64_t>(outcome.requested));
+        tm_->dyn_inserted_arcs->inc(
+            static_cast<std::uint64_t>(outcome.inserted_arcs));
+        tm_->dyn_deleted_arcs->inc(
+            static_cast<std::uint64_t>(outcome.deleted_arcs));
+        if (outcome.compacted)
+            tm_->dyn_compactions->inc();
+        tm_->dyn_incremental->inc(incremental);
+        tm_->dyn_full->inc(full);
+        tm_->dyn_generation->set(
+            static_cast<double>(generation_peak));
+        tm_->dyn_dirty_fraction->set(outcome.dirty_fraction);
+        tm_->dyn_overlay_bytes->set(overlay_bytes);
+        tm_->dyn_mutate_ns->record(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, Timer::now_ns() - begin_ns)));
+    }
+    write_mutation_record(graph, outcome);
+    return outcome;
+}
+
 void
 Server::worker_loop()
 {
@@ -779,8 +953,12 @@ Server::process(const std::shared_ptr<RequestState>& state)
         // JSONL record carry the same identity.
         obs::counter_max("serve.trace", state->req.trace_id);
 
-        ResultCache::Lookup lookup =
-            cache_.lookup_or_join(state->cache_key);
+        // The generation the caller wants: whatever the store serves
+        // right now.  A mutate() landing after this read is harmless —
+        // the entry (or execution) reflects a coherent snapshot either
+        // way; the next lookup sees the new generation.
+        ResultCache::Lookup lookup = cache_.lookup_or_join(
+            state->cache_key, state->ds->store()->generation());
         switch (lookup.role) {
           case ResultCache::Role::kHit: {
               obs::counter_add("serve.cache_hit", 1);
@@ -790,6 +968,7 @@ Server::process(const std::shared_ptr<RequestState>& state)
               }
               result.value = std::move(lookup.value);
               result.fingerprint = lookup.fingerprint;
+              result.generation = lookup.generation;
               result.cache_hit = true;
               record_cell_outcome(*state, status, /*executed=*/false);
               break;
@@ -821,9 +1000,13 @@ Server::process(const std::shared_ptr<RequestState>& state)
                   // Wake followers: their leader never ran ("abandoned"
                   // at wait_for_leader, so they retry cleanly).
                   cache_.publish(state->cache_key, lookup.flight, status,
-                                 nullptr, 0);
+                                 nullptr, 0, 0);
                   break;
               }
+              // Pinned while lanes are held: mutate() needs the whole
+              // budget, so the generation cannot move under execution.
+              const std::uint64_t exec_generation =
+                  state->ds->store()->generation();
               executed = true;
               {
                   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -861,10 +1044,11 @@ Server::process(const std::shared_ptr<RequestState>& state)
                   status = classify_cancel(*state);
               record_cell_outcome(*state, status, /*executed=*/true);
               cache_.publish(state->cache_key, lookup.flight, status,
-                             value, fingerprint);
+                             value, fingerprint, exec_generation);
               if (status.is_ok()) {
                   result.value = std::move(value);
                   result.fingerprint = fingerprint;
+                  result.generation = exec_generation;
               }
               const std::int64_t exec_ns = Timer::now_ns() - exec_begin;
               result.execute_seconds =
@@ -961,6 +1145,21 @@ Server::release_lanes(int width)
     gate.cv.notify_all();
 }
 
+void
+Server::acquire_all_lanes()
+{
+    // Budget holders are executing leaders, which always finish, so the
+    // wait terminates; once the full budget is charged, no leader can
+    // start executing until the mutation releases it.  Cache hits and
+    // followers never touch the budget and keep being served.
+    detail::LaneGate& gate = *lane_gate_;
+    std::unique_lock<std::mutex> lock(gate.mu);
+    gate.cv.wait(lock, [&gate] { return gate.in_use == 0; });
+    gate.in_use = lane_budget_;
+    if (tm_ != nullptr)
+        tm_->lanes_in_use->set(gate.in_use);
+}
+
 Status
 Server::wait_for_leader(RequestState& state, ResultCache::Inflight& flight,
                         QueryResult& result)
@@ -980,6 +1179,7 @@ Server::wait_for_leader(RequestState& state, ResultCache::Inflight& flight,
     if (flight.status.is_ok()) {
         result.value = flight.value;
         result.fingerprint = flight.fingerprint;
+        result.generation = flight.generation;
         result.shared_execution = true;
         return Status::ok();
     }
@@ -1000,11 +1200,13 @@ Server::wait_for_leader(RequestState& state, ResultCache::Inflight& flight,
 bool
 Server::try_cache_fallback(const RequestState& state, QueryResult& result)
 {
-    ResultCache::Peek peek = cache_.peek(state.cache_key);
+    ResultCache::Peek peek = cache_.peek(
+        state.cache_key, state.ds->store()->generation());
     if (peek.value == nullptr)
         return false;
     result.value = std::move(peek.value);
     result.fingerprint = peek.fingerprint;
+    result.generation = peek.generation;
     if (peek.fresh) {
         result.cache_hit = true;
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -1141,6 +1343,12 @@ Server::stats_snapshot() const
         out.single_flight_joins = c.single_flight_joins;
         out.retries = c.retries;
         out.retry_denied = c.retry_denied;
+        out.mutations = c.mutations;
+        out.mutation_inserted_arcs = c.mutation_inserted_arcs;
+        out.mutation_deleted_arcs = c.mutation_deleted_arcs;
+        out.compactions = c.compactions;
+        out.dyn_incremental = c.dyn_incremental;
+        out.dyn_full = c.dyn_full;
         out.queue_depth = c.queue_depth;
     }
     out.breaker_transitions = breaker_.transition_count();
@@ -1201,6 +1409,37 @@ Server::write_refusal_record(const RequestState& state,
          << support::to_string(status.code()) << "\",\"cell\":\""
          << support::json_escape(state.cell_key)
          << "\",\"degraded\":" << (served_degraded ? 1 : 0)
+         << ",\"t_ns\":" << Timer::now_ns() << "}";
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    std::ofstream out(options_.metrics_path, std::ios::app);
+    if (out)
+        out << line.str() << "\n";
+}
+
+void
+Server::write_mutation_record(const std::string& graph,
+                              const MutationOutcome& outcome)
+{
+    if (options_.metrics_path.empty())
+        return;
+    const bool changed =
+        outcome.inserted_arcs > 0 || outcome.deleted_arcs > 0;
+    const auto decision = [changed](bool incremental) {
+        return !changed ? "none" : incremental ? "incremental" : "full";
+    };
+    std::ostringstream line;
+    line << "{\"kind\":\"serve.mutation\",\"graph\":\""
+         << support::json_escape(graph)
+         << "\",\"requested\":" << outcome.requested
+         << ",\"inserted_arcs\":" << outcome.inserted_arcs
+         << ",\"deleted_arcs\":" << outcome.deleted_arcs
+         << ",\"dirty\":" << outcome.dirty << ",\"dirty_fraction\":"
+         << support::json_double(outcome.dirty_fraction) << ",\"cc\":\""
+         << decision(outcome.cc_incremental) << "\",\"pr\":\""
+         << decision(outcome.pr_incremental)
+         << "\",\"compacted\":" << (outcome.compacted ? 1 : 0)
+         << ",\"generation\":" << outcome.generation << ",\"mutate_ms\":"
+         << support::json_double(outcome.mutate_seconds * 1e3)
          << ",\"t_ns\":" << Timer::now_ns() << "}";
     std::lock_guard<std::mutex> lock(metrics_mu_);
     std::ofstream out(options_.metrics_path, std::ios::app);

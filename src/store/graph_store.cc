@@ -155,40 +155,115 @@ GraphStore::fingerprint() const
         h.update_value(weight_seed_);
         fingerprint_ = h.digest();
         fingerprint_done_ = true;
+        if (generation_ == 0 && !identity_done_) {
+            identity_ = fingerprint_;
+            identity_done_ = true;
+        }
     }
     return fingerprint_;
+}
+
+std::uint64_t
+GraphStore::identity_locked() const
+{
+    if (!identity_done_) {
+        // Only reachable while still at generation 0 (install_generation
+        // freezes the identity before the first swap).
+        support::Fnv1a h;
+        h.update_value(base_->num_vertices());
+        h.update_value(base_->is_directed());
+        h.update_vector(base_->out_offsets());
+        h.update_vector(base_->out_destinations());
+        h.update_value(weight_seed_);
+        identity_ = h.digest();
+        identity_done_ = true;
+    }
+    return identity_;
+}
+
+std::uint64_t
+GraphStore::identity() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return identity_locked();
+}
+
+std::uint64_t
+GraphStore::generation() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return generation_;
+}
+
+std::uint64_t
+GraphStore::install_generation(graph::CSRGraph next)
+{
+    auto installed = std::make_shared<const graph::CSRGraph>(std::move(next));
+    std::lock_guard<std::mutex> lock(state_mu_);
+    (void)identity_locked(); // freeze gen-0 identity before the swap
+    retired_.emplace_back(std::weak_ptr<const graph::CSRGraph>(base_),
+                          base_->bytes_resident());
+    base_ = std::move(installed);
+    ++generation_;
+    fingerprint_done_ = false; // next fingerprint() hashes the new base
+    // Cached derived forms describe the retired generation; drop them so
+    // the next getter rebuilds against the new base.  Outstanding
+    // shared_ptrs stay valid and keep the old bytes counted above.
+    weighted_.value.reset();
+    undirected_.value.reset();
+    relabeled_.value.reset();
+    grb_.value.reset();
+    grb_weighted_.value.reset();
+    prune_retired_locked();
+    update_high_water();
+    return generation_;
+}
+
+void
+GraphStore::set_overlay_bytes(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    overlay_bytes_ = bytes;
+    update_high_water();
+}
+
+void
+GraphStore::prune_retired_locked() const
+{
+    std::erase_if(retired_, [](const auto& row) { return row.first.expired(); });
+}
+
+std::size_t
+GraphStore::resident_locked() const
+{
+    prune_retired_locked();
+    std::size_t total = base_->bytes_resident();
+    const auto add = [&](const auto& slot) {
+        if (slot.value)
+            total += slot.bytes;
+    };
+    add(weighted_);
+    add(undirected_);
+    add(relabeled_);
+    add(grb_);
+    add(grb_weighted_);
+    total += overlay_bytes_;
+    for (const auto& row : retired_)
+        total += row.second;
+    return total;
 }
 
 std::size_t
 GraphStore::bytes_resident() const
 {
     std::lock_guard<std::mutex> lock(state_mu_);
-    std::size_t total = base_->bytes_resident();
-    const auto add = [&](const auto& slot) {
-        if (slot.value)
-            total += slot.bytes;
-    };
-    add(weighted_);
-    add(undirected_);
-    add(relabeled_);
-    add(grb_);
-    add(grb_weighted_);
-    return total;
+    return resident_locked();
 }
 
 void
 GraphStore::update_high_water() const
 {
-    std::size_t total = base_->bytes_resident();
-    const auto add = [&](const auto& slot) {
-        if (slot.value)
-            total += slot.bytes;
-    };
-    add(weighted_);
-    add(undirected_);
-    add(relabeled_);
-    add(grb_);
-    add(grb_weighted_);
+    const std::size_t total = resident_locked();
     if (total > high_water_bytes_)
         high_water_bytes_ = total;
 }
@@ -237,6 +312,23 @@ GraphStore::artifacts() const
     rows.push_back(info("relabeled", relabeled_));
     rows.push_back(info("grb", grb_));
     rows.push_back(info("grb+weights", grb_weighted_));
+    prune_retired_locked();
+    {
+        ArtifactInfo row;
+        row.name = "overlay";
+        row.resident = overlay_bytes_ > 0;
+        row.bytes = overlay_bytes_;
+        rows.push_back(std::move(row));
+    }
+    {
+        ArtifactInfo row;
+        row.name = "retired";
+        row.resident = !retired_.empty();
+        row.builds = static_cast<int>(retired_.size());
+        for (const auto& r : retired_)
+            row.bytes += r.second;
+        rows.push_back(std::move(row));
+    }
     return rows;
 }
 

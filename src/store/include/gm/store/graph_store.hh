@@ -95,12 +95,43 @@ class GraphStore
     /**
      * Content fingerprint of this store: FNV-1a 64 over the base CSR
      * arrays (vertex count, directedness, offsets, destinations) and the
-     * weight seed.  Lazy and memoized; stable across processes, so it can
-     * identify a graph in cache keys and result records (gm::serve keys
-     * its result cache on it).  Derived forms are deterministic functions
-     * of the base + seed and need no hashing of their own.
+     * weight seed.  Lazy and memoized per generation; stable across
+     * processes.  Derived forms are deterministic functions of the base +
+     * seed and need no hashing of their own.
      */
     std::uint64_t fingerprint() const;
+
+    /**
+     * Stable identity of this store: the generation-0 fingerprint, frozen
+     * the first time it is needed and unchanged by install_generation().
+     * gm::serve keys its result cache on it so cache keys survive
+     * mutation; pair it with generation() to distinguish snapshots.
+     */
+    std::uint64_t identity() const;
+
+    /** Monotone CSR generation counter; 0 is the as-constructed base. */
+    std::uint64_t generation() const;
+
+    /**
+     * Install a compacted CSR as the next generation.  The previous base
+     * is retired: the store drops its strong reference but keeps counting
+     * the old generation's bytes until every outstanding view (base_ptr()
+     * holders, GraphBLAS keep-alives) releases it.  Cached derived forms
+     * are dropped (they describe the old generation) and the per-
+     * generation fingerprint memo is reset; identity() is frozen first.
+     *
+     * Concurrency: accounting/fingerprint getters are safe to call
+     * concurrently, but callers must quiesce kernel execution that reads
+     * base() by plain reference before swapping (gm::serve holds the whole
+     * lane budget across Server::mutate for exactly this reason).
+     *
+     * @return the new generation id.
+     */
+    std::uint64_t install_generation(graph::CSRGraph next);
+
+    /** Charge the dynamic overlay's delta buffers (gm::dyn) to this
+     *  store's accounting; shows up in bytes_resident()/high-water. */
+    void set_overlay_bytes(std::size_t bytes);
 
   private:
     template <typename T>
@@ -119,8 +150,19 @@ class GraphStore
     template <typename T>
     ArtifactInfo info(const char* name, const Slot<T>& slot) const;
 
+    /** Resident bytes across base + cached forms + overlay + retired
+     *  generations still pinned by views.  Caller holds state_mu_. */
+    std::size_t resident_locked() const;
+
     /** Recompute the high-water mark.  Caller holds state_mu_. */
     void update_high_water() const;
+
+    /** Freeze + return the generation-0 identity.  Caller holds state_mu_. */
+    std::uint64_t identity_locked() const;
+
+    /** Drop retired-generation rows whose last view is gone.  Caller
+     *  holds state_mu_. */
+    void prune_retired_locked() const;
 
     std::shared_ptr<const graph::CSRGraph> base_;
     std::uint64_t weight_seed_;
@@ -128,6 +170,14 @@ class GraphStore
     mutable std::size_t high_water_bytes_ = 0;
     mutable bool fingerprint_done_ = false;
     mutable std::uint64_t fingerprint_ = 0;
+    mutable bool identity_done_ = false;
+    mutable std::uint64_t identity_ = 0;
+    std::uint64_t generation_ = 0;
+    std::size_t overlay_bytes_ = 0;
+    /** Old generations: (weak view handle, owned bytes).  A row counts
+     *  toward residency until its weak_ptr expires; pruned lazily. */
+    mutable std::vector<std::pair<std::weak_ptr<const graph::CSRGraph>,
+                                  std::size_t>> retired_;
     mutable Slot<graph::WCSRGraph> weighted_;
     mutable Slot<graph::CSRGraph> undirected_;
     mutable Slot<graph::CSRGraph> relabeled_;

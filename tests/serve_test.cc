@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "gm/dyn/overlay.hh"
+#include "gm/graph/generators.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/obs/metrics.hh"
@@ -624,6 +626,204 @@ TEST(ServeTest, WritesParseableMetricsRecords)
     EXPECT_EQ(records, 2);
     EXPECT_EQ(executed, 1);
     EXPECT_EQ(hits, 1);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- dyn / mutate
+
+/** A private single-graph suite for mutation tests: mutating the shared
+ *  suite() would invalidate other tests' cached expectations. */
+harness::DatasetSuite
+mutable_suite(std::uint64_t seed = 7)
+{
+    harness::DatasetSuite s;
+    s.datasets.push_back(std::make_shared<harness::Dataset>(
+        harness::make_dataset("Mut", graph::make_uniform(8, 4, seed), 4,
+                              99)));
+    return s;
+}
+
+TEST(ResultCacheTest, GenerationMismatchBehavesLikeExpiry)
+{
+    ResultCache cache(1 << 20);
+    auto value = std::make_shared<const ResultValue>(
+        std::vector<std::int32_t>{1, 2, 3});
+
+    auto lookup = cache.lookup_or_join("k", /*generation=*/0);
+    ASSERT_EQ(lookup.role, ResultCache::Role::kLeader);
+    cache.publish("k", lookup.flight, support::Status::ok(), value, 42,
+                  /*generation=*/0);
+
+    // Same generation: a plain hit.
+    auto hit = cache.lookup_or_join("k", 0);
+    EXPECT_EQ(hit.role, ResultCache::Role::kHit);
+    EXPECT_EQ(hit.generation, 0u);
+
+    // Newer generation: not a hit — a fresh leader recomputes — but the
+    // entry survives for degraded peeks, tagged with its old generation.
+    auto stale = cache.lookup_or_join("k", 1);
+    ASSERT_EQ(stale.role, ResultCache::Role::kLeader);
+    EXPECT_EQ(cache.stats().stale_generation_misses, 1u);
+    auto peek = cache.peek("k", 1);
+    ASSERT_NE(peek.value, nullptr);
+    EXPECT_FALSE(peek.fresh);
+    EXPECT_EQ(peek.generation, 0u);
+    EXPECT_EQ(peek.fingerprint, 42u);
+    EXPECT_TRUE(cache.peek("k", 0).fresh);
+
+    // The new leader's publish replaces the entry in place; generation 1
+    // lookups hit again and the old answer is gone.
+    auto fresh = std::make_shared<const ResultValue>(
+        std::vector<std::int32_t>{4, 5, 6});
+    cache.publish("k", stale.flight, support::Status::ok(), fresh, 43, 1);
+    auto rehit = cache.lookup_or_join("k", 1);
+    EXPECT_EQ(rehit.role, ResultCache::Role::kHit);
+    EXPECT_EQ(rehit.generation, 1u);
+    EXPECT_EQ(rehit.fingerprint, 43u);
+}
+
+TEST(ServeDynTest, MutateInvalidatesCacheAndBumpsGeneration)
+{
+    Server server(mutable_suite(), frameworks(), ServerOptions{.workers = 2});
+
+    Request req;
+    req.framework = "GAP";
+    req.kernel = Kernel::kCC;
+    req.graph = "Mut";
+
+    auto first = server.query(req);
+    ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+    EXPECT_EQ(first.value().generation, 0u);
+    auto hit = server.query(req);
+    ASSERT_TRUE(hit.is_ok());
+    EXPECT_TRUE(hit.value().cache_hit);
+    EXPECT_EQ(hit.value().generation, 0u);
+
+    // Isolate vertex 0's component changes: attach 0 to a far vertex.
+    dyn::MutationBatch batch;
+    batch.insert(0, 200);
+    batch.insert(1, 150);
+    auto outcome = server.mutate("Mut", batch);
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+    EXPECT_EQ(outcome.value().requested, 2u);
+    EXPECT_TRUE(outcome.value().compacted);
+    EXPECT_EQ(outcome.value().generation, 1u);
+    EXPECT_GT(outcome.value().dirty, 0u);
+
+    // The cached answer is for generation 0: the next query recomputes
+    // against the mutated graph and matches direct execution on it.
+    const std::uint64_t executions =
+        server.stats_snapshot().executions;
+    auto fresh = server.query(req);
+    ASSERT_TRUE(fresh.is_ok());
+    EXPECT_FALSE(fresh.value().cache_hit);
+    EXPECT_EQ(fresh.value().generation, 1u);
+    EXPECT_EQ(server.stats_snapshot().executions, executions + 1);
+
+    const ServerStats s = server.stats_snapshot();
+    EXPECT_EQ(s.mutations, 1u);
+    EXPECT_EQ(s.compactions, 1u);
+    EXPECT_GT(s.mutation_inserted_arcs, 0u);
+    EXPECT_EQ(s.dyn_incremental + s.dyn_full, 2u); // CC + PR decisions
+
+    // And the new generation is a normal cache citizen again.
+    auto rehit = server.query(req);
+    ASSERT_TRUE(rehit.is_ok());
+    EXPECT_TRUE(rehit.value().cache_hit);
+    EXPECT_EQ(rehit.value().generation, 1u);
+    EXPECT_EQ(rehit.value().fingerprint, fresh.value().fingerprint);
+}
+
+TEST(ServeDynTest, MutateRejectsBadInputWhole)
+{
+    Server server(mutable_suite(), frameworks(), ServerOptions{.workers = 1});
+
+    dyn::MutationBatch bad;
+    bad.insert(0, 1);
+    bad.insert(3, 1 << 20); // out of range: the whole batch is rejected
+    auto outcome = server.mutate("Mut", bad);
+    ASSERT_FALSE(outcome.is_ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidInput);
+    EXPECT_EQ(server.stats_snapshot().mutations, 0u);
+
+    auto unknown = server.mutate("NoSuchGraph", dyn::MutationBatch{});
+    ASSERT_FALSE(unknown.is_ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidInput);
+
+    // Nothing was applied: queries still serve generation 0.
+    Request req;
+    req.framework = "GAP";
+    req.kernel = Kernel::kCC;
+    req.graph = "Mut";
+    auto result = server.query(req);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result.value().generation, 0u);
+}
+
+TEST(ServeDynTest, StaleGenerationAnswersOnlyAllowStale)
+{
+    ServerOptions options;
+    options.workers = 1;
+    options.enable_breaker = false;
+    Server server(mutable_suite(), frameworks(), options);
+
+    Request req;
+    req.framework = "GAP";
+    req.kernel = Kernel::kPR;
+    req.graph = "Mut";
+    auto fresh = server.query(req);
+    ASSERT_TRUE(fresh.is_ok());
+    const std::uint64_t fingerprint = fresh.value().fingerprint;
+
+    dyn::MutationBatch batch;
+    batch.insert(2, 100);
+    ASSERT_TRUE(server.mutate("Mut", batch).is_ok());
+
+    // Fresh path broken: the strict query fails — a pre-mutation answer
+    // is NOT silently substituted — but an allow_stale caller gets it,
+    // marked degraded and carrying its generation-0 provenance.
+    ScopedFaults faults("serve.execute:1:3");
+    auto strict = server.query(req);
+    ASSERT_FALSE(strict.is_ok());
+
+    req.allow_stale = true;
+    auto degraded = server.query(req);
+    ASSERT_TRUE(degraded.is_ok());
+    EXPECT_TRUE(degraded.value().degraded);
+    EXPECT_EQ(degraded.value().generation, 0u);
+    EXPECT_EQ(degraded.value().fingerprint, fingerprint);
+}
+
+TEST(ServeDynTest, WritesMutationRecords)
+{
+    const std::string path =
+        testing::TempDir() + "gm_serve_mutation_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ServerOptions options;
+        options.workers = 1;
+        options.metrics_path = path;
+        Server server(mutable_suite(), frameworks(), options);
+        dyn::MutationBatch batch;
+        batch.insert(5, 77);
+        batch.erase(5, 200); // absent edge: effective no-op delete
+        ASSERT_TRUE(server.mutate("Mut", batch).is_ok());
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int mutation_records = 0;
+    while (std::getline(in, line)) {
+        if (line.find("\"kind\":\"serve.mutation\"") == std::string::npos)
+            continue;
+        ++mutation_records;
+        EXPECT_NE(line.find("\"graph\":\"Mut\""), std::string::npos);
+        EXPECT_NE(line.find("\"requested\":2"), std::string::npos);
+        EXPECT_NE(line.find("\"generation\":1"), std::string::npos);
+        EXPECT_NE(line.find("\"cc\":\""), std::string::npos);
+        EXPECT_NE(line.find("\"dirty_fraction\":"), std::string::npos);
+    }
+    EXPECT_EQ(mutation_records, 1);
     std::remove(path.c_str());
 }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "gm/dyn/overlay.hh"
 #include "gm/graph/builder.hh"
 #include "gm/graph/generators.hh"
 #include "gm/grb/lagraph.hh"
@@ -275,6 +276,44 @@ TEST(GraphStoreTest, EvictionKeepsOutstandingHandlesValid)
     auto gg2 = store.grb();
     EXPECT_NE(gg.get(), gg2.get());
     EXPECT_EQ(find_artifact(store, "grb").builds, 2);
+}
+
+TEST(GraphStoreTest, DynAccountingAcrossMutateCompactEvictCycle)
+{
+    auto store =
+        std::make_shared<GraphStore>(graph::make_uniform(9, 6, 5), 7);
+    const std::size_t base0 = store->base().bytes_resident();
+    EXPECT_EQ(store->bytes_resident(), base0);
+
+    // Mutate: the overlay's delta buffers are charged to the store.
+    dyn::DynamicGraph dg(store);
+    dyn::MutationBatch batch;
+    for (vid_t i = 0; i < 32; ++i)
+        batch.insert(i, i + 100);
+    ASSERT_TRUE(dg.apply(batch).status().is_ok());
+    const std::size_t overlay = find_artifact(*store, "overlay").bytes;
+    EXPECT_GT(overlay, 0u);
+    EXPECT_EQ(store->bytes_resident(), base0 + overlay);
+    EXPECT_GE(store->bytes_high_water(), base0 + overlay);
+
+    // Compact while a view pins generation 0: the old base retires but
+    // stays accounted, and the overlay charge drops to zero.
+    dyn::GraphView pinned = dg.view();
+    dg.compact();
+    const std::size_t base1 = store->base().bytes_resident();
+    EXPECT_EQ(find_artifact(*store, "overlay").bytes, 0u);
+    EXPECT_EQ(find_artifact(*store, "retired").bytes, base0);
+    EXPECT_EQ(store->bytes_resident(), base1 + base0);
+
+    // Evict derived forms and drop the last view: only the new base
+    // remains resident, and the high-water mark remembers the peak.
+    store->weighted();
+    EXPECT_GT(store->bytes_resident(), base1 + base0);
+    store->evict_derived();
+    pinned = dyn::GraphView();
+    EXPECT_EQ(store->bytes_resident(), base1);
+    EXPECT_FALSE(find_artifact(*store, "retired").resident);
+    EXPECT_GE(store->bytes_high_water(), base1 + base0);
 }
 
 TEST(DatasetFacadeTest, DatasetIsLazyAndCopiesShareTheStore)

@@ -23,7 +23,11 @@
 # storm and clear by the settle phase, the scraped lifetime
 # availability must agree with the post-hoc SLO JSONL, and the
 # disabled-telemetry probe budget is enforced via
-# bench/telemetry_overhead.
+# bench/telemetry_overhead, and a dynamic-graph smoke that re-runs the
+# chaos storm with a 10% write mix (Server::mutate batches between
+# queries), gating storm availability >= 99%, the monotone
+# gm_dyn_generation gauge across two mid-run scrapes, and
+# profile_report's consumption of the serve.mutation JSONL records.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -115,9 +119,14 @@ mkdir -p "$DET_DIR"
 # fingerprint per cell, so any scheduling-dependent result shows up as
 # a CSV diff.  This is the end-to-end gate on the deterministic
 # parallel substrate (ordered reductions, min-combine claims, fixed
-# RNG chunk grids in the generators).
-GM_THREADS=1 "$BUILD_DIR/tools/detcheck" --scale 6 > "$DET_DIR/det1.csv"
-GM_THREADS=8 "$BUILD_DIR/tools/detcheck" --scale 6 > "$DET_DIR/det8.csv"
+# RNG chunk grids in the generators).  --dyn appends fingerprints for
+# the scripted gm::dyn mutation workload: post-compaction CSR
+# generations plus the incrementally maintained CC/BFS/SSSP/PR results
+# must also be bit-identical across thread counts.
+GM_THREADS=1 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn \
+    > "$DET_DIR/det1.csv"
+GM_THREADS=8 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn \
+    > "$DET_DIR/det8.csv"
 if ! diff "$DET_DIR/det1.csv" "$DET_DIR/det8.csv"; then
     echo "kernel results differ between GM_THREADS=1 and GM_THREADS=8" >&2
     exit 1
@@ -278,5 +287,90 @@ grep -q "BURN TRANSITIONS" "$CHAOS_DIR/slo_report.txt"
 # Telemetry must be free when off: the disabled-registry probe budget
 # (bench/telemetry_overhead exits non-zero above ~10 ns/op).
 "$BUILD_DIR/bench/telemetry_overhead" | tail -1
+
+echo "== tier 9: dynamic-graph smoke (chaos + write-mix, generation gauge) =="
+DYN_DIR="$BUILD_DIR/ci-dyn-smoke"
+rm -rf "$DYN_DIR"
+mkdir -p "$DYN_DIR"
+# The chaos storm re-runs with a 10% write mix: seeded mutation batches
+# land between queries (Server::mutate quiesces the lane budget, applies
+# the overlay delta, maintains CC/PR, compacts a fresh CSR generation,
+# and lets generation-tagged cache entries go stale).  The run must
+# (a) hold storm-phase availability at or above 99% even while the graph
+# mutates under faults (serve_bench exits 4 below the floor), (b) expose
+# a gm_dyn_generation gauge that only moves forward — scraped twice
+# mid-run — and (c) leave serve.mutation records in the metrics JSONL
+# that profile_report --slo tabulates without warnings.
+"$BUILD_DIR/tools/serve_bench" --chaos --scale 8 --kernels CC,PR \
+    --distinct 6 --requests 800 --clients 4 --workers 2 \
+    --cache-ttl-ms 10 --think-ms 2 --seed 42 --write-mix 0.1 \
+    --min-availability 0.99 \
+    --metrics-port 0 \
+    --metrics-out "$DYN_DIR/dyn_metrics.jsonl" \
+    > "$DYN_DIR/dyn.log" 2>&1 &
+DYN_PID=$!
+METRICS_PORT=""
+for _ in $(seq 1 100); do
+    METRICS_PORT="$(sed -n \
+        's/^metrics exposition on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$DYN_DIR/dyn.log")"
+    [ -n "$METRICS_PORT" ] && break
+    sleep 0.05
+done
+if [ -z "$METRICS_PORT" ]; then
+    echo "serve_bench never announced a metrics port" >&2
+    wait "$DYN_PID" || true
+    cat "$DYN_DIR/dyn.log" >&2
+    exit 1
+fi
+# Two scrapes of the generation gauge ~0.4 s apart: a compaction can
+# only ever advance it, so the second sample must not be smaller.
+GEN1="$("$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" \
+    --get gm_dyn_generation)"
+sleep 0.4
+GEN2="$("$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" \
+    --get gm_dyn_generation)"
+awk -v a="$GEN1" -v b="$GEN2" 'BEGIN {
+    if (b + 0 < a + 0) {
+        printf "gm_dyn_generation went backwards: %s -> %s\n",
+               a, b > "/dev/stderr";
+        exit 1;
+    }
+}'
+if ! wait "$DYN_PID"; then
+    echo "serve_bench write-mix chaos run failed" >&2
+    cat "$DYN_DIR/dyn.log" >&2
+    exit 1
+fi
+cat "$DYN_DIR/dyn.log"
+grep -q "failed=0" "$DYN_DIR/dyn.log"
+# The write mix must actually have mutated (applied= with a non-zero
+# count) and every batch must have succeeded.
+grep -q "mutations:   applied=" "$DYN_DIR/dyn.log"
+if grep -q "mutations:   applied=0 " "$DYN_DIR/dyn.log"; then
+    echo "write-mix run applied no mutations" >&2
+    exit 1
+fi
+grep -q " failed=0 inserted_arcs=" "$DYN_DIR/dyn.log"
+# The finished run's generation must be ahead of (or equal to) the last
+# mid-run scrape, and mutation records must be in the stream.
+grep -q '"kind":"serve.mutation"' "$DYN_DIR/dyn_metrics.jsonl"
+"$BUILD_DIR/tools/profile_report" --slo "$DYN_DIR/dyn_metrics.jsonl" \
+    > "$DYN_DIR/dyn_report.txt"
+grep -q "MUTATIONS" "$DYN_DIR/dyn_report.txt"
+# The per-request records still feed the workload table cleanly.
+"$BUILD_DIR/tools/profile_report" --metrics "$DYN_DIR/dyn_metrics.jsonl" \
+    > /dev/null 2> "$DYN_DIR/report.err"
+if grep -q "skipping unreadable record" "$DYN_DIR/report.err"; then
+    echo "profile_report warned on serve.mutation records" >&2
+    exit 1
+fi
+# Incremental maintenance must beat full recompute by >=5x on
+# CC/BFS/SSSP for small batches (<=0.1% of arcs), with every round
+# verified against the from-scratch result (exit 2 on divergence,
+# exit 4 below the speedup floor).  The committed reference baseline
+# lives in perf/baselines/dyn_maintenance.jsonl.
+"$BUILD_DIR/bench/dyn_maintenance" --out "$DYN_DIR/dyn_maintenance.jsonl" \
+    | tail -6
 
 echo "== ci.sh: all green =="

@@ -12,6 +12,13 @@
  *     GM_THREADS=8 detcheck --scale 6 > det8.csv
  *     diff det1.csv det8.csv
  *
+ * --dyn appends rows for the dynamic-graph subsystem: a scripted
+ * mutate/maintain/compact workload over gm::dyn, fingerprinting the
+ * post-compaction CSR generations and the incrementally maintained
+ * kernel results.  Those are deterministic across GM_THREADS too (serial
+ * order-defined apply, independent-write parallel compaction), so the
+ * same diff covers them.
+ *
  * Exit codes: 0 ok, 1 usage, 3 a kernel threw.
  */
 #include <cstdint>
@@ -21,9 +28,14 @@
 #include <vector>
 
 #include "gm/cli/argparse.hh"
+#include "gm/dyn/incremental.hh"
+#include "gm/dyn/overlay.hh"
+#include "gm/graph/generators.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/support/hash.hh"
+#include "gm/support/log.hh"
+#include "gm/support/rng.hh"
 
 namespace
 {
@@ -42,6 +54,8 @@ usage()
         << "  --frameworks <csv> frameworks to run (default: all)\n"
         << "  --kernels <csv>    kernels to run (default: all)\n"
         << "  --mode <name>      Baseline or Optimized (default Baseline)\n"
+        << "  --dyn              also fingerprint the gm::dyn scripted\n"
+        << "                     mutation workload (generations + kernels)\n"
         << "  -h, --help         this help\n";
 }
 
@@ -73,6 +87,110 @@ run_cell(const Framework& fw, Kernel kernel, const Dataset& ds, Mode mode)
     return h.digest();
 }
 
+/** Seeded mixed batch against the live view: ~2/3 inserts of random
+ *  pairs, ~1/3 deletes of an existing out-arc (so deletes take effect). */
+gm::dyn::MutationBatch
+scripted_batch(const gm::dyn::GraphView& view, std::uint64_t seed, int ops)
+{
+    gm::dyn::MutationBatch batch;
+    gm::SplitMix64 mix(seed);
+    const auto n = static_cast<std::uint64_t>(view.num_vertices());
+    for (int i = 0; i < ops; ++i) {
+        const auto u = static_cast<gm::vid_t>(mix.next() % n);
+        const auto v = static_cast<gm::vid_t>(mix.next() % n);
+        if (mix.next() % 3 != 0) {
+            batch.insert(u, v);
+        } else {
+            bool done = false;
+            view.for_out(u, [&](gm::vid_t t) {
+                if (!done) {
+                    batch.erase(u, t);
+                    done = true;
+                }
+            });
+        }
+    }
+    return batch;
+}
+
+std::uint64_t
+structure_digest(const gm::graph::CSRGraph& g)
+{
+    gm::support::Fnv1a h;
+    h.update_value(static_cast<std::uint64_t>(g.num_vertices()));
+    h.update_value(static_cast<std::uint64_t>(g.is_directed()));
+    h.update_vector(g.out_offsets());
+    h.update_vector(g.out_destinations());
+    return h.digest();
+}
+
+template <typename T>
+std::uint64_t
+vector_digest(const std::vector<T>& v)
+{
+    gm::support::Fnv1a h;
+    h.update_vector(v);
+    return h.digest();
+}
+
+/** Run the scripted dynamic workload and print one fingerprint row per
+ *  artifact, in the static rows' CSV shape (framework column = "dyn"). */
+void
+run_dyn_rows(int scale)
+{
+    constexpr std::uint64_t kSeed = 2024;
+    constexpr int kRounds = 4;
+    struct Topology
+    {
+        const char* name;
+        gm::graph::CSRGraph g;
+    };
+    const auto side = static_cast<gm::vid_t>(1 << (scale / 2));
+    std::vector<Topology> topologies;
+    topologies.push_back({"uniform", gm::graph::make_uniform(scale, 6, 11)});
+    topologies.push_back({"road", gm::graph::make_road_like(side, side, 13)});
+
+    for (Topology& topo : topologies) {
+        auto store = std::make_shared<gm::store::GraphStore>(
+            std::move(topo.g), kSeed);
+        gm::dyn::DynamicGraph dg(store);
+        gm::dyn::CCMaintainer cc;
+        gm::dyn::BfsMaintainer bfs(0);
+        gm::dyn::SsspMaintainer sssp(0, kSeed);
+        gm::dyn::PageRankMaintainer pr;
+        gm::dyn::GraphView view = dg.view();
+        cc.rebuild(view);
+        bfs.rebuild(view);
+        sssp.rebuild(view);
+        pr.rebuild(view);
+        for (int round = 0; round < kRounds; ++round) {
+            const gm::dyn::MutationBatch batch = scripted_batch(
+                dg.view(), kSeed ^ (round * 0x9e3779b97f4a7c15ULL), 24);
+            auto effect = dg.apply(batch);
+            if (!effect.is_ok())
+                gm::fatal("detcheck --dyn: " +
+                          effect.status().to_string());
+            view = dg.view();
+            cc.update(view, *effect);
+            bfs.update(view, *effect);
+            sssp.update(view, *effect);
+            pr.update(view, *effect);
+            dg.compact();
+            view = dg.view();
+        }
+        std::cout << std::hex << "dyn,structure," << topo.name << ","
+                  << structure_digest(store->base()) << "\n"
+                  << "dyn,CC," << topo.name << ","
+                  << vector_digest(cc.labels()) << "\n"
+                  << "dyn,BFS," << topo.name << ","
+                  << vector_digest(bfs.depths()) << "\n"
+                  << "dyn,SSSP," << topo.name << ","
+                  << vector_digest(sssp.dists()) << "\n"
+                  << "dyn,PR," << topo.name << ","
+                  << vector_digest(pr.scores()) << std::dec << "\n";
+    }
+}
+
 bool
 selected(const std::string& csv, const std::string& name)
 {
@@ -96,6 +214,7 @@ main(int argc, char** argv)
     std::string frameworks_csv;
     std::string kernels_csv;
     std::string mode_name = "Baseline";
+    bool dyn = false;
 
     gm::cli::ArgParser parser("detcheck");
     parser.usage(usage);
@@ -103,6 +222,7 @@ main(int argc, char** argv)
     parser.value({"--frameworks"}, &frameworks_csv);
     parser.value({"--kernels"}, &kernels_csv);
     parser.value({"--mode"}, &mode_name);
+    parser.flag({"--dyn"}, &dyn);
     if (!parser.parse(argc, argv))
         return parser.help_requested() ? 0 : 1;
     if (scale < 4) {
@@ -150,5 +270,7 @@ main(int argc, char** argv)
             }
         }
     }
+    if (dyn)
+        run_dyn_rows(scale);
     return failures == 0 ? 0 : 3;
 }

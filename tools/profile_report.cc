@@ -22,6 +22,7 @@
  * {"kind":"fingerprint"} provenance records in the stream are skipped
  * silently.
  */
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
@@ -56,7 +57,8 @@ usage()
         << "  --check-trace <dir>  validate every .json Chrome trace in\n"
         << "                       <dir>; nonzero exit on parse failure\n"
         << "  --slo <file>         summarize a serve JSONL stream: phase\n"
-        << "                       SLO table (serve.slo), burn-monitor\n"
+        << "                       SLO table (serve.slo), mutation batches\n"
+        << "                       (serve.mutation), burn-monitor\n"
         << "                       transitions (serve.slo.burn), refusals\n"
         << "                       (serve.refusal), and telemetry\n"
         << "                       snapshots (serve.telemetry)\n"
@@ -241,8 +243,10 @@ report_metrics(const std::string& path, bool with_spans,
 
 /**
  * Summarize a serve JSONL stream: one table row per serve.slo phase
- * record, then burn-monitor transitions, refusal counts by status code,
- * and the telemetry snapshot envelope (count + last sequence number).
+ * record, a per-graph mutation table (serve.mutation batches from
+ * Server::mutate), then burn-monitor transitions, refusal counts by
+ * status code, and the telemetry snapshot envelope (count + last
+ * sequence number).
  */
 int
 report_slo(const std::string& path)
@@ -259,8 +263,22 @@ report_slo(const std::string& path)
         std::string burn_short;
         std::string fresh_availability_short;
     };
+    /** Per-graph rollup of serve.mutation records. */
+    struct MutationAgg
+    {
+        std::uint64_t batches = 0;
+        std::uint64_t inserted_arcs = 0;
+        std::uint64_t deleted_arcs = 0;
+        std::uint64_t compactions = 0;
+        std::uint64_t generation = 0; ///< highest seen
+        std::uint64_t incremental = 0;
+        std::uint64_t full = 0;
+        double dirty_fraction_total = 0;
+        double mutate_ms_total = 0;
+    };
     std::vector<std::map<std::string, std::string>> phases;
     std::vector<BurnEvent> burns;
+    std::map<std::string, MutationAgg> mutations;
     std::map<std::string, std::uint64_t> refusals_by_code;
     std::uint64_t snapshots = 0;
     std::string last_snapshot_seq;
@@ -282,6 +300,35 @@ report_slo(const std::string& path)
                                  field_or(fields,
                                           "fresh_availability_short",
                                           "1")});
+        } else if (kind == "serve.mutation") {
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok()) {
+                const auto u64 = [&fields](const std::string& name) {
+                    return static_cast<std::uint64_t>(std::strtoull(
+                        field_or(fields, name, "0").c_str(), nullptr, 10));
+                };
+                const auto dbl = [&fields](const std::string& name) {
+                    return std::strtod(
+                        field_or(fields, name, "0").c_str(), nullptr);
+                };
+                MutationAgg& m =
+                    mutations[field_or(fields, "graph", "?")];
+                ++m.batches;
+                m.inserted_arcs += u64("inserted_arcs");
+                m.deleted_arcs += u64("deleted_arcs");
+                m.compactions += u64("compacted");
+                m.generation = std::max(m.generation, u64("generation"));
+                for (const char* kernel : {"cc", "pr"}) {
+                    const std::string decision =
+                        field_or(fields, kernel, "none");
+                    if (decision == "incremental")
+                        ++m.incremental;
+                    else if (decision == "full")
+                        ++m.full;
+                }
+                m.dirty_fraction_total += dbl("dirty_fraction");
+                m.mutate_ms_total += dbl("mutate_ms");
+            }
         } else if (kind == "serve.refusal") {
             std::map<std::string, std::string> fields;
             if (gm::support::parse_flat_json(line, fields).is_ok())
@@ -301,9 +348,9 @@ report_slo(const std::string& path)
         }
     }
     if (phases.empty() && burns.empty() && snapshots == 0 &&
-        refusals_by_code.empty()) {
-        std::cerr << path << ": no serve.slo/serve.slo.burn/serve.refusal/"
-                     "serve.telemetry records\n";
+        refusals_by_code.empty() && mutations.empty()) {
+        std::cerr << path << ": no serve.slo/serve.mutation/serve.slo.burn/"
+                     "serve.refusal/serve.telemetry records\n";
         return 2;
     }
     if (!phases.empty()) {
@@ -336,6 +383,28 @@ report_slo(const std::string& path)
                       << std::setw(8) << field_or(p, "failed", "0")
                       << std::setw(11)
                       << fixed(field_or(p, "goodput_rps", "0"), 1)
+                      << "\n";
+        }
+    }
+    if (!mutations.empty()) {
+        std::cout << "\nMUTATIONS\n"
+                  << std::left << std::setw(10) << "Graph" << std::right
+                  << std::setw(9) << "Batches" << std::setw(9) << "InsArcs"
+                  << std::setw(9) << "DelArcs" << std::setw(9) << "Compact"
+                  << std::setw(6) << "Gen" << std::setw(7) << "Incr"
+                  << std::setw(7) << "Full" << std::setw(9) << "Dirty"
+                  << std::setw(9) << "ms/op" << "\n";
+        for (const auto& [graph, m] : mutations) {
+            const double batches = static_cast<double>(m.batches);
+            std::cout << std::left << std::setw(10) << graph << std::right
+                      << std::setw(9) << m.batches << std::setw(9)
+                      << m.inserted_arcs << std::setw(9) << m.deleted_arcs
+                      << std::setw(9) << m.compactions << std::setw(6)
+                      << m.generation << std::setw(7) << m.incremental
+                      << std::setw(7) << m.full << std::setw(9)
+                      << std::fixed << std::setprecision(4)
+                      << m.dirty_fraction_total / batches << std::setw(9)
+                      << std::setprecision(3) << m.mutate_ms_total / batches
                       << "\n";
         }
     }

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "gm/cli/argparse.hh"
+#include "gm/dyn/overlay.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/perf/baseline.hh"
@@ -101,6 +102,13 @@ usage()
         << "  --framework <name> framework to query (default GAP)\n"
         << "  --kernels <csv>    kernels in the population\n"
         << "                     (default BFS,SSSP,CC,PR)\n"
+        << "  --write-mix <frac> fraction of request slots that first\n"
+        << "                     apply a seeded mutation batch via\n"
+        << "                     Server::mutate (inserts + an occasional\n"
+        << "                     delete), exercising generation-tagged\n"
+        << "                     caching and incremental maintenance;\n"
+        << "                     closed-loop and chaos drivers only\n"
+        << "                     (default 0)\n"
         << "  --seed <n>         workload seed (default 42)\n"
         << "  --csv <file>       write one row per request\n"
         << "  --baseline-out <f> write fingerprinted perf-baseline JSONL\n"
@@ -266,6 +274,90 @@ record_outcome(Outcome& out, const gm::support::StatusOr<
     } else {
         out.code = result.status().code();
     }
+}
+
+/** Target of a --write-mix mutation: graph name plus vertex count. */
+struct MutTarget
+{
+    std::string graph;
+    gm::vid_t num_vertices = 0;
+};
+
+/**
+ * Seeded write-mix driver.  Each call to maybe_mutate consumes one
+ * slot; a slot triggers a mutation with probability `mix`, and slot
+ * k's batch content is a pure function of (seed, k) — so the multiset
+ * of applied batches is fixed regardless of how client threads
+ * interleave.  Batches are mostly inserts of fresh random arcs plus an
+ * occasional delete, which keeps the dirty fraction small enough that
+ * maintenance stays incremental (the interesting regime for caching).
+ */
+class Mutator
+{
+  public:
+    Mutator(Server& server, std::vector<MutTarget> targets, double mix,
+            std::uint64_t seed)
+        : server_(server), targets_(std::move(targets)), mix_(mix),
+          seed_(seed)
+    {
+    }
+
+    void
+    maybe_mutate()
+    {
+        if (mix_ <= 0 || targets_.empty())
+            return;
+        const std::uint64_t slot =
+            slots_.fetch_add(1, std::memory_order_relaxed);
+        gm::SplitMix64 rng(seed_ ^ (slot * 0x9e3779b97f4a7c15ULL));
+        if (static_cast<double>(rng.next() >> 11) * 0x1.0p-53 >= mix_)
+            return;
+        const MutTarget& target =
+            targets_[rng.next() % targets_.size()];
+        const auto n = static_cast<std::uint64_t>(target.num_vertices);
+        gm::dyn::MutationBatch batch;
+        for (int i = 0; i < 4; ++i) {
+            const auto u = static_cast<gm::vid_t>(rng.next() % n);
+            const auto v = static_cast<gm::vid_t>(
+                (static_cast<std::uint64_t>(u) + 1 + rng.next() % (n - 1)) %
+                n);
+            batch.insert(u, v);
+        }
+        // One delete per batch: usually a no-op (arc absent) but it
+        // lands on real arcs often enough to exercise tombstones.
+        const auto du = static_cast<gm::vid_t>(rng.next() % n);
+        const auto dv = static_cast<gm::vid_t>(rng.next() % n);
+        if (du != dv)
+            batch.erase(du, dv);
+        if (server_.mutate(target.graph, batch).is_ok())
+            applied_.fetch_add(1, std::memory_order_relaxed);
+        else
+            failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t applied() const { return applied_.load(); }
+    std::uint64_t failed() const { return failed_.load(); }
+
+  private:
+    Server& server_;
+    std::vector<MutTarget> targets_;
+    double mix_;
+    std::uint64_t seed_;
+    std::atomic<std::uint64_t> slots_{0};
+    std::atomic<std::uint64_t> applied_{0};
+    std::atomic<std::uint64_t> failed_{0};
+};
+
+void
+print_mutations(const Mutator& mutator, const ServerStats& stats)
+{
+    std::cout << "mutations:   applied=" << mutator.applied()
+              << " failed=" << mutator.failed() << " inserted_arcs="
+              << stats.mutation_inserted_arcs << " deleted_arcs="
+              << stats.mutation_deleted_arcs << " compactions="
+              << stats.compactions << " incremental="
+              << stats.dyn_incremental << " full=" << stats.dyn_full
+              << "\n";
 }
 
 int
@@ -499,6 +591,7 @@ main(int argc, char** argv)
     std::string framework = "GAP";
     std::string kernels_csv = "BFS,SSSP,CC,PR";
     std::uint64_t seed = 42;
+    double write_mix = 0;
     std::size_t cache_mb = 64;
     std::string csv_path;
     std::string baseline_path;
@@ -535,6 +628,7 @@ main(int argc, char** argv)
     parser.value({"--framework"}, &framework);
     parser.value({"--kernels"}, &kernels_csv);
     parser.value({"--seed"}, &seed);
+    parser.value({"--write-mix"}, &write_mix);
     parser.value({"--csv"}, &csv_path);
     parser.value({"--baseline-out"}, &baseline_path);
     parser.value({"--metrics-out"}, &server_options.metrics_path);
@@ -554,6 +648,10 @@ main(int argc, char** argv)
         server_options.workers < 1 || rate <= 0 || deadline_ms < 0) {
         std::cerr << "invalid --scale/--requests/--distinct/--clients/"
                      "--workers/--rate/--deadline-ms\n";
+        return 1;
+    }
+    if (write_mix < 0 || write_mix > 1) {
+        std::cerr << "invalid --write-mix (want a fraction in [0,1])\n";
         return 1;
     }
     server_options.cache_capacity_bytes = cache_mb << 20;
@@ -606,6 +704,8 @@ main(int argc, char** argv)
                << server_options.workers << " requests=" << requests
                << " distinct=" << distinct << " seed=" << seed
                << (open_loop ? " open-loop" : " closed-loop");
+        if (write_mix > 0)
+            scales << " write-mix=" << write_mix;
         fingerprint.scales = scales.str();
     }
     if (!server_options.metrics_path.empty()) {
@@ -623,6 +723,16 @@ main(int argc, char** argv)
               << scale << " vertices in " << std::fixed
               << std::setprecision(3) << build_timer.seconds() << " s\n";
 
+    // Mutation targets are captured before the suite moves into the
+    // server; the write-mix driver only needs names and vertex counts.
+    std::vector<MutTarget> targets;
+    if (write_mix > 0) {
+        targets.reserve(suite.size());
+        for (const auto& ds : suite.datasets)
+            targets.push_back(
+                {ds->name, static_cast<gm::vid_t>(ds->g().num_vertices())});
+    }
+
     gm::Xoshiro256 rng(seed);
     const std::vector<Request> population = make_population(
         suite, kernels, framework, distinct, deadline_ms, width_dist, rng);
@@ -632,6 +742,8 @@ main(int argc, char** argv)
 
     Server server(std::move(suite), gm::harness::make_frameworks(),
                   server_options);
+    Mutator mutator(server, std::move(targets), write_mix,
+                    seed ^ 0x64796eULL);
     if (server.metrics_port() >= 0)
         // Flushed eagerly: scrape clients (CI, gmtop) parse the port
         // from a redirected log while the bench is still running.
@@ -662,6 +774,7 @@ main(int argc, char** argv)
                         req.priority = static_cast<gm::serve::Priority>(
                             i % static_cast<std::size_t>(
                                     gm::serve::kPriorityClasses));
+                        mutator.maybe_mutate();
                         record_outcome(out, server.query(req));
                         if (think_ms > 0)
                             std::this_thread::sleep_for(
@@ -761,6 +874,8 @@ main(int argc, char** argv)
                   << stats.breaker_open_cells << " retries="
                   << stats.retries << " retry_denied=" << stats.retry_denied
                   << "\n";
+        if (write_mix > 0)
+            print_mutations(mutator, stats);
         std::cout << "chaos_slo:   availability=" << std::fixed
                   << std::setprecision(4) << storm.availability()
                   << " degraded_share=" << storm.degraded_share()
@@ -840,6 +955,7 @@ main(int argc, char** argv)
                     Outcome& out = outcomes[static_cast<std::size_t>(i)];
                     out.population_index =
                         stream[static_cast<std::size_t>(i)];
+                    mutator.maybe_mutate();
                     record_outcome(
                         out, server.query(population[
                                  static_cast<std::size_t>(
@@ -916,6 +1032,8 @@ main(int argc, char** argv)
     std::cout << "outcomes:    ok=" << ok << " deadline_exceeded="
               << deadline << " cancelled=" << cancelled << " shed=" << shed
               << " failed=" << failed << "\n";
+    if (write_mix > 0)
+        print_mutations(mutator, stats);
     if (execs > 0) {
         std::cout << "parallel:    mean lanes/request "
                   << std::setprecision(2)
