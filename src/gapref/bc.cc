@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gm/graph/frontier.hh"
 #include "gm/par/atomics.hh"
 #include "gm/par/parallel_for.hh"
 #include "gm/support/bitmap.hh"
@@ -14,10 +15,11 @@ namespace
 {
 
 /**
- * Forward phase of Brandes: level-synchronous BFS that records shortest-path
- * counts and marks shortest-path tree edges ("successors") in a bitmap
- * indexed by out-edge slot — the GAPBS optimization the paper credits for
- * beating Galois on the backward pass.
+ * Forward phase of Brandes: the shared level-synchronous sweep
+ * (gm::graph::level_sync_sweep) plus the two BC-specific actions on each
+ * shortest-path edge — marking it in a bitmap indexed by out-edge slot
+ * (the GAPBS optimization the paper credits for beating Galois on the
+ * backward pass) and accumulating shortest-path counts.
  */
 void
 brandes_forward(const CSRGraph& g, vid_t source, std::vector<vid_t>& depth,
@@ -25,51 +27,13 @@ brandes_forward(const CSRGraph& g, vid_t source, std::vector<vid_t>& depth,
                 SlidingQueue<vid_t>& queue,
                 std::vector<std::size_t>& depth_index)
 {
-    depth[source] = 0;
     path_counts[source] = 1;
-    queue.push_back(source);
-    depth_index.clear();
-    std::size_t frontier_begin = 0;
-    queue.slide_window();
-
-    const auto& offsets = g.out_offsets();
-    const auto& dests = g.out_destinations();
-
-    while (!queue.empty()) {
-        depth_index.push_back(frontier_begin);
-        const vid_t* frontier = queue.begin();
-        const std::size_t frontier_size = queue.size();
-        frontier_begin += frontier_size;
-        par::parallel_lanes([&](int lane, int lanes) {
-            QueueBuffer<vid_t> local(queue);
-            for (std::size_t i = lane; i < frontier_size;
-                 i += static_cast<std::size_t>(lanes)) {
-                const vid_t u = frontier[i];
-                const vid_t next_depth = depth[u] + 1;
-                for (eid_t e = offsets[u]; e < offsets[u + 1]; ++e) {
-                    const vid_t v = dests[e];
-                    vid_t v_depth = par::atomic_load(depth[v]);
-                    if (v_depth == kInvalidVid) {
-                        if (par::compare_and_swap(depth[v], kInvalidVid,
-                                                  next_depth)) {
-                            local.push_back(v);
-                            v_depth = next_depth;
-                        } else {
-                            v_depth = par::atomic_load(depth[v]);
-                        }
-                    }
-                    if (v_depth == next_depth) {
-                        succ.set_bit_atomic(static_cast<std::size_t>(e));
-                        par::atomic_add_float(path_counts[v],
-                                              path_counts[u]);
-                    }
-                }
-            }
-            local.flush();
+    graph::level_sync_sweep(
+        g, source, depth, queue, depth_index,
+        [&](vid_t u, eid_t e, vid_t v) {
+            succ.set_bit_atomic(static_cast<std::size_t>(e));
+            par::atomic_add_float(path_counts[v], path_counts[u]);
         });
-        queue.slide_window();
-    }
-    depth_index.push_back(frontier_begin);
 }
 
 } // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared level-synchronous frontier machinery for BFS-shaped traversals.
+ *
+ * Two entry points:
+ *
+ *  - level_sync_sweep(): the single-source level-synchronous sweep that
+ *    used to live inside the GAP reference BC kernel.  It owns the
+ *    mechanics every Brandes-style forward pass needs — the sliding
+ *    multi-frontier queue, the CAS depth claim, and the per-level window
+ *    bookkeeping — and reports each shortest-path edge to a caller
+ *    callback, so BC can keep its successor bitmap and path counting
+ *    without re-implementing the traversal.
+ *
+ *  - multi_source_bfs_depths(): the bit-parallel generalization.  Up to
+ *    kMaxFusedSources sources advance together through one sweep, each
+ *    vertex carrying a 64-bit mask of the sources that have reached it;
+ *    a frontier edge ORs the still-unseen mask bits into the target in
+ *    one atomic word operation, so a 64-source batch costs one traversal
+ *    instead of 64.  The output is per-source depths — depths are a pure
+ *    function of the level structure (never of visit order), so the
+ *    result is bit-identical at any GM_THREADS / lease width and equal to
+ *    running the sources one at a time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gm/graph/csr.hh"
+#include "gm/par/atomics.hh"
+#include "gm/par/parallel_for.hh"
+#include "gm/support/sliding_queue.hh"
+#include "gm/support/types.hh"
+
+namespace gm::graph
+{
+
+/** Sources one fused sweep can carry (one bit per source). */
+inline constexpr int kMaxFusedSources = 64;
+
+/**
+ * Level-synchronous single-source sweep over @p g from @p source.
+ *
+ * @p depth must be pre-filled with kInvalidVid; on return it holds BFS
+ * depths.  @p queue (capacity >= num_vertices + 1) ends up holding every
+ * frontier back-to-back, with @p depth_index recording the level
+ * boundaries (depth_index[d] is the offset of level d's frontier;
+ * one trailing entry marks the end) — exactly what a Brandes backward
+ * pass walks.
+ *
+ * @p on_shortest_edge(u, e, v) fires for every edge e = (u, v) that links
+ * a depth-d vertex to a depth-(d+1) vertex, i.e. every shortest-path tree
+ * candidate.  It runs concurrently across lanes and must be thread-safe;
+ * it is never invoked twice for the same edge slot.
+ */
+template <typename OnShortestEdge>
+void
+level_sync_sweep(const CSRGraph& g, vid_t source, std::vector<vid_t>& depth,
+                 SlidingQueue<vid_t>& queue,
+                 std::vector<std::size_t>& depth_index,
+                 OnShortestEdge&& on_shortest_edge)
+{
+    depth[source] = 0;
+    queue.push_back(source);
+    depth_index.clear();
+    std::size_t frontier_begin = 0;
+    queue.slide_window();
+
+    const auto& offsets = g.out_offsets();
+    const auto& dests = g.out_destinations();
+
+    while (!queue.empty()) {
+        depth_index.push_back(frontier_begin);
+        const vid_t* frontier = queue.begin();
+        const std::size_t frontier_size = queue.size();
+        frontier_begin += frontier_size;
+        par::parallel_lanes([&](int lane, int lanes) {
+            QueueBuffer<vid_t> local(queue);
+            for (std::size_t i = lane; i < frontier_size;
+                 i += static_cast<std::size_t>(lanes)) {
+                const vid_t u = frontier[i];
+                const vid_t next_depth = depth[u] + 1;
+                for (eid_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+                    const vid_t v = dests[e];
+                    vid_t v_depth = par::atomic_load(depth[v]);
+                    if (v_depth == kInvalidVid) {
+                        if (par::compare_and_swap(depth[v], kInvalidVid,
+                                                  next_depth)) {
+                            local.push_back(v);
+                            v_depth = next_depth;
+                        } else {
+                            v_depth = par::atomic_load(depth[v]);
+                        }
+                    }
+                    if (v_depth == next_depth)
+                        on_shortest_edge(u, e, v);
+                }
+            }
+            local.flush();
+        });
+        queue.slide_window();
+    }
+    depth_index.push_back(frontier_begin);
+}
+
+/**
+ * Bit-parallel multi-source BFS over the out-edges of @p g.
+ *
+ * Sources are processed in fused sweeps of up to kMaxFusedSources each.
+ * Returns a flat source-major depth array of size
+ * sources.size() * num_vertices: entry [s * n + v] is the BFS depth of v
+ * from sources[s], kInvalidVid when unreached.  Duplicate sources are
+ * fine (they share frontier work and get identical slices).
+ *
+ * Deterministic: the payload is bit-identical at any lane width and equal
+ * to sources.size() independent single-source runs.  Polls cooperative
+ * cancellation once per level.
+ */
+std::vector<vid_t> multi_source_bfs_depths(const CSRGraph& g,
+                                           const std::vector<vid_t>& sources);
+
+} // namespace gm::graph

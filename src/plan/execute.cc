@@ -1,0 +1,251 @@
+#include "gm/plan/execute.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gm/graph/frontier.hh"
+#include "gm/support/log.hh"
+
+namespace gm::plan
+{
+
+namespace
+{
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+Status
+invalid(const std::string& message)
+{
+    return Status(StatusCode::kInvalidInput, message);
+}
+
+/**
+ * Histogram bucketing, per payload type.  Integer payloads bucket by
+ * value (the common case: BFS depth / SSSP distance / CC label
+ * distributions), clamped into the last bucket; negative entries are
+ * unreached sentinels and are skipped.  Score payloads bucket the [0, 1)
+ * range uniformly (PR and BC scores are normalized), clamping outliers
+ * into the edge buckets.  All rules are single-pass, order-independent
+ * integer increments — bit-identical at any width.
+ */
+Value
+histogram(const Value& input, int buckets)
+{
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(buckets), 0);
+    const auto last = static_cast<std::size_t>(buckets - 1);
+    if (const auto* vids = std::get_if<std::vector<std::int32_t>>(&input)) {
+        for (const std::int32_t x : *vids) {
+            if (x < 0)
+                continue;
+            counts[std::min<std::size_t>(static_cast<std::size_t>(x), last)]
+                += 1;
+        }
+    } else if (const auto* scores =
+                   std::get_if<std::vector<score_t>>(&input)) {
+        for (const score_t x : *scores) {
+            if (std::isnan(x))
+                continue;
+            const double scaled = std::floor(x * buckets);
+            const auto idx = scaled < 0 ? std::size_t{0}
+                             : scaled > static_cast<double>(last)
+                                 ? last
+                                 : static_cast<std::size_t>(scaled);
+            counts[idx] += 1;
+        }
+    } else if (const auto* raw =
+                   std::get_if<std::vector<std::uint64_t>>(&input)) {
+        for (const std::uint64_t x : *raw)
+            counts[std::min<std::size_t>(static_cast<std::size_t>(x), last)]
+                += 1;
+    }
+    return counts;
+}
+
+/** Indices of the k largest entries, descending by value with ties
+ *  broken toward the smaller index — a total order, so the answer is
+ *  unique and width-invariant. */
+template <typename T>
+Value
+top_k_indices(const std::vector<T>& values, int k)
+{
+    std::vector<std::int32_t> index(values.size());
+    std::iota(index.begin(), index.end(), 0);
+    const auto take = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                            index.size());
+    const auto better = [&](std::int32_t a, std::int32_t b) {
+        const T& va = values[static_cast<std::size_t>(a)];
+        const T& vb = values[static_cast<std::size_t>(b)];
+        if (va != vb)
+            return va > vb;
+        return a < b;
+    };
+    std::partial_sort(index.begin(),
+                      index.begin() + static_cast<std::ptrdiff_t>(take),
+                      index.end(), better);
+    index.resize(take);
+    return index;
+}
+
+/** Per-label reduction in ascending index order (fixed fold order keeps
+ *  float sums bit-identical at any width). */
+template <typename T>
+StatusOr<Value>
+component_reduce(const std::vector<std::int32_t>& labels,
+                 const std::vector<T>& values, ReduceOp op)
+{
+    if (labels.size() != values.size())
+        return invalid("component reduce: labels/values length mismatch");
+    std::vector<score_t> out(labels.size(), 0.0);
+    std::vector<bool> seen(labels.size(), false);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const std::int32_t label = labels[i];
+        if (label < 0 || static_cast<std::size_t>(label) >= out.size())
+            return invalid("component reduce: label out of range");
+        const auto slot = static_cast<std::size_t>(label);
+        const auto value = static_cast<score_t>(values[i]);
+        switch (op) {
+          case ReduceOp::kSum:
+            out[slot] += value;
+            break;
+          case ReduceOp::kMin:
+            out[slot] = seen[slot] ? std::min(out[slot], value) : value;
+            break;
+          case ReduceOp::kMax:
+            out[slot] = seen[slot] ? std::max(out[slot], value) : value;
+            break;
+          case ReduceOp::kCount:
+            out[slot] += 1.0;
+            break;
+        }
+        seen[slot] = true;
+    }
+    return Value(std::move(out));
+}
+
+StatusOr<Value>
+run_kernel(const Node& node, const Context& ctx)
+{
+    const harness::Dataset& ds = *ctx.dataset;
+    const harness::Framework& fw = *ctx.framework;
+    const vid_t n = ds.g().num_vertices();
+    for (vid_t s : node.sources) {
+        if (s >= n)
+            return invalid("plan source " + std::to_string(s) +
+                           " out of range for graph " + ds.name);
+    }
+    const vid_t source = node.sources.empty() ? 0 : node.sources[0];
+    switch (node.kernel) {
+      case harness::Kernel::kBFS:
+        // Plan BFS nodes answer depths (canonical under fusion), via the
+        // same sweep a batch uses — a single-source batch and a kernel
+        // node are bit-identical by construction.
+        return Value(graph::multi_source_bfs_depths(ds.g(), {source}));
+      case harness::Kernel::kSSSP:
+        return Value(fw.sssp(ds, source, ctx.mode));
+      case harness::Kernel::kCC:
+        return Value(fw.cc(ds, ctx.mode));
+      case harness::Kernel::kPR:
+        return Value(fw.pr(ds, ctx.mode));
+      case harness::Kernel::kBC:
+        return Value(fw.bc(ds, {source}, ctx.mode));
+      case harness::Kernel::kTC:
+        return Value(fw.tc(ds, ctx.mode));
+    }
+    return invalid("unknown kernel");
+}
+
+StatusOr<Value>
+run_batch(const Node& node, const Context& ctx)
+{
+    const harness::Dataset& ds = *ctx.dataset;
+    const vid_t n = ds.g().num_vertices();
+    for (vid_t s : node.sources) {
+        if (s >= n)
+            return invalid("plan batch source " + std::to_string(s) +
+                           " out of range for graph " + ds.name);
+    }
+    if (node.kernel == harness::Kernel::kBFS)
+        return Value(graph::multi_source_bfs_depths(ds.g(), node.sources));
+    // SSSP: per-source runs concatenated source-major (delta-stepping
+    // bucket state does not bit-fuse; distances are still canonical).
+    std::vector<std::int32_t> flat;
+    flat.reserve(node.sources.size() * static_cast<std::size_t>(n));
+    for (vid_t s : node.sources) {
+        const std::vector<weight_t> dist =
+            ctx.framework->sssp(ds, s, ctx.mode);
+        flat.insert(flat.end(), dist.begin(), dist.end());
+    }
+    return Value(std::move(flat));
+}
+
+} // namespace
+
+StatusOr<Value>
+execute_node(const Plan& plan, int id,
+             const std::vector<const Value*>& inputs, const Context& ctx)
+{
+    GM_ASSERT(ctx.dataset != nullptr && ctx.framework != nullptr,
+              "plan execution context is incomplete");
+    const Node& node = plan.nodes()[static_cast<std::size_t>(id)];
+    GM_ASSERT(inputs.size() == node.inputs.size(),
+              "plan node input arity mismatch");
+    switch (node.op) {
+      case Op::kKernel:
+        return run_kernel(node, ctx);
+      case Op::kBatch:
+        return run_batch(node, ctx);
+      case Op::kHistogram:
+        return histogram(*inputs[0], node.buckets);
+      case Op::kTopK: {
+        if (const auto* vids =
+                std::get_if<std::vector<std::int32_t>>(inputs[0]))
+            return top_k_indices(*vids, node.k);
+        if (const auto* scores =
+                std::get_if<std::vector<score_t>>(inputs[0]))
+            return top_k_indices(*scores, node.k);
+        return invalid("top-k input is not a vector payload");
+      }
+      case Op::kComponentReduce: {
+        const auto* labels =
+            std::get_if<std::vector<std::int32_t>>(inputs[0]);
+        if (labels == nullptr)
+            return invalid("component reduce labels are not a vid vector");
+        if (const auto* vids =
+                std::get_if<std::vector<std::int32_t>>(inputs[1]))
+            return component_reduce(*labels, *vids, node.reduce);
+        if (const auto* scores =
+                std::get_if<std::vector<score_t>>(inputs[1]))
+            return component_reduce(*labels, *scores, node.reduce);
+        return invalid("component reduce values are not a vector payload");
+      }
+    }
+    return invalid("unknown plan op");
+}
+
+StatusOr<std::vector<Value>>
+execute(const Plan& plan, const Context& ctx)
+{
+    const Status valid = plan.validate();
+    if (!valid.is_ok())
+        return valid;
+    std::vector<Value> values;
+    values.reserve(static_cast<std::size_t>(plan.size()));
+    for (int id = 0; id < plan.size(); ++id) {
+        const Node& node = plan.nodes()[static_cast<std::size_t>(id)];
+        std::vector<const Value*> inputs;
+        inputs.reserve(node.inputs.size());
+        for (int input : node.inputs)
+            inputs.push_back(&values[static_cast<std::size_t>(input)]);
+        StatusOr<Value> out = execute_node(plan, id, inputs, ctx);
+        if (!out.is_ok())
+            return out.status();
+        values.push_back(std::move(out).value());
+    }
+    return values;
+}
+
+} // namespace gm::plan

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference executor for gm::plan — pure, cache-free, serial across
+ * nodes (each node still runs its kernel under the caller's lane lease).
+ *
+ * This is the semantic ground truth the serve-layer executor (caching,
+ * single-flight, concurrent waves, deadlines) must match bit for bit:
+ * detcheck --plan fingerprints these results, and the plan property test
+ * pins the server's answers against them across lane widths.
+ */
+#pragma once
+
+#include "gm/harness/dataset.hh"
+#include "gm/harness/framework.hh"
+#include "gm/plan/plan.hh"
+#include "gm/plan/value.hh"
+#include "gm/support/status.hh"
+
+namespace gm::plan
+{
+
+/** Everything a node needs to execute. */
+struct Context
+{
+    const harness::Dataset* dataset = nullptr;
+    const harness::Framework* framework = nullptr;
+    harness::Mode mode = harness::Mode::kBaseline;
+};
+
+/**
+ * Execute node @p id of @p plan given its resolved input payloads (same
+ * order as the node's inputs list).  Deterministic: bit-identical at any
+ * lane width.  Returns kInvalidInput for runtime shape errors (source
+ * out of range, label/value length mismatch); kernel exceptions
+ * propagate to the caller like any direct framework invocation.
+ */
+support::StatusOr<Value> execute_node(const Plan& plan, int id,
+                                      const std::vector<const Value*>& inputs,
+                                      const Context& ctx);
+
+/**
+ * Execute the whole plan, nodes in id order.  Returns one Value per
+ * node.  Fails on the first node error.
+ */
+support::StatusOr<std::vector<Value>> execute(const Plan& plan,
+                                              const Context& ctx);
+
+} // namespace gm::plan

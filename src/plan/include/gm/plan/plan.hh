@@ -1,0 +1,164 @@
+/**
+ * @file
+ * gm::plan — a small query-plan IR over the benchmark kernels.
+ *
+ * A Plan is an append-only DAG of typed nodes: kernel invocations,
+ * multi-source traversal batches, and aggregations (histogram, top-k,
+ * per-component reduce) over upstream results.  Builder methods only
+ * accept already-added nodes as inputs, so every Plan is acyclic by
+ * construction; validate() re-checks structure and static types so
+ * hand-assembled or deserialized plans fail fast instead of deep in
+ * execution.
+ *
+ * Two derived views drive execution:
+ *
+ *  - waves() partitions nodes into topological waves; nodes within a
+ *    wave have no mutual dependencies and may execute concurrently.
+ *
+ *  - fingerprint(id) is a structural FNV-1a digest of the sub-plan
+ *    rooted at a node: its operator, parameters, and (recursively) its
+ *    inputs' fingerprints — never its label or position.  Two plans that
+ *    share a sub-plan share its fingerprint, which is what the serve
+ *    layer keys its (sub-plan fingerprint, graph generation) cache and
+ *    single-flight dedup on.
+ *
+ * Node semantics (see execute.hh for the reference executor):
+ *
+ *  - BFS kernel/batch nodes produce *depths*, not parents.  Depths are a
+ *    pure function of the graph's level structure — never of visit order
+ *    — so fused multi-source sweeps, single-source runs, and any lane
+ *    width all produce bit-identical payloads.  (Parent arrays would
+ *    not survive fusion: which parent claims a vertex is a race.)
+ *  - Batches fuse up to graph::kMaxFusedSources BFS sources per sweep;
+ *    SSSP batches run per source (delta-stepping carries per-source
+ *    bucket state that does not bit-fuse) but still share one node.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gm/harness/framework.hh"
+#include "gm/support/status.hh"
+#include "gm/support/types.hh"
+
+namespace gm::plan
+{
+
+/** Node operators. */
+enum class Op
+{
+    kKernel,          ///< one kernel invocation (single source where used)
+    kBatch,           ///< multi-source BFS/SSSP batch, source-major payload
+    kHistogram,       ///< bucket counts over a vector input
+    kTopK,            ///< indices of the k largest entries of a vector
+    kComponentReduce, ///< per-label reduction of a value vector
+};
+
+/** Short stable name ("kernel", "batch", ...). */
+const char* to_string(Op op);
+
+/** Reduction operator for kComponentReduce. */
+enum class ReduceOp
+{
+    kSum,
+    kMin,
+    kMax,
+    kCount,
+};
+
+/** @copydoc to_string(Op) */
+const char* to_string(ReduceOp op);
+
+/** Static type of a node's Value payload (variant alternative). */
+enum class ValueType
+{
+    kVidVector,   ///< depths / distances / labels / top-k ids (int32)
+    kScoreVector, ///< PR/BC scores, per-component reductions (double)
+    kScalar,      ///< TC triangle count (uint64)
+    kCountVector, ///< histogram bucket counts (uint64 vector)
+};
+
+/** One plan node.  Fields not used by the node's Op stay defaulted and
+ *  are excluded from its structural fingerprint. */
+struct Node
+{
+    Op op = Op::kKernel;
+    /** Kernel for kKernel / kBatch. */
+    harness::Kernel kernel = harness::Kernel::kBFS;
+    /** Source vertices: at most one for kKernel, >= 1 for kBatch. */
+    std::vector<vid_t> sources;
+    /** Upstream node ids (aggregations only). */
+    std::vector<int> inputs;
+    /** Bucket count for kHistogram. */
+    int buckets = 0;
+    /** k for kTopK. */
+    int k = 0;
+    /** Reduction for kComponentReduce. */
+    ReduceOp reduce = ReduceOp::kSum;
+    /** Display label for telemetry / tooling (not part of identity). */
+    std::string label;
+};
+
+/** Upper bound on nodes per plan (admission rejects larger plans). */
+inline constexpr int kMaxPlanNodes = 256;
+/** Upper bound on sources per batch node. */
+inline constexpr int kMaxBatchSources = 1024;
+/** Upper bound on histogram buckets. */
+inline constexpr int kMaxHistogramBuckets = 1 << 20;
+
+/** The plan DAG; see the file comment. */
+class Plan
+{
+  public:
+    /** Add a kernel node (source used by BFS/SSSP/BC, ignored
+     *  otherwise).  Returns the node id. */
+    int add_kernel(harness::Kernel kernel, vid_t source = 0,
+                   std::string label = "");
+
+    /** Add a multi-source batch node (BFS or SSSP).  The payload is a
+     *  flat source-major vector: entry [s * n + v] belongs to
+     *  sources[s]. */
+    int add_batch(harness::Kernel kernel, std::vector<vid_t> sources,
+                  std::string label = "");
+
+    /** Add a histogram over @p input's vector payload. */
+    int add_histogram(int input, int buckets, std::string label = "");
+
+    /** Add a top-k node: the indices of the k largest entries of
+     *  @p input's payload, ties broken toward the smaller index. */
+    int add_top_k(int input, int k, std::string label = "");
+
+    /** Add a per-component reduction: payload[c] = reduce of
+     *  @p values's entries whose @p labels entry equals c. */
+    int add_component_reduce(int labels, int values, ReduceOp reduce,
+                             std::string label = "");
+
+    const std::vector<Node>& nodes() const { return nodes_; }
+    bool empty() const { return nodes_.empty(); }
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** Structural and static-type checks; ok iff the plan can execute. */
+    support::Status validate() const;
+
+    /** Static payload type of node @p id (valid after validate()). */
+    ValueType output_type(int id) const;
+
+    /** Topological waves: nodes in waves[w] depend only on earlier
+     *  waves, so each wave may execute concurrently. */
+    std::vector<std::vector<int>> waves() const;
+
+    /** Structural fingerprint of the sub-plan rooted at @p id. */
+    std::uint64_t fingerprint(int id) const;
+
+    /** Fingerprint over every sink (order-insensitive plan identity). */
+    std::uint64_t fingerprint() const;
+
+  private:
+    int add(Node node);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace gm::plan

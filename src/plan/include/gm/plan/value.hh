@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Typed intermediate values flowing between plan nodes.
+ *
+ * The alternative list deliberately extends serve's original ResultValue
+ * in place: alternatives 0–2 (vid/weight vectors, score vectors, scalar
+ * counts) keep their indices — and therefore their fingerprints and
+ * cached byte accounting — unchanged, and alternative 3 adds the
+ * histogram-counts payload aggregation nodes produce.  gm::serve aliases
+ * its ResultValue to this type, so plan intermediates, query answers, and
+ * cache entries are all the same object and move between layers without
+ * copies.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "gm/support/types.hh"
+
+namespace gm::plan
+{
+
+/** A plan node's payload: BFS depths / SSSP distances / CC labels / top-k
+ *  vertex ids share the int32 vector; PR/BC scores and per-component
+ *  reductions share the double vector; TC is a bare count; histograms
+ *  are bucket counts. */
+using Value = std::variant<std::vector<std::int32_t>, std::vector<score_t>,
+                           std::uint64_t, std::vector<std::uint64_t>>;
+
+/** Heap bytes a cached copy of @p value occupies (payload, not variant). */
+std::size_t value_bytes(const Value& value);
+
+/** FNV-1a digest over the alternative index and raw payload bytes.  Two
+ *  values fingerprint equal iff they are bit-identical. */
+std::uint64_t value_fingerprint(const Value& value);
+
+} // namespace gm::plan

@@ -1,0 +1,303 @@
+#include "gm/plan/plan.hh"
+
+#include <algorithm>
+
+#include "gm/support/hash.hh"
+#include "gm/support/log.hh"
+
+namespace gm::plan
+{
+
+namespace
+{
+
+/** Hash-domain tag so plan fingerprints can never collide with payload
+ *  or cache-key digests from other subsystems. */
+constexpr const char* kFingerprintSalt = "gm.plan.v1";
+
+} // namespace
+
+const char*
+to_string(Op op)
+{
+    switch (op) {
+      case Op::kKernel: return "kernel";
+      case Op::kBatch: return "batch";
+      case Op::kHistogram: return "histogram";
+      case Op::kTopK: return "top_k";
+      case Op::kComponentReduce: return "component_reduce";
+    }
+    return "unknown";
+}
+
+const char*
+to_string(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::kSum: return "sum";
+      case ReduceOp::kMin: return "min";
+      case ReduceOp::kMax: return "max";
+      case ReduceOp::kCount: return "count";
+    }
+    return "unknown";
+}
+
+int
+Plan::add(Node node)
+{
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+Plan::add_kernel(harness::Kernel kernel, vid_t source, std::string label)
+{
+    Node node;
+    node.op = Op::kKernel;
+    node.kernel = kernel;
+    node.sources = {source};
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+int
+Plan::add_batch(harness::Kernel kernel, std::vector<vid_t> sources,
+                std::string label)
+{
+    Node node;
+    node.op = Op::kBatch;
+    node.kernel = kernel;
+    node.sources = std::move(sources);
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+int
+Plan::add_histogram(int input, int buckets, std::string label)
+{
+    Node node;
+    node.op = Op::kHistogram;
+    node.inputs = {input};
+    node.buckets = buckets;
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+int
+Plan::add_top_k(int input, int k, std::string label)
+{
+    Node node;
+    node.op = Op::kTopK;
+    node.inputs = {input};
+    node.k = k;
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+int
+Plan::add_component_reduce(int labels, int values, ReduceOp reduce,
+                           std::string label)
+{
+    Node node;
+    node.op = Op::kComponentReduce;
+    node.inputs = {labels, values};
+    node.reduce = reduce;
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+ValueType
+Plan::output_type(int id) const
+{
+    GM_ASSERT(id >= 0 && id < size(), "plan node id out of range");
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    switch (node.op) {
+      case Op::kKernel:
+      case Op::kBatch:
+        switch (node.kernel) {
+          case harness::Kernel::kBFS:
+          case harness::Kernel::kSSSP:
+          case harness::Kernel::kCC:
+            return ValueType::kVidVector;
+          case harness::Kernel::kPR:
+          case harness::Kernel::kBC:
+            return ValueType::kScoreVector;
+          case harness::Kernel::kTC:
+            return ValueType::kScalar;
+        }
+        return ValueType::kVidVector;
+      case Op::kHistogram:
+        return ValueType::kCountVector;
+      case Op::kTopK:
+        return ValueType::kVidVector;
+      case Op::kComponentReduce:
+        return ValueType::kScoreVector;
+    }
+    return ValueType::kVidVector;
+}
+
+support::Status
+Plan::validate() const
+{
+    using support::Status;
+    using support::StatusCode;
+    if (nodes_.empty())
+        return Status(StatusCode::kInvalidInput, "plan has no nodes");
+    if (size() > kMaxPlanNodes)
+        return Status(StatusCode::kInvalidInput,
+                      "plan exceeds " + std::to_string(kMaxPlanNodes) +
+                          " nodes");
+    for (int id = 0; id < size(); ++id) {
+        const Node& node = nodes_[static_cast<std::size_t>(id)];
+        const std::string where = "node " + std::to_string(id) + " (" +
+                                  to_string(node.op) + ")";
+        for (int input : node.inputs) {
+            if (input < 0 || input >= id)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": input " + std::to_string(input) +
+                                  " is not an earlier node");
+        }
+        switch (node.op) {
+          case Op::kKernel:
+            if (!node.inputs.empty())
+                return Status(StatusCode::kInvalidInput,
+                              where + ": kernel nodes take no inputs");
+            if (node.sources.size() != 1)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": kernel nodes take one source");
+            if (node.sources[0] < 0)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": negative source");
+            break;
+          case Op::kBatch:
+            if (!node.inputs.empty())
+                return Status(StatusCode::kInvalidInput,
+                              where + ": batch nodes take no inputs");
+            if (node.kernel != harness::Kernel::kBFS &&
+                node.kernel != harness::Kernel::kSSSP)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": batches support BFS and SSSP");
+            if (node.sources.empty())
+                return Status(StatusCode::kInvalidInput,
+                              where + ": batch has no sources");
+            if (node.sources.size() >
+                static_cast<std::size_t>(kMaxBatchSources))
+                return Status(StatusCode::kInvalidInput,
+                              where + ": batch exceeds " +
+                                  std::to_string(kMaxBatchSources) +
+                                  " sources");
+            for (vid_t s : node.sources) {
+                if (s < 0)
+                    return Status(StatusCode::kInvalidInput,
+                                  where + ": negative source");
+            }
+            break;
+          case Op::kHistogram:
+            if (node.inputs.size() != 1)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": histogram takes one input");
+            if (node.buckets < 1 || node.buckets > kMaxHistogramBuckets)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": bucket count out of range");
+            if (output_type(node.inputs[0]) == ValueType::kScalar)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": cannot histogram a scalar");
+            break;
+          case Op::kTopK:
+            if (node.inputs.size() != 1)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": top-k takes one input");
+            if (node.k < 1)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": k must be positive");
+            if (output_type(node.inputs[0]) != ValueType::kVidVector &&
+                output_type(node.inputs[0]) != ValueType::kScoreVector)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": top-k input must be a vid or "
+                                      "score vector");
+            break;
+          case Op::kComponentReduce:
+            if (node.inputs.size() != 2)
+                return Status(StatusCode::kInvalidInput,
+                              where +
+                                  ": component reduce takes (labels, "
+                                  "values)");
+            if (output_type(node.inputs[0]) != ValueType::kVidVector)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": labels input must be a vid "
+                                      "vector");
+            if (output_type(node.inputs[1]) != ValueType::kVidVector &&
+                output_type(node.inputs[1]) != ValueType::kScoreVector)
+                return Status(StatusCode::kInvalidInput,
+                              where + ": values input must be a vid or "
+                                      "score vector");
+            break;
+        }
+    }
+    return Status::ok();
+}
+
+std::vector<std::vector<int>>
+Plan::waves() const
+{
+    std::vector<int> depth(nodes_.size(), 0);
+    int deepest = 0;
+    for (int id = 0; id < size(); ++id) {
+        for (int input : nodes_[static_cast<std::size_t>(id)].inputs) {
+            depth[static_cast<std::size_t>(id)] =
+                std::max(depth[static_cast<std::size_t>(id)],
+                         depth[static_cast<std::size_t>(input)] + 1);
+        }
+        deepest = std::max(deepest, depth[static_cast<std::size_t>(id)]);
+    }
+    std::vector<std::vector<int>> out(
+        nodes_.empty() ? 0 : static_cast<std::size_t>(deepest) + 1);
+    for (int id = 0; id < size(); ++id)
+        out[static_cast<std::size_t>(depth[static_cast<std::size_t>(id)])]
+            .push_back(id);
+    return out;
+}
+
+std::uint64_t
+Plan::fingerprint(int id) const
+{
+    GM_ASSERT(id >= 0 && id < size(), "plan node id out of range");
+    // Inputs always precede their consumers, so one ascending pass
+    // resolves every sub-fingerprint node @p id depends on.
+    std::vector<std::uint64_t> fp(static_cast<std::size_t>(id) + 1);
+    for (int i = 0; i <= id; ++i) {
+        const Node& node = nodes_[static_cast<std::size_t>(i)];
+        support::Fnv1a h;
+        h.update(kFingerprintSalt);
+        h.update_value(static_cast<std::uint32_t>(node.op));
+        h.update_value(static_cast<std::uint32_t>(node.kernel));
+        h.update_vector(node.sources);
+        h.update_value(static_cast<std::uint32_t>(node.buckets));
+        h.update_value(static_cast<std::uint32_t>(node.k));
+        h.update_value(static_cast<std::uint32_t>(node.reduce));
+        for (int input : node.inputs)
+            h.update_value(fp[static_cast<std::size_t>(input)]);
+        fp[static_cast<std::size_t>(i)] = h.digest();
+    }
+    return fp[static_cast<std::size_t>(id)];
+}
+
+std::uint64_t
+Plan::fingerprint() const
+{
+    // Combine sink fingerprints order-insensitively (XOR) so two plans
+    // listing the same sinks in a different build order agree.
+    std::vector<bool> consumed(nodes_.size(), false);
+    for (const Node& node : nodes_) {
+        for (int input : node.inputs)
+            consumed[static_cast<std::size_t>(input)] = true;
+    }
+    std::uint64_t acc = 0;
+    for (int id = 0; id < size(); ++id) {
+        if (!consumed[static_cast<std::size_t>(id)])
+            acc ^= fingerprint(id);
+    }
+    return acc;
+}
+
+} // namespace gm::plan

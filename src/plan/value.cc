@@ -1,0 +1,41 @@
+#include "gm/plan/value.hh"
+
+#include <type_traits>
+
+#include "gm/support/hash.hh"
+
+namespace gm::plan
+{
+
+std::size_t
+value_bytes(const Value& value)
+{
+    return std::visit(
+        [](const auto& v) -> std::size_t {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::uint64_t>)
+                return sizeof(std::uint64_t);
+            else
+                return v.size() * sizeof(typename T::value_type) + sizeof(T);
+        },
+        value);
+}
+
+std::uint64_t
+value_fingerprint(const Value& value)
+{
+    support::Fnv1a h;
+    h.update_value(static_cast<std::uint64_t>(value.index()));
+    std::visit(
+        [&h](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, std::uint64_t>)
+                h.update_value(v);
+            else
+                h.update_vector(v);
+        },
+        value);
+    return h.digest();
+}
+
+} // namespace gm::plan

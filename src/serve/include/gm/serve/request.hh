@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gm/harness/framework.hh"
+#include "gm/plan/value.hh"
 #include "gm/support/types.hh"
 
 namespace gm::serve
@@ -94,10 +95,14 @@ struct Request
  * Kernel result payloads.  BFS parents, SSSP distances, and CC labels
  * share the int32 alternative (vid_t and weight_t are both int32_t, and
  * std::variant forbids duplicate alternatives); PR/BC scores share the
- * double vector; TC is a bare triangle count.
+ * double vector; TC is a bare triangle count; the uint64 vector carries
+ * plan-node histogram counts.  Aliased to gm::plan's Value so plan
+ * intermediates, query answers, and cache entries are one type and move
+ * between layers without copies (the original three alternatives keep
+ * their indices, so pre-plan fingerprints and byte accounting are
+ * unchanged).
  */
-using ResultValue = std::variant<std::vector<std::int32_t>,
-                                 std::vector<score_t>, std::uint64_t>;
+using ResultValue = plan::Value;
 
 /** Heap bytes a cached copy of @p value occupies (payload, not variant). */
 std::size_t result_bytes(const ResultValue& value);

@@ -48,6 +48,7 @@
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/obs/trace.hh"
+#include "gm/plan/plan.hh"
 #include "gm/serve/admission.hh"
 #include "gm/serve/breaker.hh"
 #include "gm/serve/cache.hh"
@@ -70,6 +71,7 @@ namespace detail
 {
 struct DynState;
 struct LaneGate;
+struct PlanState;
 struct RequestState;
 struct ServeTelemetry;
 } // namespace detail
@@ -165,6 +167,75 @@ struct MutationOutcome
 };
 
 /**
+ * One query plan: a gm::plan DAG to execute against a named graph.  The
+ * server executes independent DAG nodes concurrently under the same lane
+ * budget that gates single-kernel queries, caches every node's value in
+ * the ResultCache keyed by (structural sub-plan fingerprint, graph
+ * generation), and single-flights identical sub-plans across
+ * concurrently submitted plans — a sub-DAG shared by two plans executes
+ * its kernels exactly once.
+ */
+struct PlanRequest
+{
+    /** Framework display name or lowercase alias ("GAP", "gkc", ...). */
+    std::string framework = "GAP";
+    /** Dataset name within the server's suite ("Road", "Kron", ...). */
+    std::string graph;
+    harness::Mode mode = harness::Mode::kBaseline;
+    /** The DAG.  Must pass plan::Plan::validate(). */
+    plan::Plan plan;
+    /** Per-node wall-clock budget measured from the moment the node
+     *  starts (queue wait for lanes included); 0 disables.  A node that
+     *  overruns fails with DEADLINE_EXCEEDED and fails the plan. */
+    int node_deadline_ms = 0;
+    /** Execution width per traversal node (kernel/batch); aggregations
+     *  always run at width 1.  Clamped to the server's lane budget.
+     *  Width never changes any node's payload. */
+    int width = 1;
+    /** Plan-scoped trace id; 0 = mint at submit.  Stamped on the plan's
+     *  JSONL record.  Excluded from every cache key. */
+    std::uint64_t trace_id = 0;
+};
+
+/** One plan node's outcome. */
+struct PlanNodeResult
+{
+    support::Status status = support::Status::ok();
+    /** Immutable payload, shared with the cache (null on failure and for
+     *  nodes skipped after the first failure). */
+    std::shared_ptr<const ResultValue> value;
+    /** result_fingerprint() of *value (0 when value is null). */
+    std::uint64_t fingerprint = 0;
+    /** Served from a cached sub-plan result without executing. */
+    bool cache_hit = false;
+    /** Joined an identical in-flight node from another plan. */
+    bool shared_execution = false;
+    /** Kernel/aggregation execution time; 0 for hits and followers. */
+    double execute_seconds = 0;
+};
+
+/** A completed plan: per-node outcomes plus plan-wide metadata. */
+struct PlanResult
+{
+    /** Indexed by plan node id. */
+    std::vector<PlanNodeResult> nodes;
+    std::uint64_t trace_id = 0;
+    /** submit_plan()-to-completion wall time. */
+    double service_seconds = 0;
+    int executed = 0;       ///< nodes this plan ran itself (leaders)
+    int cache_hits = 0;     ///< nodes answered from the result cache
+    int shared = 0;         ///< nodes joined from another plan's flight
+    int fused_sweeps = 0;   ///< bit-parallel multi-source sweeps run
+    int sources_fused = 0;  ///< sources covered by those sweeps
+    /** Oldest data generation contributing to any node's answer.  When
+     *  no mutate() lands mid-plan (the common case) every node shares
+     *  it; a node whose inputs predate a concurrent compaction is tagged
+     *  with (and propagates) the inputs' generation, so this reports the
+     *  staleness bound of the whole answer set. */
+    std::uint64_t generation = 0;
+};
+
+/**
  * Point-in-time server counters (cache figures folded in).  The snapshot
  * is coherent: it is taken under the same lock every mutation holds, so
  * the invariants hold in any snapshot, mid-flight or not:
@@ -201,6 +272,15 @@ struct ServerStats
     std::uint64_t compactions = 0; ///< CSR generations installed
     std::uint64_t dyn_incremental = 0; ///< maintainer repairs in place
     std::uint64_t dyn_full = 0;        ///< maintainer full recomputes
+    std::uint64_t plans_submitted = 0; ///< submit_plan() accepted
+    std::uint64_t plans_completed = 0; ///< finished, any status
+    std::uint64_t plans_failed = 0;    ///< subset: any node failed
+    std::uint64_t plan_nodes = 0;      ///< nodes across submitted plans
+    std::uint64_t plan_nodes_executed = 0; ///< nodes run as leaders
+    std::uint64_t plan_node_cache_hits = 0; ///< nodes served from cache
+    std::uint64_t plan_nodes_shared = 0; ///< follower joins across plans
+    std::uint64_t plan_fused_sweeps = 0; ///< multi-source sweeps run
+    std::uint64_t plan_sources_fused = 0; ///< sources covered by fusion
     std::uint64_t breaker_transitions = 0;
     std::size_t breaker_open_cells = 0;
     std::size_t queue_depth = 0;
@@ -248,6 +328,34 @@ class Server
         }
 
         std::shared_ptr<detail::RequestState> state_;
+    };
+
+    /** A submitted plan; wait() blocks until every node settles. */
+    class PlanHandle
+    {
+      public:
+        PlanHandle() = default;
+
+        /** Block until the plan finishes.  A successful plan returns
+         *  the PlanResult; a plan whose first failing node has status S
+         *  reports S, with the node id and operator folded into the
+         *  message. */
+        support::StatusOr<PlanResult> wait() const;
+
+        /** Cooperatively cancel every node still queued or executing;
+         *  already-settled node values are kept. */
+        void cancel() const;
+
+        bool valid() const { return state_ != nullptr; }
+
+      private:
+        friend class Server;
+        explicit PlanHandle(std::shared_ptr<detail::PlanState> state)
+            : state_(std::move(state))
+        {
+        }
+
+        std::shared_ptr<detail::PlanState> state_;
     };
 
     Server(harness::DatasetSuite suite,
@@ -299,6 +407,24 @@ class Server
      */
     support::StatusOr<MutationOutcome>
     mutate(const std::string& graph, const dyn::MutationBatch& batch);
+
+    /**
+     * Validate and launch @p request's plan.  Returns kInvalidInput for
+     * an unknown framework/graph, a malformed DAG, or an out-of-range
+     * source, and kResourceExhausted after shutdown(); otherwise the
+     * plan runs asynchronously on its own driver thread: each wave of
+     * ready nodes executes concurrently, traversal nodes acquire their
+     * width from the same lane budget single-kernel queries use, and
+     * every node value is published to the ResultCache keyed by
+     * (structural sub-plan fingerprint, graph generation) — so identical
+     * sub-plans across concurrent submissions single-flight and execute
+     * exactly once, and mutate()'s generation bump invalidates plan
+     * entries exactly like query entries.
+     */
+    support::StatusOr<PlanHandle> submit_plan(PlanRequest request);
+
+    /** submit_plan() + wait(). */
+    support::StatusOr<PlanResult> run_plan(const PlanRequest& request);
 
     /**
      * Coherent point-in-time counters: the snapshot is assembled under
@@ -358,6 +484,15 @@ class Server
         std::uint64_t compactions = 0;
         std::uint64_t dyn_incremental = 0;
         std::uint64_t dyn_full = 0;
+        std::uint64_t plans_submitted = 0;
+        std::uint64_t plans_completed = 0;
+        std::uint64_t plans_failed = 0;
+        std::uint64_t plan_nodes = 0;
+        std::uint64_t plan_nodes_executed = 0;
+        std::uint64_t plan_node_cache_hits = 0;
+        std::uint64_t plan_nodes_shared = 0;
+        std::uint64_t plan_fused_sweeps = 0;
+        std::uint64_t plan_sources_fused = 0;
         std::size_t queue_depth = 0;
     };
 
@@ -412,6 +547,25 @@ class Server
     void write_telemetry_snapshot();
     void telemetry_flush_loop();
 
+    // Query-plan execution (plan_exec.cc).
+    /** Driver body (one thread per submitted plan): runs each wave of
+     *  ready nodes concurrently, then settles the PlanResult. */
+    void plan_driver(const std::shared_ptr<detail::PlanState>& state);
+    /** Serve one plan node — cache hit, single-flight join, or leader
+     *  execution under the lane budget; fills state.node_results[id]. */
+    void plan_run_node(detail::PlanState& state, int id);
+    /** acquire_lanes for a plan node: bounded by the node's deadline and
+     *  woken by release_lanes / PlanHandle::cancel / shutdown. */
+    bool plan_acquire_lanes(const detail::PlanState& state,
+                            const support::CancelToken& node_token,
+                            std::int64_t deadline_ns, int width);
+    /** {"kind":"serve.plan"} JSONL record for one finished plan. */
+    void write_plan_record(detail::PlanState& state);
+    /** Join driver threads whose plans have settled (all of them when
+     *  @p all — shutdown path; otherwise only finished ones, called on
+     *  submit_plan to bound the runner list). */
+    void reap_plan_runners(bool all);
+
     harness::DatasetSuite suite_;
     std::vector<harness::Framework> frameworks_;
     ServerOptions options_;
@@ -459,6 +613,17 @@ class Server
     /** Trace-id minting: a per-server random base xor a sequence. */
     std::uint64_t trace_base_ = 0;
     std::atomic<std::uint64_t> trace_seq_{0};
+
+    /** Plan driver threads, one per in-flight plan.  Reaped on the next
+     *  submit_plan and joined in shutdown(); never detached, so plan
+     *  execution cannot outlive the server's datasets. */
+    std::mutex plan_mu_;
+    struct PlanRunner
+    {
+        std::thread thread;
+        std::shared_ptr<detail::PlanState> state;
+    };
+    std::vector<PlanRunner> plan_runners_;
 
     /** Periodic registry -> JSONL snapshot flusher (telemetry_path). */
     std::thread flusher_;

@@ -39,6 +39,12 @@
  *                         drops the insertion (the caller still gets its
  *                         answer, followers still wake — the cache just
  *                         stays cold), a delay fault slows publication.
+ *   "serve.plan.node"     polled by the plan driver just before each DAG
+ *                         node executes; an error fault fails that node
+ *                         (and with it the plan — failed flights are not
+ *                         cached, so a retry re-executes), a delay fault
+ *                         stretches the node enough to trip per-node
+ *                         deadlines and exercise cancellation.
  */
 #pragma once
 

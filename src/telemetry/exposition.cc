@@ -277,6 +277,15 @@ check_monotone(const std::string& before, const std::string& after)
 
 // ------------------------------------------------------------- listener
 
+bool
+request_line_complete(const std::string& buffered)
+{
+    // CRLF is the HTTP framing; tolerate a bare LF from hand-rolled
+    // clients (`printf 'GET /\n' | nc`).  Anything after the first
+    // newline is ignored by the listener, so one is enough.
+    return buffered.find('\n') != std::string::npos;
+}
+
 MetricsListener::MetricsListener(int port, std::function<std::string()> body)
     : body_fn_(std::move(body))
 {
@@ -338,10 +347,22 @@ MetricsListener::loop()
                 continue;
             return;  // shut down (or unrecoverable accept failure)
         }
-        // Drain whatever request line the client sent; the endpoint
-        // serves the same document regardless of the path.
-        char req[1024];
-        (void)::recv(fd, req, sizeof req, 0);
+        // Read until the request line is complete; a scraper may split
+        // "GET / HTTP/1.0\r\n" across TCP segments and answering after
+        // the first recv() would race the rest of the request against
+        // our close().  The endpoint serves the same document for any
+        // path, so the line's content is never inspected — only its
+        // framing matters.  Stop at kMaxRequestBytes so a client that
+        // never sends a newline cannot grow the buffer unboundedly.
+        std::string req;
+        char chunk[1024];
+        while (!request_line_complete(req) &&
+               req.size() < kMaxRequestBytes) {
+            const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+            if (n <= 0)
+                break;  // peer closed or errored mid-request: answer anyway
+            req.append(chunk, static_cast<std::size_t>(n));
+        }
         const std::string body = body_fn_();
         std::string resp =
             "HTTP/1.0 200 OK\r\n"

@@ -79,11 +79,31 @@ support::Status check_monotone(const std::string& before,
                                const std::string& after);
 
 /**
+ * Request-framing decision for MetricsListener's reader: true once
+ * @p buffered holds a complete HTTP request line (terminated by CRLF,
+ * or a bare LF from sloppy clients).  The listener keeps reading until
+ * this returns true or the byte cap is hit, so a request line split
+ * across TCP segments is reassembled rather than answered mid-read.
+ */
+bool request_line_complete(const std::string& buffered);
+
+/**
+ * Bytes of request the listener is willing to buffer before answering
+ * anyway.  The endpoint serves the same document regardless of the
+ * request, so an over-long or garbage request line is served, not
+ * rejected — the cap only bounds memory against a client that streams
+ * bytes without ever sending a newline.
+ */
+inline constexpr std::size_t kMaxRequestBytes = 8192;
+
+/**
  * Blocking single-threaded scrape endpoint.  Binds 127.0.0.1:<port>
  * (port 0 picks an ephemeral port — read it back with port()), accepts
- * one connection at a time, answers any request with an HTTP/1.0
- * response whose body is body_fn(), and closes.  Scrapes are expected
- * to be rare (seconds apart); there is deliberately no concurrency.
+ * one connection at a time, reads until the request line is complete
+ * (request_line_complete) or kMaxRequestBytes arrived, answers with an
+ * HTTP/1.0 response whose body is body_fn(), and closes.  Scrapes are
+ * expected to be rare (seconds apart); there is deliberately no
+ * concurrency.
  */
 class MetricsListener
 {

@@ -9,6 +9,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -316,6 +322,59 @@ TEST(ListenerTest, ScrapeRoundTripOnEphemeralPort)
     listener.stop();
     // After stop() the endpoint refuses scrapes.
     EXPECT_FALSE(scrape_text("127.0.0.1", listener.port(), 200).is_ok());
+}
+
+TEST(ListenerTest, RequestLineFramingDecision)
+{
+    EXPECT_FALSE(request_line_complete(""));
+    EXPECT_FALSE(request_line_complete("GET / HT"));
+    EXPECT_FALSE(request_line_complete("GET / HTTP/1.0\r"));
+    EXPECT_TRUE(request_line_complete("GET / HTTP/1.0\r\n"));
+    EXPECT_TRUE(request_line_complete("GET /\n"));  // sloppy bare-LF client
+    EXPECT_TRUE(request_line_complete("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+}
+
+TEST(ListenerTest, AnswersRequestLineSplitAcrossSegments)
+{
+    Registry registry;
+    registry.enable();
+    registry.counter("frag_total").inc(7);
+    MetricsListener listener(0, [&registry] {
+        return render_text(registry.snapshot());
+    });
+    ASSERT_TRUE(listener.status().is_ok());
+
+    // Hand-rolled client that trickles the request line byte by byte
+    // with TCP_NODELAY-ish pauses, so the listener sees short reads and
+    // must loop until the CRLF arrives before answering.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(listener.port()));
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    // Only the request line: the listener answers and closes as soon as
+    // the terminating LF arrives, so bytes sent after it would race the
+    // close and RST the socket.
+    const std::string request = "GET /metrics HTTP/1.0\r\n";
+    for (char c : request) {
+        ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::string response;
+    char chunk[512];
+    for (;;) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            break;
+        response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("frag_total 7"), std::string::npos);
 }
 
 TEST(ListenerTest, ScrapeOfClosedPortFailsFast)

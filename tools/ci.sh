@@ -27,7 +27,14 @@
 # chaos storm with a 10% write mix (Server::mutate batches between
 # queries), gating storm availability >= 99%, the monotone
 # gm_dyn_generation gauge across two mid-run scrapes, and
-# profile_report's consumption of the serve.mutation JSONL records.
+# profile_report's consumption of the serve.mutation JSONL records,
+# and a plan smoke that re-runs the chaos storm with a 20% query-plan
+# mix on top of the 10% write mix (multi-kernel DAGs through
+# Server::submit_plan), gating storm availability >= 99%, plan-counter
+# coherence via a mid-run gmtop --check scrape, profile_report's PLANS
+# table over the serve.plan JSONL records, and the >=4x multi-source
+# fusion win via bench/plan_batch perf_gated against the committed
+# perf/baselines/plan_batch.jsonl.
 #
 #   tools/ci.sh              # from the repo root
 #   BUILD_DIR=ci tools/ci.sh # custom build directory prefix
@@ -59,13 +66,14 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DGM_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target obs_test par_test par_stress_test serve_test \
-    serve_resilience_test telemetry_test
+    serve_resilience_test telemetry_test plan_test
 "$TSAN_DIR/tests/obs_test"
 "$TSAN_DIR/tests/par_test"
 "$TSAN_DIR/tests/par_stress_test"
 "$TSAN_DIR/tests/serve_test"
 "$TSAN_DIR/tests/serve_resilience_test"
 "$TSAN_DIR/tests/telemetry_test"
+"$TSAN_DIR/tests/plan_test"
 
 echo "== tier 4: profile pipeline smoke (suite --trace-out + validation) =="
 SMOKE_DIR="$BUILD_DIR/ci-profile-smoke"
@@ -122,10 +130,15 @@ mkdir -p "$DET_DIR"
 # RNG chunk grids in the generators).  --dyn appends fingerprints for
 # the scripted gm::dyn mutation workload: post-compaction CSR
 # generations plus the incrementally maintained CC/BFS/SSSP/PR results
-# must also be bit-identical across thread counts.
-GM_THREADS=1 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn \
+# must also be bit-identical across thread counts.  --plan appends one
+# folded fingerprint per scripted query plan (a 70-source fused BFS
+# batch with aggregations, and a mixed CC/PR/SSSP DAG with a
+# per-component reduce) executed through Server::run_plan at width 8,
+# pinning the plan executor's concurrent DAG scheduling to the same
+# bit-identical contract.
+GM_THREADS=1 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn --plan \
     > "$DET_DIR/det1.csv"
-GM_THREADS=8 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn \
+GM_THREADS=8 "$BUILD_DIR/tools/detcheck" --scale 6 --dyn --plan \
     > "$DET_DIR/det8.csv"
 if ! diff "$DET_DIR/det1.csv" "$DET_DIR/det8.csv"; then
     echo "kernel results differ between GM_THREADS=1 and GM_THREADS=8" >&2
@@ -372,5 +385,88 @@ fi
 # lives in perf/baselines/dyn_maintenance.jsonl.
 "$BUILD_DIR/bench/dyn_maintenance" --out "$DYN_DIR/dyn_maintenance.jsonl" \
     | tail -6
+
+echo "== tier 10: plan smoke (chaos + plan mix, fusion perf gate) =="
+PLAN_DIR="$BUILD_DIR/ci-plan-smoke"
+rm -rf "$PLAN_DIR"
+mkdir -p "$PLAN_DIR"
+# The chaos storm re-runs with a 20% query-plan mix on top of the 10%
+# write mix: seeded multi-kernel DAGs (fused BFS batches, histogram /
+# top-k aggregations, per-component reduces) flow through
+# Server::submit_plan between point queries and mutation batches.  The
+# run must (a) hold storm-phase availability at or above 99% with plan
+# failures counting against the SLO (serve_bench exits 4 below the
+# floor, 3 on any plan failure), (b) pass gmtop --check's gm_plan_*
+# accounting coherence on a mid-run scrape, and (c) leave serve.plan
+# records in the metrics JSONL that profile_report --slo tabulates as a
+# PLANS table without warnings.
+"$BUILD_DIR/tools/serve_bench" --chaos --scale 8 --kernels BFS,CC,PR \
+    --distinct 6 --requests 800 --clients 4 --workers 2 \
+    --cache-ttl-ms 10 --think-ms 2 --seed 42 --write-mix 0.1 \
+    --plan-mix 0.2 \
+    --min-availability 0.99 \
+    --metrics-port 0 \
+    --metrics-out "$PLAN_DIR/plan_metrics.jsonl" \
+    > "$PLAN_DIR/plan.log" 2>&1 &
+PLAN_PID=$!
+METRICS_PORT=""
+for _ in $(seq 1 100); do
+    METRICS_PORT="$(sed -n \
+        's/^metrics exposition on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$PLAN_DIR/plan.log")"
+    [ -n "$METRICS_PORT" ] && break
+    sleep 0.05
+done
+if [ -z "$METRICS_PORT" ]; then
+    echo "serve_bench never announced a metrics port" >&2
+    wait "$PLAN_PID" || true
+    cat "$PLAN_DIR/plan.log" >&2
+    exit 1
+fi
+# Mid-run scrape: structural format check plus the plan-accounting
+# coherence invariants (completed/failed within submitted, node
+# outcomes within nodes_total, bounded inflight gauge).
+"$BUILD_DIR/tools/gmtop" --port "$METRICS_PORT" --check \
+    | tee "$PLAN_DIR/check.log"
+if ! wait "$PLAN_PID"; then
+    echo "serve_bench plan-mix chaos run failed" >&2
+    cat "$PLAN_DIR/plan.log" >&2
+    exit 1
+fi
+cat "$PLAN_DIR/plan.log"
+grep -q "failed=0" "$PLAN_DIR/plan.log"
+# The plan mix must actually have submitted plans, all successfully,
+# and the fused batches must have collapsed sources into shared sweeps.
+grep -q "plans:       submitted=" "$PLAN_DIR/plan.log"
+if grep -q "plans:       submitted=0 " "$PLAN_DIR/plan.log"; then
+    echo "plan-mix run submitted no plans" >&2
+    exit 1
+fi
+grep -q "plans:       submitted=[0-9]* ok=[0-9]* failed=0 " \
+    "$PLAN_DIR/plan.log"
+if grep -q " sources_fused=0$" "$PLAN_DIR/plan.log"; then
+    echo "plan-mix run fused no multi-source batches" >&2
+    exit 1
+fi
+# serve.plan records feed the SLO view's PLANS table cleanly.
+grep -q '"kind":"serve.plan"' "$PLAN_DIR/plan_metrics.jsonl"
+"$BUILD_DIR/tools/profile_report" --slo "$PLAN_DIR/plan_metrics.jsonl" \
+    > "$PLAN_DIR/plan_report.txt"
+grep -q "PLANS" "$PLAN_DIR/plan_report.txt"
+"$BUILD_DIR/tools/profile_report" --metrics "$PLAN_DIR/plan_metrics.jsonl" \
+    > /dev/null 2> "$PLAN_DIR/report.err"
+if grep -q "skipping unreadable record" "$PLAN_DIR/report.err"; then
+    echo "profile_report warned on serve.plan records" >&2
+    exit 1
+fi
+# The headline fusion win: a 64-source fused BFS batch must beat 64
+# sequential single-source plans by >=4x through the same executor,
+# with every fused slice verified bit-identical (exit 2 on divergence,
+# exit 4 below the floor), and the fresh timings must show no
+# regression against the committed reference baseline.
+"$BUILD_DIR/bench/plan_batch" --out "$PLAN_DIR/plan_batch.jsonl" | tail -5
+"$BUILD_DIR/tools/perf_gate" --ref perf/baselines/plan_batch.jsonl \
+    --cand "$PLAN_DIR/plan_batch.jsonl" \
+    --report-out "$PLAN_DIR/plan_batch.report.jsonl"
 
 echo "== ci.sh: all green =="

@@ -19,6 +19,14 @@
  * order-defined apply, independent-write parallel compaction), so the
  * same diff covers them.
  *
+ * --plan appends rows for the query-plan executor: a fixed set of
+ * representative plans (a fused 70-source BFS batch crossing the 64-lane
+ * sweep boundary, and a mixed kernel/aggregation DAG) run end to end
+ * through Server::submit_plan, one row per plan whose fingerprint folds
+ * every node's payload digest.  The serve executor runs waves
+ * concurrently under the lane budget, so the same GM_THREADS diff pins
+ * plan answers bit-identical at any width.
+ *
  * Exit codes: 0 ok, 1 usage, 3 a kernel threw.
  */
 #include <cstdint>
@@ -33,6 +41,8 @@
 #include "gm/graph/generators.hh"
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
+#include "gm/plan/plan.hh"
+#include "gm/serve/server.hh"
 #include "gm/support/hash.hh"
 #include "gm/support/log.hh"
 #include "gm/support/rng.hh"
@@ -56,6 +66,8 @@ usage()
         << "  --mode <name>      Baseline or Optimized (default Baseline)\n"
         << "  --dyn              also fingerprint the gm::dyn scripted\n"
         << "                     mutation workload (generations + kernels)\n"
+        << "  --plan             also fingerprint representative query\n"
+        << "                     plans run through the serve executor\n"
         << "  -h, --help         this help\n";
 }
 
@@ -191,6 +203,80 @@ run_dyn_rows(int scale)
     }
 }
 
+/** The scripted plans --plan fingerprints.  Fixed shapes, not random:
+ *  the rows must be stable across runs so CI can diff them.  Batch
+ *  sources wrap modulo @p n so the same shapes validate at any scale. */
+std::vector<std::pair<std::string, gm::plan::Plan>>
+scripted_plans(gm::vid_t n)
+{
+    namespace plan = gm::plan;
+    std::vector<std::pair<std::string, plan::Plan>> out;
+
+    // A fused batch crossing the 64-lane sweep boundary, aggregated two
+    // ways off the shared payload.
+    plan::Plan fused;
+    std::vector<gm::vid_t> sources;
+    for (gm::vid_t s = 0; s < 70; ++s)
+        sources.push_back(s % n);
+    const int batch = fused.add_batch(Kernel::kBFS, std::move(sources));
+    fused.add_histogram(batch, 32);
+    fused.add_top_k(batch, 16);
+    out.emplace_back("bfs70", std::move(fused));
+
+    // A mixed DAG: independent kernels in wave 0, aggregations (incl. a
+    // per-component reduce over CC x PR) in wave 1.
+    plan::Plan mixed;
+    const int cc = mixed.add_kernel(Kernel::kCC);
+    const int pr = mixed.add_kernel(Kernel::kPR);
+    const int sssp = mixed.add_kernel(Kernel::kSSSP, 1);
+    mixed.add_component_reduce(cc, pr, plan::ReduceOp::kSum);
+    mixed.add_histogram(sssp, 24);
+    mixed.add_top_k(pr, 8);
+    out.emplace_back("mixed", std::move(mixed));
+    return out;
+}
+
+/** Run the scripted plans through the serve executor and print one
+ *  fingerprint row per plan (framework column = "plan"); the digest
+ *  folds every node's payload fingerprint in id order. */
+int
+run_plan_rows(const gm::harness::DatasetSuite& suite,
+              const std::vector<Framework>& frameworks, Mode mode)
+{
+    gm::serve::ServerOptions options;
+    options.workers = 4;
+    gm::serve::Server server(suite, frameworks, options);
+    int failures = 0;
+    for (const char* graph : {"Kron", "Road"}) {
+        gm::vid_t n = 0;
+        for (const auto& ds : suite.datasets) {
+            if (ds->name == graph)
+                n = ds->g().num_vertices();
+        }
+        for (const auto& [name, p] : scripted_plans(n)) {
+            gm::serve::PlanRequest req;
+            req.graph = graph;
+            req.mode = mode;
+            req.plan = p;
+            req.width = 8;
+            const auto result = server.run_plan(req);
+            if (!result.is_ok()) {
+                std::cerr << "plan/" << name << "/" << graph
+                          << " failed: " << result.status().to_string()
+                          << "\n";
+                ++failures;
+                continue;
+            }
+            gm::support::Fnv1a h;
+            for (const auto& node : result.value().nodes)
+                h.update_value(node.fingerprint);
+            std::cout << "plan," << name << "," << graph << ","
+                      << std::hex << h.digest() << std::dec << "\n";
+        }
+    }
+    return failures;
+}
+
 bool
 selected(const std::string& csv, const std::string& name)
 {
@@ -215,6 +301,7 @@ main(int argc, char** argv)
     std::string kernels_csv;
     std::string mode_name = "Baseline";
     bool dyn = false;
+    bool plan = false;
 
     gm::cli::ArgParser parser("detcheck");
     parser.usage(usage);
@@ -223,6 +310,7 @@ main(int argc, char** argv)
     parser.value({"--kernels"}, &kernels_csv);
     parser.value({"--mode"}, &mode_name);
     parser.flag({"--dyn"}, &dyn);
+    parser.flag({"--plan"}, &plan);
     if (!parser.parse(argc, argv))
         return parser.help_requested() ? 0 : 1;
     if (scale < 4) {
@@ -272,5 +360,7 @@ main(int argc, char** argv)
     }
     if (dyn)
         run_dyn_rows(scale);
+    if (plan)
+        failures += run_plan_rows(suite, frameworks, mode);
     return failures == 0 ? 0 : 3;
 }

@@ -12,8 +12,13 @@
  *   gmtop --port 9464 --get gm_serve_submitted_total
  *                                 print one sample's value (scripting)
  *   gmtop --port 9464 --check     structural format check (duplicate
- *                                 series, undeclared types); exit 3 on
- *                                 violation — CI scrapes through this
+ *                                 series, undeclared types) plus, when
+ *                                 gm_plan_* series are present, plan
+ *                                 accounting coherence (completed and
+ *                                 failed within submitted, per-node
+ *                                 outcomes within nodes_total, inflight
+ *                                 gauge bounded); exit 3 on violation —
+ *                                 CI scrapes through this
  *
  * Exit codes: 0 ok, 1 usage, 2 scrape/endpoint failure, 3 format-check
  * or --get lookup failure.
@@ -46,8 +51,9 @@ usage()
         << "  --timeout-ms <n> connect/read timeout (default 2000)\n"
         << "  --raw            print the exposition text verbatim\n"
         << "  --get <series>   print one sample's value and exit\n"
-        << "  --check          structural format check only (exit 3 on\n"
-        << "                   violation)\n"
+        << "  --check          structural format check, plus gm_plan_*\n"
+        << "                   accounting coherence when plan series are\n"
+        << "                   present (exit 3 on violation)\n"
         << "  --monotone-against <file>\n"
         << "                   scrape and require every counter/histogram\n"
         << "                   series to be >= its value in <file> (a\n"
@@ -206,6 +212,53 @@ pretty_print(const Exposition& exposition)
     }
 }
 
+/**
+ * Coherence of the gm_plan_* accounting, from one scrape.  Only
+ * invariants that hold under any mid-run interleaving are enforced
+ * (per plan, the submit-side counters are bumped strictly before the
+ * completion-side ones, so a concurrent scrape can only see the safe
+ * direction of each inequality).  Returns 0 when coherent or when no
+ * plan series are exposed, 3 on violation.
+ */
+int
+check_plan_series(const Exposition& exposition)
+{
+    std::map<std::string, double> values;
+    for (const Sample& sample : exposition.samples) {
+        if (sample.name.rfind("gm_plan_", 0) == 0)
+            values[sample.name] = sample.value;
+    }
+    if (values.empty() || values.count("gm_plan_submitted_total") == 0)
+        return 0;
+    const auto value = [&values](const char* name) {
+        const auto it = values.find(name);
+        return it == values.end() ? 0.0 : it->second;
+    };
+    const double submitted = value("gm_plan_submitted_total");
+    const double completed = value("gm_plan_completed_total");
+    const double failed = value("gm_plan_failed_total");
+    const double nodes = value("gm_plan_nodes_total");
+    const double accounted = value("gm_plan_nodes_executed_total") +
+                             value("gm_plan_node_cache_hits_total") +
+                             value("gm_plan_nodes_shared_total");
+    const double inflight = value("gm_plan_inflight");
+    const auto fail = [](const std::string& what) {
+        std::cerr << "plan coherence check failed: " << what << "\n";
+        return 3;
+    };
+    if (completed > submitted)
+        return fail("completed_total exceeds submitted_total");
+    if (failed > submitted)
+        return fail("failed_total exceeds submitted_total");
+    if (accounted > nodes)
+        return fail("node outcomes (executed + cache_hits + shared) "
+                    "exceed nodes_total");
+    if (inflight < 0 || inflight > submitted)
+        return fail("inflight gauge outside [0, submitted_total]");
+    std::cout << "plan series ok (" << values.size() << " gm_plan_* series)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -249,7 +302,13 @@ main(int argc, char** argv)
             return 3;
         }
         std::cout << "format ok\n";
-        return 0;
+        const auto exposition = gm::telemetry::parse_exposition(*body);
+        if (!exposition.is_ok()) {
+            std::cerr << "parse failed: "
+                      << exposition.status().to_string() << "\n";
+            return 2;
+        }
+        return check_plan_series(*exposition);
     }
     if (!monotone_against.empty()) {
         std::ifstream in(monotone_against);

@@ -58,8 +58,9 @@ usage()
         << "                       <dir>; nonzero exit on parse failure\n"
         << "  --slo <file>         summarize a serve JSONL stream: phase\n"
         << "                       SLO table (serve.slo), mutation batches\n"
-        << "                       (serve.mutation), burn-monitor\n"
-        << "                       transitions (serve.slo.burn), refusals\n"
+        << "                       (serve.mutation), query-plan executions\n"
+        << "                       (serve.plan), burn-monitor transitions\n"
+        << "                       (serve.slo.burn), refusals\n"
         << "                       (serve.refusal), and telemetry\n"
         << "                       snapshots (serve.telemetry)\n"
         << "  --csv <file>         also export the workload table as CSV\n"
@@ -244,8 +245,9 @@ report_metrics(const std::string& path, bool with_spans,
 /**
  * Summarize a serve JSONL stream: one table row per serve.slo phase
  * record, a per-graph mutation table (serve.mutation batches from
- * Server::mutate), then burn-monitor transitions, refusal counts by
- * status code, and the telemetry snapshot envelope (count + last
+ * Server::mutate), a per-graph plan table (serve.plan records from
+ * Server::submit_plan), then burn-monitor transitions, refusal counts
+ * by status code, and the telemetry snapshot envelope (count + last
  * sequence number).
  */
 int
@@ -276,9 +278,24 @@ report_slo(const std::string& path)
         double dirty_fraction_total = 0;
         double mutate_ms_total = 0;
     };
+    /** Per-graph rollup of serve.plan records. */
+    struct PlanAgg
+    {
+        std::uint64_t plans = 0;
+        std::uint64_t ok = 0;
+        std::uint64_t nodes = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t cache_hits = 0;
+        std::uint64_t shared = 0;
+        std::uint64_t fused_sweeps = 0;
+        std::uint64_t sources_fused = 0;
+        std::uint64_t generation = 0; ///< highest seen
+        double service_ms_total = 0;
+    };
     std::vector<std::map<std::string, std::string>> phases;
     std::vector<BurnEvent> burns;
     std::map<std::string, MutationAgg> mutations;
+    std::map<std::string, PlanAgg> plans;
     std::map<std::string, std::uint64_t> refusals_by_code;
     std::uint64_t snapshots = 0;
     std::string last_snapshot_seq;
@@ -329,6 +346,27 @@ report_slo(const std::string& path)
                 m.dirty_fraction_total += dbl("dirty_fraction");
                 m.mutate_ms_total += dbl("mutate_ms");
             }
+        } else if (kind == "serve.plan") {
+            std::map<std::string, std::string> fields;
+            if (gm::support::parse_flat_json(line, fields).is_ok()) {
+                const auto u64 = [&fields](const std::string& name) {
+                    return static_cast<std::uint64_t>(std::strtoull(
+                        field_or(fields, name, "0").c_str(), nullptr, 10));
+                };
+                PlanAgg& p = plans[field_or(fields, "graph", "?")];
+                ++p.plans;
+                if (field_or(fields, "status", "?") == "ok")
+                    ++p.ok;
+                p.nodes += u64("nodes");
+                p.executed += u64("executed");
+                p.cache_hits += u64("cache_hits");
+                p.shared += u64("shared");
+                p.fused_sweeps += u64("fused_sweeps");
+                p.sources_fused += u64("sources_fused");
+                p.generation = std::max(p.generation, u64("generation"));
+                p.service_ms_total += std::strtod(
+                    field_or(fields, "service_ms", "0").c_str(), nullptr);
+            }
         } else if (kind == "serve.refusal") {
             std::map<std::string, std::string> fields;
             if (gm::support::parse_flat_json(line, fields).is_ok())
@@ -348,9 +386,10 @@ report_slo(const std::string& path)
         }
     }
     if (phases.empty() && burns.empty() && snapshots == 0 &&
-        refusals_by_code.empty() && mutations.empty()) {
-        std::cerr << path << ": no serve.slo/serve.mutation/serve.slo.burn/"
-                     "serve.refusal/serve.telemetry records\n";
+        refusals_by_code.empty() && mutations.empty() && plans.empty()) {
+        std::cerr << path << ": no serve.slo/serve.mutation/serve.plan/"
+                     "serve.slo.burn/serve.refusal/serve.telemetry "
+                     "records\n";
         return 2;
     }
     if (!phases.empty()) {
@@ -405,6 +444,28 @@ report_slo(const std::string& path)
                       << std::fixed << std::setprecision(4)
                       << m.dirty_fraction_total / batches << std::setw(9)
                       << std::setprecision(3) << m.mutate_ms_total / batches
+                      << "\n";
+        }
+    }
+    if (!plans.empty()) {
+        std::cout << "\nPLANS\n"
+                  << std::left << std::setw(10) << "Graph" << std::right
+                  << std::setw(7) << "Plans" << std::setw(6) << "OK"
+                  << std::setw(7) << "Nodes" << std::setw(6) << "Exec"
+                  << std::setw(6) << "Hits" << std::setw(8) << "Shared"
+                  << std::setw(8) << "Sweeps" << std::setw(8) << "Fused"
+                  << std::setw(6) << "Gen" << std::setw(9) << "ms/plan"
+                  << "\n";
+        for (const auto& [graph, p] : plans) {
+            std::cout << std::left << std::setw(10) << graph << std::right
+                      << std::setw(7) << p.plans << std::setw(6) << p.ok
+                      << std::setw(7) << p.nodes << std::setw(6)
+                      << p.executed << std::setw(6) << p.cache_hits
+                      << std::setw(8) << p.shared << std::setw(8)
+                      << p.fused_sweeps << std::setw(8) << p.sources_fused
+                      << std::setw(6) << p.generation << std::setw(9)
+                      << std::fixed << std::setprecision(3)
+                      << p.service_ms_total / static_cast<double>(p.plans)
                       << "\n";
         }
     }

@@ -47,6 +47,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -57,6 +58,7 @@
 #include "gm/harness/dataset.hh"
 #include "gm/harness/framework.hh"
 #include "gm/perf/baseline.hh"
+#include "gm/plan/plan.hh"
 #include "gm/serve/server.hh"
 #include "gm/stats/stats.hh"
 #include "gm/support/fault_injector.hh"
@@ -108,6 +110,13 @@ usage()
         << "                     delete), exercising generation-tagged\n"
         << "                     caching and incremental maintenance;\n"
         << "                     closed-loop and chaos drivers only\n"
+        << "                     (default 0)\n"
+        << "  --plan-mix <frac>  fraction of request slots that also run a\n"
+        << "                     seeded multi-node query plan end to end\n"
+        << "                     via Server::run_plan (fused BFS batches,\n"
+        << "                     aggregations, per-component reduces);\n"
+        << "                     plan outcomes fold into availability.\n"
+        << "                     Closed-loop and chaos drivers only\n"
         << "                     (default 0)\n"
         << "  --seed <n>         workload seed (default 42)\n"
         << "  --csv <file>       write one row per request\n"
@@ -347,6 +356,126 @@ class Mutator
     std::atomic<std::uint64_t> applied_{0};
     std::atomic<std::uint64_t> failed_{0};
 };
+
+/** Point-in-time PlanMixer counters (deltas fold into phase stats). */
+struct PlanCounts
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t shared = 0;
+    std::uint64_t sources_fused = 0;
+};
+
+/**
+ * Seeded plan-mix driver, shaped like the write-mix Mutator: each call
+ * to maybe_plan consumes one slot, a slot fires with probability `mix`,
+ * and slot k's plan is a pure function of (seed, k) — the multiset of
+ * submitted plans is fixed regardless of client interleaving.  Plans
+ * rotate through three scripted shapes: a fused multi-source BFS batch
+ * with histogram + top-k consumers, a single-kernel BFS with a depth
+ * histogram, and a CC x PR per-component reduce.
+ */
+class PlanMixer
+{
+  public:
+    PlanMixer(Server& server, std::vector<MutTarget> targets, double mix,
+              std::uint64_t seed)
+        : server_(server), targets_(std::move(targets)), mix_(mix),
+          seed_(seed)
+    {
+    }
+
+    void
+    maybe_plan()
+    {
+        if (mix_ <= 0 || targets_.empty())
+            return;
+        const std::uint64_t slot =
+            slots_.fetch_add(1, std::memory_order_relaxed);
+        gm::SplitMix64 rng(seed_ ^ (slot * 0x9e3779b97f4a7c15ULL));
+        if (static_cast<double>(rng.next() >> 11) * 0x1.0p-53 >= mix_)
+            return;
+        const MutTarget& target =
+            targets_[rng.next() % targets_.size()];
+        const auto n = static_cast<std::uint64_t>(target.num_vertices);
+        gm::plan::Plan plan;
+        switch (rng.next() % 3) {
+          case 0: {
+            std::vector<gm::vid_t> sources;
+            const int count = 4 + static_cast<int>(rng.next() % 12);
+            sources.reserve(static_cast<std::size_t>(count));
+            for (int i = 0; i < count; ++i)
+                sources.push_back(static_cast<gm::vid_t>(rng.next() % n));
+            const int batch =
+                plan.add_batch(Kernel::kBFS, std::move(sources));
+            plan.add_histogram(batch, 16);
+            plan.add_top_k(batch, 8);
+            break;
+          }
+          case 1: {
+            const int bfs = plan.add_kernel(
+                Kernel::kBFS, static_cast<gm::vid_t>(rng.next() % n));
+            plan.add_histogram(bfs, 32);
+            break;
+          }
+          default: {
+            const int cc = plan.add_kernel(Kernel::kCC);
+            const int pr = plan.add_kernel(Kernel::kPR);
+            plan.add_component_reduce(cc, pr,
+                                      gm::plan::ReduceOp::kSum);
+            plan.add_top_k(pr, 8);
+            break;
+          }
+        }
+        gm::serve::PlanRequest req;
+        req.graph = target.graph;
+        req.plan = std::move(plan);
+        const auto result = server_.run_plan(req);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.submitted;
+        if (result.is_ok()) {
+            ++counts_.ok;
+            counts_.executed +=
+                static_cast<std::uint64_t>(result->executed);
+            counts_.cache_hits +=
+                static_cast<std::uint64_t>(result->cache_hits);
+            counts_.shared += static_cast<std::uint64_t>(result->shared);
+            counts_.sources_fused +=
+                static_cast<std::uint64_t>(result->sources_fused);
+        } else {
+            ++counts_.failed;
+        }
+    }
+
+    PlanCounts
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return counts_;
+    }
+
+  private:
+    Server& server_;
+    std::vector<MutTarget> targets_;
+    double mix_;
+    std::uint64_t seed_;
+    std::atomic<std::uint64_t> slots_{0};
+    mutable std::mutex mu_;
+    PlanCounts counts_;
+};
+
+void
+print_plans(const PlanMixer& planner)
+{
+    const PlanCounts p = planner.snapshot();
+    std::cout << "plans:       submitted=" << p.submitted << " ok=" << p.ok
+              << " failed=" << p.failed << " nodes_executed=" << p.executed
+              << " node_cache_hits=" << p.cache_hits << " shared="
+              << p.shared << " sources_fused=" << p.sources_fused << "\n";
+}
 
 void
 print_mutations(const Mutator& mutator, const ServerStats& stats)
@@ -592,6 +721,7 @@ main(int argc, char** argv)
     std::string kernels_csv = "BFS,SSSP,CC,PR";
     std::uint64_t seed = 42;
     double write_mix = 0;
+    double plan_mix = 0;
     std::size_t cache_mb = 64;
     std::string csv_path;
     std::string baseline_path;
@@ -629,6 +759,7 @@ main(int argc, char** argv)
     parser.value({"--kernels"}, &kernels_csv);
     parser.value({"--seed"}, &seed);
     parser.value({"--write-mix"}, &write_mix);
+    parser.value({"--plan-mix"}, &plan_mix);
     parser.value({"--csv"}, &csv_path);
     parser.value({"--baseline-out"}, &baseline_path);
     parser.value({"--metrics-out"}, &server_options.metrics_path);
@@ -652,6 +783,10 @@ main(int argc, char** argv)
     }
     if (write_mix < 0 || write_mix > 1) {
         std::cerr << "invalid --write-mix (want a fraction in [0,1])\n";
+        return 1;
+    }
+    if (plan_mix < 0 || plan_mix > 1) {
+        std::cerr << "invalid --plan-mix (want a fraction in [0,1])\n";
         return 1;
     }
     server_options.cache_capacity_bytes = cache_mb << 20;
@@ -726,7 +861,7 @@ main(int argc, char** argv)
     // Mutation targets are captured before the suite moves into the
     // server; the write-mix driver only needs names and vertex counts.
     std::vector<MutTarget> targets;
-    if (write_mix > 0) {
+    if (write_mix > 0 || plan_mix > 0) {
         targets.reserve(suite.size());
         for (const auto& ds : suite.datasets)
             targets.push_back(
@@ -742,8 +877,9 @@ main(int argc, char** argv)
 
     Server server(std::move(suite), gm::harness::make_frameworks(),
                   server_options);
-    Mutator mutator(server, std::move(targets), write_mix,
-                    seed ^ 0x64796eULL);
+    Mutator mutator(server, targets, write_mix, seed ^ 0x64796eULL);
+    PlanMixer planner(server, std::move(targets), plan_mix,
+                      seed ^ 0x706c616eULL);
     if (server.metrics_port() >= 0)
         // Flushed eagerly: scrape clients (CI, gmtop) parse the port
         // from a redirected log while the bench is still running.
@@ -775,6 +911,7 @@ main(int argc, char** argv)
                             i % static_cast<std::size_t>(
                                     gm::serve::kPriorityClasses));
                         mutator.maybe_mutate();
+                        planner.maybe_plan();
                         record_outcome(out, server.query(req));
                         if (think_ms > 0)
                             std::this_thread::sleep_for(
@@ -788,12 +925,21 @@ main(int argc, char** argv)
         };
         auto run_phase = [&](const std::string& name,
                              const std::vector<int>& indices) {
+            const PlanCounts plans_before = planner.snapshot();
             Timer timer;
             timer.start();
             const std::vector<Outcome> outs = drive(indices);
             timer.stop();
             PhaseStats phase =
                 summarize_phase(name, outs, timer.seconds());
+            // Plans issued during the phase fold into its availability:
+            // a completed plan is one served (fresh) unit of work, a
+            // failed one counts against the SLO like a failed query.
+            const PlanCounts plans_after = planner.snapshot();
+            phase.issued += plans_after.submitted - plans_before.submitted;
+            phase.ok += plans_after.ok - plans_before.ok;
+            phase.fresh += plans_after.ok - plans_before.ok;
+            phase.failed += plans_after.failed - plans_before.failed;
             print_phase(phase);
             // End-of-phase burn-monitor state: CI greps for
             // "slo storm: ... firing=1" / "slo recover: ... firing=0".
@@ -876,6 +1022,8 @@ main(int argc, char** argv)
                   << "\n";
         if (write_mix > 0)
             print_mutations(mutator, stats);
+        if (plan_mix > 0)
+            print_plans(planner);
         std::cout << "chaos_slo:   availability=" << std::fixed
                   << std::setprecision(4) << storm.availability()
                   << " degraded_share=" << storm.degraded_share()
@@ -956,6 +1104,7 @@ main(int argc, char** argv)
                     out.population_index =
                         stream[static_cast<std::size_t>(i)];
                     mutator.maybe_mutate();
+                    planner.maybe_plan();
                     record_outcome(
                         out, server.query(population[
                                  static_cast<std::size_t>(
@@ -1034,6 +1183,8 @@ main(int argc, char** argv)
               << " failed=" << failed << "\n";
     if (write_mix > 0)
         print_mutations(mutator, stats);
+    if (plan_mix > 0)
+        print_plans(planner);
     if (execs > 0) {
         std::cout << "parallel:    mean lanes/request "
                   << std::setprecision(2)
@@ -1054,6 +1205,10 @@ main(int argc, char** argv)
                                              population, outcomes));
     if (failed > 0) {
         std::cerr << failed << " request(s) failed unexpectedly\n";
+        code = std::max(code, 3);
+    }
+    if (const PlanCounts plans = planner.snapshot(); plans.failed > 0) {
+        std::cerr << plans.failed << " plan(s) failed unexpectedly\n";
         code = std::max(code, 3);
     }
     return code;
